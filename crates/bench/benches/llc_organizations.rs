@@ -1,0 +1,98 @@
+//! Criterion benchmarks comparing the per-access cost of each LLC
+//! organization model (the machinery behind Figures 6-8): uncompressed,
+//! naive two-tag, ECM two-tag, Base-Victim, and functional VSC.
+
+use bv_cache::{CacheGeometry, LineAddr, PolicyKind};
+use bv_core::{
+    BaseVictimLlc, LlcOrganization, NoInner, TwoTagEcmLlc, TwoTagLlc, UncompressedLlc,
+    VictimPolicyKind, VscLlc,
+};
+use bv_trace::DataProfile;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// A deterministic mixed-compressibility access pattern over ~2x the
+/// cache's line count, so fills, evictions, victim insertions, and
+/// promotions all occur.
+fn drive(org: &mut dyn LlcOrganization, accesses: u64) -> u64 {
+    let mut inner = NoInner;
+    let mut hits = 0;
+    let lines = (org.geometry().size_bytes() / 64) as u64 * 2;
+    for i in 0..accesses {
+        let a = (i * 0x9e37_79b9) % lines;
+        let addr = LineAddr::new(a);
+        if org.read(addr, &mut inner).is_hit() {
+            hits += 1;
+        } else {
+            let profile = if a.is_multiple_of(3) {
+                DataProfile::PointerLike
+            } else if a % 3 == 1 {
+                DataProfile::WideInt
+            } else {
+                DataProfile::Random
+            };
+            org.fill(addr, profile.synthesize(a, 0), &mut inner);
+        }
+    }
+    hits
+}
+
+fn bench_organizations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("llc_access");
+    group.sample_size(10);
+    let geom = CacheGeometry::new(256 * 1024, 16, 64); // scaled-down LLC
+    let accesses = 50_000;
+
+    group.bench_function("uncompressed", |b| {
+        b.iter(|| {
+            let mut org = UncompressedLlc::new(geom, PolicyKind::Nru);
+            black_box(drive(&mut org, accesses))
+        });
+    });
+    group.bench_function("two_tag", |b| {
+        b.iter(|| {
+            let mut org = TwoTagLlc::new(geom, PolicyKind::Nru);
+            black_box(drive(&mut org, accesses))
+        });
+    });
+    group.bench_function("two_tag_ecm", |b| {
+        b.iter(|| {
+            let mut org = TwoTagEcmLlc::new(geom, PolicyKind::Nru);
+            black_box(drive(&mut org, accesses))
+        });
+    });
+    group.bench_function("base_victim", |b| {
+        b.iter(|| {
+            let mut org =
+                BaseVictimLlc::new(geom, PolicyKind::Nru, VictimPolicyKind::EcmLargestBase);
+            black_box(drive(&mut org, accesses))
+        });
+    });
+    group.bench_function("vsc_2x", |b| {
+        b.iter(|| {
+            let mut org = VscLlc::new(geom, PolicyKind::Lru);
+            black_box(drive(&mut org, accesses))
+        });
+    });
+    group.finish();
+}
+
+fn bench_victim_policies(c: &mut Criterion) {
+    // Section VI.B.4's variants have identical hit rates to first order;
+    // this measures their selection cost.
+    let mut group = c.benchmark_group("victim_policy");
+    group.sample_size(10);
+    let geom = CacheGeometry::new(256 * 1024, 16, 64);
+    for vp in VictimPolicyKind::ALL {
+        group.bench_function(vp.name(), |b| {
+            b.iter(|| {
+                let mut org = BaseVictimLlc::new(geom, PolicyKind::Nru, vp);
+                black_box(drive(&mut org, 30_000))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_organizations, bench_victim_policies);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Runner for the `ablation_compressor` experiment (see bv_bench::figures::ablation_compressor).
+fn main() {
+    let mut ctx = bv_bench::Ctx::new();
+    print!("{}", bv_bench::figures::ablation_compressor(&mut ctx));
+}

@@ -1,0 +1,80 @@
+//! Calibration sweep: check the registry's aggregate behavior against the
+//! paper's Section VI.A numbers before running the full experiment suite.
+
+use bv_sim::report::geomean;
+use bv_sim::{LlcKind, SimConfig, System};
+use bv_trace::TraceRegistry;
+
+fn main() {
+    let insts: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+    let registry = TraceRegistry::paper_default();
+    let t0 = std::time::Instant::now();
+
+    let warmup = insts;
+    let mut rows = Vec::new();
+    for t in registry.cache_sensitive() {
+        let base = System::new(SimConfig::single_thread(LlcKind::Uncompressed)).run_with_warmup(
+            &t.workload,
+            warmup,
+            insts,
+        );
+        let bv = System::new(SimConfig::single_thread(LlcKind::BaseVictim)).run_with_warmup(
+            &t.workload,
+            warmup,
+            insts,
+        );
+        let big = System::new(
+            SimConfig::single_thread(LlcKind::Uncompressed).with_llc_size(3 * 1024 * 1024, 24),
+        )
+        .run_with_warmup(&t.workload, warmup, insts);
+        let row = (
+            t.name.clone(),
+            t.compression_friendly,
+            bv.ipc_ratio(&base),
+            bv.dram_read_ratio(&base),
+            big.ipc_ratio(&base),
+            bv.compression.mean_ratio(),
+            base.ipc(),
+            base.dram_reads_per_kilo_inst(),
+        );
+        println!(
+            "{:28} friendly={} ipcR={:.3} readR={:.3} 3mbR={:.3} comp={:.2} baseIPC={:.3} rpki={:.1}",
+            row.0, row.1 as u8, row.2, row.3, row.4, row.5, row.6, row.7
+        );
+        rows.push(row);
+    }
+
+    let friendly: Vec<_> = rows.iter().filter(|r| r.1).collect();
+    let unfriendly: Vec<_> = rows.iter().filter(|r| !r.1).collect();
+    println!(
+        "\n=== aggregates over {} sensitive traces ({} friendly / {} unfriendly) ===",
+        rows.len(),
+        friendly.len(),
+        unfriendly.len()
+    );
+    println!(
+        "friendly:  ipc gain {:+.1}%  read ratio {:.3}  comp {:.2}  (paper: +8.5%, 0.84, 0.50)",
+        (geomean(friendly.iter().map(|r| r.2)) - 1.0) * 100.0,
+        geomean(friendly.iter().map(|r| r.3)),
+        friendly.iter().map(|r| r.5).sum::<f64>() / friendly.len().max(1) as f64
+    );
+    println!(
+        "unfriendly: ipc gain {:+.1}%  comp {:.2}  (paper: +1.45%, >0.75)",
+        (geomean(unfriendly.iter().map(|r| r.2)) - 1.0) * 100.0,
+        unfriendly.iter().map(|r| r.5).sum::<f64>() / unfriendly.len().max(1) as f64
+    );
+    println!(
+        "all:       ipc gain {:+.1}%  (paper: +7.3%)",
+        (geomean(rows.iter().map(|r| r.2)) - 1.0) * 100.0
+    );
+    println!(
+        "3MB:       ipc gain {:+.1}%  (paper: +8.1% overall, +8.5% friendly)",
+        (geomean(rows.iter().map(|r| r.4)) - 1.0) * 100.0
+    );
+    let losers = rows.iter().filter(|r| r.2 < 0.999).count();
+    println!("negative outliers: {losers} (paper: 1, losing 0.01%)");
+    println!("elapsed: {:.1}s", t0.elapsed().as_secs_f32());
+}

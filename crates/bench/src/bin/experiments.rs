@@ -1,0 +1,52 @@
+//! Runs the full experiment suite with a shared run cache, regenerating
+//! every table and figure in the paper's evaluation section. Writes TSV
+//! data under `results/` and a combined summary to
+//! `results/summary.txt`.
+
+use std::io::Write as _;
+
+type FigureFn = fn(&mut bv_bench::Ctx) -> String;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let mut ctx = bv_bench::Ctx::new();
+    let mut summary = String::new();
+    let figures: &[(&str, FigureFn)] = &[
+        ("table1", bv_bench::figures::table1),
+        ("area", bv_bench::figures::area),
+        ("compressibility", bv_bench::figures::compressibility),
+        ("fig8", bv_bench::figures::fig8),
+        ("fig6", bv_bench::figures::fig6),
+        ("fig7", bv_bench::figures::fig7),
+        ("fig9", bv_bench::figures::fig9),
+        ("fig10", bv_bench::figures::fig10),
+        ("fig11", bv_bench::figures::fig11),
+        ("fig12", bv_bench::figures::fig12),
+        ("sens_associativity", bv_bench::figures::sens_associativity),
+        ("sens_victim_policy", bv_bench::figures::sens_victim_policy),
+        (
+            "ablation_compressor",
+            bv_bench::figures::ablation_compressor,
+        ),
+        ("ablation_inclusion", bv_bench::figures::ablation_inclusion),
+        ("ablation_prefetch", bv_bench::figures::ablation_prefetch),
+        ("future_work_camp", bv_bench::figures::future_work_camp),
+        ("fig13", bv_bench::figures::fig13),
+        ("fig14", bv_bench::figures::fig14),
+    ];
+    for (name, f) in figures {
+        let t = std::time::Instant::now();
+        let s = f(&mut ctx);
+        println!("{s}[{name} done in {:.0}s]\n", t.elapsed().as_secs_f32());
+        summary.push_str(&s);
+        summary.push('\n');
+    }
+    let path = std::path::Path::new("results/summary.txt");
+    let mut f = std::fs::File::create(path).expect("create summary");
+    f.write_all(summary.as_bytes()).expect("write summary");
+    println!(
+        "full suite finished in {:.0}s; summary at {}",
+        t0.elapsed().as_secs_f32(),
+        path.display()
+    );
+}

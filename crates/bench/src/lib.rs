@@ -1,0 +1,364 @@
+//! Experiment harness shared by the per-figure runner binaries.
+//!
+//! Every table and figure in the paper's evaluation (Section VI) has a
+//! binary under `src/bin/` that calls into this library; the `experiments`
+//! binary runs the whole suite with a shared run cache so the uncompressed
+//! baseline is simulated once, not once per figure. Results are written as
+//! TSV files under `results/` and summarized on stdout.
+//!
+//! Run length is controlled by environment variables so the same binaries
+//! serve quick smoke tests and full reproductions:
+//!
+//! * `BV_WARMUP` — warmup instructions per run (default 1,000,000)
+//! * `BV_INSTS` — measured instructions per run (default 1,500,000)
+//! * `BV_MP_WARMUP` / `BV_MP_INSTS` — per-thread budgets for the
+//!   multi-program mixes (defaults 500,000 / 800,000)
+
+use bv_cache::PolicyKind;
+use bv_sim::report::geomean;
+use bv_sim::{LlcKind, MulticoreResult, MulticoreSystem, RunResult, SimConfig, System};
+use bv_trace::{TraceRegistry, TraceSpec, WorkloadCategory};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Simulation budgets, read from the environment.
+#[derive(Clone, Copy, Debug)]
+pub struct Budget {
+    /// Warmup instructions per single-core run.
+    pub warmup: u64,
+    /// Measured instructions per single-core run.
+    pub insts: u64,
+    /// Per-thread warmup instructions for multi-program runs.
+    pub mp_warmup: u64,
+    /// Per-thread measured instructions for multi-program runs.
+    pub mp_insts: u64,
+}
+
+impl Budget {
+    /// Reads the budget from `BV_*` environment variables.
+    #[must_use]
+    pub fn from_env() -> Budget {
+        let get = |k: &str, d: u64| {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
+        };
+        Budget {
+            warmup: get("BV_WARMUP", 1_000_000),
+            insts: get("BV_INSTS", 1_500_000),
+            mp_warmup: get("BV_MP_WARMUP", 500_000),
+            mp_insts: get("BV_MP_INSTS", 800_000),
+        }
+    }
+}
+
+/// A hashable key identifying one simulated configuration.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ConfigKey {
+    /// Organization name.
+    pub kind: String,
+    /// LLC capacity in bytes.
+    pub llc_bytes: usize,
+    /// LLC ways.
+    pub llc_ways: usize,
+    /// Replacement policy name.
+    pub policy: &'static str,
+    /// Prefetch degree.
+    pub prefetch_degree: u32,
+}
+
+fn key_of(cfg: &SimConfig) -> ConfigKey {
+    ConfigKey {
+        kind: format!("{:?}", cfg.llc_kind),
+        llc_bytes: cfg.llc.size_bytes(),
+        llc_ways: cfg.llc.ways(),
+        policy: cfg.llc_policy.name(),
+        prefetch_degree: cfg.prefetch_degree,
+    }
+}
+
+/// The experiment context: registry, budget, and the shared run cache.
+pub struct Ctx {
+    /// The 100-trace registry.
+    pub registry: TraceRegistry,
+    /// Simulation budgets.
+    pub budget: Budget,
+    cache: HashMap<(String, ConfigKey), RunResult>,
+    results_dir: PathBuf,
+}
+
+impl Ctx {
+    /// Creates a context with an explicit budget (used by smoke tests).
+    #[must_use]
+    pub fn with_budget(budget: Budget) -> Ctx {
+        let mut ctx = Ctx::new();
+        ctx.budget = budget;
+        ctx
+    }
+
+    /// Creates a context; results are written under `<repo>/results/`.
+    #[must_use]
+    pub fn new() -> Ctx {
+        let results_dir =
+            PathBuf::from(std::env::var("BV_RESULTS_DIR").unwrap_or_else(|_| "results".into()));
+        std::fs::create_dir_all(&results_dir).expect("create results dir");
+        Ctx {
+            registry: TraceRegistry::paper_default(),
+            budget: Budget::from_env(),
+            cache: HashMap::new(),
+            results_dir,
+        }
+    }
+
+    /// Runs (or fetches from cache) one trace under one configuration.
+    pub fn run(&mut self, trace: &TraceSpec, cfg: SimConfig) -> RunResult {
+        let key = (trace.name.clone(), key_of(&cfg));
+        if let Some(hit) = self.cache.get(&key) {
+            return hit.clone();
+        }
+        let result = System::new(cfg).run_with_warmup(
+            &trace.workload,
+            self.budget.warmup,
+            self.budget.insts,
+        );
+        self.cache.insert(key, result.clone());
+        result
+    }
+
+    /// Runs a 4-way mix under one configuration (not cached — each mix is
+    /// used once per configuration).
+    #[must_use]
+    pub fn run_mix(&self, members: &[&TraceSpec; 4], cfg: SimConfig) -> MulticoreResult {
+        let workloads: Vec<_> = members.iter().map(|t| t.workload.clone()).collect();
+        // The multicore driver measures from cold caches; the warmup bias
+        // is shared by every configuration and cancels in the weighted
+        // speedup ratios.
+        MulticoreSystem::new(cfg).run(&workloads, self.budget.mp_warmup + self.budget.mp_insts)
+    }
+
+    /// Writes a TSV result file and returns its path.
+    pub fn write_tsv(&self, name: &str, header: &str, rows: &[Vec<String>]) -> PathBuf {
+        let path = self.results_dir.join(name);
+        let mut f = std::fs::File::create(&path).expect("create tsv");
+        writeln!(f, "{header}").expect("write header");
+        for row in rows {
+            writeln!(f, "{}", row.join("\t")).expect("write row");
+        }
+        path
+    }
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Ctx::new()
+    }
+}
+
+/// One trace's ratios against the uncompressed baseline.
+#[derive(Clone, Debug)]
+pub struct TraceRatios {
+    /// Trace name.
+    pub name: String,
+    /// Category.
+    pub category: WorkloadCategory,
+    /// Compression-friendly classification.
+    pub friendly: bool,
+    /// IPC ratio vs baseline (>1 = speedup).
+    pub ipc_ratio: f64,
+    /// DRAM read ratio vs baseline (<1 = fewer reads).
+    pub read_ratio: f64,
+    /// Mean compressed size fraction observed at the LLC.
+    pub comp_ratio: f64,
+}
+
+/// Sweeps the cache-sensitive traces under `cfg`, normalizing each to the
+/// 2 MB uncompressed baseline.
+pub fn sensitive_sweep(ctx: &mut Ctx, cfg: SimConfig) -> Vec<TraceRatios> {
+    sweep(
+        ctx,
+        cfg,
+        SimConfig::single_thread(LlcKind::Uncompressed),
+        false,
+    )
+}
+
+/// Sweeps with an explicit baseline configuration.
+pub fn sweep(
+    ctx: &mut Ctx,
+    cfg: SimConfig,
+    baseline: SimConfig,
+    all_traces: bool,
+) -> Vec<TraceRatios> {
+    let traces: Vec<TraceSpec> = if all_traces {
+        ctx.registry.all().cloned().collect()
+    } else {
+        ctx.registry.cache_sensitive().cloned().collect()
+    };
+    let mut out = Vec::with_capacity(traces.len());
+    for t in &traces {
+        let base = ctx.run(t, baseline);
+        let run = ctx.run(t, cfg);
+        out.push(TraceRatios {
+            name: t.name.clone(),
+            category: t.category,
+            friendly: t.compression_friendly,
+            ipc_ratio: run.ipc_ratio(&base),
+            read_ratio: run.dram_read_ratio(&base),
+            comp_ratio: run.compression.mean_ratio(),
+        });
+    }
+    out
+}
+
+/// Geometric-mean IPC gain (percent) over a set of ratios.
+#[must_use = "the formatted gain should be reported"]
+pub fn gain_pct<'a, I: IntoIterator<Item = &'a TraceRatios>>(rows: I) -> f64 {
+    (geomean(rows.into_iter().map(|r| r.ipc_ratio)) - 1.0) * 100.0
+}
+
+/// Geometric-mean DRAM read ratio over a set of ratios.
+#[must_use]
+pub fn read_ratio<'a, I: IntoIterator<Item = &'a TraceRatios>>(rows: I) -> f64 {
+    geomean(rows.into_iter().map(|r| r.read_ratio))
+}
+
+/// Formats the per-category table used by Figures 9-11: gains for
+/// compression-friendly traces and for all sensitive traces, per category
+/// and overall.
+#[must_use]
+pub fn category_table(rows: &[TraceRatios]) -> String {
+    let mut s = String::new();
+    s.push_str("category      friendly-gain%  overall-gain%\n");
+    for cat in WorkloadCategory::ALL {
+        let friendly = rows.iter().filter(|r| r.category == cat && r.friendly);
+        let all = rows.iter().filter(|r| r.category == cat);
+        s.push_str(&format!(
+            "{:12}  {:>13.2}  {:>12.2}\n",
+            cat.name(),
+            gain_pct(friendly),
+            gain_pct(all)
+        ));
+    }
+    s.push_str(&format!(
+        "{:12}  {:>13.2}  {:>12.2}\n",
+        "Average",
+        gain_pct(rows.iter().filter(|r| r.friendly)),
+        gain_pct(rows.iter())
+    ));
+    s
+}
+
+/// Writes a line-graph TSV (trace, ipc ratio, read ratio), sorted the way
+/// the paper draws its line plots (by IPC ratio, descending).
+pub fn write_line_graph(ctx: &Ctx, file: &str, rows: &[TraceRatios]) -> PathBuf {
+    let mut sorted: Vec<&TraceRatios> = rows.iter().collect();
+    sorted.sort_by(|a, b| b.ipc_ratio.total_cmp(&a.ipc_ratio));
+    let table: Vec<Vec<String>> = sorted
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.4}", r.ipc_ratio),
+                format!("{:.4}", r.read_ratio),
+                format!("{:.3}", r.comp_ratio),
+            ]
+        })
+        .collect();
+    ctx.write_tsv(
+        file,
+        "trace\tipc_ratio\tdram_read_ratio\tcomp_ratio",
+        &table,
+    )
+}
+
+/// Counts traces losing performance (IPC ratio < threshold).
+#[must_use]
+pub fn losers(rows: &[TraceRatios], threshold: f64) -> usize {
+    rows.iter().filter(|r| r.ipc_ratio < threshold).count()
+}
+
+/// The standard experiment configurations.
+pub mod configs {
+    use super::*;
+
+    /// 2 MB uncompressed baseline.
+    #[must_use]
+    pub fn base2mb() -> SimConfig {
+        SimConfig::single_thread(LlcKind::Uncompressed)
+    }
+
+    /// 2 MB Base-Victim.
+    #[must_use]
+    pub fn bv2mb() -> SimConfig {
+        SimConfig::single_thread(LlcKind::BaseVictim)
+    }
+
+    /// 3 MB (2 MB + 8 ways) uncompressed, +1 cycle.
+    #[must_use]
+    pub fn unc3mb() -> SimConfig {
+        base2mb().with_llc_size(3 * 1024 * 1024, 24)
+    }
+
+    /// Applies a replacement policy to a configuration.
+    #[must_use]
+    pub fn with_policy(cfg: SimConfig, policy: PolicyKind) -> SimConfig {
+        cfg.with_policy(policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_defaults() {
+        let b = Budget::from_env();
+        assert!(b.warmup > 0 && b.insts > 0);
+    }
+
+    #[test]
+    fn config_keys_distinguish_sizes_and_kinds() {
+        let a = key_of(&configs::base2mb());
+        let b = key_of(&configs::unc3mb());
+        let c = key_of(&configs::bv2mb());
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, key_of(&configs::base2mb()));
+    }
+
+    #[test]
+    fn gain_pct_of_unit_ratios_is_zero() {
+        let rows = vec![TraceRatios {
+            name: "t".into(),
+            category: WorkloadCategory::SpecFp,
+            friendly: true,
+            ipc_ratio: 1.0,
+            read_ratio: 1.0,
+            comp_ratio: 0.5,
+        }];
+        assert!(gain_pct(&rows).abs() < 1e-12);
+        assert_eq!(losers(&rows, 0.999), 0);
+        assert!((read_ratio(&rows) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn category_table_lists_all_categories() {
+        let rows = vec![TraceRatios {
+            name: "t".into(),
+            category: WorkloadCategory::Client,
+            friendly: true,
+            ipc_ratio: 1.1,
+            read_ratio: 0.9,
+            comp_ratio: 0.5,
+        }];
+        let table = category_table(&rows);
+        for cat in WorkloadCategory::ALL {
+            assert!(table.contains(cat.name()));
+        }
+        assert!(table.contains("Average"));
+    }
+}
+
+pub mod figures;

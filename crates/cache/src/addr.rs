@@ -1,0 +1,103 @@
+//! Line-address newtype.
+
+use core::fmt;
+
+/// A cache-line address: the byte address with the 6 offset bits stripped.
+///
+/// All caches in the modeled hierarchy use 64-byte lines, so the offset
+/// width is fixed crate-wide.
+///
+/// # Examples
+///
+/// ```
+/// use bv_cache::LineAddr;
+///
+/// let a = LineAddr::from_byte_addr(0x1234_5678);
+/// assert_eq!(a.byte_addr(), 0x1234_5640); // aligned down to 64 B
+/// assert_eq!(a.get(), 0x1234_5678 >> 6);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    const OFFSET_BITS: u32 = 6;
+
+    /// Creates a line address from a raw line number.
+    #[must_use]
+    pub fn new(line_number: u64) -> LineAddr {
+        LineAddr(line_number)
+    }
+
+    /// Creates a line address from a byte address (drops the offset bits).
+    #[must_use]
+    pub fn from_byte_addr(byte_addr: u64) -> LineAddr {
+        LineAddr(byte_addr >> Self::OFFSET_BITS)
+    }
+
+    /// The raw line number.
+    #[must_use]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The aligned byte address of the first byte in the line.
+    #[must_use]
+    pub fn byte_addr(self) -> u64 {
+        self.0 << Self::OFFSET_BITS
+    }
+
+    /// The line `n` lines after this one (wrapping).
+    #[must_use]
+    pub fn offset(self, n: i64) -> LineAddr {
+        LineAddr(self.0.wrapping_add(n as u64))
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.byte_addr())
+    }
+}
+
+impl From<u64> for LineAddr {
+    fn from(line_number: u64) -> LineAddr {
+        LineAddr::new(line_number)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_addr_roundtrip_is_aligned() {
+        let a = LineAddr::from_byte_addr(0xfff);
+        assert_eq!(a.byte_addr() % 64, 0);
+        assert_eq!(LineAddr::from_byte_addr(a.byte_addr()), a);
+    }
+
+    #[test]
+    fn offset_moves_by_lines() {
+        let a = LineAddr::new(100);
+        assert_eq!(a.offset(3), LineAddr::new(103));
+        assert_eq!(a.offset(-100), LineAddr::new(0));
+    }
+
+    #[test]
+    fn same_line_accesses_collapse() {
+        assert_eq!(
+            LineAddr::from_byte_addr(0x1000),
+            LineAddr::from_byte_addr(0x103f)
+        );
+        assert_ne!(
+            LineAddr::from_byte_addr(0x1000),
+            LineAddr::from_byte_addr(0x1040)
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Cache geometry: size, associativity, and index arithmetic.
+
+use core::fmt;
+
+/// The shape of one cache: capacity, associativity, and line size.
+///
+/// All quantities must be powers of two so that set indexing is a simple
+/// bit-field extraction, as in the modeled hardware.
+///
+/// # Examples
+///
+/// ```
+/// use bv_cache::CacheGeometry;
+///
+/// // The paper's single-thread LLC: 2 MB, 16-way, 64 B lines.
+/// let llc = CacheGeometry::new(2 * 1024 * 1024, 16, 64);
+/// assert_eq!(llc.sets(), 2048);
+/// assert_eq!(llc.index_bits(), 11);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    size_bytes: usize,
+    ways: usize,
+    line_bytes: usize,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry.
+    ///
+    /// The associativity need not be a power of two — the paper's 3 MB and
+    /// 6 MB configurations add 8 ways to a 16-way baseline, giving 24-way
+    /// caches — but the line size and the resulting set count must be, so
+    /// that indexing remains a bit-field extraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line size is not a power of two, if the size is not an
+    /// exact multiple of `ways * line_bytes`, or if the resulting set count
+    /// is zero or not a power of two.
+    #[must_use]
+    pub fn new(size_bytes: usize, ways: usize, line_bytes: usize) -> CacheGeometry {
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(ways >= 1, "associativity must be at least 1");
+        assert!(
+            size_bytes.is_multiple_of(ways * line_bytes),
+            "cache size {size_bytes} not a multiple of {ways} ways x {line_bytes} B"
+        );
+        let sets = size_bytes / (ways * line_bytes);
+        assert!(
+            sets >= 1 && sets.is_power_of_two(),
+            "set count {sets} must be a nonzero power of two"
+        );
+        CacheGeometry {
+            size_bytes,
+            ways,
+            line_bytes,
+        }
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.size_bytes
+    }
+
+    /// Associativity (ways per set).
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Line size in bytes.
+    #[must_use]
+    pub fn line_bytes(&self) -> usize {
+        self.line_bytes
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+
+    /// Bits of the line address used as the set index.
+    #[must_use]
+    pub fn index_bits(&self) -> u32 {
+        self.sets().trailing_zeros()
+    }
+
+    /// Bits of the byte address used as the line offset.
+    #[must_use]
+    pub fn offset_bits(&self) -> u32 {
+        self.line_bytes.trailing_zeros()
+    }
+
+    /// Set index for a line address (byte address >> offset bits).
+    #[must_use]
+    pub fn set_index(&self, line: u64) -> usize {
+        (line & (self.sets() as u64 - 1)) as usize
+    }
+
+    /// Tag for a line address (the bits above the set index).
+    #[must_use]
+    pub fn tag(&self, line: u64) -> u64 {
+        line >> self.index_bits()
+    }
+}
+
+impl fmt::Debug for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CacheGeometry({} KB, {}-way, {} sets, {} B lines)",
+            self.size_bytes / 1024,
+            self.ways,
+            self.sets(),
+            self.line_bytes
+        )
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.size_bytes >= 1024 * 1024 && self.size_bytes.is_multiple_of(1024 * 1024) {
+            write!(
+                f,
+                "{} MB {}-way",
+                self.size_bytes / (1024 * 1024),
+                self.ways
+            )
+        } else {
+            write!(f, "{} KB {}-way", self.size_bytes / 1024, self.ways)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_hierarchy_geometries() {
+        let l1 = CacheGeometry::new(32 * 1024, 8, 64);
+        assert_eq!(l1.sets(), 64);
+        let l2 = CacheGeometry::new(256 * 1024, 8, 64);
+        assert_eq!(l2.sets(), 512);
+        let llc = CacheGeometry::new(2 * 1024 * 1024, 16, 64);
+        assert_eq!(llc.sets(), 2048);
+        assert_eq!(llc.index_bits(), 11);
+        assert_eq!(llc.offset_bits(), 6);
+        let llc_mp = CacheGeometry::new(4 * 1024 * 1024, 16, 64);
+        assert_eq!(llc_mp.sets(), 4096);
+    }
+
+    #[test]
+    fn set_index_and_tag_partition_the_address() {
+        let g = CacheGeometry::new(2 * 1024 * 1024, 16, 64);
+        let line: u64 = 0xabcd_1234;
+        let rebuilt = (g.tag(line) << g.index_bits()) | g.set_index(line) as u64;
+        assert_eq!(rebuilt, line);
+    }
+
+    #[test]
+    fn paper_3mb_is_24_way_with_2048_sets() {
+        // Section VI.A: "We construct a 3MB cache by adding 8 ways to a
+        // 2MB, 16-way baseline."
+        let g = CacheGeometry::new(3 * 1024 * 1024, 24, 64);
+        assert_eq!(g.sets(), 2048);
+        let g6 = CacheGeometry::new(6 * 1024 * 1024, 24, 64);
+        assert_eq!(g6.sets(), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn rejects_non_divisible_size() {
+        let _ = CacheGeometry::new(1000, 4, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        let _ = CacheGeometry::new(3 * 64 * 16, 16, 64); // 3 sets
+    }
+
+    #[test]
+    fn display_prefers_mb_for_large_caches() {
+        let g = CacheGeometry::new(2 * 1024 * 1024, 16, 64);
+        assert_eq!(g.to_string(), "2 MB 16-way");
+        let l1 = CacheGeometry::new(32 * 1024, 8, 64);
+        assert_eq!(l1.to_string(), "32 KB 8-way");
+    }
+}

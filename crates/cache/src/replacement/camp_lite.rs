@@ -1,0 +1,212 @@
+//! CAMP-style size-aware insertion (the Base-Victim paper's future work).
+//!
+//! Pekhimenko et al., "Exploiting Compressed Block Size as an Indicator
+//! of Future Reuse" (HPCA 2015) — CAMP — observes that compressed block
+//! size correlates with reuse: in many applications, small blocks carry
+//! short-reuse data (counters, pointers) while full-size blocks are
+//! streaming payloads. The Base-Victim paper's Section VII.C notes that
+//! "our opportunistic compressed cache architecture can be adopted to
+//! implement CAMP in the Baseline Cache, which could be addressed in
+//! future work." This policy is that future work, simplified: SRRIP
+//! aging with a size-biased insertion point (MVE-flavored), plus set
+//! dueling against plain SRRIP insertion so size-blind applications are
+//! not hurt.
+
+use super::ReplacementPolicy;
+use bv_compress::SegmentCount;
+
+const MAX_RRPV: u8 = 3;
+const PSEL_BITS: u32 = 10;
+const PSEL_MAX: i32 = (1 << PSEL_BITS) - 1;
+const LEADER_PERIOD: usize = 32;
+
+/// SRRIP with CAMP-style size-aware insertion and set dueling.
+#[derive(Debug, Clone)]
+pub struct CampLite {
+    sets: usize,
+    ways: usize,
+    rrpv: Vec<u8>,
+    /// Selector: high half favors size-aware insertion.
+    psel: i32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Team {
+    SizeAware,
+    Srrip,
+    Follower,
+}
+
+impl CampLite {
+    /// Creates a CAMP-lite policy for a `sets x ways` array.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize) -> CampLite {
+        CampLite {
+            sets,
+            ways,
+            rrpv: vec![MAX_RRPV; sets * ways],
+            psel: PSEL_MAX / 2,
+        }
+    }
+
+    fn team(&self, set: usize) -> Team {
+        match set % LEADER_PERIOD {
+            0 => Team::SizeAware,
+            1 => Team::Srrip,
+            _ => Team::Follower,
+        }
+    }
+
+    fn use_size(&self, set: usize) -> bool {
+        match self.team(set) {
+            Team::SizeAware => true,
+            Team::Srrip => false,
+            Team::Follower => self.psel >= PSEL_MAX / 2,
+        }
+    }
+
+    /// Insertion RRPV for a block of the given compressed size: small
+    /// blocks (predicted high reuse) insert near-immediate; full-size
+    /// blocks insert distant (evict-early).
+    fn insertion_rrpv(size: SegmentCount) -> u8 {
+        match size.get() {
+            1..=4 => 0,            // zero/tiny blocks: predicted hot
+            5..=8 => MAX_RRPV - 2, // well-compressed: normal-long
+            9..=15 => MAX_RRPV - 1,
+            _ => MAX_RRPV, // incompressible: first eviction candidate
+        }
+    }
+
+    /// Current selector value (for tests and diagnostics).
+    #[must_use]
+    pub fn psel(&self) -> i32 {
+        self.psel
+    }
+}
+
+impl ReplacementPolicy for CampLite {
+    fn sets(&self) -> usize {
+        self.sets
+    }
+
+    fn ways(&self) -> usize {
+        self.ways
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize) {
+        // Size-blind fill (used when the caller has no size information):
+        // plain SRRIP insertion.
+        self.rrpv[set * self.ways + way] = MAX_RRPV - 1;
+    }
+
+    fn on_fill_sized(&mut self, set: usize, way: usize, size: SegmentCount) {
+        let rrpv = if self.use_size(set) {
+            CampLite::insertion_rrpv(size)
+        } else {
+            MAX_RRPV - 1
+        };
+        self.rrpv[set * self.ways + way] = rrpv;
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize) {
+        self.rrpv[set * self.ways + way] = 0;
+    }
+
+    fn on_miss(&mut self, set: usize) {
+        match self.team(set) {
+            Team::SizeAware => self.psel = (self.psel - 1).max(0),
+            Team::Srrip => self.psel = (self.psel + 1).min(PSEL_MAX),
+            Team::Follower => {}
+        }
+    }
+
+    fn victim(&mut self, set: usize) -> usize {
+        let base = set * self.ways;
+        loop {
+            if let Some(w) = (0..self.ways).find(|&w| self.rrpv[base + w] == MAX_RRPV) {
+                return w;
+            }
+            for w in 0..self.ways {
+                self.rrpv[base + w] += 1;
+            }
+        }
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        self.rrpv[set * self.ways + way] = MAX_RRPV;
+    }
+
+    fn hint_downgrade(&mut self, set: usize, way: usize) {
+        self.rrpv[set * self.ways + way] = MAX_RRPV;
+    }
+
+    fn eviction_rank(&self, set: usize, way: usize) -> u64 {
+        (u64::from(self.rrpv[set * self.ways + way]) << 32) + (self.ways - way) as u64
+    }
+
+    fn is_eviction_candidate(&self, set: usize, way: usize) -> bool {
+        self.rrpv[set * self.ways + way] >= MAX_RRPV - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_aware_leaders_bias_by_size() {
+        let mut p = CampLite::new(64, 4);
+        // Set 0 is a SizeAware leader.
+        p.on_fill_sized(0, 0, SegmentCount::new(1));
+        p.on_fill_sized(0, 1, SegmentCount::new(16));
+        assert_eq!(p.rrpv[0], 0, "tiny block inserted hot");
+        assert_eq!(p.rrpv[1], MAX_RRPV, "incompressible block inserted cold");
+        assert_eq!(p.victim(0), 1);
+    }
+
+    #[test]
+    fn srrip_leaders_ignore_size() {
+        let mut p = CampLite::new(64, 4);
+        // Set 1 is the SRRIP leader.
+        p.on_fill_sized(1, 0, SegmentCount::new(1));
+        p.on_fill_sized(1, 1, SegmentCount::new(16));
+        assert_eq!(p.rrpv[4], MAX_RRPV - 1);
+        assert_eq!(p.rrpv[4 + 1], MAX_RRPV - 1);
+    }
+
+    #[test]
+    fn dueling_moves_followers() {
+        let mut p = CampLite::new(64, 4);
+        // Misses in the size-aware leader vote against size awareness.
+        for _ in 0..PSEL_MAX {
+            p.on_miss(0);
+        }
+        assert_eq!(p.psel(), 0);
+        // Follower set now inserts size-blind.
+        p.on_fill_sized(2, 0, SegmentCount::new(1));
+        assert_eq!(p.rrpv[2 * 4], MAX_RRPV - 1);
+        // Misses in the SRRIP leader vote the other way.
+        for _ in 0..PSEL_MAX {
+            p.on_miss(1);
+        }
+        p.on_fill_sized(2, 1, SegmentCount::new(1));
+        assert_eq!(p.rrpv[2 * 4 + 1], 0);
+    }
+
+    #[test]
+    fn unsized_fill_falls_back_to_srrip() {
+        let mut p = CampLite::new(64, 4);
+        p.on_fill(0, 0);
+        assert_eq!(p.rrpv[0], MAX_RRPV - 1);
+    }
+
+    #[test]
+    fn insertion_bands_are_monotone() {
+        let mut prev = 0;
+        for s in 1..=16u8 {
+            let r = CampLite::insertion_rrpv(SegmentCount::new(s));
+            assert!(r >= prev, "larger blocks never insert hotter");
+            prev = r;
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! CHAR-style hierarchy-aware replacement (simplified).
+//!
+//! Chaudhuri et al., "Introducing Hierarchy-awareness in Replacement and
+//! Bypass Algorithms for Last-level Caches" (PACT 2012) — "CHAR" — learns
+//! per-workload reuse behavior with set dueling and sends *downgrade hints*
+//! to the LLC on L2 evictions. The Base-Victim paper evaluates CHAR "with
+//! 1 bit ages and not on top of SRRIP" (Section VI.B.2).
+//!
+//! This reproduction keeps the two load-bearing ingredients:
+//!
+//! 1. **1-bit ages with dueling insertion**: leader sets insert lines
+//!    either referenced (protected) or unreferenced (evict-early); a PSEL
+//!    counter trained by leader-set misses picks the winner for follower
+//!    sets — the classic DIP mechanism applied to 1-bit NRU ages.
+//! 2. **Downgrade hints**: [`ReplacementPolicy::hint_downgrade`] clears a
+//!    line's age bit, making it the preferred victim; the simulator calls
+//!    this when the L2 evicts a clean line that CHAR predicts dead.
+
+use super::ReplacementPolicy;
+
+const PSEL_BITS: u32 = 10;
+const PSEL_MAX: i32 = (1 << PSEL_BITS) - 1;
+const LEADER_PERIOD: usize = 32; // 1 in 32 sets leads each team
+
+/// Simplified CHAR: 1-bit NRU ages + set-dueling insertion + hints.
+#[derive(Debug, Clone)]
+pub struct CharLite {
+    sets: usize,
+    ways: usize,
+    referenced: Vec<bool>,
+    /// Policy selector: high half favors protected insertion.
+    psel: i32,
+}
+
+/// The insertion behavior a set uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Team {
+    /// Always insert protected (reference bit set).
+    Protect,
+    /// Always insert unprotected (reference bit clear).
+    EvictEarly,
+    /// Use whichever team PSEL currently favors.
+    Follower,
+}
+
+impl CharLite {
+    /// Creates a CHAR-lite policy for a `sets x ways` array.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize) -> CharLite {
+        CharLite {
+            sets,
+            ways,
+            referenced: vec![false; sets * ways],
+            psel: PSEL_MAX / 2,
+        }
+    }
+
+    fn team(&self, set: usize) -> Team {
+        // Interleave leader sets through the index space.
+        match set % LEADER_PERIOD {
+            0 => Team::Protect,
+            1 => Team::EvictEarly,
+            _ => Team::Follower,
+        }
+    }
+
+    fn insert_protected(&self, set: usize) -> bool {
+        match self.team(set) {
+            Team::Protect => true,
+            Team::EvictEarly => false,
+            Team::Follower => self.psel >= PSEL_MAX / 2,
+        }
+    }
+
+    fn set_bit(&mut self, set: usize, way: usize, value: bool) {
+        self.referenced[set * self.ways + way] = value;
+        if value {
+            let base = set * self.ways;
+            if self.referenced[base..base + self.ways].iter().all(|&b| b) {
+                for w in 0..self.ways {
+                    self.referenced[base + w] = w == way;
+                }
+            }
+        }
+    }
+
+    /// Current selector value (for tests and diagnostics).
+    #[must_use]
+    pub fn psel(&self) -> i32 {
+        self.psel
+    }
+}
+
+impl ReplacementPolicy for CharLite {
+    fn sets(&self) -> usize {
+        self.sets
+    }
+
+    fn ways(&self) -> usize {
+        self.ways
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize) {
+        let protected = self.insert_protected(set);
+        self.set_bit(set, way, protected);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize) {
+        self.set_bit(set, way, true);
+    }
+
+    fn on_miss(&mut self, set: usize) {
+        // A miss in a leader set is a vote against that leader's team.
+        match self.team(set) {
+            Team::Protect => self.psel = (self.psel - 1).max(0),
+            Team::EvictEarly => self.psel = (self.psel + 1).min(PSEL_MAX),
+            Team::Follower => {}
+        }
+    }
+
+    fn victim(&mut self, set: usize) -> usize {
+        let base = set * self.ways;
+        (0..self.ways)
+            .find(|&w| !self.referenced[base + w])
+            .unwrap_or(0)
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        self.referenced[set * self.ways + way] = false;
+    }
+
+    fn hint_downgrade(&mut self, set: usize, way: usize) {
+        self.referenced[set * self.ways + way] = false;
+    }
+
+    fn eviction_rank(&self, set: usize, way: usize) -> u64 {
+        let referenced = self.referenced[set * self.ways + way];
+        let class = if referenced { 0u64 } else { 1 << 32 };
+        class + (self.ways - way) as u64
+    }
+
+    fn is_eviction_candidate(&self, set: usize, way: usize) -> bool {
+        !self.referenced[set * self.ways + way]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leader_sets_are_assigned_both_teams() {
+        let p = CharLite::new(64, 4);
+        assert_eq!(p.team(0), Team::Protect);
+        assert_eq!(p.team(1), Team::EvictEarly);
+        assert_eq!(p.team(2), Team::Follower);
+        assert_eq!(p.team(32), Team::Protect);
+    }
+
+    #[test]
+    fn psel_trains_toward_the_winning_team() {
+        let mut p = CharLite::new(64, 4);
+        let start = p.psel();
+        // Misses in the Protect leader vote against protection.
+        for _ in 0..100 {
+            p.on_miss(0);
+        }
+        assert!(p.psel() < start);
+        for _ in 0..300 {
+            p.on_miss(1);
+        }
+        assert!(p.psel() > start);
+    }
+
+    #[test]
+    fn evict_early_leader_inserts_unprotected() {
+        let mut p = CharLite::new(64, 4);
+        p.on_fill(1, 0); // set 1: EvictEarly leader
+        assert_eq!(p.victim(1), 0, "unprotected insertion is first victim");
+        p.on_fill(0, 0); // set 0: Protect leader
+        assert_ne!(p.victim(0), 0, "protected insertion is not first victim");
+    }
+
+    #[test]
+    fn followers_obey_psel() {
+        let mut p = CharLite::new(64, 4);
+        // Drive PSEL to favor EvictEarly.
+        for _ in 0..PSEL_MAX {
+            p.on_miss(0);
+        }
+        p.on_fill(2, 1); // follower set
+        assert_eq!(p.victim(2), 0, "unused way 0 still preferred");
+        // Fill every way; none protected, so way 0 remains victim.
+        for w in 0..4 {
+            p.on_fill(2, w);
+        }
+        assert_eq!(p.victim(2), 0);
+    }
+
+    #[test]
+    fn hints_downgrade_lines() {
+        let mut p = CharLite::new(64, 4);
+        p.on_fill(0, 0);
+        p.on_fill(0, 1);
+        p.hint_downgrade(0, 0);
+        assert_eq!(p.victim(0), 0);
+    }
+}

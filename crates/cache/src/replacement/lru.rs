@@ -1,0 +1,125 @@
+//! True LRU replacement.
+
+use super::ReplacementPolicy;
+
+/// Least-recently-used replacement, tracked with per-way use timestamps.
+///
+/// Used in the paper's worked examples (Sections III and IV) and available
+/// as a Baseline-cache policy.
+#[derive(Debug, Clone)]
+pub struct Lru {
+    sets: usize,
+    ways: usize,
+    /// `stamp[set * ways + way]`: logical time of last use (0 = never).
+    stamp: Vec<u64>,
+    clock: u64,
+}
+
+impl Lru {
+    /// Creates an LRU policy for a `sets x ways` array.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize) -> Lru {
+        Lru {
+            sets,
+            ways,
+            stamp: vec![0; sets * ways],
+            clock: 0,
+        }
+    }
+
+    fn touch(&mut self, set: usize, way: usize) {
+        self.clock += 1;
+        self.stamp[set * self.ways + way] = self.clock;
+    }
+
+    /// The LRU-stack position of `way` within `set`: 0 = MRU.
+    ///
+    /// Used by tests and by the worked-example reproductions.
+    #[must_use]
+    pub fn stack_position(&self, set: usize, way: usize) -> usize {
+        let mine = self.stamp[set * self.ways + way];
+        (0..self.ways)
+            .filter(|&w| self.stamp[set * self.ways + w] > mine)
+            .count()
+    }
+}
+
+impl ReplacementPolicy for Lru {
+    fn sets(&self) -> usize {
+        self.sets
+    }
+
+    fn ways(&self) -> usize {
+        self.ways
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize) {
+        self.touch(set, way);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize) {
+        self.touch(set, way);
+    }
+
+    fn victim(&mut self, set: usize) -> usize {
+        (0..self.ways)
+            .min_by_key(|&w| self.stamp[set * self.ways + w])
+            .expect("at least one way")
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        self.stamp[set * self.ways + way] = 0;
+    }
+
+    fn eviction_rank(&self, set: usize, way: usize) -> u64 {
+        // Older stamp => higher rank (closer to eviction).
+        u64::MAX - self.stamp[set * self.ways + way]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victim_is_least_recently_used() {
+        let mut lru = Lru::new(1, 4);
+        for way in 0..4 {
+            lru.on_fill(0, way);
+        }
+        lru.on_hit(0, 0); // order now (LRU..MRU): 1, 2, 3, 0
+        assert_eq!(lru.victim(0), 1);
+        lru.on_hit(0, 1);
+        assert_eq!(lru.victim(0), 2);
+    }
+
+    #[test]
+    fn stack_positions_order_all_ways() {
+        let mut lru = Lru::new(1, 4);
+        for way in 0..4 {
+            lru.on_fill(0, way);
+        }
+        assert_eq!(lru.stack_position(0, 3), 0); // most recent fill
+        assert_eq!(lru.stack_position(0, 0), 3); // oldest
+    }
+
+    #[test]
+    fn invalidate_makes_way_the_victim() {
+        let mut lru = Lru::new(1, 4);
+        for way in 0..4 {
+            lru.on_fill(0, way);
+        }
+        lru.on_invalidate(0, 2);
+        assert_eq!(lru.victim(0), 2);
+    }
+
+    #[test]
+    fn eviction_rank_orders_oldest_highest() {
+        let mut lru = Lru::new(1, 3);
+        lru.on_fill(0, 0);
+        lru.on_fill(0, 1);
+        lru.on_fill(0, 2);
+        assert!(lru.eviction_rank(0, 0) > lru.eviction_rank(0, 1));
+        assert!(lru.eviction_rank(0, 1) > lru.eviction_rank(0, 2));
+    }
+}

@@ -1,0 +1,138 @@
+//! 1-bit Not-Recently-Used replacement — the paper's default LLC policy.
+
+use super::ReplacementPolicy;
+
+/// 1-bit NRU: each way has a reference bit, set on fill and on hit. The
+/// victim is the first way (lowest index) whose bit is clear; when every
+/// bit in a set becomes set, all bits except the most recent toucher are
+/// cleared.
+///
+/// This matches the policy described in Gaur et al. (ISCA 2011), cited by
+/// the paper as its LLC replacement policy ("1-bit Not Recently Used").
+#[derive(Debug, Clone)]
+pub struct Nru {
+    sets: usize,
+    ways: usize,
+    referenced: Vec<bool>,
+}
+
+impl Nru {
+    /// Creates an NRU policy for a `sets x ways` array.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize) -> Nru {
+        Nru {
+            sets,
+            ways,
+            referenced: vec![false; sets * ways],
+        }
+    }
+
+    fn set_bit(&mut self, set: usize, way: usize) {
+        self.referenced[set * self.ways + way] = true;
+        // If all bits are now set, clear everyone else so future victims
+        // exist (standard NRU aging).
+        let base = set * self.ways;
+        if self.referenced[base..base + self.ways].iter().all(|&b| b) {
+            for w in 0..self.ways {
+                self.referenced[base + w] = w == way;
+            }
+        }
+    }
+
+    /// Whether `way`'s reference bit is currently set.
+    #[must_use]
+    pub fn is_referenced(&self, set: usize, way: usize) -> bool {
+        self.referenced[set * self.ways + way]
+    }
+}
+
+impl ReplacementPolicy for Nru {
+    fn sets(&self) -> usize {
+        self.sets
+    }
+
+    fn ways(&self) -> usize {
+        self.ways
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize) {
+        self.set_bit(set, way);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize) {
+        self.set_bit(set, way);
+    }
+
+    fn victim(&mut self, set: usize) -> usize {
+        let base = set * self.ways;
+        (0..self.ways)
+            .find(|&w| !self.referenced[base + w])
+            .unwrap_or(0)
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        self.referenced[set * self.ways + way] = false;
+    }
+
+    fn hint_downgrade(&mut self, set: usize, way: usize) {
+        self.referenced[set * self.ways + way] = false;
+    }
+
+    fn eviction_rank(&self, set: usize, way: usize) -> u64 {
+        // Non-referenced ways rank higher (evict sooner); within a class,
+        // lower way index is searched first, mirroring `victim`.
+        let referenced = self.referenced[set * self.ways + way];
+        let class = if referenced { 0u64 } else { 1 << 32 };
+        class + (self.ways - way) as u64
+    }
+
+    fn is_eviction_candidate(&self, set: usize, way: usize) -> bool {
+        !self.referenced[set * self.ways + way]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victim_is_first_unreferenced_way() {
+        let mut nru = Nru::new(1, 4);
+        nru.on_fill(0, 0);
+        nru.on_fill(0, 1);
+        // Ways 2 and 3 never touched: way 2 is the first candidate.
+        assert_eq!(nru.victim(0), 2);
+    }
+
+    #[test]
+    fn saturation_clears_other_bits() {
+        let mut nru = Nru::new(1, 4);
+        for way in 0..4 {
+            nru.on_fill(0, way);
+        }
+        // Filling way 3 saturated the set: all bits cleared except way 3.
+        assert!(nru.is_referenced(0, 3));
+        for way in 0..3 {
+            assert!(!nru.is_referenced(0, way), "way {way} should be aged");
+        }
+        assert_eq!(nru.victim(0), 0);
+    }
+
+    #[test]
+    fn hint_downgrade_clears_reference_bit() {
+        let mut nru = Nru::new(1, 4);
+        nru.on_fill(0, 0);
+        nru.on_fill(0, 1);
+        nru.hint_downgrade(0, 1);
+        assert_eq!(nru.victim(0), 1);
+    }
+
+    #[test]
+    fn eviction_rank_prefers_unreferenced() {
+        let mut nru = Nru::new(1, 4);
+        nru.on_fill(0, 0);
+        assert!(nru.eviction_rank(0, 1) > nru.eviction_rank(0, 0));
+        // Among unreferenced ways, lower index ranks higher.
+        assert!(nru.eviction_rank(0, 1) > nru.eviction_rank(0, 2));
+    }
+}

@@ -1,0 +1,152 @@
+//! Per-cache statistics counters.
+
+use core::fmt;
+
+/// Event counters maintained by every cache level.
+///
+/// All experiment metrics (DRAM read ratio, hit-rate guarantees, LLC access
+/// counts for the energy model) are derived from these counters.
+///
+/// # Examples
+///
+/// ```
+/// use bv_cache::CacheStats;
+///
+/// let mut stats = CacheStats::default();
+/// stats.read_hits = 90;
+/// stats.read_misses = 10;
+/// assert!((stats.hit_rate() - 0.9).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand read (load/ifetch) hits.
+    pub read_hits: u64,
+    /// Demand read misses.
+    pub read_misses: u64,
+    /// Demand write (store) hits.
+    pub write_hits: u64,
+    /// Demand write misses.
+    pub write_misses: u64,
+    /// Prefetch requests that hit.
+    pub prefetch_hits: u64,
+    /// Prefetch requests that missed (and triggered fills).
+    pub prefetch_misses: u64,
+    /// Lines evicted (any reason).
+    pub evictions: u64,
+    /// Dirty evictions that produced a writeback to the next level.
+    pub writebacks: u64,
+    /// Lines invalidated by back-invalidation from an inclusive outer cache.
+    pub back_invalidations: u64,
+    /// Fill operations (lines installed).
+    pub fills: u64,
+}
+
+impl CacheStats {
+    /// Total demand accesses (reads + writes, excluding prefetches).
+    #[must_use]
+    pub fn demand_accesses(&self) -> u64 {
+        self.read_hits + self.read_misses + self.write_hits + self.write_misses
+    }
+
+    /// Total demand misses.
+    #[must_use]
+    pub fn demand_misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Total demand hits.
+    #[must_use]
+    pub fn demand_hits(&self) -> u64 {
+        self.read_hits + self.write_hits
+    }
+
+    /// Demand hit rate in [0, 1]; 0 when no accesses were recorded.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.demand_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.demand_hits() as f64 / total as f64
+        }
+    }
+
+    /// Demand misses per kilo-access, a scale-free miss metric.
+    #[must_use]
+    pub fn misses_per_kilo_access(&self) -> f64 {
+        let total = self.demand_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.demand_misses() as f64 * 1000.0 / total as f64
+        }
+    }
+
+    /// Adds another cache's counters into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.read_hits += other.read_hits;
+        self.read_misses += other.read_misses;
+        self.write_hits += other.write_hits;
+        self.write_misses += other.write_misses;
+        self.prefetch_hits += other.prefetch_hits;
+        self.prefetch_misses += other.prefetch_misses;
+        self.evictions += other.evictions;
+        self.writebacks += other.writebacks;
+        self.back_invalidations += other.back_invalidations;
+        self.fills += other.fills;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hits {} misses {} (hit rate {:.1}%), {} writebacks",
+            self.demand_hits(),
+            self.demand_misses(),
+            self.hit_rate() * 100.0,
+            self.writebacks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_empty_counters() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.misses_per_kilo_access(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = CacheStats {
+            read_hits: 1,
+            writebacks: 2,
+            ..CacheStats::default()
+        };
+        let b = CacheStats {
+            read_hits: 10,
+            write_misses: 5,
+            ..CacheStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.read_hits, 11);
+        assert_eq!(a.write_misses, 5);
+        assert_eq!(a.writebacks, 2);
+        assert_eq!(a.demand_accesses(), 16);
+    }
+
+    #[test]
+    fn mpka_scales_by_thousand() {
+        let s = CacheStats {
+            read_hits: 900,
+            read_misses: 100,
+            ..CacheStats::default()
+        };
+        assert!((s.misses_per_kilo_access() - 100.0).abs() < 1e-9);
+    }
+}

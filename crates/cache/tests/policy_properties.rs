@@ -1,0 +1,124 @@
+//! Property tests for the replacement policies: every policy must stay
+//! within bounds, and LRU must agree with a straightforward reference
+//! model under arbitrary access interleavings.
+
+use bv_cache::replacement::Lru;
+use bv_cache::{PolicyKind, ReplacementPolicy};
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug)]
+enum PolicyOp {
+    Fill(u8),
+    Hit(u8),
+    Victim,
+    Invalidate(u8),
+    Hint(u8),
+    Miss,
+}
+
+fn op_strategy(ways: u8) -> impl Strategy<Value = PolicyOp> {
+    (0..6u8, 0..ways).prop_map(|(k, w)| match k {
+        0 => PolicyOp::Fill(w),
+        1 => PolicyOp::Hit(w),
+        2 => PolicyOp::Victim,
+        3 => PolicyOp::Invalidate(w),
+        4 => PolicyOp::Hint(w),
+        _ => PolicyOp::Miss,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Victims are always in range and eviction ranks order all ways, for
+    /// every policy, under arbitrary operation sequences.
+    #[test]
+    fn policies_stay_in_bounds(
+        ops in prop::collection::vec(op_strategy(8), 1..300),
+        kind in prop::sample::select(PolicyKind::ALL.to_vec()),
+    ) {
+        let mut p = kind.build(4, 8);
+        for op in ops {
+            match op {
+                PolicyOp::Fill(w) => p.on_fill(2, w as usize),
+                PolicyOp::Hit(w) => p.on_hit(2, w as usize),
+                PolicyOp::Victim => {
+                    let v = p.victim(2);
+                    prop_assert!(v < 8, "{kind}: victim {v} out of range");
+                }
+                PolicyOp::Invalidate(w) => p.on_invalidate(2, w as usize),
+                PolicyOp::Hint(w) => p.hint_downgrade(2, w as usize),
+                PolicyOp::Miss => p.on_miss(2),
+            }
+            for w in 0..8 {
+                let _ = p.eviction_rank(2, w);
+                let _ = p.is_eviction_candidate(2, w);
+            }
+        }
+    }
+
+    /// LRU agrees with a reference model (a recency-ordered list).
+    #[test]
+    fn lru_matches_reference_model(
+        ops in prop::collection::vec(op_strategy(4), 1..200),
+    ) {
+        let mut lru = Lru::new(1, 4);
+        let mut reference: Vec<usize> = Vec::new(); // front = LRU, back = MRU
+        let touch = |reference: &mut Vec<usize>, w: usize| {
+            reference.retain(|&x| x != w);
+            reference.push(w);
+        };
+        for op in ops {
+            match op {
+                PolicyOp::Fill(w) | PolicyOp::Hit(w) => {
+                    let w = (w % 4) as usize;
+                    lru.on_fill(0, w);
+                    touch(&mut reference, w);
+                }
+                PolicyOp::Victim => {
+                    if reference.len() == 4 {
+                        // Only meaningful when every way has a defined
+                        // recency; otherwise untouched ways win arbitrarily.
+                        prop_assert_eq!(lru.victim(0), reference[0]);
+                    }
+                }
+                PolicyOp::Invalidate(w) => {
+                    let w = (w % 4) as usize;
+                    lru.on_invalidate(0, w);
+                    reference.retain(|&x| x != w);
+                }
+                PolicyOp::Hint(_) | PolicyOp::Miss => {}
+            }
+        }
+        // Stack positions must match the reference ordering exactly when
+        // all ways have been touched.
+        if reference.len() == 4 {
+            for (depth, &w) in reference.iter().rev().enumerate() {
+                prop_assert_eq!(lru.stack_position(0, w), depth);
+            }
+        }
+    }
+
+    /// SRRIP victims always have maximal RRPV among valid candidates at
+    /// selection time.
+    #[test]
+    fn srrip_victim_has_max_rrpv(
+        ops in prop::collection::vec(op_strategy(8), 1..200),
+    ) {
+        use bv_cache::replacement::Srrip;
+        let mut p = Srrip::new(1, 8);
+        for op in ops {
+            match op {
+                PolicyOp::Fill(w) => p.on_fill(0, w as usize),
+                PolicyOp::Hit(w) => p.on_hit(0, w as usize),
+                PolicyOp::Victim => {
+                    let v = p.victim(0);
+                    let max = (0..8).map(|w| p.rrpv(0, w)).max().expect("8 ways");
+                    prop_assert_eq!(p.rrpv(0, v), max);
+                    prop_assert_eq!(max, 3, "victim selection ages until an RRPV-3 way exists");
+                }
+                _ => {}
+            }
+        }
+    }
+}

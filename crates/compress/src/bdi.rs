@@ -1,0 +1,424 @@
+//! Base-Delta-Immediate (BDI) compression.
+//!
+//! Implements the algorithm of Pekhimenko et al., "Base-Delta-Immediate
+//! Compression: Practical Data Compression for On-Chip Caches" (PACT 2012),
+//! which the Base-Victim paper uses as its LLC compression algorithm due to
+//! its fast (2-cycle) decompression.
+//!
+//! A 64-byte line is viewed as an array of fixed-width elements (8, 4, or
+//! 2 bytes). Each element must be representable as a small signed delta from
+//! either an arbitrary per-line base (the first element that does not fit a
+//! zero delta) or the implicit base **zero** (the "immediate" part). A
+//! per-element mask records which base was used.
+
+use crate::bits::{BitReader, BitWriter};
+use crate::line::{CacheLine, CACHE_LINE_BYTES};
+use crate::{Compressed, Compressor, SegmentCount};
+
+/// The encoding a BDI compression pass selected for a line.
+///
+/// Encodings are named `B<k>D<d>`: `k`-byte elements compressed to `d`-byte
+/// deltas. `Zeros` (all-zero line) and `Rep` (one repeated 8-byte value) are
+/// the two special cases; `Uncompressed` is the fallback.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[repr(u8)]
+pub enum BdiEncoding {
+    /// All 64 bytes are zero; only tag metadata is needed.
+    Zeros = 0,
+    /// All eight 64-bit words are identical; payload is that word.
+    Rep = 1,
+    /// 8-byte elements, 1-byte deltas.
+    B8D1 = 2,
+    /// 8-byte elements, 2-byte deltas.
+    B8D2 = 3,
+    /// 8-byte elements, 4-byte deltas.
+    B8D4 = 4,
+    /// 4-byte elements, 1-byte deltas.
+    B4D1 = 5,
+    /// 4-byte elements, 2-byte deltas.
+    B4D2 = 6,
+    /// 2-byte elements, 1-byte deltas.
+    B2D1 = 7,
+    /// Incompressible line stored verbatim.
+    Uncompressed = 8,
+}
+
+impl BdiEncoding {
+    /// All encodings in selection-priority order (smallest typical size
+    /// first; ties broken toward cheaper decompression).
+    pub const ALL: [BdiEncoding; 9] = [
+        BdiEncoding::Zeros,
+        BdiEncoding::Rep,
+        BdiEncoding::B8D1,
+        BdiEncoding::B4D1,
+        BdiEncoding::B8D2,
+        BdiEncoding::B2D1,
+        BdiEncoding::B4D2,
+        BdiEncoding::B8D4,
+        BdiEncoding::Uncompressed,
+    ];
+
+    /// `(element_bytes, delta_bytes)` for the delta encodings, `None` for
+    /// the special cases.
+    #[must_use]
+    pub fn geometry(self) -> Option<(usize, usize)> {
+        match self {
+            BdiEncoding::B8D1 => Some((8, 1)),
+            BdiEncoding::B8D2 => Some((8, 2)),
+            BdiEncoding::B8D4 => Some((8, 4)),
+            BdiEncoding::B4D1 => Some((4, 1)),
+            BdiEncoding::B4D2 => Some((4, 2)),
+            BdiEncoding::B2D1 => Some((2, 1)),
+            _ => None,
+        }
+    }
+
+    /// Compressed payload size in bytes (excluding tag metadata).
+    ///
+    /// Delta encodings carry: base (`k` bytes) + one delta per element
+    /// (`d` bytes each) + a one-bit-per-element base-selection mask.
+    #[must_use]
+    pub fn payload_bytes(self) -> usize {
+        match self {
+            BdiEncoding::Zeros => 0,
+            BdiEncoding::Rep => 8,
+            BdiEncoding::Uncompressed => CACHE_LINE_BYTES,
+            enc => {
+                let (k, d) = enc.geometry().expect("delta encoding");
+                let n = CACHE_LINE_BYTES / k;
+                k + n * d + n.div_ceil(8)
+            }
+        }
+    }
+
+    /// The data-array footprint of this encoding in 4-byte segments.
+    #[must_use]
+    pub fn segments(self) -> SegmentCount {
+        SegmentCount::from_bytes(self.payload_bytes())
+    }
+
+    fn from_tag(tag: u8) -> BdiEncoding {
+        match tag {
+            0 => BdiEncoding::Zeros,
+            1 => BdiEncoding::Rep,
+            2 => BdiEncoding::B8D1,
+            3 => BdiEncoding::B8D2,
+            4 => BdiEncoding::B8D4,
+            5 => BdiEncoding::B4D1,
+            6 => BdiEncoding::B4D2,
+            7 => BdiEncoding::B2D1,
+            8 => BdiEncoding::Uncompressed,
+            other => panic!("invalid BDI encoding tag {other}"),
+        }
+    }
+}
+
+/// The Base-Delta-Immediate compressor.
+///
+/// # Examples
+///
+/// ```
+/// use bv_compress::{Bdi, CacheLine, Compressor, SegmentCount};
+///
+/// let bdi = Bdi::new();
+/// assert_eq!(
+///     bdi.compressed_size(&CacheLine::zeroed()),
+///     SegmentCount::MIN,
+///     "zero lines need only tag metadata",
+/// );
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Bdi {
+    _private: (),
+}
+
+impl Bdi {
+    /// Creates a BDI compressor.
+    #[must_use]
+    pub fn new() -> Bdi {
+        Bdi::default()
+    }
+
+    /// Determines the best encoding for a line without packing the payload.
+    #[must_use]
+    pub fn select_encoding(&self, line: &CacheLine) -> BdiEncoding {
+        let mut best = BdiEncoding::Uncompressed;
+        for &enc in &BdiEncoding::ALL {
+            if enc.payload_bytes() < best.payload_bytes() && encodable(line, enc) {
+                best = enc;
+            }
+        }
+        best
+    }
+}
+
+impl Compressor for Bdi {
+    fn name(&self) -> &'static str {
+        "bdi"
+    }
+
+    fn compress(&self, line: &CacheLine) -> Compressed {
+        let enc = self.select_encoding(line);
+        let mut payload = vec![enc as u8];
+        match enc {
+            BdiEncoding::Zeros => {}
+            BdiEncoding::Rep => payload.extend_from_slice(&line.u64_word(0).to_le_bytes()),
+            BdiEncoding::Uncompressed => payload.extend_from_slice(line.as_bytes()),
+            enc => pack_deltas(line, enc, &mut payload),
+        }
+        Compressed::new(self.name(), enc.segments(), payload)
+    }
+
+    fn decompress(&self, compressed: &Compressed) -> CacheLine {
+        assert_eq!(
+            compressed.algorithm(),
+            self.name(),
+            "compressed with a different algorithm"
+        );
+        let payload = compressed.payload();
+        let enc = BdiEncoding::from_tag(payload[0]);
+        let body = &payload[1..];
+        match enc {
+            BdiEncoding::Zeros => CacheLine::zeroed(),
+            BdiEncoding::Rep => {
+                let word = u64::from_le_bytes(body[..8].try_into().expect("8-byte rep value"));
+                CacheLine::from_u64_words(&[word; 8])
+            }
+            BdiEncoding::Uncompressed => {
+                CacheLine::from_bytes(body.try_into().expect("64-byte verbatim line"))
+            }
+            enc => unpack_deltas(body, enc),
+        }
+    }
+
+    fn compressed_size(&self, line: &CacheLine) -> SegmentCount {
+        self.select_encoding(line).segments()
+    }
+}
+
+fn elements(line: &CacheLine, k: usize) -> Vec<u64> {
+    match k {
+        8 => line.u64_words().collect(),
+        4 => line.u32_words().map(u64::from).collect(),
+        2 => (0..32).map(|i| u64::from(line.u16_word(i))).collect(),
+        _ => unreachable!("element width {k}"),
+    }
+}
+
+/// Does `value - base` fit in a `d`-byte signed delta, computed modulo the
+/// `k`-byte element width (hardware subtracts at element width)?
+fn delta_fits(value: u64, base: u64, k: usize, d: usize) -> bool {
+    let kbits = k as u32 * 8;
+    let diff = value.wrapping_sub(base) & mask_bits(kbits);
+    let signed = sign_extend(diff, kbits);
+    let dbits = d as u32 * 8 - 1;
+    signed >= -(1i64 << dbits) && signed < (1i64 << dbits)
+}
+
+fn mask_bits(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+fn sign_extend(value: u64, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    ((value << shift) as i64) >> shift
+}
+
+/// Checks whether every element fits a delta from zero or from a single
+/// arbitrary base (the first element that fails the zero-delta test).
+fn encodable(line: &CacheLine, enc: BdiEncoding) -> bool {
+    match enc {
+        BdiEncoding::Zeros => line.is_zero(),
+        BdiEncoding::Rep => {
+            let first = line.u64_word(0);
+            line.u64_words().all(|w| w == first)
+        }
+        BdiEncoding::Uncompressed => true,
+        enc => {
+            let (k, d) = enc.geometry().expect("delta encoding");
+            let mut base: Option<u64> = None;
+            for value in elements(line, k) {
+                if delta_fits(value, 0, k, d) {
+                    continue;
+                }
+                match base {
+                    None => base = Some(value),
+                    Some(b) if delta_fits(value, b, k, d) => {}
+                    Some(_) => return false,
+                }
+            }
+            true
+        }
+    }
+}
+
+fn pack_deltas(line: &CacheLine, enc: BdiEncoding, payload: &mut Vec<u8>) {
+    let (k, d) = enc.geometry().expect("delta encoding");
+    let elems = elements(line, k);
+    let base = elems
+        .iter()
+        .copied()
+        .find(|&v| !delta_fits(v, 0, k, d))
+        .unwrap_or(0);
+
+    payload.extend_from_slice(&base.to_le_bytes()[..k]);
+    let mut mask = BitWriter::new();
+    let mut deltas = Vec::with_capacity(elems.len() * d);
+    let kbits = k as u32 * 8;
+    for value in elems {
+        let use_base = !delta_fits(value, 0, k, d);
+        mask.push(u64::from(use_base), 1);
+        let from = if use_base { base } else { 0 };
+        let delta = value.wrapping_sub(from) & mask_bits(kbits);
+        deltas.extend_from_slice(&delta.to_le_bytes()[..d]);
+    }
+    payload.extend_from_slice(&deltas);
+    payload.extend_from_slice(&mask.into_bytes());
+}
+
+fn unpack_deltas(body: &[u8], enc: BdiEncoding) -> CacheLine {
+    let (k, d) = enc.geometry().expect("delta encoding");
+    let n = CACHE_LINE_BYTES / k;
+    let mut base_bytes = [0u8; 8];
+    base_bytes[..k].copy_from_slice(&body[..k]);
+    let base = u64::from_le_bytes(base_bytes);
+
+    let deltas = &body[k..k + n * d];
+    let mask_bytes = &body[k + n * d..];
+    let mut mask = BitReader::new(mask_bytes);
+
+    let kbits = k as u32 * 8;
+    let dbits = d as u32 * 8;
+    let mut bytes = [0u8; CACHE_LINE_BYTES];
+    for i in 0..n {
+        let mut raw = [0u8; 8];
+        raw[..d].copy_from_slice(&deltas[i * d..i * d + d]);
+        let delta = sign_extend(u64::from_le_bytes(raw), dbits) as u64;
+        let from = if mask.read(1) == 1 { base } else { 0 };
+        let value = from.wrapping_add(delta) & mask_bits(kbits);
+        bytes[i * k..i * k + k].copy_from_slice(&value.to_le_bytes()[..k]);
+    }
+    CacheLine::from_bytes(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(line: &CacheLine) -> BdiEncoding {
+        let bdi = Bdi::new();
+        let c = bdi.compress(line);
+        assert_eq!(&bdi.decompress(&c), line, "lossless roundtrip");
+        assert_eq!(c.segments(), bdi.compressed_size(line));
+        BdiEncoding::from_tag(c.payload()[0])
+    }
+
+    #[test]
+    fn zero_line_uses_zeros_encoding() {
+        assert_eq!(roundtrip(&CacheLine::zeroed()), BdiEncoding::Zeros);
+        assert_eq!(Bdi::new().compressed_size(&CacheLine::zeroed()).get(), 1);
+    }
+
+    #[test]
+    fn repeated_word_uses_rep() {
+        let line = CacheLine::from_u64_words(&[0xdead_beef_0bad_f00d; 8]);
+        assert_eq!(roundtrip(&line), BdiEncoding::Rep);
+        assert_eq!(Bdi::new().compressed_size(&line).get(), 2);
+    }
+
+    #[test]
+    fn pointer_like_line_selects_b8d1() {
+        // Heap pointers into one allocation: huge base, tiny deltas.
+        let words: [u64; 8] = core::array::from_fn(|i| 0x7f3a_bc00_1000 + i as u64 * 16);
+        let line = CacheLine::from_u64_words(&words);
+        assert_eq!(roundtrip(&line), BdiEncoding::B8D1);
+        // 8 base + 8 deltas + 1 mask = 17 bytes = 5 segments.
+        assert_eq!(Bdi::new().compressed_size(&line).get(), 5);
+    }
+
+    #[test]
+    fn small_ints_select_b4d1() {
+        // 32-bit counters with small values mixed with a large-ish base group.
+        let words: [u32; 16] = core::array::from_fn(|i| 0x010_0000 + (i as u32 % 7));
+        let line = CacheLine::from_u32_words(&words);
+        let enc = roundtrip(&line);
+        assert_eq!(enc, BdiEncoding::B4D1);
+        // 4 base + 16 deltas + 2 mask = 22 bytes = 6 segments.
+        assert_eq!(Bdi::new().compressed_size(&line).get(), 6);
+    }
+
+    #[test]
+    fn immediate_zero_base_mixes_with_arbitrary_base() {
+        // Half the elements are tiny (zero base), half cluster far away.
+        let words: [u64; 8] = core::array::from_fn(|i| {
+            if i % 2 == 0 {
+                i as u64
+            } else {
+                0x5555_0000 + i as u64
+            }
+        });
+        let line = CacheLine::from_u64_words(&words);
+        let enc = roundtrip(&line);
+        assert!(
+            enc != BdiEncoding::Uncompressed,
+            "two-base line must compress, got {enc:?}"
+        );
+    }
+
+    #[test]
+    fn random_line_falls_back_to_uncompressed() {
+        // A line engineered to defeat every encoding: elements far apart.
+        let words: [u64; 8] = core::array::from_fn(|i| (i as u64 + 1) * 0x0123_4567_89ab_cdef);
+        let line = CacheLine::from_u64_words(&words);
+        assert_eq!(roundtrip(&line), BdiEncoding::Uncompressed);
+        assert!(Bdi::new().compressed_size(&line).is_full_line());
+    }
+
+    #[test]
+    fn wrapping_deltas_roundtrip() {
+        // Deltas that wrap modulo the element width must still reconstruct.
+        let words: [u64; 8] = core::array::from_fn(|i| {
+            (u64::MAX - 3).wrapping_add(i as u64) // wraps past 2^64
+        });
+        let line = CacheLine::from_u64_words(&words);
+        let _ = roundtrip(&line);
+    }
+
+    #[test]
+    fn payload_sizes_match_formula() {
+        assert_eq!(BdiEncoding::B8D1.payload_bytes(), 8 + 8 + 1);
+        assert_eq!(BdiEncoding::B8D2.payload_bytes(), 8 + 16 + 1);
+        assert_eq!(BdiEncoding::B8D4.payload_bytes(), 8 + 32 + 1);
+        assert_eq!(BdiEncoding::B4D1.payload_bytes(), 4 + 16 + 2);
+        assert_eq!(BdiEncoding::B4D2.payload_bytes(), 4 + 32 + 2);
+        assert_eq!(BdiEncoding::B2D1.payload_bytes(), 2 + 32 + 4);
+        assert_eq!(BdiEncoding::Zeros.payload_bytes(), 0);
+        assert_eq!(BdiEncoding::Rep.payload_bytes(), 8);
+        assert_eq!(BdiEncoding::Uncompressed.payload_bytes(), 64);
+    }
+
+    #[test]
+    fn selection_prefers_smaller_encoding() {
+        // A line valid under both B8D1 and B8D2 must report the B8D1 size.
+        let words: [u64; 8] = core::array::from_fn(|i| 1000 + i as u64);
+        let line = CacheLine::from_u64_words(&words);
+        let bdi = Bdi::new();
+        assert!(bdi.compressed_size(&line) <= BdiEncoding::B8D1.segments());
+    }
+
+    #[test]
+    fn size_never_exceeds_full_line() {
+        for seed in 0..64u64 {
+            let words: [u64; 8] = core::array::from_fn(|i| {
+                seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(i as u64 * 0x1234_5678_9abc_def1)
+            });
+            let line = CacheLine::from_u64_words(&words);
+            assert!(Bdi::new().compressed_size(&line) <= SegmentCount::FULL);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Bit-granular packing helpers shared by FPC and C-Pack.
+//!
+//! Hardware compressors emit variable-width codes; these helpers model that
+//! bitstream exactly so decompression can be verified lossless.
+
+/// Appends variable-width codes to a growing bit vector (MSB-first within
+/// each pushed field).
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bits: Vec<bool>,
+}
+
+impl BitWriter {
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Pushes the low `width` bits of `value`, most-significant first.
+    pub fn push(&mut self, value: u64, width: u32) {
+        debug_assert!(width <= 64);
+        debug_assert!(
+            width == 64 || value < (1u64 << width),
+            "value overflows width"
+        );
+        for i in (0..width).rev() {
+            self.bits.push((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Total number of bits written so far.
+    #[allow(dead_code)] // used by tests and kept for codec diagnostics
+    pub fn len_bits(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Packs the bitstream into bytes (zero-padded in the final byte).
+    pub fn into_bytes(self) -> Vec<u8> {
+        let mut out = vec![0u8; self.bits.len().div_ceil(8)];
+        for (i, &bit) in self.bits.iter().enumerate() {
+            if bit {
+                out[i / 8] |= 1 << (7 - (i % 8));
+            }
+        }
+        out
+    }
+}
+
+/// Reads variable-width codes from a packed byte stream produced by
+/// [`BitWriter`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(bytes: &'a [u8]) -> BitReader<'a> {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads `width` bits, most-significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is exhausted (which indicates a codec bug).
+    pub fn read(&mut self, width: u32) -> u64 {
+        debug_assert!(width <= 64);
+        let mut value = 0u64;
+        for _ in 0..width {
+            let byte = self.bytes[self.pos / 8];
+            let bit = (byte >> (7 - (self.pos % 8))) & 1;
+            value = (value << 1) | u64::from(bit);
+            self.pos += 1;
+        }
+        value
+    }
+
+    /// Number of bits consumed so far.
+    #[allow(dead_code)] // used by tests and kept for codec diagnostics
+    pub fn bits_read(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.push(0b101, 3);
+        w.push(0xdead_beef, 32);
+        w.push(1, 1);
+        w.push(0x3f, 6);
+        assert_eq!(w.len_bits(), 42);
+        let bytes = w.into_bytes();
+
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(3), 0b101);
+        assert_eq!(r.read(32), 0xdead_beef);
+        assert_eq!(r.read(1), 1);
+        assert_eq!(r.read(6), 0x3f);
+        assert_eq!(r.bits_read(), 42);
+    }
+
+    #[test]
+    fn zero_width_reads_nothing() {
+        let mut w = BitWriter::new();
+        w.push(0, 0);
+        assert_eq!(w.len_bits(), 0);
+        let bytes = w.into_bytes();
+        assert!(bytes.is_empty());
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(0), 0);
+    }
+
+    #[test]
+    fn full_width_u64() {
+        let mut w = BitWriter::new();
+        w.push(u64::MAX, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(64), u64::MAX);
+    }
+}

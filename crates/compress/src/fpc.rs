@@ -1,0 +1,268 @@
+//! Frequent Pattern Compression (FPC).
+//!
+//! Implements the significance-based algorithm of Alameldeen and Wood,
+//! "Adaptive Cache Compression for High-Performance Processors" (ISCA 2004).
+//! Each 32-bit word is encoded with a 3-bit prefix selecting one of eight
+//! patterns; zero words additionally fold into runs of up to eight.
+
+use crate::bits::{BitReader, BitWriter};
+use crate::line::CacheLine;
+use crate::{Compressed, Compressor, SegmentCount};
+
+/// FPC 3-bit prefixes (pattern codes).
+const P_ZERO_RUN: u64 = 0b000;
+const P_SIGN4: u64 = 0b001;
+const P_SIGN8: u64 = 0b010;
+const P_SIGN16: u64 = 0b011;
+const P_ZERO_PADDED_HALF: u64 = 0b100; // lower halfword zero, upper significant
+const P_TWO_SIGN_BYTES: u64 = 0b101; // two halfwords, each a sign-extended byte
+const P_REP_BYTES: u64 = 0b110; // word with four identical bytes
+const P_UNCOMPRESSED: u64 = 0b111;
+
+/// The Frequent Pattern Compression algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use bv_compress::{CacheLine, Compressor, Fpc};
+///
+/// let fpc = Fpc::new();
+/// let small_ints = CacheLine::from_u32_words(&core::array::from_fn(|i| i as u32));
+/// let c = fpc.compress(&small_ints);
+/// assert!(c.segments().get() < 16);
+/// assert_eq!(fpc.decompress(&c), small_ints);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Fpc {
+    _private: (),
+}
+
+impl Fpc {
+    /// Creates an FPC compressor.
+    #[must_use]
+    pub fn new() -> Fpc {
+        Fpc::default()
+    }
+}
+
+fn fits_signed(value: u32, bits: u32) -> bool {
+    let signed = value as i32;
+    signed >= -(1i32 << (bits - 1)) && signed < (1i32 << (bits - 1))
+}
+
+fn classify(word: u32) -> (u64, u64, u32) {
+    // Returns (prefix, data, data_bits). Zero runs handled by the caller.
+    if fits_signed(word, 4) {
+        (P_SIGN4, u64::from(word & 0xf), 4)
+    } else if fits_signed(word, 8) {
+        (P_SIGN8, u64::from(word & 0xff), 8)
+    } else if fits_signed(word, 16) {
+        (P_SIGN16, u64::from(word & 0xffff), 16)
+    } else if word & 0xffff == 0 {
+        (P_ZERO_PADDED_HALF, u64::from(word >> 16), 16)
+    } else if fits_signed(word & 0xffff, 8) && fits_signed(word >> 16, 8) {
+        let hi = (word >> 16) & 0xff;
+        let lo = word & 0xff;
+        (P_TWO_SIGN_BYTES, u64::from(hi << 8 | lo), 16)
+    } else if word.to_le_bytes().windows(2).all(|w| w[0] == w[1]) {
+        (P_REP_BYTES, u64::from(word & 0xff), 8)
+    } else {
+        (P_UNCOMPRESSED, u64::from(word), 32)
+    }
+}
+
+impl Compressor for Fpc {
+    fn name(&self) -> &'static str {
+        "fpc"
+    }
+
+    fn compress(&self, line: &CacheLine) -> Compressed {
+        let mut w = BitWriter::new();
+        let words: Vec<u32> = line.u32_words().collect();
+        let mut i = 0;
+        while i < words.len() {
+            if words[i] == 0 {
+                // Fold up to 8 consecutive zero words into one run code.
+                let mut run = 1;
+                while i + run < words.len() && words[i + run] == 0 && run < 8 {
+                    run += 1;
+                }
+                w.push(P_ZERO_RUN, 3);
+                w.push(run as u64 - 1, 3);
+                i += run;
+            } else {
+                let (prefix, data, bits) = classify(words[i]);
+                w.push(prefix, 3);
+                w.push(data, bits);
+                i += 1;
+            }
+        }
+        let payload = w.into_bytes();
+        let size = SegmentCount::from_bytes(payload.len());
+        // Hardware stores incompressible lines verbatim; the payload still
+        // lets us decompress, but the reported size saturates at 16.
+        Compressed::new(self.name(), size, payload)
+    }
+
+    fn compressed_size(&self, line: &CacheLine) -> SegmentCount {
+        SegmentCount::from_bytes(self.size_bits(line).div_ceil(8))
+    }
+
+    fn decompress(&self, compressed: &Compressed) -> CacheLine {
+        assert_eq!(compressed.algorithm(), self.name());
+        let mut r = BitReader::new(compressed.payload());
+        let mut words = [0u32; 16];
+        let mut i = 0;
+        while i < 16 {
+            let prefix = r.read(3);
+            match prefix {
+                P_ZERO_RUN => {
+                    let run = r.read(3) as usize + 1;
+                    i += run; // words are pre-zeroed
+                }
+                P_SIGN4 => {
+                    words[i] = sign_extend32(r.read(4) as u32, 4);
+                    i += 1;
+                }
+                P_SIGN8 => {
+                    words[i] = sign_extend32(r.read(8) as u32, 8);
+                    i += 1;
+                }
+                P_SIGN16 => {
+                    words[i] = sign_extend32(r.read(16) as u32, 16);
+                    i += 1;
+                }
+                P_ZERO_PADDED_HALF => {
+                    words[i] = (r.read(16) as u32) << 16;
+                    i += 1;
+                }
+                P_TWO_SIGN_BYTES => {
+                    let data = r.read(16) as u32;
+                    let hi = sign_extend32(data >> 8, 8) & 0xffff;
+                    let lo = sign_extend32(data & 0xff, 8) & 0xffff;
+                    words[i] = hi << 16 | lo;
+                    i += 1;
+                }
+                P_REP_BYTES => {
+                    let b = r.read(8) as u32;
+                    words[i] = b | b << 8 | b << 16 | b << 24;
+                    i += 1;
+                }
+                P_UNCOMPRESSED => {
+                    words[i] = r.read(32) as u32;
+                    i += 1;
+                }
+                _ => unreachable!("3-bit prefix"),
+            }
+        }
+        CacheLine::from_u32_words(&words)
+    }
+}
+
+impl Fpc {
+    /// Size-only pass: sums the encoded bit widths without materializing
+    /// the bitstream. Must agree with [`Compressor::compress`] exactly
+    /// (property-tested).
+    fn size_bits(&self, line: &CacheLine) -> usize {
+        let words: Vec<u32> = line.u32_words().collect();
+        let mut bits = 0usize;
+        let mut i = 0;
+        while i < words.len() {
+            if words[i] == 0 {
+                let mut run = 1;
+                while i + run < words.len() && words[i + run] == 0 && run < 8 {
+                    run += 1;
+                }
+                bits += 3 + 3;
+                i += run;
+            } else {
+                let (_, _, data_bits) = classify(words[i]);
+                bits += 3 + data_bits as usize;
+                i += 1;
+            }
+        }
+        bits
+    }
+}
+
+fn sign_extend32(value: u32, bits: u32) -> u32 {
+    let shift = 32 - bits;
+    (((value << shift) as i32) >> shift) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(line: &CacheLine) -> SegmentCount {
+        let fpc = Fpc::new();
+        let c = fpc.compress(line);
+        assert_eq!(&fpc.decompress(&c), line);
+        c.segments()
+    }
+
+    #[test]
+    fn zero_line_compresses_to_minimum() {
+        // 16 zero words fold into two 8-word runs: 2 * 6 bits = 12 bits.
+        let size = roundtrip(&CacheLine::zeroed());
+        assert_eq!(size, SegmentCount::MIN);
+    }
+
+    #[test]
+    fn small_positive_and_negative_ints() {
+        let words: [u32; 16] = core::array::from_fn(|i| (i as i32 - 8) as u32);
+        let size = roundtrip(&CacheLine::from_u32_words(&words));
+        assert!(
+            size.get() <= 5,
+            "small ints should compress well, got {size}"
+        );
+    }
+
+    #[test]
+    fn sign_extended_halfwords() {
+        let words = [0xffff_8000u32; 16]; // -32768 as i32
+        let _ = roundtrip(&CacheLine::from_u32_words(&words));
+    }
+
+    #[test]
+    fn zero_padded_halfword_pattern() {
+        let words = [0xabcd_0000u32; 16];
+        let size = roundtrip(&CacheLine::from_u32_words(&words));
+        assert!(size.get() < 16);
+    }
+
+    #[test]
+    fn repeated_bytes_pattern() {
+        let words = [0x4747_4747u32; 16];
+        let size = roundtrip(&CacheLine::from_u32_words(&words));
+        assert!(size.get() < 16);
+    }
+
+    #[test]
+    fn two_sign_extended_bytes_pattern() {
+        let words = [0x00ff_0003u32; 16]; // halfwords 0x00ff (=255, no) ...
+        let _ = roundtrip(&CacheLine::from_u32_words(&words));
+        let words = [0x0011_0003u32; 16]; // halfwords 17 and 3, both fit i8
+        let size = roundtrip(&CacheLine::from_u32_words(&words));
+        assert!(size.get() < 16);
+    }
+
+    #[test]
+    fn incompressible_line_roundtrips() {
+        let words: [u32; 16] = core::array::from_fn(|i| 0x8000_0000u32 | (i as u32) << 20 | 0xabcd);
+        let line = CacheLine::from_u32_words(&words);
+        let fpc = Fpc::new();
+        let c = fpc.compress(&line);
+        assert_eq!(fpc.decompress(&c), line);
+        // 3 prefix bits of overhead per word: size saturates at full line.
+        assert!(c.segments().is_full_line());
+    }
+
+    #[test]
+    fn interleaved_zero_runs() {
+        let mut words = [0u32; 16];
+        words[5] = 0x1234_5678;
+        words[11] = 42;
+        let _ = roundtrip(&CacheLine::from_u32_words(&words));
+    }
+}

@@ -1,0 +1,307 @@
+//! Hardware-style cache-line compression algorithms.
+//!
+//! This crate provides the compression substrate used by the Base-Victim
+//! compressed last-level cache reproduction (Gaur, Alameldeen, Subramoney,
+//! ISCA 2016). The paper evaluates with **Base-Delta-Immediate (BDI)**
+//! compression at a 4-byte segment granularity; for completeness and for
+//! ablation studies this crate also implements **Frequent Pattern
+//! Compression (FPC)** and **C-Pack**, the two other classic cache
+//! compression algorithms discussed in the paper's related work.
+//!
+//! All algorithms operate on one 64-byte [`CacheLine`] at a time and report
+//! sizes in 4-byte [`SegmentCount`] units, matching the paper's metadata
+//! encoding (4 size bits per tag, 16 possible sizes).
+//!
+//! # Examples
+//!
+//! ```
+//! use bv_compress::{Bdi, CacheLine, Compressor};
+//!
+//! // A line of small deltas around a common base compresses well under BDI.
+//! let words: [u64; 8] = core::array::from_fn(|i| 0x7fff_2000_0000 + i as u64 * 8);
+//! let line = CacheLine::from_u64_words(&words);
+//!
+//! let bdi = Bdi::new();
+//! let compressed = bdi.compress(&line);
+//! assert!(compressed.segments().get() < 16, "line should compress");
+//! assert_eq!(bdi.decompress(&compressed), line, "lossless roundtrip");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bdi;
+mod bits;
+mod cpack;
+mod fpc;
+mod line;
+mod stats;
+mod zero;
+
+pub use bdi::{Bdi, BdiEncoding};
+pub use cpack::CPack;
+pub use fpc::Fpc;
+pub use line::{CacheLine, CACHE_LINE_BYTES, SEGMENTS_PER_LINE, SEGMENT_BYTES};
+pub use stats::CompressionStats;
+pub use zero::{NullCompressor, ZeroOnly};
+
+use core::fmt;
+use core::num::NonZeroU8;
+
+/// A compressed-line size measured in 4-byte segments.
+///
+/// The Base-Victim architecture aligns compressed lines at 4-byte boundaries
+/// (Section IV.C of the paper), so every size is between 1 and
+/// [`SEGMENTS_PER_LINE`] (= 16) segments. A full uncompressed line is 16
+/// segments; a detected all-zero line is 1 segment.
+///
+/// # Examples
+///
+/// ```
+/// use bv_compress::SegmentCount;
+///
+/// let size = SegmentCount::from_bytes(17);
+/// assert_eq!(size.get(), 5); // ceil(17 / 4)
+/// assert_eq!(size.bytes(), 20);
+/// assert!(!size.is_full_line());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegmentCount(NonZeroU8);
+
+impl SegmentCount {
+    /// The size of a full, uncompressed cache line (16 segments).
+    pub const FULL: SegmentCount = match NonZeroU8::new(SEGMENTS_PER_LINE as u8) {
+        Some(n) => SegmentCount(n),
+        None => unreachable!(),
+    };
+
+    /// The smallest representable size (1 segment), used for zero lines.
+    pub const MIN: SegmentCount = match NonZeroU8::new(1) {
+        Some(n) => SegmentCount(n),
+        None => unreachable!(),
+    };
+
+    /// Creates a size from a raw segment count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is 0 or greater than [`SEGMENTS_PER_LINE`].
+    #[must_use]
+    pub fn new(segments: u8) -> SegmentCount {
+        assert!(
+            segments >= 1 && segments as usize <= SEGMENTS_PER_LINE,
+            "segment count {segments} out of range 1..={SEGMENTS_PER_LINE}"
+        );
+        SegmentCount(NonZeroU8::new(segments).expect("checked nonzero"))
+    }
+
+    /// Creates a size from a byte count, rounding up to whole segments and
+    /// clamping to a full line.
+    ///
+    /// A compressed representation larger than 64 bytes is clamped to the
+    /// full-line size: hardware would store such a line uncompressed.
+    #[must_use]
+    pub fn from_bytes(bytes: usize) -> SegmentCount {
+        let segs = bytes.div_ceil(SEGMENT_BYTES).clamp(1, SEGMENTS_PER_LINE);
+        SegmentCount::new(segs as u8)
+    }
+
+    /// Returns the size in segments (1..=16).
+    #[must_use]
+    pub fn get(self) -> u8 {
+        self.0.get()
+    }
+
+    /// Returns the size in bytes (a multiple of 4).
+    #[must_use]
+    pub fn bytes(self) -> usize {
+        self.0.get() as usize * SEGMENT_BYTES
+    }
+
+    /// Returns `true` if this is a full (incompressible) line.
+    #[must_use]
+    pub fn is_full_line(self) -> bool {
+        self.0.get() as usize == SEGMENTS_PER_LINE
+    }
+
+    /// Returns `true` if a line of this size and one of `other` fit together
+    /// in a single physical way.
+    ///
+    /// This is the pairing test at the heart of every two-tag organization:
+    /// the base line and the victim line may share one 64-byte data way only
+    /// when their compressed sizes sum to at most 16 segments.
+    #[must_use]
+    pub fn fits_with(self, other: SegmentCount) -> bool {
+        self.get() as usize + other.get() as usize <= SEGMENTS_PER_LINE
+    }
+
+    /// Remaining free segments when a line of this size occupies a way.
+    #[must_use]
+    pub fn free_segments(self) -> u8 {
+        (SEGMENTS_PER_LINE as u8) - self.get()
+    }
+}
+
+impl fmt::Debug for SegmentCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SegmentCount({})", self.get())
+    }
+}
+
+impl fmt::Display for SegmentCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} seg", self.get())
+    }
+}
+
+/// A compressed cache line: the encoding metadata plus the packed payload.
+///
+/// The payload is retained so that [`Compressor::decompress`] can verify
+/// losslessness; a hardware implementation would store exactly
+/// `size.bytes()` bytes in the data array.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Compressed {
+    algorithm: &'static str,
+    size: SegmentCount,
+    payload: Vec<u8>,
+}
+
+impl Compressed {
+    /// Creates a compressed representation. Intended for use by
+    /// [`Compressor`] implementations.
+    #[must_use]
+    pub fn new(algorithm: &'static str, size: SegmentCount, payload: Vec<u8>) -> Compressed {
+        Compressed {
+            algorithm,
+            size,
+            payload,
+        }
+    }
+
+    /// Name of the algorithm that produced this representation.
+    #[must_use]
+    pub fn algorithm(&self) -> &'static str {
+        self.algorithm
+    }
+
+    /// The size this line occupies in the data array, in segments.
+    #[must_use]
+    pub fn segments(&self) -> SegmentCount {
+        self.size
+    }
+
+    /// The packed payload bytes (encoding-specific).
+    #[must_use]
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+}
+
+/// A lossless, hardware-implementable cache-line compression algorithm.
+///
+/// Implementations must guarantee `decompress(compress(line)) == line` for
+/// every possible 64-byte line, and must never report a size larger than a
+/// full line ([`SegmentCount::FULL`] is the incompressible fallback).
+pub trait Compressor {
+    /// Short, stable algorithm name (e.g. `"bdi"`).
+    fn name(&self) -> &'static str;
+
+    /// Compresses a line, returning the packed representation.
+    fn compress(&self, line: &CacheLine) -> Compressed;
+
+    /// Reconstructs the original line from a compressed representation.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `compressed` was produced by a different
+    /// algorithm (checked via [`Compressed::algorithm`]).
+    fn decompress(&self, compressed: &Compressed) -> CacheLine;
+
+    /// Returns only the compressed size, in segments.
+    ///
+    /// The default computes a full compression; implementations may override
+    /// with a cheaper size-only pass, which is what the cache model calls on
+    /// every fill.
+    fn compressed_size(&self, line: &CacheLine) -> SegmentCount {
+        self.compress(line).segments()
+    }
+
+    /// Decompression latency in core cycles for a line of the given size.
+    ///
+    /// Matches the paper's model: zero lines and uncompressed lines are
+    /// detected from the size field in the tag metadata and incur no
+    /// decompression latency; all other sizes pay `base_latency` cycles
+    /// (2 cycles for BDI in the paper).
+    fn decompression_latency(&self, size: SegmentCount, base_latency: u32) -> u32 {
+        if size == SegmentCount::MIN || size.is_full_line() {
+            0
+        } else {
+            base_latency
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_count_from_bytes_rounds_up() {
+        assert_eq!(SegmentCount::from_bytes(1).get(), 1);
+        assert_eq!(SegmentCount::from_bytes(4).get(), 1);
+        assert_eq!(SegmentCount::from_bytes(5).get(), 2);
+        assert_eq!(SegmentCount::from_bytes(64).get(), 16);
+    }
+
+    #[test]
+    fn segment_count_clamps_oversized_to_full() {
+        assert_eq!(SegmentCount::from_bytes(65), SegmentCount::FULL);
+        assert_eq!(SegmentCount::from_bytes(1000), SegmentCount::FULL);
+    }
+
+    #[test]
+    fn segment_count_zero_bytes_is_min() {
+        assert_eq!(SegmentCount::from_bytes(0), SegmentCount::MIN);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn segment_count_rejects_zero() {
+        let _ = SegmentCount::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn segment_count_rejects_oversize() {
+        let _ = SegmentCount::new(17);
+    }
+
+    #[test]
+    fn fits_with_is_symmetric_and_bounded() {
+        let a = SegmentCount::new(6);
+        let b = SegmentCount::new(10);
+        let c = SegmentCount::new(11);
+        assert!(a.fits_with(b));
+        assert!(b.fits_with(a));
+        assert!(!a.fits_with(c));
+        assert!(!SegmentCount::FULL.fits_with(SegmentCount::MIN));
+    }
+
+    #[test]
+    fn free_segments_complements_size() {
+        for s in 1..=16u8 {
+            let size = SegmentCount::new(s);
+            assert_eq!(size.get() + size.free_segments(), 16);
+        }
+    }
+
+    #[test]
+    fn latency_model_matches_paper() {
+        let bdi = Bdi::new();
+        // Zero and full lines: no decompression latency.
+        assert_eq!(bdi.decompression_latency(SegmentCount::MIN, 2), 0);
+        assert_eq!(bdi.decompression_latency(SegmentCount::FULL, 2), 0);
+        // Everything in between pays the base latency.
+        assert_eq!(bdi.decompression_latency(SegmentCount::new(5), 2), 2);
+    }
+}

@@ -1,0 +1,219 @@
+//! The 64-byte cache line value type.
+
+use core::fmt;
+
+/// Bytes in one cache line (all caches in the modeled hierarchy use 64 B).
+pub const CACHE_LINE_BYTES: usize = 64;
+
+/// Bytes in one compression segment. The paper aligns compressed lines at
+/// 4-byte boundaries (Section IV.C: "our evaluation is based on 4B
+/// segments").
+pub const SEGMENT_BYTES: usize = 4;
+
+/// Number of segments in a full line (64 / 4 = 16).
+pub const SEGMENTS_PER_LINE: usize = CACHE_LINE_BYTES / SEGMENT_BYTES;
+
+/// A 64-byte cache line's data contents.
+///
+/// The simulator carries real data values through the hierarchy so that
+/// compression operates on genuine bit patterns rather than modeled sizes.
+///
+/// # Examples
+///
+/// ```
+/// use bv_compress::CacheLine;
+///
+/// let zero = CacheLine::zeroed();
+/// assert!(zero.is_zero());
+///
+/// let line = CacheLine::from_u32_words(&[7; 16]);
+/// assert_eq!(line.u32_word(3), 7);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheLine {
+    bytes: [u8; CACHE_LINE_BYTES],
+}
+
+impl CacheLine {
+    /// Creates an all-zero line.
+    #[must_use]
+    pub fn zeroed() -> CacheLine {
+        CacheLine {
+            bytes: [0; CACHE_LINE_BYTES],
+        }
+    }
+
+    /// Creates a line from raw bytes.
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; CACHE_LINE_BYTES]) -> CacheLine {
+        CacheLine { bytes }
+    }
+
+    /// Creates a line from sixteen little-endian 32-bit words.
+    #[must_use]
+    pub fn from_u32_words(words: &[u32; 16]) -> CacheLine {
+        let mut bytes = [0u8; CACHE_LINE_BYTES];
+        for (i, w) in words.iter().enumerate() {
+            bytes[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        CacheLine { bytes }
+    }
+
+    /// Creates a line from eight little-endian 64-bit words.
+    #[must_use]
+    pub fn from_u64_words(words: &[u64; 8]) -> CacheLine {
+        let mut bytes = [0u8; CACHE_LINE_BYTES];
+        for (i, w) in words.iter().enumerate() {
+            bytes[i * 8..i * 8 + 8].copy_from_slice(&w.to_le_bytes());
+        }
+        CacheLine { bytes }
+    }
+
+    /// Raw byte view.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; CACHE_LINE_BYTES] {
+        &self.bytes
+    }
+
+    /// The `i`-th little-endian 32-bit word (0..16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 16`.
+    #[must_use]
+    pub fn u32_word(&self, i: usize) -> u32 {
+        let b: [u8; 4] = self.bytes[i * 4..i * 4 + 4]
+            .try_into()
+            .expect("4-byte slice");
+        u32::from_le_bytes(b)
+    }
+
+    /// The `i`-th little-endian 64-bit word (0..8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8`.
+    #[must_use]
+    pub fn u64_word(&self, i: usize) -> u64 {
+        let b: [u8; 8] = self.bytes[i * 8..i * 8 + 8]
+            .try_into()
+            .expect("8-byte slice");
+        u64::from_le_bytes(b)
+    }
+
+    /// The `i`-th little-endian 16-bit word (0..32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    #[must_use]
+    pub fn u16_word(&self, i: usize) -> u16 {
+        let b: [u8; 2] = self.bytes[i * 2..i * 2 + 2]
+            .try_into()
+            .expect("2-byte slice");
+        u16::from_le_bytes(b)
+    }
+
+    /// Iterates over the sixteen 32-bit words.
+    pub fn u32_words(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..16).map(|i| self.u32_word(i))
+    }
+
+    /// Iterates over the eight 64-bit words.
+    pub fn u64_words(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..8).map(|i| self.u64_word(i))
+    }
+
+    /// Returns `true` if every byte is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.bytes.iter().all(|&b| b == 0)
+    }
+
+    /// Writes a 64-bit value at a byte offset inside the line, simulating a
+    /// store to the line. Offsets are clamped to keep the write in-bounds.
+    #[must_use]
+    pub fn with_u64_at(mut self, offset: usize, value: u64) -> CacheLine {
+        let off = offset.min(CACHE_LINE_BYTES - 8) & !7;
+        self.bytes[off..off + 8].copy_from_slice(&value.to_le_bytes());
+        self
+    }
+}
+
+impl Default for CacheLine {
+    fn default() -> CacheLine {
+        CacheLine::zeroed()
+    }
+}
+
+impl From<[u8; CACHE_LINE_BYTES]> for CacheLine {
+    fn from(bytes: [u8; CACHE_LINE_BYTES]) -> CacheLine {
+        CacheLine::from_bytes(bytes)
+    }
+}
+
+impl AsRef<[u8]> for CacheLine {
+    fn as_ref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl fmt::Debug for CacheLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CacheLine[")?;
+        for (i, w) in self.u64_words().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{w:016x}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_views_agree_with_bytes() {
+        let mut bytes = [0u8; 64];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let line = CacheLine::from_bytes(bytes);
+        assert_eq!(line.u32_word(0), u32::from_le_bytes([0, 1, 2, 3]));
+        assert_eq!(line.u16_word(1), u16::from_le_bytes([2, 3]));
+        assert_eq!(
+            line.u64_word(7),
+            u64::from_le_bytes([56, 57, 58, 59, 60, 61, 62, 63])
+        );
+    }
+
+    #[test]
+    fn from_words_roundtrip() {
+        let words: [u64; 8] = core::array::from_fn(|i| 0x0123_4567_89ab_cdef ^ (i as u64) << 40);
+        let line = CacheLine::from_u64_words(&words);
+        let back: Vec<u64> = line.u64_words().collect();
+        assert_eq!(back, words);
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(CacheLine::zeroed().is_zero());
+        let line = CacheLine::zeroed().with_u64_at(8, 1);
+        assert!(!line.is_zero());
+    }
+
+    #[test]
+    fn with_u64_at_clamps_offset() {
+        let line = CacheLine::zeroed().with_u64_at(1000, 0xdead_beef);
+        assert_eq!(line.u64_word(7), 0xdead_beef);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = format!("{:?}", CacheLine::zeroed());
+        assert!(s.contains("CacheLine"));
+    }
+}

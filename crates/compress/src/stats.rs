@@ -1,0 +1,154 @@
+//! Aggregate compressibility statistics.
+
+use crate::{SegmentCount, SEGMENTS_PER_LINE};
+use core::fmt;
+
+/// A histogram of compressed line sizes, used to classify workloads as
+/// compression-friendly (mean compressed size ≤ 75% of uncompressed; the
+/// paper's friendly set averages ≈ 50%).
+///
+/// # Examples
+///
+/// ```
+/// use bv_compress::{CompressionStats, SegmentCount};
+///
+/// let mut stats = CompressionStats::new();
+/// stats.record(SegmentCount::new(8));
+/// stats.record(SegmentCount::new(16));
+/// assert_eq!(stats.lines(), 2);
+/// assert!((stats.mean_ratio() - 0.75).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CompressionStats {
+    histogram: [u64; SEGMENTS_PER_LINE],
+}
+
+impl CompressionStats {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> CompressionStats {
+        CompressionStats::default()
+    }
+
+    /// Records one compressed line.
+    pub fn record(&mut self, size: SegmentCount) {
+        self.histogram[size.get() as usize - 1] += 1;
+    }
+
+    /// Total lines recorded.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.histogram.iter().sum()
+    }
+
+    /// Lines recorded with exactly `size` segments.
+    #[must_use]
+    pub fn count(&self, size: SegmentCount) -> u64 {
+        self.histogram[size.get() as usize - 1]
+    }
+
+    /// Mean compressed size as a fraction of the uncompressed size
+    /// (1.0 = incompressible). Returns 1.0 when empty.
+    #[must_use]
+    pub fn mean_ratio(&self) -> f64 {
+        let lines = self.lines();
+        if lines == 0 {
+            return 1.0;
+        }
+        let total_segments: u64 = self
+            .histogram
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (i as u64 + 1) * n)
+            .sum();
+        total_segments as f64 / (lines as f64 * SEGMENTS_PER_LINE as f64)
+    }
+
+    /// Fraction of lines that compressed to at most half a line.
+    #[must_use]
+    pub fn half_line_fraction(&self) -> f64 {
+        let lines = self.lines();
+        if lines == 0 {
+            return 0.0;
+        }
+        let half: u64 = self.histogram[..SEGMENTS_PER_LINE / 2].iter().sum();
+        half as f64 / lines as f64
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &CompressionStats) {
+        for (a, b) in self.histogram.iter_mut().zip(other.histogram.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Histogram-wise difference `self - snapshot`, for excluding warmup
+    /// from measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshot` has more lines in any bucket.
+    #[must_use]
+    pub fn since(&self, snapshot: &CompressionStats) -> CompressionStats {
+        let mut out = CompressionStats::new();
+        for (i, slot) in out.histogram.iter_mut().enumerate() {
+            *slot = self.histogram[i] - snapshot.histogram[i];
+        }
+        out
+    }
+}
+
+impl fmt::Display for CompressionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} lines, mean size {:.1}% of uncompressed",
+            self.lines(),
+            self.mean_ratio() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_report_incompressible() {
+        let stats = CompressionStats::new();
+        assert_eq!(stats.lines(), 0);
+        assert_eq!(stats.mean_ratio(), 1.0);
+        assert_eq!(stats.half_line_fraction(), 0.0);
+    }
+
+    #[test]
+    fn mean_ratio_weighted_by_counts() {
+        let mut stats = CompressionStats::new();
+        for _ in 0..3 {
+            stats.record(SegmentCount::new(4)); // 25%
+        }
+        stats.record(SegmentCount::new(16)); // 100%
+        let expected = (3.0 * 4.0 + 16.0) / (4.0 * 16.0);
+        assert!((stats.mean_ratio() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_line_fraction_counts_boundary() {
+        let mut stats = CompressionStats::new();
+        stats.record(SegmentCount::new(8)); // exactly half counts
+        stats.record(SegmentCount::new(9)); // just over half does not
+        assert!((stats.half_line_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_histograms() {
+        let mut a = CompressionStats::new();
+        a.record(SegmentCount::new(1));
+        let mut b = CompressionStats::new();
+        b.record(SegmentCount::new(1));
+        b.record(SegmentCount::new(16));
+        a.merge(&b);
+        assert_eq!(a.lines(), 3);
+        assert_eq!(a.count(SegmentCount::new(1)), 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Trivial compressors used as experimental controls.
+
+use crate::line::CacheLine;
+use crate::{Compressed, Compressor, SegmentCount};
+
+/// A compressor that only detects all-zero lines (a Zero-Content-Cache-style
+/// control; see Dusser et al., ICS 2009, discussed in the paper's related
+/// work). Everything else is stored verbatim.
+///
+/// # Examples
+///
+/// ```
+/// use bv_compress::{CacheLine, Compressor, ZeroOnly};
+///
+/// let z = ZeroOnly::new();
+/// assert_eq!(z.compressed_size(&CacheLine::zeroed()).get(), 1);
+/// let line = CacheLine::from_u32_words(&[5; 16]);
+/// assert!(z.compressed_size(&line).is_full_line());
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ZeroOnly {
+    _private: (),
+}
+
+impl ZeroOnly {
+    /// Creates a zero-detection-only compressor.
+    #[must_use]
+    pub fn new() -> ZeroOnly {
+        ZeroOnly::default()
+    }
+}
+
+impl Compressor for ZeroOnly {
+    fn name(&self) -> &'static str {
+        "zero-only"
+    }
+
+    fn compress(&self, line: &CacheLine) -> Compressed {
+        if line.is_zero() {
+            Compressed::new(self.name(), SegmentCount::MIN, Vec::new())
+        } else {
+            Compressed::new(self.name(), SegmentCount::FULL, line.as_bytes().to_vec())
+        }
+    }
+
+    fn decompress(&self, compressed: &Compressed) -> CacheLine {
+        assert_eq!(compressed.algorithm(), self.name());
+        if compressed.payload().is_empty() {
+            CacheLine::zeroed()
+        } else {
+            CacheLine::from_bytes(
+                compressed
+                    .payload()
+                    .try_into()
+                    .expect("verbatim 64-byte payload"),
+            )
+        }
+    }
+
+    fn compressed_size(&self, line: &CacheLine) -> SegmentCount {
+        if line.is_zero() {
+            SegmentCount::MIN
+        } else {
+            SegmentCount::FULL
+        }
+    }
+}
+
+/// A compressor that never compresses. Used to make a compressed-cache
+/// organization degenerate to its uncompressed baseline in differential
+/// tests.
+///
+/// # Examples
+///
+/// ```
+/// use bv_compress::{CacheLine, Compressor, NullCompressor};
+///
+/// let n = NullCompressor::new();
+/// assert!(n.compressed_size(&CacheLine::zeroed()).is_full_line());
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullCompressor {
+    _private: (),
+}
+
+impl NullCompressor {
+    /// Creates the identity (non-)compressor.
+    #[must_use]
+    pub fn new() -> NullCompressor {
+        NullCompressor::default()
+    }
+}
+
+impl Compressor for NullCompressor {
+    fn name(&self) -> &'static str {
+        "null"
+    }
+
+    fn compress(&self, line: &CacheLine) -> Compressed {
+        Compressed::new(self.name(), SegmentCount::FULL, line.as_bytes().to_vec())
+    }
+
+    fn decompress(&self, compressed: &Compressed) -> CacheLine {
+        assert_eq!(compressed.algorithm(), self.name());
+        CacheLine::from_bytes(
+            compressed
+                .payload()
+                .try_into()
+                .expect("verbatim 64-byte payload"),
+        )
+    }
+
+    fn compressed_size(&self, _line: &CacheLine) -> SegmentCount {
+        SegmentCount::FULL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_only_roundtrips_both_cases() {
+        let z = ZeroOnly::new();
+        for line in [CacheLine::zeroed(), CacheLine::from_u32_words(&[9; 16])] {
+            let c = z.compress(&line);
+            assert_eq!(z.decompress(&c), line);
+        }
+    }
+
+    #[test]
+    fn null_compressor_is_identity() {
+        let n = NullCompressor::new();
+        let line = CacheLine::from_u64_words(&core::array::from_fn(|i| i as u64 * 3));
+        let c = n.compress(&line);
+        assert!(c.segments().is_full_line());
+        assert_eq!(n.decompress(&c), line);
+    }
+}

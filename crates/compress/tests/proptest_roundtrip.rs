@@ -1,0 +1,94 @@
+//! Property-based tests: every compressor must be lossless on arbitrary
+//! 64-byte lines and on lines drawn from realistic value distributions.
+
+use bv_compress::{Bdi, CPack, CacheLine, Compressor, Fpc, NullCompressor, SegmentCount, ZeroOnly};
+use proptest::prelude::*;
+
+fn compressors() -> Vec<Box<dyn Compressor>> {
+    vec![
+        Box::new(Bdi::new()),
+        Box::new(Fpc::new()),
+        Box::new(CPack::new()),
+        Box::new(ZeroOnly::new()),
+        Box::new(NullCompressor::new()),
+    ]
+}
+
+/// Arbitrary raw lines.
+fn any_line() -> impl Strategy<Value = CacheLine> {
+    prop::array::uniform32(any::<u16>()).prop_map(|halves| {
+        let mut bytes = [0u8; 64];
+        for (i, h) in halves.iter().enumerate() {
+            bytes[i * 2..i * 2 + 2].copy_from_slice(&h.to_le_bytes());
+        }
+        CacheLine::from_bytes(bytes)
+    })
+}
+
+/// Lines that look like real program data: a base pointer/int plus small
+/// deltas, with occasional zero elements.
+fn structured_line() -> impl Strategy<Value = CacheLine> {
+    (
+        any::<u64>(),
+        prop::array::uniform8(-128i64..128),
+        prop::array::uniform8(any::<bool>()),
+    )
+        .prop_map(|(base, deltas, zeros)| {
+            let mut words = [0u64; 8];
+            for i in 0..8 {
+                words[i] = if zeros[i] {
+                    0
+                } else {
+                    base.wrapping_add(deltas[i] as u64)
+                };
+            }
+            CacheLine::from_u64_words(&words)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn roundtrip_arbitrary_lines(line in any_line()) {
+        for c in compressors() {
+            let compressed = c.compress(&line);
+            prop_assert_eq!(
+                c.decompress(&compressed), line,
+                "algorithm {} not lossless", c.name()
+            );
+            prop_assert!(compressed.segments() <= SegmentCount::FULL);
+            prop_assert_eq!(compressed.segments(), c.compressed_size(&line));
+        }
+    }
+
+    #[test]
+    fn roundtrip_structured_lines(line in structured_line()) {
+        for c in compressors() {
+            let compressed = c.compress(&line);
+            prop_assert_eq!(c.decompress(&compressed), line);
+        }
+    }
+
+    #[test]
+    fn bdi_compresses_structured_data(line in structured_line()) {
+        // BDI is designed for base+delta data: structured lines with at most
+        // one non-zero base cluster must compress below a full line.
+        let bdi = Bdi::new();
+        prop_assert!(bdi.compressed_size(&line).get() <= 16);
+    }
+
+    #[test]
+    fn zero_only_agrees_with_is_zero(line in any_line()) {
+        let z = ZeroOnly::new();
+        let size = z.compressed_size(&line);
+        prop_assert_eq!(size == SegmentCount::MIN, line.is_zero());
+    }
+
+    #[test]
+    fn sizes_are_deterministic(line in any_line()) {
+        for c in compressors() {
+            prop_assert_eq!(c.compressed_size(&line), c.compressed_size(&line));
+        }
+    }
+}

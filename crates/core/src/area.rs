@@ -1,0 +1,152 @@
+//! Area-overhead model (Section IV.C of the paper).
+//!
+//! The paper computes the cost of doubling tags analytically: for a 2 MB
+//! 16-way cache with 48-bit physical addresses, each way stores 64 B of
+//! data, a 31-bit address tag, and one byte of metadata. Opportunistic
+//! compression adds a second 31-bit tag plus 9 metadata bits (two 4-bit
+//! size fields and a victim valid bit), i.e. 40 extra bits against the
+//! original 39-bit tag+metadata and 512-bit data — a 7.3% overhead — and
+//! the BDI compression/decompression logic adds another 1.2% (estimate
+//! from the DCC paper), for 8.5% total.
+
+/// Parameters of the area model.
+///
+/// # Examples
+///
+/// ```
+/// use bv_core::area::AreaModel;
+///
+/// let paper = AreaModel::paper_default();
+/// assert!((paper.tag_overhead_fraction() - 0.073).abs() < 0.002);
+/// assert!((paper.total_overhead_fraction() - 0.085).abs() < 0.002);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AreaModel {
+    /// Physical address width in bits.
+    pub address_bits: u32,
+    /// Cache capacity in bytes.
+    pub cache_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Per-way metadata bits in the baseline (replacement, coherence,
+    /// tracking — "an additional byte" in the paper).
+    pub baseline_metadata_bits: u32,
+    /// Size-field bits per tag (4 bits to align at 4-byte boundaries).
+    pub size_bits: u32,
+    /// Compression/decompression logic area as a fraction of cache area
+    /// (1.2%, scaled from the DCC paper).
+    pub logic_fraction: f64,
+}
+
+impl AreaModel {
+    /// The paper's configuration: 2 MB, 16-way, 64 B lines, 48-bit
+    /// addresses.
+    #[must_use]
+    pub fn paper_default() -> AreaModel {
+        AreaModel {
+            address_bits: 48,
+            cache_bytes: 2 * 1024 * 1024,
+            ways: 16,
+            line_bytes: 64,
+            baseline_metadata_bits: 8,
+            size_bits: 4,
+            logic_fraction: 0.012,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    #[must_use]
+    pub fn sets(&self) -> u64 {
+        self.cache_bytes / (u64::from(self.ways) * u64::from(self.line_bytes))
+    }
+
+    /// Set-index bits.
+    #[must_use]
+    pub fn index_bits(&self) -> u32 {
+        self.sets().trailing_zeros()
+    }
+
+    /// Line-offset bits.
+    #[must_use]
+    pub fn offset_bits(&self) -> u32 {
+        self.line_bytes.trailing_zeros()
+    }
+
+    /// Address-tag width: address bits minus index and offset bits
+    /// (31 for the paper's 2 MB configuration).
+    #[must_use]
+    pub fn tag_bits(&self) -> u32 {
+        self.address_bits - self.index_bits() - self.offset_bits()
+    }
+
+    /// Bits added per physical way by opportunistic compression: one more
+    /// address tag, two size fields, and a victim valid bit.
+    #[must_use]
+    pub fn added_bits_per_way(&self) -> u32 {
+        self.tag_bits() + 2 * self.size_bits + 1
+    }
+
+    /// Baseline bits per way: tag + metadata + data.
+    #[must_use]
+    pub fn baseline_bits_per_way(&self) -> u32 {
+        self.tag_bits() + self.baseline_metadata_bits + self.line_bytes * 8
+    }
+
+    /// Tag-array overhead as a fraction of the original tag + data array.
+    ///
+    /// The paper folds the baseline metadata byte out of the denominator
+    /// ("40b/(39b+512b) = 7.3%"), so we do the same.
+    #[must_use]
+    pub fn tag_overhead_fraction(&self) -> f64 {
+        let added = f64::from(self.added_bits_per_way());
+        let base = f64::from(self.tag_bits() + self.size_bits * 2) + f64::from(self.line_bytes * 8);
+        added / base
+    }
+
+    /// Total overhead including compression/decompression logic (8.5% for
+    /// the paper's configuration).
+    #[must_use]
+    pub fn total_overhead_fraction(&self) -> f64 {
+        self.tag_overhead_fraction() + self.logic_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_tag_width_is_31_bits() {
+        let m = AreaModel::paper_default();
+        // 48 address bits - 11 index bits - 6 offset bits = 31.
+        assert_eq!(m.index_bits(), 11);
+        assert_eq!(m.offset_bits(), 6);
+        assert_eq!(m.tag_bits(), 31);
+    }
+
+    #[test]
+    fn paper_adds_40_bits_per_way() {
+        let m = AreaModel::paper_default();
+        // 31-bit tag + 2x4 size bits + 1 valid bit = 40.
+        assert_eq!(m.added_bits_per_way(), 40);
+    }
+
+    #[test]
+    fn overhead_fractions_match_section_4c() {
+        let m = AreaModel::paper_default();
+        // 40 / (39 + 512) = 7.26% ≈ 7.3%.
+        assert!((m.tag_overhead_fraction() - 40.0 / 551.0).abs() < 1e-12);
+        assert!((m.total_overhead_fraction() - (40.0 / 551.0 + 0.012)).abs() < 1e-12);
+        assert!((m.total_overhead_fraction() - 0.085).abs() < 0.002);
+    }
+
+    #[test]
+    fn bigger_caches_have_smaller_tags() {
+        let mut m = AreaModel::paper_default();
+        m.cache_bytes = 4 * 1024 * 1024;
+        assert_eq!(m.tag_bits(), 30);
+        assert!(m.tag_overhead_fraction() < AreaModel::paper_default().tag_overhead_fraction());
+    }
+}

@@ -1,0 +1,1088 @@
+//! The Base-Victim opportunistic compressed LLC (Section IV of the paper).
+//!
+//! Each physical way carries **two tags**: tag 0 forms the **Baseline
+//! cache**, tag 1 the **Victim cache**. The Baseline cache runs the
+//! unmodified baseline replacement policy and therefore holds, at every
+//! instant, exactly the lines an uncompressed cache would hold — this is
+//! the architecture's hit-rate guarantee, enforced here and verified by
+//! differential tests. Lines displaced from the Baseline cache are written
+//! back if dirty (making them clean), then *opportunistically* parked in
+//! the Victim cache of any way whose base line leaves enough free
+//! segments. Victim lines are always clean, so they can be dropped
+//! silently at any time: at most one memory writeback ever happens per
+//! fill.
+
+use crate::slot::Slot;
+use crate::victim_policy::{VictimCandidate, VictimPolicyKind};
+use crate::{Effects, HitKind, InclusionAgent, LlcOrganization, LlcStats, OpOutcome, ReadOutcome};
+use bv_cache::{CacheGeometry, LineAddr, PolicyKind, ReplacementPolicy};
+use bv_compress::{Bdi, CacheLine, CompressionStats, Compressor, SegmentCount, SEGMENTS_PER_LINE};
+
+/// Whether the LLC maintains inclusion with the core caches.
+///
+/// The paper's primary design is inclusive (Section IV.B): victim lines
+/// are always clean, inner copies are back-invalidated before a line
+/// enters the Victim cache, and at most one writeback happens per fill.
+/// Section IV.B.3 sketches the non-inclusive variant: victim lines may be
+/// dirty (saving writeback traffic), no back-invalidations are sent, and
+/// a write that hits the Victim cache promotes the line like a read hit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub enum InclusionMode {
+    /// Inclusive hierarchy with an always-clean Victim cache (default).
+    #[default]
+    Inclusive,
+    /// Non-inclusive hierarchy; Victim-cache lines may be dirty.
+    NonInclusive,
+}
+
+/// A clean line displaced from the Baseline cache, awaiting opportunistic
+/// insertion into the Victim cache.
+#[derive(Clone, Copy, Debug)]
+struct DisplacedLine {
+    tag: u64,
+    data: CacheLine,
+    size: SegmentCount,
+    /// Only ever `true` in non-inclusive mode, where dirty lines may park
+    /// in the Victim cache instead of being written back eagerly.
+    dirty: bool,
+}
+
+/// The Base-Victim opportunistic compressed LLC.
+///
+/// # Examples
+///
+/// ```
+/// use bv_cache::{CacheGeometry, LineAddr, PolicyKind};
+/// use bv_compress::CacheLine;
+/// use bv_core::{BaseVictimLlc, LlcOrganization, NoInner, VictimPolicyKind};
+///
+/// let geom = CacheGeometry::new(2 * 1024 * 1024, 16, 64);
+/// let mut llc = BaseVictimLlc::new(geom, PolicyKind::Nru, VictimPolicyKind::EcmLargestBase);
+/// let mut inner = NoInner;
+///
+/// llc.fill(LineAddr::new(1), CacheLine::zeroed(), &mut inner);
+/// assert!(llc.read(LineAddr::new(1), &mut inner).is_hit());
+/// ```
+pub struct BaseVictimLlc {
+    geom: CacheGeometry,
+    base: Vec<Slot>,
+    victim: Vec<Slot>,
+    /// Insertion sequence numbers for victim slots (LruFit variant).
+    victim_birth: Vec<u64>,
+    policy: Box<dyn ReplacementPolicy>,
+    victim_kind: VictimPolicyKind,
+    stats: LlcStats,
+    compression: CompressionStats,
+    compressor: Box<dyn Compressor>,
+    mode: InclusionMode,
+    clock: u64,
+    rng: u64,
+}
+
+impl core::fmt::Debug for BaseVictimLlc {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("BaseVictimLlc")
+            .field("geom", &self.geom)
+            .field("victim_kind", &self.victim_kind)
+            .field("mode", &self.mode)
+            .field("compressor", &self.compressor.name())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BaseVictimLlc {
+    /// Creates an empty Base-Victim LLC over the given *physical* geometry
+    /// (`geom.ways()` data ways per set, each carrying two tags).
+    #[must_use]
+    pub fn new(
+        geom: CacheGeometry,
+        policy: PolicyKind,
+        victim_kind: VictimPolicyKind,
+    ) -> BaseVictimLlc {
+        BaseVictimLlc::with_compressor(
+            geom,
+            policy,
+            victim_kind,
+            InclusionMode::Inclusive,
+            Box::new(Bdi::new()),
+        )
+    }
+
+    /// Creates the non-inclusive variant of Section IV.B.3: victim lines
+    /// may be dirty (saving writebacks), and writes that hit the Victim
+    /// cache promote the line instead of being a protocol violation.
+    #[must_use]
+    pub fn new_non_inclusive(
+        geom: CacheGeometry,
+        policy: PolicyKind,
+        victim_kind: VictimPolicyKind,
+    ) -> BaseVictimLlc {
+        BaseVictimLlc::with_compressor(
+            geom,
+            policy,
+            victim_kind,
+            InclusionMode::NonInclusive,
+            Box::new(Bdi::new()),
+        )
+    }
+
+    /// Creates a Base-Victim LLC with an explicit inclusion mode and
+    /// compression algorithm (the paper uses BDI; FPC and C-Pack plug in
+    /// here for ablation studies).
+    #[must_use]
+    pub fn with_compressor(
+        geom: CacheGeometry,
+        policy: PolicyKind,
+        victim_kind: VictimPolicyKind,
+        mode: InclusionMode,
+        compressor: Box<dyn Compressor>,
+    ) -> BaseVictimLlc {
+        let sets = geom.sets();
+        let ways = geom.ways();
+        BaseVictimLlc {
+            geom,
+            base: vec![Slot::empty(); sets * ways],
+            victim: vec![Slot::empty(); sets * ways],
+            victim_birth: vec![0; sets * ways],
+            policy: policy.build(sets, ways),
+            victim_kind,
+            stats: LlcStats::default(),
+            compression: CompressionStats::default(),
+            compressor,
+            mode,
+            clock: 0,
+            rng: 0x1234_5678_9abc_def1,
+        }
+    }
+
+    /// The inclusion mode in use.
+    #[must_use]
+    pub fn inclusion_mode(&self) -> InclusionMode {
+        self.mode
+    }
+
+    /// The victim-cache insertion policy in use.
+    #[must_use]
+    pub fn victim_policy(&self) -> VictimPolicyKind {
+        self.victim_kind
+    }
+
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.geom.ways() + way
+    }
+
+    fn find_base(&self, addr: LineAddr) -> Option<(usize, usize)> {
+        let set = self.geom.set_index(addr.get());
+        let tag = self.geom.tag(addr.get());
+        (0..self.geom.ways())
+            .find(|&w| {
+                let s = &self.base[self.idx(set, w)];
+                s.valid && s.tag == tag
+            })
+            .map(|w| (set, w))
+    }
+
+    fn find_victim(&self, addr: LineAddr) -> Option<(usize, usize)> {
+        let set = self.geom.set_index(addr.get());
+        let tag = self.geom.tag(addr.get());
+        (0..self.geom.ways())
+            .find(|&w| {
+                let s = &self.victim[self.idx(set, w)];
+                s.valid && s.tag == tag
+            })
+            .map(|w| (set, w))
+    }
+
+    fn next_rng(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Displaces the base occupant of `(set, way)`, if any.
+    ///
+    /// Inclusive mode: back-invalidates inner copies and writes dirty data
+    /// to memory, returning a clean line for opportunistic victim
+    /// insertion (Section IV.B). Non-inclusive mode: no back-invalidation,
+    /// and the line keeps its dirty bit — it may park dirty in the Victim
+    /// cache (Section IV.B.3).
+    fn displace_base(
+        &mut self,
+        set: usize,
+        way: usize,
+        inner: &mut dyn InclusionAgent,
+        effects: &mut Effects,
+    ) -> Option<DisplacedLine> {
+        let i = self.idx(set, way);
+        if !self.base[i].valid {
+            return None;
+        }
+        let slot = self.base[i];
+        let addr = slot.addr(&self.geom, set);
+        if self.mode == InclusionMode::NonInclusive {
+            self.base[i].clear();
+            return Some(DisplacedLine {
+                tag: slot.tag,
+                data: slot.data,
+                size: slot.size,
+                dirty: slot.dirty,
+            });
+        }
+        effects.back_invalidations += 1;
+        let inner_dirty = inner.back_invalidate(addr);
+        let (data, dirty) = match inner_dirty {
+            Some(fresh) => (fresh, true),
+            None => (slot.data, slot.dirty),
+        };
+        if dirty {
+            effects.memory_writes += 1;
+        }
+        let size = if inner_dirty.is_some() {
+            self.compressor.compressed_size(&data)
+        } else {
+            slot.size
+        };
+        self.base[i].clear();
+        Some(DisplacedLine {
+            tag: slot.tag,
+            data,
+            size,
+            dirty: false,
+        })
+    }
+
+    /// Opportunistically inserts a clean displaced line into the Victim
+    /// cache of `set`. Silently drops the previous occupant of the chosen
+    /// way. Counts one migration on success.
+    fn insert_victim(&mut self, set: usize, line: DisplacedLine, effects: &mut Effects) {
+        let ways = self.geom.ways();
+        let mut candidates = Vec::with_capacity(ways);
+        for w in 0..ways {
+            let base = &self.base[self.idx(set, w)];
+            let used = if base.valid {
+                base.size.get() as usize
+            } else {
+                0
+            };
+            if used + line.size.get() as usize <= SEGMENTS_PER_LINE {
+                let vslot = &self.victim[self.idx(set, w)];
+                candidates.push(VictimCandidate {
+                    way: w,
+                    base_size: if base.valid {
+                        base.size
+                    } else {
+                        SegmentCount::MIN
+                    },
+                    occupied: vslot.valid,
+                    occupant_age: if vslot.valid {
+                        self.clock - self.victim_birth[self.idx(set, w)]
+                    } else {
+                        0
+                    },
+                });
+            }
+        }
+        let draw = self.next_rng();
+        match self.victim_kind.choose(&candidates, draw) {
+            Some(c) => {
+                let i = self.idx(set, c.way);
+                // Inclusive: the previous occupant is clean — silent drop.
+                // Non-inclusive: a dirty occupant must be written back.
+                if self.victim[i].valid && self.victim[i].dirty {
+                    debug_assert_eq!(self.mode, InclusionMode::NonInclusive);
+                    effects.memory_writes += 1;
+                }
+                self.victim[i] = Slot {
+                    valid: true,
+                    tag: line.tag,
+                    dirty: line.dirty,
+                    data: line.data,
+                    size: line.size,
+                };
+                self.clock += 1;
+                self.victim_birth[i] = self.clock;
+                effects.migrations += 1;
+                self.stats.victim_inserts += 1;
+            }
+            None => {
+                // No fitting way: the line leaves the LLC entirely. In
+                // inclusive mode it is already clean; in non-inclusive
+                // mode a dirty line is written back now.
+                if line.dirty {
+                    debug_assert_eq!(self.mode, InclusionMode::NonInclusive);
+                    effects.memory_writes += 1;
+                }
+                self.stats.victim_insert_failures += 1;
+            }
+        }
+    }
+
+    /// Drops the victim partner of `(set, way)` if it no longer fits with
+    /// a base line of `base_size`.
+    fn enforce_pairing(
+        &mut self,
+        set: usize,
+        way: usize,
+        base_size: SegmentCount,
+        effects: &mut Effects,
+    ) {
+        let i = self.idx(set, way);
+        let v = &self.victim[i];
+        if v.valid && !base_size.fits_with(v.size) {
+            // Inclusive: victim lines are clean, so this drop is silent.
+            // Non-inclusive: a dirty victim pays a writeback here.
+            if v.dirty {
+                debug_assert_eq!(self.mode, InclusionMode::NonInclusive);
+                effects.memory_writes += 1;
+            }
+            self.victim[i].clear();
+            effects.partner_evictions += 1;
+        }
+    }
+
+    /// Common install path for demand fills, prefetch fills, and victim
+    /// promotions: displace the baseline victim, install the incoming
+    /// line, enforce pairing, and re-insert the displaced line.
+    #[allow(clippy::too_many_arguments)] // one argument per tag-metadata field
+    fn install_base(
+        &mut self,
+        set: usize,
+        tag: u64,
+        data: CacheLine,
+        size: SegmentCount,
+        dirty: bool,
+        inner: &mut dyn InclusionAgent,
+        effects: &mut Effects,
+    ) {
+        let ways = self.geom.ways();
+        let way = (0..ways)
+            .find(|&w| !self.base[self.idx(set, w)].valid)
+            .unwrap_or_else(|| self.policy.victim(set));
+
+        let displaced = self.displace_base(set, way, inner, effects);
+
+        // Keep the victim partner only if it fits with the incoming line.
+        self.enforce_pairing(set, way, size, effects);
+
+        let i = self.idx(set, way);
+        self.base[i] = Slot {
+            valid: true,
+            tag,
+            dirty,
+            data,
+            size,
+        };
+        // Size-aware policies (CAMP) receive the compressed size; others
+        // ignore it. The uncompressed mirror passes identical sizes, so
+        // the mirror property is preserved.
+        self.policy.on_fill_sized(set, way, size);
+
+        if let Some(line) = displaced {
+            self.insert_victim(set, line, effects);
+        }
+    }
+
+    /// Verifies the architecture's structural invariants; used by tests
+    /// and debug builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated: a dirty victim line, a
+    /// base/victim pair exceeding the physical way capacity, or a line
+    /// resident in both caches of a set.
+    pub fn assert_invariants(&self) {
+        let ways = self.geom.ways();
+        for set in 0..self.geom.sets() {
+            for w in 0..ways {
+                let b = &self.base[self.idx(set, w)];
+                let v = &self.victim[self.idx(set, w)];
+                if self.mode == InclusionMode::Inclusive {
+                    assert!(
+                        !v.valid || !v.dirty,
+                        "dirty victim line in set {set} way {w}"
+                    );
+                }
+                if b.valid && v.valid {
+                    assert!(
+                        b.size.fits_with(v.size),
+                        "pair overflow in set {set} way {w}: {} + {}",
+                        b.size,
+                        v.size
+                    );
+                }
+            }
+            // No address may be resident twice within a set.
+            let mut tags: Vec<u64> = Vec::new();
+            for w in 0..ways {
+                for s in [&self.base[self.idx(set, w)], &self.victim[self.idx(set, w)]] {
+                    if s.valid {
+                        assert!(
+                            !tags.contains(&s.tag),
+                            "tag {:#x} duplicated in set {set}",
+                            s.tag
+                        );
+                        tags.push(s.tag);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Addresses currently resident in the Baseline cache only. The
+    /// differential test compares this against an
+    /// [`UncompressedLlc`](crate::UncompressedLlc) driven with the same
+    /// access stream.
+    #[must_use]
+    pub fn baseline_lines(&self) -> Vec<LineAddr> {
+        let ways = self.geom.ways();
+        self.base
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.valid)
+            .map(|(i, s)| s.addr(&self.geom, i / ways))
+            .collect()
+    }
+
+    /// Addresses currently resident in the Victim cache only.
+    #[must_use]
+    pub fn victim_lines(&self) -> Vec<LineAddr> {
+        let ways = self.geom.ways();
+        self.victim
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.valid)
+            .map(|(i, s)| s.addr(&self.geom, i / ways))
+            .collect()
+    }
+}
+
+impl LlcOrganization for BaseVictimLlc {
+    fn name(&self) -> &'static str {
+        "base-victim"
+    }
+
+    fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    fn contains(&self, addr: LineAddr) -> bool {
+        self.find_base(addr).is_some() || self.find_victim(addr).is_some()
+    }
+
+    fn read(&mut self, addr: LineAddr, inner: &mut dyn InclusionAgent) -> ReadOutcome {
+        let mut effects = Effects::default();
+
+        if let Some((set, way)) = self.find_base(addr) {
+            self.policy.on_hit(set, way);
+            self.stats.base_hits += 1;
+            let size = self.base[self.idx(set, way)].size;
+            return ReadOutcome {
+                kind: HitKind::Base(size),
+                effects,
+            };
+        }
+
+        if let Some((set, vway)) = self.find_victim(addr) {
+            // Victim hit (Section IV.B.2): promote to the Baseline cache.
+            // The Baseline policy sees exactly what the uncompressed cache
+            // would: a miss, then a fill.
+            self.policy.on_miss(set);
+            let i = self.idx(set, vway);
+            let promoted = self.victim[i];
+            debug_assert!(
+                !promoted.dirty || self.mode == InclusionMode::NonInclusive,
+                "inclusive victim lines must be clean"
+            );
+            self.victim[i].clear();
+            effects.migrations += 1; // victim way -> base way data movement
+
+            self.install_base(
+                set,
+                promoted.tag,
+                promoted.data,
+                promoted.size,
+                promoted.dirty,
+                inner,
+                &mut effects,
+            );
+
+            self.stats.victim_hits += 1;
+            self.stats.absorb_effects(effects);
+            return ReadOutcome {
+                kind: HitKind::Victim(promoted.size),
+                effects,
+            };
+        }
+
+        let set = self.geom.set_index(addr.get());
+        self.policy.on_miss(set);
+        self.stats.read_misses += 1;
+        ReadOutcome {
+            kind: HitKind::Miss,
+            effects,
+        }
+    }
+
+    fn writeback(
+        &mut self,
+        addr: LineAddr,
+        data: CacheLine,
+        inner: &mut dyn InclusionAgent,
+    ) -> OpOutcome {
+        let mut effects = Effects::default();
+        if let Some((set, way)) = self.find_base(addr) {
+            // Write hit to the Baseline cache (Section IV.B.5): recompress;
+            // if the line grew past its partner's space, silently evict the
+            // partner, even if it was the victim set's MRU line.
+            let new_size = self.compressor.compressed_size(&data);
+            self.compression.record(new_size);
+            let i = self.idx(set, way);
+            self.base[i].data = data;
+            self.base[i].dirty = true;
+            self.base[i].size = new_size;
+            self.enforce_pairing(set, way, new_size, &mut effects);
+            self.stats.writeback_hits += 1;
+            self.stats.absorb_effects(effects);
+            return OpOutcome { effects };
+        }
+        if let Some((set, vway)) = self.find_victim(addr) {
+            match self.mode {
+                InclusionMode::Inclusive => {
+                    // Section IV.B.3: "This case will not occur for
+                    // inclusive caches" — victim insertion back-invalidated
+                    // all inner copies, so the L2 cannot hold (let alone
+                    // dirty) this line.
+                    panic!("write hit to Victim cache is impossible under inclusion ({addr:?})");
+                }
+                InclusionMode::NonInclusive => {
+                    // Section IV.B.3: handled exactly like a Victim-cache
+                    // read hit, except the line is recompressed with the
+                    // written data before promotion.
+                    let i = self.idx(set, vway);
+                    let promoted = self.victim[i];
+                    self.victim[i].clear();
+                    effects.migrations += 1;
+                    let new_size = self.compressor.compressed_size(&data);
+                    self.compression.record(new_size);
+                    self.install_base(set, promoted.tag, data, new_size, true, inner, &mut effects);
+                    self.stats.writeback_hits += 1;
+                    self.stats.absorb_effects(effects);
+                    return OpOutcome { effects };
+                }
+            }
+        }
+        if self.mode == InclusionMode::NonInclusive {
+            // Non-inclusive LLCs allocate on writeback: the line left the
+            // LLC earlier but the L2 still held it.
+            let set = self.geom.set_index(addr.get());
+            let tag = self.geom.tag(addr.get());
+            let size = self.compressor.compressed_size(&data);
+            self.compression.record(size);
+            self.install_base(set, tag, data, size, true, inner, &mut effects);
+            self.stats.writeback_hits += 1;
+            self.stats.absorb_effects(effects);
+            return OpOutcome { effects };
+        }
+        // Impossible under strict inclusion; forward to memory.
+        debug_assert!(false, "L2 writeback to non-resident LLC line {addr:?}");
+        self.stats.writeback_misses += 1;
+        self.stats.memory_writes += 1;
+        OpOutcome {
+            effects: Effects {
+                memory_writes: 1,
+                ..Effects::default()
+            },
+        }
+    }
+
+    fn fill(
+        &mut self,
+        addr: LineAddr,
+        data: CacheLine,
+        inner: &mut dyn InclusionAgent,
+    ) -> OpOutcome {
+        debug_assert!(!self.contains(addr), "fill of resident line {addr:?}");
+        let mut effects = Effects::default();
+        let set = self.geom.set_index(addr.get());
+        let tag = self.geom.tag(addr.get());
+        let size = self.compressor.compressed_size(&data);
+        self.compression.record(size);
+        self.install_base(set, tag, data, size, false, inner, &mut effects);
+        self.stats.demand_fills += 1;
+        self.stats.absorb_effects(effects);
+        OpOutcome { effects }
+    }
+
+    fn prefetch_fill(
+        &mut self,
+        addr: LineAddr,
+        data: CacheLine,
+        inner: &mut dyn InclusionAgent,
+    ) -> Option<OpOutcome> {
+        if self.find_base(addr).is_some() {
+            self.stats.prefetch_hits += 1;
+            return None;
+        }
+        if let Some((set, vway)) = self.find_victim(addr) {
+            // A prefetch that hits the Victim cache saves the memory read
+            // but must still promote the line: the uncompressed mirror
+            // would have installed it in the Baseline cache. The baseline
+            // policy sees exactly what the uncompressed prefetch fill
+            // would: a fill (no demand-miss event).
+            let mut effects = Effects::default();
+            let i = self.idx(set, vway);
+            let promoted = self.victim[i];
+            self.victim[i].clear();
+            effects.migrations += 1;
+            self.install_base(
+                set,
+                promoted.tag,
+                promoted.data,
+                promoted.size,
+                promoted.dirty,
+                inner,
+                &mut effects,
+            );
+            self.stats.prefetch_hits += 1;
+            self.stats.absorb_effects(effects);
+            return Some(OpOutcome { effects });
+        }
+        let mut effects = Effects::default();
+        let set = self.geom.set_index(addr.get());
+        let tag = self.geom.tag(addr.get());
+        let size = self.compressor.compressed_size(&data);
+        self.compression.record(size);
+        self.install_base(set, tag, data, size, false, inner, &mut effects);
+        self.stats.prefetch_fills += 1;
+        self.stats.absorb_effects(effects);
+        Some(OpOutcome { effects })
+    }
+
+    fn peek_data(&self, addr: LineAddr) -> Option<CacheLine> {
+        if let Some((set, way)) = self.find_base(addr) {
+            return Some(self.base[self.idx(set, way)].data);
+        }
+        let (set, way) = self.find_victim(addr)?;
+        Some(self.victim[self.idx(set, way)].data)
+    }
+
+    fn hint_downgrade(&mut self, addr: LineAddr) {
+        // Hints apply to the Baseline cache only — exactly what the
+        // uncompressed mirror would do. Victim-cache residency is never
+        // hinted (victim lines are invisible to the baseline policy).
+        if let Some((set, way)) = self.find_base(addr) {
+            self.policy.hint_downgrade(set, way);
+        }
+    }
+
+    fn stats(&self) -> &LlcStats {
+        &self.stats
+    }
+
+    fn compression_stats(&self) -> &CompressionStats {
+        &self.compression
+    }
+
+    fn tag_latency_penalty(&self) -> u32 {
+        1 // doubled tags (Section V: "an additional cycle for tag lookup")
+    }
+
+    fn decompression_latency(&self, size: SegmentCount) -> u32 {
+        self.compressor.decompression_latency(size, 2)
+    }
+
+    fn resident_lines(&self) -> Vec<LineAddr> {
+        let mut lines = self.baseline_lines();
+        lines.extend(self.victim_lines());
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NoInner;
+
+    /// Builds a line whose BDI size is exactly `segments` (for the sizes
+    /// BDI can produce: 1, 2, 5, 6, 7, 10, 11, 16).
+    fn line_with_segments(segments: u8) -> CacheLine {
+        let line = match segments {
+            1 => CacheLine::zeroed(),
+            2 => CacheLine::from_u64_words(&[0xdead_beef_f00d_0000; 8]),
+            // B8D1: 17 B.
+            5 => CacheLine::from_u64_words(&core::array::from_fn(|i| 0x7f00_0000_0000 + i as u64)),
+            // B4D1: 22 B.
+            6 => CacheLine::from_u32_words(&core::array::from_fn(|i| {
+                0x0100_0000 + (i as u32 % 5) * 8 + (i as u32 & 1)
+            })),
+            // B8D2: 25 B.
+            7 => CacheLine::from_u64_words(&core::array::from_fn(|i| {
+                0x7f00_0000_0000 + i as u64 * 300
+            })),
+            // B4D2: 38 B.
+            10 => {
+                CacheLine::from_u32_words(&core::array::from_fn(|i| 0x0100_0000 + i as u32 * 2000))
+            }
+            // B8D4: 41 B.
+            11 => CacheLine::from_u64_words(&core::array::from_fn(|i| {
+                0x7f00_0000_0000 + i as u64 * 1_000_000
+            })),
+            16 => CacheLine::from_u64_words(&core::array::from_fn(|i| {
+                (i as u64 + 1).wrapping_mul(0x0123_4567_89ab_cdef)
+            })),
+            other => panic!("no constructor for {other} segments"),
+        };
+        let got = Bdi::new().compressed_size(&line).get();
+        assert_eq!(got, segments, "constructor produced {got} segments");
+        line
+    }
+
+    /// A 4-set, 4-way toy cache, as in the paper's worked examples.
+    fn toy() -> BaseVictimLlc {
+        BaseVictimLlc::new(
+            CacheGeometry::new(1024, 4, 64),
+            PolicyKind::Lru,
+            VictimPolicyKind::EcmLargestBase,
+        )
+    }
+
+    fn addr(set: u64, k: u64) -> LineAddr {
+        LineAddr::new(set + 4 * k)
+    }
+
+    #[test]
+    fn fill_miss_hit_cycle() {
+        let mut c = toy();
+        let mut inner = NoInner;
+        let a = addr(0, 0);
+        assert_eq!(c.read(a, &mut inner).kind, HitKind::Miss);
+        c.fill(a, line_with_segments(5), &mut inner);
+        let out = c.read(a, &mut inner);
+        assert_eq!(out.kind, HitKind::Base(SegmentCount::new(5)));
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn displaced_line_parks_in_victim_cache() {
+        let mut c = toy();
+        let mut inner = NoInner;
+        // Fill 4 small lines into set 0; the 5th fill displaces the LRU
+        // line, which should be retained in the Victim cache.
+        for k in 0..4 {
+            c.fill(addr(0, k), line_with_segments(5), &mut inner);
+        }
+        c.fill(addr(0, 4), line_with_segments(5), &mut inner);
+        c.assert_invariants();
+        // addr(0,0) left the Baseline cache but is still resident.
+        assert!(!c.baseline_lines().contains(&addr(0, 0)));
+        assert!(c.victim_lines().contains(&addr(0, 0)));
+        assert_eq!(c.stats().victim_inserts, 1);
+
+        // Reading it is a victim hit, which promotes it back.
+        let out = c.read(addr(0, 0), &mut inner);
+        assert_eq!(out.kind, HitKind::Victim(SegmentCount::new(5)));
+        assert!(c.baseline_lines().contains(&addr(0, 0)));
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn incompressible_victims_are_dropped() {
+        let mut c = toy();
+        let mut inner = NoInner;
+        for k in 0..4 {
+            c.fill(addr(0, k), line_with_segments(16), &mut inner);
+        }
+        c.fill(addr(0, 4), line_with_segments(16), &mut inner);
+        // No way has 16 free segments: the displaced line is gone.
+        assert!(!c.contains(addr(0, 0)));
+        assert_eq!(c.stats().victim_insert_failures, 1);
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn victim_hit_promotion_mirrors_miss_plus_fill_for_the_policy() {
+        // After a victim hit, the baseline victim (LRU) must be the line an
+        // uncompressed cache would have evicted for this access.
+        let mut c = toy();
+        let mut inner = NoInner;
+        for k in 0..5 {
+            c.fill(addr(0, k), line_with_segments(5), &mut inner);
+        }
+        // Baseline: {1,2,3,4}; victim cache: {0}. LRU of baseline is 1.
+        let out = c.read(addr(0, 0), &mut inner);
+        assert!(matches!(out.kind, HitKind::Victim(_)));
+        assert!(
+            !c.baseline_lines().contains(&addr(0, 1)),
+            "LRU line displaced"
+        );
+        assert!(c.baseline_lines().contains(&addr(0, 0)), "promoted");
+        // The displaced LRU line itself parked in the victim cache.
+        assert!(c.victim_lines().contains(&addr(0, 1)));
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn dirty_baseline_victim_writes_back_exactly_once() {
+        let mut c = toy();
+        let mut inner = NoInner;
+        for k in 0..4 {
+            c.fill(addr(0, k), line_with_segments(5), &mut inner);
+        }
+        // Dirty the future victim via an L2 writeback (it stays 5 segments).
+        c.writeback(addr(0, 0), line_with_segments(5), &mut inner);
+        let out = c.fill(addr(0, 4), line_with_segments(5), &mut inner);
+        assert_eq!(
+            out.effects.memory_writes, 1,
+            "exactly one writeback per fill"
+        );
+        // The line is now clean and parked in the victim cache.
+        assert!(c.victim_lines().contains(&addr(0, 0)));
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn growing_write_evicts_victim_partner() {
+        let mut c = toy();
+        let mut inner = NoInner;
+        // Base line of 5 segments shares way with an 11-segment victim.
+        for k in 0..4 {
+            c.fill(addr(0, k), line_with_segments(11), &mut inner);
+        }
+        c.fill(addr(0, 4), line_with_segments(5), &mut inner);
+        // addr(0,0) (11 segs) parked with the 5-seg base in the same way.
+        assert!(c.victim_lines().contains(&addr(0, 0)));
+        // Rewrite the base line so it grows to 16 segments: partner must go.
+        c.writeback(addr(0, 4), line_with_segments(16), &mut inner);
+        assert!(!c.contains(addr(0, 0)), "grown line displaces its partner");
+        assert_eq!(c.stats().partner_evictions, 1);
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn fill_that_does_not_fit_partner_silently_evicts_it() {
+        let mut c = toy();
+        let mut inner = NoInner;
+        for k in 0..4 {
+            c.fill(addr(0, k), line_with_segments(11), &mut inner);
+        }
+        // Fill a 5-seg line: LRU (way 0) displaced, parked somewhere.
+        c.fill(addr(0, 4), line_with_segments(5), &mut inner);
+        let parked = c.victim_lines();
+        assert_eq!(parked, vec![addr(0, 0)]);
+        // Fill a 16-seg line: the victim partner of the chosen way cannot
+        // stay if it shares that way.
+        c.fill(addr(0, 5), line_with_segments(16), &mut inner);
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn paper_figure_5_scenario() {
+        // Reproduce the Victim-cache read-hit flow: E hits in the Victim
+        // cache, the LRU baseline line B is displaced, E takes its place,
+        // and B parks in the Victim cache.
+        let mut c = toy();
+        let mut inner = NoInner;
+        // Build baseline {A0..A3}, all 5 segments.
+        for k in 0..4 {
+            c.fill(addr(1, k), line_with_segments(5), &mut inner);
+        }
+        // Displace A0 into the victim cache with a new fill E'.
+        c.fill(addr(1, 9), line_with_segments(5), &mut inner);
+        assert!(c.victim_lines().contains(&addr(1, 0)));
+        // Touch everything but A1 so A1 is LRU.
+        for k in [2, 3, 9] {
+            assert!(c.read(addr(1, k), &mut inner).is_hit());
+        }
+        // Victim hit on A0: A1 (LRU) must be displaced and parked.
+        let out = c.read(addr(1, 0), &mut inner);
+        assert!(matches!(out.kind, HitKind::Victim(_)));
+        assert!(c.baseline_lines().contains(&addr(1, 0)));
+        assert!(!c.baseline_lines().contains(&addr(1, 1)));
+        assert!(c.victim_lines().contains(&addr(1, 1)));
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn back_invalidations_accompany_every_baseline_displacement() {
+        let mut c = toy();
+        let mut inner = NoInner;
+        for k in 0..4 {
+            c.fill(addr(2, k), line_with_segments(5), &mut inner);
+        }
+        let before = c.stats().back_invalidations;
+        c.fill(addr(2, 7), line_with_segments(5), &mut inner);
+        assert_eq!(c.stats().back_invalidations, before + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Victim cache is impossible")]
+    fn writeback_to_victim_line_panics() {
+        let mut c = toy();
+        let mut inner = NoInner;
+        for k in 0..5 {
+            c.fill(addr(0, k), line_with_segments(5), &mut inner);
+        }
+        // addr(0,0) is in the victim cache; an L2 writeback to it violates
+        // the inclusion protocol.
+        c.writeback(addr(0, 0), line_with_segments(5), &mut inner);
+    }
+
+    #[test]
+    fn zero_lines_have_no_decompression_latency() {
+        let c = toy();
+        assert_eq!(c.decompression_latency(SegmentCount::MIN), 0);
+        assert_eq!(c.decompression_latency(SegmentCount::FULL), 0);
+        assert_eq!(c.decompression_latency(SegmentCount::new(5)), 2);
+        assert_eq!(c.tag_latency_penalty(), 1);
+    }
+
+    #[test]
+    fn victim_insert_best_fit_prefers_fullest_base() {
+        let mut c = toy();
+        let mut inner = NoInner;
+        // Ways get bases of sizes 5, 5, 11, 10 (fills in order, empty ways
+        // first, so way index follows fill order).
+        c.fill(addr(3, 0), line_with_segments(5), &mut inner);
+        c.fill(addr(3, 1), line_with_segments(5), &mut inner);
+        c.fill(addr(3, 2), line_with_segments(11), &mut inner);
+        c.fill(addr(3, 3), line_with_segments(10), &mut inner);
+        // Displace addr(3,0) (5 segs) with a 5-seg fill. Candidates for the
+        // displaced line: every way with >= 5 free segments. The largest
+        // base that still fits 5 segments is the 11-seg base (way 2).
+        c.fill(addr(3, 4), line_with_segments(5), &mut inner);
+        assert!(c.victim_lines().contains(&addr(3, 0)));
+        // Verify it parked alongside the 11-segment base: reading the
+        // 11-seg line and the victim line must coexist.
+        c.assert_invariants();
+        let i = c.idx(3, 2);
+        assert!(c.victim[i].valid, "victim parked in way 2 (largest base)");
+    }
+
+    fn toy_non_inclusive() -> BaseVictimLlc {
+        BaseVictimLlc::new_non_inclusive(
+            CacheGeometry::new(1024, 4, 64),
+            PolicyKind::Lru,
+            VictimPolicyKind::EcmLargestBase,
+        )
+    }
+
+    #[test]
+    fn non_inclusive_parks_dirty_victims_without_writeback() {
+        let mut c = toy_non_inclusive();
+        let mut inner = NoInner;
+        for k in 0..4 {
+            c.fill(addr(0, k), line_with_segments(5), &mut inner);
+        }
+        // Dirty the future victim; its displacement must NOT write back.
+        c.writeback(addr(0, 0), line_with_segments(5), &mut inner);
+        let out = c.fill(addr(0, 4), line_with_segments(5), &mut inner);
+        assert_eq!(
+            out.effects.memory_writes, 0,
+            "dirty victim parks without writeback"
+        );
+        assert_eq!(
+            out.effects.back_invalidations, 0,
+            "non-inclusive sends no back-invals"
+        );
+        assert!(c.victim_lines().contains(&addr(0, 0)));
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn non_inclusive_dirty_victim_writes_back_when_dropped() {
+        let mut c = toy_non_inclusive();
+        let mut inner = NoInner;
+        for k in 0..4 {
+            c.fill(addr(0, k), line_with_segments(11), &mut inner);
+        }
+        c.writeback(addr(0, 0), line_with_segments(11), &mut inner);
+        // Park the dirty 11-seg victim next to a 5-seg base.
+        c.fill(addr(0, 4), line_with_segments(5), &mut inner);
+        assert!(c.victim_lines().contains(&addr(0, 0)));
+        // Grow the base so the dirty partner must be dropped: one
+        // writeback must happen then.
+        let out = c.writeback(addr(0, 4), line_with_segments(16), &mut inner);
+        assert_eq!(
+            out.effects.memory_writes, 1,
+            "dirty partner drop pays the deferred writeback"
+        );
+        assert!(!c.contains(addr(0, 0)));
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn non_inclusive_write_hit_to_victim_promotes() {
+        let mut c = toy_non_inclusive();
+        let mut inner = NoInner;
+        for k in 0..5 {
+            c.fill(addr(0, k), line_with_segments(5), &mut inner);
+        }
+        assert!(c.victim_lines().contains(&addr(0, 0)));
+        // A writeback to the victim-resident line promotes it (Section
+        // IV.B.3), rather than panicking as in inclusive mode.
+        c.writeback(addr(0, 0), line_with_segments(5), &mut inner);
+        assert!(c.baseline_lines().contains(&addr(0, 0)));
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn non_inclusive_allocates_on_writeback_miss() {
+        let mut c = toy_non_inclusive();
+        let mut inner = NoInner;
+        let a = addr(1, 0);
+        assert!(!c.contains(a));
+        c.writeback(a, line_with_segments(5), &mut inner);
+        assert!(c.baseline_lines().contains(&a), "writeback allocate");
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn inclusive_mode_is_the_default() {
+        let c = toy();
+        assert_eq!(c.inclusion_mode(), InclusionMode::Inclusive);
+        let n = toy_non_inclusive();
+        assert_eq!(n.inclusion_mode(), InclusionMode::NonInclusive);
+    }
+
+    #[test]
+    fn alternative_compressors_plug_in() {
+        use bv_compress::{Fpc, ZeroOnly};
+        let geom = CacheGeometry::new(1024, 4, 64);
+        let mut inner = NoInner;
+        for compressor in [
+            Box::new(Fpc::new()) as Box<dyn Compressor>,
+            Box::new(ZeroOnly::new()),
+        ] {
+            let mut c = BaseVictimLlc::with_compressor(
+                geom,
+                PolicyKind::Lru,
+                VictimPolicyKind::EcmLargestBase,
+                InclusionMode::Inclusive,
+                compressor,
+            );
+            // Zero lines compress to one segment under both algorithms:
+            // five of them share four physical ways.
+            for k in 0..5 {
+                c.fill(addr(0, k), CacheLine::zeroed(), &mut inner);
+            }
+            assert!(c.contains(addr(0, 0)), "{}: victim retained", c.name());
+            c.assert_invariants();
+        }
+    }
+
+    #[test]
+    fn stats_track_migrations() {
+        let mut c = toy();
+        let mut inner = NoInner;
+        for k in 0..5 {
+            c.fill(addr(0, k), line_with_segments(5), &mut inner);
+        }
+        assert_eq!(c.stats().migrations, 1); // one base->victim move
+        c.read(addr(0, 0), &mut inner); // victim hit: promote + park
+        assert_eq!(c.stats().migrations, 3);
+    }
+}

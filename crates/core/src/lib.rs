@@ -1,0 +1,405 @@
+//! Compressed last-level-cache organizations: the Base-Victim architecture
+//! and the baselines it is evaluated against.
+//!
+//! This crate implements the primary contribution of Gaur, Alameldeen, and
+//! Subramoney, *"Base-Victim Compression: An Opportunistic Cache
+//! Compression Architecture"* (ISCA 2016), plus every LLC organization the
+//! paper compares it to:
+//!
+//! * [`UncompressedLlc`] — the baseline cache every figure normalizes to.
+//! * [`TwoTagLlc`] — the naive two-tags-per-way design of Section III that
+//!   victimizes partner lines (Figure 6; loses 12% on average).
+//! * [`TwoTagEcmLlc`] — the modified two-tag design with ECM-style
+//!   size-aware victim selection (Figure 7; still has heavy outliers).
+//! * [`BaseVictimLlc`] — the paper's proposal (Section IV): the Baseline
+//!   cache mirrors the uncompressed cache exactly, and replacement victims
+//!   are *opportunistically* retained in a always-clean Victim cache when
+//!   compression lets them share a physical way (Figures 8-13).
+//! * [`VscLlc`] — a functional model of the Decoupled Variable-Segment
+//!   Cache used for the effective-capacity comparison in Section V.
+//! * [`DccLlc`] — a functional model of the Decoupled Compressed Cache
+//!   (super-block tags, 16 B sub-blocks), the Section II state of the art
+//!   whose data-array complexity Base-Victim avoids.
+//!
+//! All organizations speak the same [`LlcOrganization`] interface so the
+//! timing simulator (`bv-sim`) and the experiment harness can swap them
+//! freely.
+//!
+//! # Examples
+//!
+//! ```
+//! use bv_cache::{CacheGeometry, LineAddr, PolicyKind};
+//! use bv_compress::CacheLine;
+//! use bv_core::{BaseVictimLlc, LlcOrganization, NoInner, VictimPolicyKind};
+//!
+//! let geom = CacheGeometry::new(2 * 1024 * 1024, 16, 64);
+//! let mut llc = BaseVictimLlc::new(geom, PolicyKind::Nru, VictimPolicyKind::EcmLargestBase);
+//!
+//! let mut inner = NoInner;
+//! let addr = LineAddr::new(42);
+//! assert!(!llc.read(addr, &mut inner).is_hit());
+//! llc.fill(addr, CacheLine::zeroed(), &mut inner);
+//! assert!(llc.read(addr, &mut inner).is_hit());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+mod base_victim;
+mod dcc;
+mod slot;
+mod two_tag;
+mod uncompressed;
+mod victim_policy;
+mod vsc;
+
+pub use base_victim::{BaseVictimLlc, InclusionMode};
+pub use dcc::DccLlc;
+pub use two_tag::{TwoTagEcmLlc, TwoTagLlc};
+pub use uncompressed::UncompressedLlc;
+pub use victim_policy::VictimPolicyKind;
+pub use vsc::VscLlc;
+
+use bv_cache::{CacheGeometry, LineAddr};
+use bv_compress::{CacheLine, CompressionStats, SegmentCount};
+use core::fmt;
+
+/// Interface through which the LLC drives inclusive inner caches (L1/L2).
+///
+/// When an inclusive LLC displaces a line — on eviction, or when the
+/// Base-Victim architecture moves a line into its always-clean Victim cache
+/// — copies in the inner levels must be invalidated and any modified inner
+/// data recovered so it can be written back to memory.
+pub trait InclusionAgent {
+    /// Invalidates `addr` in every inner cache. Returns the freshest dirty
+    /// data if an inner copy was modified, or `None` if all inner copies
+    /// were clean or absent.
+    fn back_invalidate(&mut self, addr: LineAddr) -> Option<CacheLine>;
+}
+
+/// An [`InclusionAgent`] for standalone LLC use (no inner caches).
+///
+/// Useful in unit tests and in functional (non-timing) studies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoInner;
+
+impl InclusionAgent for NoInner {
+    fn back_invalidate(&mut self, _addr: LineAddr) -> Option<CacheLine> {
+        None
+    }
+}
+
+/// Where a demand read found its line.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HitKind {
+    /// Hit in the Baseline cache (or the only cache, for uncompressed),
+    /// with the line's stored compressed size.
+    Base(SegmentCount),
+    /// Hit in the Victim cache (Base-Victim only); the line was promoted.
+    Victim(SegmentCount),
+    /// Not present; the caller must fetch from memory and call
+    /// [`LlcOrganization::fill`].
+    Miss,
+}
+
+impl HitKind {
+    /// `true` for either hit flavor.
+    #[must_use]
+    pub fn is_hit(self) -> bool {
+        !matches!(self, HitKind::Miss)
+    }
+
+    /// The stored compressed size, if this was a hit.
+    #[must_use]
+    pub fn size(self) -> Option<SegmentCount> {
+        match self {
+            HitKind::Base(s) | HitKind::Victim(s) => Some(s),
+            HitKind::Miss => None,
+        }
+    }
+}
+
+/// Side effects of one LLC operation, for the timing and energy models.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Effects {
+    /// Lines written back to memory by this operation.
+    pub memory_writes: u64,
+    /// Back-invalidation messages sent to the inner caches.
+    pub back_invalidations: u64,
+    /// Data migrations between physical ways (Baseline <-> Victim moves),
+    /// each costing one data-array read plus one write.
+    pub migrations: u64,
+    /// Compressed partner lines silently dropped to make room.
+    pub partner_evictions: u64,
+}
+
+impl Effects {
+    /// Accumulates another operation's effects.
+    pub fn absorb(&mut self, other: Effects) {
+        self.memory_writes += other.memory_writes;
+        self.back_invalidations += other.back_invalidations;
+        self.migrations += other.migrations;
+        self.partner_evictions += other.partner_evictions;
+    }
+}
+
+/// Outcome of a demand read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// Hit classification (and size, for the decompression-latency model).
+    pub kind: HitKind,
+    /// Side effects (victim promotions can evict and write back).
+    pub effects: Effects,
+}
+
+impl ReadOutcome {
+    /// Convenience: `true` for either hit flavor.
+    #[must_use]
+    pub fn is_hit(&self) -> bool {
+        self.kind.is_hit()
+    }
+}
+
+/// Outcome of a fill or writeback.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpOutcome {
+    /// Side effects of the operation.
+    pub effects: Effects,
+}
+
+/// Counters shared by every LLC organization.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LlcStats {
+    /// Demand reads that hit the Baseline cache (or the sole array).
+    pub base_hits: u64,
+    /// Demand reads that hit the Victim cache.
+    pub victim_hits: u64,
+    /// Demand reads that missed entirely.
+    pub read_misses: u64,
+    /// Writebacks from the L2 that hit.
+    pub writeback_hits: u64,
+    /// Writebacks from the L2 that missed (forwarded to memory; impossible
+    /// under strict inclusion and asserted against in tests).
+    pub writeback_misses: u64,
+    /// Prefetch fills installed.
+    pub prefetch_fills: u64,
+    /// Prefetch probes that hit (no fill needed).
+    pub prefetch_hits: u64,
+    /// Demand fills installed (each implies one memory read).
+    pub demand_fills: u64,
+    /// Total lines written back to memory.
+    pub memory_writes: u64,
+    /// Total back-invalidations sent to inner caches.
+    pub back_invalidations: u64,
+    /// Total Baseline <-> Victim data migrations.
+    pub migrations: u64,
+    /// Compressed partner lines silently evicted.
+    pub partner_evictions: u64,
+    /// Victim-cache insertion attempts that found a fitting way.
+    pub victim_inserts: u64,
+    /// Victim-cache insertion attempts that found no fitting way.
+    pub victim_insert_failures: u64,
+}
+
+impl LlcStats {
+    /// Demand reads that hit anywhere in the LLC.
+    #[must_use]
+    pub fn read_hits(&self) -> u64 {
+        self.base_hits + self.victim_hits
+    }
+
+    /// Counter-wise difference `self - snapshot`, for excluding warmup
+    /// from measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `snapshot` was taken after `self`.
+    #[must_use]
+    pub fn since(&self, snapshot: &LlcStats) -> LlcStats {
+        LlcStats {
+            base_hits: self.base_hits - snapshot.base_hits,
+            victim_hits: self.victim_hits - snapshot.victim_hits,
+            read_misses: self.read_misses - snapshot.read_misses,
+            writeback_hits: self.writeback_hits - snapshot.writeback_hits,
+            writeback_misses: self.writeback_misses - snapshot.writeback_misses,
+            prefetch_fills: self.prefetch_fills - snapshot.prefetch_fills,
+            prefetch_hits: self.prefetch_hits - snapshot.prefetch_hits,
+            demand_fills: self.demand_fills - snapshot.demand_fills,
+            memory_writes: self.memory_writes - snapshot.memory_writes,
+            back_invalidations: self.back_invalidations - snapshot.back_invalidations,
+            migrations: self.migrations - snapshot.migrations,
+            partner_evictions: self.partner_evictions - snapshot.partner_evictions,
+            victim_inserts: self.victim_inserts - snapshot.victim_inserts,
+            victim_insert_failures: self.victim_insert_failures - snapshot.victim_insert_failures,
+        }
+    }
+
+    /// All demand reads.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.read_hits() + self.read_misses
+    }
+
+    /// Memory reads caused by demand misses plus prefetch fills.
+    #[must_use]
+    pub fn memory_reads(&self) -> u64 {
+        self.demand_fills + self.prefetch_fills
+    }
+
+    /// Demand hit rate in [0, 1]; 0 with no reads.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.reads() == 0 {
+            0.0
+        } else {
+            self.read_hits() as f64 / self.reads() as f64
+        }
+    }
+
+    fn absorb_effects(&mut self, effects: Effects) {
+        self.memory_writes += effects.memory_writes;
+        self.back_invalidations += effects.back_invalidations;
+        self.migrations += effects.migrations;
+        self.partner_evictions += effects.partner_evictions;
+    }
+}
+
+impl fmt::Display for LlcStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads {} (hits {} + victim {}), misses {}, mem writes {}",
+            self.reads(),
+            self.base_hits,
+            self.victim_hits,
+            self.read_misses,
+            self.memory_writes
+        )
+    }
+}
+
+/// A last-level-cache organization.
+///
+/// The timing simulator drives this interface with demand reads, writebacks
+/// arriving from the L2, prefetch probes, and fills after memory fetches.
+/// Inclusion is enforced through the [`InclusionAgent`] the caller passes
+/// in.
+pub trait LlcOrganization {
+    /// Organization name for reports (e.g. `"base-victim"`).
+    fn name(&self) -> &'static str;
+
+    /// The underlying physical geometry (per-set data ways).
+    fn geometry(&self) -> CacheGeometry;
+
+    /// Whether the line is present (in any logical slot). Does not perturb
+    /// replacement state.
+    fn contains(&self, addr: LineAddr) -> bool;
+
+    /// Demand read. On a miss the caller fetches from memory and calls
+    /// [`fill`](LlcOrganization::fill).
+    fn read(&mut self, addr: LineAddr, inner: &mut dyn InclusionAgent) -> ReadOutcome;
+
+    /// Dirty writeback arriving from the L2.
+    fn writeback(
+        &mut self,
+        addr: LineAddr,
+        data: CacheLine,
+        inner: &mut dyn InclusionAgent,
+    ) -> OpOutcome;
+
+    /// Installs a (clean) line fetched from memory after a demand miss.
+    fn fill(
+        &mut self,
+        addr: LineAddr,
+        data: CacheLine,
+        inner: &mut dyn InclusionAgent,
+    ) -> OpOutcome;
+
+    /// Installs a (clean) line fetched by the prefetcher. Returns `None`
+    /// if the line was already present (probe hit, nothing installed).
+    fn prefetch_fill(
+        &mut self,
+        addr: LineAddr,
+        data: CacheLine,
+        inner: &mut dyn InclusionAgent,
+    ) -> Option<OpOutcome>;
+
+    /// The current data contents of a resident line (post-decompression
+    /// view), or `None` if absent. Used by the hierarchy to fill inner
+    /// caches on LLC hits. Does not perturb replacement state.
+    fn peek_data(&self, addr: LineAddr) -> Option<CacheLine>;
+
+    /// Applies a replacement downgrade hint to a resident line (CHAR
+    /// sends these on clean L2 evictions). Organizations forward the hint
+    /// to their baseline replacement policy; the default ignores it.
+    fn hint_downgrade(&mut self, _addr: LineAddr) {}
+
+    /// Accumulated statistics.
+    fn stats(&self) -> &LlcStats;
+
+    /// Distribution of compressed sizes observed at fill/writeback time.
+    fn compression_stats(&self) -> &CompressionStats;
+
+    /// Extra tag-lookup cycles relative to the uncompressed baseline
+    /// (1 for every doubled-tag organization, 0 otherwise).
+    fn tag_latency_penalty(&self) -> u32;
+
+    /// Decompression cycles for a hit of the given size (0 for
+    /// uncompressed organizations and for zero/full lines).
+    fn decompression_latency(&self, size: SegmentCount) -> u32;
+
+    /// Addresses of all currently resident logical lines, in no particular
+    /// order. For invariant checks.
+    fn resident_lines(&self) -> Vec<LineAddr>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_kind_accessors() {
+        let h = HitKind::Base(SegmentCount::new(8));
+        assert!(h.is_hit());
+        assert_eq!(h.size(), Some(SegmentCount::new(8)));
+        assert!(!HitKind::Miss.is_hit());
+        assert_eq!(HitKind::Miss.size(), None);
+    }
+
+    #[test]
+    fn effects_absorb_sums() {
+        let mut a = Effects {
+            memory_writes: 1,
+            ..Effects::default()
+        };
+        a.absorb(Effects {
+            memory_writes: 2,
+            migrations: 3,
+            ..Effects::default()
+        });
+        assert_eq!(a.memory_writes, 3);
+        assert_eq!(a.migrations, 3);
+    }
+
+    #[test]
+    fn stats_rates() {
+        let stats = LlcStats {
+            base_hits: 6,
+            victim_hits: 2,
+            read_misses: 2,
+            demand_fills: 2,
+            prefetch_fills: 1,
+            ..LlcStats::default()
+        };
+        assert_eq!(stats.read_hits(), 8);
+        assert_eq!(stats.reads(), 10);
+        assert_eq!(stats.memory_reads(), 3);
+        assert!((stats.hit_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_inner_reports_clean() {
+        assert_eq!(NoInner.back_invalidate(LineAddr::new(1)), None);
+    }
+}

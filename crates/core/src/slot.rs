@@ -1,0 +1,79 @@
+//! The logical-line slot shared by all compressed LLC organizations.
+
+use bv_cache::{CacheGeometry, LineAddr};
+use bv_compress::{CacheLine, Compressor, SegmentCount};
+
+/// One logical cache line: tag, coherence/compression metadata, and data.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Slot {
+    pub valid: bool,
+    pub tag: u64,
+    pub dirty: bool,
+    pub data: CacheLine,
+    pub size: SegmentCount,
+}
+
+impl Slot {
+    pub fn empty() -> Slot {
+        Slot {
+            valid: false,
+            tag: 0,
+            dirty: false,
+            data: CacheLine::zeroed(),
+            size: SegmentCount::FULL,
+        }
+    }
+
+    /// Installs a line into this slot, compressing it with `compressor`.
+    pub fn install(&mut self, tag: u64, data: CacheLine, dirty: bool, compressor: &dyn Compressor) {
+        *self = Slot {
+            valid: true,
+            tag,
+            dirty,
+            data,
+            size: compressor.compressed_size(&data),
+        };
+    }
+
+    /// Clears the slot.
+    pub fn clear(&mut self) {
+        *self = Slot::empty();
+    }
+
+    /// Reconstructs the full line address from set and geometry.
+    pub fn addr(&self, geom: &CacheGeometry, set: usize) -> LineAddr {
+        LineAddr::new((self.tag << geom.index_bits()) | set as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bv_compress::Bdi;
+
+    #[test]
+    fn install_compresses() {
+        let bdi = Bdi::new();
+        let mut s = Slot::empty();
+        s.install(7, CacheLine::zeroed(), false, &bdi);
+        assert!(s.valid);
+        assert_eq!(s.size, SegmentCount::MIN);
+        s.clear();
+        assert!(!s.valid);
+    }
+
+    #[test]
+    fn addr_roundtrips_through_tag() {
+        let geom = CacheGeometry::new(2 * 1024 * 1024, 16, 64);
+        let addr = LineAddr::new(0xdead_beef);
+        let set = geom.set_index(addr.get());
+        let mut s = Slot::empty();
+        s.install(
+            geom.tag(addr.get()),
+            CacheLine::zeroed(),
+            false,
+            &Bdi::new(),
+        );
+        assert_eq!(s.addr(&geom, set), addr);
+    }
+}

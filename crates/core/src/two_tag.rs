@@ -1,0 +1,583 @@
+//! The simple two-tags-per-way compressed caches of Section III.
+//!
+//! These organizations demonstrate the paper's negative result: doubling
+//! tags and pairing compressed lines in physical ways *without* the
+//! Base-Victim split interacts badly with the replacement policy.
+//!
+//! * [`TwoTagLlc`] treats all `2N` logical slots of a set as peers of one
+//!   replacement policy. When the incoming line does not fit with the
+//!   victim slot's partner, the partner is evicted too ("partner line
+//!   victimization") — even if it is the MRU line. Figure 6 shows this
+//!   losing 12% on average.
+//! * [`TwoTagEcmLlc`] adds the ECM-inspired fix evaluated in Figure 7: it
+//!   searches for an eviction candidate (per the policy's candidate
+//!   predicate) whose removal alone frees enough space, choosing the one
+//!   with the largest compressed size; partner victimization remains the
+//!   fallback. This helps compressible workloads but still breaks the
+//!   replacement order, leaving large negative outliers.
+
+use crate::slot::Slot;
+use crate::{Effects, HitKind, InclusionAgent, LlcOrganization, LlcStats, OpOutcome, ReadOutcome};
+use bv_cache::{CacheGeometry, LineAddr, PolicyKind, ReplacementPolicy};
+use bv_compress::{Bdi, CacheLine, CompressionStats, Compressor, SegmentCount, SEGMENTS_PER_LINE};
+
+/// Victim-search flavor for the shared two-tag machinery.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Flavor {
+    /// Naive: policy victim + partner victimization (Figure 6).
+    PartnerVictimization,
+    /// Modified: ECM-style size-aware candidate search (Figure 7).
+    EcmSizeAware,
+}
+
+/// Shared implementation of both two-tag organizations.
+#[derive(Debug)]
+pub struct TwoTagCore {
+    geom: CacheGeometry,
+    /// `sets x 2*ways` logical slots; slot `l` lives in physical way
+    /// `l / 2`, its partner is `l ^ 1`.
+    slots: Vec<Slot>,
+    policy: Box<dyn ReplacementPolicy>,
+    flavor: Flavor,
+    stats: LlcStats,
+    compression: CompressionStats,
+    bdi: Bdi,
+}
+
+impl TwoTagCore {
+    fn new(geom: CacheGeometry, policy: PolicyKind, flavor: Flavor) -> TwoTagCore {
+        let sets = geom.sets();
+        let logical = geom.ways() * 2;
+        TwoTagCore {
+            geom,
+            slots: vec![Slot::empty(); sets * logical],
+            policy: policy.build(sets, logical),
+            flavor,
+            stats: LlcStats::default(),
+            compression: CompressionStats::default(),
+            bdi: Bdi::new(),
+        }
+    }
+
+    fn logical_ways(&self) -> usize {
+        self.geom.ways() * 2
+    }
+
+    fn idx(&self, set: usize, slot: usize) -> usize {
+        set * self.logical_ways() + slot
+    }
+
+    fn find(&self, addr: LineAddr) -> Option<(usize, usize)> {
+        let set = self.geom.set_index(addr.get());
+        let tag = self.geom.tag(addr.get());
+        (0..self.logical_ways())
+            .find(|&l| {
+                let s = &self.slots[self.idx(set, l)];
+                s.valid && s.tag == tag
+            })
+            .map(|l| (set, l))
+    }
+
+    /// Evicts the occupant of logical slot `l`, if valid.
+    fn evict_slot(
+        &mut self,
+        set: usize,
+        l: usize,
+        inner: &mut dyn InclusionAgent,
+        effects: &mut Effects,
+    ) {
+        let i = self.idx(set, l);
+        if !self.slots[i].valid {
+            return;
+        }
+        let slot = self.slots[i];
+        let addr = slot.addr(&self.geom, set);
+        effects.back_invalidations += 1;
+        let inner_dirty = inner.back_invalidate(addr);
+        if inner_dirty.is_some() || slot.dirty {
+            effects.memory_writes += 1;
+        }
+        self.slots[i].clear();
+        self.policy.on_invalidate(set, l);
+    }
+
+    /// Whether installing a line of `size` in logical slot `l` fits with
+    /// the current partner occupant.
+    fn fits_in(&self, set: usize, l: usize, size: SegmentCount) -> bool {
+        let partner = &self.slots[self.idx(set, l ^ 1)];
+        if partner.valid {
+            partner.size.fits_with(size)
+        } else {
+            size.get() as usize <= SEGMENTS_PER_LINE
+        }
+    }
+
+    fn install(
+        &mut self,
+        addr: LineAddr,
+        data: CacheLine,
+        inner: &mut dyn InclusionAgent,
+    ) -> Effects {
+        debug_assert!(self.find(addr).is_none(), "fill of resident line");
+        let mut effects = Effects::default();
+        let set = self.geom.set_index(addr.get());
+        let tag = self.geom.tag(addr.get());
+        let size = self.bdi.compressed_size(&data);
+        self.compression.record(size);
+
+        // Warmup path: an invalid logical slot whose partner leaves room.
+        let target = (0..self.logical_ways())
+            .find(|&l| !self.slots[self.idx(set, l)].valid && self.fits_in(set, l, size));
+
+        let l = match target {
+            Some(l) => l,
+            None => match self.flavor {
+                Flavor::PartnerVictimization => {
+                    // Evict the policy's victim; if the incoming line does
+                    // not fit with its partner, victimize the partner too —
+                    // even if the partner is the MRU line.
+                    let v = self.policy.victim(set);
+                    self.evict_slot(set, v, inner, &mut effects);
+                    if !self.fits_in(set, v, size) {
+                        self.evict_slot(set, v ^ 1, inner, &mut effects);
+                        effects.partner_evictions += 1;
+                    }
+                    v
+                }
+                Flavor::EcmSizeAware => {
+                    // Candidates: valid slots whose sole removal frees
+                    // enough space. Prefer the policy's eviction
+                    // candidates (e.g. NRU bit clear), then the largest
+                    // compressed size (maximizes retained capacity, as in
+                    // ECM). Breaking the policy order like this is exactly
+                    // the compromise Figure 7 evaluates.
+                    let candidate = (0..self.logical_ways())
+                        .filter(|&l| {
+                            let s = &self.slots[self.idx(set, l)];
+                            s.valid && self.fits_in(set, l, size)
+                        })
+                        .max_by_key(|&l| {
+                            (
+                                self.policy.is_eviction_candidate(set, l),
+                                self.slots[self.idx(set, l)].size.get(),
+                                usize::MAX - l,
+                            )
+                        });
+                    match candidate {
+                        Some(l) => {
+                            self.evict_slot(set, l, inner, &mut effects);
+                            l
+                        }
+                        None => {
+                            // Fall back to partner victimization.
+                            let v = self.policy.victim(set);
+                            self.evict_slot(set, v, inner, &mut effects);
+                            if !self.fits_in(set, v, size) {
+                                self.evict_slot(set, v ^ 1, inner, &mut effects);
+                                effects.partner_evictions += 1;
+                            }
+                            v
+                        }
+                    }
+                }
+            },
+        };
+
+        let i = self.idx(set, l);
+        self.slots[i] = Slot {
+            valid: true,
+            tag,
+            dirty: false,
+            data,
+            size,
+        };
+        self.policy.on_fill_sized(set, l, size);
+        effects
+    }
+
+    fn do_writeback(
+        &mut self,
+        addr: LineAddr,
+        data: CacheLine,
+        inner: &mut dyn InclusionAgent,
+    ) -> Effects {
+        let mut effects = Effects::default();
+        match self.find(addr) {
+            Some((set, l)) => {
+                let new_size = self.bdi.compressed_size(&data);
+                self.compression.record(new_size);
+                let i = self.idx(set, l);
+                self.slots[i].data = data;
+                self.slots[i].dirty = true;
+                self.slots[i].size = new_size;
+                // If the line grew past its partner's space, the partner
+                // must be evicted (with a writeback if dirty).
+                let partner = &self.slots[self.idx(set, l ^ 1)];
+                if partner.valid && !new_size.fits_with(partner.size) {
+                    self.evict_slot(set, l ^ 1, inner, &mut effects);
+                    effects.partner_evictions += 1;
+                }
+                self.stats.writeback_hits += 1;
+            }
+            None => {
+                debug_assert!(false, "L2 writeback to non-resident LLC line {addr:?}");
+                self.stats.writeback_misses += 1;
+                effects.memory_writes += 1;
+            }
+        }
+        effects
+    }
+
+    /// Verifies the pairing invariant; used by tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any physical way's two logical lines exceed 16 segments.
+    pub fn assert_invariants(&self) {
+        for set in 0..self.geom.sets() {
+            for w in 0..self.geom.ways() {
+                let a = &self.slots[self.idx(set, 2 * w)];
+                let b = &self.slots[self.idx(set, 2 * w + 1)];
+                if a.valid && b.valid {
+                    assert!(
+                        a.size.fits_with(b.size),
+                        "pair overflow set {set} way {w}: {} + {}",
+                        a.size,
+                        b.size
+                    );
+                }
+            }
+        }
+    }
+}
+
+macro_rules! two_tag_llc {
+    ($(#[$doc:meta])* $name:ident, $flavor:expr, $org_name:literal) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $name {
+            core: TwoTagCore,
+        }
+
+        impl $name {
+            /// Creates an empty organization over the given physical
+            /// geometry (each data way carries two tags).
+            #[must_use]
+            pub fn new(geom: CacheGeometry, policy: PolicyKind) -> $name {
+                $name {
+                    core: TwoTagCore::new(geom, policy, $flavor),
+                }
+            }
+
+            /// Verifies the pairing invariant; used by tests.
+            ///
+            /// # Panics
+            ///
+            /// Panics if two paired lines exceed the physical way capacity.
+            pub fn assert_invariants(&self) {
+                self.core.assert_invariants();
+            }
+        }
+
+        impl LlcOrganization for $name {
+            fn name(&self) -> &'static str {
+                $org_name
+            }
+
+            fn geometry(&self) -> CacheGeometry {
+                self.core.geom
+            }
+
+            fn contains(&self, addr: LineAddr) -> bool {
+                self.core.find(addr).is_some()
+            }
+
+            fn read(&mut self, addr: LineAddr, _inner: &mut dyn InclusionAgent) -> ReadOutcome {
+                match self.core.find(addr) {
+                    Some((set, l)) => {
+                        self.core.policy.on_hit(set, l);
+                        self.core.stats.base_hits += 1;
+                        let size = self.core.slots[self.core.idx(set, l)].size;
+                        ReadOutcome {
+                            kind: HitKind::Base(size),
+                            effects: Effects::default(),
+                        }
+                    }
+                    None => {
+                        let set = self.core.geom.set_index(addr.get());
+                        self.core.policy.on_miss(set);
+                        self.core.stats.read_misses += 1;
+                        ReadOutcome {
+                            kind: HitKind::Miss,
+                            effects: Effects::default(),
+                        }
+                    }
+                }
+            }
+
+            fn writeback(
+                &mut self,
+                addr: LineAddr,
+                data: CacheLine,
+                inner: &mut dyn InclusionAgent,
+            ) -> OpOutcome {
+                let effects = self.core.do_writeback(addr, data, inner);
+                self.core.stats.absorb_effects(effects);
+                OpOutcome { effects }
+            }
+
+            fn fill(
+                &mut self,
+                addr: LineAddr,
+                data: CacheLine,
+                inner: &mut dyn InclusionAgent,
+            ) -> OpOutcome {
+                let effects = self.core.install(addr, data, inner);
+                self.core.stats.demand_fills += 1;
+                self.core.stats.absorb_effects(effects);
+                OpOutcome { effects }
+            }
+
+            fn prefetch_fill(
+                &mut self,
+                addr: LineAddr,
+                data: CacheLine,
+                inner: &mut dyn InclusionAgent,
+            ) -> Option<OpOutcome> {
+                if self.contains(addr) {
+                    self.core.stats.prefetch_hits += 1;
+                    return None;
+                }
+                let effects = self.core.install(addr, data, inner);
+                self.core.stats.prefetch_fills += 1;
+                self.core.stats.absorb_effects(effects);
+                Some(OpOutcome { effects })
+            }
+
+            fn peek_data(&self, addr: LineAddr) -> Option<CacheLine> {
+                let (set, l) = self.core.find(addr)?;
+                Some(self.core.slots[self.core.idx(set, l)].data)
+            }
+
+            fn hint_downgrade(&mut self, addr: LineAddr) {
+                if let Some((set, l)) = self.core.find(addr) {
+                    self.core.policy.hint_downgrade(set, l);
+                }
+            }
+
+            fn stats(&self) -> &LlcStats {
+                &self.core.stats
+            }
+
+            fn compression_stats(&self) -> &CompressionStats {
+                &self.core.compression
+            }
+
+            fn tag_latency_penalty(&self) -> u32 {
+                1 // doubled tags
+            }
+
+            fn decompression_latency(&self, size: SegmentCount) -> u32 {
+                self.core.bdi.decompression_latency(size, 2)
+            }
+
+            fn resident_lines(&self) -> Vec<LineAddr> {
+                let logical = self.core.logical_ways();
+                self.core
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.valid)
+                    .map(|(i, s)| s.addr(&self.core.geom, i / logical))
+                    .collect()
+            }
+        }
+    };
+}
+
+two_tag_llc!(
+    /// The naive two-tag organization of Section III (Figure 6): the
+    /// policy's victim is evicted and, when the incoming line does not fit
+    /// with the victim's partner, the partner is victimized too — even if
+    /// it is the hottest line in the set.
+    TwoTagLlc,
+    Flavor::PartnerVictimization,
+    "two-tag"
+);
+
+two_tag_llc!(
+    /// The modified two-tag organization of Figure 7: an ECM-inspired
+    /// size-aware search avoids partner victimization when possible, but
+    /// must break the replacement order to do so.
+    TwoTagEcmLlc,
+    Flavor::EcmSizeAware,
+    "two-tag-ecm"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NoInner;
+    use bv_compress::CacheLine;
+
+    fn compressible(seed: u64) -> CacheLine {
+        // B8D1: 5 segments.
+        CacheLine::from_u64_words(&core::array::from_fn(|i| {
+            0x4000_0000_0000 + seed * 0x10_0000 + i as u64
+        }))
+    }
+
+    fn incompressible(seed: u64) -> CacheLine {
+        CacheLine::from_u64_words(&core::array::from_fn(|i| {
+            (seed + 1)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add((i as u64) << 56 | (i as u64).wrapping_mul(0x1234_5678_9abc))
+        }))
+    }
+
+    fn addr(set: u64, k: u64) -> LineAddr {
+        LineAddr::new(set + 4 * k) // 4-set caches below
+    }
+
+    fn toy_naive() -> TwoTagLlc {
+        TwoTagLlc::new(CacheGeometry::new(1024, 4, 64), PolicyKind::Lru)
+    }
+
+    fn toy_ecm() -> TwoTagEcmLlc {
+        TwoTagEcmLlc::new(CacheGeometry::new(1024, 4, 64), PolicyKind::Nru)
+    }
+
+    #[test]
+    fn compressible_lines_double_capacity() {
+        let mut c = toy_naive();
+        let mut inner = NoInner;
+        // Eight 5-segment lines fit in four physical ways (5 + 5 <= 16).
+        for k in 0..8 {
+            c.fill(addr(0, k), compressible(k), &mut inner);
+        }
+        for k in 0..8 {
+            assert!(c.contains(addr(0, k)), "line {k} evicted prematurely");
+        }
+        c.assert_invariants();
+        assert_eq!(c.stats().memory_writes, 0);
+    }
+
+    #[test]
+    fn incompressible_lines_keep_baseline_capacity() {
+        let mut c = toy_naive();
+        let mut inner = NoInner;
+        for k in 0..4 {
+            c.fill(addr(0, k), incompressible(k), &mut inner);
+        }
+        // A fifth incompressible line evicts one resident line only (its
+        // slot's partner is invalid).
+        c.fill(addr(0, 4), incompressible(4), &mut inner);
+        let resident = c.resident_lines().len();
+        assert_eq!(resident, 4);
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn partner_victimization_can_evict_the_mru_line() {
+        // The Section III pathology: the LRU victim's physical partner is
+        // the MRU line, and an incompressible fill kills them both.
+        let mut c = toy_naive();
+        let mut inner = NoInner;
+        // Fill all 8 logical slots with compressible lines; fills land in
+        // slot order, so addr(0,k) occupies slot k and addr(0,0)/addr(0,1)
+        // share physical way 0.
+        for k in 0..8 {
+            c.fill(addr(0, k), compressible(k), &mut inner);
+        }
+        // Touch everything except addr(0,0), ending with addr(0,1): the
+        // LRU line (slot 0) and the MRU line (slot 1) now share a way.
+        for k in [2, 3, 4, 5, 6, 7, 1] {
+            assert!(c.read(addr(0, k), &mut inner).is_hit());
+        }
+        // Incompressible fill: the LRU victim is slot 0; the incoming line
+        // does not fit with its partner, so the MRU line is victimized.
+        c.fill(addr(0, 9), incompressible(9), &mut inner);
+        assert!(!c.contains(addr(0, 0)), "LRU line evicted");
+        assert!(
+            !c.contains(addr(0, 1)),
+            "naive two-tag must victimize the MRU partner"
+        );
+        assert_eq!(c.stats().partner_evictions, 1);
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn full_sets_of_incompressible_lines_waste_the_spare_tags() {
+        // With four incompressible residents, the four spare tags can
+        // never be used; every further fill victimizes some partner.
+        let mut c = toy_naive();
+        let mut inner = NoInner;
+        for k in 0..4 {
+            c.fill(addr(0, k), incompressible(k), &mut inner);
+        }
+        let before = c.stats().partner_evictions;
+        c.fill(addr(0, 9), incompressible(9), &mut inner);
+        assert_eq!(c.resident_lines().len(), 4);
+        assert_eq!(c.stats().partner_evictions, before + 1);
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn ecm_variant_avoids_partner_victimization_when_possible() {
+        let mut c = toy_ecm();
+        let mut inner = NoInner;
+        c.fill(addr(0, 0), compressible(0), &mut inner);
+        c.fill(addr(0, 1), compressible(1), &mut inner);
+        for k in 2..5 {
+            c.fill(addr(0, k), incompressible(k), &mut inner);
+        }
+        // Touch the compressible pair so they are protected; the
+        // incompressible lines age out.
+        assert!(c.read(addr(0, 0), &mut inner).is_hit());
+        assert!(c.read(addr(0, 1), &mut inner).is_hit());
+        // An incompressible fill should evict one of the stale
+        // incompressible lines (whose partners are invalid), not split the
+        // protected pair.
+        c.fill(addr(0, 9), incompressible(9), &mut inner);
+        assert!(c.contains(addr(0, 0)));
+        assert!(c.contains(addr(0, 1)));
+        assert_eq!(c.stats().partner_evictions, 0);
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn writeback_growth_evicts_partner_with_writeback() {
+        let mut c = toy_naive();
+        let mut inner = NoInner;
+        c.fill(addr(1, 0), compressible(0), &mut inner);
+        c.fill(addr(1, 1), compressible(1), &mut inner); // partner pair
+                                                         // Dirty the partner so its eviction costs a memory write.
+        c.writeback(addr(1, 1), compressible(1), &mut inner);
+        // Grow the first line to a full line: partner must be evicted and
+        // written back.
+        let out = c.writeback(addr(1, 0), incompressible(7), &mut inner);
+        assert_eq!(out.effects.partner_evictions, 1);
+        assert_eq!(out.effects.memory_writes, 1);
+        assert!(!c.contains(addr(1, 1)));
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn doubled_tags_cost_a_cycle() {
+        let c = toy_naive();
+        assert_eq!(c.tag_latency_penalty(), 1);
+        assert_eq!(c.decompression_latency(SegmentCount::new(5)), 2);
+        assert_eq!(c.decompression_latency(SegmentCount::FULL), 0);
+    }
+
+    #[test]
+    fn prefetch_fills_install_once() {
+        let mut c = toy_ecm();
+        let mut inner = NoInner;
+        let a = addr(2, 0);
+        assert!(c.prefetch_fill(a, compressible(0), &mut inner).is_some());
+        assert!(c.prefetch_fill(a, compressible(0), &mut inner).is_none());
+        assert_eq!(c.stats().prefetch_fills, 1);
+        assert_eq!(c.stats().prefetch_hits, 1);
+    }
+}

@@ -1,0 +1,326 @@
+//! The uncompressed baseline LLC every experiment normalizes against.
+
+use crate::slot::Slot;
+use crate::{Effects, HitKind, InclusionAgent, LlcOrganization, LlcStats, OpOutcome, ReadOutcome};
+use bv_cache::{CacheGeometry, LineAddr, PolicyKind, ReplacementPolicy};
+use bv_compress::{Bdi, CacheLine, CompressionStats, Compressor, SegmentCount};
+
+/// An ordinary inclusive LLC: one tag per physical way, no compression.
+///
+/// Besides serving as the normalization baseline, this organization is the
+/// reference model in the Base-Victim differential tests: the Baseline
+/// cache of [`BaseVictimLlc`](crate::BaseVictimLlc) must mirror it
+/// access-for-access.
+///
+/// # Examples
+///
+/// ```
+/// use bv_cache::{CacheGeometry, LineAddr, PolicyKind};
+/// use bv_compress::CacheLine;
+/// use bv_core::{LlcOrganization, NoInner, UncompressedLlc};
+///
+/// let mut llc = UncompressedLlc::new(CacheGeometry::new(4096, 4, 64), PolicyKind::Nru);
+/// let mut inner = NoInner;
+/// llc.fill(LineAddr::new(3), CacheLine::zeroed(), &mut inner);
+/// assert!(llc.contains(LineAddr::new(3)));
+/// ```
+#[derive(Debug)]
+pub struct UncompressedLlc {
+    geom: CacheGeometry,
+    slots: Vec<Slot>,
+    policy: Box<dyn ReplacementPolicy>,
+    stats: LlcStats,
+    compression: CompressionStats,
+    bdi: Bdi,
+}
+
+impl UncompressedLlc {
+    /// Creates an empty uncompressed LLC.
+    #[must_use]
+    pub fn new(geom: CacheGeometry, policy: PolicyKind) -> UncompressedLlc {
+        let sets = geom.sets();
+        let ways = geom.ways();
+        UncompressedLlc {
+            geom,
+            slots: vec![Slot::empty(); sets * ways],
+            policy: policy.build(sets, ways),
+            stats: LlcStats::default(),
+            compression: CompressionStats::default(),
+            bdi: Bdi::new(),
+        }
+    }
+
+    fn locate(&self, addr: LineAddr) -> Option<(usize, usize)> {
+        let set = self.geom.set_index(addr.get());
+        let tag = self.geom.tag(addr.get());
+        (0..self.geom.ways())
+            .find(|&w| {
+                let s = &self.slots[set * self.geom.ways() + w];
+                s.valid && s.tag == tag
+            })
+            .map(|w| (set, w))
+    }
+
+    fn slot_mut(&mut self, set: usize, way: usize) -> &mut Slot {
+        &mut self.slots[set * self.geom.ways() + way]
+    }
+
+    fn slot(&self, set: usize, way: usize) -> &Slot {
+        &self.slots[set * self.geom.ways() + way]
+    }
+
+    /// Installs a line (shared by demand and prefetch fills).
+    fn install(
+        &mut self,
+        addr: LineAddr,
+        data: CacheLine,
+        inner: &mut dyn InclusionAgent,
+    ) -> Effects {
+        debug_assert!(!self.contains(addr), "fill of resident line");
+        let set = self.geom.set_index(addr.get());
+        let tag = self.geom.tag(addr.get());
+        let ways = self.geom.ways();
+
+        let way = (0..ways)
+            .find(|&w| !self.slot(set, w).valid)
+            .unwrap_or_else(|| self.policy.victim(set));
+
+        let mut effects = Effects::default();
+        let evicted = *self.slot(set, way);
+        if evicted.valid {
+            let evicted_addr = evicted.addr(&self.geom, set);
+            effects.back_invalidations += 1;
+            let inner_dirty = inner.back_invalidate(evicted_addr);
+            if inner_dirty.is_some() || evicted.dirty {
+                effects.memory_writes += 1;
+            }
+        }
+
+        // Track compressibility of the access stream even though this
+        // organization stores lines uncompressed (used to classify traces,
+        // and fed to size-aware policies like CAMP as their predictor).
+        let bdi = self.bdi;
+        let compressed_size = bdi.compressed_size(&data);
+        self.compression.record(compressed_size);
+
+        let slot = self.slot_mut(set, way);
+        slot.install(tag, data, false, &bdi);
+        slot.size = SegmentCount::FULL; // stored uncompressed
+        self.policy.on_fill_sized(set, way, compressed_size);
+        self.stats.absorb_effects(effects);
+        effects
+    }
+}
+
+impl LlcOrganization for UncompressedLlc {
+    fn name(&self) -> &'static str {
+        "uncompressed"
+    }
+
+    fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    fn contains(&self, addr: LineAddr) -> bool {
+        self.locate(addr).is_some()
+    }
+
+    fn read(&mut self, addr: LineAddr, _inner: &mut dyn InclusionAgent) -> ReadOutcome {
+        match self.locate(addr) {
+            Some((set, way)) => {
+                self.policy.on_hit(set, way);
+                self.stats.base_hits += 1;
+                ReadOutcome {
+                    kind: HitKind::Base(SegmentCount::FULL),
+                    effects: Effects::default(),
+                }
+            }
+            None => {
+                let set = self.geom.set_index(addr.get());
+                self.policy.on_miss(set);
+                self.stats.read_misses += 1;
+                ReadOutcome {
+                    kind: HitKind::Miss,
+                    effects: Effects::default(),
+                }
+            }
+        }
+    }
+
+    fn writeback(
+        &mut self,
+        addr: LineAddr,
+        data: CacheLine,
+        _inner: &mut dyn InclusionAgent,
+    ) -> OpOutcome {
+        match self.locate(addr) {
+            Some((set, way)) => {
+                let slot = self.slot_mut(set, way);
+                slot.data = data;
+                slot.dirty = true;
+                self.stats.writeback_hits += 1;
+                OpOutcome::default()
+            }
+            None => {
+                // Impossible under strict inclusion; forward to memory.
+                debug_assert!(false, "L2 writeback to non-resident LLC line {addr:?}");
+                self.stats.writeback_misses += 1;
+                self.stats.memory_writes += 1;
+                OpOutcome {
+                    effects: Effects {
+                        memory_writes: 1,
+                        ..Effects::default()
+                    },
+                }
+            }
+        }
+    }
+
+    fn fill(
+        &mut self,
+        addr: LineAddr,
+        data: CacheLine,
+        inner: &mut dyn InclusionAgent,
+    ) -> OpOutcome {
+        self.stats.demand_fills += 1;
+        OpOutcome {
+            effects: self.install(addr, data, inner),
+        }
+    }
+
+    fn prefetch_fill(
+        &mut self,
+        addr: LineAddr,
+        data: CacheLine,
+        inner: &mut dyn InclusionAgent,
+    ) -> Option<OpOutcome> {
+        if self.contains(addr) {
+            self.stats.prefetch_hits += 1;
+            return None;
+        }
+        self.stats.prefetch_fills += 1;
+        Some(OpOutcome {
+            effects: self.install(addr, data, inner),
+        })
+    }
+
+    fn peek_data(&self, addr: LineAddr) -> Option<CacheLine> {
+        let (set, way) = self.locate(addr)?;
+        Some(self.slot(set, way).data)
+    }
+
+    fn hint_downgrade(&mut self, addr: LineAddr) {
+        if let Some((set, way)) = self.locate(addr) {
+            self.policy.hint_downgrade(set, way);
+        }
+    }
+
+    fn stats(&self) -> &LlcStats {
+        &self.stats
+    }
+
+    fn compression_stats(&self) -> &CompressionStats {
+        &self.compression
+    }
+
+    fn tag_latency_penalty(&self) -> u32 {
+        0
+    }
+
+    fn decompression_latency(&self, _size: SegmentCount) -> u32 {
+        0
+    }
+
+    fn resident_lines(&self) -> Vec<LineAddr> {
+        let ways = self.geom.ways();
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.valid)
+            .map(|(i, s)| s.addr(&self.geom, i / ways))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NoInner;
+
+    fn llc() -> UncompressedLlc {
+        UncompressedLlc::new(CacheGeometry::new(1024, 4, 64), PolicyKind::Lru)
+    }
+
+    #[test]
+    fn read_miss_then_fill_then_hit() {
+        let mut c = llc();
+        let mut inner = NoInner;
+        let a = LineAddr::new(5);
+        assert!(!c.read(a, &mut inner).is_hit());
+        c.fill(a, CacheLine::zeroed(), &mut inner);
+        let out = c.read(a, &mut inner);
+        assert_eq!(out.kind, HitKind::Base(SegmentCount::FULL));
+        assert_eq!(c.stats().base_hits, 1);
+        assert_eq!(c.stats().read_misses, 1);
+        assert_eq!(c.stats().demand_fills, 1);
+    }
+
+    #[test]
+    fn eviction_back_invalidates_and_writes_back_dirty() {
+        // One-set cache (4 ways): fifth fill evicts the LRU line.
+        let mut c = UncompressedLlc::new(CacheGeometry::new(256, 4, 64), PolicyKind::Lru);
+        let mut inner = NoInner;
+        for i in 0..4 {
+            c.fill(LineAddr::new(i), CacheLine::zeroed(), &mut inner);
+        }
+        // Dirty the LRU line via an L2 writeback.
+        c.writeback(
+            LineAddr::new(0),
+            CacheLine::from_u32_words(&[1; 16]),
+            &mut inner,
+        );
+        let out = c.fill(LineAddr::new(9), CacheLine::zeroed(), &mut inner);
+        assert_eq!(out.effects.memory_writes, 1);
+        assert_eq!(out.effects.back_invalidations, 1);
+        assert!(!c.contains(LineAddr::new(0)));
+    }
+
+    #[test]
+    fn prefetch_fill_skips_resident_lines() {
+        let mut c = llc();
+        let mut inner = NoInner;
+        let a = LineAddr::new(7);
+        assert!(c
+            .prefetch_fill(a, CacheLine::zeroed(), &mut inner)
+            .is_some());
+        assert!(c
+            .prefetch_fill(a, CacheLine::zeroed(), &mut inner)
+            .is_none());
+        assert_eq!(c.stats().prefetch_fills, 1);
+        assert_eq!(c.stats().prefetch_hits, 1);
+    }
+
+    #[test]
+    fn no_compression_latency() {
+        let c = llc();
+        assert_eq!(c.tag_latency_penalty(), 0);
+        assert_eq!(c.decompression_latency(SegmentCount::new(4)), 0);
+    }
+
+    #[test]
+    fn inner_dirty_copy_forces_writeback_on_eviction() {
+        struct DirtyInner;
+        impl InclusionAgent for DirtyInner {
+            fn back_invalidate(&mut self, _addr: LineAddr) -> Option<CacheLine> {
+                Some(CacheLine::from_u32_words(&[9; 16]))
+            }
+        }
+        let mut c = UncompressedLlc::new(CacheGeometry::new(256, 4, 64), PolicyKind::Lru);
+        let mut inner = DirtyInner;
+        for i in 0..5 {
+            c.fill(LineAddr::new(i), CacheLine::zeroed(), &mut inner);
+        }
+        // The eviction found a dirty inner copy: memory write required.
+        assert_eq!(c.stats().memory_writes, 1);
+    }
+}

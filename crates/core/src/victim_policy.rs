@@ -1,0 +1,198 @@
+//! Victim-cache insertion/replacement policies (Section VI.B.4).
+//!
+//! When the Baseline cache displaces a (now clean) line, the Base-Victim
+//! architecture looks for a physical way whose base line leaves enough free
+//! segments for the displaced line. Several selection rules are studied in
+//! the paper's sensitivity analysis; the default is inspired by ECM (Baek
+//! et al., HPCA 2013): *"We first search for the way that can fit the
+//! victim line. Then among all the candidates, we select the way with the
+//! largest size of the base partner line."*
+
+use bv_compress::SegmentCount;
+
+/// A candidate way for inserting a line into the Victim cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct VictimCandidate {
+    /// Physical way index.
+    pub way: usize,
+    /// Compressed size of the base partner line (MIN if the base slot is
+    /// empty).
+    pub base_size: SegmentCount,
+    /// Whether the victim slot of this way is currently occupied (its
+    /// occupant would be silently dropped).
+    pub occupied: bool,
+    /// Recency rank of the current victim-slot occupant (higher = older);
+    /// 0 for empty slots. Used by the LRU variant.
+    pub occupant_age: u64,
+}
+
+/// How the Victim cache chooses among fitting ways.
+///
+/// # Examples
+///
+/// ```
+/// use bv_core::VictimPolicyKind;
+///
+/// assert_eq!(VictimPolicyKind::default(), VictimPolicyKind::EcmLargestBase);
+/// assert_eq!(VictimPolicyKind::EcmLargestBase.name(), "ecm-largest-base");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub enum VictimPolicyKind {
+    /// ECM-inspired best fit: the fitting way with the largest base
+    /// partner (paper default).
+    #[default]
+    EcmLargestBase,
+    /// Uniform random among fitting ways (used in the paper's worked
+    /// examples).
+    RandomFit,
+    /// Evict the oldest victim-slot occupant among fitting ways,
+    /// preferring empty slots (the "LRU" variant of Section VI.B.4).
+    LruFit,
+    /// The fitting way with the *smallest* base partner (worst fit) — an
+    /// intentionally weak control for the sensitivity study.
+    SmallestBase,
+}
+
+impl VictimPolicyKind {
+    /// All variants, for the Section VI.B.4 sweep.
+    pub const ALL: [VictimPolicyKind; 4] = [
+        VictimPolicyKind::EcmLargestBase,
+        VictimPolicyKind::RandomFit,
+        VictimPolicyKind::LruFit,
+        VictimPolicyKind::SmallestBase,
+    ];
+
+    /// Short stable name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            VictimPolicyKind::EcmLargestBase => "ecm-largest-base",
+            VictimPolicyKind::RandomFit => "random-fit",
+            VictimPolicyKind::LruFit => "lru-fit",
+            VictimPolicyKind::SmallestBase => "smallest-base",
+        }
+    }
+
+    /// Picks the destination way among `candidates` (all already verified
+    /// to fit). Returns `None` when `candidates` is empty. `rng_draw` is a
+    /// fresh pseudo-random value supplied by the caller so the policy stays
+    /// stateless.
+    pub(crate) fn choose(
+        self,
+        candidates: &[VictimCandidate],
+        rng_draw: u64,
+    ) -> Option<VictimCandidate> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let chosen = match self {
+            VictimPolicyKind::EcmLargestBase => candidates
+                .iter()
+                // Largest base first; prefer unoccupied victim slots on
+                // ties; finally lowest way index (max_by_key keeps the
+                // *last* max, so invert the way index).
+                .max_by_key(|c| (c.base_size.get(), !c.occupied, usize::MAX - c.way))
+                .copied(),
+            VictimPolicyKind::RandomFit => candidates
+                .get(rng_draw as usize % candidates.len())
+                .copied(),
+            VictimPolicyKind::LruFit => candidates
+                .iter()
+                .max_by_key(|c| (!c.occupied, c.occupant_age, usize::MAX - c.way))
+                .copied(),
+            VictimPolicyKind::SmallestBase => candidates
+                .iter()
+                .max_by_key(|c| (u8::MAX - c.base_size.get(), !c.occupied, usize::MAX - c.way))
+                .copied(),
+        };
+        chosen
+    }
+}
+
+impl core::fmt::Display for VictimPolicyKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(way: usize, base: u8, occupied: bool, age: u64) -> VictimCandidate {
+        VictimCandidate {
+            way,
+            base_size: SegmentCount::new(base),
+            occupied,
+            occupant_age: age,
+        }
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        for kind in VictimPolicyKind::ALL {
+            assert_eq!(kind.choose(&[], 0), None);
+        }
+    }
+
+    #[test]
+    fn ecm_picks_largest_base() {
+        let cands = [
+            cand(0, 4, false, 0),
+            cand(1, 10, true, 5),
+            cand(2, 7, false, 0),
+        ];
+        let chosen = VictimPolicyKind::EcmLargestBase.choose(&cands, 0).unwrap();
+        assert_eq!(chosen.way, 1, "way 1 has the largest base partner");
+    }
+
+    #[test]
+    fn ecm_prefers_empty_slot_on_tie() {
+        let cands = [cand(0, 8, true, 9), cand(1, 8, false, 0)];
+        let chosen = VictimPolicyKind::EcmLargestBase.choose(&cands, 0).unwrap();
+        assert_eq!(chosen.way, 1);
+    }
+
+    #[test]
+    fn ecm_breaks_remaining_ties_by_lowest_way() {
+        let cands = [cand(2, 8, false, 0), cand(5, 8, false, 0)];
+        let chosen = VictimPolicyKind::EcmLargestBase.choose(&cands, 0).unwrap();
+        assert_eq!(chosen.way, 2);
+    }
+
+    #[test]
+    fn random_fit_is_uniform_over_candidates() {
+        let cands = [
+            cand(0, 4, false, 0),
+            cand(1, 10, true, 5),
+            cand(2, 7, false, 0),
+        ];
+        let mut hits = [0usize; 3];
+        for draw in 0..300u64 {
+            let c = VictimPolicyKind::RandomFit.choose(&cands, draw).unwrap();
+            hits[c.way] += 1;
+        }
+        assert!(hits.iter().all(|&h| h == 100), "{hits:?}");
+    }
+
+    #[test]
+    fn lru_fit_prefers_empty_then_oldest() {
+        let cands = [
+            cand(0, 4, true, 100),
+            cand(1, 10, true, 2),
+            cand(2, 7, false, 0),
+        ];
+        let chosen = VictimPolicyKind::LruFit.choose(&cands, 0).unwrap();
+        assert_eq!(chosen.way, 2, "empty slots avoid any eviction");
+        let occupied = [cand(0, 4, true, 100), cand(1, 10, true, 2)];
+        let chosen = VictimPolicyKind::LruFit.choose(&occupied, 0).unwrap();
+        assert_eq!(chosen.way, 0, "oldest occupant evicted first");
+    }
+
+    #[test]
+    fn smallest_base_is_the_inverse_of_ecm() {
+        let cands = [cand(0, 4, false, 0), cand(1, 10, true, 5)];
+        let chosen = VictimPolicyKind::SmallestBase.choose(&cands, 0).unwrap();
+        assert_eq!(chosen.way, 0);
+    }
+}

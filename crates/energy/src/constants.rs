@@ -1,0 +1,74 @@
+//! Per-event energy constants.
+//!
+//! The paper sources its numbers from the Micron DDR3 power calculator,
+//! CACTI 6.0 (22 nm), and the Warped-Compression BDI implementation. The
+//! constants below are of the same order of magnitude as those tools'
+//! published outputs for a 2 MB SRAM LLC and a 2-channel DDR3-1600 system;
+//! Figure 14 reports energy *ratios*, which depend on the relative event
+//! costs rather than absolute joules.
+
+/// All energy/power constants used by the model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyConstants {
+    /// Core frequency in Hz (converts cycles to seconds).
+    pub core_hz: f64,
+    /// Energy per 64 B DRAM read, in nJ (activate amortized + read + IO).
+    pub dram_read_nj: f64,
+    /// Energy per 64 B DRAM write, in nJ.
+    pub dram_write_nj: f64,
+    /// DRAM background (standby/refresh) power across both channels, W.
+    pub dram_background_w: f64,
+    /// Energy per LLC tag-array lookup (16-way compare), nJ.
+    pub llc_tag_nj: f64,
+    /// Additional tag energy when tags are doubled, as a fraction of the
+    /// baseline tag energy.
+    pub extra_tag_energy_fraction: f64,
+    /// Energy per LLC data-array 64 B read, nJ.
+    pub llc_data_read_nj: f64,
+    /// Energy per LLC data-array 64 B write, nJ.
+    pub llc_data_write_nj: f64,
+    /// LLC leakage power (2 MB at 22 nm), W.
+    pub llc_leakage_w: f64,
+    /// Extra leakage fraction from the added tags + codec area (Section
+    /// IV.C: 8.5%).
+    pub compressed_area_overhead: f64,
+    /// Energy per BDI line compression, nJ.
+    pub compress_nj: f64,
+    /// Energy per BDI line decompression, nJ.
+    pub decompress_nj: f64,
+}
+
+impl EnergyConstants {
+    /// The default constants (see module docs for provenance).
+    #[must_use]
+    pub fn paper_default() -> EnergyConstants {
+        EnergyConstants {
+            core_hz: 4.0e9,
+            dram_read_nj: 22.0,
+            dram_write_nj: 24.0,
+            dram_background_w: 0.55,
+            llc_tag_nj: 0.04,
+            extra_tag_energy_fraction: 0.9,
+            llc_data_read_nj: 0.55,
+            llc_data_write_nj: 0.60,
+            llc_leakage_w: 0.16,
+            compressed_area_overhead: 0.085,
+            compress_nj: 0.08,
+            decompress_nj: 0.05,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive_and_ordered() {
+        let c = EnergyConstants::paper_default();
+        assert!(c.dram_read_nj > c.llc_data_read_nj * 10.0, "DRAM >> SRAM");
+        assert!(c.llc_data_read_nj > c.llc_tag_nj, "data array > tag array");
+        assert!(c.compress_nj < c.llc_data_read_nj, "codec is small logic");
+        assert!(c.compressed_area_overhead > 0.0 && c.compressed_area_overhead < 0.1);
+    }
+}

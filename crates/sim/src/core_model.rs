@@ -1,0 +1,230 @@
+//! The interval (window-based) core timing model.
+//!
+//! Substitutes for the paper's cycle-accurate out-of-order core (see
+//! DESIGN.md). Three rules, applied per trace event:
+//!
+//! 1. **Compute**: instructions retire at the pipeline width (4/cycle).
+//! 2. **Cache hits**: L1 hits are fully pipelined; L2/LLC hits expose a
+//!    quarter of their beyond-L1 latency (the out-of-order window hides
+//!    the rest). This preserves the paper's small decompression/tag-lookup
+//!    penalties without exaggerating them.
+//! 3. **Memory misses**: an LLC miss stalls the core for its full DRAM
+//!    latency divided by the achievable memory-level parallelism — the
+//!    number of other misses inside the reorder-buffer window — except
+//!    that *dependent* (pointer-chase) misses serialize completely. DRAM
+//!    bank/bus queueing is modeled separately in [`crate::Dram`], so
+//!    bandwidth saturation lengthens the latencies this model divides.
+
+use crate::config::CoreConfig;
+use crate::hierarchy::{AccessOutcome, LevelHit};
+use bv_trace::{AccessKind, TraceEvent};
+use std::collections::VecDeque;
+
+/// Maximum overlapped misses (MSHR-limited MLP).
+const MAX_MLP: usize = 8;
+
+/// Fraction of beyond-L1 hit latency exposed to the pipeline, as a
+/// divisor (4 = 25%).
+const HIT_EXPOSURE_DIV: u64 = 4;
+
+/// The per-core timing state.
+///
+/// # Examples
+///
+/// ```
+/// use bv_sim::{CoreConfig, CoreModel};
+///
+/// let mut core = CoreModel::new(CoreConfig::default());
+/// core.work(8); // eight instructions on a 4-wide machine
+/// assert_eq!(core.cycles(), 2);
+/// assert_eq!(core.instructions(), 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CoreModel {
+    cfg: CoreConfig,
+    /// Cycle count scaled by the pipeline width (so compute work of one
+    /// instruction adds one unit).
+    scaled_cycles: u64,
+    instructions: u64,
+    /// Instruction indices of recent LLC misses, for the MLP estimate.
+    miss_window: VecDeque<u64>,
+}
+
+impl CoreModel {
+    /// Creates an idle core.
+    #[must_use]
+    pub fn new(cfg: CoreConfig) -> CoreModel {
+        CoreModel {
+            cfg,
+            scaled_cycles: 0,
+            instructions: 0,
+            miss_window: VecDeque::new(),
+        }
+    }
+
+    /// Elapsed core cycles.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.scaled_cycles / u64::from(self.cfg.width)
+    }
+
+    /// Retired instructions.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Retired instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles() == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles() as f64
+        }
+    }
+
+    /// Retires `insts` instructions of compute work.
+    pub fn work(&mut self, insts: u64) {
+        self.instructions += insts;
+        self.scaled_cycles += insts;
+    }
+
+    fn add_stall(&mut self, cycles: u64) {
+        self.scaled_cycles += cycles * u64::from(self.cfg.width);
+    }
+
+    /// Accounts the timing impact of one memory access.
+    pub fn account(&mut self, ev: &TraceEvent, outcome: &AccessOutcome) {
+        // Stores retire through the store buffer without stalling.
+        if ev.kind == AccessKind::Store {
+            return;
+        }
+        match outcome.level {
+            LevelHit::L1 => {}
+            LevelHit::L2 | LevelHit::LlcBase | LevelHit::LlcVictim => {
+                let beyond_l1 = outcome
+                    .latency
+                    .saturating_sub(u64::from(self.cfg.l1_latency));
+                self.add_stall(beyond_l1 / HIT_EXPOSURE_DIV);
+            }
+            LevelHit::Memory => {
+                let inst = self.instructions;
+                let rob = u64::from(self.cfg.rob_size);
+                while let Some(&front) = self.miss_window.front() {
+                    if front + rob < inst {
+                        self.miss_window.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                let mlp = if ev.dependent {
+                    1
+                } else {
+                    (self.miss_window.len() + 1).min(MAX_MLP) as u64
+                };
+                self.add_stall(outcome.latency / mlp);
+                self.miss_window.push_back(inst);
+                if self.miss_window.len() > MAX_MLP {
+                    self.miss_window.pop_front();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(dependent: bool) -> TraceEvent {
+        TraceEvent {
+            gap: 0,
+            pc: 0,
+            addr: 0,
+            kind: AccessKind::Load,
+            dependent,
+        }
+    }
+
+    fn outcome(level: LevelHit, latency: u64) -> AccessOutcome {
+        AccessOutcome { level, latency }
+    }
+
+    #[test]
+    fn compute_retires_at_width() {
+        let mut c = CoreModel::new(CoreConfig::default());
+        c.work(400);
+        assert_eq!(c.cycles(), 100);
+        assert!((c.ipc() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_hits_are_free() {
+        let mut c = CoreModel::new(CoreConfig::default());
+        c.work(4);
+        c.account(&load(false), &outcome(LevelHit::L1, 3));
+        assert_eq!(c.cycles(), 1);
+    }
+
+    #[test]
+    fn llc_hits_expose_a_quarter() {
+        let mut c = CoreModel::new(CoreConfig::default());
+        c.work(4);
+        // 27-cycle LLC hit: (27 - 3) / 4 = 6 cycles exposed.
+        c.account(&load(false), &outcome(LevelHit::LlcBase, 27));
+        assert_eq!(c.cycles(), 1 + 6);
+    }
+
+    #[test]
+    fn dependent_misses_serialize() {
+        let mut c = CoreModel::new(CoreConfig::default());
+        c.work(4);
+        c.account(&load(true), &outcome(LevelHit::Memory, 200));
+        c.work(4);
+        c.account(&load(true), &outcome(LevelHit::Memory, 200));
+        assert_eq!(c.cycles(), 2 + 400, "no overlap for dependent misses");
+    }
+
+    #[test]
+    fn independent_misses_overlap() {
+        let mut c = CoreModel::new(CoreConfig::default());
+        c.work(4);
+        c.account(&load(false), &outcome(LevelHit::Memory, 200));
+        c.work(4);
+        c.account(&load(false), &outcome(LevelHit::Memory, 200));
+        // Second miss sees MLP 2: stalls 100, not 200.
+        assert_eq!(c.cycles(), 2 + 200 + 100);
+    }
+
+    #[test]
+    fn distant_misses_do_not_overlap() {
+        let mut c = CoreModel::new(CoreConfig::default());
+        c.account(&load(false), &outcome(LevelHit::Memory, 200));
+        c.work(1000); // past the 224-entry ROB window
+        c.account(&load(false), &outcome(LevelHit::Memory, 200));
+        assert_eq!(c.cycles(), 250 + 200 + 200);
+    }
+
+    #[test]
+    fn stores_never_stall() {
+        let mut c = CoreModel::new(CoreConfig::default());
+        c.work(4);
+        let mut store = load(false);
+        store.kind = AccessKind::Store;
+        c.account(&store, &outcome(LevelHit::Memory, 500));
+        assert_eq!(c.cycles(), 1);
+    }
+
+    #[test]
+    fn mlp_is_capped() {
+        let mut c = CoreModel::new(CoreConfig::default());
+        for _ in 0..20 {
+            c.work(1);
+            c.account(&load(false), &outcome(LevelHit::Memory, 800));
+        }
+        // Every stall divides by at most MAX_MLP.
+        let min_possible = 20 * 800 / 8;
+        assert!(c.cycles() >= min_possible as u64);
+    }
+}

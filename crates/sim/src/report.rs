@@ -1,0 +1,86 @@
+//! Reporting helpers shared by the experiment harness.
+
+/// Geometric mean of a sequence of positive ratios, the paper's average
+/// for normalized IPC and miss-rate ratios (Section V).
+///
+/// Returns 1.0 for an empty input.
+///
+/// # Examples
+///
+/// ```
+/// use bv_sim::report::geomean;
+///
+/// let g = geomean([2.0, 0.5]);
+/// assert!((g - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn geomean<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0u64;
+    for v in values {
+        debug_assert!(v > 0.0, "geomean of non-positive value {v}");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Arithmetic mean; 0.0 for an empty input.
+#[must_use]
+pub fn mean<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Renders a two-column TSV block (label, value) for experiment output
+/// files.
+#[must_use]
+pub fn tsv_block<'a, I>(header: &str, rows: I) -> String
+where
+    I: IntoIterator<Item = (&'a str, f64)>,
+{
+    let mut out = format!("# {header}\n");
+    for (label, value) in rows {
+        out.push_str(&format!("{label}\t{value:.6}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 1.0);
+        let paper_like = geomean([1.073; 60]);
+        assert!((paper_like - 1.073).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert!((mean([1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn tsv_block_formats() {
+        let s = tsv_block("fig8", [("trace.a", 1.05), ("trace.b", 0.99)]);
+        assert!(s.starts_with("# fig8\n"));
+        assert!(s.contains("trace.a\t1.050000\n"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Multi-program workload mixes (Section V / Figure 13).
+//!
+//! The paper evaluates 20 four-way multi-programmed mixes built from
+//! representative cache-sensitive single-threaded traces, sharing one LLC.
+//! Each thread runs a fixed instruction budget; threads that finish early
+//! keep executing to preserve contention, and performance is reported as
+//! the weighted speedup over the same mix on an uncompressed LLC.
+
+use crate::registry::{TraceRegistry, TraceSpec};
+
+/// A named 4-way mix of registered traces.
+#[derive(Clone, Debug)]
+pub struct MixSpec {
+    /// Mix name, e.g. `"mix.07"`.
+    pub name: String,
+    /// Names of the four member traces.
+    pub members: [String; 4],
+}
+
+impl MixSpec {
+    /// Resolves the member traces against a registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any member name is missing from the registry (mixes are
+    /// always built from the same registry, so this indicates a bug).
+    #[must_use]
+    pub fn resolve<'r>(&self, registry: &'r TraceRegistry) -> [&'r TraceSpec; 4] {
+        core::array::from_fn(|i| {
+            registry
+                .get(&self.members[i])
+                .unwrap_or_else(|| panic!("mix member {} not in registry", self.members[i]))
+        })
+    }
+}
+
+/// Builds the paper's 20 four-way mixes from the 60 cache-sensitive
+/// traces.
+///
+/// Mixes are formed deterministically by striding through the sensitive
+/// list with co-prime offsets, so each mix blends categories and
+/// compressibility classes the way the paper's "representative" mixes do.
+///
+/// # Examples
+///
+/// ```
+/// use bv_trace::{mix::paper_mixes, TraceRegistry};
+///
+/// let reg = TraceRegistry::paper_default();
+/// let mixes = paper_mixes(&reg);
+/// assert_eq!(mixes.len(), 20);
+/// let members = mixes[0].resolve(&reg);
+/// assert!(members.iter().all(|t| t.cache_sensitive));
+/// ```
+#[must_use]
+pub fn paper_mixes(registry: &TraceRegistry) -> Vec<MixSpec> {
+    let sensitive: Vec<&TraceSpec> = registry.cache_sensitive().collect();
+    let n = sensitive.len();
+    assert!(n >= 4, "need at least four sensitive traces");
+    (0..20)
+        .map(|m| {
+            // Stride 7, 11, 13, 17 are co-prime with 60: good coverage.
+            let members = core::array::from_fn(|j| {
+                let idx = (m * 3 + j * [7, 11, 13, 17][j]) % n;
+                sensitive[idx].name.clone()
+            });
+            MixSpec {
+                name: format!("mix.{m:02}"),
+                members,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_mixes_of_four_sensitive_traces() {
+        let reg = TraceRegistry::paper_default();
+        let mixes = paper_mixes(&reg);
+        assert_eq!(mixes.len(), 20);
+        for mix in &mixes {
+            let members = mix.resolve(&reg);
+            assert!(members.iter().all(|t| t.cache_sensitive));
+            // No duplicate trace within one mix.
+            for i in 0..4 {
+                for j in i + 1..4 {
+                    assert_ne!(
+                        members[i].name, members[j].name,
+                        "{}: duplicate member",
+                        mix.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixes_are_deterministic() {
+        let reg = TraceRegistry::paper_default();
+        let a = paper_mixes(&reg);
+        let b = paper_mixes(&reg);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.members, y.members);
+        }
+    }
+
+    #[test]
+    fn mixes_span_multiple_compressibility_classes() {
+        let reg = TraceRegistry::paper_default();
+        let mixes = paper_mixes(&reg);
+        let with_unfriendly = mixes
+            .iter()
+            .filter(|m| m.resolve(&reg).iter().any(|t| !t.compression_friendly))
+            .count();
+        assert!(
+            with_unfriendly > 0,
+            "no mix contains an incompressible trace"
+        );
+    }
+}

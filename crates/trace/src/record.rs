@@ -1,0 +1,95 @@
+//! Trace event types.
+
+use core::fmt;
+
+/// The kind of memory operation an instruction performs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum AccessKind {
+    /// A demand load.
+    Load,
+    /// A demand store (write-allocate; dirties the line in the L1).
+    Store,
+    /// An instruction fetch (modeled at line granularity).
+    Ifetch,
+}
+
+impl AccessKind {
+    /// Whether this access writes.
+    #[must_use]
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Store)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessKind::Load => "load",
+            AccessKind::Store => "store",
+            AccessKind::Ifetch => "ifetch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One memory-accessing instruction in a trace, plus the number of
+/// non-memory instructions retired since the previous event.
+///
+/// This is the same information an execution-driven simulator extracts
+/// from a full instruction stream, compacted: the timing model charges
+/// `gap` instructions of pure compute work, then performs the access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Non-memory instructions preceding this access.
+    pub gap: u32,
+    /// Program counter of the accessing instruction (used by PC-indexed
+    /// prefetcher stream tables).
+    pub pc: u64,
+    /// Byte address accessed.
+    pub addr: u64,
+    /// Operation kind.
+    pub kind: AccessKind,
+    /// Whether the address depends on the previous load's value (pointer
+    /// chasing). Dependent misses cannot overlap in the out-of-order
+    /// window; independent ones can.
+    pub dependent: bool,
+}
+
+impl TraceEvent {
+    /// Instructions this event accounts for (the gap plus itself).
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        u64::from(self.gap) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_stores_write() {
+        assert!(AccessKind::Store.is_write());
+        assert!(!AccessKind::Load.is_write());
+        assert!(!AccessKind::Ifetch.is_write());
+    }
+
+    #[test]
+    fn event_accounts_for_gap_plus_self() {
+        let e = TraceEvent {
+            gap: 3,
+            pc: 0x400000,
+            addr: 0x1000,
+            kind: AccessKind::Load,
+            dependent: false,
+        };
+        assert_eq!(e.instructions(), 4);
+    }
+
+    #[test]
+    fn kinds_display() {
+        assert_eq!(AccessKind::Load.to_string(), "load");
+        assert_eq!(AccessKind::Store.to_string(), "store");
+        assert_eq!(AccessKind::Ifetch.to_string(), "ifetch");
+    }
+}

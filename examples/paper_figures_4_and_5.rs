@@ -1,0 +1,128 @@
+//! A step-by-step walkthrough of the paper's worked examples: the
+//! compressed-LLC miss of Figure 4 and the Victim-cache read hit of
+//! Figure 5, on the same 4-way LRU toy cache the paper draws.
+//!
+//! ```bash
+//! cargo run -p base-victim --example paper_figures_4_and_5
+//! ```
+
+use base_victim::{
+    BaseVictimLlc, Bdi, CacheGeometry, CacheLine, Compressor, LineAddr, LlcOrganization, NoInner,
+    PolicyKind, VictimPolicyKind,
+};
+
+/// Builds a line whose BDI size is `segments` (supported: 2, 5, 6, 11).
+fn line(segments: u8) -> CacheLine {
+    let l = match segments {
+        2 => CacheLine::from_u64_words(&[0xfeed_f00d_dead_0000; 8]),
+        5 => CacheLine::from_u64_words(&core::array::from_fn(|i| 0x7f00_0000_0000 + i as u64)),
+        6 => CacheLine::from_u32_words(&core::array::from_fn(|i| {
+            0x0100_0000 + (i as u32 % 5) * 8 + (i as u32 & 1)
+        })),
+        11 => CacheLine::from_u64_words(&core::array::from_fn(|i| {
+            0x7f00_0000_0000 + i as u64 * 1_000_000
+        })),
+        _ => panic!("unsupported size"),
+    };
+    assert_eq!(Bdi::new().compressed_size(&l).get(), segments);
+    l
+}
+
+fn show(llc: &BaseVictimLlc, names: &dyn Fn(LineAddr) -> &'static str) {
+    let mut base: Vec<&str> = llc.baseline_lines().iter().map(|&a| names(a)).collect();
+    let mut vict: Vec<&str> = llc.victim_lines().iter().map(|&a| names(a)).collect();
+    base.sort_unstable();
+    vict.sort_unstable();
+    println!("    Baseline (B) set: {base:?}");
+    println!("    Victim   (V) set: {vict:?}");
+}
+
+fn main() {
+    // One 4-way set, LRU baseline, ECM-inspired victim policy — the
+    // paper's toy configuration (the paper draws 8-byte segments; this
+    // implementation uses the evaluation's 4-byte segments, so "6 of 8"
+    // in the figure corresponds to ~11 of 16 here).
+    let geom = CacheGeometry::new(256, 4, 64);
+    let mut llc = BaseVictimLlc::new(geom, PolicyKind::Lru, VictimPolicyKind::EcmLargestBase);
+    let mut inner = NoInner;
+
+    // Addresses A..F + Z, all mapping to the single set.
+    let addr = |k: u64| LineAddr::new(k);
+    let names = |a: LineAddr| match a.get() {
+        0 => "A",
+        1 => "B",
+        2 => "C",
+        3 => "D",
+        4 => "E",
+        5 => "F",
+        6 => "X",
+        9 => "Z",
+        _ => "?",
+    };
+
+    println!("=== Setup: build the Figure 4 'before' state ===");
+    // Base lines A, B, C, D fill the four ways (sizes chosen so victims
+    // can pair with some bases but not others).
+    for (k, size) in [(0, 11), (1, 5), (2, 11), (3, 5)] {
+        llc.fill(addr(k), line(size), &mut inner);
+    }
+    // Park E, F, X in the victim cache by displacing them through the
+    // baseline: fill each, then refill the original so it displaces.
+    for (k, size) in [(4, 5), (5, 2), (6, 2)] {
+        llc.fill(addr(k), line(size), &mut inner);
+        // The LRU baseline line was displaced into the victim cache;
+        // promote it back by reading it, which parks the new line.
+        let displaced = llc.victim_lines().first().copied().expect("a line parked");
+        let _ = llc.read(displaced, &mut inner);
+        let _ = k;
+        let _ = size;
+    }
+    show(&llc, &names);
+    llc.assert_invariants();
+
+    println!("\n=== Figure 4: a miss to Z (needs 11 of 16 segments) ===");
+    println!("  1. LRU victim chosen from the Baseline cache");
+    println!("  2. (if modified) victim written back — Victim-cache lines stay clean");
+    println!("  3. partner that no longer fits is silently evicted");
+    println!("  4. Z installed; the displaced base line parks in any fitting way");
+    let before_writes = llc.stats().memory_writes;
+    let out = llc.fill(addr(9), line(11), &mut inner);
+    show(&llc, &names);
+    println!(
+        "    effects: {} writeback(s), {} partner eviction(s), {} migration(s)",
+        llc.stats().memory_writes - before_writes,
+        out.effects.partner_evictions,
+        out.effects.migrations
+    );
+    assert!(
+        llc.stats().memory_writes - before_writes <= 1,
+        "at most one writeback per fill — the paper's guarantee"
+    );
+    llc.assert_invariants();
+
+    println!("\n=== Figure 5: a read that hits the Victim cache ===");
+    let victim_line = llc
+        .victim_lines()
+        .first()
+        .copied()
+        .expect("victim cache is not empty");
+    println!("  read of '{}' hits the Victim cache:", names(victim_line));
+    println!("  1. the LRU baseline line is displaced (written back if dirty)");
+    println!("  2. the hit line is promoted into the Baseline cache");
+    println!("  3. the displaced line parks opportunistically in the Victim cache");
+    let out = llc.read(victim_line, &mut inner);
+    println!("    outcome: {:?}", out.kind);
+    show(&llc, &names);
+    assert!(
+        out.is_hit(),
+        "victim hits are hits — the cache kept the line"
+    );
+    assert!(
+        llc.baseline_lines().contains(&victim_line),
+        "promoted into the Baseline cache"
+    );
+    llc.assert_invariants();
+
+    println!("\nThe Baseline cache went through exactly the states an uncompressed");
+    println!("LRU cache would have — that is the architecture's hit-rate guarantee.");
+}

@@ -1,0 +1,222 @@
+//! `bvsim` — command-line driver for the Base-Victim simulator.
+//!
+//! ```text
+//! bvsim --list-traces
+//! bvsim --trace specint.mcf.07 --llc base-victim --compare
+//! bvsim --trace client.octane.00 --llc two-tag --policy srrip \
+//!       --llc-mb 4 --ways 16 --warmup 2000000 --insts 3000000
+//! ```
+
+use base_victim::{LlcKind, PolicyKind, SimConfig, System, TraceRegistry, VictimPolicyKind};
+use std::process::ExitCode;
+
+struct Args {
+    trace: Option<String>,
+    list: bool,
+    llc: LlcKind,
+    policy: PolicyKind,
+    llc_mb: usize,
+    ways: usize,
+    warmup: u64,
+    insts: u64,
+    compare: bool,
+}
+
+const USAGE: &str = "\
+bvsim — trace-driven simulation of the Base-Victim compressed LLC
+
+USAGE:
+    bvsim --trace <name> [options]
+    bvsim --list-traces
+
+OPTIONS:
+    --trace <name>      registry trace to run (see --list-traces)
+    --list-traces       print the 100-trace registry and exit
+    --llc <kind>        uncompressed | two-tag | two-tag-ecm | base-victim
+                        | base-victim-ni | vsc   (default: base-victim)
+    --policy <name>     lru | nru | srrip | char | camp | random
+                        (default: nru, as in the paper)
+    --llc-mb <n>        LLC capacity in MB (default: 2)
+    --ways <n>          LLC associativity (default: 16)
+    --warmup <n>        warmup instructions (default: 1000000)
+    --insts <n>         measured instructions (default: 1500000)
+    --compare           also run the uncompressed baseline and print ratios
+    --help              this text
+";
+
+fn parse_llc(s: &str) -> Option<LlcKind> {
+    Some(match s {
+        "uncompressed" => LlcKind::Uncompressed,
+        "two-tag" => LlcKind::TwoTag,
+        "two-tag-ecm" => LlcKind::TwoTagEcm,
+        "base-victim" => LlcKind::BaseVictim,
+        "base-victim-ni" => LlcKind::BaseVictimNonInclusive,
+        "base-victim-random-fit" => LlcKind::BaseVictimWith(VictimPolicyKind::RandomFit),
+        "vsc" => LlcKind::Vsc,
+        _ => return None,
+    })
+}
+
+fn parse_policy(s: &str) -> Option<PolicyKind> {
+    Some(match s {
+        "lru" => PolicyKind::Lru,
+        "nru" => PolicyKind::Nru,
+        "srrip" => PolicyKind::Srrip,
+        "char" => PolicyKind::CharLite,
+        "camp" => PolicyKind::CampLite,
+        "random" => PolicyKind::Random,
+        _ => return None,
+    })
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        trace: None,
+        list: false,
+        llc: LlcKind::BaseVictim,
+        policy: PolicyKind::Nru,
+        llc_mb: 2,
+        ways: 16,
+        warmup: 1_000_000,
+        insts: 1_500_000,
+        compare: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--list-traces" => args.list = true,
+            "--llc" => {
+                let v = value("--llc")?;
+                args.llc = parse_llc(&v).ok_or_else(|| format!("unknown LLC kind '{v}'"))?;
+            }
+            "--policy" => {
+                let v = value("--policy")?;
+                args.policy = parse_policy(&v).ok_or_else(|| format!("unknown policy '{v}'"))?;
+            }
+            "--llc-mb" => {
+                args.llc_mb = value("--llc-mb")?
+                    .parse()
+                    .map_err(|e| format!("--llc-mb: {e}"))?;
+            }
+            "--ways" => {
+                args.ways = value("--ways")?
+                    .parse()
+                    .map_err(|e| format!("--ways: {e}"))?;
+            }
+            "--warmup" => {
+                args.warmup = value("--warmup")?
+                    .parse()
+                    .map_err(|e| format!("--warmup: {e}"))?;
+            }
+            "--insts" => {
+                args.insts = value("--insts")?
+                    .parse()
+                    .map_err(|e| format!("--insts: {e}"))?;
+            }
+            "--compare" => args.compare = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let registry = TraceRegistry::paper_default();
+
+    if args.list {
+        println!(
+            "{:28} {:12} {:10} {:12} {:>8}",
+            "name", "category", "sensitive", "compressible", "WS(MB)"
+        );
+        for t in registry.all() {
+            println!(
+                "{:28} {:12} {:10} {:12} {:>8}",
+                t.name,
+                t.category.name(),
+                t.cache_sensitive,
+                t.compression_friendly,
+                t.workload.working_set_bytes() >> 20
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(name) = args.trace.as_deref() else {
+        eprintln!("error: --trace <name> or --list-traces required\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let Some(trace) = registry.get(name) else {
+        eprintln!("error: trace '{name}' not in the registry (try --list-traces)");
+        return ExitCode::FAILURE;
+    };
+
+    let cfg = SimConfig::single_thread(args.llc)
+        .with_llc_size(args.llc_mb * 1024 * 1024, args.ways)
+        .with_policy(args.policy);
+    println!(
+        "trace {} | LLC {} {} MB {}-way, {} policy | warmup {} + measure {} instructions",
+        trace.name,
+        args.llc.name(),
+        args.llc_mb,
+        args.ways,
+        args.policy.name(),
+        args.warmup,
+        args.insts
+    );
+
+    let run = System::new(cfg).run_with_warmup(&trace.workload, args.warmup, args.insts);
+    println!("\n=== {} ===", run.llc_name);
+    println!("IPC                 : {:.4}", run.ipc());
+    println!("cycles              : {}", run.cycles);
+    println!(
+        "LLC hits            : {} base + {} victim, {} misses (hit rate {:.1}%)",
+        run.llc.base_hits,
+        run.llc.victim_hits,
+        run.llc.read_misses,
+        run.llc.hit_rate() * 100.0
+    );
+    println!(
+        "DRAM                : {} reads, {} writes (row-hit {:.0}%)",
+        run.dram.reads,
+        run.dram.writes,
+        run.dram.row_hit_rate() * 100.0
+    );
+    println!(
+        "compressed size     : {:.0}% of uncompressed (mean over LLC fills)",
+        run.compression.mean_ratio() * 100.0
+    );
+    println!("level mix (L1/L2/LLCb/LLCv/mem): {:?}", run.level_hits);
+
+    if args.compare {
+        let base_cfg = SimConfig::single_thread(LlcKind::Uncompressed)
+            .with_llc_size(args.llc_mb * 1024 * 1024, args.ways)
+            .with_policy(args.policy);
+        let base = System::new(base_cfg).run_with_warmup(&trace.workload, args.warmup, args.insts);
+        println!("\n=== vs uncompressed baseline ===");
+        println!(
+            "IPC ratio           : {:.4} ({:+.2}%)",
+            run.ipc_ratio(&base),
+            (run.ipc_ratio(&base) - 1.0) * 100.0
+        );
+        println!("DRAM read ratio     : {:.4}", run.dram_read_ratio(&base));
+        println!(
+            "baseline IPC        : {:.4}, reads {}",
+            base.ipc(),
+            base.dram.reads
+        );
+    }
+    ExitCode::SUCCESS
+}

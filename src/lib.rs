@@ -1,0 +1,100 @@
+//! # base-victim
+//!
+//! A full reproduction of **"Base-Victim Compression: An Opportunistic
+//! Cache Compression Architecture"** (Gaur, Alameldeen, Subramoney —
+//! ISCA 2016) as a Rust workspace: the Base-Victim compressed LLC, the
+//! two-tag baselines it is compared against, the BDI/FPC/C-Pack
+//! compression algorithms, a trace-driven CPU + memory timing simulator,
+//! a 100-trace synthetic workload registry, and an energy model — plus the
+//! experiment harness that regenerates every figure in the paper's
+//! evaluation.
+//!
+//! This crate is a facade: it re-exports the workspace's public API under
+//! one roof so downstream users can depend on a single crate.
+//!
+//! ## The architecture in one paragraph
+//!
+//! Each physical LLC way carries two tags. Tag 0 of every way forms the
+//! **Baseline cache**, which runs the unmodified replacement policy and
+//! therefore always holds exactly the lines an uncompressed cache would —
+//! guaranteeing the hit rate never drops. Tag 1 forms the **Victim
+//! cache**: when the Baseline cache displaces a line, it is written back
+//! (if dirty) and then *opportunistically* parked in any way whose base
+//! line is compressed small enough (BDI, 4-byte segments) to share the
+//! physical 64 bytes. Victim lines are always clean, so they can be
+//! dropped silently — at most one writeback per fill, no re-compaction,
+//! and no changes to the data array.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use base_victim::{
+//!     BaseVictimLlc, CacheGeometry, CacheLine, LineAddr, LlcOrganization, NoInner,
+//!     PolicyKind, VictimPolicyKind,
+//! };
+//!
+//! // The paper's single-thread LLC: 2 MB, 16 ways, 1-bit NRU.
+//! let geom = CacheGeometry::new(2 * 1024 * 1024, 16, 64);
+//! let mut llc = BaseVictimLlc::new(geom, PolicyKind::Nru, VictimPolicyKind::EcmLargestBase);
+//!
+//! let mut inner = NoInner; // no L1/L2 in this example
+//! let addr = LineAddr::from_byte_addr(0x4000_0000);
+//! assert!(!llc.read(addr, &mut inner).is_hit());
+//! llc.fill(addr, CacheLine::zeroed(), &mut inner);
+//! assert!(llc.read(addr, &mut inner).is_hit());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`compress`] | BDI, FPC, C-Pack, the [`Compressor`] trait |
+//! | [`cache`] | geometry, replacement policies, the L1/L2 substrate |
+//! | [`llc`] | the LLC organizations (Base-Victim + baselines) |
+//! | [`trace`] | synthetic workloads, the 100-trace registry, mixes |
+//! | [`sim`] | the timing simulator (core, DRAM, prefetch, hierarchy) |
+//! | [`energy`] | the Figure 14 energy model |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Cache-line compression algorithms (re-export of `bv-compress`).
+pub mod compress {
+    pub use bv_compress::*;
+}
+
+/// Generic cache substrate (re-export of `bv-cache`).
+pub mod cache {
+    pub use bv_cache::*;
+}
+
+/// LLC organizations (re-export of `bv-core`).
+pub mod llc {
+    pub use bv_core::*;
+}
+
+/// Synthetic workloads and traces (re-export of `bv-trace`).
+pub mod trace {
+    pub use bv_trace::*;
+}
+
+/// The timing simulator (re-export of `bv-sim`).
+pub mod sim {
+    pub use bv_sim::*;
+}
+
+/// The energy model (re-export of `bv-energy`).
+pub mod energy {
+    pub use bv_energy::*;
+}
+
+// Convenience re-exports of the most common types.
+pub use bv_cache::{BasicCache, CacheGeometry, CacheStats, LineAddr, PolicyKind};
+pub use bv_compress::{Bdi, CPack, CacheLine, CompressionStats, Compressor, Fpc, SegmentCount};
+pub use bv_core::{
+    BaseVictimLlc, DccLlc, HitKind, InclusionAgent, InclusionMode, LlcOrganization, LlcStats,
+    NoInner, TwoTagEcmLlc, TwoTagLlc, UncompressedLlc, VictimPolicyKind, VscLlc,
+};
+pub use bv_energy::{EnergyBreakdown, EnergyModel, LlcEnergyClass};
+pub use bv_sim::{CompressorKind, LlcKind, MulticoreSystem, RunResult, SimConfig, System};
+pub use bv_trace::{TraceRegistry, TraceSpec, WorkloadCategory};

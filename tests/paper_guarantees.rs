@@ -1,0 +1,175 @@
+//! End-to-end integration tests of the paper's architectural guarantees,
+//! exercised through the full simulated system (L1/L2/LLC/DRAM with
+//! prefetching) on registry workloads.
+
+use base_victim::{LlcKind, SimConfig, System, TraceRegistry};
+
+const WARMUP: u64 = 300_000;
+const INSTS: u64 = 300_000;
+
+fn sample_traces(registry: &TraceRegistry) -> Vec<&base_victim::TraceSpec> {
+    // A deterministic cross-section: two per category, both classes.
+    let names = [
+        "specfp.cactusadm.00",
+        "specfp.gemsfdtd.14", // low-compressibility band (index 13..18)
+        "specint.mcf.07",
+        "specint.xalancbmk.16",
+        "productivity.sysmark.00",
+        "client.octane.00",
+        "client.speech.13",
+    ];
+    names.iter().filter_map(|n| registry.get(n)).collect()
+}
+
+/// The headline guarantee: Base-Victim never increases memory reads and
+/// never decreases LLC hits, for any workload.
+#[test]
+fn hit_rate_guarantee_end_to_end() {
+    let registry = TraceRegistry::paper_default();
+    let traces = sample_traces(&registry);
+    assert!(traces.len() >= 5, "sample traces must resolve");
+    for t in traces {
+        let base = System::new(SimConfig::single_thread(LlcKind::Uncompressed)).run_with_warmup(
+            &t.workload,
+            WARMUP,
+            INSTS,
+        );
+        let bv = System::new(SimConfig::single_thread(LlcKind::BaseVictim)).run_with_warmup(
+            &t.workload,
+            WARMUP,
+            INSTS,
+        );
+        assert!(
+            bv.llc.read_misses <= base.llc.read_misses,
+            "{}: Base-Victim misses {} > uncompressed {}",
+            t.name,
+            bv.llc.read_misses,
+            base.llc.read_misses
+        );
+        assert!(
+            bv.dram.reads <= base.dram.reads,
+            "{}: Base-Victim DRAM reads {} > uncompressed {}",
+            t.name,
+            bv.dram.reads,
+            base.dram.reads
+        );
+    }
+}
+
+/// The paper's one-writeback-per-fill property: the Victim cache is always
+/// clean, so Base-Victim issues no more DRAM writes than the baseline.
+#[test]
+fn no_extra_writebacks() {
+    let registry = TraceRegistry::paper_default();
+    for t in sample_traces(&registry) {
+        let base = System::new(SimConfig::single_thread(LlcKind::Uncompressed)).run_with_warmup(
+            &t.workload,
+            WARMUP,
+            INSTS,
+        );
+        let bv = System::new(SimConfig::single_thread(LlcKind::BaseVictim)).run_with_warmup(
+            &t.workload,
+            WARMUP,
+            INSTS,
+        );
+        // The victim cache saves reads but never writes (Section IV.A):
+        // writeback traffic must match the baseline's (same dirty lines,
+        // possibly shifted in time by at most the warmup boundary).
+        let drift = base.dram.writes / 5 + 200;
+        assert!(
+            bv.dram.writes <= base.dram.writes + drift,
+            "{}: writes {} vs baseline {}",
+            t.name,
+            bv.dram.writes,
+            base.dram.writes
+        );
+    }
+}
+
+/// Guarantee holds under every baseline replacement policy (Figure 10's
+/// premise: compression must not break the policy's behavior).
+#[test]
+fn guarantee_holds_for_all_policies() {
+    use base_victim::PolicyKind;
+    let registry = TraceRegistry::paper_default();
+    let t = registry.get("specint.mcf.07").expect("trace exists");
+    for policy in [
+        PolicyKind::Nru,
+        PolicyKind::Lru,
+        PolicyKind::Srrip,
+        PolicyKind::CharLite,
+    ] {
+        let base = System::new(SimConfig::single_thread(LlcKind::Uncompressed).with_policy(policy))
+            .run_with_warmup(&t.workload, WARMUP, INSTS);
+        let bv = System::new(SimConfig::single_thread(LlcKind::BaseVictim).with_policy(policy))
+            .run_with_warmup(&t.workload, WARMUP, INSTS);
+        assert!(
+            bv.llc.read_misses <= base.llc.read_misses,
+            "policy {policy}: guarantee violated"
+        );
+    }
+}
+
+/// The two-tag baselines carry no such guarantee: their read traffic can
+/// exceed the baseline on low-compressibility traces (the Section III
+/// negative interaction).
+#[test]
+fn two_tag_has_no_guarantee_but_runs_clean() {
+    let registry = TraceRegistry::paper_default();
+    let t = registry
+        .get("specfp.gemsfdtd.14")
+        .expect("low-compressibility trace");
+    assert!(!t.compression_friendly);
+    for kind in [LlcKind::TwoTag, LlcKind::TwoTagEcm] {
+        let r =
+            System::new(SimConfig::single_thread(kind)).run_with_warmup(&t.workload, WARMUP, INSTS);
+        assert!(r.instructions >= INSTS);
+        assert!(r.ipc() > 0.0);
+    }
+}
+
+/// Multi-program: the shared-LLC hit rate is at least the baseline's for
+/// every mix (Section VI.C).
+#[test]
+fn multiprogram_hit_rate_guarantee() {
+    use base_victim::trace::mix::paper_mixes;
+    use base_victim::MulticoreSystem;
+    let registry = TraceRegistry::paper_default();
+    let mixes = paper_mixes(&registry);
+    for mix in mixes.iter().take(2) {
+        let members = mix.resolve(&registry);
+        let workloads: Vec<_> = members.iter().map(|t| t.workload.clone()).collect();
+        let base = MulticoreSystem::new(SimConfig::multi_program(LlcKind::Uncompressed))
+            .run(&workloads, 150_000);
+        let bv = MulticoreSystem::new(SimConfig::multi_program(LlcKind::BaseVictim))
+            .run(&workloads, 150_000);
+        assert!(
+            bv.llc.hit_rate() >= base.llc.hit_rate() - 1e-12,
+            "{}: hit rate {:.4} < baseline {:.4}",
+            mix.name,
+            bv.llc.hit_rate(),
+            base.llc.hit_rate()
+        );
+    }
+}
+
+/// Determinism across the whole stack: identical runs produce identical
+/// counters (required for reproducible experiments).
+#[test]
+fn full_system_determinism() {
+    let registry = TraceRegistry::paper_default();
+    let t = registry.get("client.octane.00").expect("trace exists");
+    let run = || {
+        System::new(SimConfig::single_thread(LlcKind::BaseVictim)).run_with_warmup(
+            &t.workload,
+            100_000,
+            100_000,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.llc, b.llc);
+    assert_eq!(a.dram, b.dram);
+    assert_eq!(a.level_hits, b.level_hits);
+}
