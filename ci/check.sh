@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Repository quality gate: formatting, lints, build, and the full test
+# suite (including the orchestration determinism/resume tests, which run
+# as part of the default `cargo test`).
+#
+# Usage: ci/check.sh [--quick]
+#   --quick   skip the release build and workspace tests (fmt+clippy only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, all targets, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" == "--quick" ]]; then
+    echo "quick mode: skipping build + tests"
+    exit 0
+fi
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test (workspace) =="
+cargo test --workspace -q
+
+echo "All checks passed."

@@ -1,39 +1,32 @@
-//! Criterion micro-benchmarks for the compression algorithms: the
+//! Micro-benchmarks for the compression algorithms: the
 //! compress/decompress costs that Section V charges as 2 decompression
 //! cycles and Section VI.D as codec energy.
 
 use bv_compress::{Bdi, CPack, CacheLine, Compressor, Fpc};
+use bv_testkit::bench::time;
 use bv_trace::DataProfile;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 fn lines_for(profile: DataProfile, n: u64) -> Vec<CacheLine> {
     (0..n).map(|i| profile.synthesize(i * 131, 0)).collect()
 }
 
-fn bench_compress(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compress_64B_line");
-    group.sample_size(20);
+fn bench_compress() {
     let lines = lines_for(DataProfile::PointerLike, 256);
     for (name, comp) in [
         ("bdi", Box::new(Bdi::new()) as Box<dyn Compressor>),
         ("fpc", Box::new(Fpc::new())),
         ("cpack", Box::new(CPack::new())),
     ] {
-        group.bench_function(name, |b| {
-            let mut i = 0;
-            b.iter(|| {
-                i = (i + 1) % lines.len();
-                black_box(comp.compressed_size(&lines[i]))
-            });
+        time("compress_64B_line", name, 20, || {
+            for line in &lines {
+                black_box(comp.compressed_size(line));
+            }
         });
     }
-    group.finish();
 }
 
-fn bench_decompress(c: &mut Criterion) {
-    let mut group = c.benchmark_group("decompress_64B_line");
-    group.sample_size(20);
+fn bench_decompress() {
     let bdi = Bdi::new();
     for profile in [
         DataProfile::PointerLike,
@@ -44,20 +37,20 @@ fn bench_decompress(c: &mut Criterion) {
             .iter()
             .map(|l| bdi.compress(l))
             .collect();
-        group.bench_function(format!("bdi_{profile:?}"), |b| {
-            let mut i = 0;
-            b.iter_batched(
-                || {
-                    i = (i + 1) % compressed.len();
-                    &compressed[i]
-                },
-                |c| black_box(bdi.decompress(c)),
-                BatchSize::SmallInput,
-            );
-        });
+        time(
+            "decompress_64B_line",
+            &format!("bdi_{profile:?}"),
+            20,
+            || {
+                for c in &compressed {
+                    black_box(bdi.decompress(c));
+                }
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_compress, bench_decompress);
-criterion_main!(benches);
+fn main() {
+    bench_compress();
+    bench_decompress();
+}

@@ -1,14 +1,14 @@
-//! Criterion benchmarks comparing the per-access cost of each LLC
-//! organization model (the machinery behind Figures 6-8): uncompressed,
-//! naive two-tag, ECM two-tag, Base-Victim, and functional VSC.
+//! Benchmarks comparing the per-access cost of each LLC organization
+//! model (the machinery behind Figures 6-8): uncompressed, naive two-tag,
+//! ECM two-tag, Base-Victim, and functional VSC.
 
 use bv_cache::{CacheGeometry, LineAddr, PolicyKind};
 use bv_core::{
     BaseVictimLlc, LlcOrganization, NoInner, TwoTagEcmLlc, TwoTagLlc, UncompressedLlc,
     VictimPolicyKind, VscLlc,
 };
+use bv_testkit::bench::time;
 use bv_trace::DataProfile;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 /// A deterministic mixed-compressibility access pattern over ~2x the
@@ -37,62 +37,45 @@ fn drive(org: &mut dyn LlcOrganization, accesses: u64) -> u64 {
     hits
 }
 
-fn bench_organizations(c: &mut Criterion) {
-    let mut group = c.benchmark_group("llc_access");
-    group.sample_size(10);
+fn bench_organizations() {
     let geom = CacheGeometry::new(256 * 1024, 16, 64); // scaled-down LLC
     let accesses = 50_000;
 
-    group.bench_function("uncompressed", |b| {
-        b.iter(|| {
-            let mut org = UncompressedLlc::new(geom, PolicyKind::Nru);
-            black_box(drive(&mut org, accesses))
-        });
+    time("llc_access", "uncompressed", 10, || {
+        let mut org = UncompressedLlc::new(geom, PolicyKind::Nru);
+        black_box(drive(&mut org, accesses))
     });
-    group.bench_function("two_tag", |b| {
-        b.iter(|| {
-            let mut org = TwoTagLlc::new(geom, PolicyKind::Nru);
-            black_box(drive(&mut org, accesses))
-        });
+    time("llc_access", "two_tag", 10, || {
+        let mut org = TwoTagLlc::new(geom, PolicyKind::Nru);
+        black_box(drive(&mut org, accesses))
     });
-    group.bench_function("two_tag_ecm", |b| {
-        b.iter(|| {
-            let mut org = TwoTagEcmLlc::new(geom, PolicyKind::Nru);
-            black_box(drive(&mut org, accesses))
-        });
+    time("llc_access", "two_tag_ecm", 10, || {
+        let mut org = TwoTagEcmLlc::new(geom, PolicyKind::Nru);
+        black_box(drive(&mut org, accesses))
     });
-    group.bench_function("base_victim", |b| {
-        b.iter(|| {
-            let mut org =
-                BaseVictimLlc::new(geom, PolicyKind::Nru, VictimPolicyKind::EcmLargestBase);
-            black_box(drive(&mut org, accesses))
-        });
+    time("llc_access", "base_victim", 10, || {
+        let mut org = BaseVictimLlc::new(geom, PolicyKind::Nru, VictimPolicyKind::EcmLargestBase);
+        black_box(drive(&mut org, accesses))
     });
-    group.bench_function("vsc_2x", |b| {
-        b.iter(|| {
-            let mut org = VscLlc::new(geom, PolicyKind::Lru);
-            black_box(drive(&mut org, accesses))
-        });
+    time("llc_access", "vsc_2x", 10, || {
+        let mut org = VscLlc::new(geom, PolicyKind::Lru);
+        black_box(drive(&mut org, accesses))
     });
-    group.finish();
 }
 
-fn bench_victim_policies(c: &mut Criterion) {
+fn bench_victim_policies() {
     // Section VI.B.4's variants have identical hit rates to first order;
     // this measures their selection cost.
-    let mut group = c.benchmark_group("victim_policy");
-    group.sample_size(10);
     let geom = CacheGeometry::new(256 * 1024, 16, 64);
     for vp in VictimPolicyKind::ALL {
-        group.bench_function(vp.name(), |b| {
-            b.iter(|| {
-                let mut org = BaseVictimLlc::new(geom, PolicyKind::Nru, vp);
-                black_box(drive(&mut org, 30_000))
-            });
+        time("victim_policy", vp.name(), 10, || {
+            let mut org = BaseVictimLlc::new(geom, PolicyKind::Nru, vp);
+            black_box(drive(&mut org, 30_000))
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_organizations, bench_victim_policies);
-criterion_main!(benches);
+fn main() {
+    bench_organizations();
+    bench_victim_policies();
+}

@@ -1,15 +1,15 @@
-//! Criterion benchmarks of full-system simulation throughput — the cost
-//! of regenerating each figure's data points. One benchmark per
-//! experiment family, on scaled-down instruction budgets.
+//! Benchmarks of full-system simulation throughput — the cost of
+//! regenerating each figure's data points. One benchmark per experiment
+//! family, on scaled-down instruction budgets.
 
 use bv_sim::{LlcKind, SimConfig, System};
+use bv_testkit::bench::time;
 use bv_trace::TraceRegistry;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 const INSTS: u64 = 150_000;
 
-fn bench_figures(c: &mut Criterion) {
+fn bench_figures() {
     let registry = TraceRegistry::paper_default();
     let trace = registry
         .get("specint.mcf.07")
@@ -17,28 +17,24 @@ fn bench_figures(c: &mut Criterion) {
         .workload
         .clone();
 
-    let mut group = c.benchmark_group("simulate_150k_insts");
-    group.sample_size(10);
     for (name, kind) in [
         ("fig6_two_tag", LlcKind::TwoTag),
         ("fig7_two_tag_ecm", LlcKind::TwoTagEcm),
         ("fig8_base_victim", LlcKind::BaseVictim),
         ("baseline_uncompressed", LlcKind::Uncompressed),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(System::new(SimConfig::single_thread(kind)).run(&trace, INSTS)));
+        time("simulate_150k_insts", name, 10, || {
+            black_box(System::new(SimConfig::single_thread(kind)).run(&trace, INSTS))
         });
     }
     // Figure 11's large-cache configuration.
-    group.bench_function("fig11_4mb", |b| {
-        let cfg =
-            SimConfig::single_thread(LlcKind::Uncompressed).with_llc_size(4 * 1024 * 1024, 16);
-        b.iter(|| black_box(System::new(cfg).run(&trace, INSTS)));
+    let cfg = SimConfig::single_thread(LlcKind::Uncompressed).with_llc_size(4 * 1024 * 1024, 16);
+    time("simulate_150k_insts", "fig11_4mb", 10, || {
+        black_box(System::new(cfg).run(&trace, INSTS))
     });
-    group.finish();
 }
 
-fn bench_multiprogram(c: &mut Criterion) {
+fn bench_multiprogram() {
     use bv_sim::MulticoreSystem;
     use bv_trace::mix::paper_mixes;
     let registry = TraceRegistry::paper_default();
@@ -46,18 +42,15 @@ fn bench_multiprogram(c: &mut Criterion) {
     let members = mixes[0].resolve(&registry);
     let workloads: Vec<_> = members.iter().map(|t| t.workload.clone()).collect();
 
-    let mut group = c.benchmark_group("fig13_multiprogram");
-    group.sample_size(10);
-    group.bench_function("4thread_50k_each", |b| {
-        b.iter(|| {
-            black_box(
-                MulticoreSystem::new(SimConfig::multi_program(LlcKind::BaseVictim))
-                    .run(&workloads, 50_000),
-            )
-        });
+    time("fig13_multiprogram", "4thread_50k_each", 10, || {
+        black_box(
+            MulticoreSystem::new(SimConfig::multi_program(LlcKind::BaseVictim))
+                .run(&workloads, 50_000),
+        )
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_figures, bench_multiprogram);
-criterion_main!(benches);
+fn main() {
+    bench_figures();
+    bench_multiprogram();
+}

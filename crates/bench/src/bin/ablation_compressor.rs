@@ -1,5 +1,5 @@
 //! Runner for the `ablation_compressor` experiment (see bv_bench::figures::ablation_compressor).
 fn main() {
-    let mut ctx = bv_bench::Ctx::new();
-    print!("{}", bv_bench::figures::ablation_compressor(&mut ctx));
+    let ctx = bv_bench::Ctx::new();
+    print!("{}", bv_bench::figures::ablation_compressor(&ctx));
 }

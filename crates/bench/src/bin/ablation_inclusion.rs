@@ -1,5 +1,5 @@
 //! Runner for the `ablation_inclusion` experiment (see bv_bench::figures::ablation_inclusion).
 fn main() {
-    let mut ctx = bv_bench::Ctx::new();
-    print!("{}", bv_bench::figures::ablation_inclusion(&mut ctx));
+    let ctx = bv_bench::Ctx::new();
+    print!("{}", bv_bench::figures::ablation_inclusion(&ctx));
 }

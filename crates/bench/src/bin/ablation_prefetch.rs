@@ -1,5 +1,5 @@
 //! Runner for the `ablation_prefetch` experiment (see bv_bench::figures::ablation_prefetch).
 fn main() {
-    let mut ctx = bv_bench::Ctx::new();
-    print!("{}", bv_bench::figures::ablation_prefetch(&mut ctx));
+    let ctx = bv_bench::Ctx::new();
+    print!("{}", bv_bench::figures::ablation_prefetch(&ctx));
 }

@@ -1,5 +1,5 @@
 //! Runner for the `area` experiment (see bv_bench::figures::area).
 fn main() {
-    let mut ctx = bv_bench::Ctx::new();
-    print!("{}", bv_bench::figures::area(&mut ctx));
+    let ctx = bv_bench::Ctx::new();
+    print!("{}", bv_bench::figures::area(&ctx));
 }

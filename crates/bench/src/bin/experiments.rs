@@ -1,15 +1,31 @@
-//! Runs the full experiment suite with a shared run cache, regenerating
-//! every table and figure in the paper's evaluation section. Writes TSV
-//! data under `results/` and a combined summary to
-//! `results/summary.txt`.
+//! Runs the full experiment suite, regenerating every table and figure
+//! in the paper's evaluation section. Writes TSV data under `results/`
+//! and a combined summary to `results/summary.txt`.
+//!
+//! The whole suite's single-core jobs are planned up front and submitted
+//! to the shared runner as one deduplicated batch, so they spread across
+//! `BV_JOBS` worker threads (default: all cores); the figure functions
+//! then assemble their tables from the result store. Set
+//! `BV_JOURNAL=<dir>` to checkpoint each run and resume an interrupted
+//! suite.
 
 use std::io::Write as _;
 
-type FigureFn = fn(&mut bv_bench::Ctx) -> String;
+type FigureFn = fn(&bv_bench::Ctx) -> String;
 
 fn main() {
     let t0 = std::time::Instant::now();
-    let mut ctx = bv_bench::Ctx::new();
+    let ctx = bv_bench::Ctx::new();
+    let plan = bv_bench::figures::plan_suite(&ctx);
+    println!(
+        "planned {} jobs ({} unique, {} resumed from journal, {} simulated) in {:.0}s on {} worker(s)",
+        plan.requested,
+        plan.unique,
+        plan.from_journal,
+        plan.simulated,
+        t0.elapsed().as_secs_f32(),
+        ctx.runner.workers()
+    );
     let mut summary = String::new();
     let figures: &[(&str, FigureFn)] = &[
         ("table1", bv_bench::figures::table1),
@@ -36,13 +52,13 @@ fn main() {
     ];
     for (name, f) in figures {
         let t = std::time::Instant::now();
-        let s = f(&mut ctx);
+        let s = f(&ctx);
         println!("{s}[{name} done in {:.0}s]\n", t.elapsed().as_secs_f32());
         summary.push_str(&s);
         summary.push('\n');
     }
-    let path = std::path::Path::new("results/summary.txt");
-    let mut f = std::fs::File::create(path).expect("create summary");
+    let path = ctx.results_dir().join("summary.txt");
+    let mut f = std::fs::File::create(&path).expect("create summary");
     f.write_all(summary.as_bytes()).expect("write summary");
     println!(
         "full suite finished in {:.0}s; summary at {}",

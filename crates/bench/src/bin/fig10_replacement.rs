@@ -1,5 +1,5 @@
 //! Runner for the `fig10` experiment (see bv_bench::figures::fig10).
 fn main() {
-    let mut ctx = bv_bench::Ctx::new();
-    print!("{}", bv_bench::figures::fig10(&mut ctx));
+    let ctx = bv_bench::Ctx::new();
+    print!("{}", bv_bench::figures::fig10(&ctx));
 }

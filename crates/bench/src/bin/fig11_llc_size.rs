@@ -1,5 +1,5 @@
 //! Runner for the `fig11` experiment (see bv_bench::figures::fig11).
 fn main() {
-    let mut ctx = bv_bench::Ctx::new();
-    print!("{}", bv_bench::figures::fig11(&mut ctx));
+    let ctx = bv_bench::Ctx::new();
+    print!("{}", bv_bench::figures::fig11(&ctx));
 }

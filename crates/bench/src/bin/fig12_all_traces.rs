@@ -1,5 +1,5 @@
 //! Runner for the `fig12` experiment (see bv_bench::figures::fig12).
 fn main() {
-    let mut ctx = bv_bench::Ctx::new();
-    print!("{}", bv_bench::figures::fig12(&mut ctx));
+    let ctx = bv_bench::Ctx::new();
+    print!("{}", bv_bench::figures::fig12(&ctx));
 }

@@ -1,5 +1,5 @@
 //! Runner for the `fig13` experiment (see bv_bench::figures::fig13).
 fn main() {
-    let mut ctx = bv_bench::Ctx::new();
-    print!("{}", bv_bench::figures::fig13(&mut ctx));
+    let ctx = bv_bench::Ctx::new();
+    print!("{}", bv_bench::figures::fig13(&ctx));
 }

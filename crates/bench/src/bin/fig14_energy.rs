@@ -1,5 +1,5 @@
 //! Runner for the `fig14` experiment (see bv_bench::figures::fig14).
 fn main() {
-    let mut ctx = bv_bench::Ctx::new();
-    print!("{}", bv_bench::figures::fig14(&mut ctx));
+    let ctx = bv_bench::Ctx::new();
+    print!("{}", bv_bench::figures::fig14(&ctx));
 }

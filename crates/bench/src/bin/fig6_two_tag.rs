@@ -1,5 +1,5 @@
 //! Runner for the `fig6` experiment (see bv_bench::figures::fig6).
 fn main() {
-    let mut ctx = bv_bench::Ctx::new();
-    print!("{}", bv_bench::figures::fig6(&mut ctx));
+    let ctx = bv_bench::Ctx::new();
+    print!("{}", bv_bench::figures::fig6(&ctx));
 }

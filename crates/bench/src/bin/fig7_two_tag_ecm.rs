@@ -1,5 +1,5 @@
 //! Runner for the `fig7` experiment (see bv_bench::figures::fig7).
 fn main() {
-    let mut ctx = bv_bench::Ctx::new();
-    print!("{}", bv_bench::figures::fig7(&mut ctx));
+    let ctx = bv_bench::Ctx::new();
+    print!("{}", bv_bench::figures::fig7(&ctx));
 }

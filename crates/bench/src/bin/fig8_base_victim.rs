@@ -1,5 +1,5 @@
 //! Runner for the `fig8` experiment (see bv_bench::figures::fig8).
 fn main() {
-    let mut ctx = bv_bench::Ctx::new();
-    print!("{}", bv_bench::figures::fig8(&mut ctx));
+    let ctx = bv_bench::Ctx::new();
+    print!("{}", bv_bench::figures::fig8(&ctx));
 }

@@ -1,5 +1,5 @@
 //! Runner for the `fig9` experiment (see bv_bench::figures::fig9).
 fn main() {
-    let mut ctx = bv_bench::Ctx::new();
-    print!("{}", bv_bench::figures::fig9(&mut ctx));
+    let ctx = bv_bench::Ctx::new();
+    print!("{}", bv_bench::figures::fig9(&ctx));
 }

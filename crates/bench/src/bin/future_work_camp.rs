@@ -1,5 +1,5 @@
 //! Runner for the `future_work_camp` experiment (paper §VII.C).
 fn main() {
-    let mut ctx = bv_bench::Ctx::new();
-    print!("{}", bv_bench::figures::future_work_camp(&mut ctx));
+    let ctx = bv_bench::Ctx::new();
+    print!("{}", bv_bench::figures::future_work_camp(&ctx));
 }

@@ -1,5 +1,5 @@
 //! Runner for the `sens_associativity` experiment (see bv_bench::figures::sens_associativity).
 fn main() {
-    let mut ctx = bv_bench::Ctx::new();
-    print!("{}", bv_bench::figures::sens_associativity(&mut ctx));
+    let ctx = bv_bench::Ctx::new();
+    print!("{}", bv_bench::figures::sens_associativity(&ctx));
 }

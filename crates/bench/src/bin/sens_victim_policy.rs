@@ -1,5 +1,5 @@
 //! Runner for the `sens_victim_policy` experiment (see bv_bench::figures::sens_victim_policy).
 fn main() {
-    let mut ctx = bv_bench::Ctx::new();
-    print!("{}", bv_bench::figures::sens_victim_policy(&mut ctx));
+    let ctx = bv_bench::Ctx::new();
+    print!("{}", bv_bench::figures::sens_victim_policy(&ctx));
 }

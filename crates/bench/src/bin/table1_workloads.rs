@@ -1,5 +1,5 @@
 //! Runner for the `table1` experiment (see bv_bench::figures::table1).
 fn main() {
-    let mut ctx = bv_bench::Ctx::new();
-    print!("{}", bv_bench::figures::table1(&mut ctx));
+    let ctx = bv_bench::Ctx::new();
+    print!("{}", bv_bench::figures::table1(&ctx));
 }

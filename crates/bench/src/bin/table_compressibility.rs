@@ -1,5 +1,5 @@
 //! Runner for the `compressibility` experiment (see bv_bench::figures::compressibility).
 fn main() {
-    let mut ctx = bv_bench::Ctx::new();
-    print!("{}", bv_bench::figures::compressibility(&mut ctx));
+    let ctx = bv_bench::Ctx::new();
+    print!("{}", bv_bench::figures::compressibility(&ctx));
 }

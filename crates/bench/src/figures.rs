@@ -18,7 +18,7 @@ use std::fmt::Write as _;
 
 /// Table I: the workload inventory.
 #[must_use]
-pub fn table1(ctx: &mut Ctx) -> String {
+pub fn table1(ctx: &Ctx) -> String {
     let mut s = String::from("== Table I: workloads ==\n");
     let mut rows = Vec::new();
     for cat in WorkloadCategory::ALL {
@@ -62,7 +62,7 @@ pub fn table1(ctx: &mut Ctx) -> String {
 
 /// Section IV.C: area overhead.
 #[must_use]
-pub fn area(ctx: &mut Ctx) -> String {
+pub fn area(ctx: &Ctx) -> String {
     let m = AreaModel::paper_default();
     let s = format!(
         "== Section IV.C: area overhead (2 MB, 16-way, 48-bit addresses) ==\n\
@@ -99,7 +99,7 @@ pub fn area(ctx: &mut Ctx) -> String {
     s
 }
 
-fn line_figure(ctx: &mut Ctx, cfg: SimConfig, file: &str, title: &str, paper: &str) -> String {
+fn line_figure(ctx: &Ctx, cfg: SimConfig, file: &str, title: &str, paper: &str) -> String {
     let rows = sweep(ctx, cfg, configs::base2mb(), false);
     let path = write_line_graph(ctx, file, &rows);
     let friendly: Vec<&TraceRatios> = rows.iter().filter(|r| r.friendly).collect();
@@ -126,7 +126,7 @@ fn line_figure(ctx: &mut Ctx, cfg: SimConfig, file: &str, title: &str, paper: &s
 
 /// Figure 6: the naive two-tag architecture.
 #[must_use]
-pub fn fig6(ctx: &mut Ctx) -> String {
+pub fn fig6(ctx: &Ctx) -> String {
     line_figure(
         ctx,
         SimConfig::single_thread(LlcKind::TwoTag),
@@ -138,7 +138,7 @@ pub fn fig6(ctx: &mut Ctx) -> String {
 
 /// Figure 7: the modified (ECM-style) two-tag architecture.
 #[must_use]
-pub fn fig7(ctx: &mut Ctx) -> String {
+pub fn fig7(ctx: &Ctx) -> String {
     line_figure(
         ctx,
         SimConfig::single_thread(LlcKind::TwoTagEcm),
@@ -150,7 +150,7 @@ pub fn fig7(ctx: &mut Ctx) -> String {
 
 /// Figure 8: Base-Victim opportunistic compression.
 #[must_use]
-pub fn fig8(ctx: &mut Ctx) -> String {
+pub fn fig8(ctx: &Ctx) -> String {
     let rows = sweep(ctx, configs::bv2mb(), configs::base2mb(), false);
     let path = write_line_graph(ctx, "fig8_base_victim.tsv", &rows);
     let friendly: Vec<&TraceRatios> = rows.iter().filter(|r| r.friendly).collect();
@@ -174,7 +174,7 @@ pub fn fig8(ctx: &mut Ctx) -> String {
 
 /// Figure 9: per-category gains vs a 3 MB uncompressed cache.
 #[must_use]
-pub fn fig9(ctx: &mut Ctx) -> String {
+pub fn fig9(ctx: &Ctx) -> String {
     let bv = sweep(ctx, configs::bv2mb(), configs::base2mb(), false);
     let big = sweep(ctx, configs::unc3mb(), configs::base2mb(), false);
     let mut rows = Vec::new();
@@ -210,7 +210,7 @@ pub fn fig9(ctx: &mut Ctx) -> String {
 
 /// Figure 10: advanced baseline replacement policies (SRRIP, CHAR).
 #[must_use]
-pub fn fig10(ctx: &mut Ctx) -> String {
+pub fn fig10(ctx: &Ctx) -> String {
     let mut s = String::from("== Figure 10: replacement-policy sensitivity ==\n");
     let mut tsv = Vec::new();
     for policy in [PolicyKind::Srrip, PolicyKind::CharLite] {
@@ -262,7 +262,7 @@ pub fn fig10(ctx: &mut Ctx) -> String {
 
 /// Figure 11: LLC size sensitivity (4 MB baseline).
 #[must_use]
-pub fn fig11(ctx: &mut Ctx) -> String {
+pub fn fig11(ctx: &Ctx) -> String {
     let cfg4 = configs::base2mb().with_llc_size(4 * 1024 * 1024, 16);
     let cfg6 = configs::base2mb().with_llc_size(6 * 1024 * 1024, 24);
     let bv4 = SimConfig::single_thread(LlcKind::BaseVictim).with_llc_size(4 * 1024 * 1024, 16);
@@ -298,7 +298,7 @@ pub fn fig11(ctx: &mut Ctx) -> String {
 
 /// Figure 12: all 100 traces, including cache-insensitive ones.
 #[must_use]
-pub fn fig12(ctx: &mut Ctx) -> String {
+pub fn fig12(ctx: &Ctx) -> String {
     let bv = sweep(ctx, configs::bv2mb(), configs::base2mb(), true);
     let big = sweep(ctx, configs::unc3mb(), configs::base2mb(), true);
     let path = write_line_graph(ctx, "fig12_all_traces.tsv", &bv);
@@ -317,46 +317,62 @@ pub fn fig12(ctx: &mut Ctx) -> String {
 
 /// Figure 13: 4-way multi-program mixes.
 #[must_use]
-pub fn fig13(ctx: &mut Ctx) -> String {
+pub fn fig13(ctx: &Ctx) -> String {
     let mixes = paper_mixes(&ctx.registry);
+    // Each mix's six configurations are independent of every other mix's,
+    // so mixes are fanned out across the runner's worker pool (mix runs
+    // are not checkpointed — each is used exactly once per figure).
+    let per_mix =
+        bv_runner::pool::parallel_map(mixes, ctx.runner.workers(), |_worker, _idx, mix| {
+            let members = mix.resolve(&ctx.registry);
+            let base4 = ctx.run_mix(&members, SimConfig::multi_program(LlcKind::Uncompressed));
+            let six = ctx.run_mix(
+                &members,
+                SimConfig::multi_program(LlcKind::Uncompressed).with_llc_size(6 * 1024 * 1024, 24),
+            );
+            let bv4 = ctx.run_mix(&members, SimConfig::multi_program(LlcKind::BaseVictim));
+            let base8 = ctx.run_mix(
+                &members,
+                SimConfig::multi_program(LlcKind::Uncompressed).with_llc_size(8 * 1024 * 1024, 16),
+            );
+            let twelve = ctx.run_mix(
+                &members,
+                SimConfig::multi_program(LlcKind::Uncompressed).with_llc_size(12 * 1024 * 1024, 24),
+            );
+            let bv8 = ctx.run_mix(
+                &members,
+                SimConfig::multi_program(LlcKind::BaseVictim).with_llc_size(8 * 1024 * 1024, 16),
+            );
+            (
+                mix.name,
+                [
+                    six.weighted_speedup(&base4),
+                    bv4.weighted_speedup(&base4),
+                    base8.weighted_speedup(&base4),
+                    twelve.weighted_speedup(&base8),
+                    bv8.weighted_speedup(&base8),
+                ],
+            )
+        });
     let mut ws_bv6 = Vec::new(); // 6MB vs 4MB
     let mut ws_bv4 = Vec::new(); // BV-4MB vs 4MB
     let mut ws_8 = Vec::new(); // 8MB vs 4MB
     let mut ws_12 = Vec::new(); // 12MB vs 8MB
     let mut ws_bv8 = Vec::new(); // BV-8MB vs 8MB
     let mut tsv = Vec::new();
-    for mix in &mixes {
-        let members = mix.resolve(&ctx.registry);
-        let base4 = ctx.run_mix(&members, SimConfig::multi_program(LlcKind::Uncompressed));
-        let six = ctx.run_mix(
-            &members,
-            SimConfig::multi_program(LlcKind::Uncompressed).with_llc_size(6 * 1024 * 1024, 24),
-        );
-        let bv4 = ctx.run_mix(&members, SimConfig::multi_program(LlcKind::BaseVictim));
-        let base8 = ctx.run_mix(
-            &members,
-            SimConfig::multi_program(LlcKind::Uncompressed).with_llc_size(8 * 1024 * 1024, 16),
-        );
-        let twelve = ctx.run_mix(
-            &members,
-            SimConfig::multi_program(LlcKind::Uncompressed).with_llc_size(12 * 1024 * 1024, 24),
-        );
-        let bv8 = ctx.run_mix(
-            &members,
-            SimConfig::multi_program(LlcKind::BaseVictim).with_llc_size(8 * 1024 * 1024, 16),
-        );
-        ws_bv6.push(six.weighted_speedup(&base4));
-        ws_bv4.push(bv4.weighted_speedup(&base4));
-        ws_8.push(base8.weighted_speedup(&base4));
-        ws_12.push(twelve.weighted_speedup(&base8));
-        ws_bv8.push(bv8.weighted_speedup(&base8));
+    for (name, [w6, w4, w8, w12, wb8]) in per_mix {
+        ws_bv6.push(w6);
+        ws_bv4.push(w4);
+        ws_8.push(w8);
+        ws_12.push(w12);
+        ws_bv8.push(wb8);
         tsv.push(vec![
-            mix.name.clone(),
-            format!("{:.4}", ws_bv6.last().unwrap()),
-            format!("{:.4}", ws_bv4.last().unwrap()),
-            format!("{:.4}", ws_8.last().unwrap()),
-            format!("{:.4}", ws_12.last().unwrap()),
-            format!("{:.4}", ws_bv8.last().unwrap()),
+            name,
+            format!("{w6:.4}"),
+            format!("{w4:.4}"),
+            format!("{w8:.4}"),
+            format!("{w12:.4}"),
+            format!("{wb8:.4}"),
         ]);
     }
     ctx.write_tsv(
@@ -383,9 +399,19 @@ pub fn fig13(ctx: &mut Ctx) -> String {
 
 /// Figure 14: energy ratios with and without word enables, all 100 traces.
 #[must_use]
-pub fn fig14(ctx: &mut Ctx) -> String {
+pub fn fig14(ctx: &Ctx) -> String {
     let model = EnergyModel::paper_default();
     let traces: Vec<_> = ctx.registry.all().cloned().collect();
+    let jobs: Vec<_> = traces
+        .iter()
+        .flat_map(|t| {
+            [
+                ctx.job(&t.name, configs::base2mb()),
+                ctx.job(&t.name, configs::bv2mb()),
+            ]
+        })
+        .collect();
+    ctx.plan(&jobs);
     let mut with_we = Vec::new();
     let mut without_we = Vec::new();
     let mut read_ratios = Vec::new();
@@ -439,7 +465,7 @@ pub fn fig14(ctx: &mut Ctx) -> String {
 
 /// Section VI.B.1: associativity sensitivity.
 #[must_use]
-pub fn sens_associativity(ctx: &mut Ctx) -> String {
+pub fn sens_associativity(ctx: &Ctx) -> String {
     // 16-tags-per-set Base-Victim: 8 physical ways (the baseline it
     // mirrors is 8-way).
     let bv16tag = SimConfig::single_thread(LlcKind::BaseVictim).with_llc_size(2 * 1024 * 1024, 8);
@@ -475,7 +501,7 @@ pub fn sens_associativity(ctx: &mut Ctx) -> String {
 
 /// Section VI.B.4: Victim-cache replacement policy variants.
 #[must_use]
-pub fn sens_victim_policy(ctx: &mut Ctx) -> String {
+pub fn sens_victim_policy(ctx: &Ctx) -> String {
     let mut s = String::from("== Section VI.B.4: victim-cache replacement variants ==\n");
     let mut tsv = Vec::new();
     for vp in VictimPolicyKind::ALL {
@@ -506,11 +532,16 @@ pub fn sens_victim_policy(ctx: &mut Ctx) -> String {
 /// Section VI.A compressibility statistics plus the Section V functional
 /// VSC-2X capacity comparison.
 #[must_use]
-pub fn compressibility(ctx: &mut Ctx) -> String {
+pub fn compressibility(ctx: &Ctx) -> String {
     let mut friendly_ratios = Vec::new();
     let mut unfriendly_ratios = Vec::new();
     let mut all_ratios = Vec::new();
     let sensitive: Vec<_> = ctx.registry.cache_sensitive().cloned().collect();
+    let jobs: Vec<_> = sensitive
+        .iter()
+        .map(|t| ctx.job(&t.name, configs::bv2mb()))
+        .collect();
+    ctx.plan(&jobs);
     for t in &sensitive {
         let run = ctx.run(t, configs::bv2mb());
         let r = run.compression.mean_ratio();
@@ -610,7 +641,7 @@ pub fn compressibility(ctx: &mut Ctx) -> String {
 /// (the paper uses BDI for its 2-cycle decompression; Section VII.A notes
 /// the architecture is algorithm-agnostic).
 #[must_use]
-pub fn ablation_compressor(ctx: &mut Ctx) -> String {
+pub fn ablation_compressor(ctx: &Ctx) -> String {
     use bv_sim::CompressorKind;
     let mut s =
         String::from("== Ablation: LLC compression algorithm (Base-Victim, 60 traces) ==\n");
@@ -647,8 +678,22 @@ pub fn ablation_compressor(ctx: &mut Ctx) -> String {
 /// Base-Victim. The non-inclusive variant can park dirty victims, saving
 /// writeback traffic at the cost of more protocol complexity.
 #[must_use]
-pub fn ablation_inclusion(ctx: &mut Ctx) -> String {
+pub fn ablation_inclusion(ctx: &Ctx) -> String {
     let traces: Vec<_> = ctx.registry.cache_sensitive().cloned().collect();
+    let jobs: Vec<_> = traces
+        .iter()
+        .flat_map(|t| {
+            [
+                ctx.job(&t.name, configs::base2mb()),
+                ctx.job(&t.name, configs::bv2mb()),
+                ctx.job(
+                    &t.name,
+                    SimConfig::single_thread(LlcKind::BaseVictimNonInclusive),
+                ),
+            ]
+        })
+        .collect();
+    ctx.plan(&jobs);
     let mut ipc_inc = Vec::new();
     let mut ipc_ni = Vec::new();
     let mut wr_inc = 0u64;
@@ -696,11 +741,23 @@ pub fn ablation_inclusion(ctx: &mut Ctx) -> String {
 /// prefetching interact positively: the victim cache catches
 /// prematurely-evicted prefetched lines.
 #[must_use]
-pub fn ablation_prefetch(ctx: &mut Ctx) -> String {
+pub fn ablation_prefetch(ctx: &Ctx) -> String {
     let traces: Vec<_> = ctx.registry.cache_sensitive().cloned().collect();
+    let degrees = [0u32, 2, 4, 8];
+    let mut jobs = Vec::with_capacity(traces.len() * degrees.len() * 2);
+    for degree in degrees {
+        for t in &traces {
+            for base in [configs::base2mb(), configs::bv2mb()] {
+                let mut cfg = base;
+                cfg.prefetch_degree = degree;
+                jobs.push(ctx.job(&t.name, cfg));
+            }
+        }
+    }
+    ctx.plan(&jobs);
     let mut s = String::from("== Ablation: prefetch x compression interplay ==\n");
     let mut tsv = Vec::new();
-    for degree in [0u32, 2, 4, 8] {
+    for degree in degrees {
         let mut base_cfg = configs::base2mb();
         base_cfg.prefetch_degree = degree;
         let mut bv_cfg = configs::bv2mb();
@@ -729,7 +786,7 @@ pub fn ablation_prefetch(ctx: &mut Ctx) -> String {
 /// Future work (paper §VII.C): CAMP-style size-aware insertion in the
 /// Baseline cache, on top of Base-Victim compression.
 #[must_use]
-pub fn future_work_camp(ctx: &mut Ctx) -> String {
+pub fn future_work_camp(ctx: &Ctx) -> String {
     let camp_base = configs::with_policy(configs::base2mb(), PolicyKind::CampLite);
     let camp_bv = configs::with_policy(configs::bv2mb(), PolicyKind::CampLite);
     // All normalized to the NRU uncompressed baseline.
@@ -771,4 +828,72 @@ pub fn future_work_camp(ctx: &mut Ctx) -> String {
         gain_pct(on_top.iter()),
         losers(&on_top, 0.999),
     )
+}
+
+/// Plans every single-core job the standard experiment suite needs and
+/// submits them to the runner as one deduplicated batch. The
+/// `experiments` binary (and `bvsim sweep`) call this first so the whole
+/// suite's simulations run across the worker pool at once; the figure
+/// functions then assemble their tables from the result store.
+pub fn plan_suite(ctx: &Ctx) -> bv_runner::ExecutionReport {
+    use bv_sim::CompressorKind;
+    let mut jobs = Vec::new();
+    let sensitive: Vec<String> = ctx
+        .registry
+        .cache_sensitive()
+        .map(|t| t.name.clone())
+        .collect();
+    let all: Vec<String> = ctx.registry.all().map(|t| t.name.clone()).collect();
+
+    let mut sensitive_cfgs = vec![
+        configs::base2mb(),
+        configs::bv2mb(),
+        SimConfig::single_thread(LlcKind::TwoTag),
+        SimConfig::single_thread(LlcKind::TwoTagEcm),
+        configs::unc3mb(),
+        // fig11: size sensitivity.
+        configs::base2mb().with_llc_size(4 * 1024 * 1024, 16),
+        configs::base2mb().with_llc_size(6 * 1024 * 1024, 24),
+        SimConfig::single_thread(LlcKind::BaseVictim).with_llc_size(4 * 1024 * 1024, 16),
+        // associativity sensitivity.
+        SimConfig::single_thread(LlcKind::BaseVictim).with_llc_size(2 * 1024 * 1024, 8),
+        configs::base2mb().with_llc_size(2 * 1024 * 1024, 32),
+        // inclusion ablation.
+        SimConfig::single_thread(LlcKind::BaseVictimNonInclusive),
+    ];
+    // fig10 + future work: replacement policies under and over compression.
+    for policy in [
+        PolicyKind::Srrip,
+        PolicyKind::CharLite,
+        PolicyKind::CampLite,
+    ] {
+        sensitive_cfgs.push(configs::with_policy(configs::base2mb(), policy));
+        sensitive_cfgs.push(configs::with_policy(configs::bv2mb(), policy));
+    }
+    for vp in VictimPolicyKind::ALL {
+        sensitive_cfgs.push(SimConfig::single_thread(LlcKind::BaseVictimWith(vp)));
+    }
+    for ck in CompressorKind::ALL {
+        sensitive_cfgs.push(SimConfig::single_thread(LlcKind::BaseVictimCompressor(ck)));
+    }
+    // prefetch ablation.
+    for degree in [0u32, 2, 4, 8] {
+        for base in [configs::base2mb(), configs::bv2mb()] {
+            let mut cfg = base;
+            cfg.prefetch_degree = degree;
+            sensitive_cfgs.push(cfg);
+        }
+    }
+    for cfg in &sensitive_cfgs {
+        for name in &sensitive {
+            jobs.push(ctx.job(name, *cfg));
+        }
+    }
+    // fig12 + fig14: every trace, including cache-insensitive ones.
+    for cfg in [configs::base2mb(), configs::bv2mb(), configs::unc3mb()] {
+        for name in &all {
+            jobs.push(ctx.job(name, cfg));
+        }
+    }
+    ctx.plan(&jobs)
 }

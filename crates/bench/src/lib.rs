@@ -13,14 +13,21 @@
 //! * `BV_INSTS` — measured instructions per run (default 1,500,000)
 //! * `BV_MP_WARMUP` / `BV_MP_INSTS` — per-thread budgets for the
 //!   multi-program mixes (defaults 500,000 / 800,000)
+//!
+//! Execution is delegated to [`bv_runner`]: each figure plans its job
+//! list up front and submits it to a shared [`Runner`], which
+//! deduplicates, runs the remainder across `BV_JOBS` worker threads
+//! (default: all cores), and keeps every result for later figures.
+//! Setting `BV_JOURNAL=<dir>` additionally checkpoints each completed
+//! run on disk and resumes an interrupted sweep from those checkpoints.
 
 use bv_cache::PolicyKind;
+use bv_runner::{ExecutionReport, JobSpec, Runner};
 use bv_sim::report::geomean;
-use bv_sim::{LlcKind, MulticoreResult, MulticoreSystem, RunResult, SimConfig, System};
+use bv_sim::{LlcKind, MulticoreResult, MulticoreSystem, RunResult, SimConfig};
 use bv_trace::{TraceRegistry, TraceSpec, WorkloadCategory};
-use std::collections::HashMap;
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Simulation budgets, read from the environment.
 #[derive(Clone, Copy, Debug)]
@@ -54,38 +61,16 @@ impl Budget {
     }
 }
 
-/// A hashable key identifying one simulated configuration.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
-pub struct ConfigKey {
-    /// Organization name.
-    pub kind: String,
-    /// LLC capacity in bytes.
-    pub llc_bytes: usize,
-    /// LLC ways.
-    pub llc_ways: usize,
-    /// Replacement policy name.
-    pub policy: &'static str,
-    /// Prefetch degree.
-    pub prefetch_degree: u32,
-}
-
-fn key_of(cfg: &SimConfig) -> ConfigKey {
-    ConfigKey {
-        kind: format!("{:?}", cfg.llc_kind),
-        llc_bytes: cfg.llc.size_bytes(),
-        llc_ways: cfg.llc.ways(),
-        policy: cfg.llc_policy.name(),
-        prefetch_degree: cfg.prefetch_degree,
-    }
-}
-
-/// The experiment context: registry, budget, and the shared run cache.
+/// The experiment context: registry, budget, and the shared runner that
+/// executes planned jobs in parallel and retains their results.
 pub struct Ctx {
     /// The 100-trace registry.
     pub registry: TraceRegistry,
     /// Simulation budgets.
     pub budget: Budget,
-    cache: HashMap<(String, ConfigKey), RunResult>,
+    /// The orchestrator: deduplicating planner, worker pool, result
+    /// store, and (when `BV_JOURNAL` is set) the checkpoint journal.
+    pub runner: Runner,
     results_dir: PathBuf,
 }
 
@@ -99,32 +84,65 @@ impl Ctx {
     }
 
     /// Creates a context; results are written under `<repo>/results/`.
+    /// Worker count comes from `BV_JOBS` (default: all cores); setting
+    /// `BV_JOURNAL=<dir>` enables checkpoint/resume under that directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the results or journal directory cannot be created.
     #[must_use]
     pub fn new() -> Ctx {
+        let runner = Runner::new(bv_runner::pool::default_workers());
+        Ctx::with_runner(runner)
+    }
+
+    /// Creates a context around an explicitly configured runner (the
+    /// `bvsim sweep` subcommand builds one from its CLI flags).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the results directory cannot be created.
+    #[must_use]
+    pub fn with_runner(mut runner: Runner) -> Ctx {
         let results_dir =
             PathBuf::from(std::env::var("BV_RESULTS_DIR").unwrap_or_else(|_| "results".into()));
         std::fs::create_dir_all(&results_dir).expect("create results dir");
+        if runner.journal().is_none() {
+            if let Ok(dir) = std::env::var("BV_JOURNAL") {
+                runner = runner
+                    .with_journal(dir, true)
+                    .expect("open BV_JOURNAL directory");
+            }
+        }
         Ctx {
             registry: TraceRegistry::paper_default(),
             budget: Budget::from_env(),
-            cache: HashMap::new(),
+            runner,
             results_dir,
         }
     }
 
-    /// Runs (or fetches from cache) one trace under one configuration.
-    pub fn run(&mut self, trace: &TraceSpec, cfg: SimConfig) -> RunResult {
-        let key = (trace.name.clone(), key_of(&cfg));
-        if let Some(hit) = self.cache.get(&key) {
-            return hit.clone();
-        }
-        let result = System::new(cfg).run_with_warmup(
-            &trace.workload,
-            self.budget.warmup,
-            self.budget.insts,
-        );
-        self.cache.insert(key, result.clone());
-        result
+    /// The job for one trace under one configuration at this context's
+    /// single-core budget.
+    #[must_use]
+    pub fn job(&self, trace: &str, cfg: SimConfig) -> JobSpec {
+        JobSpec::new(trace, cfg, self.budget.warmup, self.budget.insts)
+    }
+
+    /// Plans and executes a batch of jobs on the runner (deduplicating,
+    /// resuming from the journal where possible, simulating the rest in
+    /// parallel). Afterwards every job's result is available via
+    /// [`Ctx::run`] or [`Runner::get`] without further simulation.
+    pub fn plan(&self, jobs: &[JobSpec]) -> ExecutionReport {
+        self.runner.execute(&self.registry, jobs)
+    }
+
+    /// Runs (or fetches from the runner's store) one trace under one
+    /// configuration.
+    #[must_use]
+    pub fn run(&self, trace: &TraceSpec, cfg: SimConfig) -> RunResult {
+        self.runner
+            .run_one(&self.registry, &self.job(&trace.name, cfg))
     }
 
     /// Runs a 4-way mix under one configuration (not cached — each mix is
@@ -136,6 +154,13 @@ impl Ctx {
         // is shared by every configuration and cancels in the weighted
         // speedup ratios.
         MulticoreSystem::new(cfg).run(&workloads, self.budget.mp_warmup + self.budget.mp_insts)
+    }
+
+    /// The directory result files are written to (`BV_RESULTS_DIR`,
+    /// default `results`).
+    #[must_use]
+    pub fn results_dir(&self) -> &Path {
+        &self.results_dir
     }
 
     /// Writes a TSV result file and returns its path.
@@ -175,7 +200,7 @@ pub struct TraceRatios {
 
 /// Sweeps the cache-sensitive traces under `cfg`, normalizing each to the
 /// 2 MB uncompressed baseline.
-pub fn sensitive_sweep(ctx: &mut Ctx, cfg: SimConfig) -> Vec<TraceRatios> {
+pub fn sensitive_sweep(ctx: &Ctx, cfg: SimConfig) -> Vec<TraceRatios> {
     sweep(
         ctx,
         cfg,
@@ -184,32 +209,37 @@ pub fn sensitive_sweep(ctx: &mut Ctx, cfg: SimConfig) -> Vec<TraceRatios> {
     )
 }
 
-/// Sweeps with an explicit baseline configuration.
-pub fn sweep(
-    ctx: &mut Ctx,
-    cfg: SimConfig,
-    baseline: SimConfig,
-    all_traces: bool,
-) -> Vec<TraceRatios> {
+/// Sweeps with an explicit baseline configuration: the whole job list
+/// (every trace under both configurations) is planned up front and
+/// submitted to the runner as one batch, then the ratios are assembled
+/// from the result store.
+pub fn sweep(ctx: &Ctx, cfg: SimConfig, baseline: SimConfig, all_traces: bool) -> Vec<TraceRatios> {
     let traces: Vec<TraceSpec> = if all_traces {
         ctx.registry.all().cloned().collect()
     } else {
         ctx.registry.cache_sensitive().cloned().collect()
     };
-    let mut out = Vec::with_capacity(traces.len());
+    let mut jobs = Vec::with_capacity(traces.len() * 2);
     for t in &traces {
-        let base = ctx.run(t, baseline);
-        let run = ctx.run(t, cfg);
-        out.push(TraceRatios {
-            name: t.name.clone(),
-            category: t.category,
-            friendly: t.compression_friendly,
-            ipc_ratio: run.ipc_ratio(&base),
-            read_ratio: run.dram_read_ratio(&base),
-            comp_ratio: run.compression.mean_ratio(),
-        });
+        jobs.push(ctx.job(&t.name, baseline));
+        jobs.push(ctx.job(&t.name, cfg));
     }
-    out
+    ctx.plan(&jobs);
+    traces
+        .iter()
+        .map(|t| {
+            let base = ctx.run(t, baseline);
+            let run = ctx.run(t, cfg);
+            TraceRatios {
+                name: t.name.clone(),
+                category: t.category,
+                friendly: t.compression_friendly,
+                ipc_ratio: run.ipc_ratio(&base),
+                read_ratio: run.dram_read_ratio(&base),
+                comp_ratio: run.compression.mean_ratio(),
+            }
+        })
+        .collect()
 }
 
 /// Geometric-mean IPC gain (percent) over a set of ratios.
@@ -319,13 +349,20 @@ mod tests {
     }
 
     #[test]
-    fn config_keys_distinguish_sizes_and_kinds() {
-        let a = key_of(&configs::base2mb());
-        let b = key_of(&configs::unc3mb());
-        let c = key_of(&configs::bv2mb());
-        assert_ne!(a, b);
-        assert_ne!(a, c);
-        assert_eq!(a, key_of(&configs::base2mb()));
+    fn job_keys_distinguish_sizes_and_kinds() {
+        let budget = Budget {
+            warmup: 1,
+            insts: 2,
+            mp_warmup: 1,
+            mp_insts: 2,
+        };
+        let job = |cfg| JobSpec::new("t", cfg, budget.warmup, budget.insts);
+        let a = job(configs::base2mb());
+        let b = job(configs::unc3mb());
+        let c = job(configs::bv2mb());
+        assert_ne!(a.stable_hash(), b.stable_hash());
+        assert_ne!(a.stable_hash(), c.stable_hash());
+        assert_eq!(a.stable_hash(), job(configs::base2mb()).stable_hash());
     }
 
     #[test]

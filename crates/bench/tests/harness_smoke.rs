@@ -14,17 +14,17 @@ fn tiny_ctx() -> Ctx {
 
 #[test]
 fn analytic_figures_run() {
-    let mut ctx = tiny_ctx();
-    let t1 = figures::table1(&mut ctx);
+    let ctx = tiny_ctx();
+    let t1 = figures::table1(&ctx);
     assert!(t1.contains("SPECFP") && t1.contains("100 traces"));
-    let area = figures::area(&mut ctx);
+    let area = figures::area(&ctx);
     assert!(area.contains("8.5%"));
 }
 
 #[test]
 fn fig8_runs_and_reports_the_guarantee() {
-    let mut ctx = tiny_ctx();
-    let s = figures::fig8(&mut ctx);
+    let ctx = tiny_ctx();
+    let s = figures::fig8(&ctx);
     assert!(s.contains("overall IPC gain"));
     assert!(s.contains("max DRAM read ratio"));
     // Even at a tiny budget, the guarantee metric must never exceed 1.
@@ -43,20 +43,20 @@ fn fig8_runs_and_reports_the_guarantee() {
 
 #[test]
 fn sensitivity_figures_run() {
-    let mut ctx = tiny_ctx();
-    let s = figures::sens_victim_policy(&mut ctx);
+    let ctx = tiny_ctx();
+    let s = figures::sens_victim_policy(&ctx);
     assert!(s.contains("ecm-largest-base"));
-    let s = figures::compressibility(&mut ctx);
+    let s = figures::compressibility(&ctx);
     assert!(s.contains("VSC-2X"));
 }
 
 #[test]
 fn run_cache_deduplicates() {
-    let mut ctx = tiny_ctx();
+    let ctx = tiny_ctx();
     // Running fig8 twice should reuse every run from the cache (same
     // output both times, and much faster the second time — we only check
     // equality, which would fail if cached results were inconsistent).
-    let a = figures::fig8(&mut ctx);
-    let b = figures::fig8(&mut ctx);
+    let a = figures::fig8(&ctx);
+    let b = figures::fig8(&ctx);
     assert_eq!(a, b);
 }

@@ -4,7 +4,7 @@
 
 use bv_cache::replacement::Lru;
 use bv_cache::{PolicyKind, ReplacementPolicy};
-use proptest::prelude::*;
+use bv_testkit::{cases, Rng};
 
 #[derive(Clone, Copy, Debug)]
 enum PolicyOp {
@@ -16,27 +16,30 @@ enum PolicyOp {
     Miss,
 }
 
-fn op_strategy(ways: u8) -> impl Strategy<Value = PolicyOp> {
-    (0..6u8, 0..ways).prop_map(|(k, w)| match k {
+fn random_op(rng: &mut Rng, ways: u8) -> PolicyOp {
+    let w = rng.below(u64::from(ways)) as u8;
+    match rng.below(6) {
         0 => PolicyOp::Fill(w),
         1 => PolicyOp::Hit(w),
         2 => PolicyOp::Victim,
         3 => PolicyOp::Invalidate(w),
         4 => PolicyOp::Hint(w),
         _ => PolicyOp::Miss,
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn random_ops(rng: &mut Rng, ways: u8, max_len: usize) -> Vec<PolicyOp> {
+    let len = rng.range_u64(1, max_len as u64) as usize;
+    rng.vec_of(len, |r| random_op(r, ways))
+}
 
-    /// Victims are always in range and eviction ranks order all ways, for
-    /// every policy, under arbitrary operation sequences.
-    #[test]
-    fn policies_stay_in_bounds(
-        ops in prop::collection::vec(op_strategy(8), 1..300),
-        kind in prop::sample::select(PolicyKind::ALL.to_vec()),
-    ) {
+/// Victims are always in range and eviction ranks order all ways, for
+/// every policy, under arbitrary operation sequences.
+#[test]
+fn policies_stay_in_bounds() {
+    cases(128, |rng| {
+        let ops = random_ops(rng, 8, 300);
+        let kind = *rng.choose(&PolicyKind::ALL);
         let mut p = kind.build(4, 8);
         for op in ops {
             match op {
@@ -44,7 +47,7 @@ proptest! {
                 PolicyOp::Hit(w) => p.on_hit(2, w as usize),
                 PolicyOp::Victim => {
                     let v = p.victim(2);
-                    prop_assert!(v < 8, "{kind}: victim {v} out of range");
+                    assert!(v < 8, "{kind}: victim {v} out of range");
                 }
                 PolicyOp::Invalidate(w) => p.on_invalidate(2, w as usize),
                 PolicyOp::Hint(w) => p.hint_downgrade(2, w as usize),
@@ -55,13 +58,14 @@ proptest! {
                 let _ = p.is_eviction_candidate(2, w);
             }
         }
-    }
+    });
+}
 
-    /// LRU agrees with a reference model (a recency-ordered list).
-    #[test]
-    fn lru_matches_reference_model(
-        ops in prop::collection::vec(op_strategy(4), 1..200),
-    ) {
+/// LRU agrees with a reference model (a recency-ordered list).
+#[test]
+fn lru_matches_reference_model() {
+    cases(128, |rng| {
+        let ops = random_ops(rng, 4, 200);
         let mut lru = Lru::new(1, 4);
         let mut reference: Vec<usize> = Vec::new(); // front = LRU, back = MRU
         let touch = |reference: &mut Vec<usize>, w: usize| {
@@ -79,7 +83,7 @@ proptest! {
                     if reference.len() == 4 {
                         // Only meaningful when every way has a defined
                         // recency; otherwise untouched ways win arbitrarily.
-                        prop_assert_eq!(lru.victim(0), reference[0]);
+                        assert_eq!(lru.victim(0), reference[0]);
                     }
                 }
                 PolicyOp::Invalidate(w) => {
@@ -94,18 +98,19 @@ proptest! {
         // all ways have been touched.
         if reference.len() == 4 {
             for (depth, &w) in reference.iter().rev().enumerate() {
-                prop_assert_eq!(lru.stack_position(0, w), depth);
+                assert_eq!(lru.stack_position(0, w), depth);
             }
         }
-    }
+    });
+}
 
-    /// SRRIP victims always have maximal RRPV among valid candidates at
-    /// selection time.
-    #[test]
-    fn srrip_victim_has_max_rrpv(
-        ops in prop::collection::vec(op_strategy(8), 1..200),
-    ) {
+/// SRRIP victims always have maximal RRPV among valid candidates at
+/// selection time.
+#[test]
+fn srrip_victim_has_max_rrpv() {
+    cases(128, |rng| {
         use bv_cache::replacement::Srrip;
+        let ops = random_ops(rng, 8, 200);
         let mut p = Srrip::new(1, 8);
         for op in ops {
             match op {
@@ -114,11 +119,11 @@ proptest! {
                 PolicyOp::Victim => {
                     let v = p.victim(0);
                     let max = (0..8).map(|w| p.rrpv(0, w)).max().expect("8 ways");
-                    prop_assert_eq!(p.rrpv(0, v), max);
-                    prop_assert_eq!(max, 3, "victim selection ages until an RRPV-3 way exists");
+                    assert_eq!(p.rrpv(0, v), max);
+                    assert_eq!(max, 3, "victim selection ages until an RRPV-3 way exists");
                 }
                 _ => {}
             }
         }
-    }
+    });
 }

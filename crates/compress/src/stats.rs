@@ -75,6 +75,20 @@ impl CompressionStats {
         half as f64 / lines as f64
     }
 
+    /// The raw per-size counts (index `i` holds lines of `i + 1`
+    /// segments), for serialization by checkpoint stores.
+    #[must_use]
+    pub fn histogram(&self) -> [u64; SEGMENTS_PER_LINE] {
+        self.histogram
+    }
+
+    /// Rebuilds a histogram from serialized counts (the inverse of
+    /// [`CompressionStats::histogram`]).
+    #[must_use]
+    pub fn from_histogram(histogram: [u64; SEGMENTS_PER_LINE]) -> CompressionStats {
+        CompressionStats { histogram }
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &CompressionStats) {
         for (a, b) in self.histogram.iter_mut().zip(other.histogram.iter()) {

@@ -1,0 +1,104 @@
+//! Property-based tests: every compressor must be lossless on arbitrary
+//! 64-byte lines and on lines drawn from realistic value distributions.
+
+use bv_compress::{Bdi, CPack, CacheLine, Compressor, Fpc, NullCompressor, SegmentCount, ZeroOnly};
+use bv_testkit::{cases, Rng};
+
+fn compressors() -> Vec<Box<dyn Compressor>> {
+    vec![
+        Box::new(Bdi::new()),
+        Box::new(Fpc::new()),
+        Box::new(CPack::new()),
+        Box::new(ZeroOnly::new()),
+        Box::new(NullCompressor::new()),
+    ]
+}
+
+/// Arbitrary raw lines (uniform halfword soup).
+fn any_line(rng: &mut Rng) -> CacheLine {
+    let mut bytes = [0u8; 64];
+    for chunk in bytes.chunks_exact_mut(2) {
+        chunk.copy_from_slice(&(rng.next_u32() as u16).to_le_bytes());
+    }
+    CacheLine::from_bytes(bytes)
+}
+
+/// Lines that look like real program data: a base pointer/int plus small
+/// deltas, with occasional zero elements.
+fn structured_line(rng: &mut Rng) -> CacheLine {
+    let base = rng.next_u64();
+    let mut words = [0u64; 8];
+    for w in &mut words {
+        *w = if rng.flip() {
+            0
+        } else {
+            base.wrapping_add(rng.range_i64(-128, 128) as u64)
+        };
+    }
+    CacheLine::from_u64_words(&words)
+}
+
+#[test]
+fn roundtrip_arbitrary_lines() {
+    cases(512, |rng| {
+        let line = any_line(rng);
+        for c in compressors() {
+            let compressed = c.compress(&line);
+            assert_eq!(
+                c.decompress(&compressed),
+                line,
+                "algorithm {} not lossless",
+                c.name()
+            );
+            assert!(compressed.segments() <= SegmentCount::FULL);
+            assert_eq!(compressed.segments(), c.compressed_size(&line));
+        }
+    });
+}
+
+#[test]
+fn roundtrip_structured_lines() {
+    cases(512, |rng| {
+        let line = structured_line(rng);
+        for c in compressors() {
+            let compressed = c.compress(&line);
+            assert_eq!(c.decompress(&compressed), line);
+        }
+    });
+}
+
+#[test]
+fn bdi_compresses_structured_data() {
+    // BDI is designed for base+delta data: structured lines with at most
+    // one non-zero base cluster must compress below a full line.
+    cases(512, |rng| {
+        let line = structured_line(rng);
+        let bdi = Bdi::new();
+        assert!(bdi.compressed_size(&line).get() <= 16);
+    });
+}
+
+#[test]
+fn zero_only_agrees_with_is_zero() {
+    cases(512, |rng| {
+        // Mix fully-zero lines in: uniform halfwords are almost never zero.
+        let line = if rng.below(8) == 0 {
+            CacheLine::zeroed()
+        } else {
+            any_line(rng)
+        };
+        let z = ZeroOnly::new();
+        let size = z.compressed_size(&line);
+        assert_eq!(size == SegmentCount::MIN, line.is_zero());
+    });
+}
+
+#[test]
+fn sizes_are_deterministic() {
+    cases(512, |rng| {
+        let line = any_line(rng);
+        for c in compressors() {
+            assert_eq!(c.compressed_size(&line), c.compressed_size(&line));
+        }
+    });
+}

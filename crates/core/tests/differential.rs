@@ -14,7 +14,7 @@ use bv_compress::CacheLine;
 use bv_core::{
     BaseVictimLlc, InclusionAgent, LlcOrganization, NoInner, UncompressedLlc, VictimPolicyKind,
 };
-use proptest::prelude::*;
+use bv_testkit::{cases, Rng};
 
 /// Deterministic inner-cache mock: some lines always have a dirty inner
 /// copy at back-invalidation time.
@@ -52,12 +52,18 @@ enum Op {
     Prefetch(u64),
 }
 
-fn op_strategy(addr_space: u64) -> impl Strategy<Value = Op> {
-    (0..addr_space, 0..10u8).prop_map(|(a, kind)| match kind {
+fn random_op(rng: &mut Rng, addr_space: u64) -> Op {
+    let a = rng.below(addr_space);
+    match rng.below(10) {
         0..=5 => Op::Read(a),
         6..=7 => Op::Writeback(a),
         _ => Op::Prefetch(a),
-    })
+    }
+}
+
+fn random_ops(rng: &mut Rng, addr_space: u64, max_len: usize) -> Vec<Op> {
+    let len = rng.range_u64(1, max_len as u64) as usize;
+    rng.vec_of(len, |r| random_op(r, addr_space))
 }
 
 /// Drives both organizations with the same stream and checks mirroring
@@ -123,53 +129,46 @@ fn run_differential(policy: PolicyKind, victim_policy: VictimPolicyKind, ops: &[
     assert!(bv.stats().memory_reads() <= unc.stats().memory_reads());
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn mirror_property(policy: PolicyKind) {
+    cases(48, |rng| {
+        let ops = random_ops(rng, 256, 400);
+        run_differential(policy, VictimPolicyKind::EcmLargestBase, &ops);
+    });
+}
 
-    #[test]
-    fn baseline_mirrors_uncompressed_nru(
-        ops in prop::collection::vec(op_strategy(256), 1..400)
-    ) {
-        run_differential(PolicyKind::Nru, VictimPolicyKind::EcmLargestBase, &ops);
-    }
+#[test]
+fn baseline_mirrors_uncompressed_nru() {
+    mirror_property(PolicyKind::Nru);
+}
 
-    #[test]
-    fn baseline_mirrors_uncompressed_lru(
-        ops in prop::collection::vec(op_strategy(256), 1..400)
-    ) {
-        run_differential(PolicyKind::Lru, VictimPolicyKind::EcmLargestBase, &ops);
-    }
+#[test]
+fn baseline_mirrors_uncompressed_lru() {
+    mirror_property(PolicyKind::Lru);
+}
 
-    #[test]
-    fn baseline_mirrors_uncompressed_srrip(
-        ops in prop::collection::vec(op_strategy(256), 1..400)
-    ) {
-        run_differential(PolicyKind::Srrip, VictimPolicyKind::EcmLargestBase, &ops);
-    }
+#[test]
+fn baseline_mirrors_uncompressed_srrip() {
+    mirror_property(PolicyKind::Srrip);
+}
 
-    #[test]
-    fn baseline_mirrors_uncompressed_char(
-        ops in prop::collection::vec(op_strategy(256), 1..400)
-    ) {
-        run_differential(PolicyKind::CharLite, VictimPolicyKind::EcmLargestBase, &ops);
-    }
+#[test]
+fn baseline_mirrors_uncompressed_char() {
+    mirror_property(PolicyKind::CharLite);
+}
 
-    #[test]
-    fn baseline_mirrors_uncompressed_camp(
-        ops in prop::collection::vec(op_strategy(256), 1..400)
-    ) {
-        // CAMP-style size-aware insertion (the paper's future work). The
-        // policy consumes compressed sizes, so the test must model memory
-        // consistently: a line's bytes are a function of its address only
-        // (the generic runner's evolving data would make a re-fetch and a
-        // victim promotion disagree — something real memory cannot do).
+#[test]
+fn baseline_mirrors_uncompressed_camp() {
+    // CAMP-style size-aware insertion (the paper's future work). The
+    // policy consumes compressed sizes, so the test must model memory
+    // consistently: a line's bytes are a function of its address only
+    // (the generic runner's evolving data would make a re-fetch and a
+    // victim promotion disagree — something real memory cannot do).
+    cases(48, |rng| {
+        let ops = random_ops(rng, 256, 400);
         let geom = CacheGeometry::new(4096, 4, 64);
         let mut unc = UncompressedLlc::new(geom, PolicyKind::CampLite);
-        let mut bv = BaseVictimLlc::new(
-            geom,
-            PolicyKind::CampLite,
-            VictimPolicyKind::EcmLargestBase,
-        );
+        let mut bv =
+            BaseVictimLlc::new(geom, PolicyKind::CampLite, VictimPolicyKind::EcmLargestBase);
         let mut inner = NoInner;
         for (step, &op) in ops.iter().enumerate() {
             let a = match op {
@@ -181,7 +180,7 @@ proptest! {
                 Op::Read(_) => {
                     let hu = unc.read(addr, &mut inner).is_hit();
                     let hb = bv.read(addr, &mut inner).is_hit();
-                    prop_assert!(hb || !hu, "step {step}: lost a hit");
+                    assert!(hb || !hu, "step {step}: lost a hit");
                     if !hu {
                         unc.fill(addr, data, &mut inner);
                     }
@@ -205,26 +204,29 @@ proptest! {
             let mut u = unc.resident_lines();
             b.sort();
             u.sort();
-            prop_assert_eq!(b, u, "step {} ({:?}): CAMP mirror diverged", step, op);
+            assert_eq!(b, u, "step {step} ({op:?}): CAMP mirror diverged");
         }
-    }
+    });
+}
 
-    #[test]
-    fn baseline_mirrors_uncompressed_all_victim_policies(
-        ops in prop::collection::vec(op_strategy(128), 1..200),
-        vp in prop::sample::select(VictimPolicyKind::ALL.to_vec())
-    ) {
+#[test]
+fn baseline_mirrors_uncompressed_all_victim_policies() {
+    cases(48, |rng| {
+        let ops = random_ops(rng, 128, 200);
+        let vp = *rng.choose(&VictimPolicyKind::ALL);
         run_differential(PolicyKind::Nru, vp, &ops);
-    }
+    });
+}
 
-    /// Victim lines must always be clean and every pair must fit; checked
-    /// densely by `assert_invariants` inside `run_differential`, plus here
-    /// under a pure read/fill stream with a tight working set that
-    /// stresses promotions.
-    #[test]
-    fn promotion_heavy_streams_hold_invariants(
-        seeds in prop::collection::vec(0u64..48, 1..600)
-    ) {
+/// Victim lines must always be clean and every pair must fit; checked
+/// densely by `assert_invariants` inside `run_differential`, plus here
+/// under a pure read/fill stream with a tight working set that
+/// stresses promotions.
+#[test]
+fn promotion_heavy_streams_hold_invariants() {
+    cases(48, |rng| {
+        let len = rng.range_u64(1, 600) as usize;
+        let seeds = rng.vec_of(len, |r| r.below(48));
         let geom = CacheGeometry::new(2048, 4, 64); // 8 sets
         let mut bv = BaseVictimLlc::new(geom, PolicyKind::Nru, VictimPolicyKind::EcmLargestBase);
         let mut inner = NoInner;
@@ -235,7 +237,7 @@ proptest! {
             }
             bv.assert_invariants();
         }
-    }
+    });
 }
 
 /// The random-replacement policy cannot mirror (two independent RNG

@@ -1,0 +1,202 @@
+//! Job identity: a `(trace, SimConfig, budget)` triple and its stable
+//! hash, the key under which checkpoints are stored and deduplicated.
+
+use bv_sim::SimConfig;
+use std::fmt::Write as _;
+
+/// One unit of schedulable work: simulate `trace` under `cfg` for
+/// `warmup + insts` instructions.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Registry name of the trace to drive.
+    pub trace: String,
+    /// The full system configuration.
+    pub cfg: SimConfig,
+    /// Warmup instructions (excluded from measurement).
+    pub warmup: u64,
+    /// Measured instructions.
+    pub insts: u64,
+}
+
+impl JobSpec {
+    /// Creates a job.
+    #[must_use]
+    pub fn new(trace: impl Into<String>, cfg: SimConfig, warmup: u64, insts: u64) -> JobSpec {
+        JobSpec {
+            trace: trace.into(),
+            cfg,
+            warmup,
+            insts,
+        }
+    }
+
+    /// The canonical, human-readable identity string. Two jobs produce
+    /// the same simulation result if and only if their keys are equal:
+    /// every input the simulator consumes is spelled out, so changing a
+    /// budget or any configuration knob changes the key (and therefore
+    /// the checkpoint identity).
+    #[must_use]
+    pub fn key(&self) -> String {
+        let c = &self.cfg;
+        let mut s = String::with_capacity(256);
+        let _ = write!(
+            s,
+            "trace={};warmup={};insts={};llc={:?};policy={};llc_geom={}x{}x{}",
+            self.trace,
+            self.warmup,
+            self.insts,
+            c.llc_kind,
+            c.llc_policy.name(),
+            c.llc.size_bytes(),
+            c.llc.ways(),
+            c.llc.line_bytes(),
+        );
+        let _ = write!(
+            s,
+            ";l1i={}x{};l1d={}x{};l2={}x{}",
+            c.l1i.size_bytes(),
+            c.l1i.ways(),
+            c.l1d.size_bytes(),
+            c.l1d.ways(),
+            c.l2.size_bytes(),
+            c.l2.ways(),
+        );
+        let _ = write!(
+            s,
+            ";core={}w{}rob{}l1_{}l2_{}llc{}",
+            c.core.width,
+            c.core.rob_size,
+            c.core.l1_latency,
+            c.core.l2_latency,
+            c.core.llc_latency,
+            c.extra_llc_latency,
+        );
+        let d = &c.dram;
+        let _ = write!(
+            s,
+            ";dram={}ch{}bk{}row{}cl{}rcd{}rp{}ras{}bst{}div{}qw{}dw",
+            d.channels,
+            d.banks_per_channel,
+            d.row_bytes,
+            d.t_cl,
+            d.t_rcd,
+            d.t_rp,
+            d.t_ras,
+            d.t_burst,
+            d.core_cycles_per_mem_cycle,
+            d.queue_window,
+            d.demand_window,
+        );
+        let _ = write!(s, ";pf={}", c.prefetch_degree);
+        s
+    }
+
+    /// FNV-1a hash of [`JobSpec::key`]: the checkpoint filename stem.
+    /// Records also store the full key, so an (astronomically unlikely)
+    /// hash collision is detected at load time rather than silently
+    /// returning the wrong run.
+    #[must_use]
+    pub fn stable_hash(&self) -> u64 {
+        fnv1a(self.key().as_bytes())
+    }
+}
+
+/// 64-bit FNV-1a: tiny, dependency-free, and stable across platforms and
+/// compiler versions (unlike `DefaultHasher`, whose output may change
+/// between Rust releases — a checkpoint store must not).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bv_sim::LlcKind;
+
+    fn base_job() -> JobSpec {
+        JobSpec::new(
+            "specint.mcf.07",
+            SimConfig::single_thread(LlcKind::Uncompressed),
+            1000,
+            2000,
+        )
+    }
+
+    #[test]
+    fn key_is_deterministic() {
+        assert_eq!(base_job().key(), base_job().key());
+        assert_eq!(base_job().stable_hash(), base_job().stable_hash());
+    }
+
+    #[test]
+    fn every_knob_changes_the_key() {
+        let base = base_job();
+        let mut variants = vec![
+            JobSpec {
+                trace: "other".into(),
+                ..base.clone()
+            },
+            JobSpec {
+                warmup: 999,
+                ..base.clone()
+            },
+            JobSpec {
+                insts: 999,
+                ..base.clone()
+            },
+        ];
+        let mut cfg = base.cfg;
+        cfg.llc_kind = LlcKind::BaseVictim;
+        variants.push(JobSpec {
+            cfg,
+            ..base.clone()
+        });
+        let mut cfg = base.cfg;
+        cfg.prefetch_degree += 1;
+        variants.push(JobSpec {
+            cfg,
+            ..base.clone()
+        });
+        let mut cfg = base.cfg;
+        cfg.llc_policy = bv_cache::PolicyKind::Lru;
+        variants.push(JobSpec {
+            cfg,
+            ..base.clone()
+        });
+        variants.push(JobSpec {
+            cfg: base.cfg.with_llc_size(4 * 1024 * 1024, 16),
+            ..base.clone()
+        });
+        for v in variants {
+            assert_ne!(v.key(), base.key(), "variant not distinguished: {v:?}");
+            assert_ne!(v.stable_hash(), base.stable_hash());
+        }
+    }
+
+    #[test]
+    fn victim_policy_variants_are_distinguished() {
+        use bv_core::VictimPolicyKind;
+        let a = JobSpec::new("t", SimConfig::single_thread(LlcKind::BaseVictim), 0, 100);
+        let b = JobSpec::new(
+            "t",
+            SimConfig::single_thread(LlcKind::BaseVictimWith(VictimPolicyKind::RandomFit)),
+            0,
+            100,
+        );
+        assert_ne!(a.key(), b.key());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

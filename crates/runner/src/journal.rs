@@ -1,0 +1,248 @@
+//! The persistent run journal: a checkpoint store (one JSON record per
+//! completed run) plus an append-only JSONL observability stream.
+//!
+//! Layout under the journal directory (default `results/journal/`):
+//!
+//! * `<hash>.json` — one checkpoint per completed `(trace, config,
+//!   budget)` job, written atomically (temp file + rename) from the
+//!   worker thread that finished it, so a killed sweep loses at most the
+//!   jobs that were in flight.
+//! * `runs.jsonl` — one line per completed job with the headline metrics
+//!   (IPC, hit rate, compression ratio, wall-clock, worker id), for
+//!   tailing a live sweep and for post-hoc analysis.
+//!
+//! Checkpoints embed the full canonical job key and are validated
+//! against it at load time, so a hash collision or a record from an
+//! older incompatible schema is ignored (and re-simulated) rather than
+//! trusted.
+
+use crate::job::JobSpec;
+use crate::json::{self, ObjWriter};
+use bv_compress::{CompressionStats, SEGMENTS_PER_LINE};
+use bv_core::LlcStats;
+use bv_sim::{DramStats, RunResult};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Schema version stamped into every record; bump when the serialized
+/// shape changes so stale checkpoints are re-simulated, not misread.
+const SCHEMA: u64 = 1;
+
+/// A journal directory handle. Thread-safe: checkpoint writes go to
+/// distinct files, and the JSONL stream is serialized by a mutex.
+pub struct Journal {
+    dir: PathBuf,
+    log: Mutex<fs::File>,
+}
+
+impl Journal {
+    /// Opens (creating if needed) a journal directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory or the JSONL
+    /// stream cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Journal> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let log = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join("runs.jsonl"))?;
+        Ok(Journal {
+            dir,
+            log: Mutex::new(log),
+        })
+    }
+
+    /// The journal directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn checkpoint_path(&self, job: &JobSpec) -> PathBuf {
+        self.dir.join(format!("{:016x}.json", job.stable_hash()))
+    }
+
+    /// Loads the checkpointed result for `job`, if one exists and its
+    /// embedded key matches exactly.
+    #[must_use]
+    pub fn load(&self, job: &JobSpec) -> Option<RunResult> {
+        let text = fs::read_to_string(self.checkpoint_path(job)).ok()?;
+        let v = json::parse(&text).ok()?;
+        if v.get("schema")?.as_u64()? != SCHEMA || v.get("key")?.as_str()? != job.key() {
+            return None;
+        }
+        decode_result(&v)
+    }
+
+    /// Checkpoints a completed run and appends its observability record.
+    /// I/O failures are reported to stderr but do not fail the sweep: a
+    /// lost checkpoint only costs a future re-simulation.
+    pub fn record(&self, job: &JobSpec, result: &RunResult, wall_secs: f64, worker: usize) {
+        let path = self.checkpoint_path(job);
+        let tmp = path.with_extension("json.tmp");
+        let body = encode_result(job, result);
+        let write = fs::write(&tmp, &body).and_then(|()| fs::rename(&tmp, &path));
+        if let Err(e) = write {
+            eprintln!("journal: failed to checkpoint {}: {e}", path.display());
+        }
+
+        let mut line = ObjWriter::new();
+        line.u64("schema", SCHEMA)
+            .str("trace", &job.trace)
+            .str("llc", result.llc_name)
+            .str("key", &job.key())
+            .str("hash", &format!("{:016x}", job.stable_hash()))
+            .f64("ipc", result.ipc())
+            .f64("llc_hit_rate", result.llc.hit_rate())
+            .f64("comp_ratio", result.compression.mean_ratio())
+            .u64("dram_reads", result.dram.reads)
+            .u64("instructions", result.instructions)
+            .f64("wall_secs", wall_secs)
+            .u64("worker", worker as u64);
+        let mut log = self.log.lock().expect("journal log");
+        if let Err(e) = writeln!(log, "{}", line.finish()) {
+            eprintln!("journal: failed to append runs.jsonl: {e}");
+        }
+    }
+
+    /// The number of checkpoint records currently on disk.
+    #[must_use]
+    pub fn checkpoint_count(&self) -> usize {
+        fs::read_dir(&self.dir).map_or(0, |entries| {
+            entries
+                .filter_map(Result::ok)
+                .filter(|e| {
+                    let name = e.file_name();
+                    let name = name.to_string_lossy();
+                    name.len() == 21 && name.ends_with(".json")
+                })
+                .count()
+        })
+    }
+}
+
+fn encode_result(job: &JobSpec, r: &RunResult) -> String {
+    let llc = &r.llc;
+    let mut llc_obj = ObjWriter::new();
+    llc_obj
+        .u64("base_hits", llc.base_hits)
+        .u64("victim_hits", llc.victim_hits)
+        .u64("read_misses", llc.read_misses)
+        .u64("writeback_hits", llc.writeback_hits)
+        .u64("writeback_misses", llc.writeback_misses)
+        .u64("prefetch_fills", llc.prefetch_fills)
+        .u64("prefetch_hits", llc.prefetch_hits)
+        .u64("demand_fills", llc.demand_fills)
+        .u64("memory_writes", llc.memory_writes)
+        .u64("back_invalidations", llc.back_invalidations)
+        .u64("migrations", llc.migrations)
+        .u64("partner_evictions", llc.partner_evictions)
+        .u64("victim_inserts", llc.victim_inserts)
+        .u64("victim_insert_failures", llc.victim_insert_failures);
+    let mut dram_obj = ObjWriter::new();
+    dram_obj
+        .u64("reads", r.dram.reads)
+        .u64("writes", r.dram.writes)
+        .u64("row_hits", r.dram.row_hits)
+        .u64("row_misses", r.dram.row_misses);
+
+    let mut out = ObjWriter::new();
+    out.u64("schema", SCHEMA)
+        .str("key", &job.key())
+        .str("trace", &job.trace)
+        .str("llc_name", r.llc_name)
+        .u64("instructions", r.instructions)
+        .u64("cycles", r.cycles)
+        .raw("llc", &llc_obj.finish())
+        .raw("dram", &dram_obj.finish())
+        .u64_array("compression", &r.compression.histogram())
+        .u64_array("level_hits", &r.level_hits);
+    out.finish()
+}
+
+fn decode_result(v: &json::Value) -> Option<RunResult> {
+    let llc = v.get("llc")?;
+    let dram = v.get("dram")?;
+    let hist = v.get("compression")?.as_arr()?;
+    if hist.len() != SEGMENTS_PER_LINE {
+        return None;
+    }
+    let mut histogram = [0u64; SEGMENTS_PER_LINE];
+    for (slot, value) in histogram.iter_mut().zip(hist) {
+        *slot = value.as_u64()?;
+    }
+    let levels = v.get("level_hits")?.as_arr()?;
+    if levels.len() != 5 {
+        return None;
+    }
+    let mut level_hits = [0u64; 5];
+    for (slot, value) in level_hits.iter_mut().zip(levels) {
+        *slot = value.as_u64()?;
+    }
+    Some(RunResult {
+        llc_name: intern_llc_name(v.get("llc_name")?.as_str()?),
+        instructions: v.get("instructions")?.as_u64()?,
+        cycles: v.get("cycles")?.as_u64()?,
+        llc: LlcStats {
+            base_hits: llc.get("base_hits")?.as_u64()?,
+            victim_hits: llc.get("victim_hits")?.as_u64()?,
+            read_misses: llc.get("read_misses")?.as_u64()?,
+            writeback_hits: llc.get("writeback_hits")?.as_u64()?,
+            writeback_misses: llc.get("writeback_misses")?.as_u64()?,
+            prefetch_fills: llc.get("prefetch_fills")?.as_u64()?,
+            prefetch_hits: llc.get("prefetch_hits")?.as_u64()?,
+            demand_fills: llc.get("demand_fills")?.as_u64()?,
+            memory_writes: llc.get("memory_writes")?.as_u64()?,
+            back_invalidations: llc.get("back_invalidations")?.as_u64()?,
+            migrations: llc.get("migrations")?.as_u64()?,
+            partner_evictions: llc.get("partner_evictions")?.as_u64()?,
+            victim_inserts: llc.get("victim_inserts")?.as_u64()?,
+            victim_insert_failures: llc.get("victim_insert_failures")?.as_u64()?,
+        },
+        compression: CompressionStats::from_histogram(histogram),
+        dram: DramStats {
+            reads: dram.get("reads")?.as_u64()?,
+            writes: dram.get("writes")?.as_u64()?,
+            row_hits: dram.get("row_hits")?.as_u64()?,
+            row_misses: dram.get("row_misses")?.as_u64()?,
+        },
+        level_hits,
+    })
+}
+
+/// Maps a deserialized organization name back to the `&'static str` the
+/// live organizations use. Unknown names (from a future organization)
+/// fall back to a leaked allocation — bounded by the number of distinct
+/// names, not the number of records.
+fn intern_llc_name(name: &str) -> &'static str {
+    const KNOWN: &[&str] = &[
+        "uncompressed",
+        "two-tag",
+        "two-tag-ecm",
+        "base-victim",
+        "base-victim-variant",
+        "base-victim-ni",
+        "base-victim-compressor",
+        "vsc-2x",
+        "dcc",
+    ];
+    if let Some(&k) = KNOWN.iter().find(|&&k| k == name) {
+        return k;
+    }
+    use std::collections::HashSet;
+    use std::sync::OnceLock;
+    static EXTRA: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let extra = EXTRA.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut extra = extra.lock().expect("intern table");
+    if let Some(&k) = extra.iter().find(|&&k| k == name) {
+        return k;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    extra.insert(leaked);
+    leaked
+}

@@ -1,0 +1,59 @@
+//! # bv-runner — parallel experiment orchestration
+//!
+//! The paper's evaluation (Section VI) is a wide Cartesian sweep:
+//! ~100 traces crossed with LLC organizations, replacement policies, and
+//! size/associativity variants. This crate owns the machinery that makes
+//! such sweeps fast and restartable:
+//!
+//! * [`pool`] — a work-stealing thread pool over [`std::thread::scope`]
+//!   that spreads `(trace, config)` jobs across every core;
+//! * [`JobSpec`] — the unit of work, with a stable content-derived hash
+//!   ([`JobSpec::stable_hash`]) that names its checkpoint;
+//! * [`Journal`] — the on-disk checkpoint store (one JSON record per
+//!   completed run, written atomically from worker threads) plus a JSONL
+//!   observability stream and live progress line;
+//! * [`Runner`] — the orchestrator tying those together: deduplicating
+//!   job planning, journal-backed resume, and a thread-safe result store
+//!   the reporting layer reads back.
+//!
+//! ## Determinism
+//!
+//! The simulator is a pure function of `(workload, config, budget)`;
+//! jobs share no mutable state, so a parallel sweep produces results
+//! bit-identical to the serial path regardless of worker count or
+//! completion order. The integration tests assert this, and it is what
+//! makes checkpoint/resume sound: a result loaded from the journal is
+//! indistinguishable from one computed fresh.
+//!
+//! ## Example
+//!
+//! ```
+//! use bv_runner::{JobSpec, Runner};
+//! use bv_sim::{LlcKind, SimConfig};
+//! use bv_trace::TraceRegistry;
+//!
+//! let registry = TraceRegistry::paper_default();
+//! let trace = registry.all().next().unwrap().name.clone();
+//! let jobs = vec![
+//!     JobSpec::new(&trace, SimConfig::single_thread(LlcKind::Uncompressed), 1_000, 2_000),
+//!     JobSpec::new(&trace, SimConfig::single_thread(LlcKind::BaseVictim), 1_000, 2_000),
+//! ];
+//! let runner = Runner::new(2);
+//! let report = runner.execute(&registry, &jobs);
+//! assert_eq!(report.simulated, 2);
+//! let bv = runner.get(&jobs[1]).unwrap();
+//! assert!(bv.ipc() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod job;
+mod journal;
+pub mod json;
+pub mod pool;
+mod runner;
+
+pub use job::{fnv1a, JobSpec};
+pub use journal::Journal;
+pub use runner::{ExecutionReport, Runner};

@@ -1,0 +1,276 @@
+//! The experiment orchestrator: plans a job set (deduplicating and
+//! consulting the checkpoint journal), executes the remainder on the
+//! work-stealing pool, and retains every result in a thread-safe store
+//! for the reporting code to read back.
+
+use crate::job::JobSpec;
+use crate::journal::Journal;
+use crate::pool;
+use bv_sim::{RunResult, System};
+use bv_trace::TraceRegistry;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What one `execute` call did, for progress reporting and for the
+/// resume tests ("a resumed sweep re-simulates zero journaled configs").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecutionReport {
+    /// Jobs submitted, including duplicates.
+    pub requested: usize,
+    /// Distinct configurations after deduplication.
+    pub unique: usize,
+    /// Served from the in-memory store (earlier figures this process).
+    pub from_memory: usize,
+    /// Served from on-disk checkpoints (a previous, interrupted sweep).
+    pub from_journal: usize,
+    /// Actually simulated by this call.
+    pub simulated: usize,
+}
+
+/// The orchestrator. One `Runner` is shared by a whole experiment suite;
+/// it owns the in-memory result store, the optional on-disk journal, and
+/// the worker-count policy.
+pub struct Runner {
+    workers: usize,
+    journal: Option<Journal>,
+    resume: bool,
+    progress: bool,
+    store: Mutex<HashMap<u64, RunResult>>,
+}
+
+impl Runner {
+    /// A runner with `workers` threads, no journal, no progress output.
+    #[must_use]
+    pub fn new(workers: usize) -> Runner {
+        Runner {
+            workers: workers.max(1),
+            journal: None,
+            resume: false,
+            progress: false,
+            store: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Attaches a checkpoint journal. When `resume` is true, existing
+    /// checkpoints satisfy jobs without re-simulation; when false, the
+    /// journal is write-only (checkpoints are refreshed).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the journal directory cannot be opened.
+    pub fn with_journal(
+        mut self,
+        dir: impl Into<std::path::PathBuf>,
+        resume: bool,
+    ) -> std::io::Result<Runner> {
+        self.journal = Some(Journal::open(dir)?);
+        self.resume = resume;
+        Ok(self)
+    }
+
+    /// Enables the live `completed/total` progress line on stderr.
+    #[must_use]
+    pub fn with_progress(mut self, progress: bool) -> Runner {
+        self.progress = progress;
+        self
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The journal, if one is attached.
+    #[must_use]
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// A result already in the in-memory store.
+    #[must_use]
+    pub fn get(&self, job: &JobSpec) -> Option<RunResult> {
+        self.store
+            .lock()
+            .expect("result store")
+            .get(&job.stable_hash())
+            .cloned()
+    }
+
+    /// Runs one job synchronously on the calling thread, consulting the
+    /// store and journal first — the serial path for ad-hoc lookups
+    /// outside a planned sweep. Results land in the store and journal
+    /// exactly as parallel ones do.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not in `registry`.
+    pub fn run_one(&self, registry: &TraceRegistry, job: &JobSpec) -> RunResult {
+        if let Some(hit) = self.get(job) {
+            return hit;
+        }
+        if self.resume {
+            if let Some(hit) = self.journal.as_ref().and_then(|j| j.load(job)) {
+                self.insert(job, hit.clone());
+                return hit;
+            }
+        }
+        let workload = registry
+            .get(&job.trace)
+            .unwrap_or_else(|| panic!("trace '{}' not in the registry", job.trace))
+            .workload
+            .clone();
+        let t = Instant::now();
+        let result = System::new(job.cfg).run_with_warmup(&workload, job.warmup, job.insts);
+        if let Some(j) = &self.journal {
+            j.record(job, &result, t.elapsed().as_secs_f64(), 0);
+        }
+        self.insert(job, result.clone());
+        result
+    }
+
+    /// Plans and executes a batch: deduplicates, satisfies what it can
+    /// from the store and (under resume) the journal, then simulates the
+    /// rest across the worker pool. Afterwards every submitted job's
+    /// result is available via [`Runner::get`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job names a trace missing from `registry`.
+    pub fn execute(&self, registry: &TraceRegistry, jobs: &[JobSpec]) -> ExecutionReport {
+        let mut report = ExecutionReport {
+            requested: jobs.len(),
+            ..ExecutionReport::default()
+        };
+
+        // Deduplicate while preserving first-seen order, so equal-budget
+        // sweeps schedule identically whether or not callers repeat jobs.
+        let mut seen = HashMap::new();
+        let mut to_run: Vec<JobSpec> = Vec::new();
+        for job in jobs {
+            let hash = job.stable_hash();
+            if seen.insert(hash, ()).is_some() {
+                continue;
+            }
+            report.unique += 1;
+            if self.get(job).is_some() {
+                report.from_memory += 1;
+            } else if self.resume
+                && self
+                    .journal
+                    .as_ref()
+                    .and_then(|j| j.load(job))
+                    .map(|hit| self.insert(job, hit))
+                    .is_some()
+            {
+                report.from_journal += 1;
+            } else {
+                to_run.push(job.clone());
+            }
+        }
+        report.simulated = to_run.len();
+        if to_run.is_empty() {
+            return report;
+        }
+
+        // Resolve workloads up front so missing traces fail before any
+        // simulation time is spent.
+        let resolved: Vec<(JobSpec, bv_trace::synth::WorkloadSpec)> = to_run
+            .into_iter()
+            .map(|job| {
+                let spec = registry
+                    .get(&job.trace)
+                    .unwrap_or_else(|| panic!("trace '{}' not in the registry", job.trace));
+                let workload = spec.workload.clone();
+                (job, workload)
+            })
+            .collect();
+
+        let total = resolved.len();
+        let done = AtomicUsize::new(0);
+        let t0 = Instant::now();
+        let results = pool::parallel_map(resolved, self.workers, |worker, _, (job, workload)| {
+            let t = Instant::now();
+            let result = System::new(job.cfg).run_with_warmup(&workload, job.warmup, job.insts);
+            let wall = t.elapsed().as_secs_f64();
+            if let Some(j) = &self.journal {
+                j.record(&job, &result, wall, worker);
+            }
+            // Store immediately (not after the batch) so a panic or kill
+            // elsewhere loses as little completed work as possible.
+            self.insert(&job, result.clone());
+            let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+            if self.progress {
+                progress_line(finished, total, t0.elapsed(), &job.trace);
+            }
+            (job, result)
+        });
+        if self.progress {
+            eprintln!();
+        }
+        debug_assert_eq!(results.len(), total);
+        report
+    }
+
+    fn insert(&self, job: &JobSpec, result: RunResult) {
+        self.store
+            .lock()
+            .expect("result store")
+            .insert(job.stable_hash(), result);
+    }
+}
+
+fn progress_line(done: usize, total: usize, elapsed: Duration, last_trace: &str) {
+    let secs = elapsed.as_secs_f64();
+    let rate = done as f64 / secs.max(1e-9);
+    let eta = (total - done) as f64 / rate.max(1e-9);
+    let mut err = std::io::stderr().lock();
+    let _ = write!(
+        err,
+        "\r[sweep] {done}/{total} jobs  {rate:5.2} jobs/s  eta {eta:4.0}s  last {last_trace:<28}"
+    );
+    let _ = err.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bv_sim::{LlcKind, SimConfig};
+
+    fn tiny_job(trace: &str, kind: LlcKind) -> JobSpec {
+        JobSpec::new(trace, SimConfig::single_thread(kind), 2_000, 4_000)
+    }
+
+    #[test]
+    fn execute_deduplicates_and_caches() {
+        let registry = TraceRegistry::paper_default();
+        let trace = registry.all().next().expect("trace").name.clone();
+        let runner = Runner::new(2);
+        let job = tiny_job(&trace, LlcKind::Uncompressed);
+        let jobs = vec![job.clone(), job.clone(), job.clone()];
+        let r1 = runner.execute(&registry, &jobs);
+        assert_eq!(r1.requested, 3);
+        assert_eq!(r1.unique, 1);
+        assert_eq!(r1.simulated, 1);
+        let r2 = runner.execute(&registry, &jobs);
+        assert_eq!(r2.from_memory, 1);
+        assert_eq!(r2.simulated, 0);
+        assert!(runner.get(&job).is_some());
+    }
+
+    #[test]
+    fn run_one_matches_execute() {
+        let registry = TraceRegistry::paper_default();
+        let trace = registry.all().next().expect("trace").name.clone();
+        let job = tiny_job(&trace, LlcKind::BaseVictim);
+        let serial = Runner::new(1);
+        let parallel = Runner::new(3);
+        let a = serial.run_one(&registry, &job);
+        parallel.execute(&registry, std::slice::from_ref(&job));
+        let b = parallel.get(&job).expect("executed");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,180 @@
+//! The two guarantees the orchestrator is built on:
+//!
+//! 1. **Determinism** — a parallel sweep produces results bit-identical
+//!    to the serial path, regardless of worker count or completion order.
+//! 2. **Resume** — an interrupted sweep picks up from the on-disk
+//!    journal and re-simulates zero already-completed configurations,
+//!    and the resumed results are indistinguishable from fresh ones.
+
+use bv_runner::{JobSpec, Runner};
+use bv_sim::{LlcKind, RunResult, SimConfig};
+use bv_trace::TraceRegistry;
+use std::path::PathBuf;
+
+const WARMUP: u64 = 2_000;
+const INSTS: u64 = 4_000;
+
+/// A small but heterogeneous job set: several traces under both the
+/// uncompressed baseline and Base-Victim, plus a size variant.
+fn job_set(registry: &TraceRegistry) -> Vec<JobSpec> {
+    let traces: Vec<String> = registry.all().take(4).map(|t| t.name.clone()).collect();
+    let mut jobs = Vec::new();
+    for name in &traces {
+        for kind in [LlcKind::Uncompressed, LlcKind::BaseVictim] {
+            jobs.push(JobSpec::new(
+                name,
+                SimConfig::single_thread(kind),
+                WARMUP,
+                INSTS,
+            ));
+        }
+    }
+    jobs.push(JobSpec::new(
+        &traces[0],
+        SimConfig::single_thread(LlcKind::BaseVictim).with_llc_size(4 * 1024 * 1024, 16),
+        WARMUP,
+        INSTS,
+    ));
+    jobs
+}
+
+fn results_of(runner: &Runner, jobs: &[JobSpec]) -> Vec<RunResult> {
+    jobs.iter()
+        .map(|j| runner.get(j).expect("every planned job has a result"))
+        .collect()
+}
+
+/// A scratch directory under `target/tmp`, fresh per test.
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let registry = TraceRegistry::paper_default();
+    let jobs = job_set(&registry);
+
+    let serial = Runner::new(1);
+    let report = serial.execute(&registry, &jobs);
+    assert_eq!(report.simulated, jobs.len());
+
+    let parallel = Runner::new(4);
+    parallel.execute(&registry, &jobs);
+
+    assert_eq!(results_of(&serial, &jobs), results_of(&parallel, &jobs));
+}
+
+#[test]
+fn interrupted_sweep_resumes_without_resimulating() {
+    let registry = TraceRegistry::paper_default();
+    let jobs = job_set(&registry);
+    let dir = scratch("resume-journal");
+
+    // Reference results, no journal involved.
+    let reference = Runner::new(1);
+    reference.execute(&registry, &jobs);
+
+    // First attempt is "killed" after completing only part of the sweep:
+    // simulate that by executing a prefix, then dropping the runner.
+    let half = jobs.len() / 2;
+    {
+        let first = Runner::new(4)
+            .with_journal(&dir, false)
+            .expect("open journal");
+        let report = first.execute(&registry, &jobs[..half]);
+        assert_eq!(report.simulated, half);
+        assert_eq!(
+            first
+                .journal()
+                .expect("journal attached")
+                .checkpoint_count(),
+            half
+        );
+    }
+
+    // Second attempt resumes: journaled configs are loaded, not re-run.
+    let second = Runner::new(4)
+        .with_journal(&dir, true)
+        .expect("reopen journal");
+    let report = second.execute(&registry, &jobs);
+    assert_eq!(report.unique, jobs.len());
+    assert_eq!(report.from_journal, half, "every checkpoint must be used");
+    assert_eq!(report.simulated, jobs.len() - half);
+
+    // Results served from checkpoints are bit-identical to fresh ones.
+    assert_eq!(results_of(&reference, &jobs), results_of(&second, &jobs));
+
+    // A third pass over the now-complete journal re-simulates nothing.
+    let third = Runner::new(4)
+        .with_journal(&dir, true)
+        .expect("reopen journal");
+    let report = third.execute(&registry, &jobs);
+    assert_eq!(report.from_journal, jobs.len());
+    assert_eq!(report.simulated, 0);
+    assert_eq!(results_of(&reference, &jobs), results_of(&third, &jobs));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn changing_the_budget_invalidates_checkpoints() {
+    let registry = TraceRegistry::paper_default();
+    let trace = registry.all().next().expect("trace").name.clone();
+    let dir = scratch("budget-journal");
+    let job = |insts| {
+        JobSpec::new(
+            &trace,
+            SimConfig::single_thread(LlcKind::Uncompressed),
+            WARMUP,
+            insts,
+        )
+    };
+
+    {
+        let first = Runner::new(1)
+            .with_journal(&dir, false)
+            .expect("open journal");
+        first.execute(&registry, &[job(INSTS)]);
+    }
+    // A different measurement budget is a different job: nothing to resume.
+    let second = Runner::new(1)
+        .with_journal(&dir, true)
+        .expect("reopen journal");
+    let report = second.execute(&registry, &[job(2 * INSTS)]);
+    assert_eq!(report.from_journal, 0);
+    assert_eq!(report.simulated, 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn journal_observability_stream_has_one_line_per_run() {
+    let registry = TraceRegistry::paper_default();
+    let jobs = job_set(&registry);
+    let dir = scratch("jsonl-journal");
+
+    let runner = Runner::new(2)
+        .with_journal(&dir, false)
+        .expect("open journal");
+    runner.execute(&registry, &jobs);
+
+    let log = std::fs::read_to_string(dir.join("runs.jsonl")).expect("runs.jsonl exists");
+    let lines: Vec<&str> = log.lines().collect();
+    assert_eq!(lines.len(), jobs.len());
+    for line in lines {
+        let v = bv_runner::json::parse(line).expect("valid JSON line");
+        for field in ["trace", "llc", "key", "hash"] {
+            assert!(v.get(field).is_some(), "missing {field}: {line}");
+        }
+        for field in ["ipc", "llc_hit_rate", "comp_ratio", "wall_secs"] {
+            assert!(
+                v.get(field).and_then(|x| x.as_f64()).is_some(),
+                "missing numeric {field}: {line}"
+            );
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

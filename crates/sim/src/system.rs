@@ -9,7 +9,7 @@ use bv_core::LlcStats;
 use bv_trace::synth::WorkloadSpec;
 
 /// The measurements of one single-core run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunResult {
     /// Organization simulated (e.g. `"base-victim"`).
     pub llc_name: &'static str,

@@ -2,94 +2,94 @@
 //! hit-rate guarantee under randomized workload parameters.
 
 use bv_sim::{LlcKind, SimConfig, System};
+use bv_testkit::{cases, Rng};
 use bv_trace::synth::{KernelSpec, WorkloadSpec};
 use bv_trace::{DataProfile, KernelKind};
-use proptest::prelude::*;
 
-fn arb_workload() -> impl Strategy<Value = WorkloadSpec> {
-    (
-        1u64..16,                  // region scale (x 128 KB)
-        0..5usize,                 // kernel kind selector
-        0..DataProfile::ALL.len(), // profile selector
-        0u8..128,                  // store fraction
-        32u8..128,                 // mem fraction
-        any::<u64>(),              // seed
-    )
-        .prop_map(|(scale, kind, profile, stores, mem, seed)| {
-            let kind = match kind {
-                0 => KernelKind::Streaming,
-                1 => KernelKind::Strided { stride: 256 },
-                2 => KernelKind::Loop,
-                3 => KernelKind::PointerChase,
-                _ => KernelKind::HotCold {
-                    hot_fraction: 32,
-                    hot_probability: 200,
-                },
-            };
-            WorkloadSpec {
-                kernels: vec![KernelSpec {
-                    kind,
-                    region_bytes: scale * 128 * 1024,
-                    weight: 1,
-                    store_fraction: stores,
-                    profile: DataProfile::ALL[profile],
-                }],
-                mem_fraction: mem,
-                ifetch_fraction: 8,
-                code_bytes: 16 << 10,
-                seed,
-            }
-        })
+fn arb_workload(rng: &mut Rng) -> WorkloadSpec {
+    let kind = match rng.below(5) {
+        0 => KernelKind::Streaming,
+        1 => KernelKind::Strided { stride: 256 },
+        2 => KernelKind::Loop,
+        3 => KernelKind::PointerChase,
+        _ => KernelKind::HotCold {
+            hot_fraction: 32,
+            hot_probability: 200,
+        },
+    };
+    WorkloadSpec {
+        kernels: vec![KernelSpec {
+            kind,
+            region_bytes: rng.range_u64(1, 16) * 128 * 1024,
+            weight: 1,
+            store_fraction: rng.below(128) as u8,
+            profile: *rng.choose(&DataProfile::ALL),
+        }],
+        mem_fraction: rng.range_u64(32, 128) as u8,
+        ifetch_fraction: 8,
+        code_bytes: 16 << 10,
+        seed: rng.next_u64(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// The hit-rate guarantee holds for arbitrary single-kernel workloads,
-    /// end to end.
-    #[test]
-    fn guarantee_holds_for_arbitrary_workloads(w in arb_workload()) {
+/// The hit-rate guarantee holds for arbitrary single-kernel workloads,
+/// end to end.
+#[test]
+fn guarantee_holds_for_arbitrary_workloads() {
+    cases(12, |rng| {
+        let w = arb_workload(rng);
         let base = System::new(SimConfig::single_thread(LlcKind::Uncompressed))
             .run_with_warmup(&w, 60_000, 60_000);
         let bv = System::new(SimConfig::single_thread(LlcKind::BaseVictim))
             .run_with_warmup(&w, 60_000, 60_000);
-        prop_assert!(
+        assert!(
             bv.llc.read_misses <= base.llc.read_misses,
-            "misses {} > {}", bv.llc.read_misses, base.llc.read_misses
+            "misses {} > {}",
+            bv.llc.read_misses,
+            base.llc.read_misses
         );
-        prop_assert!(
+        assert!(
             bv.dram.reads <= base.dram.reads,
-            "reads {} > {}", bv.dram.reads, base.dram.reads
+            "reads {} > {}",
+            bv.dram.reads,
+            base.dram.reads
         );
-    }
+    });
+}
 
-    /// Level accounting is exact for every organization: the level buckets
-    /// reconcile with the LLC's own counters.
-    #[test]
-    fn level_accounting_reconciles(
-        w in arb_workload(),
-        kind in prop::sample::select(vec![
+/// Level accounting is exact for every organization: the level buckets
+/// reconcile with the LLC's own counters.
+#[test]
+fn level_accounting_reconciles() {
+    cases(12, |rng| {
+        let w = arb_workload(rng);
+        let kind = *rng.choose(&[
             LlcKind::Uncompressed,
             LlcKind::TwoTag,
             LlcKind::TwoTagEcm,
             LlcKind::BaseVictim,
             LlcKind::BaseVictimNonInclusive,
-        ]),
-    ) {
+        ]);
         let r = System::new(SimConfig::single_thread(kind)).run(&w, 80_000);
-        prop_assert_eq!(r.level_hits[2] + r.level_hits[3], r.llc.base_hits + r.llc.victim_hits);
-        prop_assert_eq!(r.level_hits[4], r.llc.read_misses);
+        assert_eq!(
+            r.level_hits[2] + r.level_hits[3],
+            r.llc.base_hits + r.llc.victim_hits
+        );
+        assert_eq!(r.level_hits[4], r.llc.read_misses);
         // Every memory-level access produced exactly one demand fill.
-        prop_assert_eq!(r.llc.demand_fills, r.llc.read_misses);
-    }
+        assert_eq!(r.llc.demand_fills, r.llc.read_misses);
+    });
+}
 
-    /// Writeback conservation: everything the LLC writes to memory was
-    /// counted, and DRAM write traffic equals the LLC's account.
-    #[test]
-    fn dram_writes_match_llc_accounting(w in arb_workload()) {
+/// Writeback conservation: everything the LLC writes to memory was
+/// counted, and DRAM write traffic equals the LLC's account.
+#[test]
+fn dram_writes_match_llc_accounting() {
+    cases(12, |rng| {
+        let w = arb_workload(rng);
         let r = System::new(SimConfig::single_thread(LlcKind::BaseVictim)).run(&w, 80_000);
-        prop_assert_eq!(r.dram.writes, r.llc.memory_writes);
-    }
+        assert_eq!(r.dram.writes, r.llc.memory_writes);
+    });
 }
 
 /// Inclusion is maintained continuously on a mixed workload (checked

@@ -1,0 +1,232 @@
+//! Deterministic randomness and lightweight property-test helpers.
+//!
+//! The build environment has no access to a crate registry, so the
+//! workspace's randomized tests cannot use `proptest` or `rand`. This
+//! crate supplies the small subset those suites actually need: a fast,
+//! seedable, well-mixed PRNG and a `cases` driver that runs a property
+//! closure over many seeds, reporting the failing seed so a
+//! counterexample can be replayed by hand.
+//!
+//! Every generator is a pure function of the seed, so any failure is
+//! reproducible by construction — the moral equivalent of a proptest
+//! regression file is "re-run with the printed seed".
+
+#![warn(missing_docs)]
+
+/// SplitMix64: tiny, statistically solid, and seedable from any `u64`.
+///
+/// This is the generator recommended for seeding xorshift-family state;
+/// it passes BigCrush on its own and is more than adequate for test-case
+/// generation.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Distinct seeds give independent
+    /// streams.
+    #[must_use]
+    pub fn new(seed: u64) -> Rng {
+        Rng {
+            state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32-bit output (upper half of the 64-bit stream).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        // Multiply-shift bounded generation (Lemire); the slight bias at
+        // 2^64 scale is irrelevant for test-case generation.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `i64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range");
+        lo.wrapping_add(self.below(hi.wrapping_sub(lo) as u64) as i64)
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is 0.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Fair coin.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniform choice from a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// A vector of `len` values drawn by `gen`.
+    pub fn vec_of<T>(&mut self, len: usize, mut gen: impl FnMut(&mut Rng) -> T) -> Vec<T> {
+        (0..len).map(|_| gen(self)).collect()
+    }
+}
+
+/// Runs `property` once per case with an independently seeded generator,
+/// panicking with the offending case index on failure so the run can be
+/// replayed (`Rng::new(CASE_SEED_BASE + i)`).
+///
+/// The property receives the case's `Rng`; any panic inside it is
+/// reported with the case number attached.
+pub fn cases(n: u64, property: impl Fn(&mut Rng)) {
+    for i in 0..n {
+        let mut rng = Rng::new(CASE_SEED_BASE.wrapping_add(i));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            property(&mut rng);
+        }));
+        if let Err(payload) = result {
+            eprintln!("property failed on case {i} (seed base {CASE_SEED_BASE:#x} + {i})");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Base seed used by [`cases`]; exposed so a failing case can be replayed
+/// in isolation.
+pub const CASE_SEED_BASE: u64 = 0xb5e0_c0de_0000_0000;
+
+/// A dependency-free stand-in for the Criterion harness: wall-clock
+/// timing with warmup, reporting per-iteration cost. Benches built on it
+/// stay `harness = false` binaries runnable via `cargo bench`.
+pub mod bench {
+    use std::time::Instant;
+
+    /// Times `samples` calls of `f` after one warmup call and prints a
+    /// `group/name  median .. max` line. Returns the median seconds per
+    /// call.
+    pub fn time<T>(group: &str, name: &str, samples: usize, mut f: impl FnMut() -> T) -> f64 {
+        assert!(samples > 0, "at least one sample required");
+        std::hint::black_box(f());
+        let mut secs: Vec<f64> = (0..samples)
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(f());
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        secs.sort_by(f64::total_cmp);
+        let median = secs[secs.len() / 2];
+        println!(
+            "{group}/{name:28} median {} .. max {}",
+            human(median),
+            human(secs[secs.len() - 1])
+        );
+        median
+    }
+
+    fn human(secs: f64) -> String {
+        if secs < 1e-6 {
+            format!("{:8.1} ns", secs * 1e9)
+        } else if secs < 1e-3 {
+            format!("{:8.2} µs", secs * 1e6)
+        } else if secs < 1.0 {
+            format!("{:8.2} ms", secs * 1e3)
+        } else {
+            format!("{secs:8.3} s ")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = Rng::new(42);
+        for bound in [1u64, 2, 3, 7, 100, 1 << 40] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn range_covers_endpoints_eventually() {
+        let mut rng = Rng::new(9);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.range_u64(0, 4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn range_i64_handles_negative_bounds() {
+        let mut rng = Rng::new(3);
+        for _ in 0..500 {
+            let v = rng.range_i64(-128, 128);
+            assert!((-128..128).contains(&v));
+        }
+    }
+
+    #[test]
+    fn cases_runs_all_cases() {
+        use std::cell::Cell;
+        let count = Cell::new(0u64);
+        cases(17, |_| count.set(count.get() + 1));
+        assert_eq!(count.get(), 17);
+    }
+}

@@ -5,161 +5,62 @@
 //! bvsim --trace specint.mcf.07 --llc base-victim --compare
 //! bvsim --trace client.octane.00 --llc two-tag --policy srrip \
 //!       --llc-mb 4 --ways 16 --warmup 2000000 --insts 3000000
+//! bvsim sweep --jobs 8 --journal results/journal
+//! bvsim sweep --resume        # continue an interrupted sweep
 //! ```
+//!
+//! Argument parsing lives in [`base_victim::cli`] so it can be
+//! unit-tested; this binary only dispatches the parsed command.
 
-use base_victim::{LlcKind, PolicyKind, SimConfig, System, TraceRegistry, VictimPolicyKind};
+use base_victim::cli::{self, Command, RunArgs, SweepArgs, USAGE};
+use base_victim::{LlcKind, SimConfig, System, TraceRegistry};
 use std::process::ExitCode;
 
-struct Args {
-    trace: Option<String>,
-    list: bool,
-    llc: LlcKind,
-    policy: PolicyKind,
-    llc_mb: usize,
-    ways: usize,
-    warmup: u64,
-    insts: u64,
-    compare: bool,
-}
-
-const USAGE: &str = "\
-bvsim — trace-driven simulation of the Base-Victim compressed LLC
-
-USAGE:
-    bvsim --trace <name> [options]
-    bvsim --list-traces
-
-OPTIONS:
-    --trace <name>      registry trace to run (see --list-traces)
-    --list-traces       print the 100-trace registry and exit
-    --llc <kind>        uncompressed | two-tag | two-tag-ecm | base-victim
-                        | base-victim-ni | vsc   (default: base-victim)
-    --policy <name>     lru | nru | srrip | char | camp | random
-                        (default: nru, as in the paper)
-    --llc-mb <n>        LLC capacity in MB (default: 2)
-    --ways <n>          LLC associativity (default: 16)
-    --warmup <n>        warmup instructions (default: 1000000)
-    --insts <n>         measured instructions (default: 1500000)
-    --compare           also run the uncompressed baseline and print ratios
-    --help              this text
-";
-
-fn parse_llc(s: &str) -> Option<LlcKind> {
-    Some(match s {
-        "uncompressed" => LlcKind::Uncompressed,
-        "two-tag" => LlcKind::TwoTag,
-        "two-tag-ecm" => LlcKind::TwoTagEcm,
-        "base-victim" => LlcKind::BaseVictim,
-        "base-victim-ni" => LlcKind::BaseVictimNonInclusive,
-        "base-victim-random-fit" => LlcKind::BaseVictimWith(VictimPolicyKind::RandomFit),
-        "vsc" => LlcKind::Vsc,
-        _ => return None,
-    })
-}
-
-fn parse_policy(s: &str) -> Option<PolicyKind> {
-    Some(match s {
-        "lru" => PolicyKind::Lru,
-        "nru" => PolicyKind::Nru,
-        "srrip" => PolicyKind::Srrip,
-        "char" => PolicyKind::CharLite,
-        "camp" => PolicyKind::CampLite,
-        "random" => PolicyKind::Random,
-        _ => return None,
-    })
-}
-
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
-        trace: None,
-        list: false,
-        llc: LlcKind::BaseVictim,
-        policy: PolicyKind::Nru,
-        llc_mb: 2,
-        ways: 16,
-        warmup: 1_000_000,
-        insts: 1_500_000,
-        compare: false,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
-        match flag.as_str() {
-            "--trace" => args.trace = Some(value("--trace")?),
-            "--list-traces" => args.list = true,
-            "--llc" => {
-                let v = value("--llc")?;
-                args.llc = parse_llc(&v).ok_or_else(|| format!("unknown LLC kind '{v}'"))?;
-            }
-            "--policy" => {
-                let v = value("--policy")?;
-                args.policy = parse_policy(&v).ok_or_else(|| format!("unknown policy '{v}'"))?;
-            }
-            "--llc-mb" => {
-                args.llc_mb = value("--llc-mb")?
-                    .parse()
-                    .map_err(|e| format!("--llc-mb: {e}"))?;
-            }
-            "--ways" => {
-                args.ways = value("--ways")?
-                    .parse()
-                    .map_err(|e| format!("--ways: {e}"))?;
-            }
-            "--warmup" => {
-                args.warmup = value("--warmup")?
-                    .parse()
-                    .map_err(|e| format!("--warmup: {e}"))?;
-            }
-            "--insts" => {
-                args.insts = value("--insts")?
-                    .parse()
-                    .map_err(|e| format!("--insts: {e}"))?;
-            }
-            "--compare" => args.compare = true,
-            "--help" | "-h" => {
-                print!("{USAGE}");
-                std::process::exit(0);
-            }
-            other => return Err(format!("unknown flag '{other}' (try --help)")),
-        }
-    }
-    Ok(args)
-}
-
 fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match cli::parse(&argv) {
+        Ok(Command::Help) => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Command::ListTraces) => {
+            list_traces();
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Run(run)) => run_one(&run),
+        Ok(Command::Sweep(sweep)) => run_sweep(&sweep),
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
+            ExitCode::FAILURE
         }
-    };
-    let registry = TraceRegistry::paper_default();
+    }
+}
 
-    if args.list {
+fn list_traces() {
+    let registry = TraceRegistry::paper_default();
+    println!(
+        "{:28} {:12} {:10} {:12} {:>8}",
+        "name", "category", "sensitive", "compressible", "WS(MB)"
+    );
+    for t in registry.all() {
         println!(
             "{:28} {:12} {:10} {:12} {:>8}",
-            "name", "category", "sensitive", "compressible", "WS(MB)"
+            t.name,
+            t.category.name(),
+            t.cache_sensitive,
+            t.compression_friendly,
+            t.workload.working_set_bytes() >> 20
         );
-        for t in registry.all() {
-            println!(
-                "{:28} {:12} {:10} {:12} {:>8}",
-                t.name,
-                t.category.name(),
-                t.cache_sensitive,
-                t.compression_friendly,
-                t.workload.working_set_bytes() >> 20
-            );
-        }
-        return ExitCode::SUCCESS;
     }
+}
 
-    let Some(name) = args.trace.as_deref() else {
-        eprintln!("error: --trace <name> or --list-traces required\n\n{USAGE}");
-        return ExitCode::FAILURE;
-    };
-    let Some(trace) = registry.get(name) else {
-        eprintln!("error: trace '{name}' not in the registry (try --list-traces)");
+fn run_one(args: &RunArgs) -> ExitCode {
+    let registry = TraceRegistry::paper_default();
+    let Some(trace) = registry.get(&args.trace) else {
+        eprintln!(
+            "error: trace '{}' not in the registry (try --list-traces)",
+            args.trace
+        );
         return ExitCode::FAILURE;
     };
 
@@ -216,6 +117,48 @@ fn main() -> ExitCode {
             "baseline IPC        : {:.4}, reads {}",
             base.ipc(),
             base.dram.reads
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_sweep(args: &SweepArgs) -> ExitCode {
+    let workers = args
+        .jobs
+        .unwrap_or_else(base_victim::runner::pool::default_workers);
+    let runner =
+        match base_victim::runner::Runner::new(workers).with_journal(&args.journal, args.resume) {
+            Ok(r) => r.with_progress(true),
+            Err(e) => {
+                eprintln!("error: cannot open journal {}: {e}", args.journal.display());
+                return ExitCode::FAILURE;
+            }
+        };
+    let ctx = base_victim::bench::Ctx::with_runner(runner);
+    println!(
+        "sweep: {} worker(s), journal {}{}, warmup {} + measure {} instructions per run",
+        ctx.runner.workers(),
+        args.journal.display(),
+        if args.resume { " (resuming)" } else { "" },
+        ctx.budget.warmup,
+        ctx.budget.insts
+    );
+    let t0 = std::time::Instant::now();
+    let report = base_victim::bench::figures::plan_suite(&ctx);
+    println!(
+        "sweep: {} jobs requested, {} unique; {} from memory, {} from journal, {} simulated; {:.1}s",
+        report.requested,
+        report.unique,
+        report.from_memory,
+        report.from_journal,
+        report.simulated,
+        t0.elapsed().as_secs_f64()
+    );
+    if let Some(journal) = ctx.runner.journal() {
+        println!(
+            "sweep: {} checkpoints under {} (runs.jsonl has one line per completed job)",
+            journal.checkpoint_count(),
+            journal.dir().display()
         );
     }
     ExitCode::SUCCESS

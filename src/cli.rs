@@ -1,0 +1,314 @@
+//! Argument parsing for the `bvsim` binary, separated from the binary so
+//! it can be unit-tested: parsing consumes a plain `&[String]` (no
+//! process state) and returns either a [`Command`] or an error message.
+
+use bv_cache::PolicyKind;
+use bv_core::VictimPolicyKind;
+use bv_sim::LlcKind;
+use std::path::PathBuf;
+
+/// The `bvsim` usage text.
+pub const USAGE: &str = "\
+bvsim — trace-driven simulation of the Base-Victim compressed LLC
+
+USAGE:
+    bvsim --trace <name> [options]
+    bvsim --list-traces
+    bvsim sweep [--jobs <n>] [--resume] [--journal <dir>]
+
+OPTIONS:
+    --trace <name>      registry trace to run (see --list-traces)
+    --list-traces       print the 100-trace registry and exit
+    --llc <kind>        uncompressed | two-tag | two-tag-ecm | base-victim
+                        | base-victim-ni | vsc   (default: base-victim)
+    --policy <name>     lru | nru | srrip | char | camp | random
+                        (default: nru, as in the paper)
+    --llc-mb <n>        LLC capacity in MB (default: 2)
+    --ways <n>          LLC associativity (default: 16)
+    --warmup <n>        warmup instructions (default: 1000000)
+    --insts <n>         measured instructions (default: 1500000)
+    --compare           also run the uncompressed baseline and print ratios
+    --help              this text
+
+SWEEP (runs the full experiment suite's job set through the parallel runner):
+    --jobs <n>          worker threads (default: $BV_JOBS, else all cores)
+    --resume            satisfy jobs from existing journal checkpoints
+    --journal <dir>     checkpoint/journal directory (default: results/journal)
+  Budgets come from BV_WARMUP / BV_INSTS as for the experiment binaries.
+";
+
+/// A parsed `bvsim` invocation.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Command {
+    /// `--help`: print [`USAGE`] and exit successfully.
+    Help,
+    /// `--list-traces`: print the trace registry.
+    ListTraces,
+    /// Single-trace simulation (the default command).
+    Run(RunArgs),
+    /// `sweep`: run the experiment suite's jobs through the runner.
+    Sweep(SweepArgs),
+}
+
+/// Arguments for a single-trace simulation.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RunArgs {
+    /// Registry trace name.
+    pub trace: String,
+    /// LLC organization.
+    pub llc: LlcKind,
+    /// Baseline replacement policy.
+    pub policy: PolicyKind,
+    /// LLC capacity in megabytes.
+    pub llc_mb: usize,
+    /// LLC associativity.
+    pub ways: usize,
+    /// Warmup instructions.
+    pub warmup: u64,
+    /// Measured instructions.
+    pub insts: u64,
+    /// Also run the uncompressed baseline and print ratios.
+    pub compare: bool,
+}
+
+impl Default for RunArgs {
+    fn default() -> RunArgs {
+        RunArgs {
+            trace: String::new(),
+            llc: LlcKind::BaseVictim,
+            policy: PolicyKind::Nru,
+            llc_mb: 2,
+            ways: 16,
+            warmup: 1_000_000,
+            insts: 1_500_000,
+            compare: false,
+        }
+    }
+}
+
+/// Arguments for the `sweep` subcommand.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SweepArgs {
+    /// Worker threads; `None` defers to `BV_JOBS` / the core count.
+    pub jobs: Option<usize>,
+    /// Satisfy jobs from existing checkpoints instead of re-simulating.
+    pub resume: bool,
+    /// Checkpoint/journal directory.
+    pub journal: PathBuf,
+}
+
+impl Default for SweepArgs {
+    fn default() -> SweepArgs {
+        SweepArgs {
+            jobs: None,
+            resume: false,
+            journal: PathBuf::from("results/journal"),
+        }
+    }
+}
+
+/// Parses an LLC organization name.
+#[must_use]
+pub fn parse_llc(s: &str) -> Option<LlcKind> {
+    Some(match s {
+        "uncompressed" => LlcKind::Uncompressed,
+        "two-tag" => LlcKind::TwoTag,
+        "two-tag-ecm" => LlcKind::TwoTagEcm,
+        "base-victim" => LlcKind::BaseVictim,
+        "base-victim-ni" => LlcKind::BaseVictimNonInclusive,
+        "base-victim-random-fit" => LlcKind::BaseVictimWith(VictimPolicyKind::RandomFit),
+        "vsc" => LlcKind::Vsc,
+        _ => return None,
+    })
+}
+
+/// Parses a replacement-policy name.
+#[must_use]
+pub fn parse_policy(s: &str) -> Option<PolicyKind> {
+    Some(match s {
+        "lru" => PolicyKind::Lru,
+        "nru" => PolicyKind::Nru,
+        "srrip" => PolicyKind::Srrip,
+        "char" => PolicyKind::CharLite,
+        "camp" => PolicyKind::CampLite,
+        "random" => PolicyKind::Random,
+        _ => return None,
+    })
+}
+
+/// Parses the argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags, missing values,
+/// or unparsable numbers; the caller prints it alongside [`USAGE`].
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    if args.first().map(String::as_str) == Some("sweep") {
+        return parse_sweep(&args[1..]);
+    }
+    let mut run = RunArgs::default();
+    let mut trace = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--trace" => trace = Some(value("--trace")?),
+            "--list-traces" => return Ok(Command::ListTraces),
+            "--llc" => {
+                let v = value("--llc")?;
+                run.llc = parse_llc(&v).ok_or_else(|| format!("unknown LLC kind '{v}'"))?;
+            }
+            "--policy" => {
+                let v = value("--policy")?;
+                run.policy = parse_policy(&v).ok_or_else(|| format!("unknown policy '{v}'"))?;
+            }
+            "--llc-mb" => {
+                run.llc_mb = value("--llc-mb")?
+                    .parse()
+                    .map_err(|e| format!("--llc-mb: {e}"))?;
+            }
+            "--ways" => {
+                run.ways = value("--ways")?
+                    .parse()
+                    .map_err(|e| format!("--ways: {e}"))?;
+            }
+            "--warmup" => {
+                run.warmup = value("--warmup")?
+                    .parse()
+                    .map_err(|e| format!("--warmup: {e}"))?;
+            }
+            "--insts" => {
+                run.insts = value("--insts")?
+                    .parse()
+                    .map_err(|e| format!("--insts: {e}"))?;
+            }
+            "--compare" => run.compare = true,
+            "--help" | "-h" => return Ok(Command::Help),
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    match trace {
+        Some(t) => {
+            run.trace = t;
+            Ok(Command::Run(run))
+        }
+        None => Err("--trace <name> or --list-traces required".into()),
+    }
+}
+
+fn parse_sweep(args: &[String]) -> Result<Command, String> {
+    let mut sweep = SweepArgs::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--jobs" => {
+                let v: usize = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+                if v == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                sweep.jobs = Some(v);
+            }
+            "--resume" => sweep.resume = true,
+            "--journal" => sweep.journal = PathBuf::from(value("--journal")?),
+            "--help" | "-h" => return Ok(Command::Help),
+            other => return Err(format!("unknown sweep flag '{other}' (try --help)")),
+        }
+    }
+    Ok(Command::Sweep(sweep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn run_with_defaults() {
+        let cmd = parse(&argv("--trace specint.mcf.07")).expect("parse");
+        let Command::Run(run) = cmd else {
+            panic!("expected Run, got {cmd:?}")
+        };
+        assert_eq!(run.trace, "specint.mcf.07");
+        assert_eq!(run.llc, LlcKind::BaseVictim);
+        assert_eq!(run.policy, PolicyKind::Nru);
+        assert_eq!((run.llc_mb, run.ways), (2, 16));
+        assert!(!run.compare);
+    }
+
+    #[test]
+    fn run_with_every_flag() {
+        let cmd = parse(&argv(
+            "--trace t --llc two-tag-ecm --policy srrip --llc-mb 4 --ways 8 \
+             --warmup 5 --insts 7 --compare",
+        ))
+        .expect("parse");
+        let Command::Run(run) = cmd else {
+            panic!("expected Run")
+        };
+        assert_eq!(run.llc, LlcKind::TwoTagEcm);
+        assert_eq!(run.policy, PolicyKind::Srrip);
+        assert_eq!((run.llc_mb, run.ways), (4, 8));
+        assert_eq!((run.warmup, run.insts), (5, 7));
+        assert!(run.compare);
+    }
+
+    #[test]
+    fn list_and_help_short_circuit() {
+        assert_eq!(parse(&argv("--list-traces")).unwrap(), Command::ListTraces);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("sweep --help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn sweep_defaults() {
+        let cmd = parse(&argv("sweep")).expect("parse");
+        assert_eq!(
+            cmd,
+            Command::Sweep(SweepArgs {
+                jobs: None,
+                resume: false,
+                journal: PathBuf::from("results/journal"),
+            })
+        );
+    }
+
+    #[test]
+    fn sweep_with_flags() {
+        let cmd = parse(&argv("sweep --jobs 4 --resume --journal /tmp/j")).expect("parse");
+        assert_eq!(
+            cmd,
+            Command::Sweep(SweepArgs {
+                jobs: Some(4),
+                resume: true,
+                journal: PathBuf::from("/tmp/j"),
+            })
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&argv("")).is_err());
+        assert!(parse(&argv("--bogus")).is_err());
+        assert!(parse(&argv("--trace")).is_err());
+        assert!(parse(&argv("--trace t --llc nonsense")).is_err());
+        assert!(parse(&argv("--trace t --ways wide")).is_err());
+        assert!(parse(&argv("sweep --jobs 0")).is_err());
+        assert!(parse(&argv("sweep --jobs many")).is_err());
+        assert!(parse(&argv("sweep --journal")).is_err());
+        assert!(parse(&argv("sweep --trace t")).is_err());
+    }
+}

@@ -54,6 +54,9 @@
 //! | [`trace`] | synthetic workloads, the 100-trace registry, mixes |
 //! | [`sim`] | the timing simulator (core, DRAM, prefetch, hierarchy) |
 //! | [`energy`] | the Figure 14 energy model |
+//! | [`runner`] | parallel job execution, checkpoint/resume, run journal |
+//! | [`bench`] | the experiment harness and per-figure functions |
+//! | [`cli`] | argument parsing for the `bvsim` binary |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -87,6 +90,18 @@ pub mod sim {
 pub mod energy {
     pub use bv_energy::*;
 }
+
+/// Experiment orchestration (re-export of `bv-runner`).
+pub mod runner {
+    pub use bv_runner::*;
+}
+
+/// The experiment harness and figure functions (re-export of `bv-bench`).
+pub mod bench {
+    pub use bv_bench::*;
+}
+
+pub mod cli;
 
 // Convenience re-exports of the most common types.
 pub use bv_cache::{BasicCache, CacheGeometry, CacheStats, LineAddr, PolicyKind};

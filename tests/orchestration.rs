@@ -1,0 +1,50 @@
+//! Orchestration guarantees exercised through the facade crate, so the
+//! default `cargo test` run covers them: parallel execution is
+//! bit-identical to serial, and a journaled sweep resumes without
+//! re-simulating completed configurations.
+
+use base_victim::runner::{JobSpec, Runner};
+use base_victim::{LlcKind, SimConfig, TraceRegistry};
+
+fn tiny_jobs(registry: &TraceRegistry) -> Vec<JobSpec> {
+    registry
+        .all()
+        .take(3)
+        .flat_map(|t| {
+            [LlcKind::Uncompressed, LlcKind::BaseVictim]
+                .map(|kind| JobSpec::new(&t.name, SimConfig::single_thread(kind), 2_000, 4_000))
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_execution_is_deterministic() {
+    let registry = TraceRegistry::paper_default();
+    let jobs = tiny_jobs(&registry);
+    let serial = Runner::new(1);
+    let parallel = Runner::new(4);
+    serial.execute(&registry, &jobs);
+    parallel.execute(&registry, &jobs);
+    for job in &jobs {
+        assert_eq!(serial.get(job), parallel.get(job), "job {}", job.key());
+    }
+}
+
+#[test]
+fn journaled_sweep_resumes_with_zero_resimulation() {
+    let registry = TraceRegistry::paper_default();
+    let jobs = tiny_jobs(&registry);
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("facade-journal");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    {
+        let first = Runner::new(2).with_journal(&dir, false).expect("journal");
+        assert_eq!(first.execute(&registry, &jobs).simulated, jobs.len());
+    }
+    let resumed = Runner::new(2).with_journal(&dir, true).expect("journal");
+    let report = resumed.execute(&registry, &jobs);
+    assert_eq!(report.simulated, 0);
+    assert_eq!(report.from_journal, jobs.len());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
