@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Repository quality gate: formatting, lints, build, and the full test
-# suite (including the orchestration determinism/resume tests, which run
-# as part of the default `cargo test`).
+# Repository quality gate: formatting, lints, build, the full test suite
+# (including the orchestration determinism/resume tests, which run as part
+# of the default `cargo test`), and the perf-regression gate (`bvsim bench
+# --quick` against the committed BENCH.json baseline).
 #
 # Usage: ci/check.sh [--quick]
-#   --quick   skip the release build and workspace tests (fmt+clippy only)
+#   --quick   skip the release build, workspace tests, and bench gate
+#             (fmt+clippy only)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,5 +26,9 @@ cargo build --release
 
 echo "== cargo test (workspace) =="
 cargo test --workspace -q
+
+echo "== bvsim bench --quick (perf gate vs committed BENCH.json) =="
+./target/release/bvsim bench --quick \
+    --out target/BENCH.quick.json --baseline BENCH.json --max-regress 20
 
 echo "All checks passed."

@@ -399,3 +399,4 @@ mod tests {
 }
 
 pub mod figures;
+pub mod perf;

@@ -1,0 +1,531 @@
+//! The `bvsim bench` regression suite: fixed kernel and end-to-end
+//! workloads timed with [`bv_testkit::bench`], reported as a `BENCH.json`
+//! perf-trajectory file that CI diffs against the committed baseline.
+//!
+//! Two suites:
+//!
+//! * **Kernel** — `compressed_size` throughput (lines/s) over a fixed
+//!   synthetic corpus, for each compression algorithm in both its
+//!   optimized word-wise form and the frozen byte-at-a-time
+//!   [`bv_compress::reference`] form. The optimized/reference pair yields
+//!   a speedup figure; a segment-count checksum guards against the two
+//!   implementations silently diverging inside the timing loop.
+//! * **End-to-end** — simulated instructions per wall-clock second for a
+//!   registry trace under the main LLC organizations.
+//!
+//! The report serializes through `bv_runner::json` (the workspace has no
+//! serde) so the same reader that parses run journals parses `BENCH.json`.
+
+use bv_compress::reference::{RefBdi, RefCPack, RefFpc};
+use bv_compress::{Bdi, CPack, CacheLine, Compressor, Fpc};
+use bv_runner::json::{self, ObjWriter, Value};
+use bv_sim::{LlcKind, SimConfig, System};
+use bv_trace::{DataProfile, TraceRegistry};
+
+/// Schema marker written into every report; readers reject other values.
+pub const SCHEMA: &str = "bvsim-bench-v1";
+
+/// Implementation label for the fast word-wise kernels.
+pub const IMPL_OPTIMIZED: &str = "optimized";
+/// Implementation label for the frozen scalar reference kernels.
+pub const IMPL_REFERENCE: &str = "reference";
+
+/// Suite sizing: how much work each measurement does.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchConfig {
+    /// Cache lines in the kernel corpus.
+    pub corpus_lines: usize,
+    /// Timing samples per kernel measurement (best-of-N is reported).
+    pub kernel_samples: usize,
+    /// Measured instructions per end-to-end run.
+    pub sim_insts: u64,
+    /// Timing samples per end-to-end measurement (best-of-N is reported).
+    pub sim_samples: usize,
+}
+
+impl BenchConfig {
+    /// The full suite, used to produce the committed `BENCH.json`.
+    #[must_use]
+    pub fn full() -> BenchConfig {
+        BenchConfig {
+            corpus_lines: 4096,
+            kernel_samples: 15,
+            sim_insts: 300_000,
+            sim_samples: 3,
+        }
+    }
+
+    /// The CI gate: identical per-measurement work to [`BenchConfig::full`]
+    /// (so lines/s and insts/s are directly comparable to the committed
+    /// baseline), just fewer timing samples.
+    #[must_use]
+    pub fn quick() -> BenchConfig {
+        BenchConfig {
+            corpus_lines: 4096,
+            kernel_samples: 5,
+            sim_insts: 300_000,
+            sim_samples: 2,
+        }
+    }
+
+    /// Minimal sizing for unit tests of the harness itself.
+    #[must_use]
+    pub fn tiny() -> BenchConfig {
+        BenchConfig {
+            corpus_lines: 32,
+            kernel_samples: 1,
+            sim_insts: 2_000,
+            sim_samples: 1,
+        }
+    }
+}
+
+/// One kernel measurement: an algorithm under one implementation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelBench {
+    /// Algorithm name (`"bdi"`, `"fpc"`, `"cpack"`).
+    pub kernel: String,
+    /// [`IMPL_OPTIMIZED`] or [`IMPL_REFERENCE`].
+    pub implementation: String,
+    /// `compressed_size` calls per second over the fixed corpus.
+    pub lines_per_sec: f64,
+    /// Sum of reported segment counts over the corpus; identical between
+    /// implementations by construction (differential tests enforce it),
+    /// so a mismatch inside the bench means the timing loop is broken.
+    pub segment_checksum: u64,
+}
+
+/// One end-to-end measurement: a full simulated system on one trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EndToEndBench {
+    /// LLC organization name (e.g. `"base-victim"`).
+    pub llc: String,
+    /// Simulated instructions per wall-clock second.
+    pub insts_per_sec: f64,
+}
+
+/// A complete `bvsim bench` report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// Kernel-suite rows.
+    pub kernels: Vec<KernelBench>,
+    /// End-to-end rows.
+    pub end_to_end: Vec<EndToEndBench>,
+}
+
+/// The fixed kernel corpus: every [`DataProfile`] in equal proportion so
+/// each encoding path gets exercised (zeros, repeats, pointers, small
+/// ints, floats, and incompressible noise).
+#[must_use]
+pub fn corpus(lines: usize) -> Vec<CacheLine> {
+    const PROFILES: [DataProfile; 8] = [
+        DataProfile::Zero,
+        DataProfile::Repeated,
+        DataProfile::PointerLike,
+        DataProfile::SmallInt,
+        DataProfile::Clustered,
+        DataProfile::WideInt,
+        DataProfile::FloatLike,
+        DataProfile::Random,
+    ];
+    (0..lines)
+        .map(|i| {
+            PROFILES[i % PROFILES.len()].synthesize(i as u64 * 131, (i / PROFILES.len()) as u64)
+        })
+        .collect()
+}
+
+/// A kernel name with its optimized and reference implementations.
+type KernelPair = (&'static str, Box<dyn Compressor>, Box<dyn Compressor>);
+
+fn kernel_pairs() -> Vec<KernelPair> {
+    vec![
+        ("bdi", Box::new(Bdi::new()), Box::new(RefBdi::new())),
+        ("fpc", Box::new(Fpc::new()), Box::new(RefFpc::new())),
+        ("cpack", Box::new(CPack::new()), Box::new(RefCPack::new())),
+    ]
+}
+
+fn time_kernel(
+    kernel: &str,
+    implementation: &str,
+    comp: &dyn Compressor,
+    lines: &[CacheLine],
+    samples: usize,
+) -> KernelBench {
+    let mut checksum = 0u64;
+    let secs = bv_testkit::bench::fastest(samples, || {
+        checksum = lines
+            .iter()
+            .map(|l| u64::from(comp.compressed_size(l).get()))
+            .sum();
+        checksum
+    });
+    KernelBench {
+        kernel: kernel.to_string(),
+        implementation: implementation.to_string(),
+        lines_per_sec: lines.len() as f64 / secs.max(f64::MIN_POSITIVE),
+        segment_checksum: checksum,
+    }
+}
+
+/// Runs the kernel suite: each algorithm, optimized then reference.
+///
+/// # Panics
+///
+/// Panics if the two implementations of a kernel disagree on the corpus's
+/// total segment count (they are differential-tested to agree).
+#[must_use]
+pub fn run_kernel_suite(cfg: &BenchConfig) -> Vec<KernelBench> {
+    let lines = corpus(cfg.corpus_lines);
+    let mut rows = Vec::new();
+    for (name, optimized, reference) in kernel_pairs() {
+        let opt = time_kernel(
+            name,
+            IMPL_OPTIMIZED,
+            optimized.as_ref(),
+            &lines,
+            cfg.kernel_samples,
+        );
+        let reference = time_kernel(
+            name,
+            IMPL_REFERENCE,
+            reference.as_ref(),
+            &lines,
+            cfg.kernel_samples,
+        );
+        assert_eq!(
+            opt.segment_checksum, reference.segment_checksum,
+            "{name}: optimized and reference kernels diverged during timing"
+        );
+        rows.push(opt);
+        rows.push(reference);
+    }
+    rows
+}
+
+/// The trace the end-to-end suite runs (a mid-size, cache-sensitive
+/// registry workload).
+pub const END_TO_END_TRACE: &str = "specint.mcf.07";
+
+/// Runs the end-to-end suite: sim insts/s for the main organizations.
+///
+/// # Panics
+///
+/// Panics if [`END_TO_END_TRACE`] is missing from the registry.
+#[must_use]
+pub fn run_end_to_end_suite(cfg: &BenchConfig) -> Vec<EndToEndBench> {
+    let registry = TraceRegistry::paper_default();
+    let trace = registry
+        .get(END_TO_END_TRACE)
+        .expect("end-to-end bench trace in registry");
+    [LlcKind::Uncompressed, LlcKind::BaseVictim, LlcKind::TwoTag]
+        .iter()
+        .map(|&kind| {
+            let mut llc_name = "";
+            let secs = bv_testkit::bench::fastest(cfg.sim_samples, || {
+                let result = System::new(SimConfig::single_thread(kind)).run_with_warmup(
+                    &trace.workload,
+                    cfg.sim_insts / 4,
+                    cfg.sim_insts,
+                );
+                llc_name = result.llc_name;
+                result.cycles
+            });
+            EndToEndBench {
+                llc: llc_name.to_string(),
+                insts_per_sec: cfg.sim_insts as f64 / secs.max(f64::MIN_POSITIVE),
+            }
+        })
+        .collect()
+}
+
+/// Runs both suites.
+#[must_use]
+pub fn run(cfg: &BenchConfig) -> BenchReport {
+    BenchReport {
+        kernels: run_kernel_suite(cfg),
+        end_to_end: run_end_to_end_suite(cfg),
+    }
+}
+
+impl BenchReport {
+    /// The row for one kernel under one implementation.
+    #[must_use]
+    pub fn kernel(&self, kernel: &str, implementation: &str) -> Option<&KernelBench> {
+        self.kernels
+            .iter()
+            .find(|k| k.kernel == kernel && k.implementation == implementation)
+    }
+
+    /// Optimized-over-reference speedup per kernel, in suite order.
+    #[must_use]
+    pub fn kernel_speedups(&self) -> Vec<(String, f64)> {
+        self.kernels
+            .iter()
+            .filter(|k| k.implementation == IMPL_OPTIMIZED)
+            .filter_map(|opt| {
+                let reference = self.kernel(&opt.kernel, IMPL_REFERENCE)?;
+                Some((
+                    opt.kernel.clone(),
+                    opt.lines_per_sec / reference.lines_per_sec.max(f64::MIN_POSITIVE),
+                ))
+            })
+            .collect()
+    }
+
+    /// Serializes to the `BENCH.json` schema (one pretty-stable JSON
+    /// object; round-trips through [`bv_runner::json::parse`]).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let kernels: Vec<String> = self
+            .kernels
+            .iter()
+            .map(|k| {
+                ObjWriter::new()
+                    .str("kernel", &k.kernel)
+                    .str("impl", &k.implementation)
+                    .f64("lines_per_sec", k.lines_per_sec)
+                    .u64("segment_checksum", k.segment_checksum)
+                    .finish()
+            })
+            .collect();
+        let end_to_end: Vec<String> = self
+            .end_to_end
+            .iter()
+            .map(|e| {
+                ObjWriter::new()
+                    .str("llc", &e.llc)
+                    .f64("insts_per_sec", e.insts_per_sec)
+                    .finish()
+            })
+            .collect();
+        let mut root = ObjWriter::new();
+        root.str("schema", SCHEMA)
+            .raw("kernels", &format!("[{}]", kernels.join(",")))
+            .raw("end_to_end", &format!("[{}]", end_to_end.join(",")));
+        root.finish()
+    }
+
+    /// Parses a report previously written by [`BenchReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax or schema violation.
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let v = json::parse(text)?;
+        let schema = v
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("missing schema field")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema '{schema}' (want '{SCHEMA}')"));
+        }
+        let kernels = v
+            .get("kernels")
+            .and_then(Value::as_arr)
+            .ok_or("missing kernels array")?
+            .iter()
+            .map(|k| {
+                Ok(KernelBench {
+                    kernel: req_str(k, "kernel")?,
+                    implementation: req_str(k, "impl")?,
+                    lines_per_sec: req_f64(k, "lines_per_sec")?,
+                    segment_checksum: k
+                        .get("segment_checksum")
+                        .and_then(Value::as_u64)
+                        .ok_or("missing segment_checksum")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let end_to_end = v
+            .get("end_to_end")
+            .and_then(Value::as_arr)
+            .ok_or("missing end_to_end array")?
+            .iter()
+            .map(|e| {
+                Ok(EndToEndBench {
+                    llc: req_str(e, "llc")?,
+                    insts_per_sec: req_f64(e, "insts_per_sec")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(BenchReport {
+            kernels,
+            end_to_end,
+        })
+    }
+}
+
+fn req_str(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field '{key}'"))
+}
+
+fn req_f64(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing number field '{key}'"))
+}
+
+/// Compares a fresh report against a committed baseline. Returns one
+/// message per regression: a throughput figure present in the baseline
+/// that dropped by more than `max_regress_pct` percent, or that vanished
+/// from the current report. Only optimized-kernel and end-to-end rows are
+/// gated — the reference kernels exist as a yardstick, not a contract.
+#[must_use]
+pub fn compare(current: &BenchReport, baseline: &BenchReport, max_regress_pct: f64) -> Vec<String> {
+    let floor = 1.0 - max_regress_pct / 100.0;
+    let mut regressions = Vec::new();
+    for base in &baseline.kernels {
+        if base.implementation != IMPL_OPTIMIZED {
+            continue;
+        }
+        match current.kernel(&base.kernel, &base.implementation) {
+            None => regressions.push(format!(
+                "kernel {}/{} missing from current report",
+                base.kernel, base.implementation
+            )),
+            Some(cur) if cur.lines_per_sec < base.lines_per_sec * floor => {
+                regressions.push(format!(
+                    "kernel {}: {:.3e} lines/s is {:.1}% below baseline {:.3e}",
+                    base.kernel,
+                    cur.lines_per_sec,
+                    (1.0 - cur.lines_per_sec / base.lines_per_sec) * 100.0,
+                    base.lines_per_sec
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    for base in &baseline.end_to_end {
+        match current.end_to_end.iter().find(|e| e.llc == base.llc) {
+            None => regressions.push(format!(
+                "end-to-end {} missing from current report",
+                base.llc
+            )),
+            Some(cur) if cur.insts_per_sec < base.insts_per_sec * floor => {
+                regressions.push(format!(
+                    "end-to-end {}: {:.3e} insts/s is {:.1}% below baseline {:.3e}",
+                    base.llc,
+                    cur.insts_per_sec,
+                    (1.0 - cur.insts_per_sec / base.insts_per_sec) * 100.0,
+                    base.insts_per_sec
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        BenchReport {
+            kernels: vec![
+                KernelBench {
+                    kernel: "bdi".into(),
+                    implementation: IMPL_OPTIMIZED.into(),
+                    lines_per_sec: 1.5e8,
+                    segment_checksum: 12345,
+                },
+                KernelBench {
+                    kernel: "bdi".into(),
+                    implementation: IMPL_REFERENCE.into(),
+                    lines_per_sec: 5.0e7,
+                    segment_checksum: 12345,
+                },
+            ],
+            end_to_end: vec![EndToEndBench {
+                llc: "base-victim".into(),
+                insts_per_sec: 2.5e6,
+            }],
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_through_runner_json() {
+        let report = sample_report();
+        let text = report.to_json();
+        // The schema must be readable by the journal's generic parser...
+        let generic = json::parse(&text).expect("generic parse");
+        assert_eq!(generic.get("schema").unwrap().as_str(), Some(SCHEMA));
+        // ...and by the typed reader, losslessly.
+        let back = BenchReport::from_json(&text).expect("typed parse");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_schema() {
+        let text = sample_report().to_json().replace(SCHEMA, "other-v9");
+        assert!(BenchReport::from_json(&text).is_err());
+        assert!(BenchReport::from_json("{}").is_err());
+        assert!(BenchReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn speedup_is_optimized_over_reference() {
+        let speedups = sample_report().kernel_speedups();
+        assert_eq!(speedups.len(), 1);
+        assert_eq!(speedups[0].0, "bdi");
+        assert!((speedups[0].1 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compare_flags_only_real_regressions() {
+        let baseline = sample_report();
+        let mut current = sample_report();
+        assert!(compare(&current, &baseline, 20.0).is_empty());
+
+        // A 10% dip is inside the 20% envelope.
+        current.kernels[0].lines_per_sec = 1.35e8;
+        assert!(compare(&current, &baseline, 20.0).is_empty());
+
+        // A 30% dip is not.
+        current.kernels[0].lines_per_sec = 1.05e8;
+        let regressions = compare(&current, &baseline, 20.0);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].contains("bdi"));
+
+        // Reference-kernel rows are never gated.
+        let mut current = sample_report();
+        current.kernels[1].lines_per_sec = 1.0;
+        assert!(compare(&current, &baseline, 20.0).is_empty());
+
+        // A vanished end-to-end row is a regression.
+        let mut current = sample_report();
+        current.end_to_end.clear();
+        assert_eq!(compare(&current, &baseline, 20.0).len(), 1);
+    }
+
+    #[test]
+    fn tiny_kernel_suite_runs_and_checksums_agree() {
+        let rows = run_kernel_suite(&BenchConfig::tiny());
+        assert_eq!(rows.len(), 6, "three kernels, two implementations each");
+        for pair in rows.chunks(2) {
+            assert_eq!(pair[0].kernel, pair[1].kernel);
+            assert_eq!(pair[0].implementation, IMPL_OPTIMIZED);
+            assert_eq!(pair[1].implementation, IMPL_REFERENCE);
+            assert_eq!(pair[0].segment_checksum, pair[1].segment_checksum);
+            assert!(pair[0].lines_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn corpus_is_deterministic_and_mixed() {
+        let a = corpus(64);
+        let b = corpus(64);
+        assert_eq!(a, b);
+        // The corpus must contain both highly compressible and
+        // incompressible lines, or the bench exercises only one path.
+        let bdi = Bdi::new();
+        let sizes: Vec<u8> = a.iter().map(|l| bdi.compressed_size(l).get()).collect();
+        assert!(sizes.contains(&1));
+        assert!(sizes.contains(&16));
+    }
+}

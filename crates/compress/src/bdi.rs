@@ -10,8 +10,14 @@
 //! either an arbitrary per-line base (the first element that does not fit a
 //! zero delta) or the implicit base **zero** (the "immediate" part). A
 //! per-element mask records which base was used.
+//!
+//! The kernel is **word-wise**: the line is loaded once into stack arrays
+//! of `u64`/`u32`/`u16` words via `from_le_bytes` chunks, and base
+//! selection, delta checks, and payload packing operate on those words
+//! directly — no per-byte loops and no heap-allocated temporaries. The
+//! frozen byte-at-a-time original lives in [`crate::reference::RefBdi`];
+//! differential tests assert the two produce bit-identical payloads.
 
-use crate::bits::{BitReader, BitWriter};
 use crate::line::{CacheLine, CACHE_LINE_BYTES};
 use crate::{Compressed, Compressor, SegmentCount};
 
@@ -140,15 +146,40 @@ impl Bdi {
     }
 
     /// Determines the best encoding for a line without packing the payload.
+    ///
+    /// [`BdiEncoding::ALL`] is ordered by ascending payload size, so the
+    /// first encoding the line satisfies is the best one; the checks run
+    /// word-wise over stack arrays loaded once from the line.
     #[must_use]
     pub fn select_encoding(&self, line: &CacheLine) -> BdiEncoding {
-        let mut best = BdiEncoding::Uncompressed;
-        for &enc in &BdiEncoding::ALL {
-            if enc.payload_bytes() < best.payload_bytes() && encodable(line, enc) {
-                best = enc;
-            }
+        let w8 = line.u64_array();
+        if w8 == [0u64; 8] {
+            return BdiEncoding::Zeros;
         }
-        best
+        if w8.iter().all(|&w| w == w8[0]) {
+            return BdiEncoding::Rep;
+        }
+        if delta_encodable(&w8, 64, 8) {
+            return BdiEncoding::B8D1;
+        }
+        let w4: [u64; 16] = line.u32_array().map(u64::from);
+        if delta_encodable(&w4, 32, 8) {
+            return BdiEncoding::B4D1;
+        }
+        if delta_encodable(&w8, 64, 16) {
+            return BdiEncoding::B8D2;
+        }
+        let w2: [u64; 32] = line.u16_array().map(u64::from);
+        if delta_encodable(&w2, 16, 8) {
+            return BdiEncoding::B2D1;
+        }
+        if delta_encodable(&w4, 32, 16) {
+            return BdiEncoding::B4D2;
+        }
+        if delta_encodable(&w8, 64, 32) {
+            return BdiEncoding::B8D4;
+        }
+        BdiEncoding::Uncompressed
     }
 }
 
@@ -196,23 +227,13 @@ impl Compressor for Bdi {
     }
 }
 
-fn elements(line: &CacheLine, k: usize) -> Vec<u64> {
-    match k {
-        8 => line.u64_words().collect(),
-        4 => line.u32_words().map(u64::from).collect(),
-        2 => (0..32).map(|i| u64::from(line.u16_word(i))).collect(),
-        _ => unreachable!("element width {k}"),
-    }
-}
-
-/// Does `value - base` fit in a `d`-byte signed delta, computed modulo the
-/// `k`-byte element width (hardware subtracts at element width)?
-fn delta_fits(value: u64, base: u64, k: usize, d: usize) -> bool {
-    let kbits = k as u32 * 8;
-    let diff = value.wrapping_sub(base) & mask_bits(kbits);
+/// Does `value - from` fit in a signed `dbits`-bit delta, computed modulo
+/// the `kbits`-bit element width (hardware subtracts at element width)?
+#[inline]
+fn fits(value: u64, from: u64, kbits: u32, dbits: u32) -> bool {
+    let diff = value.wrapping_sub(from) & mask_bits(kbits);
     let signed = sign_extend(diff, kbits);
-    let dbits = d as u32 * 8 - 1;
-    signed >= -(1i64 << dbits) && signed < (1i64 << dbits)
+    signed >= -(1i64 << (dbits - 1)) && signed < (1i64 << (dbits - 1))
 }
 
 fn mask_bits(bits: u32) -> u64 {
@@ -230,54 +251,58 @@ fn sign_extend(value: u64, bits: u32) -> i64 {
 
 /// Checks whether every element fits a delta from zero or from a single
 /// arbitrary base (the first element that fails the zero-delta test).
-fn encodable(line: &CacheLine, enc: BdiEncoding) -> bool {
-    match enc {
-        BdiEncoding::Zeros => line.is_zero(),
-        BdiEncoding::Rep => {
-            let first = line.u64_word(0);
-            line.u64_words().all(|w| w == first)
+fn delta_encodable(elems: &[u64], kbits: u32, dbits: u32) -> bool {
+    let mut base: Option<u64> = None;
+    for &value in elems {
+        if fits(value, 0, kbits, dbits) {
+            continue;
         }
-        BdiEncoding::Uncompressed => true,
-        enc => {
-            let (k, d) = enc.geometry().expect("delta encoding");
-            let mut base: Option<u64> = None;
-            for value in elements(line, k) {
-                if delta_fits(value, 0, k, d) {
-                    continue;
-                }
-                match base {
-                    None => base = Some(value),
-                    Some(b) if delta_fits(value, b, k, d) => {}
-                    Some(_) => return false,
-                }
-            }
-            true
+        match base {
+            None => base = Some(value),
+            Some(b) if fits(value, b, kbits, dbits) => {}
+            Some(_) => return false,
         }
     }
+    true
 }
 
 fn pack_deltas(line: &CacheLine, enc: BdiEncoding, payload: &mut Vec<u8>) {
     let (k, d) = enc.geometry().expect("delta encoding");
-    let elems = elements(line, k);
+    match k {
+        8 => pack_words(&line.u64_array(), k, d, payload),
+        4 => pack_words(&line.u32_array().map(u64::from), k, d, payload),
+        2 => pack_words(&line.u16_array().map(u64::from), k, d, payload),
+        _ => unreachable!("element width {k}"),
+    }
+}
+
+/// Packs `[base (k bytes LE), deltas (n*d bytes LE), mask (ceil(n/8) bytes,
+/// MSB-first)]` onto `payload`. The mask bit for element `i` lands in byte
+/// `i / 8` at bit position `7 - i % 8`, matching the reference encoder's
+/// bitstream exactly.
+fn pack_words(elems: &[u64], k: usize, d: usize, payload: &mut Vec<u8>) {
+    let kbits = k as u32 * 8;
+    let dbits = d as u32 * 8;
+    let n = elems.len();
     let base = elems
         .iter()
         .copied()
-        .find(|&v| !delta_fits(v, 0, k, d))
+        .find(|&v| !fits(v, 0, kbits, dbits))
         .unwrap_or(0);
 
+    payload.reserve(k + n * d + n.div_ceil(8));
     payload.extend_from_slice(&base.to_le_bytes()[..k]);
-    let mut mask = BitWriter::new();
-    let mut deltas = Vec::with_capacity(elems.len() * d);
-    let kbits = k as u32 * 8;
-    for value in elems {
-        let use_base = !delta_fits(value, 0, k, d);
-        mask.push(u64::from(use_base), 1);
+    let mut mask = [0u8; 4]; // n <= 32 elements -> at most 4 mask bytes
+    for (i, &value) in elems.iter().enumerate() {
+        let use_base = !fits(value, 0, kbits, dbits);
+        if use_base {
+            mask[i / 8] |= 1 << (7 - i % 8);
+        }
         let from = if use_base { base } else { 0 };
         let delta = value.wrapping_sub(from) & mask_bits(kbits);
-        deltas.extend_from_slice(&delta.to_le_bytes()[..d]);
+        payload.extend_from_slice(&delta.to_le_bytes()[..d]);
     }
-    payload.extend_from_slice(&deltas);
-    payload.extend_from_slice(&mask.into_bytes());
+    payload.extend_from_slice(&mask[..n.div_ceil(8)]);
 }
 
 fn unpack_deltas(body: &[u8], enc: BdiEncoding) -> CacheLine {
@@ -288,8 +313,7 @@ fn unpack_deltas(body: &[u8], enc: BdiEncoding) -> CacheLine {
     let base = u64::from_le_bytes(base_bytes);
 
     let deltas = &body[k..k + n * d];
-    let mask_bytes = &body[k + n * d..];
-    let mut mask = BitReader::new(mask_bytes);
+    let mask = &body[k + n * d..];
 
     let kbits = k as u32 * 8;
     let dbits = d as u32 * 8;
@@ -298,7 +322,8 @@ fn unpack_deltas(body: &[u8], enc: BdiEncoding) -> CacheLine {
         let mut raw = [0u8; 8];
         raw[..d].copy_from_slice(&deltas[i * d..i * d + d]);
         let delta = sign_extend(u64::from_le_bytes(raw), dbits) as u64;
-        let from = if mask.read(1) == 1 { base } else { 0 };
+        let use_base = mask[i / 8] >> (7 - i % 8) & 1 == 1;
+        let from = if use_base { base } else { 0 };
         let value = from.wrapping_add(delta) & mask_bits(kbits);
         bytes[i * k..i * k + k].copy_from_slice(&value.to_le_bytes()[..k]);
     }

@@ -3,11 +3,16 @@
 //! Hardware compressors emit variable-width codes; these helpers model that
 //! bitstream exactly so decompression can be verified lossless.
 
-/// Appends variable-width codes to a growing bit vector (MSB-first within
-/// each pushed field).
+/// Appends variable-width codes to a growing packed byte buffer
+/// (MSB-first within each pushed field).
+///
+/// Bits are packed straight into bytes as they arrive — up to eight bits
+/// per loop iteration — so pushing a field costs O(width / 8) byte
+/// operations rather than one heap write per bit.
 #[derive(Debug, Default, Clone)]
 pub struct BitWriter {
-    bits: Vec<bool>,
+    bytes: Vec<u8>,
+    bitlen: usize,
 }
 
 impl BitWriter {
@@ -22,26 +27,30 @@ impl BitWriter {
             width == 64 || value < (1u64 << width),
             "value overflows width"
         );
-        for i in (0..width).rev() {
-            self.bits.push((value >> i) & 1 == 1);
+        let mut rem = width;
+        while rem > 0 {
+            let bit_in_byte = (self.bitlen % 8) as u32;
+            if bit_in_byte == 0 {
+                self.bytes.push(0);
+            }
+            let free = 8 - bit_in_byte;
+            let take = free.min(rem);
+            let chunk = ((value >> (rem - take)) & ((1u64 << take) - 1)) as u8;
+            *self.bytes.last_mut().expect("byte pushed above") |= chunk << (free - take);
+            self.bitlen += take as usize;
+            rem -= take;
         }
     }
 
     /// Total number of bits written so far.
     #[allow(dead_code)] // used by tests and kept for codec diagnostics
     pub fn len_bits(&self) -> usize {
-        self.bits.len()
+        self.bitlen
     }
 
     /// Packs the bitstream into bytes (zero-padded in the final byte).
     pub fn into_bytes(self) -> Vec<u8> {
-        let mut out = vec![0u8; self.bits.len().div_ceil(8)];
-        for (i, &bit) in self.bits.iter().enumerate() {
-            if bit {
-                out[i / 8] |= 1 << (7 - (i % 8));
-            }
-        }
-        out
+        self.bytes
     }
 }
 
@@ -58,7 +67,8 @@ impl<'a> BitReader<'a> {
         BitReader { bytes, pos: 0 }
     }
 
-    /// Reads `width` bits, most-significant first.
+    /// Reads `width` bits, most-significant first (consumed up to eight
+    /// bits per loop iteration).
     ///
     /// # Panics
     ///
@@ -66,11 +76,16 @@ impl<'a> BitReader<'a> {
     pub fn read(&mut self, width: u32) -> u64 {
         debug_assert!(width <= 64);
         let mut value = 0u64;
-        for _ in 0..width {
+        let mut rem = width;
+        while rem > 0 {
             let byte = self.bytes[self.pos / 8];
-            let bit = (byte >> (7 - (self.pos % 8))) & 1;
-            value = (value << 1) | u64::from(bit);
-            self.pos += 1;
+            let bit_in_byte = (self.pos % 8) as u32;
+            let avail = 8 - bit_in_byte;
+            let take = avail.min(rem);
+            let chunk = (byte >> (avail - take)) & (((1u16 << take) - 1) as u8);
+            value = (value << take) | u64::from(chunk);
+            self.pos += take as usize;
+            rem -= take;
         }
         value
     }

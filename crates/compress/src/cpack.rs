@@ -21,32 +21,40 @@ const C_ZZZX: u64 = 0b1101; // zero word except low byte
 const C_MMMX: u64 = 0b1110; // high 3 bytes match dictionary entry
 
 /// A FIFO word dictionary as used by the C-Pack hardware.
-#[derive(Debug, Clone)]
+///
+/// Backed by a fixed stack array: a 64-byte line holds exactly
+/// [`DICT_ENTRIES`] 32-bit words, so within one line the FIFO never
+/// actually evicts and `push` is a plain indexed store.
+#[derive(Debug, Clone, Copy)]
 struct Dictionary {
-    entries: Vec<u32>,
+    entries: [u32; DICT_ENTRIES],
+    len: usize,
 }
 
 impl Dictionary {
     fn new() -> Dictionary {
         Dictionary {
-            entries: Vec::with_capacity(DICT_ENTRIES),
+            entries: [0; DICT_ENTRIES],
+            len: 0,
         }
     }
 
     fn push(&mut self, word: u32) {
-        if self.entries.len() == DICT_ENTRIES {
-            self.entries.remove(0);
+        if self.len == DICT_ENTRIES {
+            self.entries.copy_within(1.., 0);
+            self.len -= 1;
         }
-        self.entries.push(word);
+        self.entries[self.len] = word;
+        self.len += 1;
     }
 
     fn full_match(&self, word: u32) -> Option<usize> {
-        self.entries.iter().position(|&e| e == word)
+        self.entries[..self.len].iter().position(|&e| e == word)
     }
 
     fn match_high_bytes(&self, word: u32, bytes: u32) -> Option<usize> {
         let shift = 8 * (4 - bytes);
-        self.entries
+        self.entries[..self.len]
             .iter()
             .position(|&e| e >> shift == word >> shift)
     }
@@ -88,7 +96,7 @@ impl CPack {
     fn size_bits(&self, line: &CacheLine) -> usize {
         let mut dict = Dictionary::new();
         let mut bits = 0usize;
-        for word in line.u32_words() {
+        for word in line.u32_array() {
             if word == 0 {
                 bits += 2;
             } else if word & 0xffff_ff00 == 0 {
@@ -122,7 +130,7 @@ impl Compressor for CPack {
     fn compress(&self, line: &CacheLine) -> Compressed {
         let mut w = BitWriter::new();
         let mut dict = Dictionary::new();
-        for word in line.u32_words() {
+        for word in line.u32_array() {
             if word == 0 {
                 w.push(C_ZZZZ, 2);
             } else if word & 0xffff_ff00 == 0 {

@@ -78,7 +78,7 @@ impl Compressor for Fpc {
 
     fn compress(&self, line: &CacheLine) -> Compressed {
         let mut w = BitWriter::new();
-        let words: Vec<u32> = line.u32_words().collect();
+        let words = line.u32_array();
         let mut i = 0;
         while i < words.len() {
             if words[i] == 0 {
@@ -164,7 +164,7 @@ impl Fpc {
     /// the bitstream. Must agree with [`Compressor::compress`] exactly
     /// (property-tested).
     fn size_bits(&self, line: &CacheLine) -> usize {
-        let words: Vec<u32> = line.u32_words().collect();
+        let words = line.u32_array();
         let mut bits = 0usize;
         let mut i = 0;
         while i < words.len() {

@@ -35,6 +35,7 @@ mod bits;
 mod cpack;
 mod fpc;
 mod line;
+pub mod reference;
 mod stats;
 mod zero;
 

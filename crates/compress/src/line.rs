@@ -124,10 +124,50 @@ impl CacheLine {
         (0..8).map(|i| self.u64_word(i))
     }
 
-    /// Returns `true` if every byte is zero.
+    /// All eight little-endian 64-bit words as a stack array.
+    ///
+    /// This is the load the word-wise compression kernels start from: one
+    /// pass of `from_le_bytes` chunks, no heap allocation.
+    #[must_use]
+    pub fn u64_array(&self) -> [u64; 8] {
+        core::array::from_fn(|i| {
+            u64::from_le_bytes(
+                self.bytes[i * 8..i * 8 + 8]
+                    .try_into()
+                    .expect("8-byte chunk"),
+            )
+        })
+    }
+
+    /// All sixteen little-endian 32-bit words as a stack array.
+    #[must_use]
+    pub fn u32_array(&self) -> [u32; 16] {
+        core::array::from_fn(|i| {
+            u32::from_le_bytes(
+                self.bytes[i * 4..i * 4 + 4]
+                    .try_into()
+                    .expect("4-byte chunk"),
+            )
+        })
+    }
+
+    /// All thirty-two little-endian 16-bit words as a stack array.
+    #[must_use]
+    pub fn u16_array(&self) -> [u16; 32] {
+        core::array::from_fn(|i| {
+            u16::from_le_bytes(
+                self.bytes[i * 2..i * 2 + 2]
+                    .try_into()
+                    .expect("2-byte chunk"),
+            )
+        })
+    }
+
+    /// Returns `true` if every byte is zero (checked eight bytes at a
+    /// time).
     #[must_use]
     pub fn is_zero(&self) -> bool {
-        self.bytes.iter().all(|&b| b == 0)
+        self.u64_array() == [0u64; 8]
     }
 
     /// Writes a 64-bit value at a byte offset inside the line, simulating a
@@ -196,6 +236,27 @@ mod tests {
         let line = CacheLine::from_u64_words(&words);
         let back: Vec<u64> = line.u64_words().collect();
         assert_eq!(back, words);
+    }
+
+    #[test]
+    fn word_arrays_agree_with_word_accessors() {
+        let mut bytes = [0u8; 64];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37).wrapping_add(3);
+        }
+        let line = CacheLine::from_bytes(bytes);
+        let w64 = line.u64_array();
+        let w32 = line.u32_array();
+        let w16 = line.u16_array();
+        for (i, &w) in w64.iter().enumerate() {
+            assert_eq!(w, line.u64_word(i));
+        }
+        for (i, &w) in w32.iter().enumerate() {
+            assert_eq!(w, line.u32_word(i));
+        }
+        for (i, &w) in w16.iter().enumerate() {
+            assert_eq!(w, line.u16_word(i));
+        }
     }
 
     #[test]

@@ -1,0 +1,638 @@
+//! Frozen scalar reference kernels for differential testing and
+//! benchmarking.
+//!
+//! These are the original byte-at-a-time implementations of BDI, FPC,
+//! and C-Pack that shipped before the word-wise kernel rewrite. They are
+//! kept verbatim (including their own bit-vector packing helpers) so
+//! that:
+//!
+//! * the `kernel_equivalence` differential tests can assert the
+//!   optimized kernels produce bit-identical payloads and sizes, and
+//! * `bvsim bench` can report the optimized kernels' speedup against a
+//!   stable baseline.
+//!
+//! Do **not** optimize this module. Its value is that it never changes.
+//! Each reference compressor reports the same [`Compressor::name`] as
+//! its optimized counterpart, so compressed payloads are interchangeable
+//! between the two implementations (cross-decompression is part of the
+//! differential test surface).
+
+use crate::line::{CacheLine, CACHE_LINE_BYTES};
+use crate::{BdiEncoding, Compressed, Compressor, SegmentCount};
+
+// ---------------------------------------------------------------------
+// Bit-vector packing helpers (the original `bits.rs` implementation).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone)]
+struct SlowBitWriter {
+    bits: Vec<bool>,
+}
+
+impl SlowBitWriter {
+    fn new() -> SlowBitWriter {
+        SlowBitWriter::default()
+    }
+
+    fn push(&mut self, value: u64, width: u32) {
+        debug_assert!(width <= 64);
+        for i in (0..width).rev() {
+            self.bits.push((value >> i) & 1 == 1);
+        }
+    }
+
+    fn into_bytes(self) -> Vec<u8> {
+        let mut out = vec![0u8; self.bits.len().div_ceil(8)];
+        for (i, &bit) in self.bits.iter().enumerate() {
+            if bit {
+                out[i / 8] |= 1 << (7 - (i % 8));
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SlowBitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SlowBitReader<'a> {
+    fn new(bytes: &'a [u8]) -> SlowBitReader<'a> {
+        SlowBitReader { bytes, pos: 0 }
+    }
+
+    fn read(&mut self, width: u32) -> u64 {
+        debug_assert!(width <= 64);
+        let mut value = 0u64;
+        for _ in 0..width {
+            let byte = self.bytes[self.pos / 8];
+            let bit = (byte >> (7 - (self.pos % 8))) & 1;
+            value = (value << 1) | u64::from(bit);
+            self.pos += 1;
+        }
+        value
+    }
+}
+
+// ---------------------------------------------------------------------
+// BDI (original element-Vec implementation).
+// ---------------------------------------------------------------------
+
+/// The original scalar Base-Delta-Immediate compressor.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RefBdi {
+    _private: (),
+}
+
+impl RefBdi {
+    /// Creates a reference BDI compressor.
+    #[must_use]
+    pub fn new() -> RefBdi {
+        RefBdi::default()
+    }
+
+    /// Determines the best encoding for a line without packing the payload.
+    #[must_use]
+    pub fn select_encoding(&self, line: &CacheLine) -> BdiEncoding {
+        let mut best = BdiEncoding::Uncompressed;
+        for &enc in &BdiEncoding::ALL {
+            if enc.payload_bytes() < best.payload_bytes() && encodable(line, enc) {
+                best = enc;
+            }
+        }
+        best
+    }
+}
+
+impl Compressor for RefBdi {
+    fn name(&self) -> &'static str {
+        "bdi"
+    }
+
+    fn compress(&self, line: &CacheLine) -> Compressed {
+        let enc = self.select_encoding(line);
+        let mut payload = vec![enc as u8];
+        match enc {
+            BdiEncoding::Zeros => {}
+            BdiEncoding::Rep => payload.extend_from_slice(&line.u64_word(0).to_le_bytes()),
+            BdiEncoding::Uncompressed => payload.extend_from_slice(line.as_bytes()),
+            enc => pack_deltas(line, enc, &mut payload),
+        }
+        Compressed::new(self.name(), enc.segments(), payload)
+    }
+
+    fn decompress(&self, compressed: &Compressed) -> CacheLine {
+        assert_eq!(
+            compressed.algorithm(),
+            self.name(),
+            "compressed with a different algorithm"
+        );
+        let payload = compressed.payload();
+        let enc = bdi_encoding_from_tag(payload[0]);
+        let body = &payload[1..];
+        match enc {
+            BdiEncoding::Zeros => CacheLine::zeroed(),
+            BdiEncoding::Rep => {
+                let word = u64::from_le_bytes(body[..8].try_into().expect("8-byte rep value"));
+                CacheLine::from_u64_words(&[word; 8])
+            }
+            BdiEncoding::Uncompressed => {
+                CacheLine::from_bytes(body.try_into().expect("64-byte verbatim line"))
+            }
+            enc => unpack_deltas(body, enc),
+        }
+    }
+
+    fn compressed_size(&self, line: &CacheLine) -> SegmentCount {
+        self.select_encoding(line).segments()
+    }
+}
+
+fn bdi_encoding_from_tag(tag: u8) -> BdiEncoding {
+    match tag {
+        0 => BdiEncoding::Zeros,
+        1 => BdiEncoding::Rep,
+        2 => BdiEncoding::B8D1,
+        3 => BdiEncoding::B8D2,
+        4 => BdiEncoding::B8D4,
+        5 => BdiEncoding::B4D1,
+        6 => BdiEncoding::B4D2,
+        7 => BdiEncoding::B2D1,
+        8 => BdiEncoding::Uncompressed,
+        other => panic!("invalid BDI encoding tag {other}"),
+    }
+}
+
+fn elements(line: &CacheLine, k: usize) -> Vec<u64> {
+    match k {
+        8 => line.u64_words().collect(),
+        4 => line.u32_words().map(u64::from).collect(),
+        2 => (0..32).map(|i| u64::from(line.u16_word(i))).collect(),
+        _ => unreachable!("element width {k}"),
+    }
+}
+
+fn delta_fits(value: u64, base: u64, k: usize, d: usize) -> bool {
+    let kbits = k as u32 * 8;
+    let diff = value.wrapping_sub(base) & mask_bits(kbits);
+    let signed = sign_extend(diff, kbits);
+    let dbits = d as u32 * 8 - 1;
+    signed >= -(1i64 << dbits) && signed < (1i64 << dbits)
+}
+
+fn mask_bits(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+fn sign_extend(value: u64, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    ((value << shift) as i64) >> shift
+}
+
+fn encodable(line: &CacheLine, enc: BdiEncoding) -> bool {
+    match enc {
+        BdiEncoding::Zeros => line.is_zero(),
+        BdiEncoding::Rep => {
+            let first = line.u64_word(0);
+            line.u64_words().all(|w| w == first)
+        }
+        BdiEncoding::Uncompressed => true,
+        enc => {
+            let (k, d) = enc.geometry().expect("delta encoding");
+            let mut base: Option<u64> = None;
+            for value in elements(line, k) {
+                if delta_fits(value, 0, k, d) {
+                    continue;
+                }
+                match base {
+                    None => base = Some(value),
+                    Some(b) if delta_fits(value, b, k, d) => {}
+                    Some(_) => return false,
+                }
+            }
+            true
+        }
+    }
+}
+
+fn pack_deltas(line: &CacheLine, enc: BdiEncoding, payload: &mut Vec<u8>) {
+    let (k, d) = enc.geometry().expect("delta encoding");
+    let elems = elements(line, k);
+    let base = elems
+        .iter()
+        .copied()
+        .find(|&v| !delta_fits(v, 0, k, d))
+        .unwrap_or(0);
+
+    payload.extend_from_slice(&base.to_le_bytes()[..k]);
+    let mut mask = SlowBitWriter::new();
+    let mut deltas = Vec::with_capacity(elems.len() * d);
+    let kbits = k as u32 * 8;
+    for value in elems {
+        let use_base = !delta_fits(value, 0, k, d);
+        mask.push(u64::from(use_base), 1);
+        let delta = value.wrapping_sub(if use_base { base } else { 0 }) & mask_bits(kbits);
+        deltas.extend_from_slice(&delta.to_le_bytes()[..d]);
+    }
+    payload.extend_from_slice(&deltas);
+    payload.extend_from_slice(&mask.into_bytes());
+}
+
+fn unpack_deltas(body: &[u8], enc: BdiEncoding) -> CacheLine {
+    let (k, d) = enc.geometry().expect("delta encoding");
+    let n = CACHE_LINE_BYTES / k;
+    let mut base_bytes = [0u8; 8];
+    base_bytes[..k].copy_from_slice(&body[..k]);
+    let base = u64::from_le_bytes(base_bytes);
+
+    let deltas = &body[k..k + n * d];
+    let mask_bytes = &body[k + n * d..];
+    let mut mask = SlowBitReader::new(mask_bytes);
+
+    let kbits = k as u32 * 8;
+    let dbits = d as u32 * 8;
+    let mut bytes = [0u8; CACHE_LINE_BYTES];
+    for i in 0..n {
+        let mut raw = [0u8; 8];
+        raw[..d].copy_from_slice(&deltas[i * d..i * d + d]);
+        let delta = sign_extend(u64::from_le_bytes(raw), dbits) as u64;
+        let from = if mask.read(1) == 1 { base } else { 0 };
+        let value = from.wrapping_add(delta) & mask_bits(kbits);
+        bytes[i * k..i * k + k].copy_from_slice(&value.to_le_bytes()[..k]);
+    }
+    CacheLine::from_bytes(bytes)
+}
+
+// ---------------------------------------------------------------------
+// FPC (original Vec-collecting implementation).
+// ---------------------------------------------------------------------
+
+const P_ZERO_RUN: u64 = 0b000;
+const P_SIGN4: u64 = 0b001;
+const P_SIGN8: u64 = 0b010;
+const P_SIGN16: u64 = 0b011;
+const P_ZERO_PADDED_HALF: u64 = 0b100;
+const P_TWO_SIGN_BYTES: u64 = 0b101;
+const P_REP_BYTES: u64 = 0b110;
+const P_UNCOMPRESSED: u64 = 0b111;
+
+/// The original scalar Frequent Pattern Compression implementation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RefFpc {
+    _private: (),
+}
+
+impl RefFpc {
+    /// Creates a reference FPC compressor.
+    #[must_use]
+    pub fn new() -> RefFpc {
+        RefFpc::default()
+    }
+
+    fn size_bits(&self, line: &CacheLine) -> usize {
+        let words: Vec<u32> = line.u32_words().collect();
+        let mut bits = 0usize;
+        let mut i = 0;
+        while i < words.len() {
+            if words[i] == 0 {
+                let mut run = 1;
+                while i + run < words.len() && words[i + run] == 0 && run < 8 {
+                    run += 1;
+                }
+                bits += 3 + 3;
+                i += run;
+            } else {
+                let (_, _, data_bits) = classify(words[i]);
+                bits += 3 + data_bits as usize;
+                i += 1;
+            }
+        }
+        bits
+    }
+}
+
+fn fits_signed(value: u32, bits: u32) -> bool {
+    let signed = value as i32;
+    signed >= -(1i32 << (bits - 1)) && signed < (1i32 << (bits - 1))
+}
+
+fn classify(word: u32) -> (u64, u64, u32) {
+    if fits_signed(word, 4) {
+        (P_SIGN4, u64::from(word & 0xf), 4)
+    } else if fits_signed(word, 8) {
+        (P_SIGN8, u64::from(word & 0xff), 8)
+    } else if fits_signed(word, 16) {
+        (P_SIGN16, u64::from(word & 0xffff), 16)
+    } else if word & 0xffff == 0 {
+        (P_ZERO_PADDED_HALF, u64::from(word >> 16), 16)
+    } else if fits_signed(word & 0xffff, 8) && fits_signed(word >> 16, 8) {
+        let hi = (word >> 16) & 0xff;
+        let lo = word & 0xff;
+        (P_TWO_SIGN_BYTES, u64::from(hi << 8 | lo), 16)
+    } else if word.to_le_bytes().windows(2).all(|w| w[0] == w[1]) {
+        (P_REP_BYTES, u64::from(word & 0xff), 8)
+    } else {
+        (P_UNCOMPRESSED, u64::from(word), 32)
+    }
+}
+
+impl Compressor for RefFpc {
+    fn name(&self) -> &'static str {
+        "fpc"
+    }
+
+    fn compress(&self, line: &CacheLine) -> Compressed {
+        let mut w = SlowBitWriter::new();
+        let words: Vec<u32> = line.u32_words().collect();
+        let mut i = 0;
+        while i < words.len() {
+            if words[i] == 0 {
+                let mut run = 1;
+                while i + run < words.len() && words[i + run] == 0 && run < 8 {
+                    run += 1;
+                }
+                w.push(P_ZERO_RUN, 3);
+                w.push(run as u64 - 1, 3);
+                i += run;
+            } else {
+                let (prefix, data, bits) = classify(words[i]);
+                w.push(prefix, 3);
+                w.push(data, bits);
+                i += 1;
+            }
+        }
+        let payload = w.into_bytes();
+        let size = SegmentCount::from_bytes(payload.len());
+        Compressed::new(self.name(), size, payload)
+    }
+
+    fn compressed_size(&self, line: &CacheLine) -> SegmentCount {
+        SegmentCount::from_bytes(self.size_bits(line).div_ceil(8))
+    }
+
+    fn decompress(&self, compressed: &Compressed) -> CacheLine {
+        assert_eq!(compressed.algorithm(), self.name());
+        let mut r = SlowBitReader::new(compressed.payload());
+        let mut words = [0u32; 16];
+        let mut i = 0;
+        while i < 16 {
+            let prefix = r.read(3);
+            match prefix {
+                P_ZERO_RUN => {
+                    let run = r.read(3) as usize + 1;
+                    i += run;
+                }
+                P_SIGN4 => {
+                    words[i] = sign_extend32(r.read(4) as u32, 4);
+                    i += 1;
+                }
+                P_SIGN8 => {
+                    words[i] = sign_extend32(r.read(8) as u32, 8);
+                    i += 1;
+                }
+                P_SIGN16 => {
+                    words[i] = sign_extend32(r.read(16) as u32, 16);
+                    i += 1;
+                }
+                P_ZERO_PADDED_HALF => {
+                    words[i] = (r.read(16) as u32) << 16;
+                    i += 1;
+                }
+                P_TWO_SIGN_BYTES => {
+                    let data = r.read(16) as u32;
+                    let hi = sign_extend32(data >> 8, 8) & 0xffff;
+                    let lo = sign_extend32(data & 0xff, 8) & 0xffff;
+                    words[i] = hi << 16 | lo;
+                    i += 1;
+                }
+                P_REP_BYTES => {
+                    let b = r.read(8) as u32;
+                    words[i] = b | b << 8 | b << 16 | b << 24;
+                    i += 1;
+                }
+                P_UNCOMPRESSED => {
+                    words[i] = r.read(32) as u32;
+                    i += 1;
+                }
+                _ => unreachable!("3-bit prefix"),
+            }
+        }
+        CacheLine::from_u32_words(&words)
+    }
+}
+
+fn sign_extend32(value: u32, bits: u32) -> u32 {
+    let shift = 32 - bits;
+    (((value << shift) as i32) >> shift) as u32
+}
+
+// ---------------------------------------------------------------------
+// C-Pack (original Vec-dictionary implementation).
+// ---------------------------------------------------------------------
+
+const DICT_ENTRIES: usize = 16;
+const INDEX_BITS: u32 = 4;
+
+const C_ZZZZ: u64 = 0b00;
+const C_XXXX: u64 = 0b01;
+const C_MMMM: u64 = 0b10;
+const C_MMXX: u64 = 0b1100;
+const C_ZZZX: u64 = 0b1101;
+const C_MMMX: u64 = 0b1110;
+
+#[derive(Debug, Clone)]
+struct Dictionary {
+    entries: Vec<u32>,
+}
+
+impl Dictionary {
+    fn new() -> Dictionary {
+        Dictionary {
+            entries: Vec::with_capacity(DICT_ENTRIES),
+        }
+    }
+
+    fn push(&mut self, word: u32) {
+        if self.entries.len() == DICT_ENTRIES {
+            self.entries.remove(0);
+        }
+        self.entries.push(word);
+    }
+
+    fn full_match(&self, word: u32) -> Option<usize> {
+        self.entries.iter().position(|&e| e == word)
+    }
+
+    fn match_high_bytes(&self, word: u32, bytes: u32) -> Option<usize> {
+        let shift = 8 * (4 - bytes);
+        self.entries
+            .iter()
+            .position(|&e| e >> shift == word >> shift)
+    }
+
+    fn get(&self, index: usize) -> u32 {
+        self.entries[index]
+    }
+}
+
+/// The original scalar C-Pack implementation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RefCPack {
+    _private: (),
+}
+
+impl RefCPack {
+    /// Creates a reference C-Pack compressor.
+    #[must_use]
+    pub fn new() -> RefCPack {
+        RefCPack::default()
+    }
+
+    fn size_bits(&self, line: &CacheLine) -> usize {
+        let mut dict = Dictionary::new();
+        let mut bits = 0usize;
+        for word in line.u32_words() {
+            if word == 0 {
+                bits += 2;
+            } else if word & 0xffff_ff00 == 0 {
+                bits += 4 + 8;
+            } else if dict.full_match(word).is_some() {
+                bits += 2 + INDEX_BITS as usize;
+            } else if dict.match_high_bytes(word, 3).is_some() {
+                bits += 4 + INDEX_BITS as usize + 8;
+                dict.push(word);
+            } else if dict.match_high_bytes(word, 2).is_some() {
+                bits += 4 + INDEX_BITS as usize + 16;
+                dict.push(word);
+            } else {
+                bits += 2 + 32;
+                dict.push(word);
+            }
+        }
+        bits
+    }
+}
+
+impl Compressor for RefCPack {
+    fn name(&self) -> &'static str {
+        "cpack"
+    }
+
+    fn compressed_size(&self, line: &CacheLine) -> SegmentCount {
+        SegmentCount::from_bytes(self.size_bits(line).div_ceil(8))
+    }
+
+    fn compress(&self, line: &CacheLine) -> Compressed {
+        let mut w = SlowBitWriter::new();
+        let mut dict = Dictionary::new();
+        for word in line.u32_words() {
+            if word == 0 {
+                w.push(C_ZZZZ, 2);
+            } else if word & 0xffff_ff00 == 0 {
+                w.push(C_ZZZX, 4);
+                w.push(u64::from(word & 0xff), 8);
+            } else if let Some(idx) = dict.full_match(word) {
+                w.push(C_MMMM, 2);
+                w.push(idx as u64, INDEX_BITS);
+            } else if let Some(idx) = dict.match_high_bytes(word, 3) {
+                w.push(C_MMMX, 4);
+                w.push(idx as u64, INDEX_BITS);
+                w.push(u64::from(word & 0xff), 8);
+                dict.push(word);
+            } else if let Some(idx) = dict.match_high_bytes(word, 2) {
+                w.push(C_MMXX, 4);
+                w.push(idx as u64, INDEX_BITS);
+                w.push(u64::from(word & 0xffff), 16);
+                dict.push(word);
+            } else {
+                w.push(C_XXXX, 2);
+                w.push(u64::from(word), 32);
+                dict.push(word);
+            }
+        }
+        let payload = w.into_bytes();
+        Compressed::new(
+            self.name(),
+            SegmentCount::from_bytes(payload.len()),
+            payload,
+        )
+    }
+
+    fn decompress(&self, compressed: &Compressed) -> CacheLine {
+        assert_eq!(compressed.algorithm(), self.name());
+        let mut r = SlowBitReader::new(compressed.payload());
+        let mut dict = Dictionary::new();
+        let mut words = [0u32; 16];
+        for word in &mut words {
+            let c2 = r.read(2);
+            *word = match c2 {
+                c if c == C_ZZZZ => 0,
+                c if c == C_XXXX => {
+                    let v = r.read(32) as u32;
+                    dict.push(v);
+                    v
+                }
+                c if c == C_MMMM => {
+                    let idx = r.read(INDEX_BITS) as usize;
+                    dict.get(idx)
+                }
+                _ => {
+                    let c4 = 0b1100 | r.read(2);
+                    match c4 {
+                        c if c == C_MMXX => {
+                            let idx = r.read(INDEX_BITS) as usize;
+                            let low = r.read(16) as u32;
+                            let v = (dict.get(idx) & 0xffff_0000) | low;
+                            dict.push(v);
+                            v
+                        }
+                        c if c == C_ZZZX => r.read(8) as u32,
+                        c if c == C_MMMX => {
+                            let idx = r.read(INDEX_BITS) as usize;
+                            let low = r.read(8) as u32;
+                            let v = (dict.get(idx) & 0xffff_ff00) | low;
+                            dict.push(v);
+                            v
+                        }
+                        other => panic!("invalid C-Pack code {other:04b}"),
+                    }
+                }
+            };
+        }
+        CacheLine::from_u32_words(&words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_kernels_roundtrip() {
+        let lines = [
+            CacheLine::zeroed(),
+            CacheLine::from_u64_words(&[0xdead_beef_0bad_f00d; 8]),
+            CacheLine::from_u64_words(&core::array::from_fn(|i| 0x7f3a_bc00_1000 + i as u64 * 16)),
+            CacheLine::from_u64_words(&core::array::from_fn(|i| {
+                (i as u64 + 1).wrapping_mul(0x0123_4567_89ab_cdef)
+            })),
+        ];
+        for line in &lines {
+            for c in [
+                Box::new(RefBdi::new()) as Box<dyn Compressor>,
+                Box::new(RefFpc::new()),
+                Box::new(RefCPack::new()),
+            ] {
+                let compressed = c.compress(line);
+                assert_eq!(&c.decompress(&compressed), line, "{} lossless", c.name());
+                assert_eq!(compressed.segments(), c.compressed_size(line));
+            }
+        }
+    }
+}

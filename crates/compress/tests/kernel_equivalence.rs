@@ -1,0 +1,292 @@
+//! Differential tests: the word-wise fast-path kernels must be
+//! observationally identical to the frozen byte-at-a-time kernels in
+//! `bv_compress::reference`.
+//!
+//! For every generated line we require, per algorithm:
+//! - identical compressed payload bytes and segment count,
+//! - identical `compressed_size` (the size-only fast path),
+//! - lossless round-trip through **both** implementations,
+//! - cross-decompression: the optimized decompressor reads reference
+//!   payloads and vice versa (possible because both report the same
+//!   algorithm name).
+//!
+//! Lines come from 10k SplitMix64 draws over a mix of data shapes plus a
+//! fixed adversarial corpus (all-zero, ±1 deltas at each element width,
+//! sign-boundary values, incompressible noise).
+
+use bv_compress::reference::{RefBdi, RefCPack, RefFpc};
+use bv_compress::{Bdi, CPack, CacheLine, Compressor, Fpc};
+use bv_testkit::Rng;
+
+/// Asserts optimized and reference kernels agree on one line.
+fn assert_equivalent(opt: &dyn Compressor, reference: &dyn Compressor, line: &CacheLine) {
+    let co = opt.compress(line);
+    let cr = reference.compress(line);
+    assert_eq!(
+        co.payload(),
+        cr.payload(),
+        "{}: payload bytes differ on {line:?}",
+        opt.name()
+    );
+    assert_eq!(
+        co.segments(),
+        cr.segments(),
+        "{}: segment counts differ on {line:?}",
+        opt.name()
+    );
+    assert_eq!(
+        opt.compressed_size(line),
+        reference.compressed_size(line),
+        "{}: size-only pass differs on {line:?}",
+        opt.name()
+    );
+    assert_eq!(
+        co.segments(),
+        opt.compressed_size(line),
+        "{}: compress and compressed_size disagree on {line:?}",
+        opt.name()
+    );
+    // Round-trips, including cross-decompression of each other's payloads.
+    assert_eq!(&opt.decompress(&co), line, "{} roundtrip", opt.name());
+    assert_eq!(
+        &reference.decompress(&cr),
+        line,
+        "{} reference roundtrip",
+        opt.name()
+    );
+    assert_eq!(
+        &opt.decompress(&cr),
+        line,
+        "{}: optimized kernel must read reference payloads",
+        opt.name()
+    );
+    assert_eq!(
+        &reference.decompress(&co),
+        line,
+        "{}: reference kernel must read optimized payloads",
+        opt.name()
+    );
+}
+
+fn assert_all_equivalent(line: &CacheLine) {
+    assert_equivalent(&Bdi::new(), &RefBdi::new(), line);
+    assert_equivalent(&Fpc::new(), &RefFpc::new(), line);
+    assert_equivalent(&CPack::new(), &RefCPack::new(), line);
+}
+
+/// Draws one line from a family of data shapes chosen to exercise every
+/// encoding path: raw noise, small deltas at each element width,
+/// zero-dominated lines, repeated values, and byte-sparse words.
+fn random_line(rng: &mut Rng) -> CacheLine {
+    match rng.below(8) {
+        // Pure noise: exercises the incompressible fallbacks.
+        0 => random_bytes(rng),
+        // u64 base + small deltas (B8D1/B8D2/B8D4 territory).
+        1 => {
+            let base = rng.next_u64();
+            let spread = *rng.choose(&[1u64 << 6, 1 << 14, 1 << 30, 1 << 62]);
+            let words: [u64; 8] = core::array::from_fn(|_| {
+                base.wrapping_add(rng.below(spread))
+                    .wrapping_sub(spread / 2)
+            });
+            CacheLine::from_u64_words(&words)
+        }
+        // u32 base + small deltas (B4D1/B4D2, FPC halfword patterns).
+        2 => {
+            let base = rng.next_u32();
+            let spread = *rng.choose(&[1u32 << 6, 1 << 14, 1 << 30]);
+            let words: [u32; 16] = core::array::from_fn(|_| {
+                base.wrapping_add((rng.below(u64::from(spread))) as u32)
+                    .wrapping_sub(spread / 2)
+            });
+            CacheLine::from_u32_words(&words)
+        }
+        // Small signed ints (FPC sign patterns, BDI immediate-zero base).
+        3 => {
+            let words: [u32; 16] = core::array::from_fn(|_| rng.range_i64(-0x8000, 0x8000) as u32);
+            CacheLine::from_u32_words(&words)
+        }
+        // Zero-dominated (FPC zero runs, C-Pack ZZZZ).
+        4 => {
+            let mut words = [0u32; 16];
+            for w in &mut words {
+                if rng.below(4) == 0 {
+                    *w = rng.next_u32();
+                }
+            }
+            CacheLine::from_u32_words(&words)
+        }
+        // Repeated values with occasional mutations (C-Pack dictionary).
+        5 => {
+            let v = rng.next_u32();
+            let words: [u32; 16] = core::array::from_fn(|_| {
+                if rng.below(4) == 0 {
+                    v ^ (1 << rng.below(32))
+                } else {
+                    v
+                }
+            });
+            CacheLine::from_u32_words(&words)
+        }
+        // Byte-sparse words (C-Pack ZZZX, FPC rep-byte boundaries).
+        6 => {
+            let words: [u32; 16] = core::array::from_fn(|_| match rng.below(3) {
+                0 => rng.below(0x100) as u32,
+                1 => (rng.below(0x100) as u32) * 0x0101_0101,
+                _ => (rng.next_u32()) << 16,
+            });
+            CacheLine::from_u32_words(&words)
+        }
+        // u16 elements around a base (B2D1).
+        _ => {
+            let base = rng.next_u64() as u16;
+            let mut bytes = [0u8; 64];
+            for i in 0..32 {
+                let v = base.wrapping_add(rng.below(64) as u16).wrapping_sub(32);
+                bytes[i * 2..i * 2 + 2].copy_from_slice(&v.to_le_bytes());
+            }
+            CacheLine::from_bytes(bytes)
+        }
+    }
+}
+
+fn random_bytes(rng: &mut Rng) -> CacheLine {
+    let mut bytes = [0u8; 64];
+    for chunk in bytes.chunks_mut(8) {
+        chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    CacheLine::from_bytes(bytes)
+}
+
+#[test]
+fn ten_thousand_random_lines_match_reference() {
+    bv_testkit::cases(10_000, |rng| {
+        assert_all_equivalent(&random_line(rng));
+    });
+}
+
+/// Fixed adversarial corpus: the lines most likely to expose an encoding
+/// boundary handled differently by the two implementations.
+fn adversarial_corpus() -> Vec<CacheLine> {
+    let mut corpus = Vec::new();
+
+    // All-zero and near-zero.
+    corpus.push(CacheLine::zeroed());
+    corpus.push(CacheLine::zeroed().with_u64_at(0, 1));
+    corpus.push(CacheLine::zeroed().with_u64_at(56, 1));
+
+    // Repeated word, and repeated word broken in one place.
+    corpus.push(CacheLine::from_u64_words(&[0xdead_beef_0bad_f00d; 8]));
+    corpus.push(CacheLine::from_u64_words(&[0xdead_beef_0bad_f00d; 8]).with_u64_at(24, 7));
+
+    // ±1 deltas at each element width.
+    corpus.push(CacheLine::from_u64_words(&core::array::from_fn(|i| {
+        0x7f00_0000_0000u64.wrapping_add(i as u64) // +1 steps, 8-byte elems
+    })));
+    corpus.push(CacheLine::from_u64_words(&core::array::from_fn(|i| {
+        0x7f00_0000_0000u64.wrapping_sub(i as u64) // -1 steps
+    })));
+    corpus.push(CacheLine::from_u32_words(&core::array::from_fn(|i| {
+        0x7f00_0000u32.wrapping_add(i as u32) // 4-byte elems
+    })));
+    let mut bytes = [0u8; 64];
+    for i in 0..32 {
+        let v = 0x7f00u16.wrapping_add(i as u16); // 2-byte elems
+        bytes[i * 2..i * 2 + 2].copy_from_slice(&v.to_le_bytes());
+    }
+    corpus.push(CacheLine::from_bytes(bytes));
+
+    // Sign boundaries of every delta width: deltas of exactly ±2^(d*8-1)
+    // and ±(2^(d*8-1) - 1) from the base, where the fit test flips.
+    for d_bits in [7u32, 15, 31] {
+        for sign in [1i64, -1] {
+            for off in [0i64, 1] {
+                let delta = sign * ((1i64 << d_bits) - off);
+                let base = 0x0123_4567_89abu64;
+                let words: [u64; 8] = core::array::from_fn(|i| {
+                    if i == 0 {
+                        base
+                    } else {
+                        base.wrapping_add(delta as u64)
+                    }
+                });
+                corpus.push(CacheLine::from_u64_words(&words));
+            }
+        }
+    }
+
+    // Zero-delta (immediate base) sign boundaries: elements that barely
+    // fit / barely miss a delta from the implicit zero base.
+    for v in [0x7fu64, 0x80, 0xff, 0x100, 0x7fff, 0x8000] {
+        let words: [u64; 8] = core::array::from_fn(|i| if i % 2 == 0 { v } else { !v });
+        corpus.push(CacheLine::from_u64_words(&words));
+        let words: [u64; 8] =
+            core::array::from_fn(|i| if i % 2 == 0 { v } else { v.wrapping_neg() });
+        corpus.push(CacheLine::from_u64_words(&words));
+    }
+
+    // Deltas that wrap modulo the element width.
+    corpus.push(CacheLine::from_u64_words(&core::array::from_fn(|i| {
+        (u64::MAX - 3).wrapping_add(i as u64)
+    })));
+    let mut bytes = [0u8; 64];
+    for i in 0..32 {
+        let v = 0xfffeu16.wrapping_add(i as u16);
+        bytes[i * 2..i * 2 + 2].copy_from_slice(&v.to_le_bytes());
+    }
+    corpus.push(CacheLine::from_bytes(bytes));
+
+    // FPC pattern boundaries.
+    corpus.push(CacheLine::from_u32_words(&[0xffff_8000; 16])); // SIGN16 edge
+    corpus.push(CacheLine::from_u32_words(&[0xabcd_0000; 16])); // zero-padded half
+    corpus.push(CacheLine::from_u32_words(&[0x0011_0003; 16])); // two sign bytes
+    corpus.push(CacheLine::from_u32_words(&[0x4747_4747; 16])); // repeated bytes
+    corpus.push(CacheLine::from_u32_words(&core::array::from_fn(|i| {
+        (i as i32 - 8) as u32 // small signed ints crossing zero
+    })));
+
+    // C-Pack dictionary stress: partial-match patterns and near-collisions.
+    corpus.push(CacheLine::from_u32_words(&core::array::from_fn(|i| {
+        0x1234_5600 | i as u32 // MMMX chains
+    })));
+    corpus.push(CacheLine::from_u32_words(&core::array::from_fn(|i| {
+        0x1234_0000 | (i as u32 * 0x111) // MMXX chains
+    })));
+    corpus.push(CacheLine::from_u32_words(&core::array::from_fn(|i| {
+        0x8000_0000 + (i as u32 % 15) * 0x0101_0101
+    })));
+
+    // Incompressible: every encoding must fall back identically.
+    corpus.push(CacheLine::from_u64_words(&core::array::from_fn(|i| {
+        (i as u64 + 1) * 0x0123_4567_89ab_cdef
+    })));
+    corpus.push(CacheLine::from_u32_words(&core::array::from_fn(|i| {
+        (i as u32 + 1).wrapping_mul(0x9e37_79b9)
+    })));
+
+    corpus
+}
+
+#[test]
+fn adversarial_corpus_matches_reference() {
+    for line in adversarial_corpus() {
+        assert_all_equivalent(&line);
+    }
+}
+
+#[test]
+fn bdi_encoding_selection_matches_reference() {
+    let bdi = Bdi::new();
+    let reference = RefBdi::new();
+    for line in adversarial_corpus() {
+        assert_eq!(
+            bdi.select_encoding(&line),
+            reference.select_encoding(&line),
+            "encoding choice differs on {line:?}"
+        );
+    }
+    bv_testkit::cases(2_000, |rng| {
+        let line = random_line(rng);
+        assert_eq!(bdi.select_encoding(&line), reference.select_encoding(&line));
+    });
+}

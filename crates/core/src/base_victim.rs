@@ -537,10 +537,18 @@ impl LlcOrganization for BaseVictimLlc {
         if let Some((set, way)) = self.find_base(addr) {
             // Write hit to the Baseline cache (Section IV.B.5): recompress;
             // if the line grew past its partner's space, silently evict the
-            // partner, even if it was the victim set's MRU line.
-            let new_size = self.compressor.compressed_size(&data);
-            self.compression.record(new_size);
+            // partner, even if it was the victim set's MRU line. A writeback
+            // carrying unchanged data (clean eviction from the inner level)
+            // reuses the size cached in the tag slot — the compressed size is
+            // a pure function of the data, so it only needs recomputing on an
+            // actual data write.
             let i = self.idx(set, way);
+            let new_size = if self.base[i].data == data {
+                self.base[i].size
+            } else {
+                self.compressor.compressed_size(&data)
+            };
+            self.compression.record(new_size);
             self.base[i].data = data;
             self.base[i].dirty = true;
             self.base[i].size = new_size;
@@ -566,7 +574,14 @@ impl LlcOrganization for BaseVictimLlc {
                     let promoted = self.victim[i];
                     self.victim[i].clear();
                     effects.migrations += 1;
-                    let new_size = self.compressor.compressed_size(&data);
+                    // Same invariant as the base write hit: only recompress
+                    // when the written data actually differs from the copy
+                    // the victim slot already holds.
+                    let new_size = if promoted.data == data {
+                        promoted.size
+                    } else {
+                        self.compressor.compressed_size(&data)
+                    };
                     self.compression.record(new_size);
                     self.install_base(set, promoted.tag, data, new_size, true, inner, &mut effects);
                     self.stats.writeback_hits += 1;

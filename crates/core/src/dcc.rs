@@ -339,7 +339,13 @@ impl LlcOrganization for DccLlc {
         if let Some((set, t, m)) = self.find(addr) {
             let idx = set * self.tags_per_set() + t;
             if self.blocks[idx].lines[m].valid {
-                let new_size = self.bdi.compressed_size(&data);
+                // Unchanged data (clean writeback) reuses the size cached in
+                // the tag slot; only a real data write pays recompression.
+                let new_size = if self.blocks[idx].lines[m].data == data {
+                    self.blocks[idx].lines[m].size
+                } else {
+                    self.bdi.compressed_size(&data)
+                };
                 self.compression.record(new_size);
                 let old = self.blocks[idx].lines[m].size;
                 if new_size > old {

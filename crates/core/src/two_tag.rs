@@ -204,9 +204,15 @@ impl TwoTagCore {
         let mut effects = Effects::default();
         match self.find(addr) {
             Some((set, l)) => {
-                let new_size = self.bdi.compressed_size(&data);
-                self.compression.record(new_size);
                 let i = self.idx(set, l);
+                // Unchanged data (clean writeback) reuses the size cached in
+                // the tag slot; only a real data write pays recompression.
+                let new_size = if self.slots[i].data == data {
+                    self.slots[i].size
+                } else {
+                    self.bdi.compressed_size(&data)
+                };
+                self.compression.record(new_size);
                 self.slots[i].data = data;
                 self.slots[i].dirty = true;
                 self.slots[i].size = new_size;

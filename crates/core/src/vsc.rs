@@ -267,7 +267,14 @@ impl LlcOrganization for VscLlc {
         let mut effects = Effects::default();
         match self.find(addr) {
             Some((set, l)) => {
-                let new_size = self.bdi.compressed_size(&data);
+                // Unchanged data (clean writeback) reuses the size cached in
+                // the tag slot; only a real data write pays recompression.
+                let slot = &self.slots[self.idx(set, l)];
+                let new_size = if slot.data == data {
+                    slot.size
+                } else {
+                    self.bdi.compressed_size(&data)
+                };
                 self.compression.record(new_size);
                 let old_size = self.slots[self.idx(set, l)].size;
                 if new_size > old_size {

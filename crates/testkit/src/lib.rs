@@ -141,6 +141,34 @@ pub mod bench {
     /// `group/name  median .. max` line. Returns the median seconds per
     /// call.
     pub fn time<T>(group: &str, name: &str, samples: usize, mut f: impl FnMut() -> T) -> f64 {
+        let secs = sorted_samples(samples, &mut f);
+        let median = secs[secs.len() / 2];
+        println!(
+            "{group}/{name:28} median {} .. max {}",
+            human(median),
+            human(secs[secs.len() - 1])
+        );
+        median
+    }
+
+    /// Quiet twin of [`time`]: identical warmup and sampling, no printing.
+    /// Returns the median seconds per call, for harnesses that do their own
+    /// reporting (e.g. `bvsim bench`).
+    pub fn measure<T>(samples: usize, mut f: impl FnMut() -> T) -> f64 {
+        let secs = sorted_samples(samples, &mut f);
+        secs[secs.len() / 2]
+    }
+
+    /// Best-of-N seconds per call: same warmup and sampling as [`measure`]
+    /// but returns the *minimum*. Scheduler and frequency noise only ever
+    /// add time, so the minimum is the stable statistic for regression
+    /// gating on shared or single-core hosts (the median still swings with
+    /// sustained background load).
+    pub fn fastest<T>(samples: usize, mut f: impl FnMut() -> T) -> f64 {
+        sorted_samples(samples, &mut f)[0]
+    }
+
+    fn sorted_samples<T>(samples: usize, f: &mut impl FnMut() -> T) -> Vec<f64> {
         assert!(samples > 0, "at least one sample required");
         std::hint::black_box(f());
         let mut secs: Vec<f64> = (0..samples)
@@ -151,13 +179,7 @@ pub mod bench {
             })
             .collect();
         secs.sort_by(f64::total_cmp);
-        let median = secs[secs.len() / 2];
-        println!(
-            "{group}/{name:28} median {} .. max {}",
-            human(median),
-            human(secs[secs.len() - 1])
-        );
-        median
+        secs
     }
 
     fn human(secs: f64) -> String {
@@ -228,5 +250,18 @@ mod tests {
         let count = Cell::new(0u64);
         cases(17, |_| count.set(count.get() + 1));
         assert_eq!(count.get(), 17);
+    }
+
+    #[test]
+    fn timers_sample_the_closure() {
+        use std::cell::Cell;
+        let calls = Cell::new(0u64);
+        let median = bench::measure(5, || calls.set(calls.get() + 1));
+        assert_eq!(calls.get(), 6, "5 samples + 1 warmup");
+        assert!(median >= 0.0);
+        calls.set(0);
+        let best = bench::fastest(5, || calls.set(calls.get() + 1));
+        assert_eq!(calls.get(), 6);
+        assert!(best >= 0.0);
     }
 }

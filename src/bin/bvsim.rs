@@ -7,12 +7,15 @@
 //!       --llc-mb 4 --ways 16 --warmup 2000000 --insts 3000000
 //! bvsim sweep --jobs 8 --journal results/journal
 //! bvsim sweep --resume        # continue an interrupted sweep
+//! bvsim bench                 # full perf suite, writes BENCH.json
+//! bvsim bench --quick --baseline BENCH.json   # CI regression gate
 //! ```
 //!
 //! Argument parsing lives in [`base_victim::cli`] so it can be
 //! unit-tested; this binary only dispatches the parsed command.
 
-use base_victim::cli::{self, Command, RunArgs, SweepArgs, USAGE};
+use base_victim::bench::perf;
+use base_victim::cli::{self, BenchArgs, Command, RunArgs, SweepArgs, USAGE};
 use base_victim::{LlcKind, SimConfig, System, TraceRegistry};
 use std::process::ExitCode;
 
@@ -29,6 +32,7 @@ fn main() -> ExitCode {
         }
         Ok(Command::Run(run)) => run_one(&run),
         Ok(Command::Sweep(sweep)) => run_sweep(&sweep),
+        Ok(Command::Bench(bench)) => run_bench(&bench),
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             ExitCode::FAILURE
@@ -160,6 +164,78 @@ fn run_sweep(args: &SweepArgs) -> ExitCode {
             journal.checkpoint_count(),
             journal.dir().display()
         );
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_bench(args: &BenchArgs) -> ExitCode {
+    let cfg = if args.quick {
+        perf::BenchConfig::quick()
+    } else {
+        perf::BenchConfig::full()
+    };
+    println!(
+        "bench: {} suite ({} corpus lines x {} sample(s), {} sim insts x {} sample(s))",
+        if args.quick { "quick" } else { "full" },
+        cfg.corpus_lines,
+        cfg.kernel_samples,
+        cfg.sim_insts,
+        cfg.sim_samples
+    );
+    let t0 = std::time::Instant::now();
+    let report = perf::run(&cfg);
+    println!("bench: done in {:.1}s\n", t0.elapsed().as_secs_f64());
+
+    println!("{:8} {:10} {:>14}", "kernel", "impl", "lines/s");
+    for k in &report.kernels {
+        println!(
+            "{:8} {:10} {:>14.3e}",
+            k.kernel, k.implementation, k.lines_per_sec
+        );
+    }
+    for (kernel, speedup) in report.kernel_speedups() {
+        println!("{kernel:8} speedup    {speedup:>13.2}x");
+    }
+    println!("\n{:24} {:>14}", "end-to-end llc", "insts/s");
+    for e in &report.end_to_end {
+        println!("{:24} {:>14.3e}", e.llc, e.insts_per_sec);
+    }
+
+    let mut text = report.to_json();
+    text.push('\n');
+    if let Err(e) = std::fs::write(&args.out, &text) {
+        eprintln!("error: cannot write {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("\nbench: report written to {}", args.out.display());
+
+    if let Some(baseline_path) = &args.baseline {
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(t) => match perf::BenchReport::from_json(&t) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("error: bad baseline {}: {e}", baseline_path.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let regressions = perf::compare(&report, &baseline, f64::from(args.max_regress));
+        if regressions.is_empty() {
+            println!(
+                "bench: no regression beyond {}% vs {}",
+                args.max_regress,
+                baseline_path.display()
+            );
+        } else {
+            for r in &regressions {
+                eprintln!("regression: {r}");
+            }
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

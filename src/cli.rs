@@ -15,6 +15,7 @@ USAGE:
     bvsim --trace <name> [options]
     bvsim --list-traces
     bvsim sweep [--jobs <n>] [--resume] [--journal <dir>]
+    bvsim bench [--quick] [--out <file>] [--baseline <file>] [--max-regress <pct>]
 
 OPTIONS:
     --trace <name>      registry trace to run (see --list-traces)
@@ -35,6 +36,14 @@ SWEEP (runs the full experiment suite's job set through the parallel runner):
     --resume            satisfy jobs from existing journal checkpoints
     --journal <dir>     checkpoint/journal directory (default: results/journal)
   Budgets come from BV_WARMUP / BV_INSTS as for the experiment binaries.
+
+BENCH (times the compression kernels and end-to-end simulation, writes BENCH.json):
+    --quick             smaller corpus and budgets (the CI gate sizing)
+    --out <file>        report destination (default: BENCH.json)
+    --baseline <file>   compare against a committed report; exit nonzero on
+                        regression
+    --max-regress <pct> allowed throughput drop vs the baseline, percent
+                        (default: 20)
 ";
 
 /// A parsed `bvsim` invocation.
@@ -48,6 +57,8 @@ pub enum Command {
     Run(RunArgs),
     /// `sweep`: run the experiment suite's jobs through the runner.
     Sweep(SweepArgs),
+    /// `bench`: run the perf suite and write/compare `BENCH.json`.
+    Bench(BenchArgs),
 }
 
 /// Arguments for a single-trace simulation.
@@ -107,6 +118,31 @@ impl Default for SweepArgs {
     }
 }
 
+/// Arguments for the `bench` subcommand.
+#[derive(Debug, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Use the smaller quick sizing (the CI gate) instead of the full
+    /// suite.
+    pub quick: bool,
+    /// Where the report is written.
+    pub out: PathBuf,
+    /// Baseline report to compare against, if any.
+    pub baseline: Option<PathBuf>,
+    /// Allowed throughput drop vs the baseline, in percent.
+    pub max_regress: u32,
+}
+
+impl Default for BenchArgs {
+    fn default() -> BenchArgs {
+        BenchArgs {
+            quick: false,
+            out: PathBuf::from("BENCH.json"),
+            baseline: None,
+            max_regress: 20,
+        }
+    }
+}
+
 /// Parses an LLC organization name.
 #[must_use]
 pub fn parse_llc(s: &str) -> Option<LlcKind> {
@@ -145,6 +181,9 @@ pub fn parse_policy(s: &str) -> Option<PolicyKind> {
 pub fn parse(args: &[String]) -> Result<Command, String> {
     if args.first().map(String::as_str) == Some("sweep") {
         return parse_sweep(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("bench") {
+        return parse_bench(&args[1..]);
     }
     let mut run = RunArgs::default();
     let mut trace = None;
@@ -228,6 +267,35 @@ fn parse_sweep(args: &[String]) -> Result<Command, String> {
     Ok(Command::Sweep(sweep))
 }
 
+fn parse_bench(args: &[String]) -> Result<Command, String> {
+    let mut bench = BenchArgs::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--quick" => bench.quick = true,
+            "--out" => bench.out = PathBuf::from(value("--out")?),
+            "--baseline" => bench.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--max-regress" => {
+                let v: u32 = value("--max-regress")?
+                    .parse()
+                    .map_err(|e| format!("--max-regress: {e}"))?;
+                if v >= 100 {
+                    return Err("--max-regress must be below 100".into());
+                }
+                bench.max_regress = v;
+            }
+            "--help" | "-h" => return Ok(Command::Help),
+            other => return Err(format!("unknown bench flag '{other}' (try --help)")),
+        }
+    }
+    Ok(Command::Bench(bench))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,6 +368,38 @@ mod tests {
     }
 
     #[test]
+    fn bench_defaults() {
+        let cmd = parse(&argv("bench")).expect("parse");
+        assert_eq!(
+            cmd,
+            Command::Bench(BenchArgs {
+                quick: false,
+                out: PathBuf::from("BENCH.json"),
+                baseline: None,
+                max_regress: 20,
+            })
+        );
+    }
+
+    #[test]
+    fn bench_with_flags() {
+        let cmd = parse(&argv(
+            "bench --quick --out /tmp/b.json --baseline BENCH.json --max-regress 35",
+        ))
+        .expect("parse");
+        assert_eq!(
+            cmd,
+            Command::Bench(BenchArgs {
+                quick: true,
+                out: PathBuf::from("/tmp/b.json"),
+                baseline: Some(PathBuf::from("BENCH.json")),
+                max_regress: 35,
+            })
+        );
+        assert_eq!(parse(&argv("bench --help")).unwrap(), Command::Help);
+    }
+
+    #[test]
     fn errors_are_reported() {
         assert!(parse(&argv("")).is_err());
         assert!(parse(&argv("--bogus")).is_err());
@@ -310,5 +410,9 @@ mod tests {
         assert!(parse(&argv("sweep --jobs many")).is_err());
         assert!(parse(&argv("sweep --journal")).is_err());
         assert!(parse(&argv("sweep --trace t")).is_err());
+        assert!(parse(&argv("bench --out")).is_err());
+        assert!(parse(&argv("bench --max-regress 150")).is_err());
+        assert!(parse(&argv("bench --max-regress some")).is_err());
+        assert!(parse(&argv("bench --trace t")).is_err());
     }
 }

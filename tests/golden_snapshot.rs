@@ -1,0 +1,130 @@
+//! Golden end-to-end snapshots: every counter the simulator emits, for the
+//! paper-guarantee sample traces under the three headline organizations,
+//! pinned byte-for-byte against committed JSON files.
+//!
+//! Any change to the kernels, the cache organizations, or the timing model
+//! that shifts a single counter fails here — the size-cache memoization and
+//! the word-wise kernel rewrites must be behaviorally invisible.
+//!
+//! Regenerate after an *intentional* behavior change with:
+//!
+//! ```text
+//! BV_UPDATE_GOLDENS=1 cargo test --test golden_snapshot
+//! ```
+
+use base_victim::runner::json::ObjWriter;
+use base_victim::{LlcKind, RunResult, SimConfig, System, TraceRegistry};
+use std::path::PathBuf;
+
+const WARMUP: u64 = 150_000;
+const INSTS: u64 = 150_000;
+
+/// Same cross-section as `paper_guarantees.rs`.
+const TRACES: [&str; 7] = [
+    "specfp.cactusadm.00",
+    "specfp.gemsfdtd.14",
+    "specint.mcf.07",
+    "specint.xalancbmk.16",
+    "productivity.sysmark.00",
+    "client.octane.00",
+    "client.speech.13",
+];
+
+const LLCS: [LlcKind; 3] = [LlcKind::Uncompressed, LlcKind::BaseVictim, LlcKind::TwoTag];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("goldens")
+}
+
+/// Every integer counter in a [`RunResult`], as one stable JSON object.
+/// Floats (IPC, ratios) are derived from these and deliberately excluded.
+fn snapshot(run: &RunResult) -> String {
+    let mut w = ObjWriter::new();
+    w.str("llc_name", run.llc_name)
+        .u64("instructions", run.instructions)
+        .u64("cycles", run.cycles)
+        .u64("base_hits", run.llc.base_hits)
+        .u64("victim_hits", run.llc.victim_hits)
+        .u64("read_misses", run.llc.read_misses)
+        .u64("writeback_hits", run.llc.writeback_hits)
+        .u64("writeback_misses", run.llc.writeback_misses)
+        .u64("prefetch_fills", run.llc.prefetch_fills)
+        .u64("prefetch_hits", run.llc.prefetch_hits)
+        .u64("demand_fills", run.llc.demand_fills)
+        .u64("memory_writes", run.llc.memory_writes)
+        .u64("back_invalidations", run.llc.back_invalidations)
+        .u64("migrations", run.llc.migrations)
+        .u64("partner_evictions", run.llc.partner_evictions)
+        .u64("victim_inserts", run.llc.victim_inserts)
+        .u64("victim_insert_failures", run.llc.victim_insert_failures)
+        .u64("dram_reads", run.dram.reads)
+        .u64("dram_writes", run.dram.writes)
+        .u64("dram_row_hits", run.dram.row_hits)
+        .u64("dram_row_misses", run.dram.row_misses)
+        .u64_array("level_hits", &run.level_hits)
+        .u64_array("compression_histogram", &run.compression.histogram());
+    w.finish()
+}
+
+#[test]
+fn end_to_end_counters_match_committed_goldens() {
+    let update = std::env::var_os("BV_UPDATE_GOLDENS").is_some();
+    let registry = TraceRegistry::paper_default();
+    let dir = golden_dir();
+    let mut failures = Vec::new();
+    for trace_name in TRACES {
+        let trace = registry.get(trace_name).expect("sample trace in registry");
+        for kind in LLCS {
+            let run = System::new(SimConfig::single_thread(kind)).run_with_warmup(
+                &trace.workload,
+                WARMUP,
+                INSTS,
+            );
+            let got = snapshot(&run);
+            let path = dir.join(format!("{}.{}.json", trace_name, kind.name()));
+            if update {
+                std::fs::create_dir_all(&dir).expect("create goldens dir");
+                std::fs::write(&path, format!("{got}\n")).expect("write golden");
+                continue;
+            }
+            let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!(
+                    "missing golden {} ({e}); regenerate with BV_UPDATE_GOLDENS=1",
+                    path.display()
+                )
+            });
+            if want.trim_end() != got {
+                failures.push(format!(
+                    "{trace_name} / {}:\n  golden : {}\n  current: {got}",
+                    kind.name(),
+                    want.trim_end()
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} snapshot(s) diverged from committed goldens \
+         (BV_UPDATE_GOLDENS=1 to regenerate after an intentional change):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// The snapshot function itself must be stable: identical runs serialize
+/// to identical bytes (no map iteration order, no float formatting drift).
+#[test]
+fn snapshot_is_deterministic() {
+    let registry = TraceRegistry::paper_default();
+    let trace = registry.get("specint.mcf.07").expect("trace in registry");
+    let run = || {
+        System::new(SimConfig::single_thread(LlcKind::BaseVictim)).run_with_warmup(
+            &trace.workload,
+            50_000,
+            50_000,
+        )
+    };
+    assert_eq!(snapshot(&run()), snapshot(&run()));
+}
