@@ -21,6 +21,9 @@ if [[ "${1:-}" == "--quick" ]]; then
     exit 0
 fi
 
+echo "== cargo doc (no deps, warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== cargo build --release =="
 cargo build --release
 

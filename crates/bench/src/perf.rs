@@ -22,8 +22,16 @@ use bv_runner::json::{self, ObjWriter, Value};
 use bv_sim::{LlcKind, SimConfig, System};
 use bv_trace::{DataProfile, TraceRegistry};
 
-/// Schema marker written into every report; readers reject other values.
-pub const SCHEMA: &str = "bvsim-bench-v1";
+/// Schema marker written into every report.
+///
+/// v2 extends the end-to-end suite from three organizations to all five
+/// (adding VSC and DCC); the row format itself is unchanged, so the
+/// reader also accepts [`SCHEMA_V1`] files.
+pub const SCHEMA: &str = "bvsim-bench-v2";
+
+/// The previous schema marker, still accepted by [`BenchReport::from_json`]
+/// (identical row format; shorter end-to-end suite).
+pub const SCHEMA_V1: &str = "bvsim-bench-v1";
 
 /// Implementation label for the fast word-wise kernels.
 pub const IMPL_OPTIMIZED: &str = "optimized";
@@ -208,7 +216,18 @@ pub fn run_kernel_suite(cfg: &BenchConfig) -> Vec<KernelBench> {
 /// registry workload).
 pub const END_TO_END_TRACE: &str = "specint.mcf.07";
 
-/// Runs the end-to-end suite: sim insts/s for the main organizations.
+/// The organizations the end-to-end suite times: every LLC built on the
+/// shared set-engine layer, so a throughput regression in any of the five
+/// paper organizations trips the CI gate.
+pub const END_TO_END_LLCS: [LlcKind; 5] = [
+    LlcKind::Uncompressed,
+    LlcKind::BaseVictim,
+    LlcKind::TwoTag,
+    LlcKind::Vsc,
+    LlcKind::Dcc,
+];
+
+/// Runs the end-to-end suite: sim insts/s for [`END_TO_END_LLCS`].
 ///
 /// # Panics
 ///
@@ -219,7 +238,7 @@ pub fn run_end_to_end_suite(cfg: &BenchConfig) -> Vec<EndToEndBench> {
     let trace = registry
         .get(END_TO_END_TRACE)
         .expect("end-to-end bench trace in registry");
-    [LlcKind::Uncompressed, LlcKind::BaseVictim, LlcKind::TwoTag]
+    END_TO_END_LLCS
         .iter()
         .map(|&kind| {
             let mut llc_name = "";
@@ -318,8 +337,10 @@ impl BenchReport {
             .get("schema")
             .and_then(Value::as_str)
             .ok_or("missing schema field")?;
-        if schema != SCHEMA {
-            return Err(format!("unsupported schema '{schema}' (want '{SCHEMA}')"));
+        if schema != SCHEMA && schema != SCHEMA_V1 {
+            return Err(format!(
+                "unsupported schema '{schema}' (want '{SCHEMA}' or '{SCHEMA_V1}')"
+            ));
         }
         let kernels = v
             .get("kernels")
@@ -466,6 +487,15 @@ mod tests {
         assert!(BenchReport::from_json(&text).is_err());
         assert!(BenchReport::from_json("{}").is_err());
         assert!(BenchReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn from_json_accepts_v1_reports() {
+        // A committed v1 baseline (three end-to-end rows) must stay
+        // readable after the v2 schema bump.
+        let text = sample_report().to_json().replace(SCHEMA, SCHEMA_V1);
+        let report = BenchReport::from_json(&text).expect("v1 parse");
+        assert_eq!(report, sample_report());
     }
 
     #[test]

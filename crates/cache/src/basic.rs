@@ -3,7 +3,7 @@
 
 use crate::addr::LineAddr;
 use crate::geometry::CacheGeometry;
-use crate::replacement::{PolicyKind, ReplacementPolicy};
+use crate::replacement::{Policy, PolicyKind, ReplacementPolicy};
 use crate::stats::CacheStats;
 use bv_compress::CacheLine;
 
@@ -63,7 +63,7 @@ impl Entry {
 pub struct BasicCache {
     geom: CacheGeometry,
     entries: Vec<Entry>, // sets x ways, row-major
-    policy: Box<dyn ReplacementPolicy>,
+    policy: Policy,
     stats: CacheStats,
 }
 
@@ -76,7 +76,7 @@ impl BasicCache {
         BasicCache {
             geom,
             entries: vec![Entry::empty(); sets * ways],
-            policy: policy.build(sets, ways),
+            policy: policy.instantiate(sets, ways),
             stats: CacheStats::default(),
         }
     }

@@ -1,0 +1,370 @@
+//! The set-engine: one tag/replacement core under every LLC organization.
+//!
+//! Each organization in `bv-core` (uncompressed, two-tag, Base-Victim,
+//! VSC, DCC) used to re-implement the same plumbing privately: a flat
+//! `sets x ways` slot array, the tag walk, the install-way choice
+//! (first invalid way, else the policy's victim), replacement-policy
+//! bookkeeping, and the [`LlcStats`] counters. [`SetEngine`] centralizes
+//! that substrate so each organization file keeps only its paper-specific
+//! delta — victim-cache partnering, partner-line victimization, segment
+//! accounting, or super-block grouping.
+//!
+//! The engine is generic over the concrete [`ReplacementPolicy`], so the
+//! per-access hot path is monomorphized: organizations instantiated through
+//! [`PolicyKind::dispatch`](crate::replacement::PolicyVisitor) carry zero
+//! dynamic dispatch, and the default [`Policy`](crate::replacement::Policy)
+//! parameter reduces a runtime-selected policy to one enum branch.
+//!
+//! What the engine deliberately does *not* do is map addresses to sets:
+//! most organizations index sets by geometry bit-extraction, but DCC
+//! indexes by `super_block % sets`. Callers therefore speak (set, tag)
+//! and (set, way), and keep address reconstruction to themselves.
+//!
+//! # Examples
+//!
+//! ```
+//! use bv_cache::engine::{SetEngine, SlotMeta};
+//! use bv_cache::PolicyKind;
+//!
+//! #[derive(Clone, Copy)]
+//! struct Plain;
+//! impl SlotMeta for Plain {
+//!     fn empty() -> Plain {
+//!         Plain
+//!     }
+//! }
+//!
+//! let mut engine: SetEngine<_, Plain> = SetEngine::new(16, 4, PolicyKind::Lru.instantiate(16, 4));
+//! let way = engine.fill_way(3);
+//! engine.install(3, way, 0x7, Plain, bv_compress::SegmentCount::FULL);
+//! assert_eq!(engine.find(3, 0x7), Some(way));
+//! ```
+
+use crate::replacement::ReplacementPolicy;
+use crate::stats::{Effects, LlcStats};
+use bv_compress::SegmentCount;
+
+/// Per-slot payload stored next to the tag: whatever one organization
+/// needs per logical line (dirty bit, data, compressed size, sub-block
+/// map, ...).
+pub trait SlotMeta {
+    /// The payload of an empty (invalid) slot.
+    fn empty() -> Self;
+}
+
+/// One logical tag-array entry: validity and tag owned by the engine,
+/// payload owned by the organization.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineSlot<S> {
+    /// Whether this slot holds a line.
+    pub valid: bool,
+    /// The line's tag (meaning is organization-specific: line tag for
+    /// most, super-block tag for DCC).
+    pub tag: u64,
+    /// Organization-specific payload.
+    pub meta: S,
+}
+
+impl<S: SlotMeta> EngineSlot<S> {
+    fn empty() -> EngineSlot<S> {
+        EngineSlot {
+            valid: false,
+            tag: 0,
+            meta: S::empty(),
+        }
+    }
+
+    /// Resets the slot to the empty state.
+    pub fn clear(&mut self) {
+        *self = EngineSlot::empty();
+    }
+}
+
+/// The shared tag/replacement core: a `sets x ways` slot array, the
+/// replacement policy driving it, and the [`LlcStats`] counters every
+/// organization reports.
+///
+/// `ways` is the number of *logical* slots per set — physical ways for
+/// the uncompressed baseline and Base-Victim's baseline array, `2N` for
+/// the doubled-tag organizations (two-tag, VSC, DCC).
+#[derive(Clone, Debug)]
+pub struct SetEngine<P, S> {
+    sets: usize,
+    ways: usize,
+    slots: Vec<EngineSlot<S>>,
+    policy: P,
+    stats: LlcStats,
+}
+
+impl<P: ReplacementPolicy, S: SlotMeta> SetEngine<P, S>
+where
+    EngineSlot<S>: Clone,
+{
+    /// Creates an empty engine over a `sets x ways` logical tag array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy was built for different dimensions.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize, policy: P) -> SetEngine<P, S> {
+        assert_eq!(policy.sets(), sets, "policy built for wrong set count");
+        assert_eq!(policy.ways(), ways, "policy built for wrong way count");
+        SetEngine {
+            sets,
+            ways,
+            slots: vec![EngineSlot::empty(); sets * ways],
+            policy,
+            stats: LlcStats::default(),
+        }
+    }
+}
+
+impl<P: ReplacementPolicy, S> SetEngine<P, S> {
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Number of logical slots per set.
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// The slot at `(set, way)`.
+    #[must_use]
+    pub fn slot(&self, set: usize, way: usize) -> &EngineSlot<S> {
+        &self.slots[set * self.ways + way]
+    }
+
+    /// Mutable access to the slot at `(set, way)`.
+    ///
+    /// Mutating validity or tags directly is the organization's
+    /// responsibility to pair with the matching policy callback; prefer
+    /// [`install`](SetEngine::install) / [`invalidate`](SetEngine::invalidate).
+    pub fn slot_mut(&mut self, set: usize, way: usize) -> &mut EngineSlot<S> {
+        &mut self.slots[set * self.ways + way]
+    }
+
+    /// The way holding `tag` in `set`, if resident.
+    #[must_use]
+    pub fn find(&self, set: usize, tag: u64) -> Option<usize> {
+        let base = set * self.ways;
+        self.slots[base..base + self.ways]
+            .iter()
+            .position(|s| s.valid && s.tag == tag)
+    }
+
+    /// The first invalid way in `set`, if any.
+    #[must_use]
+    pub fn first_invalid(&self, set: usize) -> Option<usize> {
+        let base = set * self.ways;
+        self.slots[base..base + self.ways]
+            .iter()
+            .position(|s| !s.valid)
+    }
+
+    /// The way a new line should go to: the first invalid way, else the
+    /// policy's victim. This is the install order every organization
+    /// shares; the caller evicts the occupant if the returned way is
+    /// still valid.
+    pub fn fill_way(&mut self, set: usize) -> usize {
+        self.first_invalid(set)
+            .unwrap_or_else(|| self.policy.victim(set))
+    }
+
+    /// Writes a line into `(set, way)` and records the fill with the
+    /// policy, passing `size` through to size-aware policies.
+    ///
+    /// Does *not* notify the policy about any occupant being replaced —
+    /// overwriting a valid slot is a silent replacement (the uncompressed
+    /// and Base-Victim baseline behavior). Organizations that must free a
+    /// slot explicitly call [`invalidate`](SetEngine::invalidate) first.
+    pub fn install(&mut self, set: usize, way: usize, tag: u64, meta: S, size: SegmentCount) {
+        let slot = &mut self.slots[set * self.ways + way];
+        slot.valid = true;
+        slot.tag = tag;
+        slot.meta = meta;
+        self.policy.on_fill_sized(set, way, size);
+    }
+
+    /// Records a demand hit on `(set, way)`: touches the policy and
+    /// counts a baseline hit.
+    pub fn demand_hit(&mut self, set: usize, way: usize) {
+        self.policy.on_hit(set, way);
+        self.stats.base_hits += 1;
+    }
+
+    /// Records a demand miss on `set`: trains set-dueling policies and
+    /// counts the miss.
+    pub fn demand_miss(&mut self, set: usize) {
+        self.policy.on_miss(set);
+        self.stats.read_misses += 1;
+    }
+
+    /// Touches the policy for a hit without counting statistics (prefetch
+    /// probes and other non-demand touches).
+    pub fn touch(&mut self, set: usize, way: usize) {
+        self.policy.on_hit(set, way);
+    }
+
+    /// Chooses the policy's victim way in a full `set`.
+    pub fn victim(&mut self, set: usize) -> usize {
+        self.policy.victim(set)
+    }
+
+    /// Empties `(set, way)` and notifies the policy.
+    pub fn invalidate(&mut self, set: usize, way: usize)
+    where
+        S: SlotMeta,
+    {
+        self.slots[set * self.ways + way].clear();
+        self.policy.on_invalidate(set, way);
+    }
+
+    /// Forwards a downgrade hint to the policy.
+    pub fn hint_downgrade(&mut self, set: usize, way: usize) {
+        self.policy.hint_downgrade(set, way);
+    }
+
+    /// The policy's eviction-age rank for `(set, way)`.
+    #[must_use]
+    pub fn eviction_rank(&self, set: usize, way: usize) -> u64 {
+        self.policy.eviction_rank(set, way)
+    }
+
+    /// Whether `(set, way)` is an eviction candidate under the policy.
+    #[must_use]
+    pub fn is_eviction_candidate(&self, set: usize, way: usize) -> bool {
+        self.policy.is_eviction_candidate(set, way)
+    }
+
+    /// All valid slots as `(set, way, slot)` triples, for resident-line
+    /// listings and invariant checks.
+    pub fn iter_valid(&self) -> impl Iterator<Item = (usize, usize, &EngineSlot<S>)> {
+        let ways = self.ways;
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.valid)
+            .map(move |(i, s)| (i / ways, i % ways, s))
+    }
+
+    /// Accumulated counters.
+    #[must_use]
+    pub fn stats(&self) -> &LlcStats {
+        &self.stats
+    }
+
+    /// Mutable counters, for organization-specific events (victim hits,
+    /// writeback accounting, fill counts).
+    pub fn stats_mut(&mut self) -> &mut LlcStats {
+        &mut self.stats
+    }
+
+    /// Folds one operation's side effects into the lifetime counters.
+    pub fn absorb(&mut self, effects: Effects) {
+        self.stats.absorb_effects(effects);
+    }
+
+    /// Read access to the policy, for organization-specific victim scans.
+    #[must_use]
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Mutable access to the policy, for organization-specific sequences
+    /// the engine has no verb for.
+    pub fn policy_mut(&mut self) -> &mut P {
+        &mut self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replacement::PolicyKind;
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    struct Tagged(u32);
+
+    impl SlotMeta for Tagged {
+        fn empty() -> Tagged {
+            Tagged(0)
+        }
+    }
+
+    fn engine() -> SetEngine<crate::replacement::Policy, Tagged> {
+        SetEngine::new(4, 2, PolicyKind::Lru.instantiate(4, 2))
+    }
+
+    #[test]
+    fn fill_way_prefers_invalid_then_policy_victim() {
+        let mut e = engine();
+        assert_eq!(e.fill_way(0), 0);
+        e.install(0, 0, 10, Tagged(1), SegmentCount::FULL);
+        assert_eq!(e.fill_way(0), 1);
+        e.install(0, 1, 11, Tagged(2), SegmentCount::FULL);
+        // Set full: LRU victim is way 0 (filled first, never touched).
+        assert_eq!(e.fill_way(0), 0);
+    }
+
+    #[test]
+    fn find_matches_only_valid_tags() {
+        let mut e = engine();
+        assert_eq!(e.find(2, 7), None);
+        e.install(2, 0, 7, Tagged(9), SegmentCount::FULL);
+        assert_eq!(e.find(2, 7), Some(0));
+        e.invalidate(2, 0);
+        assert_eq!(e.find(2, 7), None);
+    }
+
+    #[test]
+    fn demand_hits_and_misses_update_stats() {
+        let mut e = engine();
+        e.install(1, 0, 3, Tagged(0), SegmentCount::FULL);
+        e.demand_hit(1, 0);
+        e.demand_miss(1);
+        assert_eq!(e.stats().base_hits, 1);
+        assert_eq!(e.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn demand_hit_protects_the_line_from_eviction() {
+        let mut e = engine();
+        e.install(0, 0, 1, Tagged(0), SegmentCount::FULL);
+        e.install(0, 1, 2, Tagged(0), SegmentCount::FULL);
+        e.demand_hit(0, 0); // way 0 becomes MRU; way 1 is now the victim
+        assert_eq!(e.fill_way(0), 1);
+    }
+
+    #[test]
+    fn iter_valid_reports_set_and_way() {
+        let mut e = engine();
+        e.install(3, 1, 42, Tagged(5), SegmentCount::FULL);
+        let all: Vec<_> = e
+            .iter_valid()
+            .map(|(s, w, slot)| (s, w, slot.tag))
+            .collect();
+        assert_eq!(all, vec![(3, 1, 42)]);
+    }
+
+    #[test]
+    fn absorb_folds_effects_into_stats() {
+        let mut e = engine();
+        e.absorb(Effects {
+            memory_writes: 2,
+            back_invalidations: 1,
+            ..Effects::default()
+        });
+        assert_eq!(e.stats().memory_writes, 2);
+        assert_eq!(e.stats().back_invalidations, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong set count")]
+    fn dimension_mismatch_is_rejected() {
+        let _: SetEngine<_, Tagged> = SetEngine::new(8, 2, PolicyKind::Lru.instantiate(4, 2));
+    }
+}

@@ -31,6 +31,7 @@
 
 mod addr;
 mod basic;
+pub mod engine;
 mod geometry;
 pub mod replacement;
 mod stats;
@@ -38,5 +39,5 @@ mod stats;
 pub use addr::LineAddr;
 pub use basic::{BasicCache, Eviction};
 pub use geometry::CacheGeometry;
-pub use replacement::{PolicyKind, ReplacementPolicy};
-pub use stats::CacheStats;
+pub use replacement::{Policy, PolicyKind, PolicyVisitor, ReplacementPolicy};
+pub use stats::{CacheStats, Effects, LlcStats};

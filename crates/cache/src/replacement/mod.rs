@@ -140,7 +140,7 @@ impl PolicyKind {
             PolicyKind::Srrip => Box::new(Srrip::new(sets, ways)),
             PolicyKind::CharLite => Box::new(CharLite::new(sets, ways)),
             PolicyKind::CampLite => Box::new(CampLite::new(sets, ways)),
-            PolicyKind::Random => Box::new(Random::new(sets, ways, 0x9e37_79b9)),
+            PolicyKind::Random => Box::new(Random::new(sets, ways, RANDOM_SEED)),
         }
     }
 
@@ -163,6 +163,145 @@ impl fmt::Display for PolicyKind {
         f.write_str(self.name())
     }
 }
+
+/// Every concrete policy in one enum, dispatched by `match` instead of a
+/// vtable.
+///
+/// This is the default policy parameter of the cache organizations: call
+/// sites that select a policy at runtime (`PolicyKind` from a CLI flag)
+/// get static dispatch on the per-access hot path, with one branch on the
+/// enum discriminant instead of an indirect call. Code that knows the
+/// policy at compile time can instantiate the organizations directly with
+/// a concrete policy type and skip even that branch — see
+/// [`PolicyKind::dispatch`].
+#[derive(Debug, Clone)]
+pub enum Policy {
+    /// See [`Lru`].
+    Lru(Lru),
+    /// See [`Nru`].
+    Nru(Nru),
+    /// See [`Srrip`].
+    Srrip(Srrip),
+    /// See [`CharLite`].
+    CharLite(CharLite),
+    /// See [`CampLite`].
+    CampLite(CampLite),
+    /// See [`Random`].
+    Random(Random),
+}
+
+/// Forwards one method call to whichever concrete policy this enum holds.
+macro_rules! each_policy {
+    ($self:ident, $p:ident => $call:expr) => {
+        match $self {
+            Policy::Lru($p) => $call,
+            Policy::Nru($p) => $call,
+            Policy::Srrip($p) => $call,
+            Policy::CharLite($p) => $call,
+            Policy::CampLite($p) => $call,
+            Policy::Random($p) => $call,
+        }
+    };
+}
+
+impl ReplacementPolicy for Policy {
+    fn sets(&self) -> usize {
+        each_policy!(self, p => p.sets())
+    }
+
+    fn ways(&self) -> usize {
+        each_policy!(self, p => p.ways())
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize) {
+        each_policy!(self, p => p.on_fill(set, way));
+    }
+
+    fn on_fill_sized(&mut self, set: usize, way: usize, size: bv_compress::SegmentCount) {
+        each_policy!(self, p => p.on_fill_sized(set, way, size));
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize) {
+        each_policy!(self, p => p.on_hit(set, way));
+    }
+
+    fn victim(&mut self, set: usize) -> usize {
+        each_policy!(self, p => p.victim(set))
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        each_policy!(self, p => p.on_invalidate(set, way));
+    }
+
+    fn hint_downgrade(&mut self, set: usize, way: usize) {
+        each_policy!(self, p => p.hint_downgrade(set, way));
+    }
+
+    fn on_miss(&mut self, set: usize) {
+        each_policy!(self, p => p.on_miss(set));
+    }
+
+    fn eviction_rank(&self, set: usize, way: usize) -> u64 {
+        each_policy!(self, p => p.eviction_rank(set, way))
+    }
+
+    fn is_eviction_candidate(&self, set: usize, way: usize) -> bool {
+        each_policy!(self, p => p.is_eviction_candidate(set, way))
+    }
+}
+
+/// Monomorphic consumer of a policy chosen at runtime.
+///
+/// `PolicyKind` erases the concrete policy type; this visitor restores it.
+/// [`PolicyKind::dispatch`] constructs the concrete policy and hands it to
+/// [`visit`](PolicyVisitor::visit), which is instantiated once per policy
+/// type — so whatever the visitor builds (typically a cache organization)
+/// is fully monomorphized over the policy, with no boxing anywhere on its
+/// hot path.
+pub trait PolicyVisitor {
+    /// What the visitor produces (typically `Box<dyn LlcOrganization>` or
+    /// a benchmark result).
+    type Out;
+
+    /// Receives the concrete policy instance.
+    fn visit<P: ReplacementPolicy + 'static>(self, policy: P) -> Self::Out;
+}
+
+impl PolicyKind {
+    /// Builds the concrete policy for a `sets x ways` array and passes it
+    /// to `visitor` — the monomorphic twin of [`PolicyKind::build`].
+    pub fn dispatch<V: PolicyVisitor>(self, sets: usize, ways: usize, visitor: V) -> V::Out {
+        match self {
+            PolicyKind::Lru => visitor.visit(Lru::new(sets, ways)),
+            PolicyKind::Nru => visitor.visit(Nru::new(sets, ways)),
+            PolicyKind::Srrip => visitor.visit(Srrip::new(sets, ways)),
+            PolicyKind::CharLite => visitor.visit(CharLite::new(sets, ways)),
+            PolicyKind::CampLite => visitor.visit(CampLite::new(sets, ways)),
+            PolicyKind::Random => visitor.visit(Random::new(sets, ways, RANDOM_SEED)),
+        }
+    }
+
+    /// Builds the enum-dispatched [`Policy`] for a `sets x ways` array.
+    ///
+    /// Same construction as [`PolicyKind::build`] (identical seeds and
+    /// initial state) without the allocation or the vtable.
+    #[must_use]
+    pub fn instantiate(self, sets: usize, ways: usize) -> Policy {
+        match self {
+            PolicyKind::Lru => Policy::Lru(Lru::new(sets, ways)),
+            PolicyKind::Nru => Policy::Nru(Nru::new(sets, ways)),
+            PolicyKind::Srrip => Policy::Srrip(Srrip::new(sets, ways)),
+            PolicyKind::CharLite => Policy::CharLite(CharLite::new(sets, ways)),
+            PolicyKind::CampLite => Policy::CampLite(CampLite::new(sets, ways)),
+            PolicyKind::Random => Policy::Random(Random::new(sets, ways, RANDOM_SEED)),
+        }
+    }
+}
+
+/// Seed for [`PolicyKind::Random`] construction, shared by every
+/// construction path so `build`, `instantiate`, and `dispatch` produce
+/// identical victim streams.
+const RANDOM_SEED: u64 = 0x9e37_79b9;
 
 #[cfg(test)]
 mod tests {

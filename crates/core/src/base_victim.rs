@@ -11,11 +11,17 @@
 //! segments. Victim lines are always clean, so they can be dropped
 //! silently at any time: at most one memory writeback ever happens per
 //! fill.
+//!
+//! The Baseline cache is a stock [`SetEngine`]: tag walk, fill-way choice,
+//! and replacement bookkeeping are the shared substrate. Everything in
+//! this file is the paper-specific delta — the Victim cache partnering,
+//! clean-victim insertion policies, and promotion on victim hits.
 
-use crate::slot::Slot;
+use crate::slot::{line_addr, LineMeta, Slot};
 use crate::victim_policy::{VictimCandidate, VictimPolicyKind};
 use crate::{Effects, HitKind, InclusionAgent, LlcOrganization, LlcStats, OpOutcome, ReadOutcome};
-use bv_cache::{CacheGeometry, LineAddr, PolicyKind, ReplacementPolicy};
+use bv_cache::engine::SetEngine;
+use bv_cache::{CacheGeometry, LineAddr, Policy, PolicyKind, ReplacementPolicy};
 use bv_compress::{Bdi, CacheLine, CompressionStats, Compressor, SegmentCount, SEGMENTS_PER_LINE};
 
 /// Whether the LLC maintains inclusion with the core caches.
@@ -63,15 +69,15 @@ struct DisplacedLine {
 /// llc.fill(LineAddr::new(1), CacheLine::zeroed(), &mut inner);
 /// assert!(llc.read(LineAddr::new(1), &mut inner).is_hit());
 /// ```
-pub struct BaseVictimLlc {
+pub struct BaseVictimLlc<P: ReplacementPolicy = Policy> {
     geom: CacheGeometry,
-    base: Vec<Slot>,
+    /// The Baseline cache: one engine slot per physical way, driven by the
+    /// unmodified baseline replacement policy.
+    engine: SetEngine<P, LineMeta>,
     victim: Vec<Slot>,
     /// Insertion sequence numbers for victim slots (LruFit variant).
     victim_birth: Vec<u64>,
-    policy: Box<dyn ReplacementPolicy>,
     victim_kind: VictimPolicyKind,
-    stats: LlcStats,
     compression: CompressionStats,
     compressor: Box<dyn Compressor>,
     mode: InclusionMode,
@@ -79,14 +85,14 @@ pub struct BaseVictimLlc {
     rng: u64,
 }
 
-impl core::fmt::Debug for BaseVictimLlc {
+impl<P: ReplacementPolicy> core::fmt::Debug for BaseVictimLlc<P> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("BaseVictimLlc")
             .field("geom", &self.geom)
             .field("victim_kind", &self.victim_kind)
             .field("mode", &self.mode)
             .field("compressor", &self.compressor.name())
-            .field("stats", &self.stats)
+            .field("stats", self.engine.stats())
             .finish_non_exhaustive()
     }
 }
@@ -129,7 +135,7 @@ impl BaseVictimLlc {
 
     /// Creates a Base-Victim LLC with an explicit inclusion mode and
     /// compression algorithm (the paper uses BDI; FPC and C-Pack plug in
-    /// here for ablation studies).
+    /// here for ablation studies) and a runtime-selected policy.
     #[must_use]
     pub fn with_compressor(
         geom: CacheGeometry,
@@ -138,16 +144,30 @@ impl BaseVictimLlc {
         mode: InclusionMode,
         compressor: Box<dyn Compressor>,
     ) -> BaseVictimLlc {
+        let policy = policy.instantiate(geom.sets(), geom.ways());
+        BaseVictimLlc::with_policy(geom, policy, victim_kind, mode, compressor)
+    }
+}
+
+impl<P: ReplacementPolicy> BaseVictimLlc<P> {
+    /// Creates a Base-Victim LLC around a concrete baseline-policy
+    /// instance, monomorphizing the lookup/fill path over it.
+    #[must_use]
+    pub fn with_policy(
+        geom: CacheGeometry,
+        policy: P,
+        victim_kind: VictimPolicyKind,
+        mode: InclusionMode,
+        compressor: Box<dyn Compressor>,
+    ) -> BaseVictimLlc<P> {
         let sets = geom.sets();
         let ways = geom.ways();
         BaseVictimLlc {
             geom,
-            base: vec![Slot::empty(); sets * ways],
+            engine: SetEngine::new(sets, ways, policy),
             victim: vec![Slot::empty(); sets * ways],
             victim_birth: vec![0; sets * ways],
-            policy: policy.build(sets, ways),
             victim_kind,
-            stats: LlcStats::default(),
             compression: CompressionStats::default(),
             compressor,
             mode,
@@ -175,12 +195,7 @@ impl BaseVictimLlc {
     fn find_base(&self, addr: LineAddr) -> Option<(usize, usize)> {
         let set = self.geom.set_index(addr.get());
         let tag = self.geom.tag(addr.get());
-        (0..self.geom.ways())
-            .find(|&w| {
-                let s = &self.base[self.idx(set, w)];
-                s.valid && s.tag == tag
-            })
-            .map(|w| (set, w))
+        self.engine.find(set, tag).map(|w| (set, w))
     }
 
     fn find_victim(&self, addr: LineAddr) -> Option<(usize, usize)> {
@@ -210,6 +225,10 @@ impl BaseVictimLlc {
     /// insertion (Section IV.B). Non-inclusive mode: no back-invalidation,
     /// and the line keeps its dirty bit — it may park dirty in the Victim
     /// cache (Section IV.B.3).
+    ///
+    /// The slot is cleared *without* a policy callback: the baseline
+    /// policy only ever observes the fill that triggered the displacement,
+    /// exactly as it would in the uncompressed mirror.
     fn displace_base(
         &mut self,
         set: usize,
@@ -217,26 +236,25 @@ impl BaseVictimLlc {
         inner: &mut dyn InclusionAgent,
         effects: &mut Effects,
     ) -> Option<DisplacedLine> {
-        let i = self.idx(set, way);
-        if !self.base[i].valid {
+        let slot = *self.engine.slot(set, way);
+        if !slot.valid {
             return None;
         }
-        let slot = self.base[i];
-        let addr = slot.addr(&self.geom, set);
+        let addr = line_addr(&self.geom, set, slot.tag);
         if self.mode == InclusionMode::NonInclusive {
-            self.base[i].clear();
+            self.engine.slot_mut(set, way).clear();
             return Some(DisplacedLine {
                 tag: slot.tag,
-                data: slot.data,
-                size: slot.size,
-                dirty: slot.dirty,
+                data: slot.meta.data,
+                size: slot.meta.size,
+                dirty: slot.meta.dirty,
             });
         }
         effects.back_invalidations += 1;
         let inner_dirty = inner.back_invalidate(addr);
         let (data, dirty) = match inner_dirty {
             Some(fresh) => (fresh, true),
-            None => (slot.data, slot.dirty),
+            None => (slot.meta.data, slot.meta.dirty),
         };
         if dirty {
             effects.memory_writes += 1;
@@ -244,9 +262,9 @@ impl BaseVictimLlc {
         let size = if inner_dirty.is_some() {
             self.compressor.compressed_size(&data)
         } else {
-            slot.size
+            slot.meta.size
         };
-        self.base[i].clear();
+        self.engine.slot_mut(set, way).clear();
         Some(DisplacedLine {
             tag: slot.tag,
             data,
@@ -262,9 +280,9 @@ impl BaseVictimLlc {
         let ways = self.geom.ways();
         let mut candidates = Vec::with_capacity(ways);
         for w in 0..ways {
-            let base = &self.base[self.idx(set, w)];
+            let base = self.engine.slot(set, w);
             let used = if base.valid {
-                base.size.get() as usize
+                base.meta.size.get() as usize
             } else {
                 0
             };
@@ -273,7 +291,7 @@ impl BaseVictimLlc {
                 candidates.push(VictimCandidate {
                     way: w,
                     base_size: if base.valid {
-                        base.size
+                        base.meta.size
                     } else {
                         SegmentCount::MIN
                     },
@@ -306,7 +324,7 @@ impl BaseVictimLlc {
                 self.clock += 1;
                 self.victim_birth[i] = self.clock;
                 effects.migrations += 1;
-                self.stats.victim_inserts += 1;
+                self.engine.stats_mut().victim_inserts += 1;
             }
             None => {
                 // No fitting way: the line leaves the LLC entirely. In
@@ -316,7 +334,7 @@ impl BaseVictimLlc {
                     debug_assert_eq!(self.mode, InclusionMode::NonInclusive);
                     effects.memory_writes += 1;
                 }
-                self.stats.victim_insert_failures += 1;
+                self.engine.stats_mut().victim_insert_failures += 1;
             }
         }
     }
@@ -358,28 +376,18 @@ impl BaseVictimLlc {
         inner: &mut dyn InclusionAgent,
         effects: &mut Effects,
     ) {
-        let ways = self.geom.ways();
-        let way = (0..ways)
-            .find(|&w| !self.base[self.idx(set, w)].valid)
-            .unwrap_or_else(|| self.policy.victim(set));
+        let way = self.engine.fill_way(set);
 
         let displaced = self.displace_base(set, way, inner, effects);
 
         // Keep the victim partner only if it fits with the incoming line.
         self.enforce_pairing(set, way, size, effects);
 
-        let i = self.idx(set, way);
-        self.base[i] = Slot {
-            valid: true,
-            tag,
-            dirty,
-            data,
-            size,
-        };
         // Size-aware policies (CAMP) receive the compressed size; others
         // ignore it. The uncompressed mirror passes identical sizes, so
         // the mirror property is preserved.
-        self.policy.on_fill_sized(set, way, size);
+        self.engine
+            .install(set, way, tag, LineMeta { dirty, data, size }, size);
 
         if let Some(line) = displaced {
             self.insert_victim(set, line, effects);
@@ -398,7 +406,7 @@ impl BaseVictimLlc {
         let ways = self.geom.ways();
         for set in 0..self.geom.sets() {
             for w in 0..ways {
-                let b = &self.base[self.idx(set, w)];
+                let b = self.engine.slot(set, w);
                 let v = &self.victim[self.idx(set, w)];
                 if self.mode == InclusionMode::Inclusive {
                     assert!(
@@ -408,9 +416,9 @@ impl BaseVictimLlc {
                 }
                 if b.valid && v.valid {
                     assert!(
-                        b.size.fits_with(v.size),
+                        b.meta.size.fits_with(v.size),
                         "pair overflow in set {set} way {w}: {} + {}",
-                        b.size,
+                        b.meta.size,
                         v.size
                     );
                 }
@@ -418,15 +426,23 @@ impl BaseVictimLlc {
             // No address may be resident twice within a set.
             let mut tags: Vec<u64> = Vec::new();
             for w in 0..ways {
-                for s in [&self.base[self.idx(set, w)], &self.victim[self.idx(set, w)]] {
-                    if s.valid {
-                        assert!(
-                            !tags.contains(&s.tag),
-                            "tag {:#x} duplicated in set {set}",
-                            s.tag
-                        );
-                        tags.push(s.tag);
-                    }
+                let b = self.engine.slot(set, w);
+                if b.valid {
+                    assert!(
+                        !tags.contains(&b.tag),
+                        "tag {:#x} duplicated in set {set}",
+                        b.tag
+                    );
+                    tags.push(b.tag);
+                }
+                let v = &self.victim[self.idx(set, w)];
+                if v.valid {
+                    assert!(
+                        !tags.contains(&v.tag),
+                        "tag {:#x} duplicated in set {set}",
+                        v.tag
+                    );
+                    tags.push(v.tag);
                 }
             }
         }
@@ -438,12 +454,9 @@ impl BaseVictimLlc {
     /// access stream.
     #[must_use]
     pub fn baseline_lines(&self) -> Vec<LineAddr> {
-        let ways = self.geom.ways();
-        self.base
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.valid)
-            .map(|(i, s)| s.addr(&self.geom, i / ways))
+        self.engine
+            .iter_valid()
+            .map(|(set, _, s)| line_addr(&self.geom, set, s.tag))
             .collect()
     }
 
@@ -455,12 +468,12 @@ impl BaseVictimLlc {
             .iter()
             .enumerate()
             .filter(|(_, s)| s.valid)
-            .map(|(i, s)| s.addr(&self.geom, i / ways))
+            .map(|(i, s)| line_addr(&self.geom, i / ways, s.tag))
             .collect()
     }
 }
 
-impl LlcOrganization for BaseVictimLlc {
+impl<P: ReplacementPolicy> LlcOrganization for BaseVictimLlc<P> {
     fn name(&self) -> &'static str {
         "base-victim"
     }
@@ -477,9 +490,8 @@ impl LlcOrganization for BaseVictimLlc {
         let mut effects = Effects::default();
 
         if let Some((set, way)) = self.find_base(addr) {
-            self.policy.on_hit(set, way);
-            self.stats.base_hits += 1;
-            let size = self.base[self.idx(set, way)].size;
+            let size = self.engine.slot(set, way).meta.size;
+            self.engine.demand_hit(set, way);
             return ReadOutcome {
                 kind: HitKind::Base(size),
                 effects,
@@ -489,8 +501,8 @@ impl LlcOrganization for BaseVictimLlc {
         if let Some((set, vway)) = self.find_victim(addr) {
             // Victim hit (Section IV.B.2): promote to the Baseline cache.
             // The Baseline policy sees exactly what the uncompressed cache
-            // would: a miss, then a fill.
-            self.policy.on_miss(set);
+            // would: a miss, then a fill — but no read-miss is counted.
+            self.engine.policy_mut().on_miss(set);
             let i = self.idx(set, vway);
             let promoted = self.victim[i];
             debug_assert!(
@@ -510,8 +522,8 @@ impl LlcOrganization for BaseVictimLlc {
                 &mut effects,
             );
 
-            self.stats.victim_hits += 1;
-            self.stats.absorb_effects(effects);
+            self.engine.stats_mut().victim_hits += 1;
+            self.engine.absorb(effects);
             return ReadOutcome {
                 kind: HitKind::Victim(promoted.size),
                 effects,
@@ -519,8 +531,7 @@ impl LlcOrganization for BaseVictimLlc {
         }
 
         let set = self.geom.set_index(addr.get());
-        self.policy.on_miss(set);
-        self.stats.read_misses += 1;
+        self.engine.demand_miss(set);
         ReadOutcome {
             kind: HitKind::Miss,
             effects,
@@ -542,19 +553,20 @@ impl LlcOrganization for BaseVictimLlc {
             // reuses the size cached in the tag slot — the compressed size is
             // a pure function of the data, so it only needs recomputing on an
             // actual data write.
-            let i = self.idx(set, way);
-            let new_size = if self.base[i].data == data {
-                self.base[i].size
+            let slot = self.engine.slot(set, way);
+            let new_size = if slot.meta.data == data {
+                slot.meta.size
             } else {
                 self.compressor.compressed_size(&data)
             };
             self.compression.record(new_size);
-            self.base[i].data = data;
-            self.base[i].dirty = true;
-            self.base[i].size = new_size;
+            let meta = &mut self.engine.slot_mut(set, way).meta;
+            meta.data = data;
+            meta.dirty = true;
+            meta.size = new_size;
             self.enforce_pairing(set, way, new_size, &mut effects);
-            self.stats.writeback_hits += 1;
-            self.stats.absorb_effects(effects);
+            self.engine.stats_mut().writeback_hits += 1;
+            self.engine.absorb(effects);
             return OpOutcome { effects };
         }
         if let Some((set, vway)) = self.find_victim(addr) {
@@ -584,8 +596,8 @@ impl LlcOrganization for BaseVictimLlc {
                     };
                     self.compression.record(new_size);
                     self.install_base(set, promoted.tag, data, new_size, true, inner, &mut effects);
-                    self.stats.writeback_hits += 1;
-                    self.stats.absorb_effects(effects);
+                    self.engine.stats_mut().writeback_hits += 1;
+                    self.engine.absorb(effects);
                     return OpOutcome { effects };
                 }
             }
@@ -598,14 +610,14 @@ impl LlcOrganization for BaseVictimLlc {
             let size = self.compressor.compressed_size(&data);
             self.compression.record(size);
             self.install_base(set, tag, data, size, true, inner, &mut effects);
-            self.stats.writeback_hits += 1;
-            self.stats.absorb_effects(effects);
+            self.engine.stats_mut().writeback_hits += 1;
+            self.engine.absorb(effects);
             return OpOutcome { effects };
         }
         // Impossible under strict inclusion; forward to memory.
         debug_assert!(false, "L2 writeback to non-resident LLC line {addr:?}");
-        self.stats.writeback_misses += 1;
-        self.stats.memory_writes += 1;
+        self.engine.stats_mut().writeback_misses += 1;
+        self.engine.stats_mut().memory_writes += 1;
         OpOutcome {
             effects: Effects {
                 memory_writes: 1,
@@ -627,8 +639,8 @@ impl LlcOrganization for BaseVictimLlc {
         let size = self.compressor.compressed_size(&data);
         self.compression.record(size);
         self.install_base(set, tag, data, size, false, inner, &mut effects);
-        self.stats.demand_fills += 1;
-        self.stats.absorb_effects(effects);
+        self.engine.stats_mut().demand_fills += 1;
+        self.engine.absorb(effects);
         OpOutcome { effects }
     }
 
@@ -639,7 +651,7 @@ impl LlcOrganization for BaseVictimLlc {
         inner: &mut dyn InclusionAgent,
     ) -> Option<OpOutcome> {
         if self.find_base(addr).is_some() {
-            self.stats.prefetch_hits += 1;
+            self.engine.stats_mut().prefetch_hits += 1;
             return None;
         }
         if let Some((set, vway)) = self.find_victim(addr) {
@@ -662,8 +674,8 @@ impl LlcOrganization for BaseVictimLlc {
                 inner,
                 &mut effects,
             );
-            self.stats.prefetch_hits += 1;
-            self.stats.absorb_effects(effects);
+            self.engine.stats_mut().prefetch_hits += 1;
+            self.engine.absorb(effects);
             return Some(OpOutcome { effects });
         }
         let mut effects = Effects::default();
@@ -672,14 +684,14 @@ impl LlcOrganization for BaseVictimLlc {
         let size = self.compressor.compressed_size(&data);
         self.compression.record(size);
         self.install_base(set, tag, data, size, false, inner, &mut effects);
-        self.stats.prefetch_fills += 1;
-        self.stats.absorb_effects(effects);
+        self.engine.stats_mut().prefetch_fills += 1;
+        self.engine.absorb(effects);
         Some(OpOutcome { effects })
     }
 
     fn peek_data(&self, addr: LineAddr) -> Option<CacheLine> {
         if let Some((set, way)) = self.find_base(addr) {
-            return Some(self.base[self.idx(set, way)].data);
+            return Some(self.engine.slot(set, way).meta.data);
         }
         let (set, way) = self.find_victim(addr)?;
         Some(self.victim[self.idx(set, way)].data)
@@ -690,12 +702,12 @@ impl LlcOrganization for BaseVictimLlc {
         // uncompressed mirror would do. Victim-cache residency is never
         // hinted (victim lines are invisible to the baseline policy).
         if let Some((set, way)) = self.find_base(addr) {
-            self.policy.hint_downgrade(set, way);
+            self.engine.hint_downgrade(set, way);
         }
     }
 
     fn stats(&self) -> &LlcStats {
-        &self.stats
+        self.engine.stats()
     }
 
     fn compression_stats(&self) -> &CompressionStats {
@@ -721,6 +733,7 @@ impl LlcOrganization for BaseVictimLlc {
 mod tests {
     use super::*;
     use crate::NoInner;
+    use bv_testkit::fixtures;
 
     /// Builds a line whose BDI size is exactly `segments` (for the sizes
     /// BDI can produce: 1, 2, 5, 6, 7, 10, 11, 16).
@@ -759,8 +772,8 @@ mod tests {
     /// A 4-set, 4-way toy cache, as in the paper's worked examples.
     fn toy() -> BaseVictimLlc {
         BaseVictimLlc::new(
-            CacheGeometry::new(1024, 4, 64),
-            PolicyKind::Lru,
+            fixtures::toy_geometry(),
+            fixtures::toy_policy(),
             VictimPolicyKind::EcmLargestBase,
         )
     }
@@ -979,8 +992,8 @@ mod tests {
 
     fn toy_non_inclusive() -> BaseVictimLlc {
         BaseVictimLlc::new_non_inclusive(
-            CacheGeometry::new(1024, 4, 64),
-            PolicyKind::Lru,
+            fixtures::toy_geometry(),
+            fixtures::toy_policy(),
             VictimPolicyKind::EcmLargestBase,
         )
     }
@@ -1066,7 +1079,7 @@ mod tests {
     #[test]
     fn alternative_compressors_plug_in() {
         use bv_compress::{Fpc, ZeroOnly};
-        let geom = CacheGeometry::new(1024, 4, 64);
+        let geom = fixtures::toy_geometry();
         let mut inner = NoInner;
         for compressor in [
             Box::new(Fpc::new()) as Box<dyn Compressor>,
@@ -1074,7 +1087,7 @@ mod tests {
         ] {
             let mut c = BaseVictimLlc::with_compressor(
                 geom,
-                PolicyKind::Lru,
+                fixtures::toy_policy(),
                 VictimPolicyKind::EcmLargestBase,
                 InclusionMode::Inclusive,
                 compressor,
@@ -1099,5 +1112,30 @@ mod tests {
         assert_eq!(c.stats().migrations, 1); // one base->victim move
         c.read(addr(0, 0), &mut inner); // victim hit: promote + park
         assert_eq!(c.stats().migrations, 3);
+    }
+
+    #[test]
+    fn monomorphic_construction_matches_runtime_selection() {
+        let geom = fixtures::toy_geometry();
+        let mut by_kind = toy();
+        let mut by_type = BaseVictimLlc::with_policy(
+            geom,
+            bv_cache::replacement::Lru::new(geom.sets(), geom.ways()),
+            VictimPolicyKind::EcmLargestBase,
+            InclusionMode::Inclusive,
+            Box::new(Bdi::new()),
+        );
+        let mut inner = NoInner;
+        for i in 0..300 {
+            let a = addr(i % 4, (i * 7) % 9);
+            let hit_kind = by_kind.read(a, &mut inner).is_hit();
+            let hit_type = by_type.read(a, &mut inner).is_hit();
+            assert_eq!(hit_kind, hit_type);
+            if !hit_kind {
+                by_kind.fill(a, line_with_segments(5), &mut inner);
+                by_type.fill(a, line_with_segments(5), &mut inner);
+            }
+        }
+        assert_eq!(by_kind.stats(), by_type.stats());
     }
 }

@@ -17,7 +17,8 @@
 
 use crate::slot::Slot;
 use crate::{Effects, HitKind, InclusionAgent, LlcOrganization, LlcStats, OpOutcome, ReadOutcome};
-use bv_cache::{CacheGeometry, LineAddr, PolicyKind, ReplacementPolicy};
+use bv_cache::engine::{SetEngine, SlotMeta};
+use bv_cache::{CacheGeometry, LineAddr, Policy, PolicyKind, ReplacementPolicy};
 use bv_compress::{Bdi, CacheLine, CompressionStats, Compressor, SegmentCount};
 
 /// Lines per super-block (DCC uses 4).
@@ -27,29 +28,24 @@ const SUB_BLOCK_BYTES: usize = 16;
 /// Sub-blocks per uncompressed line.
 const SUB_BLOCKS_PER_LINE: usize = 64 / SUB_BLOCK_BYTES;
 
-/// One super-block tag: up to four co-resident neighbor lines.
-#[derive(Clone, Debug)]
-struct SuperBlock {
-    valid: bool,
-    /// Tag of the super-block (line address >> 2, minus index bits).
-    tag: u64,
-    /// The four member lines (index = line & 3).
+/// Payload of one super-block tag: up to four co-resident neighbor lines
+/// (index = line address & 3). Validity and the super-block tag live in
+/// the engine slot.
+#[derive(Clone, Copy, Debug)]
+struct SuperLines {
     lines: [Slot; SUPER_BLOCK_LINES],
 }
 
-impl SuperBlock {
-    fn empty() -> SuperBlock {
-        SuperBlock {
-            valid: false,
-            tag: 0,
+impl SlotMeta for SuperLines {
+    fn empty() -> SuperLines {
+        SuperLines {
             lines: [Slot::empty(), Slot::empty(), Slot::empty(), Slot::empty()],
         }
     }
+}
 
+impl SuperLines {
     fn sub_blocks_used(&self) -> usize {
-        if !self.valid {
-            return 0;
-        }
         self.lines
             .iter()
             .filter(|l| l.valid)
@@ -58,14 +54,16 @@ impl SuperBlock {
     }
 
     fn resident_lines(&self) -> usize {
-        if !self.valid {
-            return 0;
-        }
         self.lines.iter().filter(|l| l.valid).count()
     }
 }
 
 /// Functional DCC: super-block tags over a 16-byte sub-block pool.
+///
+/// The delta over the set engine is super-block grouping: an engine slot
+/// is a *super-block* tag covering four neighbor lines, sets are indexed
+/// by super-block address (`sb % sets`, not geometry bit-extraction), and
+/// capacity is accounted in 16 B sub-blocks against a per-set pool.
 ///
 /// # Examples
 ///
@@ -80,13 +78,11 @@ impl SuperBlock {
 /// assert!(dcc.contains(LineAddr::new(8)));
 /// ```
 #[derive(Debug)]
-pub struct DccLlc {
+pub struct DccLlc<P: ReplacementPolicy = Policy> {
     geom: CacheGeometry,
     /// `sets x 2*ways` super-block tags (DCC doubles tag reach like the
     /// other compressed organizations; each tag covers 4 lines).
-    blocks: Vec<SuperBlock>,
-    policy: Box<dyn ReplacementPolicy>,
-    stats: LlcStats,
+    engine: SetEngine<P, SuperLines>,
     compression: CompressionStats,
     bdi: Bdi,
     /// Evictions that removed more than one valid line (DCC's coarse
@@ -97,26 +93,30 @@ pub struct DccLlc {
 }
 
 impl DccLlc {
-    /// Creates an empty functional DCC over the given physical geometry.
+    /// Creates an empty functional DCC over the given physical geometry
+    /// with a runtime-selected policy.
     #[must_use]
     pub fn new(geom: CacheGeometry, policy: PolicyKind) -> DccLlc {
-        let sets = geom.sets();
+        let tags = geom.ways() * 2;
+        DccLlc::with_policy(geom, policy.instantiate(geom.sets(), tags))
+    }
+}
+
+impl<P: ReplacementPolicy> DccLlc<P> {
+    /// Creates an empty functional DCC around a concrete policy instance
+    /// covering all `2N` super-block tags per set.
+    #[must_use]
+    pub fn with_policy(geom: CacheGeometry, policy: P) -> DccLlc<P> {
         let tags = geom.ways() * 2;
         DccLlc {
             geom,
-            blocks: (0..sets * tags).map(|_| SuperBlock::empty()).collect(),
-            policy: policy.build(sets, tags),
-            stats: LlcStats::default(),
+            engine: SetEngine::new(geom.sets(), tags, policy),
             compression: CompressionStats::default(),
             bdi: Bdi::new(),
             multi_line_evictions: 0,
             resident_samples: 0,
             resident_total: 0,
         }
-    }
-
-    fn tags_per_set(&self) -> usize {
-        self.geom.ways() * 2
     }
 
     /// Pool capacity per set, in 16 B sub-blocks.
@@ -137,18 +137,21 @@ impl DccLlc {
 
     fn find(&self, addr: LineAddr) -> Option<(usize, usize, usize)> {
         let (set, tag, member) = self.locate_super(addr);
-        (0..self.tags_per_set())
-            .find(|&t| {
-                let b = &self.blocks[set * self.tags_per_set() + t];
-                b.valid && b.tag == tag
-            })
-            .map(|t| (set, t, member))
+        self.engine.find(set, tag).map(|t| (set, t, member))
     }
 
     fn used_sub_blocks(&self, set: usize) -> usize {
-        (0..self.tags_per_set())
-            .map(|t| self.blocks[set * self.tags_per_set() + t].sub_blocks_used())
+        (0..self.engine.ways())
+            .map(|t| self.engine.slot(set, t).meta.sub_blocks_used())
             .sum()
+    }
+
+    /// Rebuilds a member line's address from its super-block coordinates.
+    fn member_addr(&self, set: usize, sb_tag: u64, member: usize) -> LineAddr {
+        LineAddr::new(
+            (sb_tag * self.geom.sets() as u64 + set as u64) * SUPER_BLOCK_LINES as u64
+                + member as u64,
+        )
     }
 
     fn evict_super(
@@ -158,29 +161,22 @@ impl DccLlc {
         inner: &mut dyn InclusionAgent,
         effects: &mut Effects,
     ) {
-        let idx = set * self.tags_per_set() + t;
-        let resident = self.blocks[idx].resident_lines();
-        if resident > 1 {
+        let block = *self.engine.slot(set, t);
+        if block.meta.resident_lines() > 1 {
             self.multi_line_evictions += 1;
         }
-        let sb_tag = self.blocks[idx].tag;
-        for m in 0..SUPER_BLOCK_LINES {
-            let line = self.blocks[idx].lines[m];
+        for (m, line) in block.meta.lines.iter().enumerate() {
             if !line.valid {
                 continue;
             }
-            let line_addr = LineAddr::new(
-                (sb_tag * self.geom.sets() as u64 + set as u64) * SUPER_BLOCK_LINES as u64
-                    + m as u64,
-            );
+            let line_addr = self.member_addr(set, block.tag, m);
             effects.back_invalidations += 1;
             let inner_dirty = inner.back_invalidate(line_addr);
             if inner_dirty.is_some() || line.dirty {
                 effects.memory_writes += 1;
             }
         }
-        self.blocks[idx] = SuperBlock::empty();
-        self.policy.on_invalidate(set, t);
+        self.engine.invalidate(set, t);
     }
 
     /// Frees pool space and/or a tag for an incoming line of `needed`
@@ -194,16 +190,14 @@ impl DccLlc {
         effects: &mut Effects,
     ) {
         loop {
-            let has_tag = home.is_some()
-                || (0..self.tags_per_set())
-                    .any(|t| !self.blocks[set * self.tags_per_set() + t].valid);
+            let has_tag = home.is_some() || self.engine.first_invalid(set).is_some();
             let free = self.pool_sub_blocks() - self.used_sub_blocks(set);
             if free >= needed && has_tag {
                 return;
             }
-            let victim = (0..self.tags_per_set())
-                .filter(|&t| self.blocks[set * self.tags_per_set() + t].valid && Some(t) != home)
-                .max_by_key(|&t| self.policy.eviction_rank(set, t))
+            let victim = (0..self.engine.ways())
+                .filter(|&t| self.engine.slot(set, t).valid && Some(t) != home)
+                .max_by_key(|&t| self.engine.eviction_rank(set, t))
                 .expect("over-capacity set has a victim");
             self.evict_super(set, victim, inner, effects);
         }
@@ -223,35 +217,29 @@ impl DccLlc {
         let needed = size.bytes().div_ceil(SUB_BLOCK_BYTES);
 
         // An existing super-block for this neighbor group is "home".
-        let home = (0..self.tags_per_set()).find(|&t| {
-            let b = &self.blocks[set * self.tags_per_set() + t];
-            b.valid && b.tag == tag
-        });
+        let home = self.engine.find(set, tag);
         self.make_room(set, needed, home, inner, &mut effects);
 
-        // Home may have been evicted by make_room (it is exempted from
-        // victim selection only while passed as `home`, which we did), so
-        // it is still valid here; otherwise claim a free tag.
+        // Home was exempted from victim selection in make_room, so it is
+        // still valid here; otherwise claim a free tag.
         let t = home.unwrap_or_else(|| {
-            (0..self.tags_per_set())
-                .find(|&t| !self.blocks[set * self.tags_per_set() + t].valid)
+            self.engine
+                .first_invalid(set)
                 .expect("make_room guarantees a free tag")
         });
-        let idx = set * self.tags_per_set() + t;
-        self.blocks[idx].valid = true;
-        self.blocks[idx].tag = tag;
-        self.blocks[idx].lines[member] = Slot {
+        let mut meta = self.engine.slot(set, t).meta;
+        meta.lines[member] = Slot {
             valid: true,
             tag,
             dirty: false,
             data,
             size,
         };
-        self.policy.on_fill_sized(set, t, size);
+        self.engine.install(set, t, tag, meta, size);
 
         self.resident_samples += 1;
-        self.resident_total += (0..self.tags_per_set())
-            .map(|t| self.blocks[set * self.tags_per_set() + t].resident_lines() as u64)
+        self.resident_total += (0..self.engine.ways())
+            .map(|t| self.engine.slot(set, t).meta.resident_lines() as u64)
             .sum::<u64>();
         effects
     }
@@ -293,7 +281,7 @@ impl DccLlc {
     }
 }
 
-impl LlcOrganization for DccLlc {
+impl<P: ReplacementPolicy> LlcOrganization for DccLlc<P> {
     fn name(&self) -> &'static str {
         "dcc"
     }
@@ -304,16 +292,15 @@ impl LlcOrganization for DccLlc {
 
     fn contains(&self, addr: LineAddr) -> bool {
         self.find(addr)
-            .is_some_and(|(set, t, m)| self.blocks[set * self.tags_per_set() + t].lines[m].valid)
+            .is_some_and(|(set, t, m)| self.engine.slot(set, t).meta.lines[m].valid)
     }
 
     fn read(&mut self, addr: LineAddr, _inner: &mut dyn InclusionAgent) -> ReadOutcome {
         if let Some((set, t, m)) = self.find(addr) {
-            let line = &self.blocks[set * self.tags_per_set() + t].lines[m];
+            let line = &self.engine.slot(set, t).meta.lines[m];
             if line.valid {
                 let size = line.size;
-                self.policy.on_hit(set, t);
-                self.stats.base_hits += 1;
+                self.engine.demand_hit(set, t);
                 return ReadOutcome {
                     kind: HitKind::Base(size),
                     effects: Effects::default(),
@@ -321,8 +308,7 @@ impl LlcOrganization for DccLlc {
             }
         }
         let (set, _, _) = self.locate_super(addr);
-        self.policy.on_miss(set);
-        self.stats.read_misses += 1;
+        self.engine.demand_miss(set);
         ReadOutcome {
             kind: HitKind::Miss,
             effects: Effects::default(),
@@ -337,17 +323,17 @@ impl LlcOrganization for DccLlc {
     ) -> OpOutcome {
         let mut effects = Effects::default();
         if let Some((set, t, m)) = self.find(addr) {
-            let idx = set * self.tags_per_set() + t;
-            if self.blocks[idx].lines[m].valid {
+            if self.engine.slot(set, t).meta.lines[m].valid {
                 // Unchanged data (clean writeback) reuses the size cached in
                 // the tag slot; only a real data write pays recompression.
-                let new_size = if self.blocks[idx].lines[m].data == data {
-                    self.blocks[idx].lines[m].size
+                let line = &self.engine.slot(set, t).meta.lines[m];
+                let new_size = if line.data == data {
+                    line.size
                 } else {
                     self.bdi.compressed_size(&data)
                 };
                 self.compression.record(new_size);
-                let old = self.blocks[idx].lines[m].size;
+                let old = line.size;
                 if new_size > old {
                     let delta = new_size.bytes().div_ceil(SUB_BLOCK_BYTES)
                         - old.bytes().div_ceil(SUB_BLOCK_BYTES);
@@ -356,18 +342,18 @@ impl LlcOrganization for DccLlc {
                         self.make_room(set, delta, Some(t), inner, &mut effects);
                     }
                 }
-                let idx = set * self.tags_per_set() + t;
-                self.blocks[idx].lines[m].data = data;
-                self.blocks[idx].lines[m].dirty = true;
-                self.blocks[idx].lines[m].size = new_size;
-                self.stats.writeback_hits += 1;
-                self.stats.absorb_effects(effects);
+                let line = &mut self.engine.slot_mut(set, t).meta.lines[m];
+                line.data = data;
+                line.dirty = true;
+                line.size = new_size;
+                self.engine.stats_mut().writeback_hits += 1;
+                self.engine.absorb(effects);
                 return OpOutcome { effects };
             }
         }
         debug_assert!(false, "L2 writeback to non-resident DCC line {addr:?}");
-        self.stats.writeback_misses += 1;
-        self.stats.memory_writes += 1;
+        self.engine.stats_mut().writeback_misses += 1;
+        self.engine.stats_mut().memory_writes += 1;
         OpOutcome {
             effects: Effects {
                 memory_writes: 1,
@@ -383,8 +369,8 @@ impl LlcOrganization for DccLlc {
         inner: &mut dyn InclusionAgent,
     ) -> OpOutcome {
         let effects = self.install(addr, data, inner);
-        self.stats.demand_fills += 1;
-        self.stats.absorb_effects(effects);
+        self.engine.stats_mut().demand_fills += 1;
+        self.engine.absorb(effects);
         OpOutcome { effects }
     }
 
@@ -395,17 +381,17 @@ impl LlcOrganization for DccLlc {
         inner: &mut dyn InclusionAgent,
     ) -> Option<OpOutcome> {
         if self.contains(addr) {
-            self.stats.prefetch_hits += 1;
+            self.engine.stats_mut().prefetch_hits += 1;
             return None;
         }
         let effects = self.install(addr, data, inner);
-        self.stats.prefetch_fills += 1;
-        self.stats.absorb_effects(effects);
+        self.engine.stats_mut().prefetch_fills += 1;
+        self.engine.absorb(effects);
         Some(OpOutcome { effects })
     }
 
     fn stats(&self) -> &LlcStats {
-        &self.stats
+        self.engine.stats()
     }
 
     fn compression_stats(&self) -> &CompressionStats {
@@ -424,27 +410,16 @@ impl LlcOrganization for DccLlc {
 
     fn peek_data(&self, addr: LineAddr) -> Option<CacheLine> {
         let (set, t, m) = self.find(addr)?;
-        let line = &self.blocks[set * self.tags_per_set() + t].lines[m];
+        let line = &self.engine.slot(set, t).meta.lines[m];
         line.valid.then_some(line.data)
     }
 
     fn resident_lines(&self) -> Vec<LineAddr> {
-        let tags = self.tags_per_set();
         let mut out = Vec::new();
-        for set in 0..self.geom.sets() {
-            for t in 0..tags {
-                let b = &self.blocks[set * tags + t];
-                if !b.valid {
-                    continue;
-                }
-                for m in 0..SUPER_BLOCK_LINES {
-                    if b.lines[m].valid {
-                        out.push(LineAddr::new(
-                            (b.tag * self.geom.sets() as u64 + set as u64)
-                                * SUPER_BLOCK_LINES as u64
-                                + m as u64,
-                        ));
-                    }
+        for (set, _, block) in self.engine.iter_valid() {
+            for (m, line) in block.meta.lines.iter().enumerate() {
+                if line.valid {
+                    out.push(self.member_addr(set, block.tag, m));
                 }
             }
         }
@@ -456,6 +431,7 @@ impl LlcOrganization for DccLlc {
 mod tests {
     use super::*;
     use crate::NoInner;
+    use bv_testkit::fixtures;
 
     fn compressible(seed: u64) -> CacheLine {
         CacheLine::from_u64_words(&core::array::from_fn(|i| {
@@ -472,7 +448,7 @@ mod tests {
     }
 
     fn toy() -> DccLlc {
-        DccLlc::new(CacheGeometry::new(1024, 4, 64), PolicyKind::Lru)
+        DccLlc::new(fixtures::toy_geometry(), fixtures::toy_policy())
     }
 
     /// Four consecutive lines share one super-block and one set.

@@ -1,9 +1,38 @@
 //! The logical-line slot shared by all compressed LLC organizations.
 
+use bv_cache::engine::SlotMeta;
 use bv_cache::{CacheGeometry, LineAddr};
-use bv_compress::{CacheLine, Compressor, SegmentCount};
+use bv_compress::{CacheLine, SegmentCount};
 
-/// One logical cache line: tag, coherence/compression metadata, and data.
+/// Per-line payload stored in a [`SetEngine`](bv_cache::engine::SetEngine)
+/// slot: dirty bit, data, and compressed size. The engine owns validity
+/// and the tag.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct LineMeta {
+    pub dirty: bool,
+    pub data: CacheLine,
+    pub size: SegmentCount,
+}
+
+impl SlotMeta for LineMeta {
+    fn empty() -> LineMeta {
+        LineMeta {
+            dirty: false,
+            data: CacheLine::zeroed(),
+            size: SegmentCount::FULL,
+        }
+    }
+}
+
+/// Reconstructs a line address from its geometry-extracted parts.
+pub(crate) fn line_addr(geom: &CacheGeometry, set: usize, tag: u64) -> LineAddr {
+    LineAddr::new((tag << geom.index_bits()) | set as u64)
+}
+
+/// One logical cache line outside the engine's tag array: tag,
+/// coherence/compression metadata, and data. Used for the auxiliary tag
+/// stores the organizations keep beside the Baseline engine (the
+/// Base-Victim victim cache, DCC's super-block members).
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct Slot {
     pub valid: bool,
@@ -24,56 +53,40 @@ impl Slot {
         }
     }
 
-    /// Installs a line into this slot, compressing it with `compressor`.
-    pub fn install(&mut self, tag: u64, data: CacheLine, dirty: bool, compressor: &dyn Compressor) {
-        *self = Slot {
-            valid: true,
-            tag,
-            dirty,
-            data,
-            size: compressor.compressed_size(&data),
-        };
-    }
-
     /// Clears the slot.
     pub fn clear(&mut self) {
         *self = Slot::empty();
-    }
-
-    /// Reconstructs the full line address from set and geometry.
-    pub fn addr(&self, geom: &CacheGeometry, set: usize) -> LineAddr {
-        LineAddr::new((self.tag << geom.index_bits()) | set as u64)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bv_compress::Bdi;
 
     #[test]
-    fn install_compresses() {
-        let bdi = Bdi::new();
+    fn empty_slot_is_invalid_and_full_sized() {
         let mut s = Slot::empty();
-        s.install(7, CacheLine::zeroed(), false, &bdi);
-        assert!(s.valid);
-        assert_eq!(s.size, SegmentCount::MIN);
+        assert!(!s.valid);
+        assert_eq!(s.size, SegmentCount::FULL);
+        s.valid = true;
         s.clear();
         assert!(!s.valid);
     }
 
     #[test]
-    fn addr_roundtrips_through_tag() {
+    fn line_addr_roundtrips_through_tag() {
         let geom = CacheGeometry::new(2 * 1024 * 1024, 16, 64);
         let addr = LineAddr::new(0xdead_beef);
         let set = geom.set_index(addr.get());
-        let mut s = Slot::empty();
-        s.install(
-            geom.tag(addr.get()),
-            CacheLine::zeroed(),
-            false,
-            &Bdi::new(),
-        );
-        assert_eq!(s.addr(&geom, set), addr);
+        let tag = geom.tag(addr.get());
+        assert_eq!(line_addr(&geom, set, tag), addr);
+    }
+
+    #[test]
+    fn empty_line_meta_matches_empty_slot() {
+        let m = LineMeta::empty();
+        let s = Slot::empty();
+        assert_eq!(m.dirty, s.dirty);
+        assert_eq!(m.size, s.size);
     }
 }

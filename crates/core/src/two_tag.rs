@@ -16,9 +16,10 @@
 //!   fallback. This helps compressible workloads but still breaks the
 //!   replacement order, leaving large negative outliers.
 
-use crate::slot::Slot;
+use crate::slot::{line_addr, LineMeta};
 use crate::{Effects, HitKind, InclusionAgent, LlcOrganization, LlcStats, OpOutcome, ReadOutcome};
-use bv_cache::{CacheGeometry, LineAddr, PolicyKind, ReplacementPolicy};
+use bv_cache::engine::SetEngine;
+use bv_cache::{CacheGeometry, LineAddr, Policy, PolicyKind, ReplacementPolicy};
 use bv_compress::{Bdi, CacheLine, CompressionStats, Compressor, SegmentCount, SEGMENTS_PER_LINE};
 
 /// Victim-search flavor for the shared two-tag machinery.
@@ -31,51 +32,37 @@ enum Flavor {
 }
 
 /// Shared implementation of both two-tag organizations.
+///
+/// The set engine holds `sets x 2N` logical slots; slot `l` lives in
+/// physical way `l / 2`, its partner is `l ^ 1`. The two-tag delta over
+/// the engine is purely the pairing rule: a line may only be installed
+/// where it fits with its partner, and lines that stop fitting victimize
+/// the partner.
 #[derive(Debug)]
-pub struct TwoTagCore {
+pub struct TwoTagCore<P: ReplacementPolicy = Policy> {
     geom: CacheGeometry,
-    /// `sets x 2*ways` logical slots; slot `l` lives in physical way
-    /// `l / 2`, its partner is `l ^ 1`.
-    slots: Vec<Slot>,
-    policy: Box<dyn ReplacementPolicy>,
+    engine: SetEngine<P, LineMeta>,
     flavor: Flavor,
-    stats: LlcStats,
     compression: CompressionStats,
     bdi: Bdi,
 }
 
-impl TwoTagCore {
-    fn new(geom: CacheGeometry, policy: PolicyKind, flavor: Flavor) -> TwoTagCore {
-        let sets = geom.sets();
+impl<P: ReplacementPolicy> TwoTagCore<P> {
+    fn new(geom: CacheGeometry, policy: P, flavor: Flavor) -> TwoTagCore<P> {
         let logical = geom.ways() * 2;
         TwoTagCore {
             geom,
-            slots: vec![Slot::empty(); sets * logical],
-            policy: policy.build(sets, logical),
+            engine: SetEngine::new(geom.sets(), logical, policy),
             flavor,
-            stats: LlcStats::default(),
             compression: CompressionStats::default(),
             bdi: Bdi::new(),
         }
     }
 
-    fn logical_ways(&self) -> usize {
-        self.geom.ways() * 2
-    }
-
-    fn idx(&self, set: usize, slot: usize) -> usize {
-        set * self.logical_ways() + slot
-    }
-
     fn find(&self, addr: LineAddr) -> Option<(usize, usize)> {
         let set = self.geom.set_index(addr.get());
         let tag = self.geom.tag(addr.get());
-        (0..self.logical_ways())
-            .find(|&l| {
-                let s = &self.slots[self.idx(set, l)];
-                s.valid && s.tag == tag
-            })
-            .map(|l| (set, l))
+        self.engine.find(set, tag).map(|l| (set, l))
     }
 
     /// Evicts the occupant of logical slot `l`, if valid.
@@ -86,27 +73,25 @@ impl TwoTagCore {
         inner: &mut dyn InclusionAgent,
         effects: &mut Effects,
     ) {
-        let i = self.idx(set, l);
-        if !self.slots[i].valid {
+        let slot = *self.engine.slot(set, l);
+        if !slot.valid {
             return;
         }
-        let slot = self.slots[i];
-        let addr = slot.addr(&self.geom, set);
+        let addr = line_addr(&self.geom, set, slot.tag);
         effects.back_invalidations += 1;
         let inner_dirty = inner.back_invalidate(addr);
-        if inner_dirty.is_some() || slot.dirty {
+        if inner_dirty.is_some() || slot.meta.dirty {
             effects.memory_writes += 1;
         }
-        self.slots[i].clear();
-        self.policy.on_invalidate(set, l);
+        self.engine.invalidate(set, l);
     }
 
     /// Whether installing a line of `size` in logical slot `l` fits with
     /// the current partner occupant.
     fn fits_in(&self, set: usize, l: usize, size: SegmentCount) -> bool {
-        let partner = &self.slots[self.idx(set, l ^ 1)];
+        let partner = self.engine.slot(set, l ^ 1);
         if partner.valid {
-            partner.size.fits_with(size)
+            partner.meta.size.fits_with(size)
         } else {
             size.get() as usize <= SEGMENTS_PER_LINE
         }
@@ -126,8 +111,8 @@ impl TwoTagCore {
         self.compression.record(size);
 
         // Warmup path: an invalid logical slot whose partner leaves room.
-        let target = (0..self.logical_ways())
-            .find(|&l| !self.slots[self.idx(set, l)].valid && self.fits_in(set, l, size));
+        let target = (0..self.engine.ways())
+            .find(|&l| !self.engine.slot(set, l).valid && self.fits_in(set, l, size));
 
         let l = match target {
             Some(l) => l,
@@ -136,7 +121,7 @@ impl TwoTagCore {
                     // Evict the policy's victim; if the incoming line does
                     // not fit with its partner, victimize the partner too —
                     // even if the partner is the MRU line.
-                    let v = self.policy.victim(set);
+                    let v = self.engine.victim(set);
                     self.evict_slot(set, v, inner, &mut effects);
                     if !self.fits_in(set, v, size) {
                         self.evict_slot(set, v ^ 1, inner, &mut effects);
@@ -151,15 +136,12 @@ impl TwoTagCore {
                     // compressed size (maximizes retained capacity, as in
                     // ECM). Breaking the policy order like this is exactly
                     // the compromise Figure 7 evaluates.
-                    let candidate = (0..self.logical_ways())
-                        .filter(|&l| {
-                            let s = &self.slots[self.idx(set, l)];
-                            s.valid && self.fits_in(set, l, size)
-                        })
+                    let candidate = (0..self.engine.ways())
+                        .filter(|&l| self.engine.slot(set, l).valid && self.fits_in(set, l, size))
                         .max_by_key(|&l| {
                             (
-                                self.policy.is_eviction_candidate(set, l),
-                                self.slots[self.idx(set, l)].size.get(),
+                                self.engine.is_eviction_candidate(set, l),
+                                self.engine.slot(set, l).meta.size.get(),
                                 usize::MAX - l,
                             )
                         });
@@ -170,7 +152,7 @@ impl TwoTagCore {
                         }
                         None => {
                             // Fall back to partner victimization.
-                            let v = self.policy.victim(set);
+                            let v = self.engine.victim(set);
                             self.evict_slot(set, v, inner, &mut effects);
                             if !self.fits_in(set, v, size) {
                                 self.evict_slot(set, v ^ 1, inner, &mut effects);
@@ -183,15 +165,12 @@ impl TwoTagCore {
             },
         };
 
-        let i = self.idx(set, l);
-        self.slots[i] = Slot {
-            valid: true,
-            tag,
+        let meta = LineMeta {
             dirty: false,
             data,
             size,
         };
-        self.policy.on_fill_sized(set, l, size);
+        self.engine.install(set, l, tag, meta, size);
         effects
     }
 
@@ -204,30 +183,31 @@ impl TwoTagCore {
         let mut effects = Effects::default();
         match self.find(addr) {
             Some((set, l)) => {
-                let i = self.idx(set, l);
                 // Unchanged data (clean writeback) reuses the size cached in
                 // the tag slot; only a real data write pays recompression.
-                let new_size = if self.slots[i].data == data {
-                    self.slots[i].size
+                let slot = self.engine.slot(set, l);
+                let new_size = if slot.meta.data == data {
+                    slot.meta.size
                 } else {
                     self.bdi.compressed_size(&data)
                 };
                 self.compression.record(new_size);
-                self.slots[i].data = data;
-                self.slots[i].dirty = true;
-                self.slots[i].size = new_size;
+                let meta = &mut self.engine.slot_mut(set, l).meta;
+                meta.data = data;
+                meta.dirty = true;
+                meta.size = new_size;
                 // If the line grew past its partner's space, the partner
                 // must be evicted (with a writeback if dirty).
-                let partner = &self.slots[self.idx(set, l ^ 1)];
-                if partner.valid && !new_size.fits_with(partner.size) {
+                let partner = self.engine.slot(set, l ^ 1);
+                if partner.valid && !new_size.fits_with(partner.meta.size) {
                     self.evict_slot(set, l ^ 1, inner, &mut effects);
                     effects.partner_evictions += 1;
                 }
-                self.stats.writeback_hits += 1;
+                self.engine.stats_mut().writeback_hits += 1;
             }
             None => {
                 debug_assert!(false, "L2 writeback to non-resident LLC line {addr:?}");
-                self.stats.writeback_misses += 1;
+                self.engine.stats_mut().writeback_misses += 1;
                 effects.memory_writes += 1;
             }
         }
@@ -242,14 +222,14 @@ impl TwoTagCore {
     pub fn assert_invariants(&self) {
         for set in 0..self.geom.sets() {
             for w in 0..self.geom.ways() {
-                let a = &self.slots[self.idx(set, 2 * w)];
-                let b = &self.slots[self.idx(set, 2 * w + 1)];
+                let a = self.engine.slot(set, 2 * w);
+                let b = self.engine.slot(set, 2 * w + 1);
                 if a.valid && b.valid {
                     assert!(
-                        a.size.fits_with(b.size),
+                        a.meta.size.fits_with(b.meta.size),
                         "pair overflow set {set} way {w}: {} + {}",
-                        a.size,
-                        b.size
+                        a.meta.size,
+                        b.meta.size
                     );
                 }
             }
@@ -261,15 +241,26 @@ macro_rules! two_tag_llc {
     ($(#[$doc:meta])* $name:ident, $flavor:expr, $org_name:literal) => {
         $(#[$doc])*
         #[derive(Debug)]
-        pub struct $name {
-            core: TwoTagCore,
+        pub struct $name<P: ReplacementPolicy = Policy> {
+            core: TwoTagCore<P>,
         }
 
         impl $name {
             /// Creates an empty organization over the given physical
-            /// geometry (each data way carries two tags).
+            /// geometry (each data way carries two tags) with a
+            /// runtime-selected policy.
             #[must_use]
             pub fn new(geom: CacheGeometry, policy: PolicyKind) -> $name {
+                let logical = geom.ways() * 2;
+                $name::with_policy(geom, policy.instantiate(geom.sets(), logical))
+            }
+        }
+
+        impl<P: ReplacementPolicy> $name<P> {
+            /// Creates an empty organization around a concrete policy
+            /// instance covering all `2N` logical slots per set.
+            #[must_use]
+            pub fn with_policy(geom: CacheGeometry, policy: P) -> $name<P> {
                 $name {
                     core: TwoTagCore::new(geom, policy, $flavor),
                 }
@@ -285,7 +276,7 @@ macro_rules! two_tag_llc {
             }
         }
 
-        impl LlcOrganization for $name {
+        impl<P: ReplacementPolicy> LlcOrganization for $name<P> {
             fn name(&self) -> &'static str {
                 $org_name
             }
@@ -301,9 +292,8 @@ macro_rules! two_tag_llc {
             fn read(&mut self, addr: LineAddr, _inner: &mut dyn InclusionAgent) -> ReadOutcome {
                 match self.core.find(addr) {
                     Some((set, l)) => {
-                        self.core.policy.on_hit(set, l);
-                        self.core.stats.base_hits += 1;
-                        let size = self.core.slots[self.core.idx(set, l)].size;
+                        self.core.engine.demand_hit(set, l);
+                        let size = self.core.engine.slot(set, l).meta.size;
                         ReadOutcome {
                             kind: HitKind::Base(size),
                             effects: Effects::default(),
@@ -311,8 +301,7 @@ macro_rules! two_tag_llc {
                     }
                     None => {
                         let set = self.core.geom.set_index(addr.get());
-                        self.core.policy.on_miss(set);
-                        self.core.stats.read_misses += 1;
+                        self.core.engine.demand_miss(set);
                         ReadOutcome {
                             kind: HitKind::Miss,
                             effects: Effects::default(),
@@ -328,7 +317,7 @@ macro_rules! two_tag_llc {
                 inner: &mut dyn InclusionAgent,
             ) -> OpOutcome {
                 let effects = self.core.do_writeback(addr, data, inner);
-                self.core.stats.absorb_effects(effects);
+                self.core.engine.absorb(effects);
                 OpOutcome { effects }
             }
 
@@ -339,8 +328,8 @@ macro_rules! two_tag_llc {
                 inner: &mut dyn InclusionAgent,
             ) -> OpOutcome {
                 let effects = self.core.install(addr, data, inner);
-                self.core.stats.demand_fills += 1;
-                self.core.stats.absorb_effects(effects);
+                self.core.engine.stats_mut().demand_fills += 1;
+                self.core.engine.absorb(effects);
                 OpOutcome { effects }
             }
 
@@ -351,28 +340,28 @@ macro_rules! two_tag_llc {
                 inner: &mut dyn InclusionAgent,
             ) -> Option<OpOutcome> {
                 if self.contains(addr) {
-                    self.core.stats.prefetch_hits += 1;
+                    self.core.engine.stats_mut().prefetch_hits += 1;
                     return None;
                 }
                 let effects = self.core.install(addr, data, inner);
-                self.core.stats.prefetch_fills += 1;
-                self.core.stats.absorb_effects(effects);
+                self.core.engine.stats_mut().prefetch_fills += 1;
+                self.core.engine.absorb(effects);
                 Some(OpOutcome { effects })
             }
 
             fn peek_data(&self, addr: LineAddr) -> Option<CacheLine> {
                 let (set, l) = self.core.find(addr)?;
-                Some(self.core.slots[self.core.idx(set, l)].data)
+                Some(self.core.engine.slot(set, l).meta.data)
             }
 
             fn hint_downgrade(&mut self, addr: LineAddr) {
                 if let Some((set, l)) = self.core.find(addr) {
-                    self.core.policy.hint_downgrade(set, l);
+                    self.core.engine.hint_downgrade(set, l);
                 }
             }
 
             fn stats(&self) -> &LlcStats {
-                &self.core.stats
+                self.core.engine.stats()
             }
 
             fn compression_stats(&self) -> &CompressionStats {
@@ -388,13 +377,10 @@ macro_rules! two_tag_llc {
             }
 
             fn resident_lines(&self) -> Vec<LineAddr> {
-                let logical = self.core.logical_ways();
                 self.core
-                    .slots
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| s.valid)
-                    .map(|(i, s)| s.addr(&self.core.geom, i / logical))
+                    .engine
+                    .iter_valid()
+                    .map(|(set, _, s)| line_addr(&self.core.geom, set, s.tag))
                     .collect()
             }
         }
@@ -425,6 +411,7 @@ mod tests {
     use super::*;
     use crate::NoInner;
     use bv_compress::CacheLine;
+    use bv_testkit::fixtures;
 
     fn compressible(seed: u64) -> CacheLine {
         // B8D1: 5 segments.
@@ -446,11 +433,11 @@ mod tests {
     }
 
     fn toy_naive() -> TwoTagLlc {
-        TwoTagLlc::new(CacheGeometry::new(1024, 4, 64), PolicyKind::Lru)
+        TwoTagLlc::new(fixtures::toy_geometry(), fixtures::toy_policy())
     }
 
     fn toy_ecm() -> TwoTagEcmLlc {
-        TwoTagEcmLlc::new(CacheGeometry::new(1024, 4, 64), PolicyKind::Nru)
+        TwoTagEcmLlc::new(fixtures::toy_geometry(), PolicyKind::Nru)
     }
 
     #[test]

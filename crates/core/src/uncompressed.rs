@@ -1,8 +1,9 @@
 //! The uncompressed baseline LLC every experiment normalizes against.
 
-use crate::slot::Slot;
+use crate::slot::{line_addr, LineMeta};
 use crate::{Effects, HitKind, InclusionAgent, LlcOrganization, LlcStats, OpOutcome, ReadOutcome};
-use bv_cache::{CacheGeometry, LineAddr, PolicyKind, ReplacementPolicy};
+use bv_cache::engine::SetEngine;
+use bv_cache::{CacheGeometry, LineAddr, Policy, PolicyKind, ReplacementPolicy};
 use bv_compress::{Bdi, CacheLine, CompressionStats, Compressor, SegmentCount};
 
 /// An ordinary inclusive LLC: one tag per physical way, no compression.
@@ -25,26 +26,30 @@ use bv_compress::{Bdi, CacheLine, CompressionStats, Compressor, SegmentCount};
 /// assert!(llc.contains(LineAddr::new(3)));
 /// ```
 #[derive(Debug)]
-pub struct UncompressedLlc {
+pub struct UncompressedLlc<P: ReplacementPolicy = Policy> {
     geom: CacheGeometry,
-    slots: Vec<Slot>,
-    policy: Box<dyn ReplacementPolicy>,
-    stats: LlcStats,
+    engine: SetEngine<P, LineMeta>,
     compression: CompressionStats,
     bdi: Bdi,
 }
 
 impl UncompressedLlc {
-    /// Creates an empty uncompressed LLC.
+    /// Creates an empty uncompressed LLC with a runtime-selected policy.
     #[must_use]
     pub fn new(geom: CacheGeometry, policy: PolicyKind) -> UncompressedLlc {
-        let sets = geom.sets();
-        let ways = geom.ways();
+        let (sets, ways) = (geom.sets(), geom.ways());
+        UncompressedLlc::with_policy(geom, policy.instantiate(sets, ways))
+    }
+}
+
+impl<P: ReplacementPolicy> UncompressedLlc<P> {
+    /// Creates an empty uncompressed LLC around a concrete policy
+    /// instance, monomorphizing the lookup/fill path over it.
+    #[must_use]
+    pub fn with_policy(geom: CacheGeometry, policy: P) -> UncompressedLlc<P> {
         UncompressedLlc {
             geom,
-            slots: vec![Slot::empty(); sets * ways],
-            policy: policy.build(sets, ways),
-            stats: LlcStats::default(),
+            engine: SetEngine::new(geom.sets(), geom.ways(), policy),
             compression: CompressionStats::default(),
             bdi: Bdi::new(),
         }
@@ -53,20 +58,7 @@ impl UncompressedLlc {
     fn locate(&self, addr: LineAddr) -> Option<(usize, usize)> {
         let set = self.geom.set_index(addr.get());
         let tag = self.geom.tag(addr.get());
-        (0..self.geom.ways())
-            .find(|&w| {
-                let s = &self.slots[set * self.geom.ways() + w];
-                s.valid && s.tag == tag
-            })
-            .map(|w| (set, w))
-    }
-
-    fn slot_mut(&mut self, set: usize, way: usize) -> &mut Slot {
-        &mut self.slots[set * self.geom.ways() + way]
-    }
-
-    fn slot(&self, set: usize, way: usize) -> &Slot {
-        &self.slots[set * self.geom.ways() + way]
+        self.engine.find(set, tag).map(|w| (set, w))
     }
 
     /// Installs a line (shared by demand and prefetch fills).
@@ -79,19 +71,16 @@ impl UncompressedLlc {
         debug_assert!(!self.contains(addr), "fill of resident line");
         let set = self.geom.set_index(addr.get());
         let tag = self.geom.tag(addr.get());
-        let ways = self.geom.ways();
 
-        let way = (0..ways)
-            .find(|&w| !self.slot(set, w).valid)
-            .unwrap_or_else(|| self.policy.victim(set));
+        let way = self.engine.fill_way(set);
 
         let mut effects = Effects::default();
-        let evicted = *self.slot(set, way);
+        let evicted = *self.engine.slot(set, way);
         if evicted.valid {
-            let evicted_addr = evicted.addr(&self.geom, set);
+            let evicted_addr = line_addr(&self.geom, set, evicted.tag);
             effects.back_invalidations += 1;
             let inner_dirty = inner.back_invalidate(evicted_addr);
-            if inner_dirty.is_some() || evicted.dirty {
+            if inner_dirty.is_some() || evicted.meta.dirty {
                 effects.memory_writes += 1;
             }
         }
@@ -99,20 +88,21 @@ impl UncompressedLlc {
         // Track compressibility of the access stream even though this
         // organization stores lines uncompressed (used to classify traces,
         // and fed to size-aware policies like CAMP as their predictor).
-        let bdi = self.bdi;
-        let compressed_size = bdi.compressed_size(&data);
+        let compressed_size = self.bdi.compressed_size(&data);
         self.compression.record(compressed_size);
 
-        let slot = self.slot_mut(set, way);
-        slot.install(tag, data, false, &bdi);
-        slot.size = SegmentCount::FULL; // stored uncompressed
-        self.policy.on_fill_sized(set, way, compressed_size);
-        self.stats.absorb_effects(effects);
+        let meta = LineMeta {
+            dirty: false,
+            data,
+            size: SegmentCount::FULL, // stored uncompressed
+        };
+        self.engine.install(set, way, tag, meta, compressed_size);
+        self.engine.absorb(effects);
         effects
     }
 }
 
-impl LlcOrganization for UncompressedLlc {
+impl<P: ReplacementPolicy> LlcOrganization for UncompressedLlc<P> {
     fn name(&self) -> &'static str {
         "uncompressed"
     }
@@ -128,17 +118,14 @@ impl LlcOrganization for UncompressedLlc {
     fn read(&mut self, addr: LineAddr, _inner: &mut dyn InclusionAgent) -> ReadOutcome {
         match self.locate(addr) {
             Some((set, way)) => {
-                self.policy.on_hit(set, way);
-                self.stats.base_hits += 1;
+                self.engine.demand_hit(set, way);
                 ReadOutcome {
                     kind: HitKind::Base(SegmentCount::FULL),
                     effects: Effects::default(),
                 }
             }
             None => {
-                let set = self.geom.set_index(addr.get());
-                self.policy.on_miss(set);
-                self.stats.read_misses += 1;
+                self.engine.demand_miss(self.geom.set_index(addr.get()));
                 ReadOutcome {
                     kind: HitKind::Miss,
                     effects: Effects::default(),
@@ -155,17 +142,17 @@ impl LlcOrganization for UncompressedLlc {
     ) -> OpOutcome {
         match self.locate(addr) {
             Some((set, way)) => {
-                let slot = self.slot_mut(set, way);
-                slot.data = data;
-                slot.dirty = true;
-                self.stats.writeback_hits += 1;
+                let slot = self.engine.slot_mut(set, way);
+                slot.meta.data = data;
+                slot.meta.dirty = true;
+                self.engine.stats_mut().writeback_hits += 1;
                 OpOutcome::default()
             }
             None => {
                 // Impossible under strict inclusion; forward to memory.
                 debug_assert!(false, "L2 writeback to non-resident LLC line {addr:?}");
-                self.stats.writeback_misses += 1;
-                self.stats.memory_writes += 1;
+                self.engine.stats_mut().writeback_misses += 1;
+                self.engine.stats_mut().memory_writes += 1;
                 OpOutcome {
                     effects: Effects {
                         memory_writes: 1,
@@ -182,7 +169,7 @@ impl LlcOrganization for UncompressedLlc {
         data: CacheLine,
         inner: &mut dyn InclusionAgent,
     ) -> OpOutcome {
-        self.stats.demand_fills += 1;
+        self.engine.stats_mut().demand_fills += 1;
         OpOutcome {
             effects: self.install(addr, data, inner),
         }
@@ -195,10 +182,10 @@ impl LlcOrganization for UncompressedLlc {
         inner: &mut dyn InclusionAgent,
     ) -> Option<OpOutcome> {
         if self.contains(addr) {
-            self.stats.prefetch_hits += 1;
+            self.engine.stats_mut().prefetch_hits += 1;
             return None;
         }
-        self.stats.prefetch_fills += 1;
+        self.engine.stats_mut().prefetch_fills += 1;
         Some(OpOutcome {
             effects: self.install(addr, data, inner),
         })
@@ -206,17 +193,17 @@ impl LlcOrganization for UncompressedLlc {
 
     fn peek_data(&self, addr: LineAddr) -> Option<CacheLine> {
         let (set, way) = self.locate(addr)?;
-        Some(self.slot(set, way).data)
+        Some(self.engine.slot(set, way).meta.data)
     }
 
     fn hint_downgrade(&mut self, addr: LineAddr) {
         if let Some((set, way)) = self.locate(addr) {
-            self.policy.hint_downgrade(set, way);
+            self.engine.hint_downgrade(set, way);
         }
     }
 
     fn stats(&self) -> &LlcStats {
-        &self.stats
+        self.engine.stats()
     }
 
     fn compression_stats(&self) -> &CompressionStats {
@@ -232,12 +219,9 @@ impl LlcOrganization for UncompressedLlc {
     }
 
     fn resident_lines(&self) -> Vec<LineAddr> {
-        let ways = self.geom.ways();
-        self.slots
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.valid)
-            .map(|(i, s)| s.addr(&self.geom, i / ways))
+        self.engine
+            .iter_valid()
+            .map(|(set, _, s)| line_addr(&self.geom, set, s.tag))
             .collect()
     }
 }
@@ -246,9 +230,10 @@ impl LlcOrganization for UncompressedLlc {
 mod tests {
     use super::*;
     use crate::NoInner;
+    use bv_testkit::fixtures;
 
     fn llc() -> UncompressedLlc {
-        UncompressedLlc::new(CacheGeometry::new(1024, 4, 64), PolicyKind::Lru)
+        UncompressedLlc::new(fixtures::toy_geometry(), fixtures::toy_policy())
     }
 
     #[test]
@@ -305,6 +290,25 @@ mod tests {
         let c = llc();
         assert_eq!(c.tag_latency_penalty(), 0);
         assert_eq!(c.decompression_latency(SegmentCount::new(4)), 0);
+    }
+
+    #[test]
+    fn monomorphic_construction_matches_runtime_selection() {
+        let geom = fixtures::toy_geometry();
+        let mut by_kind = UncompressedLlc::new(geom, fixtures::toy_policy());
+        let mut by_type = UncompressedLlc::with_policy(geom, bv_cache::replacement::Lru::new(4, 4));
+        let mut inner = NoInner;
+        for i in 0..200 {
+            let a = LineAddr::new(i * 7 % 64);
+            let hit_kind = by_kind.read(a, &mut inner).is_hit();
+            let hit_type = by_type.read(a, &mut inner).is_hit();
+            assert_eq!(hit_kind, hit_type);
+            if !hit_kind {
+                by_kind.fill(a, CacheLine::zeroed(), &mut inner);
+                by_type.fill(a, CacheLine::zeroed(), &mut inner);
+            }
+        }
+        assert_eq!(by_kind.stats(), by_type.stats());
     }
 
     #[test]

@@ -10,12 +10,18 @@
 //! comparison: hit/miss behavior, capacity utilization, and the
 //! re-compaction overhead (VSC's first drawback).
 
-use crate::slot::Slot;
+use crate::slot::{line_addr, LineMeta};
 use crate::{Effects, HitKind, InclusionAgent, LlcOrganization, LlcStats, OpOutcome, ReadOutcome};
-use bv_cache::{CacheGeometry, LineAddr, PolicyKind, ReplacementPolicy};
+use bv_cache::engine::SetEngine;
+use bv_cache::{CacheGeometry, LineAddr, Policy, PolicyKind, ReplacementPolicy};
 use bv_compress::{Bdi, CacheLine, CompressionStats, Compressor, SegmentCount, SEGMENTS_PER_LINE};
 
 /// Functional VSC-2X: twice the tags, compacted variable-size data.
+///
+/// The delta over the set engine is segmented data-space accounting: a
+/// fill needs a free tag *and* enough free segments in the set's shared
+/// pool, so one install can evict several small lines and force the
+/// survivors to be re-compacted.
 ///
 /// # Examples
 ///
@@ -30,11 +36,9 @@ use bv_compress::{Bdi, CacheLine, CompressionStats, Compressor, SegmentCount, SE
 /// assert!(vsc.contains(LineAddr::new(1)));
 /// ```
 #[derive(Debug)]
-pub struct VscLlc {
+pub struct VscLlc<P: ReplacementPolicy = Policy> {
     geom: CacheGeometry,
-    slots: Vec<Slot>, // sets x 2*ways logical tags
-    policy: Box<dyn ReplacementPolicy>,
-    stats: LlcStats,
+    engine: SetEngine<P, LineMeta>, // sets x 2*ways logical tags
     compression: CompressionStats,
     bdi: Bdi,
     /// Set compaction events (any fill/growth that had to evict and
@@ -46,16 +50,24 @@ pub struct VscLlc {
 }
 
 impl VscLlc {
-    /// Creates an empty functional VSC over the given physical geometry.
+    /// Creates an empty functional VSC over the given physical geometry
+    /// with a runtime-selected policy.
     #[must_use]
     pub fn new(geom: CacheGeometry, policy: PolicyKind) -> VscLlc {
-        let sets = geom.sets();
+        let logical = geom.ways() * 2;
+        VscLlc::with_policy(geom, policy.instantiate(geom.sets(), logical))
+    }
+}
+
+impl<P: ReplacementPolicy> VscLlc<P> {
+    /// Creates an empty functional VSC around a concrete policy instance
+    /// covering all `2N` logical tags per set.
+    #[must_use]
+    pub fn with_policy(geom: CacheGeometry, policy: P) -> VscLlc<P> {
         let logical = geom.ways() * 2;
         VscLlc {
             geom,
-            slots: vec![Slot::empty(); sets * logical],
-            policy: policy.build(sets, logical),
-            stats: LlcStats::default(),
+            engine: SetEngine::new(geom.sets(), logical, policy),
             compression: CompressionStats::default(),
             bdi: Bdi::new(),
             recompactions: 0,
@@ -64,35 +76,22 @@ impl VscLlc {
         }
     }
 
-    fn logical_ways(&self) -> usize {
-        self.geom.ways() * 2
-    }
-
     fn capacity_segments(&self) -> usize {
         self.geom.ways() * SEGMENTS_PER_LINE
-    }
-
-    fn idx(&self, set: usize, l: usize) -> usize {
-        set * self.logical_ways() + l
     }
 
     fn find(&self, addr: LineAddr) -> Option<(usize, usize)> {
         let set = self.geom.set_index(addr.get());
         let tag = self.geom.tag(addr.get());
-        (0..self.logical_ways())
-            .find(|&l| {
-                let s = &self.slots[self.idx(set, l)];
-                s.valid && s.tag == tag
-            })
-            .map(|l| (set, l))
+        self.engine.find(set, tag).map(|l| (set, l))
     }
 
     fn used_segments(&self, set: usize) -> usize {
-        (0..self.logical_ways())
+        (0..self.engine.ways())
             .map(|l| {
-                let s = &self.slots[self.idx(set, l)];
+                let s = self.engine.slot(set, l);
                 if s.valid {
-                    s.size.get() as usize
+                    s.meta.size.get() as usize
                 } else {
                     0
                 }
@@ -101,8 +100,8 @@ impl VscLlc {
     }
 
     fn resident_count(&self, set: usize) -> usize {
-        (0..self.logical_ways())
-            .filter(|&l| self.slots[self.idx(set, l)].valid)
+        (0..self.engine.ways())
+            .filter(|&l| self.engine.slot(set, l).valid)
             .count()
     }
 
@@ -119,27 +118,25 @@ impl VscLlc {
     ) {
         let mut evicted_any = false;
         loop {
-            let free_tags = (0..self.logical_ways())
-                .any(|l| !self.slots[self.idx(set, l)].valid || Some(l) == keep);
+            let free_tags =
+                (0..self.engine.ways()).any(|l| !self.engine.slot(set, l).valid || Some(l) == keep);
             let free_segs = self.capacity_segments() - self.used_segments(set);
             if free_segs >= needed && free_tags {
                 break;
             }
             // Oldest valid line (highest eviction rank), excluding `keep`.
-            let victim = (0..self.logical_ways())
-                .filter(|&l| self.slots[self.idx(set, l)].valid && Some(l) != keep)
-                .max_by_key(|&l| self.policy.eviction_rank(set, l))
+            let victim = (0..self.engine.ways())
+                .filter(|&l| self.engine.slot(set, l).valid && Some(l) != keep)
+                .max_by_key(|&l| self.engine.eviction_rank(set, l))
                 .expect("a victim must exist while the set is over capacity");
-            let slot = self.slots[self.idx(set, victim)];
-            let addr = slot.addr(&self.geom, set);
+            let slot = *self.engine.slot(set, victim);
+            let addr = line_addr(&self.geom, set, slot.tag);
             effects.back_invalidations += 1;
             let inner_dirty = inner.back_invalidate(addr);
-            if inner_dirty.is_some() || slot.dirty {
+            if inner_dirty.is_some() || slot.meta.dirty {
                 effects.memory_writes += 1;
             }
-            let vi = self.idx(set, victim);
-            self.slots[vi].clear();
-            self.policy.on_invalidate(set, victim);
+            self.engine.invalidate(set, victim);
             evicted_any = true;
         }
         if evicted_any {
@@ -163,18 +160,16 @@ impl VscLlc {
 
         self.make_room(set, size.get() as usize, None, inner, &mut effects);
 
-        let l = (0..self.logical_ways())
-            .find(|&l| !self.slots[self.idx(set, l)].valid)
+        let l = self
+            .engine
+            .first_invalid(set)
             .expect("make_room guarantees a free tag");
-        let li = self.idx(set, l);
-        self.slots[li] = Slot {
-            valid: true,
-            tag,
+        let meta = LineMeta {
             dirty: false,
             data,
             size,
         };
-        self.policy.on_fill_sized(set, l, size);
+        self.engine.install(set, l, tag, meta, size);
 
         self.resident_samples += 1;
         self.resident_total += self.resident_count(set) as u64;
@@ -222,7 +217,7 @@ impl VscLlc {
     }
 }
 
-impl LlcOrganization for VscLlc {
+impl<P: ReplacementPolicy> LlcOrganization for VscLlc<P> {
     fn name(&self) -> &'static str {
         "vsc-2x"
     }
@@ -238,18 +233,15 @@ impl LlcOrganization for VscLlc {
     fn read(&mut self, addr: LineAddr, _inner: &mut dyn InclusionAgent) -> ReadOutcome {
         match self.find(addr) {
             Some((set, l)) => {
-                self.policy.on_hit(set, l);
-                self.stats.base_hits += 1;
-                let size = self.slots[self.idx(set, l)].size;
+                self.engine.demand_hit(set, l);
+                let size = self.engine.slot(set, l).meta.size;
                 ReadOutcome {
                     kind: HitKind::Base(size),
                     effects: Effects::default(),
                 }
             }
             None => {
-                let set = self.geom.set_index(addr.get());
-                self.policy.on_miss(set);
-                self.stats.read_misses += 1;
+                self.engine.demand_miss(self.geom.set_index(addr.get()));
                 ReadOutcome {
                     kind: HitKind::Miss,
                     effects: Effects::default(),
@@ -269,14 +261,14 @@ impl LlcOrganization for VscLlc {
             Some((set, l)) => {
                 // Unchanged data (clean writeback) reuses the size cached in
                 // the tag slot; only a real data write pays recompression.
-                let slot = &self.slots[self.idx(set, l)];
-                let new_size = if slot.data == data {
-                    slot.size
+                let slot = self.engine.slot(set, l);
+                let new_size = if slot.meta.data == data {
+                    slot.meta.size
                 } else {
                     self.bdi.compressed_size(&data)
                 };
                 self.compression.record(new_size);
-                let old_size = self.slots[self.idx(set, l)].size;
+                let old_size = slot.meta.size;
                 if new_size > old_size {
                     // Growth: free the delta, evicting LRU lines if needed
                     // (and re-compacting).
@@ -295,19 +287,19 @@ impl LlcOrganization for VscLlc {
                         self.recompactions += 1;
                     }
                 }
-                let i = self.idx(set, l);
-                self.slots[i].data = data;
-                self.slots[i].dirty = true;
-                self.slots[i].size = new_size;
-                self.stats.writeback_hits += 1;
+                let meta = &mut self.engine.slot_mut(set, l).meta;
+                meta.data = data;
+                meta.dirty = true;
+                meta.size = new_size;
+                self.engine.stats_mut().writeback_hits += 1;
             }
             None => {
                 debug_assert!(false, "L2 writeback to non-resident LLC line {addr:?}");
-                self.stats.writeback_misses += 1;
+                self.engine.stats_mut().writeback_misses += 1;
                 effects.memory_writes += 1;
             }
         }
-        self.stats.absorb_effects(effects);
+        self.engine.absorb(effects);
         OpOutcome { effects }
     }
 
@@ -318,8 +310,8 @@ impl LlcOrganization for VscLlc {
         inner: &mut dyn InclusionAgent,
     ) -> OpOutcome {
         let effects = self.install(addr, data, inner);
-        self.stats.demand_fills += 1;
-        self.stats.absorb_effects(effects);
+        self.engine.stats_mut().demand_fills += 1;
+        self.engine.absorb(effects);
         OpOutcome { effects }
     }
 
@@ -330,28 +322,28 @@ impl LlcOrganization for VscLlc {
         inner: &mut dyn InclusionAgent,
     ) -> Option<OpOutcome> {
         if self.contains(addr) {
-            self.stats.prefetch_hits += 1;
+            self.engine.stats_mut().prefetch_hits += 1;
             return None;
         }
         let effects = self.install(addr, data, inner);
-        self.stats.prefetch_fills += 1;
-        self.stats.absorb_effects(effects);
+        self.engine.stats_mut().prefetch_fills += 1;
+        self.engine.absorb(effects);
         Some(OpOutcome { effects })
     }
 
     fn peek_data(&self, addr: LineAddr) -> Option<CacheLine> {
         let (set, l) = self.find(addr)?;
-        Some(self.slots[self.idx(set, l)].data)
+        Some(self.engine.slot(set, l).meta.data)
     }
 
     fn hint_downgrade(&mut self, addr: LineAddr) {
         if let Some((set, l)) = self.find(addr) {
-            self.policy.hint_downgrade(set, l);
+            self.engine.hint_downgrade(set, l);
         }
     }
 
     fn stats(&self) -> &LlcStats {
-        &self.stats
+        self.engine.stats()
     }
 
     fn compression_stats(&self) -> &CompressionStats {
@@ -367,12 +359,9 @@ impl LlcOrganization for VscLlc {
     }
 
     fn resident_lines(&self) -> Vec<LineAddr> {
-        let logical = self.logical_ways();
-        self.slots
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.valid)
-            .map(|(i, s)| s.addr(&self.geom, i / logical))
+        self.engine
+            .iter_valid()
+            .map(|(set, _, s)| line_addr(&self.geom, set, s.tag))
             .collect()
     }
 }
@@ -381,6 +370,7 @@ impl LlcOrganization for VscLlc {
 mod tests {
     use super::*;
     use crate::NoInner;
+    use bv_testkit::fixtures;
 
     fn compressible(seed: u64) -> CacheLine {
         CacheLine::from_u64_words(&core::array::from_fn(|i| {
@@ -401,7 +391,7 @@ mod tests {
     }
 
     fn toy() -> VscLlc {
-        VscLlc::new(CacheGeometry::new(1024, 4, 64), PolicyKind::Lru)
+        VscLlc::new(fixtures::toy_geometry(), fixtures::toy_policy())
     }
 
     #[test]

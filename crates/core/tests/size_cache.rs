@@ -9,9 +9,10 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
-use bv_cache::{CacheGeometry, LineAddr, PolicyKind};
+use bv_cache::LineAddr;
 use bv_compress::{Bdi, CacheLine, Compressed, Compressor, SegmentCount};
 use bv_core::{BaseVictimLlc, InclusionMode, LlcOrganization, NoInner, VictimPolicyKind};
+use bv_testkit::fixtures;
 
 /// Wraps BDI and counts how many times the cache asks for a compression
 /// (size-only or full), so tests can assert the memoization actually
@@ -58,8 +59,8 @@ impl Compressor for CountingCompressor {
 fn counting_llc(mode: InclusionMode) -> (BaseVictimLlc, Rc<Cell<u64>>) {
     let (compressor, size_calls, _) = CountingCompressor::new();
     let llc = BaseVictimLlc::with_compressor(
-        CacheGeometry::new(1024, 4, 64), // 4 sets x 4 ways toy cache
-        PolicyKind::Lru,
+        fixtures::toy_geometry(), // 4 sets x 4 ways toy cache
+        fixtures::toy_policy(),
         VictimPolicyKind::EcmLargestBase,
         mode,
         Box::new(compressor),
@@ -158,8 +159,8 @@ fn grown_base_evicts_victim_partner_not_overlap() {
     // cached size, a grown base line would silently overlap its victim
     // partner. The partner must be evicted instead.
     let mut llc = BaseVictimLlc::new(
-        CacheGeometry::new(1024, 4, 64),
-        PolicyKind::Lru,
+        fixtures::toy_geometry(),
+        fixtures::toy_policy(),
         VictimPolicyKind::EcmLargestBase,
     );
     let mut inner = NoInner;

@@ -3,8 +3,8 @@
 use bv_cache::{CacheGeometry, PolicyKind};
 use bv_compress::{Bdi, CPack, Compressor, Fpc, ZeroOnly};
 use bv_core::{
-    BaseVictimLlc, InclusionMode, LlcOrganization, TwoTagEcmLlc, TwoTagLlc, UncompressedLlc,
-    VictimPolicyKind, VscLlc,
+    BaseVictimLlc, DccLlc, InclusionMode, LlcOrganization, TwoTagEcmLlc, TwoTagLlc,
+    UncompressedLlc, VictimPolicyKind, VscLlc,
 };
 
 /// Selects the LLC compression algorithm for ablation studies (the paper
@@ -153,6 +153,8 @@ pub enum LlcKind {
     BaseVictimCompressor(CompressorKind),
     /// Functional VSC-2X (capacity comparison only).
     Vsc,
+    /// Functional DCC with super-block tags (capacity comparison only).
+    Dcc,
 }
 
 impl LlcKind {
@@ -168,6 +170,7 @@ impl LlcKind {
             LlcKind::BaseVictimNonInclusive => "base-victim-ni",
             LlcKind::BaseVictimCompressor(_) => "base-victim-compressor",
             LlcKind::Vsc => "vsc-2x",
+            LlcKind::Dcc => "dcc",
         }
     }
 
@@ -197,6 +200,7 @@ impl LlcKind {
                 ck.build(),
             )),
             LlcKind::Vsc => Box::new(VscLlc::new(geom, policy)),
+            LlcKind::Dcc => Box::new(DccLlc::new(geom, policy)),
         }
     }
 }
@@ -321,6 +325,7 @@ mod tests {
             LlcKind::BaseVictimNonInclusive,
             LlcKind::BaseVictimCompressor(CompressorKind::Fpc),
             LlcKind::Vsc,
+            LlcKind::Dcc,
         ] {
             let org = kind.build(geom, PolicyKind::Nru);
             assert!(!org.name().is_empty());

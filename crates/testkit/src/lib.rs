@@ -131,6 +131,31 @@ pub fn cases(n: u64, property: impl Fn(&mut Rng)) {
 /// in isolation.
 pub const CASE_SEED_BASE: u64 = 0xb5e0_c0de_0000_0000;
 
+/// Shared cache-configuration fixtures for the workspace test suites.
+///
+/// Every LLC-organization test module used to repeat the same "toy"
+/// configuration — a 4-set × 4-way × 64 B cache under LRU, matching the
+/// paper's worked examples. Centralizing it here keeps the suites in
+/// lockstep: a test that wants the toy cache gets exactly the geometry
+/// the other suites (and the doc examples) exercise.
+pub mod fixtures {
+    use bv_cache::{CacheGeometry, PolicyKind};
+
+    /// The 4-set × 4-way × 64 B toy geometry from the paper's worked
+    /// examples, shared by every organization's unit-test suite.
+    #[must_use]
+    pub fn toy_geometry() -> CacheGeometry {
+        CacheGeometry::new(1024, 4, 64)
+    }
+
+    /// The default baseline policy for toy-cache tests. LRU keeps
+    /// eviction order trivially predictable in hand-written scenarios.
+    #[must_use]
+    pub fn toy_policy() -> PolicyKind {
+        PolicyKind::Lru
+    }
+}
+
 /// A dependency-free stand-in for the Criterion harness: wall-clock
 /// timing with warmup, reporting per-iteration cost. Benches built on it
 /// stay `harness = false` binaries runnable via `cargo bench`.

@@ -21,7 +21,7 @@ OPTIONS:
     --trace <name>      registry trace to run (see --list-traces)
     --list-traces       print the 100-trace registry and exit
     --llc <kind>        uncompressed | two-tag | two-tag-ecm | base-victim
-                        | base-victim-ni | vsc   (default: base-victim)
+                        | base-victim-ni | vsc | dcc   (default: base-victim)
     --policy <name>     lru | nru | srrip | char | camp | random
                         (default: nru, as in the paper)
     --llc-mb <n>        LLC capacity in MB (default: 2)
@@ -154,6 +154,7 @@ pub fn parse_llc(s: &str) -> Option<LlcKind> {
         "base-victim-ni" => LlcKind::BaseVictimNonInclusive,
         "base-victim-random-fit" => LlcKind::BaseVictimWith(VictimPolicyKind::RandomFit),
         "vsc" => LlcKind::Vsc,
+        "dcc" => LlcKind::Dcc,
         _ => return None,
     })
 }

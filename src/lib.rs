@@ -55,7 +55,7 @@
 //! | [`sim`] | the timing simulator (core, DRAM, prefetch, hierarchy) |
 //! | [`energy`] | the Figure 14 energy model |
 //! | [`runner`] | parallel job execution, checkpoint/resume, run journal |
-//! | [`bench`] | the experiment harness and per-figure functions |
+//! | [`mod@bench`] | the experiment harness and per-figure functions |
 //! | [`cli`] | argument parsing for the `bvsim` binary |
 
 #![forbid(unsafe_code)]

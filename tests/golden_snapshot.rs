@@ -13,7 +13,7 @@
 //! ```
 
 use base_victim::runner::json::ObjWriter;
-use base_victim::{LlcKind, RunResult, SimConfig, System, TraceRegistry};
+use base_victim::{LlcKind, PolicyKind, RunResult, SimConfig, System, TraceRegistry};
 use std::path::PathBuf;
 
 const WARMUP: u64 = 150_000;
@@ -31,6 +31,11 @@ const TRACES: [&str; 7] = [
 ];
 
 const LLCS: [LlcKind; 3] = [LlcKind::Uncompressed, LlcKind::BaseVictim, LlcKind::TwoTag];
+
+/// Replacement-policy dimension, pinned for base-victim only: the default
+/// config already runs NRU, so these files pin NRU explicitly plus SRRIP
+/// (the paper's Figure 10 sensitivity study).
+const POLICIES: [PolicyKind; 2] = [PolicyKind::Nru, PolicyKind::Srrip];
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -68,40 +73,66 @@ fn snapshot(run: &RunResult) -> String {
     w.finish()
 }
 
+/// Compares one run against its committed golden, or rewrites the golden
+/// when `update` is set. Appends a diff description to `failures` on
+/// mismatch.
+fn check_one(
+    cfg: SimConfig,
+    trace_name: &str,
+    file_stem: &str,
+    registry: &TraceRegistry,
+    update: bool,
+    failures: &mut Vec<String>,
+) {
+    let trace = registry.get(trace_name).expect("sample trace in registry");
+    let run = System::new(cfg).run_with_warmup(&trace.workload, WARMUP, INSTS);
+    let got = snapshot(&run);
+    let dir = golden_dir();
+    let path = dir.join(format!("{file_stem}.json"));
+    if update {
+        std::fs::create_dir_all(&dir).expect("create goldens dir");
+        std::fs::write(&path, format!("{got}\n")).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with BV_UPDATE_GOLDENS=1",
+            path.display()
+        )
+    });
+    if want.trim_end() != got {
+        failures.push(format!(
+            "{file_stem}:\n  golden : {}\n  current: {got}",
+            want.trim_end()
+        ));
+    }
+}
+
 #[test]
 fn end_to_end_counters_match_committed_goldens() {
     let update = std::env::var_os("BV_UPDATE_GOLDENS").is_some();
     let registry = TraceRegistry::paper_default();
-    let dir = golden_dir();
     let mut failures = Vec::new();
     for trace_name in TRACES {
-        let trace = registry.get(trace_name).expect("sample trace in registry");
         for kind in LLCS {
-            let run = System::new(SimConfig::single_thread(kind)).run_with_warmup(
-                &trace.workload,
-                WARMUP,
-                INSTS,
+            check_one(
+                SimConfig::single_thread(kind),
+                trace_name,
+                &format!("{}.{}", trace_name, kind.name()),
+                &registry,
+                update,
+                &mut failures,
             );
-            let got = snapshot(&run);
-            let path = dir.join(format!("{}.{}.json", trace_name, kind.name()));
-            if update {
-                std::fs::create_dir_all(&dir).expect("create goldens dir");
-                std::fs::write(&path, format!("{got}\n")).expect("write golden");
-                continue;
-            }
-            let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-                panic!(
-                    "missing golden {} ({e}); regenerate with BV_UPDATE_GOLDENS=1",
-                    path.display()
-                )
-            });
-            if want.trim_end() != got {
-                failures.push(format!(
-                    "{trace_name} / {}:\n  golden : {}\n  current: {got}",
-                    kind.name(),
-                    want.trim_end()
-                ));
-            }
+        }
+        for policy in POLICIES {
+            check_one(
+                SimConfig::single_thread(LlcKind::BaseVictim).with_policy(policy),
+                trace_name,
+                &format!("{}.base-victim.{}", trace_name, policy.name()),
+                &registry,
+                update,
+                &mut failures,
+            );
         }
     }
     assert!(
