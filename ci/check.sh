@@ -34,4 +34,10 @@ echo "== bvsim bench --quick (perf gate vs committed BENCH.json) =="
 ./target/release/bvsim bench --quick \
     --out target/BENCH.quick.json --baseline BENCH.json --max-regress 20
 
+echo "== telemetry smoke (run --telemetry, then report) =="
+./target/release/bvsim --trace specint.mcf.07 --llc base-victim \
+    --warmup 50000 --insts 200000 \
+    --telemetry target/telemetry-smoke.jsonl --epoch 50000 >/dev/null
+./target/release/bvsim report target/telemetry-smoke.jsonl >/dev/null
+
 echo "All checks passed."

@@ -19,14 +19,15 @@
 use bv_compress::reference::{RefBdi, RefCPack, RefFpc};
 use bv_compress::{Bdi, CPack, CacheLine, Compressor, Fpc};
 use bv_runner::json::{self, ObjWriter, Value};
-use bv_sim::{LlcKind, SimConfig, System};
+use bv_sim::{LlcKind, SimConfig, SimTelemetry, System, DEFAULT_EPOCH_INSTS};
 use bv_trace::{DataProfile, TraceRegistry};
 
 /// Schema marker written into every report.
 ///
 /// v2 extends the end-to-end suite from three organizations to all five
-/// (adding VSC and DCC); the row format itself is unchanged, so the
-/// reader also accepts [`SCHEMA_V1`] files.
+/// (adding VSC and DCC) plus the telemetry-enabled [`TELEMETRY_ROW`]; the
+/// row format itself is unchanged, so the reader also accepts
+/// [`SCHEMA_V1`] files.
 pub const SCHEMA: &str = "bvsim-bench-v2";
 
 /// The previous schema marker, still accepted by [`BenchReport::from_json`]
@@ -227,7 +228,14 @@ pub const END_TO_END_LLCS: [LlcKind; 5] = [
     LlcKind::Dcc,
 ];
 
-/// Runs the end-to-end suite: sim insts/s for [`END_TO_END_LLCS`].
+/// Label for the telemetry-enabled end-to-end row: base-victim with
+/// epoch sampling at the `--telemetry` default epoch. Its baseline entry
+/// in `BENCH.json` puts instrumentation overhead under the same
+/// regression gate as the raw organizations.
+pub const TELEMETRY_ROW: &str = "base-victim+telemetry";
+
+/// Runs the end-to-end suite: sim insts/s for [`END_TO_END_LLCS`], then
+/// the [`TELEMETRY_ROW`] sampled run.
 ///
 /// # Panics
 ///
@@ -238,7 +246,7 @@ pub fn run_end_to_end_suite(cfg: &BenchConfig) -> Vec<EndToEndBench> {
     let trace = registry
         .get(END_TO_END_TRACE)
         .expect("end-to-end bench trace in registry");
-    END_TO_END_LLCS
+    let mut rows: Vec<EndToEndBench> = END_TO_END_LLCS
         .iter()
         .map(|&kind| {
             let mut llc_name = "";
@@ -256,7 +264,22 @@ pub fn run_end_to_end_suite(cfg: &BenchConfig) -> Vec<EndToEndBench> {
                 insts_per_sec: cfg.sim_insts as f64 / secs.max(f64::MIN_POSITIVE),
             }
         })
-        .collect()
+        .collect();
+    let secs = bv_testkit::bench::fastest(cfg.sim_samples, || {
+        let mut tel = SimTelemetry::new(DEFAULT_EPOCH_INSTS);
+        let result = System::new(SimConfig::single_thread(LlcKind::BaseVictim)).run_sampled(
+            &trace.workload,
+            cfg.sim_insts / 4,
+            cfg.sim_insts,
+            &mut tel,
+        );
+        result.cycles
+    });
+    rows.push(EndToEndBench {
+        llc: TELEMETRY_ROW.to_string(),
+        insts_per_sec: cfg.sim_insts as f64 / secs.max(f64::MIN_POSITIVE),
+    });
+    rows
 }
 
 /// Runs both suites.
@@ -291,6 +314,16 @@ impl BenchReport {
                 ))
             })
             .collect()
+    }
+
+    /// Instrumentation cost of the [`TELEMETRY_ROW`] relative to the
+    /// plain base-victim row, as a percentage (positive means the
+    /// sampled run is slower). `None` when either row is absent.
+    #[must_use]
+    pub fn telemetry_overhead_pct(&self) -> Option<f64> {
+        let plain = self.end_to_end.iter().find(|e| e.llc == "base-victim")?;
+        let sampled = self.end_to_end.iter().find(|e| e.llc == TELEMETRY_ROW)?;
+        Some((plain.insts_per_sec / sampled.insts_per_sec.max(f64::MIN_POSITIVE) - 1.0) * 100.0)
     }
 
     /// Serializes to the `BENCH.json` schema (one pretty-stable JSON
@@ -544,6 +577,69 @@ mod tests {
             assert_eq!(pair[0].segment_checksum, pair[1].segment_checksum);
             assert!(pair[0].lines_per_sec > 0.0);
         }
+    }
+
+    #[test]
+    fn telemetry_overhead_pct_reads_both_rows() {
+        let mut report = sample_report();
+        assert_eq!(report.telemetry_overhead_pct(), None, "row absent");
+        report.end_to_end.push(EndToEndBench {
+            llc: TELEMETRY_ROW.into(),
+            insts_per_sec: 2.45e6,
+        });
+        let pct = report.telemetry_overhead_pct().expect("both rows present");
+        assert!((pct - (2.5 / 2.45 - 1.0) * 100.0).abs() < 1e-9);
+    }
+
+    /// One interleaved overhead measurement: alternating plain/sampled
+    /// runs so both sides see the same machine conditions, best-of-N on
+    /// each side so transient stalls drop out of the ratio.
+    fn measure_telemetry_overhead_pct(iterations: usize) -> f64 {
+        use std::time::Instant;
+        let registry = TraceRegistry::paper_default();
+        let trace = registry.get(END_TO_END_TRACE).expect("trace");
+        let mut plain = f64::MAX;
+        let mut sampled = f64::MAX;
+        for _ in 0..iterations {
+            let t = Instant::now();
+            let r = System::new(SimConfig::single_thread(LlcKind::BaseVictim)).run_with_warmup(
+                &trace.workload,
+                50_000,
+                200_000,
+            );
+            plain = plain.min(t.elapsed().as_secs_f64());
+            std::hint::black_box(r.cycles);
+
+            let t = Instant::now();
+            let mut tel = SimTelemetry::new(DEFAULT_EPOCH_INSTS);
+            let r = System::new(SimConfig::single_thread(LlcKind::BaseVictim)).run_sampled(
+                &trace.workload,
+                50_000,
+                200_000,
+                &mut tel,
+            );
+            sampled = sampled.min(t.elapsed().as_secs_f64());
+            std::hint::black_box(r.cycles);
+        }
+        (sampled / plain - 1.0) * 100.0
+    }
+
+    #[test]
+    fn telemetry_overhead_stays_within_five_percent() {
+        // The acceptance bound for the instrumentation layer: sampling at
+        // the default 100k-instruction epoch must cost under 5% of
+        // end-to-end throughput. On a shared machine a single measurement
+        // can be swamped by scheduler noise, so the gate takes the best
+        // of up to three measurements: a genuine regression fails all
+        // three, while a noise spike passes on retry.
+        let mut best = f64::MAX;
+        for _ in 0..3 {
+            best = best.min(measure_telemetry_overhead_pct(10));
+            if best < 5.0 {
+                return;
+            }
+        }
+        panic!("telemetry overhead {best:.2}% exceeds the 5% budget in all attempts");
     }
 
     #[test]

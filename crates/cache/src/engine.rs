@@ -251,6 +251,15 @@ impl<P: ReplacementPolicy, S> SetEngine<P, S> {
             .map(move |(i, s)| (i / ways, i % ways, s))
     }
 
+    /// Number of valid slots across all sets — the occupancy probe the
+    /// telemetry sampler turns into an effective-capacity series. One
+    /// linear pass, no allocation (unlike collecting
+    /// [`SetEngine::iter_valid`]).
+    #[must_use]
+    pub fn valid_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.valid).count()
+    }
+
     /// Accumulated counters.
     #[must_use]
     pub fn stats(&self) -> &LlcStats {
@@ -308,6 +317,17 @@ mod tests {
         e.install(0, 1, 11, Tagged(2), SegmentCount::FULL);
         // Set full: LRU victim is way 0 (filled first, never touched).
         assert_eq!(e.fill_way(0), 0);
+    }
+
+    #[test]
+    fn valid_count_tracks_installs_and_invalidations() {
+        let mut e = engine();
+        assert_eq!(e.valid_count(), 0);
+        e.install(0, 0, 10, Tagged(1), SegmentCount::FULL);
+        e.install(3, 1, 11, Tagged(2), SegmentCount::FULL);
+        assert_eq!(e.valid_count(), 2);
+        e.invalidate(0, 0);
+        assert_eq!(e.valid_count(), 1);
     }
 
     #[test]

@@ -223,6 +223,26 @@ impl LlcStats {
         }
     }
 
+    /// Fraction of demand reads served by the Victim cache, in [0, 1];
+    /// 0 with no reads (and for single-tag organizations).
+    #[must_use]
+    pub fn victim_hit_rate(&self) -> f64 {
+        if self.reads() == 0 {
+            0.0
+        } else {
+            self.victim_hits as f64 / self.reads() as f64
+        }
+    }
+
+    /// Victim lines lost without ever being read: parking attempts that
+    /// found no fitting way plus compressed partners silently evicted to
+    /// make room. The per-epoch delta of this is the telemetry
+    /// "victim drops" series.
+    #[must_use]
+    pub fn victim_drops(&self) -> u64 {
+        self.victim_insert_failures + self.partner_evictions
+    }
+
     /// Folds one operation's side effects into the lifetime totals.
     pub fn absorb_effects(&mut self, effects: Effects) {
         self.memory_writes += effects.memory_writes;
@@ -305,6 +325,21 @@ mod tests {
         assert_eq!(stats.reads(), 10);
         assert_eq!(stats.memory_reads(), 3);
         assert!((stats.hit_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn victim_telemetry_rates() {
+        let stats = LlcStats {
+            base_hits: 6,
+            victim_hits: 2,
+            read_misses: 2,
+            victim_insert_failures: 3,
+            partner_evictions: 4,
+            ..LlcStats::default()
+        };
+        assert!((stats.victim_hit_rate() - 0.2).abs() < 1e-12);
+        assert_eq!(stats.victim_drops(), 7);
+        assert_eq!(LlcStats::default().victim_hit_rate(), 0.0);
     }
 
     #[test]

@@ -64,6 +64,12 @@ impl BdiEncoding {
         BdiEncoding::Uncompressed,
     ];
 
+    /// Short stable name, used for telemetry counter labels.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        NAMES[self as usize]
+    }
+
     /// `(element_bytes, delta_bytes)` for the delta encodings, `None` for
     /// the special cases.
     #[must_use]
@@ -103,7 +109,7 @@ impl BdiEncoding {
         SegmentCount::from_bytes(self.payload_bytes())
     }
 
-    fn from_tag(tag: u8) -> BdiEncoding {
+    pub(crate) fn from_tag(tag: u8) -> BdiEncoding {
         match tag {
             0 => BdiEncoding::Zeros,
             1 => BdiEncoding::Rep,
@@ -118,6 +124,20 @@ impl BdiEncoding {
         }
     }
 }
+
+/// Encoding names indexed by discriminant (the `repr(u8)` order, which is
+/// also the index [`Compressor::classified_size`] reports).
+const NAMES: [&str; 9] = [
+    "zeros",
+    "rep",
+    "b8d1",
+    "b8d2",
+    "b8d4",
+    "b4d1",
+    "b4d2",
+    "b2d1",
+    "uncompressed",
+];
 
 /// The Base-Delta-Immediate compressor.
 ///
@@ -224,6 +244,15 @@ impl Compressor for Bdi {
 
     fn compressed_size(&self, line: &CacheLine) -> SegmentCount {
         self.select_encoding(line).segments()
+    }
+
+    fn encodings(&self) -> &'static [&'static str] {
+        &NAMES
+    }
+
+    fn classified_size(&self, line: &CacheLine) -> (SegmentCount, Option<usize>) {
+        let enc = self.select_encoding(line);
+        (enc.segments(), Some(enc as usize))
     }
 }
 

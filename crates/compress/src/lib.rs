@@ -43,7 +43,7 @@ pub use bdi::{Bdi, BdiEncoding};
 pub use cpack::CPack;
 pub use fpc::Fpc;
 pub use line::{CacheLine, CACHE_LINE_BYTES, SEGMENTS_PER_LINE, SEGMENT_BYTES};
-pub use stats::CompressionStats;
+pub use stats::{CompressionStats, EncoderStats};
 pub use zero::{NullCompressor, ZeroOnly};
 
 use core::fmt;
@@ -225,6 +225,24 @@ pub trait Compressor {
     /// every fill.
     fn compressed_size(&self, line: &CacheLine) -> SegmentCount {
         self.compress(line).segments()
+    }
+
+    /// Names of this algorithm's encoding classes, indexed by the class
+    /// index [`Compressor::classified_size`] reports.
+    ///
+    /// Empty (the default) when the algorithm does not distinguish
+    /// internal encodings; telemetry then records nothing for it.
+    fn encodings(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// Like [`Compressor::compressed_size`], but also reports which
+    /// encoding class the line selected (an index into
+    /// [`Compressor::encodings`]), in the same single pass.
+    ///
+    /// `None` (the default) means the algorithm exposes no classes.
+    fn classified_size(&self, line: &CacheLine) -> (SegmentCount, Option<usize>) {
+        (self.compressed_size(line), None)
     }
 
     /// Decompression latency in core cycles for a line of the given size.

@@ -1,6 +1,6 @@
 //! Aggregate compressibility statistics.
 
-use crate::{SegmentCount, SEGMENTS_PER_LINE};
+use crate::{CacheLine, Compressor, SegmentCount, SEGMENTS_PER_LINE};
 use core::fmt;
 
 /// A histogram of compressed line sizes, used to classify workloads as
@@ -112,6 +112,63 @@ impl CompressionStats {
     }
 }
 
+/// Per-encoding-class selection counts for one compressor instance.
+///
+/// LLC organizations route their size computations through
+/// [`EncoderStats::record`], which performs the same single compression
+/// pass as [`Compressor::compressed_size`] but also tallies which
+/// encoding the line selected — the per-encoder telemetry the sampler
+/// harvests. Algorithms that expose no classes ([`Compressor::encodings`]
+/// empty) tally nothing and pay nothing beyond the size pass.
+///
+/// # Examples
+///
+/// ```
+/// use bv_compress::{Bdi, CacheLine, EncoderStats};
+///
+/// let mut stats = EncoderStats::new();
+/// let bdi = Bdi::new();
+/// stats.record(&bdi, &CacheLine::zeroed());
+/// assert_eq!(stats.counts(&bdi)[0], ("zeros", 1));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EncoderStats {
+    counts: Vec<u64>,
+}
+
+impl EncoderStats {
+    /// An empty tally. Sizes itself to the compressor's class count on
+    /// first use.
+    #[must_use]
+    pub fn new() -> EncoderStats {
+        EncoderStats::default()
+    }
+
+    /// Computes the compressed size of `line` via `comp`, recording the
+    /// encoding class it selected (if the algorithm exposes classes).
+    pub fn record<C: Compressor + ?Sized>(&mut self, comp: &C, line: &CacheLine) -> SegmentCount {
+        let (size, class) = comp.classified_size(line);
+        if let Some(class) = class {
+            if self.counts.is_empty() {
+                self.counts = vec![0; comp.encodings().len()];
+            }
+            self.counts[class] += 1;
+        }
+        size
+    }
+
+    /// `(encoding name, selection count)` pairs in class order. Empty for
+    /// algorithms without classes.
+    #[must_use]
+    pub fn counts<C: Compressor + ?Sized>(&self, comp: &C) -> Vec<(&'static str, u64)> {
+        comp.encodings()
+            .iter()
+            .enumerate()
+            .map(|(i, &name)| (name, self.counts.get(i).copied().unwrap_or(0)))
+            .collect()
+    }
+}
+
 impl fmt::Display for CompressionStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -152,6 +209,31 @@ mod tests {
         stats.record(SegmentCount::new(8)); // exactly half counts
         stats.record(SegmentCount::new(9)); // just over half does not
         assert!((stats.half_line_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encoder_stats_tally_matches_selection() {
+        let bdi = crate::Bdi::new();
+        let mut stats = EncoderStats::new();
+        let rep = CacheLine::from_u64_words(&[0xabcd; 8]);
+        for line in [CacheLine::zeroed(), CacheLine::zeroed(), rep] {
+            let size = stats.record(&bdi, &line);
+            assert_eq!(size, bdi.compressed_size(&line), "same size as plain path");
+        }
+        let counts = stats.counts(&bdi);
+        assert_eq!(
+            counts.iter().find(|(n, _)| *n == "zeros"),
+            Some(&("zeros", 2))
+        );
+        assert_eq!(counts.iter().find(|(n, _)| *n == "rep"), Some(&("rep", 1)));
+    }
+
+    #[test]
+    fn encoder_stats_empty_for_classless_algorithms() {
+        let fpc = crate::Fpc::new();
+        let mut stats = EncoderStats::new();
+        stats.record(&fpc, &CacheLine::zeroed());
+        assert!(stats.counts(&fpc).is_empty());
     }
 
     #[test]

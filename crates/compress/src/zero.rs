@@ -64,6 +64,18 @@ impl Compressor for ZeroOnly {
             SegmentCount::FULL
         }
     }
+
+    fn encodings(&self) -> &'static [&'static str] {
+        &["zero", "nonzero"]
+    }
+
+    fn classified_size(&self, line: &CacheLine) -> (SegmentCount, Option<usize>) {
+        if line.is_zero() {
+            (SegmentCount::MIN, Some(0))
+        } else {
+            (SegmentCount::FULL, Some(1))
+        }
+    }
 }
 
 /// A compressor that never compresses. Used to make a compressed-cache

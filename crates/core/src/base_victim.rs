@@ -22,7 +22,9 @@ use crate::victim_policy::{VictimCandidate, VictimPolicyKind};
 use crate::{Effects, HitKind, InclusionAgent, LlcOrganization, LlcStats, OpOutcome, ReadOutcome};
 use bv_cache::engine::SetEngine;
 use bv_cache::{CacheGeometry, LineAddr, Policy, PolicyKind, ReplacementPolicy};
-use bv_compress::{Bdi, CacheLine, CompressionStats, Compressor, SegmentCount, SEGMENTS_PER_LINE};
+use bv_compress::{
+    Bdi, CacheLine, CompressionStats, Compressor, EncoderStats, SegmentCount, SEGMENTS_PER_LINE,
+};
 
 /// Whether the LLC maintains inclusion with the core caches.
 ///
@@ -80,6 +82,7 @@ pub struct BaseVictimLlc<P: ReplacementPolicy = Policy> {
     victim_kind: VictimPolicyKind,
     compression: CompressionStats,
     compressor: Box<dyn Compressor>,
+    encoders: EncoderStats,
     mode: InclusionMode,
     clock: u64,
     rng: u64,
@@ -170,6 +173,7 @@ impl<P: ReplacementPolicy> BaseVictimLlc<P> {
             victim_kind,
             compression: CompressionStats::default(),
             compressor,
+            encoders: EncoderStats::new(),
             mode,
             clock: 0,
             rng: 0x1234_5678_9abc_def1,
@@ -260,7 +264,7 @@ impl<P: ReplacementPolicy> BaseVictimLlc<P> {
             effects.memory_writes += 1;
         }
         let size = if inner_dirty.is_some() {
-            self.compressor.compressed_size(&data)
+            self.encoders.record(self.compressor.as_ref(), &data)
         } else {
             slot.meta.size
         };
@@ -557,7 +561,7 @@ impl<P: ReplacementPolicy> LlcOrganization for BaseVictimLlc<P> {
             let new_size = if slot.meta.data == data {
                 slot.meta.size
             } else {
-                self.compressor.compressed_size(&data)
+                self.encoders.record(self.compressor.as_ref(), &data)
             };
             self.compression.record(new_size);
             let meta = &mut self.engine.slot_mut(set, way).meta;
@@ -592,7 +596,7 @@ impl<P: ReplacementPolicy> LlcOrganization for BaseVictimLlc<P> {
                     let new_size = if promoted.data == data {
                         promoted.size
                     } else {
-                        self.compressor.compressed_size(&data)
+                        self.encoders.record(self.compressor.as_ref(), &data)
                     };
                     self.compression.record(new_size);
                     self.install_base(set, promoted.tag, data, new_size, true, inner, &mut effects);
@@ -607,7 +611,7 @@ impl<P: ReplacementPolicy> LlcOrganization for BaseVictimLlc<P> {
             // LLC earlier but the L2 still held it.
             let set = self.geom.set_index(addr.get());
             let tag = self.geom.tag(addr.get());
-            let size = self.compressor.compressed_size(&data);
+            let size = self.encoders.record(self.compressor.as_ref(), &data);
             self.compression.record(size);
             self.install_base(set, tag, data, size, true, inner, &mut effects);
             self.engine.stats_mut().writeback_hits += 1;
@@ -636,7 +640,7 @@ impl<P: ReplacementPolicy> LlcOrganization for BaseVictimLlc<P> {
         let mut effects = Effects::default();
         let set = self.geom.set_index(addr.get());
         let tag = self.geom.tag(addr.get());
-        let size = self.compressor.compressed_size(&data);
+        let size = self.encoders.record(self.compressor.as_ref(), &data);
         self.compression.record(size);
         self.install_base(set, tag, data, size, false, inner, &mut effects);
         self.engine.stats_mut().demand_fills += 1;
@@ -681,7 +685,7 @@ impl<P: ReplacementPolicy> LlcOrganization for BaseVictimLlc<P> {
         let mut effects = Effects::default();
         let set = self.geom.set_index(addr.get());
         let tag = self.geom.tag(addr.get());
-        let size = self.compressor.compressed_size(&data);
+        let size = self.encoders.record(self.compressor.as_ref(), &data);
         self.compression.record(size);
         self.install_base(set, tag, data, size, false, inner, &mut effects);
         self.engine.stats_mut().prefetch_fills += 1;
@@ -726,6 +730,10 @@ impl<P: ReplacementPolicy> LlcOrganization for BaseVictimLlc<P> {
         let mut lines = self.baseline_lines();
         lines.extend(self.victim_lines());
         lines
+    }
+
+    fn encoder_counts(&self) -> Vec<(&'static str, u64)> {
+        self.encoders.counts(self.compressor.as_ref())
     }
 }
 

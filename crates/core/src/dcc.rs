@@ -19,7 +19,7 @@ use crate::slot::Slot;
 use crate::{Effects, HitKind, InclusionAgent, LlcOrganization, LlcStats, OpOutcome, ReadOutcome};
 use bv_cache::engine::{SetEngine, SlotMeta};
 use bv_cache::{CacheGeometry, LineAddr, Policy, PolicyKind, ReplacementPolicy};
-use bv_compress::{Bdi, CacheLine, CompressionStats, Compressor, SegmentCount};
+use bv_compress::{Bdi, CacheLine, CompressionStats, Compressor, EncoderStats, SegmentCount};
 
 /// Lines per super-block (DCC uses 4).
 const SUPER_BLOCK_LINES: usize = 4;
@@ -85,6 +85,7 @@ pub struct DccLlc<P: ReplacementPolicy = Policy> {
     engine: SetEngine<P, SuperLines>,
     compression: CompressionStats,
     bdi: Bdi,
+    encoders: EncoderStats,
     /// Evictions that removed more than one valid line (DCC's coarse
     /// replacement drawback).
     multi_line_evictions: u64,
@@ -113,6 +114,7 @@ impl<P: ReplacementPolicy> DccLlc<P> {
             engine: SetEngine::new(geom.sets(), tags, policy),
             compression: CompressionStats::default(),
             bdi: Bdi::new(),
+            encoders: EncoderStats::new(),
             multi_line_evictions: 0,
             resident_samples: 0,
             resident_total: 0,
@@ -212,7 +214,7 @@ impl<P: ReplacementPolicy> DccLlc<P> {
         debug_assert!(!self.contains(addr), "fill of resident line");
         let mut effects = Effects::default();
         let (set, tag, member) = self.locate_super(addr);
-        let size = self.bdi.compressed_size(&data);
+        let size = self.encoders.record(&self.bdi, &data);
         self.compression.record(size);
         let needed = size.bytes().div_ceil(SUB_BLOCK_BYTES);
 
@@ -330,7 +332,7 @@ impl<P: ReplacementPolicy> LlcOrganization for DccLlc<P> {
                 let new_size = if line.data == data {
                     line.size
                 } else {
-                    self.bdi.compressed_size(&data)
+                    self.encoders.record(&self.bdi, &data)
                 };
                 self.compression.record(new_size);
                 let old = line.size;
@@ -424,6 +426,10 @@ impl<P: ReplacementPolicy> LlcOrganization for DccLlc<P> {
             }
         }
         out
+    }
+
+    fn encoder_counts(&self) -> Vec<(&'static str, u64)> {
+        self.encoders.counts(&self.bdi)
     }
 }
 

@@ -218,6 +218,15 @@ pub trait LlcOrganization {
     /// Addresses of all currently resident logical lines, in no particular
     /// order. For invariant checks.
     fn resident_lines(&self) -> Vec<LineAddr>;
+
+    /// Per-encoding selection counts of this organization's compressor, as
+    /// `(encoding name, count)` pairs — telemetry for the compressed-size
+    /// distribution over the run. Empty (the default) when the
+    /// organization does not compress or its algorithm exposes no
+    /// encoding classes.
+    fn encoder_counts(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

@@ -20,7 +20,9 @@ use crate::slot::{line_addr, LineMeta};
 use crate::{Effects, HitKind, InclusionAgent, LlcOrganization, LlcStats, OpOutcome, ReadOutcome};
 use bv_cache::engine::SetEngine;
 use bv_cache::{CacheGeometry, LineAddr, Policy, PolicyKind, ReplacementPolicy};
-use bv_compress::{Bdi, CacheLine, CompressionStats, Compressor, SegmentCount, SEGMENTS_PER_LINE};
+use bv_compress::{
+    Bdi, CacheLine, CompressionStats, Compressor, EncoderStats, SegmentCount, SEGMENTS_PER_LINE,
+};
 
 /// Victim-search flavor for the shared two-tag machinery.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -45,6 +47,7 @@ pub struct TwoTagCore<P: ReplacementPolicy = Policy> {
     flavor: Flavor,
     compression: CompressionStats,
     bdi: Bdi,
+    encoders: EncoderStats,
 }
 
 impl<P: ReplacementPolicy> TwoTagCore<P> {
@@ -56,6 +59,7 @@ impl<P: ReplacementPolicy> TwoTagCore<P> {
             flavor,
             compression: CompressionStats::default(),
             bdi: Bdi::new(),
+            encoders: EncoderStats::new(),
         }
     }
 
@@ -107,7 +111,7 @@ impl<P: ReplacementPolicy> TwoTagCore<P> {
         let mut effects = Effects::default();
         let set = self.geom.set_index(addr.get());
         let tag = self.geom.tag(addr.get());
-        let size = self.bdi.compressed_size(&data);
+        let size = self.encoders.record(&self.bdi, &data);
         self.compression.record(size);
 
         // Warmup path: an invalid logical slot whose partner leaves room.
@@ -189,7 +193,7 @@ impl<P: ReplacementPolicy> TwoTagCore<P> {
                 let new_size = if slot.meta.data == data {
                     slot.meta.size
                 } else {
-                    self.bdi.compressed_size(&data)
+                    self.encoders.record(&self.bdi, &data)
                 };
                 self.compression.record(new_size);
                 let meta = &mut self.engine.slot_mut(set, l).meta;
@@ -382,6 +386,10 @@ macro_rules! two_tag_llc {
                     .iter_valid()
                     .map(|(set, _, s)| line_addr(&self.core.geom, set, s.tag))
                     .collect()
+            }
+
+            fn encoder_counts(&self) -> Vec<(&'static str, u64)> {
+                self.core.encoders.counts(&self.core.bdi)
             }
         }
     };

@@ -4,7 +4,7 @@ use crate::slot::{line_addr, LineMeta};
 use crate::{Effects, HitKind, InclusionAgent, LlcOrganization, LlcStats, OpOutcome, ReadOutcome};
 use bv_cache::engine::SetEngine;
 use bv_cache::{CacheGeometry, LineAddr, Policy, PolicyKind, ReplacementPolicy};
-use bv_compress::{Bdi, CacheLine, CompressionStats, Compressor, SegmentCount};
+use bv_compress::{Bdi, CacheLine, CompressionStats, EncoderStats, SegmentCount};
 
 /// An ordinary inclusive LLC: one tag per physical way, no compression.
 ///
@@ -31,6 +31,7 @@ pub struct UncompressedLlc<P: ReplacementPolicy = Policy> {
     engine: SetEngine<P, LineMeta>,
     compression: CompressionStats,
     bdi: Bdi,
+    encoders: EncoderStats,
 }
 
 impl UncompressedLlc {
@@ -52,6 +53,7 @@ impl<P: ReplacementPolicy> UncompressedLlc<P> {
             engine: SetEngine::new(geom.sets(), geom.ways(), policy),
             compression: CompressionStats::default(),
             bdi: Bdi::new(),
+            encoders: EncoderStats::new(),
         }
     }
 
@@ -88,7 +90,7 @@ impl<P: ReplacementPolicy> UncompressedLlc<P> {
         // Track compressibility of the access stream even though this
         // organization stores lines uncompressed (used to classify traces,
         // and fed to size-aware policies like CAMP as their predictor).
-        let compressed_size = self.bdi.compressed_size(&data);
+        let compressed_size = self.encoders.record(&self.bdi, &data);
         self.compression.record(compressed_size);
 
         let meta = LineMeta {
@@ -223,6 +225,10 @@ impl<P: ReplacementPolicy> LlcOrganization for UncompressedLlc<P> {
             .iter_valid()
             .map(|(set, _, s)| line_addr(&self.geom, set, s.tag))
             .collect()
+    }
+
+    fn encoder_counts(&self) -> Vec<(&'static str, u64)> {
+        self.encoders.counts(&self.bdi)
     }
 }
 

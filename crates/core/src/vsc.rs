@@ -14,7 +14,9 @@ use crate::slot::{line_addr, LineMeta};
 use crate::{Effects, HitKind, InclusionAgent, LlcOrganization, LlcStats, OpOutcome, ReadOutcome};
 use bv_cache::engine::SetEngine;
 use bv_cache::{CacheGeometry, LineAddr, Policy, PolicyKind, ReplacementPolicy};
-use bv_compress::{Bdi, CacheLine, CompressionStats, Compressor, SegmentCount, SEGMENTS_PER_LINE};
+use bv_compress::{
+    Bdi, CacheLine, CompressionStats, Compressor, EncoderStats, SegmentCount, SEGMENTS_PER_LINE,
+};
 
 /// Functional VSC-2X: twice the tags, compacted variable-size data.
 ///
@@ -41,6 +43,7 @@ pub struct VscLlc<P: ReplacementPolicy = Policy> {
     engine: SetEngine<P, LineMeta>, // sets x 2*ways logical tags
     compression: CompressionStats,
     bdi: Bdi,
+    encoders: EncoderStats,
     /// Set compaction events (any fill/growth that had to evict and
     /// repack).
     recompactions: u64,
@@ -70,6 +73,7 @@ impl<P: ReplacementPolicy> VscLlc<P> {
             engine: SetEngine::new(geom.sets(), logical, policy),
             compression: CompressionStats::default(),
             bdi: Bdi::new(),
+            encoders: EncoderStats::new(),
             recompactions: 0,
             resident_samples: 0,
             resident_total: 0,
@@ -155,7 +159,7 @@ impl<P: ReplacementPolicy> VscLlc<P> {
         let mut effects = Effects::default();
         let set = self.geom.set_index(addr.get());
         let tag = self.geom.tag(addr.get());
-        let size = self.bdi.compressed_size(&data);
+        let size = self.encoders.record(&self.bdi, &data);
         self.compression.record(size);
 
         self.make_room(set, size.get() as usize, None, inner, &mut effects);
@@ -265,7 +269,7 @@ impl<P: ReplacementPolicy> LlcOrganization for VscLlc<P> {
                 let new_size = if slot.meta.data == data {
                     slot.meta.size
                 } else {
-                    self.bdi.compressed_size(&data)
+                    self.encoders.record(&self.bdi, &data)
                 };
                 self.compression.record(new_size);
                 let old_size = slot.meta.size;
@@ -363,6 +367,10 @@ impl<P: ReplacementPolicy> LlcOrganization for VscLlc<P> {
             .iter_valid()
             .map(|(set, _, s)| line_addr(&self.geom, set, s.tag))
             .collect()
+    }
+
+    fn encoder_counts(&self) -> Vec<(&'static str, u64)> {
+        self.encoders.counts(&self.bdi)
     }
 }
 

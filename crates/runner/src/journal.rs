@@ -80,9 +80,19 @@ impl Journal {
     }
 
     /// Checkpoints a completed run and appends its observability record.
+    /// `telemetry` is the epoch-sampled JSONL file this run produced, if
+    /// any; its path lands in the `runs.jsonl` line so analysis scripts
+    /// can join a sweep row to its time series.
     /// I/O failures are reported to stderr but do not fail the sweep: a
     /// lost checkpoint only costs a future re-simulation.
-    pub fn record(&self, job: &JobSpec, result: &RunResult, wall_secs: f64, worker: usize) {
+    pub fn record(
+        &self,
+        job: &JobSpec,
+        result: &RunResult,
+        wall_secs: f64,
+        worker: usize,
+        telemetry: Option<&Path>,
+    ) {
         let path = self.checkpoint_path(job);
         let tmp = path.with_extension("json.tmp");
         let body = encode_result(job, result);
@@ -104,6 +114,9 @@ impl Journal {
             .u64("instructions", result.instructions)
             .f64("wall_secs", wall_secs)
             .u64("worker", worker as u64);
+        if let Some(path) = telemetry {
+            line.str("telemetry", &path.display().to_string());
+        }
         let mut log = self.log.lock().expect("journal log");
         if let Err(e) = writeln!(log, "{}", line.finish()) {
             eprintln!("journal: failed to append runs.jsonl: {e}");

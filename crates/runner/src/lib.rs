@@ -50,9 +50,10 @@
 
 mod job;
 mod journal;
-pub mod json;
 pub mod pool;
 mod runner;
+
+pub use bv_telemetry::json;
 
 pub use job::{fnv1a, JobSpec};
 pub use journal::Journal;

@@ -6,10 +6,12 @@
 use crate::job::JobSpec;
 use crate::journal::Journal;
 use crate::pool;
-use bv_sim::{RunResult, System};
+use bv_sim::{RunResult, SimTelemetry, System};
+use bv_trace::synth::WorkloadSpec;
 use bv_trace::TraceRegistry;
 use std::collections::HashMap;
 use std::io::Write as _;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -38,6 +40,7 @@ pub struct Runner {
     journal: Option<Journal>,
     resume: bool,
     progress: bool,
+    telemetry: Option<(PathBuf, u64)>,
     store: Mutex<HashMap<u64, RunResult>>,
 }
 
@@ -50,6 +53,7 @@ impl Runner {
             journal: None,
             resume: false,
             progress: false,
+            telemetry: None,
             store: Mutex::new(HashMap::new()),
         }
     }
@@ -76,6 +80,26 @@ impl Runner {
     pub fn with_progress(mut self, progress: bool) -> Runner {
         self.progress = progress;
         self
+    }
+
+    /// Enables epoch-sampled telemetry: every *simulated* job writes a
+    /// `bvsim-telemetry-v1` JSONL file named `<hash>.telemetry.jsonl`
+    /// under `dir`, sampling every `epoch_insts` committed instructions.
+    /// Jobs satisfied from the store or (under resume) the journal are
+    /// not re-simulated and therefore write no telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if `dir` cannot be created.
+    pub fn with_telemetry(
+        mut self,
+        dir: impl Into<PathBuf>,
+        epoch_insts: u64,
+    ) -> std::io::Result<Runner> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        self.telemetry = Some((dir, epoch_insts));
+        Ok(self)
     }
 
     /// The configured worker count.
@@ -124,12 +148,42 @@ impl Runner {
             .workload
             .clone();
         let t = Instant::now();
-        let result = System::new(job.cfg).run_with_warmup(&workload, job.warmup, job.insts);
+        let (result, telemetry) = self.simulate(job, &workload);
         if let Some(j) = &self.journal {
-            j.record(job, &result, t.elapsed().as_secs_f64(), 0);
+            j.record(
+                job,
+                &result,
+                t.elapsed().as_secs_f64(),
+                0,
+                telemetry.as_deref(),
+            );
         }
         self.insert(job, result.clone());
         result
+    }
+
+    /// Runs the simulation for one job, writing its telemetry file when
+    /// sampling is enabled. Returns the result and the telemetry path
+    /// that was actually written.
+    fn simulate(&self, job: &JobSpec, workload: &WorkloadSpec) -> (RunResult, Option<PathBuf>) {
+        let system = System::new(job.cfg);
+        let Some((dir, epoch_insts)) = &self.telemetry else {
+            let result = system.run_with_warmup(workload, job.warmup, job.insts);
+            return (result, None);
+        };
+        let mut tel = SimTelemetry::new(*epoch_insts)
+            .with_meta("trace", &job.trace)
+            .with_meta("key", &job.key());
+        let result = system.run_sampled(workload, job.warmup, job.insts, &mut tel);
+        let tel = tel.with_meta("llc", result.llc_name);
+        let path = dir.join(format!("{:016x}.telemetry.jsonl", job.stable_hash()));
+        if let Err(e) = std::fs::write(&path, tel.into_report().to_jsonl()) {
+            // Like a lost checkpoint, a lost telemetry file does not
+            // fail the sweep.
+            eprintln!("telemetry: failed to write {}: {e}", path.display());
+            return (result, None);
+        }
+        (result, Some(path))
     }
 
     /// Plans and executes a batch: deduplicates, satisfies what it can
@@ -194,10 +248,10 @@ impl Runner {
         let t0 = Instant::now();
         let results = pool::parallel_map(resolved, self.workers, |worker, _, (job, workload)| {
             let t = Instant::now();
-            let result = System::new(job.cfg).run_with_warmup(&workload, job.warmup, job.insts);
+            let (result, telemetry) = self.simulate(&job, &workload);
             let wall = t.elapsed().as_secs_f64();
             if let Some(j) = &self.journal {
-                j.record(&job, &result, wall, worker);
+                j.record(&job, &result, wall, worker, telemetry.as_deref());
             }
             // Store immediately (not after the batch) so a panic or kill
             // elsewhere loses as little completed work as possible.

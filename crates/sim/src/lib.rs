@@ -40,6 +40,7 @@ mod multicore;
 mod prefetch;
 pub mod report;
 mod system;
+mod telemetry;
 
 pub use config::{CompressorKind, CoreConfig, DramConfig, LlcKind, SimConfig};
 pub use core_model::CoreModel;
@@ -48,3 +49,7 @@ pub use hierarchy::{Hierarchy, LevelHit};
 pub use multicore::{MulticoreResult, MulticoreSystem};
 pub use prefetch::StreamPrefetcher;
 pub use system::{RunResult, System};
+pub use telemetry::{
+    Instrument, MulticoreInstrument, MulticoreTelemetry, NoInstrument, SimTelemetry,
+    DEFAULT_EPOCH_INSTS,
+};

@@ -3,7 +3,10 @@
 /// Geometric mean of a sequence of positive ratios, the paper's average
 /// for normalized IPC and miss-rate ratios (Section V).
 ///
-/// Returns 1.0 for an empty input.
+/// Returns 1.0 for an empty input. Zero, negative, and NaN samples —
+/// for which a geometric mean is undefined — are skipped, so one
+/// degenerate ratio drops out of the average instead of poisoning the
+/// whole report with `-inf` or NaN through `ln()`.
 ///
 /// # Examples
 ///
@@ -12,13 +15,17 @@
 ///
 /// let g = geomean([2.0, 0.5]);
 /// assert!((g - 1.0).abs() < 1e-12);
+/// // Undefined samples are skipped, not propagated.
+/// assert!((geomean([4.0, 0.0, -2.0, 1.0]) - 2.0).abs() < 1e-12);
 /// ```
 #[must_use]
 pub fn geomean<I: IntoIterator<Item = f64>>(values: I) -> f64 {
     let mut log_sum = 0.0;
     let mut n = 0u64;
     for v in values {
-        debug_assert!(v > 0.0, "geomean of non-positive value {v}");
+        if v.is_nan() || v <= 0.0 {
+            continue;
+        }
         log_sum += v.ln();
         n += 1;
     }
@@ -69,6 +76,17 @@ mod tests {
         assert_eq!(geomean(std::iter::empty()), 1.0);
         let paper_like = geomean([1.073; 60]);
         assert!((paper_like - 1.073).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_skips_undefined_samples() {
+        // ln(0) = -inf and ln(-2) = NaN would poison the sum; undefined
+        // samples must drop out instead.
+        assert!((geomean([4.0, 0.0, -2.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean([f64::NAN, 9.0]) - 9.0).abs() < 1e-12);
+        // All-undefined degrades to the empty-input identity.
+        assert_eq!(geomean([0.0, -1.0]), 1.0);
+        assert!(geomean([4.0, f64::INFINITY]).is_infinite());
     }
 
     #[test]

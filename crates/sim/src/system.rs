@@ -4,6 +4,7 @@ use crate::config::SimConfig;
 use crate::core_model::CoreModel;
 use crate::dram::DramStats;
 use crate::hierarchy::{Hierarchy, LevelHit};
+use crate::telemetry::{Instrument, NoInstrument, SimTelemetry};
 use bv_compress::CompressionStats;
 use bv_core::LlcStats;
 use bv_trace::synth::WorkloadSpec;
@@ -129,6 +130,36 @@ impl System {
         warmup: u64,
         instructions: u64,
     ) -> RunResult {
+        self.run_instrumented(workload, warmup, instructions, &mut NoInstrument)
+    }
+
+    /// Like [`run_with_warmup`](System::run_with_warmup), but samples
+    /// `telemetry` at every epoch boundary of the measured phase
+    /// (`bvsim run --telemetry`). The simulation itself is unperturbed:
+    /// the result is identical to the unsampled run.
+    #[must_use]
+    pub fn run_sampled(
+        &self,
+        workload: &WorkloadSpec,
+        warmup: u64,
+        instructions: u64,
+        telemetry: &mut SimTelemetry,
+    ) -> RunResult {
+        self.run_instrumented(workload, warmup, instructions, telemetry)
+    }
+
+    /// The generic driver under both entry points: runs the warmup
+    /// phase, then the measured phase with `instr` observing epoch
+    /// boundaries. With [`NoInstrument`] the observer monomorphizes to
+    /// one dead `u64` compare per event.
+    #[must_use]
+    pub fn run_instrumented<I: Instrument>(
+        &self,
+        workload: &WorkloadSpec,
+        warmup: u64,
+        instructions: u64,
+        instr: &mut I,
+    ) -> RunResult {
         let mut hierarchy = Hierarchy::new(self.cfg, 1);
         let mut core = CoreModel::new(self.cfg.core);
         let mut gen = workload.generator();
@@ -145,6 +176,10 @@ impl System {
         let llc_snap = *hierarchy.uncore().llc().stats();
         let comp_snap = hierarchy.uncore().llc().compression_stats().clone();
         let dram_snap = *hierarchy.uncore().dram().stats();
+        instr.begin(core.instructions(), core.cycles(), &hierarchy);
+        // Cached locally so the hot loop compares against a register
+        // instead of re-reading the observer through `&mut` every event.
+        let mut boundary = instr.next_boundary();
 
         while core.instructions() < warm_insts + instructions {
             let ev = gen.next_event();
@@ -159,7 +194,12 @@ impl System {
                 LevelHit::Memory => 4,
             };
             level_hits[idx] += 1;
+            if I::ENABLED && core.instructions() >= boundary {
+                instr.sample(core.instructions(), core.cycles(), &hierarchy);
+                boundary = instr.next_boundary();
+            }
         }
+        instr.finish(core.instructions(), core.cycles(), &hierarchy);
 
         RunResult {
             llc_name: hierarchy.uncore().llc().name(),

@@ -1,0 +1,121 @@
+//! A registry of named monotonic counters.
+//!
+//! Instrumentation registers a counter once (paying the name lookup and
+//! allocation up front) and bumps it through a copyable [`CounterId`]
+//! afterwards — an O(1) array add on the hot path. The registry
+//! preserves registration order so sink output is deterministic.
+
+/// Handle to a registered counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// An append-only set of named `u64` counters.
+///
+/// # Examples
+///
+/// ```
+/// use bv_telemetry::CounterRegistry;
+///
+/// let mut reg = CounterRegistry::new();
+/// let drops = reg.register("victim.drops");
+/// reg.add(drops, 3);
+/// reg.add(drops, 1);
+/// assert_eq!(reg.get("victim.drops"), Some(4));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CounterRegistry {
+    names: Vec<String>,
+    values: Vec<u64>,
+}
+
+impl CounterRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> CounterRegistry {
+        CounterRegistry::default()
+    }
+
+    /// Registers a counter, starting at zero. Registering a name twice
+    /// returns the existing counter.
+    pub fn register(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return CounterId(i);
+        }
+        self.names.push(name.to_string());
+        self.values.push(0);
+        CounterId(self.names.len() - 1)
+    }
+
+    /// Adds to a counter.
+    pub fn add(&mut self, id: CounterId, delta: u64) {
+        self.values[id.0] += delta;
+    }
+
+    /// Sets a counter to an absolute value (for totals harvested once at
+    /// the end of a run).
+    pub fn set(&mut self, id: CounterId, value: u64) {
+        self.values[id.0] = value;
+    }
+
+    /// Reads a counter by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<u64> {
+        let i = self.names.iter().position(|n| n == name)?;
+        Some(self.values[i])
+    }
+
+    /// Number of registered counters.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no counter is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// `(name, value)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.values.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut reg = CounterRegistry::new();
+        let a = reg.register("a");
+        let again = reg.register("a");
+        assert_eq!(a, again);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn iteration_preserves_registration_order() {
+        let mut reg = CounterRegistry::new();
+        let z = reg.register("z");
+        let a = reg.register("a");
+        reg.add(z, 1);
+        reg.set(a, 9);
+        let pairs: Vec<(&str, u64)> = reg.iter().collect();
+        assert_eq!(pairs, vec![("z", 1), ("a", 9)]);
+    }
+
+    #[test]
+    fn get_by_name() {
+        let mut reg = CounterRegistry::new();
+        let a = reg.register("hits");
+        reg.add(a, 2);
+        assert_eq!(reg.get("hits"), Some(2));
+        assert_eq!(reg.get("misses"), None);
+        assert!(!reg.is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! Log2-bucketed histograms.
+//!
+//! Per-epoch quantities (DRAM bursts, victim drops) span several orders
+//! of magnitude across program phases; a power-of-two bucketing captures
+//! that shape in 65 fixed `u64`s with an O(1) record path — no dynamic
+//! allocation, no data-dependent branching, deterministic by
+//! construction.
+
+/// Number of buckets: one for zero plus one per bit position of `u64`.
+pub const LOG2_BUCKETS: usize = 65;
+
+/// A histogram over `u64` samples with power-of-two bucket boundaries.
+///
+/// Bucket 0 counts exact zeros; bucket `b >= 1` counts samples in
+/// `[2^(b-1), 2^b)`, i.e. `floor(log2(x)) + 1` for `x > 0`.
+///
+/// # Examples
+///
+/// ```
+/// use bv_telemetry::Log2Histogram;
+///
+/// let mut h = Log2Histogram::new();
+/// h.record(0); // bucket 0
+/// h.record(1); // bucket 1
+/// h.record(5); // bucket 3: [4, 8)
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.buckets()[3], 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; LOG2_BUCKETS],
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Log2Histogram {
+        Log2Histogram::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Log2Histogram {
+        Log2Histogram {
+            buckets: [0; LOG2_BUCKETS],
+        }
+    }
+
+    /// The bucket index a value falls in.
+    #[must_use]
+    pub fn bucket_of(value: u64) -> usize {
+        match value {
+            0 => 0,
+            v => 64 - v.leading_zeros() as usize,
+        }
+    }
+
+    /// The half-open range `[lo, hi)` a bucket covers; bucket 0 is the
+    /// degenerate `[0, 1)`. The top bucket's `hi` saturates at
+    /// `u64::MAX`.
+    #[must_use]
+    pub fn bucket_range(bucket: usize) -> (u64, u64) {
+        assert!(bucket < LOG2_BUCKETS, "bucket {bucket} out of range");
+        match bucket {
+            0 => (0, 1),
+            b => (1u64 << (b - 1), if b == 64 { u64::MAX } else { 1u64 << b }),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Log2Histogram::bucket_of(value)] += 1;
+    }
+
+    /// Total number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The raw bucket counts.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; LOG2_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Rebuilds a histogram from stored bucket counts (the sink's parse
+    /// path). Returns `None` if `buckets` has the wrong length.
+    #[must_use]
+    pub fn from_buckets(buckets: &[u64]) -> Option<Log2Histogram> {
+        let buckets: [u64; LOG2_BUCKETS] = buckets.try_into().ok()?;
+        Some(Log2Histogram { buckets })
+    }
+
+    /// Adds another histogram's counts into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// The highest non-empty bucket, if any sample was recorded.
+    #[must_use]
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&c| c > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+        for b in 0..LOG2_BUCKETS {
+            let (lo, hi) = Log2Histogram::bucket_range(b);
+            assert_eq!(Log2Histogram::bucket_of(lo), b);
+            assert!(lo < hi);
+        }
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        a.record(10);
+        b.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.buckets()[Log2Histogram::bucket_of(10)], 2);
+        assert_eq!(a.max_bucket(), Some(Log2Histogram::bucket_of(1000)));
+    }
+
+    #[test]
+    fn from_buckets_round_trips() {
+        let mut h = Log2Histogram::new();
+        h.record(0);
+        h.record(77);
+        let rebuilt = Log2Histogram::from_buckets(&h.buckets()[..]).unwrap();
+        assert_eq!(rebuilt, h);
+        assert!(Log2Histogram::from_buckets(&[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn empty_histogram_has_no_max_bucket() {
+        assert_eq!(Log2Histogram::new().max_bucket(), None);
+        assert_eq!(Log2Histogram::new().count(), 0);
+    }
+}

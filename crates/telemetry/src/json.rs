@@ -1,10 +1,13 @@
-//! A minimal JSON reader/writer for the run journal.
+//! A minimal JSON reader/writer shared by the telemetry sink and the
+//! run journal (re-exported as `bv_runner::json`).
 //!
 //! The build environment has no crate registry, so serde is not an
-//! option; the journal's records are flat (objects of numbers, strings,
-//! and short arrays), which this ~200-line implementation covers
-//! completely. Numbers keep their source lexeme so 64-bit counters round
-//! trip exactly instead of through `f64`.
+//! option; the records written here are flat (objects of numbers,
+//! strings, and short arrays), which this ~200-line implementation
+//! covers completely. Numbers keep their source lexeme so 64-bit
+//! counters round trip exactly instead of through `f64`, and floats are
+//! rendered with Rust's shortest-roundtrip formatting so they parse back
+//! bit-identical.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

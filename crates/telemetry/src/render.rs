@@ -1,0 +1,239 @@
+//! Terminal rendering for `bvsim report`: per-column sparklines, the
+//! per-epoch TSV table, histogram bars, and the counter list.
+
+use crate::hist::Log2Histogram;
+use crate::series::ColumnData;
+use crate::sink::{TelemetryReport, SCHEMA};
+
+const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Maximum sparkline width; longer series are mean-downsampled.
+const SPARK_WIDTH: usize = 64;
+
+/// Renders `values` as a fixed-height sparkline, at most `width` chars.
+///
+/// Values are scaled to the series' own min..max; a constant series
+/// renders at the lowest level. Series longer than `width` are reduced
+/// by averaging consecutive chunks so phase shape is preserved.
+#[must_use]
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let condensed = condense(values, width);
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in &condensed {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let span = hi - lo;
+    condensed
+        .iter()
+        .map(|&v| {
+            let level = if span > 0.0 {
+                (((v - lo) / span) * (LEVELS.len() - 1) as f64).round() as usize
+            } else {
+                0
+            };
+            LEVELS[level.min(LEVELS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Mean-downsamples `values` into at most `width` points.
+fn condense(values: &[f64], width: usize) -> Vec<f64> {
+    if values.len() <= width {
+        return values.to_vec();
+    }
+    (0..width)
+        .map(|i| {
+            let start = i * values.len() / width;
+            let end = ((i + 1) * values.len() / width).max(start + 1);
+            let chunk = &values[start..end];
+            chunk.iter().sum::<f64>() / chunk.len() as f64
+        })
+        .collect()
+}
+
+fn column_values(data: &ColumnData) -> Vec<f64> {
+    match data {
+        ColumnData::U64(v) => v.iter().map(|&x| x as f64).collect(),
+        ColumnData::F64(v) => v.clone(),
+    }
+}
+
+/// Renders the full human-readable report: header, sparkline overview,
+/// per-epoch TSV, histograms, and counters.
+#[must_use]
+pub fn render(report: &TelemetryReport) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{SCHEMA} · epoch = {} insts · {} epochs",
+        report.epoch_insts,
+        report.series.rows()
+    );
+    for (k, v) in &report.meta {
+        let _ = writeln!(out, "  {k} = {v}");
+    }
+
+    let name_width = report
+        .series
+        .columns()
+        .iter()
+        .map(|c| c.name().len())
+        .max()
+        .unwrap_or(0);
+    out.push('\n');
+    for col in report.series.columns() {
+        let values = column_values(col.data());
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in &values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if values.is_empty() {
+            lo = 0.0;
+            hi = 0.0;
+        }
+        let _ = writeln!(
+            out,
+            "  {:name_width$}  {}  min {lo:.4}  max {hi:.4}",
+            col.name(),
+            sparkline(&values, SPARK_WIDTH),
+        );
+    }
+
+    out.push('\n');
+    out.push_str("epoch");
+    for col in report.series.columns() {
+        let _ = write!(out, "\t{}", col.name());
+    }
+    out.push('\n');
+    for row in 0..report.series.rows() {
+        let _ = write!(out, "{row}");
+        for col in report.series.columns() {
+            match col.data() {
+                ColumnData::U64(v) => {
+                    let _ = write!(out, "\t{}", v[row]);
+                }
+                ColumnData::F64(v) => {
+                    let _ = write!(out, "\t{:.4}", v[row]);
+                }
+            }
+        }
+        out.push('\n');
+    }
+
+    for (name, hist) in &report.histograms {
+        out.push('\n');
+        let _ = writeln!(out, "histogram {name} ({} samples)", hist.count());
+        out.push_str(&render_histogram(hist));
+    }
+
+    if !report.counters.is_empty() {
+        out.push('\n');
+        out.push_str("counters:\n");
+        let width = report
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0);
+        for (name, value) in &report.counters {
+            let _ = writeln!(out, "  {name:width$}  {value}");
+        }
+    }
+
+    out
+}
+
+fn render_histogram(hist: &Log2Histogram) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let Some(max_bucket) = hist.max_bucket() else {
+        out.push_str("  (empty)\n");
+        return out;
+    };
+    let peak = hist.buckets().iter().copied().max().unwrap_or(1).max(1);
+    let labels: Vec<String> = (0..=max_bucket)
+        .map(|b| {
+            let (lo, hi) = Log2Histogram::bucket_range(b);
+            format!("[{lo},{hi})")
+        })
+        .collect();
+    let label_width = labels.iter().map(String::len).max().unwrap_or(0);
+    for (b, label) in labels.iter().enumerate() {
+        let count = hist.buckets()[b];
+        let bar_len = ((count as f64 / peak as f64) * 30.0).round() as usize;
+        let _ = writeln!(
+            out,
+            "  {label:label_width$}  {count:>8}  {}",
+            "#".repeat(bar_len)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::TimeSeries;
+
+    #[test]
+    fn sparkline_spans_levels() {
+        let ramp: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let s = sparkline(&ramp, 64);
+        assert_eq!(s.chars().count(), 8);
+        assert_eq!(s.chars().next(), Some('▁'));
+        assert_eq!(s.chars().last(), Some('█'));
+    }
+
+    #[test]
+    fn constant_series_renders_flat() {
+        let s = sparkline(&[2.0; 5], 64);
+        assert_eq!(s, "▁▁▁▁▁");
+    }
+
+    #[test]
+    fn long_series_is_condensed() {
+        let long: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        assert_eq!(sparkline(&long, 64).chars().count(), 64);
+        assert!(sparkline(&[], 64).is_empty());
+    }
+
+    #[test]
+    fn render_includes_all_sections() {
+        let mut series = TimeSeries::new();
+        let insts = series.u64_column("insts");
+        let ipc = series.f64_column("ipc");
+        series.push_u64(insts, 100_000);
+        series.push_f64(ipc, 1.25);
+        series.end_row();
+        let mut hist = Log2Histogram::new();
+        hist.record(9);
+        let report = TelemetryReport {
+            epoch_insts: 100_000,
+            meta: [("llc".to_string(), "dcc".to_string())].into(),
+            series,
+            histograms: vec![("bursts".to_string(), hist)],
+            counters: vec![("llc.read_misses".to_string(), 42)],
+        };
+        let text = render(&report);
+        assert!(text.contains(SCHEMA));
+        assert!(text.contains("llc = dcc"));
+        assert!(text.contains("epoch\tinsts\tipc"));
+        assert!(text.contains("1.2500"));
+        assert!(text.contains("histogram bursts"));
+        assert!(text.contains("[8,16)"));
+        assert!(text.contains("llc.read_misses"));
+    }
+
+    #[test]
+    fn empty_histogram_renders_placeholder() {
+        assert!(render_histogram(&Log2Histogram::new()).contains("(empty)"));
+    }
+}

@@ -1,0 +1,273 @@
+//! Compact columnar time series.
+//!
+//! A [`TimeSeries`] is a set of named columns sampled together once per
+//! epoch. Storage is columnar (`Vec<u64>` / `Vec<f64>` per column) so a
+//! long run costs 8 bytes per column per epoch with no per-row
+//! allocation, and the sink can stream whole columns without
+//! restructuring.
+//!
+//! Rows are built incrementally: push one value per column, then seal
+//! the row with [`TimeSeries::end_row`], which asserts every column was
+//! written exactly once. That catches instrumentation drift (a new
+//! column added to `begin` but forgotten in `sample`) at the first
+//! sampled epoch instead of producing silently misaligned output.
+
+/// Handle to a column, returned at registration time.
+///
+/// Indexing through a `ColumnId` is O(1) and avoids name lookups on the
+/// sampling path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ColumnId(usize);
+
+/// The values of one column.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ColumnData {
+    /// Monotonic or delta counters; round trip losslessly through JSON.
+    U64(Vec<u64>),
+    /// Rates and ratios; rendered with shortest-roundtrip formatting.
+    F64(Vec<f64>),
+}
+
+impl ColumnData {
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::U64(v) => v.len(),
+            ColumnData::F64(v) => v.len(),
+        }
+    }
+}
+
+/// One named column of a [`TimeSeries`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Column {
+    name: String,
+    data: ColumnData,
+}
+
+impl Column {
+    /// The column name, as registered.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The column values.
+    #[must_use]
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+}
+
+/// A columnar table of per-epoch samples.
+///
+/// # Examples
+///
+/// ```
+/// use bv_telemetry::TimeSeries;
+///
+/// let mut ts = TimeSeries::new();
+/// let insts = ts.u64_column("insts");
+/// let ipc = ts.f64_column("ipc");
+/// for epoch in 0..3u64 {
+///     ts.push_u64(insts, (epoch + 1) * 100_000);
+///     ts.push_f64(ipc, 1.5);
+///     ts.end_row();
+/// }
+/// assert_eq!(ts.rows(), 3);
+/// assert_eq!(ts.u64s("insts"), Some(&[100_000, 200_000, 300_000][..]));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimeSeries {
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl TimeSeries {
+    /// An empty series with no columns.
+    #[must_use]
+    pub fn new() -> TimeSeries {
+        TimeSeries::default()
+    }
+
+    /// Registers an unsigned-integer column. Must happen before the
+    /// first row is pushed.
+    pub fn u64_column(&mut self, name: &str) -> ColumnId {
+        self.register(name, ColumnData::U64(Vec::new()))
+    }
+
+    /// Registers a floating-point column. Must happen before the first
+    /// row is pushed.
+    pub fn f64_column(&mut self, name: &str) -> ColumnId {
+        self.register(name, ColumnData::F64(Vec::new()))
+    }
+
+    fn register(&mut self, name: &str, data: ColumnData) -> ColumnId {
+        assert_eq!(self.rows, 0, "columns must be registered before rows");
+        assert!(
+            self.columns.iter().all(|c| c.name != name),
+            "duplicate column '{name}'"
+        );
+        self.columns.push(Column {
+            name: name.to_string(),
+            data,
+        });
+        ColumnId(self.columns.len() - 1)
+    }
+
+    /// Appends a value to a `u64` column for the row being built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column is not `u64` or was already written this row.
+    pub fn push_u64(&mut self, id: ColumnId, val: u64) {
+        let col = &mut self.columns[id.0];
+        match &mut col.data {
+            ColumnData::U64(v) => {
+                assert_eq!(v.len(), self.rows, "column '{}' written twice", col.name);
+                v.push(val);
+            }
+            ColumnData::F64(_) => panic!("column '{}' is f64, not u64", col.name),
+        }
+    }
+
+    /// Appends a value to an `f64` column for the row being built.
+    ///
+    /// Non-finite values do not survive the JSON sink; callers guard
+    /// divisions (empty epochs) before pushing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column is not `f64`, was already written this row,
+    /// or `val` is not finite.
+    pub fn push_f64(&mut self, id: ColumnId, val: f64) {
+        let col = &mut self.columns[id.0];
+        assert!(
+            val.is_finite(),
+            "non-finite sample in column '{}'",
+            col.name
+        );
+        match &mut col.data {
+            ColumnData::F64(v) => {
+                assert_eq!(v.len(), self.rows, "column '{}' written twice", col.name);
+                v.push(val);
+            }
+            ColumnData::U64(_) => panic!("column '{}' is u64, not f64", col.name),
+        }
+    }
+
+    /// Seals the row being built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any registered column was not written since the last
+    /// `end_row`.
+    pub fn end_row(&mut self) {
+        for col in &self.columns {
+            assert_eq!(
+                col.data.len(),
+                self.rows + 1,
+                "column '{}' missing from row {}",
+                col.name,
+                self.rows
+            );
+        }
+        self.rows += 1;
+    }
+
+    /// Number of complete rows (epochs).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// True when no rows have been sealed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The columns in registration order.
+    #[must_use]
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Looks a column up by name.
+    #[must_use]
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// The values of a `u64` column, by name.
+    #[must_use]
+    pub fn u64s(&self, name: &str) -> Option<&[u64]> {
+        match &self.column(name)?.data {
+            ColumnData::U64(v) => Some(v),
+            ColumnData::F64(_) => None,
+        }
+    }
+
+    /// The values of an `f64` column, by name.
+    #[must_use]
+    pub fn f64s(&self, name: &str) -> Option<&[f64]> {
+        match &self.column(name)?.data {
+            ColumnData::F64(v) => Some(v),
+            ColumnData::U64(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columnar_rows_round() {
+        let mut ts = TimeSeries::new();
+        let a = ts.u64_column("a");
+        let b = ts.f64_column("b");
+        ts.push_u64(a, 7);
+        ts.push_f64(b, 0.25);
+        ts.end_row();
+        assert_eq!(ts.rows(), 1);
+        assert_eq!(ts.u64s("a"), Some(&[7][..]));
+        assert_eq!(ts.f64s("b"), Some(&[0.25][..]));
+        assert!(ts.u64s("b").is_none());
+        assert!(ts.column("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from row")]
+    fn end_row_catches_missing_column() {
+        let mut ts = TimeSeries::new();
+        let a = ts.u64_column("a");
+        ts.f64_column("b");
+        ts.push_u64(a, 1);
+        ts.end_row();
+    }
+
+    #[test]
+    #[should_panic(expected = "written twice")]
+    fn double_write_is_rejected() {
+        let mut ts = TimeSeries::new();
+        let a = ts.u64_column("a");
+        ts.push_u64(a, 1);
+        ts.push_u64(a, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_samples_are_rejected() {
+        let mut ts = TimeSeries::new();
+        let b = ts.f64_column("b");
+        ts.push_f64(b, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_names_are_rejected() {
+        let mut ts = TimeSeries::new();
+        ts.u64_column("a");
+        ts.f64_column("a");
+    }
+}

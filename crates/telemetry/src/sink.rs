@@ -1,0 +1,324 @@
+//! The schema-versioned JSONL sink.
+//!
+//! A [`TelemetryReport`] serializes to one JSONL document:
+//!
+//! ```text
+//! {"schema":"bvsim-telemetry-v1","epoch_insts":100000,"epochs":2,"columns":[...],"meta":{...}}
+//! {"epoch":0,"insts":100000,"ipc":1.31,...}
+//! {"epoch":1,"insts":200000,"ipc":1.28,...}
+//! {"hist":"epoch_dram_reads","buckets":[0,3,...]}
+//! {"counters":[["llc.victim_inserts",412],...]}
+//! ```
+//!
+//! The header line carries the schema tag and the column manifest
+//! (names + types), so a reader can validate before touching data and a
+//! `u64` counter column is never coerced through `f64`. Floats are
+//! written with Rust's shortest-roundtrip formatting; integers keep
+//! their lexeme — [`TelemetryReport::from_jsonl`] reconstructs a report
+//! that compares equal to the one written.
+
+use std::collections::BTreeMap;
+
+use crate::hist::Log2Histogram;
+use crate::json::{self, ObjWriter, Value};
+use crate::series::{ColumnData, TimeSeries};
+
+/// The schema identifier written to (and required from) every sink file.
+pub const SCHEMA: &str = "bvsim-telemetry-v1";
+
+/// Everything one instrumented run produced.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TelemetryReport {
+    /// Sampling period in committed instructions.
+    pub epoch_insts: u64,
+    /// Free-form run identity (trace name, LLC kind, ...). A map so the
+    /// serialized order is deterministic.
+    pub meta: BTreeMap<String, String>,
+    /// The per-epoch samples.
+    pub series: TimeSeries,
+    /// Named histograms, in recording order.
+    pub histograms: Vec<(String, Log2Histogram)>,
+    /// Whole-run counters as `(name, value)`, in registration order.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl TelemetryReport {
+    /// Renders the report as a `bvsim-telemetry-v1` JSONL document
+    /// (trailing newline included).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+
+        let mut columns = String::from("[");
+        for (i, col) in self.series.columns().iter().enumerate() {
+            if i > 0 {
+                columns.push(',');
+            }
+            let ty = match col.data() {
+                ColumnData::U64(_) => "u64",
+                ColumnData::F64(_) => "f64",
+            };
+            columns.push_str(
+                ObjWriter::new()
+                    .str("name", col.name())
+                    .str("type", ty)
+                    .finish()
+                    .as_str(),
+            );
+        }
+        columns.push(']');
+
+        let mut meta = ObjWriter::new();
+        for (k, v) in &self.meta {
+            meta.str(k, v);
+        }
+        let meta = meta.finish();
+
+        let mut header = ObjWriter::new();
+        header
+            .str("schema", SCHEMA)
+            .u64("epoch_insts", self.epoch_insts)
+            .u64("epochs", self.series.rows() as u64)
+            .raw("columns", &columns)
+            .raw("meta", &meta);
+        out.push_str(&header.finish());
+        out.push('\n');
+
+        for row in 0..self.series.rows() {
+            let mut line = ObjWriter::new();
+            line.u64("epoch", row as u64);
+            for col in self.series.columns() {
+                match col.data() {
+                    ColumnData::U64(v) => line.u64(col.name(), v[row]),
+                    ColumnData::F64(v) => line.f64(col.name(), v[row]),
+                };
+            }
+            out.push_str(&line.finish());
+            out.push('\n');
+        }
+
+        for (name, hist) in &self.histograms {
+            let mut line = ObjWriter::new();
+            line.str("hist", name).u64_array("buckets", hist.buckets());
+            out.push_str(&line.finish());
+            out.push('\n');
+        }
+
+        let mut pairs = String::from("[");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                pairs.push(',');
+            }
+            pairs.push_str(&format!("[{},{value}]", json::quote(name)));
+        }
+        pairs.push(']');
+        out.push_str(ObjWriter::new().raw("counters", &pairs).finish().as_str());
+        out.push('\n');
+
+        out
+    }
+
+    /// Parses a `bvsim-telemetry-v1` JSONL document back into a report.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem: wrong or
+    /// missing schema tag, malformed JSON, a row missing a declared
+    /// column, or a truncated file.
+    pub fn from_jsonl(text: &str) -> Result<TelemetryReport, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = json::parse(lines.next().ok_or("empty telemetry file")?)?;
+        match header.get("schema").and_then(Value::as_str) {
+            Some(s) if s == SCHEMA => {}
+            Some(s) => return Err(format!("unsupported schema '{s}' (expected {SCHEMA})")),
+            None => return Err("missing schema tag in header".into()),
+        }
+        let epoch_insts = header
+            .get("epoch_insts")
+            .and_then(Value::as_u64)
+            .ok_or("header missing epoch_insts")?;
+        let epochs = header
+            .get("epochs")
+            .and_then(Value::as_u64)
+            .ok_or("header missing epochs")? as usize;
+
+        let mut meta = BTreeMap::new();
+        if let Some(Value::Obj(m)) = header.get("meta") {
+            for (k, v) in m {
+                let v = v.as_str().ok_or("non-string meta value")?;
+                meta.insert(k.clone(), v.to_string());
+            }
+        }
+
+        let mut series = TimeSeries::new();
+        let mut manifest = Vec::new();
+        for col in header
+            .get("columns")
+            .and_then(Value::as_arr)
+            .ok_or("header missing columns")?
+        {
+            let name = col
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("column missing name")?;
+            let id = match col.get("type").and_then(Value::as_str) {
+                Some("u64") => series.u64_column(name),
+                Some("f64") => series.f64_column(name),
+                other => return Err(format!("bad column type {other:?} for '{name}'")),
+            };
+            manifest.push((name.to_string(), id));
+        }
+
+        for row in 0..epochs {
+            let line = lines
+                .next()
+                .ok_or_else(|| format!("truncated: expected epoch row {row}"))?;
+            let v = json::parse(line)?;
+            for (name, id) in &manifest {
+                let field = v
+                    .get(name)
+                    .ok_or_else(|| format!("row {row} missing column '{name}'"))?;
+                match series.column(name).map(|c| c.data()) {
+                    Some(ColumnData::U64(_)) => series.push_u64(
+                        *id,
+                        field
+                            .as_u64()
+                            .ok_or_else(|| format!("row {row} column '{name}' not u64"))?,
+                    ),
+                    _ => series.push_f64(
+                        *id,
+                        field
+                            .as_f64()
+                            .ok_or_else(|| format!("row {row} column '{name}' not f64"))?,
+                    ),
+                }
+            }
+            series.end_row();
+        }
+
+        let mut histograms = Vec::new();
+        let mut counters = Vec::new();
+        for line in lines {
+            let v = json::parse(line)?;
+            if let Some(name) = v.get("hist").and_then(Value::as_str) {
+                let buckets: Vec<u64> = v
+                    .get("buckets")
+                    .and_then(Value::as_arr)
+                    .ok_or("hist line missing buckets")?
+                    .iter()
+                    .map(|b| b.as_u64().ok_or("non-integer bucket"))
+                    .collect::<Result<_, _>>()?;
+                let hist = Log2Histogram::from_buckets(&buckets)
+                    .ok_or_else(|| format!("hist '{name}' has {} buckets", buckets.len()))?;
+                histograms.push((name.to_string(), hist));
+            } else if let Some(pairs) = v.get("counters").and_then(Value::as_arr) {
+                for pair in pairs {
+                    let pair = pair.as_arr().ok_or("counter entry is not a pair")?;
+                    match pair {
+                        [name, value] => counters.push((
+                            name.as_str()
+                                .ok_or("counter name is not a string")?
+                                .to_string(),
+                            value.as_u64().ok_or("counter value is not a u64")?,
+                        )),
+                        _ => return Err("counter entry is not a pair".into()),
+                    }
+                }
+            } else {
+                return Err("unrecognized trailer line".into());
+            }
+        }
+
+        Ok(TelemetryReport {
+            epoch_insts,
+            meta,
+            series,
+            histograms,
+            counters,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> TelemetryReport {
+        let mut series = TimeSeries::new();
+        let insts = series.u64_column("insts");
+        let ipc = series.f64_column("ipc");
+        for epoch in 0..4u64 {
+            series.push_u64(insts, (epoch + 1) * 100_000);
+            // Deliberately awkward floats: only exact shortest-roundtrip
+            // rendering survives this equality check.
+            series.push_f64(ipc, 1.0 / 3.0 + epoch as f64 * 0.1);
+            series.end_row();
+        }
+        let mut hist = Log2Histogram::new();
+        hist.record(0);
+        hist.record(900);
+        hist.record(u64::MAX);
+        let mut meta = BTreeMap::new();
+        meta.insert("trace".to_string(), "specint.mcf.07".to_string());
+        meta.insert("llc".to_string(), "base-victim".to_string());
+        TelemetryReport {
+            epoch_insts: 100_000,
+            meta,
+            series,
+            histograms: vec![("epoch_dram_reads".to_string(), hist)],
+            counters: vec![
+                ("llc.victim_inserts".to_string(), (1 << 53) + 1),
+                ("encoder.zeros".to_string(), 7),
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_bit_identical() {
+        let report = sample_report();
+        let text = report.to_jsonl();
+        let parsed = TelemetryReport::from_jsonl(&text).expect("parse");
+        assert_eq!(parsed, report);
+        // And the rendering itself is a fixed point.
+        assert_eq!(parsed.to_jsonl(), text);
+    }
+
+    #[test]
+    fn header_declares_schema_and_shape() {
+        let text = sample_report().to_jsonl();
+        let header = json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(header.get("schema").unwrap().as_str(), Some(SCHEMA));
+        assert_eq!(header.get("epochs").unwrap().as_u64(), Some(4));
+        assert_eq!(header.get("columns").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let text = sample_report().to_jsonl().replace(SCHEMA, "bvsim-bench-v2");
+        let err = TelemetryReport::from_jsonl(&text).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let full = sample_report().to_jsonl();
+        let cut: Vec<&str> = full.lines().take(3).collect();
+        let err = TelemetryReport::from_jsonl(&cut.join("\n")).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn empty_and_garbage_inputs_are_rejected() {
+        assert!(TelemetryReport::from_jsonl("").is_err());
+        assert!(TelemetryReport::from_jsonl("{\"schema\":\"x\"}").is_err());
+        assert!(TelemetryReport::from_jsonl("not json").is_err());
+    }
+
+    #[test]
+    fn counters_preserve_registration_order() {
+        let report = sample_report();
+        let parsed = TelemetryReport::from_jsonl(&report.to_jsonl()).unwrap();
+        let names: Vec<&str> = parsed.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["llc.victim_inserts", "encoder.zeros"]);
+    }
+}

@@ -5,10 +5,13 @@
 //! bvsim --trace specint.mcf.07 --llc base-victim --compare
 //! bvsim --trace client.octane.00 --llc two-tag --policy srrip \
 //!       --llc-mb 4 --ways 16 --warmup 2000000 --insts 3000000
+//! bvsim --trace specint.mcf.07 --telemetry mcf.jsonl --epoch 100000
 //! bvsim sweep --jobs 8 --journal results/journal
 //! bvsim sweep --resume        # continue an interrupted sweep
+//! bvsim sweep --telemetry-dir results/telemetry
 //! bvsim bench                 # full perf suite, writes BENCH.json
 //! bvsim bench --quick --baseline BENCH.json   # CI regression gate
+//! bvsim report mcf.jsonl      # per-epoch TSV + sparklines
 //! ```
 //!
 //! Argument parsing lives in [`base_victim::cli`] so it can be
@@ -16,7 +19,10 @@
 
 use base_victim::bench::perf;
 use base_victim::cli::{self, BenchArgs, Command, RunArgs, SweepArgs, USAGE};
+use base_victim::sim::SimTelemetry;
+use base_victim::telemetry::TelemetryReport;
 use base_victim::{LlcKind, SimConfig, System, TraceRegistry};
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -33,6 +39,7 @@ fn main() -> ExitCode {
         Ok(Command::Run(run)) => run_one(&run),
         Ok(Command::Sweep(sweep)) => run_sweep(&sweep),
         Ok(Command::Bench(bench)) => run_bench(&bench),
+        Ok(Command::Report(path)) => run_report(&path),
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             ExitCode::FAILURE
@@ -82,7 +89,29 @@ fn run_one(args: &RunArgs) -> ExitCode {
         args.insts
     );
 
-    let run = System::new(cfg).run_with_warmup(&trace.workload, args.warmup, args.insts);
+    let system = System::new(cfg);
+    let run = match &args.telemetry {
+        Some(path) => {
+            let mut tel = SimTelemetry::new(args.epoch)
+                .with_meta("trace", &trace.name)
+                .with_meta("llc", args.llc.name())
+                .with_meta("policy", args.policy.name());
+            let run = system.run_sampled(&trace.workload, args.warmup, args.insts, &mut tel);
+            let report = tel.into_report();
+            if let Err(e) = std::fs::write(path, report.to_jsonl()) {
+                eprintln!("error: cannot write telemetry {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "telemetry           : {} epochs of {} insts -> {}",
+                report.series.rows(),
+                args.epoch,
+                path.display()
+            );
+            run
+        }
+        None => system.run_with_warmup(&trace.workload, args.warmup, args.insts),
+    };
     println!("\n=== {} ===", run.llc_name);
     println!("IPC                 : {:.4}", run.ipc());
     println!("cycles              : {}", run.cycles);
@@ -138,6 +167,16 @@ fn run_sweep(args: &SweepArgs) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+    let runner = match &args.telemetry_dir {
+        Some(dir) => match runner.with_telemetry(dir, args.epoch) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: cannot create telemetry dir {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => runner,
+    };
     let ctx = base_victim::bench::Ctx::with_runner(runner);
     println!(
         "sweep: {} worker(s), journal {}{}, warmup {} + measure {} instructions per run",
@@ -166,6 +205,26 @@ fn run_sweep(args: &SweepArgs) -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+fn run_report(path: &Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match TelemetryReport::from_jsonl(&text) {
+        Ok(report) => {
+            print!("{}", base_victim::telemetry::render(&report));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: bad telemetry file {}: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn run_bench(args: &BenchArgs) -> ExitCode {
@@ -199,6 +258,9 @@ fn run_bench(args: &BenchArgs) -> ExitCode {
     println!("\n{:24} {:>14}", "end-to-end llc", "insts/s");
     for e in &report.end_to_end {
         println!("{:24} {:>14.3e}", e.llc, e.insts_per_sec);
+    }
+    if let Some(pct) = report.telemetry_overhead_pct() {
+        println!("{:24} {:>13.2}%", "telemetry overhead", pct);
     }
 
     let mut text = report.to_json();

@@ -14,14 +14,18 @@ bvsim — trace-driven simulation of the Base-Victim compressed LLC
 USAGE:
     bvsim --trace <name> [options]
     bvsim --list-traces
-    bvsim sweep [--jobs <n>] [--resume] [--journal <dir>]
+    bvsim sweep [--jobs <n>] [--resume] [--journal <dir>] [--telemetry-dir <dir>]
     bvsim bench [--quick] [--out <file>] [--baseline <file>] [--max-regress <pct>]
+    bvsim report <telemetry.jsonl>
 
 OPTIONS:
     --trace <name>      registry trace to run (see --list-traces)
     --list-traces       print the 100-trace registry and exit
     --llc <kind>        uncompressed | two-tag | two-tag-ecm | base-victim
-                        | base-victim-ni | vsc | dcc   (default: base-victim)
+                        | base-victim-ni | base-victim-random-fit | vsc | dcc
+                        (default: base-victim; dcc is the decoupled
+                        super-block state of the art, vsc the decoupled
+                        variable-segment cache)
     --policy <name>     lru | nru | srrip | char | camp | random
                         (default: nru, as in the paper)
     --llc-mb <n>        LLC capacity in MB (default: 2)
@@ -29,13 +33,23 @@ OPTIONS:
     --warmup <n>        warmup instructions (default: 1000000)
     --insts <n>         measured instructions (default: 1500000)
     --compare           also run the uncompressed baseline and print ratios
+    --telemetry <file>  write an epoch-sampled bvsim-telemetry-v1 JSONL
+                        time series of the measured phase
+    --epoch <insts>     telemetry sampling period in committed
+                        instructions (default: 100000)
     --help              this text
 
 SWEEP (runs the full experiment suite's job set through the parallel runner):
     --jobs <n>          worker threads (default: $BV_JOBS, else all cores)
     --resume            satisfy jobs from existing journal checkpoints
     --journal <dir>     checkpoint/journal directory (default: results/journal)
+    --telemetry-dir <dir>  write one <hash>.telemetry.jsonl per simulated
+                        job; the path is recorded in runs.jsonl
+    --epoch <insts>     telemetry sampling period (default: 100000)
   Budgets come from BV_WARMUP / BV_INSTS as for the experiment binaries.
+
+REPORT (renders a telemetry file: per-epoch TSV plus sparkline summaries):
+    bvsim report results/telemetry/0123456789abcdef.telemetry.jsonl
 
 BENCH (times the compression kernels and end-to-end simulation, writes BENCH.json):
     --quick             smaller corpus and budgets (the CI gate sizing)
@@ -59,7 +73,16 @@ pub enum Command {
     Sweep(SweepArgs),
     /// `bench`: run the perf suite and write/compare `BENCH.json`.
     Bench(BenchArgs),
+    /// `report`: render a telemetry JSONL file for human reading.
+    Report(PathBuf),
 }
+
+/// The `--llc` values [`parse_llc`] accepts, for error messages.
+pub const LLC_KINDS: &str = "uncompressed, two-tag, two-tag-ecm, base-victim, \
+     base-victim-ni, base-victim-random-fit, vsc, dcc";
+
+/// The `--policy` values [`parse_policy`] accepts, for error messages.
+pub const POLICY_NAMES: &str = "lru, nru, srrip, char, camp, random";
 
 /// Arguments for a single-trace simulation.
 #[derive(Debug, PartialEq, Eq)]
@@ -80,6 +103,10 @@ pub struct RunArgs {
     pub insts: u64,
     /// Also run the uncompressed baseline and print ratios.
     pub compare: bool,
+    /// Write an epoch-sampled telemetry JSONL file here, if set.
+    pub telemetry: Option<PathBuf>,
+    /// Telemetry sampling period in committed instructions.
+    pub epoch: u64,
 }
 
 impl Default for RunArgs {
@@ -93,6 +120,8 @@ impl Default for RunArgs {
             warmup: 1_000_000,
             insts: 1_500_000,
             compare: false,
+            telemetry: None,
+            epoch: bv_sim::DEFAULT_EPOCH_INSTS,
         }
     }
 }
@@ -106,6 +135,10 @@ pub struct SweepArgs {
     pub resume: bool,
     /// Checkpoint/journal directory.
     pub journal: PathBuf,
+    /// Write one telemetry file per simulated job here, if set.
+    pub telemetry_dir: Option<PathBuf>,
+    /// Telemetry sampling period in committed instructions.
+    pub epoch: u64,
 }
 
 impl Default for SweepArgs {
@@ -114,6 +147,8 @@ impl Default for SweepArgs {
             jobs: None,
             resume: false,
             journal: PathBuf::from("results/journal"),
+            telemetry_dir: None,
+            epoch: bv_sim::DEFAULT_EPOCH_INSTS,
         }
     }
 }
@@ -186,6 +221,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     if args.first().map(String::as_str) == Some("bench") {
         return parse_bench(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("report") {
+        return parse_report(&args[1..]);
+    }
     let mut run = RunArgs::default();
     let mut trace = None;
     let mut it = args.iter();
@@ -200,11 +238,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "--list-traces" => return Ok(Command::ListTraces),
             "--llc" => {
                 let v = value("--llc")?;
-                run.llc = parse_llc(&v).ok_or_else(|| format!("unknown LLC kind '{v}'"))?;
+                run.llc = parse_llc(&v)
+                    .ok_or_else(|| format!("unknown LLC kind '{v}' (valid: {LLC_KINDS})"))?;
             }
             "--policy" => {
                 let v = value("--policy")?;
-                run.policy = parse_policy(&v).ok_or_else(|| format!("unknown policy '{v}'"))?;
+                run.policy = parse_policy(&v)
+                    .ok_or_else(|| format!("unknown policy '{v}' (valid: {POLICY_NAMES})"))?;
             }
             "--llc-mb" => {
                 run.llc_mb = value("--llc-mb")?
@@ -227,6 +267,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .map_err(|e| format!("--insts: {e}"))?;
             }
             "--compare" => run.compare = true,
+            "--telemetry" => run.telemetry = Some(PathBuf::from(value("--telemetry")?)),
+            "--epoch" => run.epoch = parse_epoch(&value("--epoch")?)?,
             "--help" | "-h" => return Ok(Command::Help),
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
@@ -261,11 +303,32 @@ fn parse_sweep(args: &[String]) -> Result<Command, String> {
             }
             "--resume" => sweep.resume = true,
             "--journal" => sweep.journal = PathBuf::from(value("--journal")?),
+            "--telemetry-dir" => {
+                sweep.telemetry_dir = Some(PathBuf::from(value("--telemetry-dir")?));
+            }
+            "--epoch" => sweep.epoch = parse_epoch(&value("--epoch")?)?,
             "--help" | "-h" => return Ok(Command::Help),
             other => return Err(format!("unknown sweep flag '{other}' (try --help)")),
         }
     }
     Ok(Command::Sweep(sweep))
+}
+
+fn parse_epoch(v: &str) -> Result<u64, String> {
+    let epoch: u64 = v.parse().map_err(|e| format!("--epoch: {e}"))?;
+    if epoch == 0 {
+        return Err("--epoch must be at least 1 instruction".into());
+    }
+    Ok(epoch)
+}
+
+fn parse_report(args: &[String]) -> Result<Command, String> {
+    match args {
+        [flag] if flag == "--help" || flag == "-h" => Ok(Command::Help),
+        [path] => Ok(Command::Report(PathBuf::from(path))),
+        [] => Err("report requires a telemetry file path".into()),
+        _ => Err("report takes exactly one telemetry file path".into()),
+    }
 }
 
 fn parse_bench(args: &[String]) -> Result<Command, String> {
@@ -345,27 +408,71 @@ mod tests {
     #[test]
     fn sweep_defaults() {
         let cmd = parse(&argv("sweep")).expect("parse");
-        assert_eq!(
-            cmd,
-            Command::Sweep(SweepArgs {
-                jobs: None,
-                resume: false,
-                journal: PathBuf::from("results/journal"),
-            })
-        );
+        assert_eq!(cmd, Command::Sweep(SweepArgs::default()));
     }
 
     #[test]
     fn sweep_with_flags() {
-        let cmd = parse(&argv("sweep --jobs 4 --resume --journal /tmp/j")).expect("parse");
+        let cmd = parse(&argv(
+            "sweep --jobs 4 --resume --journal /tmp/j --telemetry-dir /tmp/t --epoch 50000",
+        ))
+        .expect("parse");
         assert_eq!(
             cmd,
             Command::Sweep(SweepArgs {
                 jobs: Some(4),
                 resume: true,
                 journal: PathBuf::from("/tmp/j"),
+                telemetry_dir: Some(PathBuf::from("/tmp/t")),
+                epoch: 50_000,
             })
         );
+    }
+
+    #[test]
+    fn run_telemetry_flags() {
+        let cmd = parse(&argv("--trace t --telemetry /tmp/t.jsonl --epoch 1000")).expect("parse");
+        let Command::Run(run) = cmd else {
+            panic!("expected Run")
+        };
+        assert_eq!(run.telemetry, Some(PathBuf::from("/tmp/t.jsonl")));
+        assert_eq!(run.epoch, 1_000);
+        // The default epoch applies when only the destination is given.
+        let cmd = parse(&argv("--trace t --telemetry out.jsonl")).expect("parse");
+        let Command::Run(run) = cmd else {
+            panic!("expected Run")
+        };
+        assert_eq!(run.epoch, bv_sim::DEFAULT_EPOCH_INSTS);
+        assert!(parse(&argv("--trace t --epoch 0")).is_err());
+        assert!(parse(&argv("--trace t --epoch soon")).is_err());
+        assert!(parse(&argv("sweep --epoch 0")).is_err());
+    }
+
+    #[test]
+    fn report_takes_one_path() {
+        let cmd = parse(&argv("report results/t.jsonl")).expect("parse");
+        assert_eq!(cmd, Command::Report(PathBuf::from("results/t.jsonl")));
+        assert_eq!(parse(&argv("report --help")).unwrap(), Command::Help);
+        assert!(parse(&argv("report")).is_err());
+        assert!(parse(&argv("report a b")).is_err());
+    }
+
+    #[test]
+    fn unknown_llc_error_lists_valid_kinds() {
+        let err = parse(&argv("--trace t --llc nonsense")).unwrap_err();
+        assert!(err.contains("unknown LLC kind 'nonsense'"), "{err}");
+        for kind in ["uncompressed", "base-victim-random-fit", "vsc", "dcc"] {
+            assert!(err.contains(kind), "error lists '{kind}': {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_policy_error_lists_valid_names() {
+        let err = parse(&argv("--trace t --policy mru")).unwrap_err();
+        assert!(err.contains("unknown policy 'mru'"), "{err}");
+        for name in ["lru", "nru", "srrip", "char", "camp", "random"] {
+            assert!(err.contains(name), "error lists '{name}': {err}");
+        }
     }
 
     #[test]

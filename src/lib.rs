@@ -54,6 +54,7 @@
 //! | [`trace`] | synthetic workloads, the 100-trace registry, mixes |
 //! | [`sim`] | the timing simulator (core, DRAM, prefetch, hierarchy) |
 //! | [`energy`] | the Figure 14 energy model |
+//! | [`telemetry`] | epoch time series, histograms, the JSONL sink |
 //! | [`runner`] | parallel job execution, checkpoint/resume, run journal |
 //! | [`mod@bench`] | the experiment harness and per-figure functions |
 //! | [`cli`] | argument parsing for the `bvsim` binary |
@@ -89,6 +90,12 @@ pub mod sim {
 /// The energy model (re-export of `bv-energy`).
 pub mod energy {
     pub use bv_energy::*;
+}
+
+/// Observability primitives and the JSONL sink (re-export of
+/// `bv-telemetry`).
+pub mod telemetry {
+    pub use bv_telemetry::*;
 }
 
 /// Experiment orchestration (re-export of `bv-runner`).

@@ -94,6 +94,34 @@ fn segment_count_is_shared_across_crates() {
 }
 
 #[test]
+fn telemetry_from_a_real_run_round_trips_bit_identical() {
+    // The paper-grade acceptance bar for the JSONL sink: a report built
+    // from an actual sampled simulation — awkward floats and all — must
+    // parse back into identical TimeSeries, histogram, and counter
+    // values, and re-serialize to the same bytes.
+    use base_victim::sim::{SimConfig, SimTelemetry, System};
+    use base_victim::telemetry::TelemetryReport;
+    use base_victim::LlcKind;
+
+    let registry = TraceRegistry::paper_default();
+    let trace = registry.get("specint.mcf.07").expect("trace");
+    let mut tel = SimTelemetry::new(20_000).with_meta("trace", &trace.name);
+    let _ = System::new(SimConfig::single_thread(LlcKind::BaseVictim)).run_sampled(
+        &trace.workload,
+        20_000,
+        100_000,
+        &mut tel,
+    );
+    let report = tel.into_report();
+    assert!(report.series.rows() >= 5);
+
+    let text = report.to_jsonl();
+    let back = TelemetryReport::from_jsonl(&text).expect("own output parses");
+    assert_eq!(back, report);
+    assert_eq!(back.to_jsonl(), text);
+}
+
+#[test]
 fn vsc_functional_capacity_exceeds_base_victim_bound() {
     // Section V: VSC's flexible compaction reaches higher effective
     // capacity than the two-tags-per-way bound — that is exactly the

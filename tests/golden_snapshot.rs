@@ -1,6 +1,7 @@
 //! Golden end-to-end snapshots: every counter the simulator emits, for the
-//! paper-guarantee sample traces under the three headline organizations,
-//! pinned byte-for-byte against committed JSON files.
+//! paper-guarantee sample traces under the three headline organizations
+//! plus the VSC and DCC prior-work baselines, pinned byte-for-byte against
+//! committed JSON files.
 //!
 //! Any change to the kernels, the cache organizations, or the timing model
 //! that shifts a single counter fails here — the size-cache memoization and
@@ -30,7 +31,13 @@ const TRACES: [&str; 7] = [
     "client.speech.13",
 ];
 
-const LLCS: [LlcKind; 3] = [LlcKind::Uncompressed, LlcKind::BaseVictim, LlcKind::TwoTag];
+const LLCS: [LlcKind; 5] = [
+    LlcKind::Uncompressed,
+    LlcKind::BaseVictim,
+    LlcKind::TwoTag,
+    LlcKind::Vsc,
+    LlcKind::Dcc,
+];
 
 /// Replacement-policy dimension, pinned for base-victim only: the default
 /// config already runs NRU, so these files pin NRU explicitly plus SRRIP

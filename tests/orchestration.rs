@@ -48,3 +48,52 @@ fn journaled_sweep_resumes_with_zero_resimulation() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn telemetry_sweep_writes_one_file_per_simulated_job() {
+    let registry = TraceRegistry::paper_default();
+    let jobs = tiny_jobs(&registry);
+    let base = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("facade-telemetry");
+    let journal_dir = base.join("journal");
+    let tel_dir = base.join("telemetry");
+    let _ = std::fs::remove_dir_all(&base);
+
+    {
+        let first = Runner::new(2)
+            .with_journal(&journal_dir, false)
+            .expect("journal")
+            .with_telemetry(&tel_dir, 1_000)
+            .expect("telemetry dir");
+        assert_eq!(first.execute(&registry, &jobs).simulated, jobs.len());
+    }
+
+    // One telemetry file per simulated job, named by the job hash, and
+    // each runs.jsonl line carries the path of the file its run wrote.
+    let runs = std::fs::read_to_string(journal_dir.join("runs.jsonl")).expect("runs.jsonl");
+    assert_eq!(runs.lines().count(), jobs.len());
+    for job in &jobs {
+        let path = tel_dir.join(format!("{:016x}.telemetry.jsonl", job.stable_hash()));
+        assert!(path.is_file(), "missing telemetry file {}", path.display());
+        let text = std::fs::read_to_string(&path).expect("telemetry file");
+        let report =
+            base_victim::telemetry::TelemetryReport::from_jsonl(&text).expect("valid telemetry");
+        assert!(report.series.rows() > 0, "empty series for {}", job.key());
+        assert!(runs.contains(&path.display().to_string()));
+    }
+
+    // Resume satisfies every job from the journal without re-simulating,
+    // so a deleted telemetry file stays deleted: telemetry describes the
+    // run that actually happened, never a checkpoint replay.
+    let victim = tel_dir.join(format!("{:016x}.telemetry.jsonl", jobs[0].stable_hash()));
+    std::fs::remove_file(&victim).expect("delete one telemetry file");
+    let resumed = Runner::new(2)
+        .with_journal(&journal_dir, true)
+        .expect("journal")
+        .with_telemetry(&tel_dir, 1_000)
+        .expect("telemetry dir");
+    let report = resumed.execute(&registry, &jobs);
+    assert_eq!(report.simulated, 0);
+    assert!(!victim.exists(), "resume must not re-write telemetry");
+
+    let _ = std::fs::remove_dir_all(&base);
+}
