@@ -40,4 +40,12 @@ echo "== telemetry smoke (run --telemetry, then report) =="
     --telemetry target/telemetry-smoke.jsonl --epoch 50000 >/dev/null
 ./target/release/bvsim report target/telemetry-smoke.jsonl >/dev/null
 
+echo "== events smoke (trace capture, then the divergence auditor) =="
+./target/release/bvsim trace --trace specint.mcf.07 --llc-mb 1 --ways 8 \
+    --warmup 100000 --budget 200000 --kinds eviction,victim-hit \
+    --capacity 4096 --out target/events-smoke.jsonl >/dev/null
+# A clean audit must pass; an injected fault must be caught (both exit 0).
+./target/release/bvsim trace --audit --ops 5000 >/dev/null
+./target/release/bvsim trace --audit --ops 5000 --inject 800 >/dev/null
+
 echo "All checks passed."

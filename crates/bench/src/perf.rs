@@ -234,8 +234,23 @@ pub const END_TO_END_LLCS: [LlcKind; 5] = [
 /// regression gate as the raw organizations.
 pub const TELEMETRY_ROW: &str = "base-victim+telemetry";
 
+/// Label for the events-disabled end-to-end row: base-victim built as
+/// usual (every organization monomorphizes over `NoEventSink` by
+/// default) but driven through the `run_traced` entry point `bvsim
+/// trace` uses. Together with the plain `base-victim` row it prices the
+/// disabled event path — the emission guards compiled into every
+/// organization plus the boxed-LLC driver — which [`compare`] caps at
+/// 2%.
+pub const EVENTS_DISABLED_ROW: &str = "base-victim+events-disabled";
+
+/// The [`compare`] bound on [`BenchReport::events_disabled_overhead_pct`]:
+/// the disabled event path may cost at most this much of base-victim
+/// throughput.
+pub const EVENTS_DISABLED_MAX_PCT: f64 = 2.0;
+
 /// Runs the end-to-end suite: sim insts/s for [`END_TO_END_LLCS`], then
-/// the [`TELEMETRY_ROW`] sampled run.
+/// the [`TELEMETRY_ROW`] sampled run and the [`EVENTS_DISABLED_ROW`]
+/// traced-driver run.
 ///
 /// # Panics
 ///
@@ -277,6 +292,17 @@ pub fn run_end_to_end_suite(cfg: &BenchConfig) -> Vec<EndToEndBench> {
     });
     rows.push(EndToEndBench {
         llc: TELEMETRY_ROW.to_string(),
+        insts_per_sec: cfg.sim_insts as f64 / secs.max(f64::MIN_POSITIVE),
+    });
+    let secs = bv_testkit::bench::fastest(cfg.sim_samples, || {
+        let sim_cfg = SimConfig::single_thread(LlcKind::BaseVictim);
+        let llc = sim_cfg.llc_kind.build(sim_cfg.llc, sim_cfg.llc_policy);
+        let (result, _llc) =
+            System::new(sim_cfg).run_traced(&trace.workload, cfg.sim_insts / 4, cfg.sim_insts, llc);
+        result.cycles
+    });
+    rows.push(EndToEndBench {
+        llc: EVENTS_DISABLED_ROW.to_string(),
         insts_per_sec: cfg.sim_insts as f64 / secs.max(f64::MIN_POSITIVE),
     });
     rows
@@ -324,6 +350,19 @@ impl BenchReport {
         let plain = self.end_to_end.iter().find(|e| e.llc == "base-victim")?;
         let sampled = self.end_to_end.iter().find(|e| e.llc == TELEMETRY_ROW)?;
         Some((plain.insts_per_sec / sampled.insts_per_sec.max(f64::MIN_POSITIVE) - 1.0) * 100.0)
+    }
+
+    /// Cost of the disabled event path ([`EVENTS_DISABLED_ROW`]) relative
+    /// to the plain base-victim row, as a percentage (positive means the
+    /// traced-driver run is slower). `None` when either row is absent.
+    #[must_use]
+    pub fn events_disabled_overhead_pct(&self) -> Option<f64> {
+        let plain = self.end_to_end.iter().find(|e| e.llc == "base-victim")?;
+        let traced = self
+            .end_to_end
+            .iter()
+            .find(|e| e.llc == EVENTS_DISABLED_ROW)?;
+        Some((plain.insts_per_sec / traced.insts_per_sec.max(f64::MIN_POSITIVE) - 1.0) * 100.0)
     }
 
     /// Serializes to the `BENCH.json` schema (one pretty-stable JSON
@@ -429,10 +468,23 @@ fn req_f64(v: &Value, key: &str) -> Result<f64, String> {
 /// that dropped by more than `max_regress_pct` percent, or that vanished
 /// from the current report. Only optimized-kernel and end-to-end rows are
 /// gated — the reference kernels exist as a yardstick, not a contract.
+///
+/// Additionally, when the current report carries both the plain
+/// base-victim row and [`EVENTS_DISABLED_ROW`], their ratio is held to
+/// [`EVENTS_DISABLED_MAX_PCT`] — an absolute bound independent of the
+/// baseline, because the disabled event path is designed to be free.
 #[must_use]
 pub fn compare(current: &BenchReport, baseline: &BenchReport, max_regress_pct: f64) -> Vec<String> {
     let floor = 1.0 - max_regress_pct / 100.0;
     let mut regressions = Vec::new();
+    if let Some(pct) = current.events_disabled_overhead_pct() {
+        if pct > EVENTS_DISABLED_MAX_PCT {
+            regressions.push(format!(
+                "disabled event path costs {pct:.2}% of base-victim throughput \
+                 (budget {EVENTS_DISABLED_MAX_PCT}%)"
+            ));
+        }
+    }
     for base in &baseline.kernels {
         if base.implementation != IMPL_OPTIMIZED {
             continue;
@@ -577,6 +629,33 @@ mod tests {
             assert_eq!(pair[0].segment_checksum, pair[1].segment_checksum);
             assert!(pair[0].lines_per_sec > 0.0);
         }
+    }
+
+    #[test]
+    fn events_disabled_row_is_gated_at_two_percent() {
+        let mut report = sample_report();
+        assert_eq!(report.events_disabled_overhead_pct(), None, "row absent");
+        report.end_to_end.push(EndToEndBench {
+            llc: EVENTS_DISABLED_ROW.into(),
+            insts_per_sec: 2.49e6,
+        });
+        let pct = report.events_disabled_overhead_pct().expect("both rows");
+        assert!((pct - (2.5 / 2.49 - 1.0) * 100.0).abs() < 1e-9);
+        // Within budget: no regression even against an empty baseline row
+        // set for this label.
+        let baseline = sample_report();
+        assert!(compare(&report, &baseline, 20.0).is_empty());
+
+        // A 4% disabled-path cost trips the absolute gate regardless of
+        // the baseline.
+        report.end_to_end.last_mut().unwrap().insts_per_sec = 2.4e6;
+        let regressions = compare(&report, &baseline, 20.0);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(
+            regressions[0].contains("disabled event path"),
+            "{}",
+            regressions[0]
+        );
     }
 
     #[test]

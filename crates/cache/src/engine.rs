@@ -43,6 +43,7 @@
 use crate::replacement::ReplacementPolicy;
 use crate::stats::{Effects, LlcStats};
 use bv_compress::SegmentCount;
+use bv_events::{CacheEvent, EventKind, EventSink, EvictCause, NoEventSink};
 
 /// Per-slot payload stored next to the tag: whatever one organization
 /// needs per logical line (dirty bit, data, compressed size, sub-block
@@ -87,13 +88,21 @@ impl<S: SlotMeta> EngineSlot<S> {
 /// `ways` is the number of *logical* slots per set — physical ways for
 /// the uncompressed baseline and Base-Victim's baseline array, `2N` for
 /// the doubled-tag organizations (two-tag, VSC, DCC).
+///
+/// The engine is additionally generic over an [`EventSink`], defaulted
+/// to [`NoEventSink`]: tag-level decisions (demand hits and misses,
+/// invalidations) are emitted from here, and organizations push their
+/// paper-specific events through [`SetEngine::emit`]. Every emission is
+/// guarded by `E::ENABLED`, a compile-time constant, so the default
+/// build carries no event cost at all.
 #[derive(Clone, Debug)]
-pub struct SetEngine<P, S> {
+pub struct SetEngine<P, S, E = NoEventSink> {
     sets: usize,
     ways: usize,
     slots: Vec<EngineSlot<S>>,
     policy: P,
     stats: LlcStats,
+    sink: E,
 }
 
 impl<P: ReplacementPolicy, S: SlotMeta> SetEngine<P, S>
@@ -107,6 +116,21 @@ where
     /// Panics if the policy was built for different dimensions.
     #[must_use]
     pub fn new(sets: usize, ways: usize, policy: P) -> SetEngine<P, S> {
+        SetEngine::with_sink(sets, ways, policy, NoEventSink)
+    }
+}
+
+impl<P: ReplacementPolicy, S: SlotMeta, E: EventSink> SetEngine<P, S, E>
+where
+    EngineSlot<S>: Clone,
+{
+    /// Creates an empty engine emitting events into `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy was built for different dimensions.
+    #[must_use]
+    pub fn with_sink(sets: usize, ways: usize, policy: P, sink: E) -> SetEngine<P, S, E> {
         assert_eq!(policy.sets(), sets, "policy built for wrong set count");
         assert_eq!(policy.ways(), ways, "policy built for wrong way count");
         SetEngine {
@@ -115,11 +139,12 @@ where
             slots: vec![EngineSlot::empty(); sets * ways],
             policy,
             stats: LlcStats::default(),
+            sink,
         }
     }
 }
 
-impl<P: ReplacementPolicy, S> SetEngine<P, S> {
+impl<P: ReplacementPolicy, S, E: EventSink> SetEngine<P, S, E> {
     /// Number of sets.
     #[must_use]
     pub fn sets(&self) -> usize {
@@ -194,6 +219,11 @@ impl<P: ReplacementPolicy, S> SetEngine<P, S> {
     pub fn demand_hit(&mut self, set: usize, way: usize) {
         self.policy.on_hit(set, way);
         self.stats.base_hits += 1;
+        if E::ENABLED {
+            let tag = self.slots[set * self.ways + way].tag;
+            self.sink
+                .emit(CacheEvent::new(set, way, EventKind::DemandHit { tag }));
+        }
     }
 
     /// Records a demand miss on `set`: trains set-dueling policies and
@@ -201,6 +231,10 @@ impl<P: ReplacementPolicy, S> SetEngine<P, S> {
     pub fn demand_miss(&mut self, set: usize) {
         self.policy.on_miss(set);
         self.stats.read_misses += 1;
+        if E::ENABLED {
+            self.sink
+                .emit(CacheEvent::set_wide(set, EventKind::DemandMiss));
+        }
     }
 
     /// Touches the policy for a hit without counting statistics (prefetch
@@ -219,8 +253,66 @@ impl<P: ReplacementPolicy, S> SetEngine<P, S> {
     where
         S: SlotMeta,
     {
+        self.invalidate_as(set, way, EvictCause::Invalidation);
+    }
+
+    /// Empties `(set, way)` and notifies the policy, labeling the emitted
+    /// eviction event with an organization-chosen cause (replacement,
+    /// size pressure). Identical to [`invalidate`](SetEngine::invalidate)
+    /// in untraced builds.
+    pub fn invalidate_as(&mut self, set: usize, way: usize, cause: EvictCause)
+    where
+        S: SlotMeta,
+    {
+        if E::ENABLED {
+            let slot = &self.slots[set * self.ways + way];
+            if slot.valid {
+                self.sink.emit(CacheEvent::new(
+                    set,
+                    way,
+                    EventKind::Eviction {
+                        tag: slot.tag,
+                        cause,
+                    },
+                ));
+            }
+        }
         self.slots[set * self.ways + way].clear();
         self.policy.on_invalidate(set, way);
+    }
+
+    /// Emits an organization-level event. A no-op (including argument
+    /// construction at the call site, which should be guarded by
+    /// `E::ENABLED`) when the sink is disabled.
+    #[inline]
+    pub fn emit(&mut self, ev: CacheEvent) {
+        if E::ENABLED {
+            self.sink.emit(ev);
+        }
+    }
+
+    /// Whether this engine's sink retains events.
+    #[must_use]
+    pub fn events_enabled(&self) -> bool {
+        E::ENABLED
+    }
+
+    /// Drains retained events from the sink, oldest first.
+    pub fn drain_events(&mut self) -> Vec<CacheEvent> {
+        self.sink.drain()
+    }
+
+    /// Read access to the sink (capture statistics, capacity).
+    #[must_use]
+    pub fn sink(&self) -> &E {
+        &self.sink
+    }
+
+    /// How many retained events the sink has overwritten (bounded
+    /// sinks); 0 otherwise.
+    #[must_use]
+    pub fn events_dropped(&self) -> u64 {
+        self.sink.dropped()
     }
 
     /// Forwards a downgrade hint to the policy.
@@ -386,5 +478,35 @@ mod tests {
     #[should_panic(expected = "wrong set count")]
     fn dimension_mismatch_is_rejected() {
         let _: SetEngine<_, Tagged> = SetEngine::new(8, 2, PolicyKind::Lru.instantiate(4, 2));
+    }
+
+    #[test]
+    fn traced_engine_emits_hits_misses_and_invalidations() {
+        use bv_events::RingSink;
+        let mut e: SetEngine<_, Tagged, RingSink> =
+            SetEngine::with_sink(4, 2, PolicyKind::Lru.instantiate(4, 2), RingSink::new(16));
+        assert!(e.events_enabled());
+        e.install(1, 0, 7, Tagged(0), SegmentCount::FULL);
+        e.demand_hit(1, 0);
+        e.demand_miss(1);
+        e.invalidate(1, 0);
+        let events = e.drain_events();
+        let kinds: Vec<&str> = events.iter().map(|ev| ev.kind.name()).collect();
+        assert_eq!(kinds, vec!["hit", "miss", "eviction"]);
+        assert_eq!(events[0].kind.tag(), Some(7));
+        assert_eq!(events[1].way, bv_events::CacheEvent::NO_WAY);
+        // Invalidating an already-empty slot emits nothing.
+        e.invalidate(1, 0);
+        assert!(e.drain_events().is_empty());
+        assert_eq!(e.sink().emitted(), 3);
+    }
+
+    #[test]
+    fn default_engine_reports_events_disabled() {
+        let mut e = engine();
+        assert!(!e.events_enabled());
+        e.install(0, 0, 1, Tagged(0), SegmentCount::FULL);
+        e.demand_hit(0, 0);
+        assert!(e.drain_events().is_empty());
     }
 }

@@ -1,0 +1,451 @@
+//! Baseline-divergence auditor: runs a Base-Victim LLC and an
+//! uncompressed LLC in lockstep and explains the first mismatch.
+//!
+//! The Base-Victim architecture's central guarantee (Section IV of the
+//! paper) is that its Baseline cache holds *exactly* the lines an
+//! uncompressed cache of the same geometry would hold. The differential
+//! and mirror test suites assert that guarantee pass/fail; this module
+//! turns it into an explaining tool. [`run_audit`] drives both
+//! organizations with the same randomized trace, compares the Baseline
+//! contents against the uncompressed contents after **every** operation,
+//! and — on the first mismatch — reports which lines differ, which set
+//! they live in, and the last few [`CacheEvent`]s recorded for that set,
+//! so the decision that caused the divergence is visible, not just its
+//! aftermath.
+//!
+//! A healthy build never diverges, so the auditor also supports *fault
+//! injection*: [`AuditConfig::inject_at`] issues extra demand reads to
+//! the Base-Victim side only, silently perturbing its replacement state
+//! the way a policy bug would. The auditor is then expected to pinpoint
+//! the first fill whose victim choice differs — `bvsim trace --audit
+//! --inject N` uses this as a self-test of the event pipeline.
+
+use crate::{
+    BaseVictimLlc, InclusionMode, LlcOrganization, NoInner, UncompressedLlc, VictimPolicyKind,
+};
+use bv_cache::{CacheGeometry, LineAddr, PolicyKind};
+use bv_compress::{Bdi, CacheLine};
+use bv_events::{CacheEvent, RingSink};
+
+/// How the auditor drives the two organizations.
+#[derive(Clone, Copy, Debug)]
+pub struct AuditConfig {
+    /// Number of trace operations to run.
+    pub ops: usize,
+    /// Seed for the deterministic operation stream.
+    pub seed: u64,
+    /// How many set-local events to report alongside a divergence.
+    pub context: usize,
+    /// If set, issue extra demand reads (one per Baseline-resident line,
+    /// in address order) to the Base-Victim side only, just before this
+    /// operation index — a synthetic replacement-state fault the auditor
+    /// must catch.
+    pub inject_at: Option<usize>,
+    /// Baseline replacement policy for both organizations.
+    pub policy: PolicyKind,
+    /// Victim-cache allocation policy for the Base-Victim side.
+    pub victim: VictimPolicyKind,
+}
+
+impl Default for AuditConfig {
+    fn default() -> AuditConfig {
+        AuditConfig {
+            ops: 2000,
+            seed: 1,
+            context: 8,
+            inject_at: None,
+            policy: PolicyKind::Lru,
+            victim: VictimPolicyKind::EcmLargestBase,
+        }
+    }
+}
+
+/// The first point where the Baseline cache stopped mirroring the
+/// uncompressed cache.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Index of the operation after which the mismatch was observed.
+    pub op: usize,
+    /// The set holding the first mismatched line.
+    pub set: usize,
+    /// Lines the uncompressed cache holds but the Baseline cache lost.
+    pub missing: Vec<LineAddr>,
+    /// Lines the Baseline cache holds but the uncompressed cache does not.
+    pub unexpected: Vec<LineAddr>,
+    /// The most recent events recorded for [`Divergence::set`], oldest
+    /// first — the offending decision is the last fill/eviction here.
+    pub context: Vec<CacheEvent>,
+}
+
+/// What an audit run observed.
+#[derive(Clone, Debug)]
+pub struct AuditReport {
+    /// Operations completed before stopping (equals the configured `ops`
+    /// when no divergence was found).
+    pub ops_run: usize,
+    /// Total events drained from the Base-Victim side's ring.
+    pub events_seen: u64,
+    /// Whether the configured fault injection actually fired.
+    pub injected: bool,
+    /// The first mismatch, if any.
+    pub divergence: Option<Divergence>,
+}
+
+impl AuditReport {
+    /// `true` when the run matched expectations: a clean mirror without
+    /// injection, or a *caught* divergence with it.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        if self.injected {
+            self.divergence.is_some()
+        } else {
+            self.divergence.is_none()
+        }
+    }
+}
+
+/// xorshift64* — deterministic, dependency-free op-stream generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Address-stable memory contents with mixed compressibility, matching
+/// the mirror test suite: a line's bytes are a function of its address
+/// only, so size-aware policies see identical sizes on both sides.
+fn line_for(key: u64) -> CacheLine {
+    let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    match h % 4 {
+        0 => CacheLine::zeroed(),
+        1 => CacheLine::from_u64_words(&core::array::from_fn(|i| {
+            0x4000_0000_0000 + key * 64 + i as u64
+        })),
+        2 => CacheLine::from_u64_words(&[h; 8]),
+        _ => CacheLine::from_u64_words(&core::array::from_fn(|i| {
+            h.wrapping_mul(i as u64 + 1).wrapping_add((i as u64) << 55)
+        })),
+    }
+}
+
+fn sorted(mut v: Vec<LineAddr>) -> Vec<LineAddr> {
+    v.sort_by_key(|a| a.get());
+    v
+}
+
+/// Runs the lockstep audit and stops at the first Baseline mismatch.
+///
+/// The Base-Victim side is built with a [`RingSink`] (capacity scaled to
+/// the context request), drained after every operation into a rolling
+/// event log; on divergence the log is filtered to the offending set.
+#[must_use]
+pub fn run_audit(geom: CacheGeometry, cfg: &AuditConfig) -> AuditReport {
+    let sets = geom.sets();
+    let ways = geom.ways();
+    let mut unc = UncompressedLlc::new(geom, cfg.policy);
+    let mut bv = BaseVictimLlc::with_sink(
+        geom,
+        cfg.policy.instantiate(sets, ways),
+        cfg.victim,
+        InclusionMode::Inclusive,
+        Box::new(Bdi::new()),
+        RingSink::new(cfg.context.max(1) * 64),
+    );
+    let mut inner = NoInner;
+    let mut rng = Rng::new(cfg.seed);
+
+    // Rolling event log, drained from the ring after every op so the ring
+    // never wraps between compares.
+    let mut log: Vec<CacheEvent> = Vec::new();
+    let mut events_seen = 0u64;
+    let mut injected = false;
+
+    // Address space spans 16x the line capacity's working set at the
+    // default audit geometry, matching the mirror suite's trace shape.
+    let span = 256u64.max((sets * ways * 4) as u64);
+
+    for op in 0..cfg.ops {
+        if cfg.inject_at == Some(op) {
+            // The synthetic fault: demand reads the uncompressed side
+            // never sees, one per resident Baseline line. Contents stay
+            // identical at first; only the replacement state skews (every
+            // set's recency becomes address order), so the divergence
+            // surfaces at a later fill — exactly the delayed-cause shape
+            // the event context exists to explain.
+            for addr in sorted(bv.baseline_lines()) {
+                let _ = bv.read(addr, &mut inner);
+            }
+            injected = true;
+        }
+
+        let a = rng.below(span);
+        let addr = LineAddr::new(a);
+        let data = line_for(a);
+        match rng.below(10) {
+            // Demand read, filling on miss.
+            0..=6 => {
+                let hu = unc.read(addr, &mut inner).is_hit();
+                let hb = bv.read(addr, &mut inner).is_hit();
+                if !hu {
+                    unc.fill(addr, data, &mut inner);
+                }
+                if !hb {
+                    bv.fill(addr, data, &mut inner);
+                }
+            }
+            // L2 writeback, legal only for baseline-resident lines.
+            7..=8 => {
+                if bv.baseline_lines().contains(&addr) && unc.contains(addr) {
+                    unc.writeback(addr, data, &mut inner);
+                    bv.writeback(addr, data, &mut inner);
+                }
+            }
+            // Prefetch fill.
+            _ => {
+                unc.prefetch_fill(addr, data, &mut inner);
+                bv.prefetch_fill(addr, data, &mut inner);
+            }
+        }
+
+        let fresh = bv.drain_events();
+        events_seen += fresh.len() as u64;
+        log.extend(fresh);
+
+        let base = sorted(bv.baseline_lines());
+        let mirror = sorted(unc.resident_lines());
+        if base != mirror {
+            let missing: Vec<LineAddr> = mirror
+                .iter()
+                .filter(|a| !base.contains(a))
+                .copied()
+                .collect();
+            let unexpected: Vec<LineAddr> = base
+                .iter()
+                .filter(|a| !mirror.contains(a))
+                .copied()
+                .collect();
+            let first = missing.first().or(unexpected.first()).copied();
+            let set = first.map_or(0, |a| geom.set_index(a.get()));
+            let set_events: Vec<CacheEvent> = log
+                .iter()
+                .filter(|e| e.set as usize == set)
+                .copied()
+                .collect();
+            let start = set_events.len().saturating_sub(cfg.context.max(1));
+            return AuditReport {
+                ops_run: op + 1,
+                events_seen,
+                injected,
+                divergence: Some(Divergence {
+                    op,
+                    set,
+                    missing,
+                    unexpected,
+                    context: set_events[start..].to_vec(),
+                }),
+            };
+        }
+
+        // Keep the rolling log bounded; only the recent tail can ever be
+        // reported.
+        let cap = cfg.context.max(1) * 256;
+        if log.len() > cap {
+            log.drain(..log.len() - cap);
+        }
+    }
+
+    AuditReport {
+        ops_run: cfg.ops,
+        events_seen,
+        injected,
+        divergence: None,
+    }
+}
+
+/// One event as a fixed-width audit-log line.
+#[must_use]
+pub fn describe_event(ev: &CacheEvent) -> String {
+    use bv_events::EventKind as K;
+    let way = if ev.way == CacheEvent::NO_WAY {
+        "  -".to_string()
+    } else {
+        format!("{:>3}", ev.way)
+    };
+    let detail = match ev.kind {
+        K::Fill { tag, size } | K::PrefetchFill { tag, size } => {
+            format!("tag=0x{tag:x} size={size}")
+        }
+        K::DemandHit { tag } => format!("tag=0x{tag:x}"),
+        K::DemandMiss => String::new(),
+        K::VictimHit { tag, size }
+        | K::VictimInsert { tag, size }
+        | K::VictimInsertFail { tag, size }
+        | K::Writeback { tag, size } => format!("tag=0x{tag:x} size={size}"),
+        K::SilentDrop { tag, cause } => format!("tag=0x{tag:x} cause={}", cause.name()),
+        K::Eviction { tag, cause } => format!("tag=0x{tag:x} cause={}", cause.name()),
+        K::Compression { encoder, size } => format!("encoder={encoder} size={size}"),
+    };
+    format!(
+        "seq={:>8} set={:>4} way={} {:<18} {}",
+        ev.seq,
+        ev.set,
+        way,
+        ev.kind.name(),
+        detail
+    )
+    .trim_end()
+    .to_string()
+}
+
+/// Renders a [`Divergence`] as the multi-line report `bvsim trace
+/// --audit` prints.
+#[must_use]
+pub fn render_divergence(d: &Divergence) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "baseline divergence after op {} in set {}\n",
+        d.op, d.set
+    ));
+    let list = |addrs: &[LineAddr]| {
+        addrs
+            .iter()
+            .map(|a| format!("0x{:x}", a.get()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    if !d.missing.is_empty() {
+        out.push_str(&format!(
+            "  missing from Baseline (mirror holds): {}\n",
+            list(&d.missing)
+        ));
+    }
+    if !d.unexpected.is_empty() {
+        out.push_str(&format!(
+            "  unexpected in Baseline (mirror lacks): {}\n",
+            list(&d.unexpected)
+        ));
+    }
+    if d.context.is_empty() {
+        out.push_str("  no events recorded for this set\n");
+    } else {
+        out.push_str(&format!(
+            "  last {} event(s) for set {}:\n",
+            d.context.len(),
+            d.set
+        ));
+        for ev in &d.context {
+            out.push_str("    ");
+            out.push_str(&describe_event(ev));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(4096, 4, 64)
+    }
+
+    #[test]
+    fn clean_run_never_diverges() {
+        for policy in PolicyKind::ALL {
+            let cfg = AuditConfig {
+                policy,
+                seed: 7,
+                ..AuditConfig::default()
+            };
+            let report = run_audit(geom(), &cfg);
+            assert!(
+                report.divergence.is_none(),
+                "{policy:?}: spurious divergence: {:?}",
+                report.divergence
+            );
+            assert!(report.passed());
+            assert_eq!(report.ops_run, cfg.ops);
+            assert!(report.events_seen > 0, "traced run recorded no events");
+        }
+    }
+
+    #[test]
+    fn injected_fault_is_pinpointed_with_set_context() {
+        let cfg = AuditConfig {
+            inject_at: Some(200),
+            seed: 3,
+            ..AuditConfig::default()
+        };
+        let report = run_audit(geom(), &cfg);
+        assert!(report.injected);
+        assert!(report.passed());
+        let d = report
+            .divergence
+            .expect("injected replacement fault must be caught");
+        assert!(d.op >= 200, "divergence cannot precede the injection");
+        assert!(
+            !d.missing.is_empty() || !d.unexpected.is_empty(),
+            "divergence must name at least one mismatched line"
+        );
+        // Set-local context: every reported event belongs to the set the
+        // mismatch was found in, and the report stays within the bound.
+        assert!(!d.context.is_empty(), "divergence carried no event context");
+        assert!(d.context.len() <= cfg.context);
+        for ev in &d.context {
+            assert_eq!(ev.set as usize, d.set);
+        }
+        // The rendering names the op, the set, and the events.
+        let text = render_divergence(&d);
+        assert!(text.contains(&format!("after op {}", d.op)));
+        assert!(text.contains(&format!("set {}", d.set)));
+        assert!(text.contains("seq="));
+    }
+
+    #[test]
+    fn describe_event_covers_every_kind() {
+        use bv_events::{DropCause, EventKind, EvictCause};
+        let kinds = [
+            EventKind::Fill { tag: 1, size: 4 },
+            EventKind::PrefetchFill { tag: 1, size: 4 },
+            EventKind::DemandHit { tag: 1 },
+            EventKind::DemandMiss,
+            EventKind::VictimHit { tag: 1, size: 4 },
+            EventKind::VictimInsert { tag: 1, size: 4 },
+            EventKind::VictimInsertFail { tag: 1, size: 4 },
+            EventKind::SilentDrop {
+                tag: 1,
+                cause: DropCause::Displaced,
+            },
+            EventKind::Writeback { tag: 1, size: 4 },
+            EventKind::Eviction {
+                tag: 1,
+                cause: EvictCause::Replacement,
+            },
+            EventKind::Compression {
+                encoder: 0,
+                size: 4,
+            },
+        ];
+        for kind in kinds {
+            let line = describe_event(&CacheEvent::new(3, 1, kind));
+            assert!(line.contains(kind.name()), "{line}");
+            assert!(line.contains("set=   3"), "{line}");
+        }
+    }
+}

@@ -25,6 +25,7 @@ use bv_cache::{CacheGeometry, LineAddr, Policy, PolicyKind, ReplacementPolicy};
 use bv_compress::{
     Bdi, CacheLine, CompressionStats, Compressor, EncoderStats, SegmentCount, SEGMENTS_PER_LINE,
 };
+use bv_events::{CacheEvent, DropCause, EventKind, EventSink, EvictCause, NoEventSink};
 
 /// Whether the LLC maintains inclusion with the core caches.
 ///
@@ -71,11 +72,11 @@ struct DisplacedLine {
 /// llc.fill(LineAddr::new(1), CacheLine::zeroed(), &mut inner);
 /// assert!(llc.read(LineAddr::new(1), &mut inner).is_hit());
 /// ```
-pub struct BaseVictimLlc<P: ReplacementPolicy = Policy> {
+pub struct BaseVictimLlc<P: ReplacementPolicy = Policy, E: EventSink = NoEventSink> {
     geom: CacheGeometry,
     /// The Baseline cache: one engine slot per physical way, driven by the
     /// unmodified baseline replacement policy.
-    engine: SetEngine<P, LineMeta>,
+    engine: SetEngine<P, LineMeta, E>,
     victim: Vec<Slot>,
     /// Insertion sequence numbers for victim slots (LruFit variant).
     victim_birth: Vec<u64>,
@@ -88,7 +89,7 @@ pub struct BaseVictimLlc<P: ReplacementPolicy = Policy> {
     rng: u64,
 }
 
-impl<P: ReplacementPolicy> core::fmt::Debug for BaseVictimLlc<P> {
+impl<P: ReplacementPolicy, E: EventSink> core::fmt::Debug for BaseVictimLlc<P, E> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("BaseVictimLlc")
             .field("geom", &self.geom)
@@ -163,11 +164,28 @@ impl<P: ReplacementPolicy> BaseVictimLlc<P> {
         mode: InclusionMode,
         compressor: Box<dyn Compressor>,
     ) -> BaseVictimLlc<P> {
+        BaseVictimLlc::with_sink(geom, policy, victim_kind, mode, compressor, NoEventSink)
+    }
+}
+
+impl<P: ReplacementPolicy, E: EventSink> BaseVictimLlc<P, E> {
+    /// Creates a Base-Victim LLC that reports cache events to `sink`.
+    /// The untraced constructors route here with [`NoEventSink`], which
+    /// compiles the event path out entirely.
+    #[must_use]
+    pub fn with_sink(
+        geom: CacheGeometry,
+        policy: P,
+        victim_kind: VictimPolicyKind,
+        mode: InclusionMode,
+        compressor: Box<dyn Compressor>,
+        sink: E,
+    ) -> BaseVictimLlc<P, E> {
         let sets = geom.sets();
         let ways = geom.ways();
         BaseVictimLlc {
             geom,
-            engine: SetEngine::new(sets, ways, policy),
+            engine: SetEngine::with_sink(sets, ways, policy, sink),
             victim: vec![Slot::empty(); sets * ways],
             victim_birth: vec![0; sets * ways],
             victim_kind,
@@ -244,6 +262,18 @@ impl<P: ReplacementPolicy> BaseVictimLlc<P> {
         if !slot.valid {
             return None;
         }
+        if E::ENABLED {
+            // "Eviction" = left the Baseline cache by replacement; a
+            // following victim-insert event shows opportunistic retention.
+            self.engine.emit(CacheEvent::new(
+                set,
+                way,
+                EventKind::Eviction {
+                    tag: slot.tag,
+                    cause: EvictCause::Replacement,
+                },
+            ));
+        }
         let addr = line_addr(&self.geom, set, slot.tag);
         if self.mode == InclusionMode::NonInclusive {
             self.engine.slot_mut(set, way).clear();
@@ -318,6 +348,26 @@ impl<P: ReplacementPolicy> BaseVictimLlc<P> {
                     debug_assert_eq!(self.mode, InclusionMode::NonInclusive);
                     effects.memory_writes += 1;
                 }
+                if E::ENABLED {
+                    if self.victim[i].valid {
+                        self.engine.emit(CacheEvent::new(
+                            set,
+                            c.way,
+                            EventKind::SilentDrop {
+                                tag: self.victim[i].tag,
+                                cause: DropCause::Displaced,
+                            },
+                        ));
+                    }
+                    self.engine.emit(CacheEvent::new(
+                        set,
+                        c.way,
+                        EventKind::VictimInsert {
+                            tag: line.tag,
+                            size: line.size.get(),
+                        },
+                    ));
+                }
                 self.victim[i] = Slot {
                     valid: true,
                     tag: line.tag,
@@ -337,6 +387,15 @@ impl<P: ReplacementPolicy> BaseVictimLlc<P> {
                 if line.dirty {
                     debug_assert_eq!(self.mode, InclusionMode::NonInclusive);
                     effects.memory_writes += 1;
+                }
+                if E::ENABLED {
+                    self.engine.emit(CacheEvent::set_wide(
+                        set,
+                        EventKind::VictimInsertFail {
+                            tag: line.tag,
+                            size: line.size.get(),
+                        },
+                    ));
                 }
                 self.engine.stats_mut().victim_insert_failures += 1;
             }
@@ -361,6 +420,17 @@ impl<P: ReplacementPolicy> BaseVictimLlc<P> {
                 debug_assert_eq!(self.mode, InclusionMode::NonInclusive);
                 effects.memory_writes += 1;
             }
+            if E::ENABLED {
+                let tag = self.victim[i].tag;
+                self.engine.emit(CacheEvent::new(
+                    set,
+                    way,
+                    EventKind::SilentDrop {
+                        tag,
+                        cause: DropCause::PairOverflow,
+                    },
+                ));
+            }
             self.victim[i].clear();
             effects.partner_evictions += 1;
         }
@@ -368,7 +438,8 @@ impl<P: ReplacementPolicy> BaseVictimLlc<P> {
 
     /// Common install path for demand fills, prefetch fills, and victim
     /// promotions: displace the baseline victim, install the incoming
-    /// line, enforce pairing, and re-insert the displaced line.
+    /// line, enforce pairing, and re-insert the displaced line. Returns
+    /// the way the line landed in (event emission only).
     #[allow(clippy::too_many_arguments)] // one argument per tag-metadata field
     fn install_base(
         &mut self,
@@ -379,7 +450,7 @@ impl<P: ReplacementPolicy> BaseVictimLlc<P> {
         dirty: bool,
         inner: &mut dyn InclusionAgent,
         effects: &mut Effects,
-    ) {
+    ) -> usize {
         let way = self.engine.fill_way(set);
 
         let displaced = self.displace_base(set, way, inner, effects);
@@ -395,6 +466,23 @@ impl<P: ReplacementPolicy> BaseVictimLlc<P> {
 
         if let Some(line) = displaced {
             self.insert_victim(set, line, effects);
+        }
+        way
+    }
+
+    /// Emits the compression-outcome event for a freshly (re)compressed
+    /// line. No-op in untraced builds.
+    fn emit_compression(&mut self, set: usize, way: usize, data: &CacheLine, size: SegmentCount) {
+        if E::ENABLED {
+            let (_, class) = self.compressor.classified_size(data);
+            self.engine.emit(CacheEvent::new(
+                set,
+                way,
+                EventKind::Compression {
+                    encoder: class.map_or(u8::MAX, |c| c as u8),
+                    size: size.get(),
+                },
+            ));
         }
     }
 
@@ -477,7 +565,7 @@ impl<P: ReplacementPolicy> BaseVictimLlc<P> {
     }
 }
 
-impl<P: ReplacementPolicy> LlcOrganization for BaseVictimLlc<P> {
+impl<P: ReplacementPolicy, E: EventSink> LlcOrganization for BaseVictimLlc<P, E> {
     fn name(&self) -> &'static str {
         "base-victim"
     }
@@ -513,6 +601,16 @@ impl<P: ReplacementPolicy> LlcOrganization for BaseVictimLlc<P> {
                 !promoted.dirty || self.mode == InclusionMode::NonInclusive,
                 "inclusive victim lines must be clean"
             );
+            if E::ENABLED {
+                self.engine.emit(CacheEvent::new(
+                    set,
+                    vway,
+                    EventKind::VictimHit {
+                        tag: promoted.tag,
+                        size: promoted.size.get(),
+                    },
+                ));
+            }
             self.victim[i].clear();
             effects.migrations += 1; // victim way -> base way data movement
 
@@ -568,6 +666,17 @@ impl<P: ReplacementPolicy> LlcOrganization for BaseVictimLlc<P> {
             meta.data = data;
             meta.dirty = true;
             meta.size = new_size;
+            if E::ENABLED {
+                let tag = self.geom.tag(addr.get());
+                self.engine.emit(CacheEvent::new(
+                    set,
+                    way,
+                    EventKind::Writeback {
+                        tag,
+                        size: new_size.get(),
+                    },
+                ));
+            }
             self.enforce_pairing(set, way, new_size, &mut effects);
             self.engine.stats_mut().writeback_hits += 1;
             self.engine.absorb(effects);
@@ -642,7 +751,18 @@ impl<P: ReplacementPolicy> LlcOrganization for BaseVictimLlc<P> {
         let tag = self.geom.tag(addr.get());
         let size = self.encoders.record(self.compressor.as_ref(), &data);
         self.compression.record(size);
-        self.install_base(set, tag, data, size, false, inner, &mut effects);
+        let way = self.install_base(set, tag, data, size, false, inner, &mut effects);
+        if E::ENABLED {
+            self.emit_compression(set, way, &data, size);
+            self.engine.emit(CacheEvent::new(
+                set,
+                way,
+                EventKind::Fill {
+                    tag,
+                    size: size.get(),
+                },
+            ));
+        }
         self.engine.stats_mut().demand_fills += 1;
         self.engine.absorb(effects);
         OpOutcome { effects }
@@ -687,7 +807,18 @@ impl<P: ReplacementPolicy> LlcOrganization for BaseVictimLlc<P> {
         let tag = self.geom.tag(addr.get());
         let size = self.encoders.record(self.compressor.as_ref(), &data);
         self.compression.record(size);
-        self.install_base(set, tag, data, size, false, inner, &mut effects);
+        let way = self.install_base(set, tag, data, size, false, inner, &mut effects);
+        if E::ENABLED {
+            self.emit_compression(set, way, &data, size);
+            self.engine.emit(CacheEvent::new(
+                set,
+                way,
+                EventKind::PrefetchFill {
+                    tag,
+                    size: size.get(),
+                },
+            ));
+        }
         self.engine.stats_mut().prefetch_fills += 1;
         self.engine.absorb(effects);
         Some(OpOutcome { effects })
@@ -734,6 +865,14 @@ impl<P: ReplacementPolicy> LlcOrganization for BaseVictimLlc<P> {
 
     fn encoder_counts(&self) -> Vec<(&'static str, u64)> {
         self.encoders.counts(self.compressor.as_ref())
+    }
+
+    fn drain_events(&mut self) -> Vec<CacheEvent> {
+        self.engine.drain_events()
+    }
+
+    fn events_dropped(&self) -> u64 {
+        self.engine.events_dropped()
     }
 }
 

@@ -20,6 +20,7 @@ use crate::{Effects, HitKind, InclusionAgent, LlcOrganization, LlcStats, OpOutco
 use bv_cache::engine::{SetEngine, SlotMeta};
 use bv_cache::{CacheGeometry, LineAddr, Policy, PolicyKind, ReplacementPolicy};
 use bv_compress::{Bdi, CacheLine, CompressionStats, Compressor, EncoderStats, SegmentCount};
+use bv_events::{CacheEvent, EventKind, EventSink, EvictCause, NoEventSink};
 
 /// Lines per super-block (DCC uses 4).
 const SUPER_BLOCK_LINES: usize = 4;
@@ -78,11 +79,11 @@ impl SuperLines {
 /// assert!(dcc.contains(LineAddr::new(8)));
 /// ```
 #[derive(Debug)]
-pub struct DccLlc<P: ReplacementPolicy = Policy> {
+pub struct DccLlc<P: ReplacementPolicy = Policy, E: EventSink = NoEventSink> {
     geom: CacheGeometry,
     /// `sets x 2*ways` super-block tags (DCC doubles tag reach like the
     /// other compressed organizations; each tag covers 4 lines).
-    engine: SetEngine<P, SuperLines>,
+    engine: SetEngine<P, SuperLines, E>,
     compression: CompressionStats,
     bdi: Bdi,
     encoders: EncoderStats,
@@ -108,10 +109,20 @@ impl<P: ReplacementPolicy> DccLlc<P> {
     /// covering all `2N` super-block tags per set.
     #[must_use]
     pub fn with_policy(geom: CacheGeometry, policy: P) -> DccLlc<P> {
+        DccLlc::with_sink(geom, policy, NoEventSink)
+    }
+}
+
+impl<P: ReplacementPolicy, E: EventSink> DccLlc<P, E> {
+    /// Creates an empty functional DCC that reports cache events to
+    /// `sink`. The untraced constructors route here with [`NoEventSink`],
+    /// which compiles the event path out entirely.
+    #[must_use]
+    pub fn with_sink(geom: CacheGeometry, policy: P, sink: E) -> DccLlc<P, E> {
         let tags = geom.ways() * 2;
         DccLlc {
             geom,
-            engine: SetEngine::new(geom.sets(), tags, policy),
+            engine: SetEngine::with_sink(geom.sets(), tags, policy, sink),
             compression: CompressionStats::default(),
             bdi: Bdi::new(),
             encoders: EncoderStats::new(),
@@ -178,7 +189,10 @@ impl<P: ReplacementPolicy> DccLlc<P> {
                 effects.memory_writes += 1;
             }
         }
-        self.engine.invalidate(set, t);
+        // The whole super-block leaves under pool pressure — DCC's
+        // coarse-replacement drawback, visible as one size-pressure
+        // eviction per displaced super-block tag.
+        self.engine.invalidate_as(set, t, EvictCause::SizePressure);
     }
 
     /// Frees pool space and/or a tag for an incoming line of `needed`
@@ -210,6 +224,7 @@ impl<P: ReplacementPolicy> DccLlc<P> {
         addr: LineAddr,
         data: CacheLine,
         inner: &mut dyn InclusionAgent,
+        prefetch: bool,
     ) -> Effects {
         debug_assert!(!self.contains(addr), "fill of resident line");
         let mut effects = Effects::default();
@@ -229,6 +244,29 @@ impl<P: ReplacementPolicy> DccLlc<P> {
                 .first_invalid(set)
                 .expect("make_room guarantees a free tag")
         });
+        if E::ENABLED {
+            let (_, class) = self.bdi.classified_size(&data);
+            self.engine.emit(CacheEvent::new(
+                set,
+                t,
+                EventKind::Compression {
+                    encoder: class.map_or(u8::MAX, |c| c as u8),
+                    size: size.get(),
+                },
+            ));
+            let kind = if prefetch {
+                EventKind::PrefetchFill {
+                    tag,
+                    size: size.get(),
+                }
+            } else {
+                EventKind::Fill {
+                    tag,
+                    size: size.get(),
+                }
+            };
+            self.engine.emit(CacheEvent::new(set, t, kind));
+        }
         let mut meta = self.engine.slot(set, t).meta;
         meta.lines[member] = Slot {
             valid: true,
@@ -283,7 +321,7 @@ impl<P: ReplacementPolicy> DccLlc<P> {
     }
 }
 
-impl<P: ReplacementPolicy> LlcOrganization for DccLlc<P> {
+impl<P: ReplacementPolicy, E: EventSink> LlcOrganization for DccLlc<P, E> {
     fn name(&self) -> &'static str {
         "dcc"
     }
@@ -344,6 +382,17 @@ impl<P: ReplacementPolicy> LlcOrganization for DccLlc<P> {
                         self.make_room(set, delta, Some(t), inner, &mut effects);
                     }
                 }
+                if E::ENABLED {
+                    let (_, sb_tag, _) = self.locate_super(addr);
+                    self.engine.emit(CacheEvent::new(
+                        set,
+                        t,
+                        EventKind::Writeback {
+                            tag: sb_tag,
+                            size: new_size.get(),
+                        },
+                    ));
+                }
                 let line = &mut self.engine.slot_mut(set, t).meta.lines[m];
                 line.data = data;
                 line.dirty = true;
@@ -370,7 +419,7 @@ impl<P: ReplacementPolicy> LlcOrganization for DccLlc<P> {
         data: CacheLine,
         inner: &mut dyn InclusionAgent,
     ) -> OpOutcome {
-        let effects = self.install(addr, data, inner);
+        let effects = self.install(addr, data, inner, false);
         self.engine.stats_mut().demand_fills += 1;
         self.engine.absorb(effects);
         OpOutcome { effects }
@@ -386,7 +435,7 @@ impl<P: ReplacementPolicy> LlcOrganization for DccLlc<P> {
             self.engine.stats_mut().prefetch_hits += 1;
             return None;
         }
-        let effects = self.install(addr, data, inner);
+        let effects = self.install(addr, data, inner, true);
         self.engine.stats_mut().prefetch_fills += 1;
         self.engine.absorb(effects);
         Some(OpOutcome { effects })
@@ -430,6 +479,14 @@ impl<P: ReplacementPolicy> LlcOrganization for DccLlc<P> {
 
     fn encoder_counts(&self) -> Vec<(&'static str, u64)> {
         self.encoders.counts(&self.bdi)
+    }
+
+    fn drain_events(&mut self) -> Vec<CacheEvent> {
+        self.engine.drain_events()
+    }
+
+    fn events_dropped(&self) -> u64 {
+        self.engine.events_dropped()
     }
 }
 

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod area;
+pub mod audit;
 mod base_victim;
 mod dcc;
 mod slot;
@@ -226,6 +227,20 @@ pub trait LlcOrganization {
     /// encoding classes.
     fn encoder_counts(&self) -> Vec<(&'static str, u64)> {
         Vec::new()
+    }
+
+    /// Drains retained [`CacheEvent`](bv_events::CacheEvent)s from the
+    /// organization's event sink, oldest first. Empty (the default) for
+    /// untraced builds, so the simulator can ask through
+    /// `Box<dyn LlcOrganization>` without knowing whether tracing is on.
+    fn drain_events(&mut self) -> Vec<bv_events::CacheEvent> {
+        Vec::new()
+    }
+
+    /// How many retained events the organization's sink overwrote with
+    /// newer ones (bounded captures); 0 for untraced builds.
+    fn events_dropped(&self) -> u64 {
+        0
     }
 }
 

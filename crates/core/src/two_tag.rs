@@ -23,6 +23,7 @@ use bv_cache::{CacheGeometry, LineAddr, Policy, PolicyKind, ReplacementPolicy};
 use bv_compress::{
     Bdi, CacheLine, CompressionStats, Compressor, EncoderStats, SegmentCount, SEGMENTS_PER_LINE,
 };
+use bv_events::{CacheEvent, EventKind, EventSink, EvictCause, NoEventSink};
 
 /// Victim-search flavor for the shared two-tag machinery.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -41,21 +42,21 @@ enum Flavor {
 /// where it fits with its partner, and lines that stop fitting victimize
 /// the partner.
 #[derive(Debug)]
-pub struct TwoTagCore<P: ReplacementPolicy = Policy> {
+pub struct TwoTagCore<P: ReplacementPolicy = Policy, E: EventSink = NoEventSink> {
     geom: CacheGeometry,
-    engine: SetEngine<P, LineMeta>,
+    engine: SetEngine<P, LineMeta, E>,
     flavor: Flavor,
     compression: CompressionStats,
     bdi: Bdi,
     encoders: EncoderStats,
 }
 
-impl<P: ReplacementPolicy> TwoTagCore<P> {
-    fn new(geom: CacheGeometry, policy: P, flavor: Flavor) -> TwoTagCore<P> {
+impl<P: ReplacementPolicy, E: EventSink> TwoTagCore<P, E> {
+    fn new(geom: CacheGeometry, policy: P, flavor: Flavor, sink: E) -> TwoTagCore<P, E> {
         let logical = geom.ways() * 2;
         TwoTagCore {
             geom,
-            engine: SetEngine::new(geom.sets(), logical, policy),
+            engine: SetEngine::with_sink(geom.sets(), logical, policy, sink),
             flavor,
             compression: CompressionStats::default(),
             bdi: Bdi::new(),
@@ -69,13 +70,15 @@ impl<P: ReplacementPolicy> TwoTagCore<P> {
         self.engine.find(set, tag).map(|l| (set, l))
     }
 
-    /// Evicts the occupant of logical slot `l`, if valid.
+    /// Evicts the occupant of logical slot `l`, if valid, labeling the
+    /// eviction event with `cause`.
     fn evict_slot(
         &mut self,
         set: usize,
         l: usize,
         inner: &mut dyn InclusionAgent,
         effects: &mut Effects,
+        cause: EvictCause,
     ) {
         let slot = *self.engine.slot(set, l);
         if !slot.valid {
@@ -87,7 +90,7 @@ impl<P: ReplacementPolicy> TwoTagCore<P> {
         if inner_dirty.is_some() || slot.meta.dirty {
             effects.memory_writes += 1;
         }
-        self.engine.invalidate(set, l);
+        self.engine.invalidate_as(set, l, cause);
     }
 
     /// Whether installing a line of `size` in logical slot `l` fits with
@@ -106,6 +109,7 @@ impl<P: ReplacementPolicy> TwoTagCore<P> {
         addr: LineAddr,
         data: CacheLine,
         inner: &mut dyn InclusionAgent,
+        prefetch: bool,
     ) -> Effects {
         debug_assert!(self.find(addr).is_none(), "fill of resident line");
         let mut effects = Effects::default();
@@ -126,9 +130,9 @@ impl<P: ReplacementPolicy> TwoTagCore<P> {
                     // not fit with its partner, victimize the partner too —
                     // even if the partner is the MRU line.
                     let v = self.engine.victim(set);
-                    self.evict_slot(set, v, inner, &mut effects);
+                    self.evict_slot(set, v, inner, &mut effects, EvictCause::Replacement);
                     if !self.fits_in(set, v, size) {
-                        self.evict_slot(set, v ^ 1, inner, &mut effects);
+                        self.evict_slot(set, v ^ 1, inner, &mut effects, EvictCause::SizePressure);
                         effects.partner_evictions += 1;
                     }
                     v
@@ -151,15 +155,21 @@ impl<P: ReplacementPolicy> TwoTagCore<P> {
                         });
                     match candidate {
                         Some(l) => {
-                            self.evict_slot(set, l, inner, &mut effects);
+                            self.evict_slot(set, l, inner, &mut effects, EvictCause::SizePressure);
                             l
                         }
                         None => {
                             // Fall back to partner victimization.
                             let v = self.engine.victim(set);
-                            self.evict_slot(set, v, inner, &mut effects);
+                            self.evict_slot(set, v, inner, &mut effects, EvictCause::Replacement);
                             if !self.fits_in(set, v, size) {
-                                self.evict_slot(set, v ^ 1, inner, &mut effects);
+                                self.evict_slot(
+                                    set,
+                                    v ^ 1,
+                                    inner,
+                                    &mut effects,
+                                    EvictCause::SizePressure,
+                                );
                                 effects.partner_evictions += 1;
                             }
                             v
@@ -168,6 +178,30 @@ impl<P: ReplacementPolicy> TwoTagCore<P> {
                 }
             },
         };
+
+        if E::ENABLED {
+            let (_, class) = self.bdi.classified_size(&data);
+            self.engine.emit(CacheEvent::new(
+                set,
+                l,
+                EventKind::Compression {
+                    encoder: class.map_or(u8::MAX, |c| c as u8),
+                    size: size.get(),
+                },
+            ));
+            let kind = if prefetch {
+                EventKind::PrefetchFill {
+                    tag,
+                    size: size.get(),
+                }
+            } else {
+                EventKind::Fill {
+                    tag,
+                    size: size.get(),
+                }
+            };
+            self.engine.emit(CacheEvent::new(set, l, kind));
+        }
 
         let meta = LineMeta {
             dirty: false,
@@ -200,11 +234,22 @@ impl<P: ReplacementPolicy> TwoTagCore<P> {
                 meta.data = data;
                 meta.dirty = true;
                 meta.size = new_size;
+                if E::ENABLED {
+                    let tag = self.geom.tag(addr.get());
+                    self.engine.emit(CacheEvent::new(
+                        set,
+                        l,
+                        EventKind::Writeback {
+                            tag,
+                            size: new_size.get(),
+                        },
+                    ));
+                }
                 // If the line grew past its partner's space, the partner
                 // must be evicted (with a writeback if dirty).
                 let partner = self.engine.slot(set, l ^ 1);
                 if partner.valid && !new_size.fits_with(partner.meta.size) {
-                    self.evict_slot(set, l ^ 1, inner, &mut effects);
+                    self.evict_slot(set, l ^ 1, inner, &mut effects, EvictCause::SizePressure);
                     effects.partner_evictions += 1;
                 }
                 self.engine.stats_mut().writeback_hits += 1;
@@ -245,8 +290,8 @@ macro_rules! two_tag_llc {
     ($(#[$doc:meta])* $name:ident, $flavor:expr, $org_name:literal) => {
         $(#[$doc])*
         #[derive(Debug)]
-        pub struct $name<P: ReplacementPolicy = Policy> {
-            core: TwoTagCore<P>,
+        pub struct $name<P: ReplacementPolicy = Policy, E: EventSink = NoEventSink> {
+            core: TwoTagCore<P, E>,
         }
 
         impl $name {
@@ -265,8 +310,19 @@ macro_rules! two_tag_llc {
             /// instance covering all `2N` logical slots per set.
             #[must_use]
             pub fn with_policy(geom: CacheGeometry, policy: P) -> $name<P> {
+                $name::with_sink(geom, policy, NoEventSink)
+            }
+        }
+
+        impl<P: ReplacementPolicy, E: EventSink> $name<P, E> {
+            /// Creates an empty organization that reports cache events to
+            /// `sink`. The untraced constructors route here with
+            /// [`NoEventSink`](bv_events::NoEventSink), which compiles the
+            /// event path out entirely.
+            #[must_use]
+            pub fn with_sink(geom: CacheGeometry, policy: P, sink: E) -> $name<P, E> {
                 $name {
-                    core: TwoTagCore::new(geom, policy, $flavor),
+                    core: TwoTagCore::new(geom, policy, $flavor, sink),
                 }
             }
 
@@ -280,7 +336,7 @@ macro_rules! two_tag_llc {
             }
         }
 
-        impl<P: ReplacementPolicy> LlcOrganization for $name<P> {
+        impl<P: ReplacementPolicy, E: EventSink> LlcOrganization for $name<P, E> {
             fn name(&self) -> &'static str {
                 $org_name
             }
@@ -331,7 +387,7 @@ macro_rules! two_tag_llc {
                 data: CacheLine,
                 inner: &mut dyn InclusionAgent,
             ) -> OpOutcome {
-                let effects = self.core.install(addr, data, inner);
+                let effects = self.core.install(addr, data, inner, false);
                 self.core.engine.stats_mut().demand_fills += 1;
                 self.core.engine.absorb(effects);
                 OpOutcome { effects }
@@ -347,7 +403,7 @@ macro_rules! two_tag_llc {
                     self.core.engine.stats_mut().prefetch_hits += 1;
                     return None;
                 }
-                let effects = self.core.install(addr, data, inner);
+                let effects = self.core.install(addr, data, inner, true);
                 self.core.engine.stats_mut().prefetch_fills += 1;
                 self.core.engine.absorb(effects);
                 Some(OpOutcome { effects })
@@ -390,6 +446,14 @@ macro_rules! two_tag_llc {
 
             fn encoder_counts(&self) -> Vec<(&'static str, u64)> {
                 self.core.encoders.counts(&self.core.bdi)
+            }
+
+            fn drain_events(&mut self) -> Vec<CacheEvent> {
+                self.core.engine.drain_events()
+            }
+
+            fn events_dropped(&self) -> u64 {
+                self.core.engine.events_dropped()
             }
         }
     };

@@ -4,7 +4,8 @@ use crate::slot::{line_addr, LineMeta};
 use crate::{Effects, HitKind, InclusionAgent, LlcOrganization, LlcStats, OpOutcome, ReadOutcome};
 use bv_cache::engine::SetEngine;
 use bv_cache::{CacheGeometry, LineAddr, Policy, PolicyKind, ReplacementPolicy};
-use bv_compress::{Bdi, CacheLine, CompressionStats, EncoderStats, SegmentCount};
+use bv_compress::{Bdi, CacheLine, CompressionStats, Compressor, EncoderStats, SegmentCount};
+use bv_events::{CacheEvent, EventKind, EventSink, EvictCause, NoEventSink};
 
 /// An ordinary inclusive LLC: one tag per physical way, no compression.
 ///
@@ -26,9 +27,9 @@ use bv_compress::{Bdi, CacheLine, CompressionStats, EncoderStats, SegmentCount};
 /// assert!(llc.contains(LineAddr::new(3)));
 /// ```
 #[derive(Debug)]
-pub struct UncompressedLlc<P: ReplacementPolicy = Policy> {
+pub struct UncompressedLlc<P: ReplacementPolicy = Policy, E: EventSink = NoEventSink> {
     geom: CacheGeometry,
-    engine: SetEngine<P, LineMeta>,
+    engine: SetEngine<P, LineMeta, E>,
     compression: CompressionStats,
     bdi: Bdi,
     encoders: EncoderStats,
@@ -48,9 +49,19 @@ impl<P: ReplacementPolicy> UncompressedLlc<P> {
     /// instance, monomorphizing the lookup/fill path over it.
     #[must_use]
     pub fn with_policy(geom: CacheGeometry, policy: P) -> UncompressedLlc<P> {
+        UncompressedLlc::with_sink(geom, policy, NoEventSink)
+    }
+}
+
+impl<P: ReplacementPolicy, E: EventSink> UncompressedLlc<P, E> {
+    /// Creates an empty uncompressed LLC that reports cache events to
+    /// `sink`. The untraced constructors route here with [`NoEventSink`],
+    /// which compiles the event path out entirely.
+    #[must_use]
+    pub fn with_sink(geom: CacheGeometry, policy: P, sink: E) -> UncompressedLlc<P, E> {
         UncompressedLlc {
             geom,
-            engine: SetEngine::new(geom.sets(), geom.ways(), policy),
+            engine: SetEngine::with_sink(geom.sets(), geom.ways(), policy, sink),
             compression: CompressionStats::default(),
             bdi: Bdi::new(),
             encoders: EncoderStats::new(),
@@ -69,6 +80,7 @@ impl<P: ReplacementPolicy> UncompressedLlc<P> {
         addr: LineAddr,
         data: CacheLine,
         inner: &mut dyn InclusionAgent,
+        prefetch: bool,
     ) -> Effects {
         debug_assert!(!self.contains(addr), "fill of resident line");
         let set = self.geom.set_index(addr.get());
@@ -85,6 +97,16 @@ impl<P: ReplacementPolicy> UncompressedLlc<P> {
             if inner_dirty.is_some() || evicted.meta.dirty {
                 effects.memory_writes += 1;
             }
+            if E::ENABLED {
+                self.engine.emit(CacheEvent::new(
+                    set,
+                    way,
+                    EventKind::Eviction {
+                        tag: evicted.tag,
+                        cause: EvictCause::Replacement,
+                    },
+                ));
+            }
         }
 
         // Track compressibility of the access stream even though this
@@ -92,6 +114,30 @@ impl<P: ReplacementPolicy> UncompressedLlc<P> {
         // and fed to size-aware policies like CAMP as their predictor).
         let compressed_size = self.encoders.record(&self.bdi, &data);
         self.compression.record(compressed_size);
+
+        if E::ENABLED {
+            let (_, class) = self.bdi.classified_size(&data);
+            self.engine.emit(CacheEvent::new(
+                set,
+                way,
+                EventKind::Compression {
+                    encoder: class.map_or(u8::MAX, |c| c as u8),
+                    size: compressed_size.get(),
+                },
+            ));
+            let kind = if prefetch {
+                EventKind::PrefetchFill {
+                    tag,
+                    size: SegmentCount::FULL.get(),
+                }
+            } else {
+                EventKind::Fill {
+                    tag,
+                    size: SegmentCount::FULL.get(),
+                }
+            };
+            self.engine.emit(CacheEvent::new(set, way, kind));
+        }
 
         let meta = LineMeta {
             dirty: false,
@@ -104,7 +150,7 @@ impl<P: ReplacementPolicy> UncompressedLlc<P> {
     }
 }
 
-impl<P: ReplacementPolicy> LlcOrganization for UncompressedLlc<P> {
+impl<P: ReplacementPolicy, E: EventSink> LlcOrganization for UncompressedLlc<P, E> {
     fn name(&self) -> &'static str {
         "uncompressed"
     }
@@ -148,6 +194,17 @@ impl<P: ReplacementPolicy> LlcOrganization for UncompressedLlc<P> {
                 slot.meta.data = data;
                 slot.meta.dirty = true;
                 self.engine.stats_mut().writeback_hits += 1;
+                if E::ENABLED {
+                    let tag = self.geom.tag(addr.get());
+                    self.engine.emit(CacheEvent::new(
+                        set,
+                        way,
+                        EventKind::Writeback {
+                            tag,
+                            size: SegmentCount::FULL.get(),
+                        },
+                    ));
+                }
                 OpOutcome::default()
             }
             None => {
@@ -173,7 +230,7 @@ impl<P: ReplacementPolicy> LlcOrganization for UncompressedLlc<P> {
     ) -> OpOutcome {
         self.engine.stats_mut().demand_fills += 1;
         OpOutcome {
-            effects: self.install(addr, data, inner),
+            effects: self.install(addr, data, inner, false),
         }
     }
 
@@ -189,7 +246,7 @@ impl<P: ReplacementPolicy> LlcOrganization for UncompressedLlc<P> {
         }
         self.engine.stats_mut().prefetch_fills += 1;
         Some(OpOutcome {
-            effects: self.install(addr, data, inner),
+            effects: self.install(addr, data, inner, true),
         })
     }
 
@@ -229,6 +286,14 @@ impl<P: ReplacementPolicy> LlcOrganization for UncompressedLlc<P> {
 
     fn encoder_counts(&self) -> Vec<(&'static str, u64)> {
         self.encoders.counts(&self.bdi)
+    }
+
+    fn drain_events(&mut self) -> Vec<CacheEvent> {
+        self.engine.drain_events()
+    }
+
+    fn events_dropped(&self) -> u64 {
+        self.engine.events_dropped()
     }
 }
 

@@ -17,6 +17,7 @@ use bv_cache::{CacheGeometry, LineAddr, Policy, PolicyKind, ReplacementPolicy};
 use bv_compress::{
     Bdi, CacheLine, CompressionStats, Compressor, EncoderStats, SegmentCount, SEGMENTS_PER_LINE,
 };
+use bv_events::{CacheEvent, EventKind, EventSink, EvictCause, NoEventSink};
 
 /// Functional VSC-2X: twice the tags, compacted variable-size data.
 ///
@@ -38,9 +39,9 @@ use bv_compress::{
 /// assert!(vsc.contains(LineAddr::new(1)));
 /// ```
 #[derive(Debug)]
-pub struct VscLlc<P: ReplacementPolicy = Policy> {
+pub struct VscLlc<P: ReplacementPolicy = Policy, E: EventSink = NoEventSink> {
     geom: CacheGeometry,
-    engine: SetEngine<P, LineMeta>, // sets x 2*ways logical tags
+    engine: SetEngine<P, LineMeta, E>, // sets x 2*ways logical tags
     compression: CompressionStats,
     bdi: Bdi,
     encoders: EncoderStats,
@@ -67,10 +68,20 @@ impl<P: ReplacementPolicy> VscLlc<P> {
     /// covering all `2N` logical tags per set.
     #[must_use]
     pub fn with_policy(geom: CacheGeometry, policy: P) -> VscLlc<P> {
+        VscLlc::with_sink(geom, policy, NoEventSink)
+    }
+}
+
+impl<P: ReplacementPolicy, E: EventSink> VscLlc<P, E> {
+    /// Creates an empty functional VSC that reports cache events to
+    /// `sink`. The untraced constructors route here with [`NoEventSink`],
+    /// which compiles the event path out entirely.
+    #[must_use]
+    pub fn with_sink(geom: CacheGeometry, policy: P, sink: E) -> VscLlc<P, E> {
         let logical = geom.ways() * 2;
         VscLlc {
             geom,
-            engine: SetEngine::new(geom.sets(), logical, policy),
+            engine: SetEngine::with_sink(geom.sets(), logical, policy, sink),
             compression: CompressionStats::default(),
             bdi: Bdi::new(),
             encoders: EncoderStats::new(),
@@ -140,7 +151,10 @@ impl<P: ReplacementPolicy> VscLlc<P> {
             if inner_dirty.is_some() || slot.meta.dirty {
                 effects.memory_writes += 1;
             }
-            self.engine.invalidate(set, victim);
+            // VSC's multi-eviction drawback: lines leave under segment
+            // pressure, not replacement order alone.
+            self.engine
+                .invalidate_as(set, victim, EvictCause::SizePressure);
             evicted_any = true;
         }
         if evicted_any {
@@ -154,6 +168,7 @@ impl<P: ReplacementPolicy> VscLlc<P> {
         addr: LineAddr,
         data: CacheLine,
         inner: &mut dyn InclusionAgent,
+        prefetch: bool,
     ) -> Effects {
         debug_assert!(self.find(addr).is_none(), "fill of resident line");
         let mut effects = Effects::default();
@@ -168,6 +183,29 @@ impl<P: ReplacementPolicy> VscLlc<P> {
             .engine
             .first_invalid(set)
             .expect("make_room guarantees a free tag");
+        if E::ENABLED {
+            let (_, class) = self.bdi.classified_size(&data);
+            self.engine.emit(CacheEvent::new(
+                set,
+                l,
+                EventKind::Compression {
+                    encoder: class.map_or(u8::MAX, |c| c as u8),
+                    size: size.get(),
+                },
+            ));
+            let kind = if prefetch {
+                EventKind::PrefetchFill {
+                    tag,
+                    size: size.get(),
+                }
+            } else {
+                EventKind::Fill {
+                    tag,
+                    size: size.get(),
+                }
+            };
+            self.engine.emit(CacheEvent::new(set, l, kind));
+        }
         let meta = LineMeta {
             dirty: false,
             data,
@@ -221,7 +259,7 @@ impl<P: ReplacementPolicy> VscLlc<P> {
     }
 }
 
-impl<P: ReplacementPolicy> LlcOrganization for VscLlc<P> {
+impl<P: ReplacementPolicy, E: EventSink> LlcOrganization for VscLlc<P, E> {
     fn name(&self) -> &'static str {
         "vsc-2x"
     }
@@ -295,6 +333,17 @@ impl<P: ReplacementPolicy> LlcOrganization for VscLlc<P> {
                 meta.data = data;
                 meta.dirty = true;
                 meta.size = new_size;
+                if E::ENABLED {
+                    let tag = self.geom.tag(addr.get());
+                    self.engine.emit(CacheEvent::new(
+                        set,
+                        l,
+                        EventKind::Writeback {
+                            tag,
+                            size: new_size.get(),
+                        },
+                    ));
+                }
                 self.engine.stats_mut().writeback_hits += 1;
             }
             None => {
@@ -313,7 +362,7 @@ impl<P: ReplacementPolicy> LlcOrganization for VscLlc<P> {
         data: CacheLine,
         inner: &mut dyn InclusionAgent,
     ) -> OpOutcome {
-        let effects = self.install(addr, data, inner);
+        let effects = self.install(addr, data, inner, false);
         self.engine.stats_mut().demand_fills += 1;
         self.engine.absorb(effects);
         OpOutcome { effects }
@@ -329,7 +378,7 @@ impl<P: ReplacementPolicy> LlcOrganization for VscLlc<P> {
             self.engine.stats_mut().prefetch_hits += 1;
             return None;
         }
-        let effects = self.install(addr, data, inner);
+        let effects = self.install(addr, data, inner, true);
         self.engine.stats_mut().prefetch_fills += 1;
         self.engine.absorb(effects);
         Some(OpOutcome { effects })
@@ -371,6 +420,14 @@ impl<P: ReplacementPolicy> LlcOrganization for VscLlc<P> {
 
     fn encoder_counts(&self) -> Vec<(&'static str, u64)> {
         self.encoders.counts(&self.bdi)
+    }
+
+    fn drain_events(&mut self) -> Vec<CacheEvent> {
+        self.engine.drain_events()
+    }
+
+    fn events_dropped(&self) -> u64 {
+        self.engine.events_dropped()
     }
 }
 

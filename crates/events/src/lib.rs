@@ -1,0 +1,632 @@
+//! # bv-events — event-level cache tracing
+//!
+//! One level below `bv-telemetry`: where telemetry aggregates per-epoch
+//! deltas, this crate records *individual* cache decisions — each fill,
+//! hit, miss, victim parking, silent drop, writeback, and eviction — so
+//! the paper's event-level claims (the Baseline mirror guarantee, the
+//! two-tag replacement-pollution negative result) can be audited one
+//! decision at a time.
+//!
+//! The design mirrors `bv_sim`'s `Instrument` trick: every emission site
+//! is generic over an [`EventSink`] whose `const ENABLED: bool` lets
+//! monomorphization delete the disabled path entirely. The default sink,
+//! [`NoEventSink`], compiles to nothing, so the untraced simulator stays
+//! bit- and cycle-identical to a build without this crate.
+//!
+//! Capture is bounded: [`RingSink`] keeps the most recent `capacity`
+//! events in a pre-allocated ring (oldest dropped first, never a
+//! reallocation on the hot path) and counts what it dropped.
+//! [`EventFilter`] narrows a capture or a reading pass by event kind,
+//! set range, or sequence window.
+//!
+//! The crate is dependency-free; the `bvsim-events-v1` JSONL
+//! reader/writer lives in `bv-telemetry` (which owns the JSON code).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Why a clean line left the cache without a writeback.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropCause {
+    /// A victim-cache occupant was overwritten by a newly parked line.
+    Displaced,
+    /// A victim line no longer fit beside its base partner (the base
+    /// grew, or pairing was re-enforced after a writeback).
+    PairOverflow,
+}
+
+impl DropCause {
+    /// Stable lower-case name used by the JSONL schema and the CLI.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DropCause::Displaced => "displaced",
+            DropCause::PairOverflow => "pair-overflow",
+        }
+    }
+
+    /// Parses [`DropCause::name`] back.
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<DropCause> {
+        Some(match s {
+            "displaced" => DropCause::Displaced,
+            "pair-overflow" => DropCause::PairOverflow,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a line was evicted from the tag array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvictCause {
+    /// The replacement policy chose it to make room for a fill.
+    Replacement,
+    /// An explicit invalidation (inclusion enforcement, back-probe).
+    Invalidation,
+    /// Compressed-size pressure: the line was removed not because the
+    /// policy aged it out but because segments or a partner slot were
+    /// needed (two-tag partner eviction, VSC compaction, DCC super-block
+    /// displacement).
+    SizePressure,
+}
+
+impl EvictCause {
+    /// Stable lower-case name used by the JSONL schema and the CLI.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EvictCause::Replacement => "replacement",
+            EvictCause::Invalidation => "invalidation",
+            EvictCause::SizePressure => "size-pressure",
+        }
+    }
+
+    /// Parses [`EvictCause::name`] back.
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<EvictCause> {
+        Some(match s {
+            "replacement" => EvictCause::Replacement,
+            "invalidation" => EvictCause::Invalidation,
+            "size-pressure" => EvictCause::SizePressure,
+            _ => return None,
+        })
+    }
+}
+
+/// What happened. Sizes are compressed sizes in 4-byte segments
+/// (`1..=16`); tags are engine tags, so an address is reconstructed with
+/// the owning organization's geometry (for DCC the tag names a
+/// super-block, not a line).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A demand fill installed a line.
+    Fill {
+        /// Engine tag of the installed line.
+        tag: u64,
+        /// Compressed size in segments.
+        size: u8,
+    },
+    /// A prefetch fill installed a line.
+    PrefetchFill {
+        /// Engine tag of the installed line.
+        tag: u64,
+        /// Compressed size in segments.
+        size: u8,
+    },
+    /// A demand read hit the baseline (tag-0) array.
+    DemandHit {
+        /// Engine tag of the hit line.
+        tag: u64,
+    },
+    /// A demand read missed the whole organization.
+    DemandMiss,
+    /// A demand read was rescued by the victim cache; the line is
+    /// promoted back into the baseline array.
+    VictimHit {
+        /// Engine tag of the rescued line.
+        tag: u64,
+        /// Compressed size in segments.
+        size: u8,
+    },
+    /// A displaced baseline line was parked in the victim cache.
+    VictimInsert {
+        /// Engine tag of the parked line.
+        tag: u64,
+        /// Compressed size in segments.
+        size: u8,
+    },
+    /// A displaced baseline line found no victim way with room.
+    VictimInsertFail {
+        /// Engine tag of the line that failed to park.
+        tag: u64,
+        /// Compressed size in segments.
+        size: u8,
+    },
+    /// A clean line was dropped without a writeback.
+    SilentDrop {
+        /// Engine tag of the dropped line.
+        tag: u64,
+        /// Why it was dropped.
+        cause: DropCause,
+    },
+    /// A dirty line was written toward memory.
+    Writeback {
+        /// Engine tag of the written line.
+        tag: u64,
+        /// Compressed size in segments.
+        size: u8,
+    },
+    /// A line left the tag array.
+    Eviction {
+        /// Engine tag of the evicted line.
+        tag: u64,
+        /// Why it left.
+        cause: EvictCause,
+    },
+    /// A compression outcome: which encoder won and at what size.
+    Compression {
+        /// Encoder index in the organization's encoder table.
+        encoder: u8,
+        /// Compressed size in segments.
+        size: u8,
+    },
+}
+
+impl EventKind {
+    /// Every kind name, in bit order, for CLI help and filters.
+    pub const NAMES: [&'static str; 11] = [
+        "fill",
+        "prefetch-fill",
+        "hit",
+        "miss",
+        "victim-hit",
+        "victim-insert",
+        "victim-insert-fail",
+        "silent-drop",
+        "writeback",
+        "eviction",
+        "compression",
+    ];
+
+    /// Stable lower-case name used by the JSONL schema and the CLI.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        Self::NAMES[self.bit() as usize]
+    }
+
+    /// The kind's bit position in an [`EventFilter`] mask.
+    #[must_use]
+    pub fn bit(&self) -> u32 {
+        match self {
+            EventKind::Fill { .. } => 0,
+            EventKind::PrefetchFill { .. } => 1,
+            EventKind::DemandHit { .. } => 2,
+            EventKind::DemandMiss => 3,
+            EventKind::VictimHit { .. } => 4,
+            EventKind::VictimInsert { .. } => 5,
+            EventKind::VictimInsertFail { .. } => 6,
+            EventKind::SilentDrop { .. } => 7,
+            EventKind::Writeback { .. } => 8,
+            EventKind::Eviction { .. } => 9,
+            EventKind::Compression { .. } => 10,
+        }
+    }
+
+    /// The filter-mask bit for a kind name, if the name is known.
+    #[must_use]
+    pub fn bit_by_name(name: &str) -> Option<u32> {
+        Self::NAMES
+            .iter()
+            .position(|&n| n == name)
+            .map(|i| i as u32)
+    }
+
+    /// The engine tag carried by this event, if it names a line.
+    #[must_use]
+    pub fn tag(&self) -> Option<u64> {
+        match *self {
+            EventKind::Fill { tag, .. }
+            | EventKind::PrefetchFill { tag, .. }
+            | EventKind::DemandHit { tag }
+            | EventKind::VictimHit { tag, .. }
+            | EventKind::VictimInsert { tag, .. }
+            | EventKind::VictimInsertFail { tag, .. }
+            | EventKind::SilentDrop { tag, .. }
+            | EventKind::Writeback { tag, .. }
+            | EventKind::Eviction { tag, .. } => Some(tag),
+            EventKind::DemandMiss | EventKind::Compression { .. } => None,
+        }
+    }
+}
+
+/// One cache decision: where (`set`, `way`), when (`seq`, stamped by the
+/// capturing sink in emission order), and what ([`EventKind`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheEvent {
+    /// Emission order stamp, assigned by the sink (0 until captured).
+    pub seq: u64,
+    /// Set index.
+    pub set: u32,
+    /// Way index, or [`CacheEvent::NO_WAY`] for set-wide events
+    /// (demand misses, failed victim inserts).
+    pub way: u8,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl CacheEvent {
+    /// Sentinel way for events not tied to one way.
+    pub const NO_WAY: u8 = u8::MAX;
+
+    /// An unstamped event at `(set, way)`; the sink assigns `seq`.
+    #[must_use]
+    pub fn new(set: usize, way: usize, kind: EventKind) -> CacheEvent {
+        CacheEvent {
+            seq: 0,
+            set: set as u32,
+            way: way.min(usize::from(Self::NO_WAY)) as u8,
+            kind,
+        }
+    }
+
+    /// A set-wide event with no meaningful way.
+    #[must_use]
+    pub fn set_wide(set: usize, kind: EventKind) -> CacheEvent {
+        CacheEvent {
+            seq: 0,
+            set: set as u32,
+            way: Self::NO_WAY,
+            kind,
+        }
+    }
+}
+
+/// Where emitted events go.
+///
+/// The trait mirrors `bv_sim`'s `Instrument`: emission sites guard on
+/// [`EventSink::ENABLED`], a compile-time constant, so a disabled sink
+/// costs nothing after monomorphization — not even the argument
+/// construction, because the `if` is dead code.
+pub trait EventSink {
+    /// `false` only for [`NoEventSink`]; lets organizations skip event
+    /// construction entirely in the untraced build.
+    const ENABLED: bool = true;
+
+    /// Accepts one event. Sinks that keep events stamp `seq` here.
+    fn emit(&mut self, ev: CacheEvent);
+
+    /// Removes and returns every retained event, oldest first. Sinks
+    /// that do not retain events return nothing.
+    fn drain(&mut self) -> Vec<CacheEvent> {
+        Vec::new()
+    }
+
+    /// How many retained events were overwritten by newer ones (bounded
+    /// sinks); 0 for sinks that never drop.
+    fn dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// The do-nothing sink the untraced build monomorphizes over.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoEventSink;
+
+impl EventSink for NoEventSink {
+    const ENABLED: bool = false;
+
+    #[inline]
+    fn emit(&mut self, _ev: CacheEvent) {}
+}
+
+/// A kind / set-range / sequence-window filter.
+///
+/// The default filter matches everything; each constraint narrows it.
+/// Filters are applied either at capture time ([`RingSink::with_filter`])
+/// or when reading a capture back (`bvsim trace`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventFilter {
+    /// Bitmask over [`EventKind::bit`]; a set bit admits the kind.
+    pub kinds: u32,
+    /// Half-open admitted set range `[lo, hi)`, if constrained.
+    pub sets: Option<(u32, u32)>,
+    /// Half-open admitted sequence window `[lo, hi)`, if constrained.
+    /// Sequence numbers count emissions, so a window selects a phase of
+    /// the run the way telemetry's epoch windows select wall-phase.
+    pub seq_window: Option<(u64, u64)>,
+}
+
+impl Default for EventFilter {
+    fn default() -> EventFilter {
+        EventFilter {
+            kinds: u32::MAX,
+            sets: None,
+            seq_window: None,
+        }
+    }
+}
+
+impl EventFilter {
+    /// The match-everything filter.
+    #[must_use]
+    pub fn all() -> EventFilter {
+        EventFilter::default()
+    }
+
+    /// Restricts to a comma-separated list of kind names
+    /// (see [`EventKind::NAMES`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending name if it is not a known kind.
+    pub fn with_kind_names(mut self, list: &str) -> Result<EventFilter, String> {
+        let mut mask = 0u32;
+        for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let bit = EventKind::bit_by_name(name)
+                .ok_or_else(|| format!("unknown event kind '{name}'"))?;
+            mask |= 1 << bit;
+        }
+        self.kinds = if mask == 0 { u32::MAX } else { mask };
+        Ok(self)
+    }
+
+    /// Restricts to sets in `[lo, hi)`.
+    #[must_use]
+    pub fn with_sets(mut self, lo: u32, hi: u32) -> EventFilter {
+        self.sets = Some((lo, hi));
+        self
+    }
+
+    /// Restricts to sequence numbers in `[lo, hi)`.
+    #[must_use]
+    pub fn with_seq_window(mut self, lo: u64, hi: u64) -> EventFilter {
+        self.seq_window = Some((lo, hi));
+        self
+    }
+
+    /// Whether `ev` passes every constraint.
+    #[must_use]
+    pub fn matches(&self, ev: &CacheEvent) -> bool {
+        if self.kinds & (1 << ev.kind.bit()) == 0 {
+            return false;
+        }
+        if let Some((lo, hi)) = self.sets {
+            if ev.set < lo || ev.set >= hi {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.seq_window {
+            if ev.seq < lo || ev.seq >= hi {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A bounded capture sink: a pre-allocated ring of the most recent
+/// `capacity` events.
+///
+/// Every emission is stamped with a monotone sequence number (filtered
+/// or not, so `seq` stays a global emission index). At capacity the
+/// oldest retained event is overwritten — never a reallocation — and
+/// [`RingSink::dropped`] counts the overwritten ones.
+#[derive(Clone, Debug)]
+pub struct RingSink {
+    buf: Vec<CacheEvent>,
+    capacity: usize,
+    /// Index of the oldest retained event once the ring has wrapped.
+    head: usize,
+    next_seq: u64,
+    dropped: u64,
+    filter: EventFilter,
+}
+
+impl RingSink {
+    /// An empty ring retaining at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> RingSink {
+        assert!(capacity > 0, "ring capacity must be at least 1");
+        RingSink {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            next_seq: 0,
+            dropped: 0,
+            filter: EventFilter::all(),
+        }
+    }
+
+    /// Applies `filter` at capture time: non-matching events are
+    /// stamped (they advance `seq`) but not retained or counted dropped.
+    #[must_use]
+    pub fn with_filter(mut self, filter: EventFilter) -> RingSink {
+        self.filter = filter;
+        self
+    }
+
+    /// The configured retention bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Retained event count (at most [`RingSink::capacity`]).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many retained events were overwritten by newer ones.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total emissions seen (matching the next `seq` to be stamped).
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+impl EventSink for RingSink {
+    fn emit(&mut self, mut ev: CacheEvent) {
+        ev.seq = self.next_seq;
+        self.next_seq += 1;
+        if !self.filter.matches(&ev) {
+            return;
+        }
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            // Full: overwrite the oldest in place. `buf` never grows
+            // past the initial allocation.
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    fn drain(&mut self) -> Vec<CacheEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        self.buf.clear();
+        self.head = 0;
+        out
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(tag: u64) -> EventKind {
+        EventKind::Fill { tag, size: 4 }
+    }
+
+    #[test]
+    fn no_sink_is_disabled_and_silent() {
+        const { assert!(!NoEventSink::ENABLED) };
+        let mut s = NoEventSink;
+        s.emit(CacheEvent::new(0, 0, fill(1)));
+        assert!(s.drain().is_empty());
+    }
+
+    #[test]
+    fn ring_stamps_monotone_sequence_numbers() {
+        let mut s = RingSink::new(8);
+        for i in 0..5 {
+            s.emit(CacheEvent::new(i, 0, fill(i as u64)));
+        }
+        let events = s.drain();
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        assert_eq!(s.emitted(), 5);
+        assert_eq!(s.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_drops_oldest_first_at_capacity_without_reallocation() {
+        let mut s = RingSink::new(4);
+        let cap_before = s.buf.capacity();
+        for i in 0..10u64 {
+            s.emit(CacheEvent::new(0, 0, fill(i)));
+        }
+        // Still the original allocation: the ring never grew.
+        assert_eq!(s.buf.capacity(), cap_before);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.dropped(), 6);
+        // Oldest-first semantics: the survivors are the newest four, in
+        // emission order.
+        let seqs: Vec<u64> = s.drain().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn drain_resets_but_seq_keeps_counting() {
+        let mut s = RingSink::new(4);
+        s.emit(CacheEvent::new(0, 0, fill(0)));
+        assert_eq!(s.drain().len(), 1);
+        s.emit(CacheEvent::new(0, 0, fill(1)));
+        let events = s.drain();
+        assert_eq!(events[0].seq, 1);
+    }
+
+    #[test]
+    fn filter_narrows_by_kind_set_and_window() {
+        let f = EventFilter::all()
+            .with_kind_names("fill, eviction")
+            .unwrap()
+            .with_sets(2, 4)
+            .with_seq_window(1, 10);
+        let mut ok = CacheEvent::new(2, 0, fill(7));
+        ok.seq = 3;
+        assert!(f.matches(&ok));
+        let mut wrong_kind = CacheEvent::new(2, 0, EventKind::DemandMiss);
+        wrong_kind.seq = 3;
+        assert!(!f.matches(&wrong_kind));
+        let mut wrong_set = ok;
+        wrong_set.set = 4;
+        assert!(!f.matches(&wrong_set));
+        let mut wrong_seq = ok;
+        wrong_seq.seq = 10;
+        assert!(!f.matches(&wrong_seq));
+        assert!(EventFilter::all().with_kind_names("bogus").is_err());
+    }
+
+    #[test]
+    fn capture_filter_skips_without_counting_drops() {
+        let f = EventFilter::all().with_kind_names("eviction").unwrap();
+        let mut s = RingSink::new(4).with_filter(f);
+        for i in 0..6u64 {
+            s.emit(CacheEvent::new(0, 0, fill(i)));
+        }
+        s.emit(CacheEvent::new(
+            0,
+            1,
+            EventKind::Eviction {
+                tag: 9,
+                cause: EvictCause::Replacement,
+            },
+        ));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.dropped(), 0);
+        let events = s.drain();
+        // seq is a global emission index, not a retained-event index.
+        assert_eq!(events[0].seq, 6);
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for (i, name) in EventKind::NAMES.iter().enumerate() {
+            assert_eq!(EventKind::bit_by_name(name), Some(i as u32));
+        }
+        assert_eq!(fill(0).name(), "fill");
+        assert_eq!(EventKind::DemandMiss.name(), "miss");
+        assert_eq!(
+            DropCause::from_name(DropCause::PairOverflow.name()),
+            Some(DropCause::PairOverflow)
+        );
+        assert_eq!(
+            EvictCause::from_name(EvictCause::SizePressure.name()),
+            Some(EvictCause::SizePressure)
+        );
+    }
+}

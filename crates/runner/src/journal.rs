@@ -113,6 +113,7 @@ impl Journal {
             .u64("dram_reads", result.dram.reads)
             .u64("instructions", result.instructions)
             .f64("wall_secs", wall_secs)
+            .u64("duration_ms", (wall_secs * 1000.0).round() as u64)
             .u64("worker", worker as u64);
         if let Some(path) = telemetry {
             line.str("telemetry", &path.display().to_string());

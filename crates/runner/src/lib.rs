@@ -14,7 +14,10 @@
 //!   observability stream and live progress line;
 //! * [`Runner`] — the orchestrator tying those together: deduplicating
 //!   job planning, journal-backed resume, and a thread-safe result store
-//!   the reporting layer reads back.
+//!   the reporting layer reads back;
+//! * [`SpanLog`] + [`chrome_trace_json`] — opt-in per-job wall-clock
+//!   spans ([`Runner::with_spans`]) exported in the Chrome trace-event
+//!   format for Perfetto (`bvsim sweep --spans`).
 //!
 //! ## Determinism
 //!
@@ -52,9 +55,11 @@ mod job;
 mod journal;
 pub mod pool;
 mod runner;
+mod spans;
 
 pub use bv_telemetry::json;
 
 pub use job::{fnv1a, JobSpec};
 pub use journal::Journal;
 pub use runner::{ExecutionReport, Runner};
+pub use spans::{chrome_trace_json, utilization_summary, Span, SpanLog};

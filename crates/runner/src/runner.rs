@@ -6,6 +6,7 @@
 use crate::job::JobSpec;
 use crate::journal::Journal;
 use crate::pool;
+use crate::spans::{Span, SpanLog};
 use bv_sim::{RunResult, SimTelemetry, System};
 use bv_trace::synth::WorkloadSpec;
 use bv_trace::TraceRegistry;
@@ -41,6 +42,7 @@ pub struct Runner {
     resume: bool,
     progress: bool,
     telemetry: Option<(PathBuf, u64)>,
+    spans: Option<SpanLog>,
     store: Mutex<HashMap<u64, RunResult>>,
 }
 
@@ -54,6 +56,7 @@ impl Runner {
             resume: false,
             progress: false,
             telemetry: None,
+            spans: None,
             store: Mutex::new(HashMap::new()),
         }
     }
@@ -100,6 +103,25 @@ impl Runner {
         std::fs::create_dir_all(&dir)?;
         self.telemetry = Some((dir, epoch_insts));
         Ok(self)
+    }
+
+    /// Enables per-job wall-clock span recording. Each simulated job
+    /// (not store or journal hits — those cost no wall time worth a
+    /// track) contributes one [`Span`]; collect them afterwards with
+    /// [`Runner::take_spans`] and export via
+    /// [`chrome_trace_json`](crate::chrome_trace_json)
+    /// (`bvsim sweep --spans`).
+    #[must_use]
+    pub fn with_spans(mut self) -> Runner {
+        self.spans = Some(SpanLog::new());
+        self
+    }
+
+    /// Removes and returns the spans recorded so far, ordered by start
+    /// time. Empty when span recording is not enabled.
+    #[must_use]
+    pub fn take_spans(&self) -> Vec<Span> {
+        self.spans.as_ref().map(SpanLog::take).unwrap_or_default()
     }
 
     /// The configured worker count.
@@ -149,6 +171,9 @@ impl Runner {
             .clone();
         let t = Instant::now();
         let (result, telemetry) = self.simulate(job, &workload);
+        if let Some(log) = &self.spans {
+            log.record(&span_label(job, &result), 0, t);
+        }
         if let Some(j) = &self.journal {
             j.record(
                 job,
@@ -250,6 +275,9 @@ impl Runner {
             let t = Instant::now();
             let (result, telemetry) = self.simulate(&job, &workload);
             let wall = t.elapsed().as_secs_f64();
+            if let Some(log) = &self.spans {
+                log.record(&span_label(&job, &result), worker, t);
+            }
             if let Some(j) = &self.journal {
                 j.record(&job, &result, wall, worker, telemetry.as_deref());
             }
@@ -275,6 +303,12 @@ impl Runner {
             .expect("result store")
             .insert(job.stable_hash(), result);
     }
+}
+
+/// A span label short enough for a Perfetto track slice: the trace name
+/// plus the organization that ran.
+fn span_label(job: &JobSpec, result: &RunResult) -> String {
+    format!("{} {}", job.trace, result.llc_name)
 }
 
 fn progress_line(done: usize, total: usize, elapsed: Duration, last_trace: &str) {

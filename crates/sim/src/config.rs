@@ -6,6 +6,7 @@ use bv_core::{
     BaseVictimLlc, DccLlc, InclusionMode, LlcOrganization, TwoTagEcmLlc, TwoTagLlc,
     UncompressedLlc, VictimPolicyKind, VscLlc,
 };
+use bv_events::RingSink;
 
 /// Selects the LLC compression algorithm for ablation studies (the paper
 /// uses BDI throughout; Section VII.A notes the architecture is
@@ -201,6 +202,77 @@ impl LlcKind {
             )),
             LlcKind::Vsc => Box::new(VscLlc::new(geom, policy)),
             LlcKind::Dcc => Box::new(DccLlc::new(geom, policy)),
+        }
+    }
+
+    /// Instantiates the organization with a [`RingSink`] retaining the
+    /// most recent `capacity` cache events (`bvsim trace`). Same policy
+    /// construction as [`LlcKind::build`] — identical seeds and logical
+    /// way counts — so a traced run replays the untraced run exactly,
+    /// plus events.
+    #[must_use]
+    pub fn build_traced(
+        self,
+        geom: CacheGeometry,
+        policy: PolicyKind,
+        sink: RingSink,
+    ) -> Box<dyn LlcOrganization> {
+        let (sets, ways) = (geom.sets(), geom.ways());
+        let bv = |vp, mode, comp: Box<dyn Compressor>, sink| {
+            Box::new(BaseVictimLlc::with_sink(
+                geom,
+                policy.instantiate(sets, ways),
+                vp,
+                mode,
+                comp,
+                sink,
+            )) as Box<dyn LlcOrganization>
+        };
+        let default_vp = VictimPolicyKind::EcmLargestBase;
+        match self {
+            LlcKind::Uncompressed => Box::new(UncompressedLlc::with_sink(
+                geom,
+                policy.instantiate(sets, ways),
+                sink,
+            )),
+            LlcKind::TwoTag => Box::new(TwoTagLlc::with_sink(
+                geom,
+                policy.instantiate(sets, ways * 2),
+                sink,
+            )),
+            LlcKind::TwoTagEcm => Box::new(TwoTagEcmLlc::with_sink(
+                geom,
+                policy.instantiate(sets, ways * 2),
+                sink,
+            )),
+            LlcKind::BaseVictim => bv(
+                default_vp,
+                InclusionMode::Inclusive,
+                Box::new(Bdi::new()),
+                sink,
+            ),
+            LlcKind::BaseVictimWith(vp) => {
+                bv(vp, InclusionMode::Inclusive, Box::new(Bdi::new()), sink)
+            }
+            LlcKind::BaseVictimNonInclusive => bv(
+                default_vp,
+                InclusionMode::NonInclusive,
+                Box::new(Bdi::new()),
+                sink,
+            ),
+            LlcKind::BaseVictimCompressor(ck) => {
+                bv(default_vp, InclusionMode::Inclusive, ck.build(), sink)
+            }
+            LlcKind::Vsc => Box::new(VscLlc::with_sink(
+                geom,
+                policy.instantiate(sets, ways * 2),
+                sink,
+            )),
+            LlcKind::Dcc => Box::new(DccLlc::with_sink(
+                geom,
+                policy.instantiate(sets, ways * 2),
+                sink,
+            )),
         }
     }
 }

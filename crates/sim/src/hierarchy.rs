@@ -84,8 +84,16 @@ impl Uncore {
     /// Creates the shared uncore from a configuration.
     #[must_use]
     pub fn new(cfg: &SimConfig) -> Uncore {
+        Uncore::with_llc(cfg, cfg.llc_kind.build(cfg.llc, cfg.llc_policy))
+    }
+
+    /// Creates the shared uncore around a pre-built LLC — the traced
+    /// path, where the caller constructs the organization with an event
+    /// sink (`LlcKind::build_traced`) before handing it over.
+    #[must_use]
+    pub fn with_llc(cfg: &SimConfig, llc: Box<dyn LlcOrganization>) -> Uncore {
         Uncore {
-            llc: cfg.llc_kind.build(cfg.llc, cfg.llc_policy),
+            llc,
             dram: Dram::new(cfg.dram),
         }
     }
@@ -94,6 +102,12 @@ impl Uncore {
     #[must_use]
     pub fn llc(&self) -> &dyn LlcOrganization {
         self.llc.as_ref()
+    }
+
+    /// Mutable access to the LLC organization, for draining its event
+    /// sink between phases of a traced run.
+    pub fn llc_mut(&mut self) -> &mut dyn LlcOrganization {
+        self.llc.as_mut()
     }
 
     /// The DRAM model.
@@ -145,10 +159,32 @@ impl Hierarchy {
         }
     }
 
+    /// Builds a hierarchy around a pre-built LLC (the traced path).
+    #[must_use]
+    pub fn with_llc(cfg: SimConfig, n_cores: usize, llc: Box<dyn LlcOrganization>) -> Hierarchy {
+        Hierarchy {
+            cfg,
+            cores: (0..n_cores).map(|_| CoreCaches::new(&cfg)).collect(),
+            uncore: Uncore::with_llc(&cfg, llc),
+        }
+    }
+
     /// The shared uncore.
     #[must_use]
     pub fn uncore(&self) -> &Uncore {
         &self.uncore
+    }
+
+    /// Mutable access to the shared uncore.
+    pub fn uncore_mut(&mut self) -> &mut Uncore {
+        &mut self.uncore
+    }
+
+    /// Consumes the hierarchy and returns the LLC organization, so a
+    /// traced run's caller can drain the sink after the run.
+    #[must_use]
+    pub fn into_llc(self) -> Box<dyn LlcOrganization> {
+        self.uncore.llc
     }
 
     /// One core's private caches.

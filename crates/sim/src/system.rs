@@ -148,6 +148,26 @@ impl System {
         self.run_instrumented(workload, warmup, instructions, telemetry)
     }
 
+    /// Like [`run_with_warmup`](System::run_with_warmup), but drives a
+    /// caller-built LLC (typically `LlcKind::build_traced` with a
+    /// `RingSink`) and hands it back after the run so the retained
+    /// events can be drained. The drive loop is the same code as the
+    /// untraced path: with a traced organization the *simulation* is
+    /// still bit-identical, only the sink observes it.
+    #[must_use]
+    pub fn run_traced(
+        &self,
+        workload: &WorkloadSpec,
+        warmup: u64,
+        instructions: u64,
+        llc: Box<dyn bv_core::LlcOrganization>,
+    ) -> (RunResult, Box<dyn bv_core::LlcOrganization>) {
+        let hierarchy = Hierarchy::with_llc(self.cfg, 1, llc);
+        let (result, hierarchy) =
+            self.drive(hierarchy, workload, warmup, instructions, &mut NoInstrument);
+        (result, hierarchy.into_llc())
+    }
+
     /// The generic driver under both entry points: runs the warmup
     /// phase, then the measured phase with `instr` observing epoch
     /// boundaries. With [`NoInstrument`] the observer monomorphizes to
@@ -160,7 +180,21 @@ impl System {
         instructions: u64,
         instr: &mut I,
     ) -> RunResult {
-        let mut hierarchy = Hierarchy::new(self.cfg, 1);
+        let hierarchy = Hierarchy::new(self.cfg, 1);
+        self.drive(hierarchy, workload, warmup, instructions, instr)
+            .0
+    }
+
+    /// Runs warmup + measured phases on `hierarchy` and returns it with
+    /// the result, so traced callers can recover the LLC afterwards.
+    fn drive<I: Instrument>(
+        &self,
+        mut hierarchy: Hierarchy,
+        workload: &WorkloadSpec,
+        warmup: u64,
+        instructions: u64,
+        instr: &mut I,
+    ) -> (RunResult, Hierarchy) {
         let mut core = CoreModel::new(self.cfg.core);
         let mut gen = workload.generator();
         let mut level_hits = [0u64; 5];
@@ -201,7 +235,7 @@ impl System {
         }
         instr.finish(core.instructions(), core.cycles(), &hierarchy);
 
-        RunResult {
+        let result = RunResult {
             llc_name: hierarchy.uncore().llc().name(),
             instructions: core.instructions() - warm_insts,
             cycles: core.cycles() - warm_cycles,
@@ -213,7 +247,8 @@ impl System {
                 .since(&comp_snap),
             dram: hierarchy.uncore().dram().stats().since(&dram_snap),
             level_hits,
-        }
+        };
+        (result, hierarchy)
     }
 }
 

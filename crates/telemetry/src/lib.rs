@@ -18,19 +18,23 @@
 //!   sink and the terminal renderer behind `bvsim report`;
 //! * [`json`] — the registry-free JSON reader/writer everything round
 //!   trips through (also re-exported as `bv_runner::json` for the run
-//!   journal).
+//!   journal);
+//! * [`events_io`] — the `bvsim-events-v1` JSONL reader/writer and
+//!   [`StreamSink`] for `bv-events` captures (`bvsim trace`).
 //!
 //! Everything here is sampled on *committed instructions*, never wall
 //! clock, so an instrumented run is bit-reproducible: the same trace and
 //! config produce the same JSONL bytes on any machine.
 //!
-//! The crate is dependency-free and simulator-agnostic; `bv-sim` owns
-//! the actual instrumentation hooks.
+//! The crate is simulator-agnostic and depends only on `bv-events` (for
+//! the event record the JSONL schema serializes); `bv-sim` owns the
+//! actual instrumentation hooks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod counters;
+pub mod events_io;
 mod hist;
 pub mod json;
 pub mod render;
@@ -38,6 +42,7 @@ mod series;
 mod sink;
 
 pub use counters::{CounterId, CounterRegistry};
+pub use events_io::{read_events, write_events, EventsHeader, StreamSink, EVENTS_SCHEMA};
 pub use hist::{Log2Histogram, LOG2_BUCKETS};
 pub use render::{render, sparkline};
 pub use series::{Column, ColumnData, ColumnId, TimeSeries};

@@ -122,30 +122,42 @@ impl TelemetryReport {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first structural problem: wrong or
-    /// missing schema tag, malformed JSON, a row missing a declared
-    /// column, or a truncated file.
+    /// Returns `"line N: reason"` (1-based) for the first structural
+    /// problem: wrong or missing schema tag, malformed JSON, a row
+    /// missing a declared column, or a truncated file.
     pub fn from_jsonl(text: &str) -> Result<TelemetryReport, String> {
-        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-        let header = json::parse(lines.next().ok_or("empty telemetry file")?)?;
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+        let at = |n: usize, e: String| format!("line {}: {e}", n + 1);
+        let (hn, first) = lines.next().ok_or("empty telemetry file")?;
+        let header = json::parse(first).map_err(|e| at(hn, e))?;
         match header.get("schema").and_then(Value::as_str) {
             Some(s) if s == SCHEMA => {}
-            Some(s) => return Err(format!("unsupported schema '{s}' (expected {SCHEMA})")),
-            None => return Err("missing schema tag in header".into()),
+            Some(s) => {
+                return Err(at(
+                    hn,
+                    format!("unsupported schema '{s}' (expected {SCHEMA})"),
+                ))
+            }
+            None => return Err(at(hn, "missing schema tag in header".into())),
         }
         let epoch_insts = header
             .get("epoch_insts")
             .and_then(Value::as_u64)
-            .ok_or("header missing epoch_insts")?;
+            .ok_or_else(|| at(hn, "header missing epoch_insts".into()))?;
         let epochs = header
             .get("epochs")
             .and_then(Value::as_u64)
-            .ok_or("header missing epochs")? as usize;
+            .ok_or_else(|| at(hn, "header missing epochs".into()))? as usize;
 
         let mut meta = BTreeMap::new();
         if let Some(Value::Obj(m)) = header.get("meta") {
             for (k, v) in m {
-                let v = v.as_str().ok_or("non-string meta value")?;
+                let v = v
+                    .as_str()
+                    .ok_or_else(|| at(hn, "non-string meta value".into()))?;
                 meta.insert(k.clone(), v.to_string());
             }
         }
@@ -155,41 +167,43 @@ impl TelemetryReport {
         for col in header
             .get("columns")
             .and_then(Value::as_arr)
-            .ok_or("header missing columns")?
+            .ok_or_else(|| at(hn, "header missing columns".into()))?
         {
             let name = col
                 .get("name")
                 .and_then(Value::as_str)
-                .ok_or("column missing name")?;
+                .ok_or_else(|| at(hn, "column missing name".into()))?;
             let id = match col.get("type").and_then(Value::as_str) {
                 Some("u64") => series.u64_column(name),
                 Some("f64") => series.f64_column(name),
-                other => return Err(format!("bad column type {other:?} for '{name}'")),
+                other => return Err(at(hn, format!("bad column type {other:?} for '{name}'"))),
             };
             manifest.push((name.to_string(), id));
         }
 
+        let mut last = hn;
         for row in 0..epochs {
-            let line = lines
+            let (n, line) = lines
                 .next()
-                .ok_or_else(|| format!("truncated: expected epoch row {row}"))?;
-            let v = json::parse(line)?;
+                .ok_or_else(|| at(last + 1, format!("truncated: expected epoch row {row}")))?;
+            last = n;
+            let v = json::parse(line).map_err(|e| at(n, e))?;
             for (name, id) in &manifest {
                 let field = v
                     .get(name)
-                    .ok_or_else(|| format!("row {row} missing column '{name}'"))?;
+                    .ok_or_else(|| at(n, format!("row {row} missing column '{name}'")))?;
                 match series.column(name).map(|c| c.data()) {
                     Some(ColumnData::U64(_)) => series.push_u64(
                         *id,
                         field
                             .as_u64()
-                            .ok_or_else(|| format!("row {row} column '{name}' not u64"))?,
+                            .ok_or_else(|| at(n, format!("row {row} column '{name}' not u64")))?,
                     ),
                     _ => series.push_f64(
                         *id,
                         field
                             .as_f64()
-                            .ok_or_else(|| format!("row {row} column '{name}' not f64"))?,
+                            .ok_or_else(|| at(n, format!("row {row} column '{name}' not f64")))?,
                     ),
                 }
             }
@@ -198,34 +212,39 @@ impl TelemetryReport {
 
         let mut histograms = Vec::new();
         let mut counters = Vec::new();
-        for line in lines {
-            let v = json::parse(line)?;
+        for (n, line) in lines {
+            let v = json::parse(line).map_err(|e| at(n, e))?;
             if let Some(name) = v.get("hist").and_then(Value::as_str) {
                 let buckets: Vec<u64> = v
                     .get("buckets")
                     .and_then(Value::as_arr)
-                    .ok_or("hist line missing buckets")?
+                    .ok_or_else(|| at(n, "hist line missing buckets".into()))?
                     .iter()
                     .map(|b| b.as_u64().ok_or("non-integer bucket"))
-                    .collect::<Result<_, _>>()?;
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| at(n, e.into()))?;
                 let hist = Log2Histogram::from_buckets(&buckets)
-                    .ok_or_else(|| format!("hist '{name}' has {} buckets", buckets.len()))?;
+                    .ok_or_else(|| at(n, format!("hist '{name}' has {} buckets", buckets.len())))?;
                 histograms.push((name.to_string(), hist));
             } else if let Some(pairs) = v.get("counters").and_then(Value::as_arr) {
                 for pair in pairs {
-                    let pair = pair.as_arr().ok_or("counter entry is not a pair")?;
+                    let pair = pair
+                        .as_arr()
+                        .ok_or_else(|| at(n, "counter entry is not a pair".into()))?;
                     match pair {
                         [name, value] => counters.push((
                             name.as_str()
-                                .ok_or("counter name is not a string")?
+                                .ok_or_else(|| at(n, "counter name is not a string".into()))?
                                 .to_string(),
-                            value.as_u64().ok_or("counter value is not a u64")?,
+                            value
+                                .as_u64()
+                                .ok_or_else(|| at(n, "counter value is not a u64".into()))?,
                         )),
-                        _ => return Err("counter entry is not a pair".into()),
+                        _ => return Err(at(n, "counter entry is not a pair".into())),
                     }
                 }
             } else {
-                return Err("unrecognized trailer line".into());
+                return Err(at(n, "unrecognized trailer line".into()));
             }
         }
 
@@ -312,6 +331,26 @@ mod tests {
         assert!(TelemetryReport::from_jsonl("").is_err());
         assert!(TelemetryReport::from_jsonl("{\"schema\":\"x\"}").is_err());
         assert!(TelemetryReport::from_jsonl("not json").is_err());
+    }
+
+    #[test]
+    fn errors_name_the_offending_line() {
+        // Header problems point at line 1.
+        let wrong = sample_report().to_jsonl().replace(SCHEMA, "bvsim-bench-v2");
+        let err = TelemetryReport::from_jsonl(&wrong).unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+
+        // Truncation points just past the last line present.
+        let full = sample_report().to_jsonl();
+        let cut: Vec<&str> = full.lines().take(3).collect();
+        let err = TelemetryReport::from_jsonl(&cut.join("\n")).unwrap_err();
+        assert!(err.starts_with("line 4:"), "{err}");
+        assert!(err.contains("truncated"), "{err}");
+
+        // A corrupt epoch row points at its own line.
+        let broken = full.replacen("\"epoch\":1,\"insts\"", "\"epoch\":1,\"wrong\"", 1);
+        let err = TelemetryReport::from_jsonl(&broken).unwrap_err();
+        assert!(err.starts_with("line 3:"), "{err}");
     }
 
     #[test]

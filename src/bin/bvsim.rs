@@ -12,16 +12,21 @@
 //! bvsim bench                 # full perf suite, writes BENCH.json
 //! bvsim bench --quick --baseline BENCH.json   # CI regression gate
 //! bvsim report mcf.jsonl      # per-epoch TSV + sparklines
+//! bvsim sweep --spans spans.json              # Perfetto span export
+//! bvsim trace --trace specint.mcf.07 --out events.jsonl --kinds eviction,victim-hit
+//! bvsim trace --audit --inject 200            # divergence-auditor self-test
 //! ```
 //!
 //! Argument parsing lives in [`base_victim::cli`] so it can be
 //! unit-tested; this binary only dispatches the parsed command.
 
 use base_victim::bench::perf;
-use base_victim::cli::{self, BenchArgs, Command, RunArgs, SweepArgs, USAGE};
+use base_victim::cli::{self, BenchArgs, Command, RunArgs, SweepArgs, TraceArgs, USAGE};
+use base_victim::events::{CacheEvent, EventFilter, EventKind, RingSink};
+use base_victim::llc::audit::{self, AuditConfig};
 use base_victim::sim::SimTelemetry;
-use base_victim::telemetry::TelemetryReport;
-use base_victim::{LlcKind, SimConfig, System, TraceRegistry};
+use base_victim::{CacheGeometry, LlcKind, SimConfig, System, TraceRegistry};
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -40,6 +45,7 @@ fn main() -> ExitCode {
         Ok(Command::Sweep(sweep)) => run_sweep(&sweep),
         Ok(Command::Bench(bench)) => run_bench(&bench),
         Ok(Command::Report(path)) => run_report(&path),
+        Ok(Command::Trace(trace)) => run_trace(&trace),
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             ExitCode::FAILURE
@@ -177,6 +183,11 @@ fn run_sweep(args: &SweepArgs) -> ExitCode {
         },
         None => runner,
     };
+    let runner = if args.spans.is_some() {
+        runner.with_spans()
+    } else {
+        runner
+    };
     let ctx = base_victim::bench::Ctx::with_runner(runner);
     println!(
         "sweep: {} worker(s), journal {}{}, warmup {} + measure {} instructions per run",
@@ -204,25 +215,197 @@ fn run_sweep(args: &SweepArgs) -> ExitCode {
             journal.dir().display()
         );
     }
+    if let Some(path) = &args.spans {
+        let spans = ctx.runner.take_spans();
+        let text = base_victim::runner::chrome_trace_json(&spans);
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: cannot write spans {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "sweep: {} -> {} (load in Perfetto or chrome://tracing)",
+            base_victim::runner::utilization_summary(&spans),
+            path.display()
+        );
+    }
     ExitCode::SUCCESS
 }
 
 fn run_report(path: &Path) -> ExitCode {
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: cannot read {}: {e}", path.display());
-            return ExitCode::FAILURE;
-        }
-    };
-    match TelemetryReport::from_jsonl(&text) {
+    match base_victim::load_report(path) {
         Ok(report) => {
             print!("{}", base_victim::telemetry::render(&report));
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("error: bad telemetry file {}: {e}", path.display());
+            eprintln!("error: {e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_trace(args: &TraceArgs) -> ExitCode {
+    if args.audit {
+        return run_audit(args);
+    }
+    let registry = TraceRegistry::paper_default();
+    let Some(trace) = registry.get(&args.trace) else {
+        eprintln!(
+            "error: trace '{}' not in the registry (try --list-traces)",
+            args.trace
+        );
+        return ExitCode::FAILURE;
+    };
+
+    let cfg = SimConfig::single_thread(args.llc)
+        .with_llc_size(args.llc_mb * 1024 * 1024, args.ways)
+        .with_policy(args.policy);
+    let mut filter = EventFilter::all();
+    if let Some(kinds) = &args.kinds {
+        filter = match filter.with_kind_names(kinds) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
+    // CLI ranges are inclusive; the filter is half-open.
+    if let Some((lo, hi)) = args.sets {
+        filter = filter.with_sets(lo, hi.saturating_add(1));
+    }
+    if let Some((lo, hi)) = args.window {
+        filter = filter.with_seq_window(lo, hi.saturating_add(1));
+    }
+    let sink = RingSink::new(args.capacity).with_filter(filter);
+    let llc = cfg.llc_kind.build_traced(cfg.llc, cfg.llc_policy, sink);
+
+    println!(
+        "trace {} | LLC {} {} MB {}-way, {} policy | warmup {} + capture {} instructions, \
+         ring capacity {}",
+        trace.name,
+        args.llc.name(),
+        args.llc_mb,
+        args.ways,
+        args.policy.name(),
+        args.warmup,
+        args.budget,
+        args.capacity
+    );
+    let system = System::new(cfg);
+    let (run, mut llc) = system.run_traced(&trace.workload, args.warmup, args.budget, llc);
+    let events = llc.drain_events();
+    let dropped = llc.events_dropped();
+
+    println!(
+        "captured {} event(s) ({} overwritten by newer ones) | run IPC {:.4}",
+        events.len(),
+        dropped,
+        run.ipc()
+    );
+    print_kind_summary(&events);
+    if args.heatmap {
+        print_set_heatmap(&events, cfg.llc.sets());
+    }
+
+    if let Some(path) = &args.out {
+        let mut meta = BTreeMap::new();
+        meta.insert("trace".to_string(), trace.name.clone());
+        meta.insert("llc".to_string(), args.llc.name().to_string());
+        meta.insert("policy".to_string(), args.policy.name().to_string());
+        let text = base_victim::telemetry::write_events(&events, dropped, &meta);
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("events -> {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Per-kind event counts, most frequent first.
+fn print_kind_summary(events: &[CacheEvent]) {
+    let mut counts = [0u64; EventKind::NAMES.len()];
+    for ev in events {
+        counts[ev.kind.bit() as usize] += 1;
+    }
+    let mut rows: Vec<(u64, &str)> = EventKind::NAMES
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| counts[i] > 0)
+        .map(|(i, &name)| (counts[i], name))
+        .collect();
+    rows.sort_by(|a, b| b.cmp(a));
+    for (count, name) in rows {
+        println!("{name:>18} {count:>10}");
+    }
+}
+
+/// Event density per set, bucketed into a terminal-width sparkline.
+fn print_set_heatmap(events: &[CacheEvent], sets: usize) {
+    let mut per_set = vec![0u64; sets];
+    for ev in events {
+        if let Some(slot) = per_set.get_mut(ev.set as usize) {
+            *slot += 1;
+        }
+    }
+    const WIDTH: usize = 64;
+    let bucket = sets.div_ceil(WIDTH).max(1);
+    let density: Vec<f64> = per_set
+        .chunks(bucket)
+        .map(|c| c.iter().sum::<u64>() as f64)
+        .collect();
+    println!(
+        "set heatmap ({} sets per column): {}",
+        bucket,
+        base_victim::telemetry::sparkline(&density, WIDTH)
+    );
+}
+
+fn run_audit(args: &TraceArgs) -> ExitCode {
+    // A small LLC so the op budget exercises evictions in every set.
+    let geom = CacheGeometry::new(64 * 1024, 8, 64);
+    let cfg = AuditConfig {
+        ops: args.ops,
+        seed: args.seed,
+        context: args.context,
+        inject_at: args.inject,
+        policy: args.policy,
+        ..AuditConfig::default()
+    };
+    println!(
+        "audit: {} ops, seed {}, {} policy, 64 KiB 8-way LLC{}",
+        cfg.ops,
+        cfg.seed,
+        args.policy.name(),
+        match args.inject {
+            Some(op) => format!(", injecting a policy perturbation at op {op}"),
+            None => String::new(),
+        }
+    );
+    let report = audit::run_audit(geom, &cfg);
+    println!(
+        "audit: {} ops run, {} event(s) observed",
+        report.ops_run, report.events_seen
+    );
+    match (&report.divergence, report.injected) {
+        (Some(d), injected) => {
+            print!("{}", audit::render_divergence(d));
+            if injected {
+                println!("audit: injected fault detected, as required");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("audit: FAILED — base-victim Baseline diverged from uncompressed");
+                ExitCode::FAILURE
+            }
+        }
+        (None, true) => {
+            eprintln!("audit: FAILED — injected fault was not detected");
+            ExitCode::FAILURE
+        }
+        (None, false) => {
+            println!("audit: PASSED — Baseline contents matched the uncompressed LLC throughout");
+            ExitCode::SUCCESS
         }
     }
 }
@@ -261,6 +444,9 @@ fn run_bench(args: &BenchArgs) -> ExitCode {
     }
     if let Some(pct) = report.telemetry_overhead_pct() {
         println!("{:24} {:>13.2}%", "telemetry overhead", pct);
+    }
+    if let Some(pct) = report.events_disabled_overhead_pct() {
+        println!("{:24} {:>13.2}%", "events-off overhead", pct);
     }
 
     let mut text = report.to_json();

@@ -15,8 +15,11 @@ USAGE:
     bvsim --trace <name> [options]
     bvsim --list-traces
     bvsim sweep [--jobs <n>] [--resume] [--journal <dir>] [--telemetry-dir <dir>]
+                [--spans <trace.json>]
     bvsim bench [--quick] [--out <file>] [--baseline <file>] [--max-regress <pct>]
     bvsim report <telemetry.jsonl>
+    bvsim trace --trace <name> [--out <events.jsonl>] [filters]
+    bvsim trace --audit [--ops <n>] [--seed <n>] [--inject <op>]
 
 OPTIONS:
     --trace <name>      registry trace to run (see --list-traces)
@@ -46,7 +49,34 @@ SWEEP (runs the full experiment suite's job set through the parallel runner):
     --telemetry-dir <dir>  write one <hash>.telemetry.jsonl per simulated
                         job; the path is recorded in runs.jsonl
     --epoch <insts>     telemetry sampling period (default: 100000)
+    --spans <file>      export per-job wall-clock spans as Chrome
+                        trace-event JSON (open in Perfetto / chrome://tracing)
   Budgets come from BV_WARMUP / BV_INSTS as for the experiment binaries.
+
+TRACE (captures event-level cache activity from one run, or audits fidelity):
+    --trace <name>      registry trace to run (required unless --audit)
+    --llc, --policy, --llc-mb, --ways, --warmup  as for a plain run
+    --budget <n>        measured instructions (default: 1500000)
+    --out <file>        write the capture as bvsim-events-v1 JSONL
+                        (default: print a per-kind summary only)
+    --kinds <list>      comma-separated event kinds to keep (e.g.
+                        fill,eviction,victim-hit; default: all)
+    --sets <lo:hi>      keep only events in this inclusive set range
+    --window <lo:hi>    keep only events in this inclusive seq range
+    --capacity <n>      ring-buffer capacity; older events drop first
+                        (default: 65536)
+    --heatmap           print a per-set event-density sparkline
+    --audit             run the baseline-divergence auditor instead: a
+                        base-victim LLC and an uncompressed LLC run the
+                        same ops in lockstep on a small 64 KiB cache, and
+                        any Baseline-content mismatch is reported with
+                        the diverging set's recent events
+    --ops <n>           audit operation count (default: 2000)
+    --seed <n>          audit op-stream seed (default: 1)
+    --context <n>       divergence context events to show (default: 8)
+    --inject <op>       inject a baseline-policy perturbation at this op
+                        (self-test: the auditor must then report a
+                        divergence, and exits nonzero if it does not)
 
 REPORT (renders a telemetry file: per-epoch TSV plus sparkline summaries):
     bvsim report results/telemetry/0123456789abcdef.telemetry.jsonl
@@ -75,6 +105,9 @@ pub enum Command {
     Bench(BenchArgs),
     /// `report`: render a telemetry JSONL file for human reading.
     Report(PathBuf),
+    /// `trace`: capture event-level cache activity, or run the
+    /// baseline-divergence auditor (`--audit`).
+    Trace(TraceArgs),
 }
 
 /// The `--llc` values [`parse_llc`] accepts, for error messages.
@@ -139,6 +172,9 @@ pub struct SweepArgs {
     pub telemetry_dir: Option<PathBuf>,
     /// Telemetry sampling period in committed instructions.
     pub epoch: u64,
+    /// Export per-job wall-clock spans as Chrome trace-event JSON here,
+    /// if set.
+    pub spans: Option<PathBuf>,
 }
 
 impl Default for SweepArgs {
@@ -149,6 +185,75 @@ impl Default for SweepArgs {
             journal: PathBuf::from("results/journal"),
             telemetry_dir: None,
             epoch: bv_sim::DEFAULT_EPOCH_INSTS,
+            spans: None,
+        }
+    }
+}
+
+/// Arguments for the `trace` subcommand.
+#[derive(Debug, PartialEq, Eq)]
+pub struct TraceArgs {
+    /// Registry trace name (empty in `--audit` mode).
+    pub trace: String,
+    /// LLC organization to trace.
+    pub llc: LlcKind,
+    /// Baseline replacement policy.
+    pub policy: PolicyKind,
+    /// LLC capacity in megabytes.
+    pub llc_mb: usize,
+    /// LLC associativity.
+    pub ways: usize,
+    /// Warmup instructions (events are not captured during warmup).
+    pub warmup: u64,
+    /// Measured (captured) instructions.
+    pub budget: u64,
+    /// Write the capture as `bvsim-events-v1` JSONL here, if set.
+    pub out: Option<PathBuf>,
+    /// Comma-separated event-kind filter, validated at parse time.
+    pub kinds: Option<String>,
+    /// Inclusive set-index filter range.
+    pub sets: Option<(u32, u32)>,
+    /// Inclusive sequence-number filter window.
+    pub window: Option<(u64, u64)>,
+    /// Ring-buffer capacity: the capture keeps the last N matching
+    /// events.
+    pub capacity: usize,
+    /// Print a per-set event-density sparkline.
+    pub heatmap: bool,
+    /// Run the baseline-divergence auditor instead of a capture.
+    pub audit: bool,
+    /// Auditor operation count.
+    pub ops: usize,
+    /// Auditor op-stream seed.
+    pub seed: u64,
+    /// Divergence context events to report.
+    pub context: usize,
+    /// Inject a baseline-policy perturbation at this op (auditor
+    /// self-test).
+    pub inject: Option<usize>,
+}
+
+impl Default for TraceArgs {
+    fn default() -> TraceArgs {
+        TraceArgs {
+            trace: String::new(),
+            llc: LlcKind::BaseVictim,
+            policy: PolicyKind::Nru,
+            llc_mb: 2,
+            ways: 16,
+            warmup: 1_000_000,
+            budget: 1_500_000,
+            out: None,
+            kinds: None,
+            sets: None,
+            window: None,
+            capacity: 65_536,
+            heatmap: false,
+            audit: false,
+            ops: 2_000,
+            seed: 1,
+            context: 8,
+            inject: None,
         }
     }
 }
@@ -223,6 +328,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     }
     if args.first().map(String::as_str) == Some("report") {
         return parse_report(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("trace") {
+        return parse_trace(&args[1..]);
     }
     let mut run = RunArgs::default();
     let mut trace = None;
@@ -307,11 +415,125 @@ fn parse_sweep(args: &[String]) -> Result<Command, String> {
                 sweep.telemetry_dir = Some(PathBuf::from(value("--telemetry-dir")?));
             }
             "--epoch" => sweep.epoch = parse_epoch(&value("--epoch")?)?,
+            "--spans" => sweep.spans = Some(PathBuf::from(value("--spans")?)),
             "--help" | "-h" => return Ok(Command::Help),
             other => return Err(format!("unknown sweep flag '{other}' (try --help)")),
         }
     }
     Ok(Command::Sweep(sweep))
+}
+
+/// Parses an inclusive `lo:hi` range with `lo <= hi`.
+fn parse_range<T: std::str::FromStr + PartialOrd>(flag: &str, v: &str) -> Result<(T, T), String> {
+    let (lo, hi) = v
+        .split_once(':')
+        .ok_or_else(|| format!("{flag}: expected <lo>:<hi>, got '{v}'"))?;
+    let lo: T = lo
+        .parse()
+        .map_err(|_| format!("{flag}: bad lower bound '{lo}'"))?;
+    let hi: T = hi
+        .parse()
+        .map_err(|_| format!("{flag}: bad upper bound '{hi}'"))?;
+    if lo > hi {
+        return Err(format!("{flag}: range is inverted"));
+    }
+    Ok((lo, hi))
+}
+
+fn parse_trace(args: &[String]) -> Result<Command, String> {
+    let mut t = TraceArgs::default();
+    let mut trace = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--trace" => trace = Some(value("--trace")?),
+            "--llc" => {
+                let v = value("--llc")?;
+                t.llc = parse_llc(&v)
+                    .ok_or_else(|| format!("unknown LLC kind '{v}' (valid: {LLC_KINDS})"))?;
+            }
+            "--policy" => {
+                let v = value("--policy")?;
+                t.policy = parse_policy(&v)
+                    .ok_or_else(|| format!("unknown policy '{v}' (valid: {POLICY_NAMES})"))?;
+            }
+            "--llc-mb" => {
+                t.llc_mb = value("--llc-mb")?
+                    .parse()
+                    .map_err(|e| format!("--llc-mb: {e}"))?;
+            }
+            "--ways" => {
+                t.ways = value("--ways")?
+                    .parse()
+                    .map_err(|e| format!("--ways: {e}"))?;
+            }
+            "--warmup" => {
+                t.warmup = value("--warmup")?
+                    .parse()
+                    .map_err(|e| format!("--warmup: {e}"))?;
+            }
+            "--budget" => {
+                t.budget = value("--budget")?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?;
+            }
+            "--out" => t.out = Some(PathBuf::from(value("--out")?)),
+            "--kinds" => {
+                let v = value("--kinds")?;
+                // Validate now so an unknown kind fails before a long run.
+                bv_events::EventFilter::all().with_kind_names(&v)?;
+                t.kinds = Some(v);
+            }
+            "--sets" => t.sets = Some(parse_range("--sets", &value("--sets")?)?),
+            "--window" => t.window = Some(parse_range("--window", &value("--window")?)?),
+            "--capacity" => {
+                let v: usize = value("--capacity")?
+                    .parse()
+                    .map_err(|e| format!("--capacity: {e}"))?;
+                if v == 0 {
+                    return Err("--capacity must be at least 1".into());
+                }
+                t.capacity = v;
+            }
+            "--heatmap" => t.heatmap = true,
+            "--audit" => t.audit = true,
+            "--ops" => {
+                t.ops = value("--ops")?.parse().map_err(|e| format!("--ops: {e}"))?;
+            }
+            "--seed" => {
+                t.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--context" => {
+                t.context = value("--context")?
+                    .parse()
+                    .map_err(|e| format!("--context: {e}"))?;
+            }
+            "--inject" => {
+                t.inject = Some(
+                    value("--inject")?
+                        .parse()
+                        .map_err(|e| format!("--inject: {e}"))?,
+                );
+            }
+            "--help" | "-h" => return Ok(Command::Help),
+            other => return Err(format!("unknown trace flag '{other}' (try --help)")),
+        }
+    }
+    match (trace, t.audit) {
+        (Some(name), _) => {
+            t.trace = name;
+            Ok(Command::Trace(t))
+        }
+        (None, true) => Ok(Command::Trace(t)),
+        (None, false) => Err("trace requires --trace <name> (or --audit)".into()),
+    }
 }
 
 fn parse_epoch(v: &str) -> Result<u64, String> {
@@ -414,7 +636,8 @@ mod tests {
     #[test]
     fn sweep_with_flags() {
         let cmd = parse(&argv(
-            "sweep --jobs 4 --resume --journal /tmp/j --telemetry-dir /tmp/t --epoch 50000",
+            "sweep --jobs 4 --resume --journal /tmp/j --telemetry-dir /tmp/t --epoch 50000 \
+             --spans /tmp/spans.json",
         ))
         .expect("parse");
         assert_eq!(
@@ -425,8 +648,62 @@ mod tests {
                 journal: PathBuf::from("/tmp/j"),
                 telemetry_dir: Some(PathBuf::from("/tmp/t")),
                 epoch: 50_000,
+                spans: Some(PathBuf::from("/tmp/spans.json")),
             })
         );
+    }
+
+    #[test]
+    fn trace_capture_flags() {
+        let cmd = parse(&argv(
+            "trace --trace t --llc base-victim --policy lru --budget 9000 --warmup 100 \
+             --out ev.jsonl --kinds fill,eviction --sets 0:15 --window 10:99 \
+             --capacity 128 --heatmap",
+        ))
+        .expect("parse");
+        let Command::Trace(t) = cmd else {
+            panic!("expected Trace")
+        };
+        assert_eq!(t.trace, "t");
+        assert_eq!(t.policy, PolicyKind::Lru);
+        assert_eq!((t.warmup, t.budget), (100, 9_000));
+        assert_eq!(t.out, Some(PathBuf::from("ev.jsonl")));
+        assert_eq!(t.kinds.as_deref(), Some("fill,eviction"));
+        assert_eq!(t.sets, Some((0, 15)));
+        assert_eq!(t.window, Some((10, 99)));
+        assert_eq!(t.capacity, 128);
+        assert!(t.heatmap && !t.audit);
+    }
+
+    #[test]
+    fn trace_audit_flags() {
+        let cmd = parse(&argv(
+            "trace --audit --ops 500 --seed 9 --context 4 --inject 50",
+        ))
+        .expect("parse");
+        let Command::Trace(t) = cmd else {
+            panic!("expected Trace")
+        };
+        assert!(t.audit);
+        assert!(t.trace.is_empty());
+        assert_eq!((t.ops, t.seed, t.context), (500, 9, 4));
+        assert_eq!(t.inject, Some(50));
+        assert_eq!(parse(&argv("trace --help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn trace_rejects_bad_filters() {
+        // A capture needs a trace name; audit mode does not.
+        assert!(parse(&argv("trace")).is_err());
+        assert!(parse(&argv("trace --heatmap")).is_err());
+        // Unknown kinds fail at parse time, naming the valid set.
+        let err = parse(&argv("trace --trace t --kinds fill,bogus")).unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+        // Malformed and inverted ranges.
+        assert!(parse(&argv("trace --trace t --sets 5")).is_err());
+        assert!(parse(&argv("trace --trace t --sets 9:2")).is_err());
+        assert!(parse(&argv("trace --trace t --window a:b")).is_err());
+        assert!(parse(&argv("trace --trace t --capacity 0")).is_err());
     }
 
     #[test]

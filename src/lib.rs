@@ -54,7 +54,8 @@
 //! | [`trace`] | synthetic workloads, the 100-trace registry, mixes |
 //! | [`sim`] | the timing simulator (core, DRAM, prefetch, hierarchy) |
 //! | [`energy`] | the Figure 14 energy model |
-//! | [`telemetry`] | epoch time series, histograms, the JSONL sink |
+//! | [`telemetry`] | epoch time series, histograms, the JSONL sinks |
+//! | [`events`] | event-level cache tracing: records, sinks, filters |
 //! | [`runner`] | parallel job execution, checkpoint/resume, run journal |
 //! | [`mod@bench`] | the experiment harness and per-figure functions |
 //! | [`cli`] | argument parsing for the `bvsim` binary |
@@ -98,6 +99,11 @@ pub mod telemetry {
     pub use bv_telemetry::*;
 }
 
+/// Event-level cache tracing (re-export of `bv-events`).
+pub mod events {
+    pub use bv_events::*;
+}
+
 /// Experiment orchestration (re-export of `bv-runner`).
 pub mod runner {
     pub use bv_runner::*;
@@ -120,3 +126,77 @@ pub use bv_core::{
 pub use bv_energy::{EnergyBreakdown, EnergyModel, LlcEnergyClass};
 pub use bv_sim::{CompressorKind, LlcKind, MulticoreSystem, RunResult, SimConfig, System};
 pub use bv_trace::{TraceRegistry, TraceSpec, WorkloadCategory};
+
+/// Loads an epoch-sampled telemetry report from a JSONL file.
+///
+/// Wraps [`telemetry::TelemetryReport::from_jsonl`] with file I/O and
+/// prefixes every failure — unreadable file, wrong schema, corrupt row,
+/// truncated stream — with the path, so callers (the `bvsim report`
+/// subcommand in particular) can print the error verbatim and exit.
+///
+/// # Errors
+///
+/// Returns `"{path}: reason"` where the reason from the parser already
+/// carries the 1-based line number (`"line N: ..."`).
+pub fn load_report(path: &std::path::Path) -> Result<telemetry::TelemetryReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    telemetry::TelemetryReport::from_jsonl(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod facade_tests {
+    use super::load_report;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str, body: &str) -> PathBuf {
+        // CARGO_TARGET_TMPDIR only exists for integration tests.
+        let path = std::env::temp_dir().join(format!("bvsim-load-report-{name}"));
+        std::fs::write(&path, body).expect("write fixture");
+        path
+    }
+
+    #[test]
+    fn load_report_names_the_file_on_empty_input() {
+        let path = tmp("load-report-empty.jsonl", "");
+        let err = load_report(&path).expect_err("empty file must fail");
+        assert!(err.starts_with(&path.display().to_string()), "{err}");
+        assert!(err.contains("empty telemetry file"), "{err}");
+    }
+
+    #[test]
+    fn load_report_names_the_line_on_wrong_schema() {
+        let path = tmp(
+            "load-report-schema.jsonl",
+            "{\"schema\":\"not-telemetry\",\"epoch_insts\":1,\"epochs\":0}\n",
+        );
+        let err = load_report(&path).expect_err("wrong schema must fail");
+        assert!(err.contains("line 1:"), "{err}");
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn load_report_names_the_line_on_truncation() {
+        use crate::telemetry::{TelemetryReport, TimeSeries};
+        let mut series = TimeSeries::new();
+        let insts = series.u64_column("insts");
+        for epoch in 0..4u64 {
+            series.push_u64(insts, (epoch + 1) * 1_000);
+            series.end_row();
+        }
+        let report = TelemetryReport {
+            epoch_insts: 1_000,
+            series,
+            ..TelemetryReport::default()
+        };
+        let full = report.to_jsonl();
+        let cut = full.lines().take(3).fold(String::new(), |mut s, l| {
+            s.push_str(l);
+            s.push('\n');
+            s
+        });
+        let path = tmp("load-report-truncated.jsonl", &cut);
+        let err = load_report(&path).expect_err("truncated file must fail");
+        assert!(err.contains("line 4:"), "{err}");
+        assert!(err.contains("truncated"), "{err}");
+    }
+}

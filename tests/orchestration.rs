@@ -50,6 +50,45 @@ fn journaled_sweep_resumes_with_zero_resimulation() {
 }
 
 #[test]
+fn runs_journal_records_duration_and_resume_preserves_it() {
+    use base_victim::runner::json;
+
+    let registry = TraceRegistry::paper_default();
+    let jobs = tiny_jobs(&registry);
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("facade-durations");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    {
+        let first = Runner::new(2).with_journal(&dir, false).expect("journal");
+        assert_eq!(first.execute(&registry, &jobs).simulated, jobs.len());
+    }
+    let runs_path = dir.join("runs.jsonl");
+    let runs = std::fs::read_to_string(&runs_path).expect("runs.jsonl");
+    assert_eq!(runs.lines().count(), jobs.len());
+    for line in runs.lines() {
+        let v = json::parse(line).expect("valid runs.jsonl line");
+        let ms = v
+            .get("duration_ms")
+            .and_then(json::Value::as_u64)
+            .expect("duration_ms field");
+        let wall = v
+            .get("wall_secs")
+            .and_then(json::Value::as_f64)
+            .expect("wall_secs field");
+        assert_eq!(ms, (wall * 1000.0).round() as u64);
+    }
+
+    // Resume serves every job from checkpoints; the observability stream
+    // is untouched, so the recorded durations survive verbatim.
+    let resumed = Runner::new(2).with_journal(&dir, true).expect("journal");
+    assert_eq!(resumed.execute(&registry, &jobs).from_journal, jobs.len());
+    let after = std::fs::read_to_string(&runs_path).expect("runs.jsonl");
+    assert_eq!(after, runs, "resume must preserve journaled durations");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn telemetry_sweep_writes_one_file_per_simulated_job() {
     let registry = TraceRegistry::paper_default();
     let jobs = tiny_jobs(&registry);
