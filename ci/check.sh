@@ -48,4 +48,12 @@ echo "== events smoke (trace capture, then the divergence auditor) =="
 ./target/release/bvsim trace --audit --ops 5000 >/dev/null
 ./target/release/bvsim trace --audit --ops 5000 --inject 800 >/dev/null
 
+echo "== kv smoke (org sweep, then the baseline-mirror auditor) =="
+./target/release/bvsim kv --sweep --warmup 10000 --requests 40000 \
+    --budget-kib 256 >/dev/null
+# Same convention as the LLC auditor: clean run and self-test both exit 0.
+./target/release/bvsim kv --lockstep --requests 20000 --budget-kib 256 >/dev/null
+./target/release/bvsim kv --lockstep --requests 20000 --budget-kib 256 \
+    --inject 5000 >/dev/null
+
 echo "All checks passed."

@@ -18,8 +18,10 @@
 
 use bv_compress::reference::{RefBdi, RefCPack, RefFpc};
 use bv_compress::{Bdi, CPack, CacheLine, Compressor, Fpc};
+use bv_kvcache::{run_kv as run_kv_tier, KvConfig, KvOrgKind};
 use bv_runner::json::{self, ObjWriter, Value};
 use bv_sim::{LlcKind, SimConfig, SimTelemetry, System, DEFAULT_EPOCH_INSTS};
+use bv_trace::request::RequestProfile;
 use bv_trace::{DataProfile, TraceRegistry};
 
 /// Schema marker written into every report.
@@ -50,6 +52,9 @@ pub struct BenchConfig {
     pub sim_insts: u64,
     /// Timing samples per end-to-end measurement (best-of-N is reported).
     pub sim_samples: usize,
+    /// Measured requests per kv-tier run (warmup is a quarter of this,
+    /// mirroring the end-to-end warmup ratio).
+    pub kv_requests: u64,
 }
 
 impl BenchConfig {
@@ -61,6 +66,7 @@ impl BenchConfig {
             kernel_samples: 15,
             sim_insts: 300_000,
             sim_samples: 3,
+            kv_requests: 100_000,
         }
     }
 
@@ -74,6 +80,7 @@ impl BenchConfig {
             kernel_samples: 5,
             sim_insts: 300_000,
             sim_samples: 2,
+            kv_requests: 100_000,
         }
     }
 
@@ -85,6 +92,7 @@ impl BenchConfig {
             kernel_samples: 1,
             sim_insts: 2_000,
             sim_samples: 1,
+            kv_requests: 2_000,
         }
     }
 }
@@ -308,12 +316,38 @@ pub fn run_end_to_end_suite(cfg: &BenchConfig) -> Vec<EndToEndBench> {
     rows
 }
 
-/// Runs both suites.
+/// Runs the kv-tier suite: replayed requests per wall-clock second for
+/// each organization on the `web` request profile, reported as
+/// `kv-<org>` rows (the `insts_per_sec` field carries requests/s).
+/// Rides in the end-to-end vector so the same 20% regression gate covers
+/// the tier's hot path — the per-miss BDI chunk walk plus the
+/// victim-area bookkeeping.
+#[must_use]
+pub fn run_kv_suite(cfg: &BenchConfig) -> Vec<EndToEndBench> {
+    KvOrgKind::ALL
+        .into_iter()
+        .map(|org| {
+            let mut kv_cfg = KvConfig::new(org, RequestProfile::web());
+            kv_cfg.requests = cfg.kv_requests;
+            kv_cfg.warmup = cfg.kv_requests / 4;
+            let secs =
+                bv_testkit::bench::fastest(cfg.sim_samples, || run_kv_tier(&kv_cfg).stats.gets);
+            EndToEndBench {
+                llc: format!("kv-{}", org.name()),
+                insts_per_sec: cfg.kv_requests as f64 / secs.max(f64::MIN_POSITIVE),
+            }
+        })
+        .collect()
+}
+
+/// Runs all three suites.
 #[must_use]
 pub fn run(cfg: &BenchConfig) -> BenchReport {
+    let mut end_to_end = run_end_to_end_suite(cfg);
+    end_to_end.extend(run_kv_suite(cfg));
     BenchReport {
         kernels: run_kernel_suite(cfg),
-        end_to_end: run_end_to_end_suite(cfg),
+        end_to_end,
     }
 }
 

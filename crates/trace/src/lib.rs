@@ -37,6 +37,7 @@ pub mod kernel;
 pub mod mix;
 pub mod record;
 pub mod registry;
+pub mod request;
 pub mod synth;
 
 pub use data_profile::DataProfile;
@@ -44,4 +45,5 @@ pub use kernel::KernelKind;
 pub use mix::MixSpec;
 pub use record::{AccessKind, TraceEvent};
 pub use registry::{TraceRegistry, TraceSpec, WorkloadCategory};
+pub use request::{KvOp, KvRequest, RequestProfile, RequestStream, ValueSpec, ZipfSampler};
 pub use synth::TraceGenerator;

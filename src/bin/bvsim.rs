@@ -15,16 +15,24 @@
 //! bvsim sweep --spans spans.json              # Perfetto span export
 //! bvsim trace --trace specint.mcf.07 --out events.jsonl --kinds eviction,victim-hit
 //! bvsim trace --audit --inject 200            # divergence-auditor self-test
+//! bvsim kv --dist web --compare               # kv tier: all three organizations
+//! bvsim kv --sweep                            # every org x dist via the runner pool
+//! bvsim kv --lockstep --dist social           # kv baseline-mirror auditor
 //! ```
 //!
 //! Argument parsing lives in [`base_victim::cli`] so it can be
 //! unit-tested; this binary only dispatches the parsed command.
 
 use base_victim::bench::perf;
-use base_victim::cli::{self, BenchArgs, Command, RunArgs, SweepArgs, TraceArgs, USAGE};
+use base_victim::cli::{self, BenchArgs, Command, KvArgs, RunArgs, SweepArgs, TraceArgs, USAGE};
 use base_victim::events::{CacheEvent, EventFilter, EventKind, RingSink};
+use base_victim::kvcache::{
+    run_kv as kv_replay, run_kv_sampled, run_kv_traced, KvConfig, KvOrgKind, KvRunResult,
+    KvTelemetry, LockstepConfig,
+};
 use base_victim::llc::audit::{self, AuditConfig};
 use base_victim::sim::SimTelemetry;
+use base_victim::trace::request::RequestProfile;
 use base_victim::{CacheGeometry, LlcKind, SimConfig, System, TraceRegistry};
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -46,6 +54,7 @@ fn main() -> ExitCode {
         Ok(Command::Bench(bench)) => run_bench(&bench),
         Ok(Command::Report(path)) => run_report(&path),
         Ok(Command::Trace(trace)) => run_trace(&trace),
+        Ok(Command::Kv(kv)) => run_kv(&kv),
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             ExitCode::FAILURE
@@ -405,6 +414,242 @@ fn run_audit(args: &TraceArgs) -> ExitCode {
         }
         (None, false) => {
             println!("audit: PASSED — Baseline contents matched the uncompressed LLC throughout");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn run_kv(args: &KvArgs) -> ExitCode {
+    if args.lockstep {
+        return run_kv_lockstep(args);
+    }
+    if args.sweep {
+        return run_kv_sweep(args);
+    }
+    let profile = RequestProfile::by_name(&args.dist).expect("dist validated at parse time");
+    let mut cfg = KvConfig::new(args.org, profile);
+    cfg.budget = args.budget_kib * 1024;
+    cfg.requests = args.requests;
+    cfg.warmup = args.warmup;
+    cfg.seed = args.seed;
+
+    if args.compare {
+        println!(
+            "kv compare | dist {} | budget {} KiB | warmup {} + measure {} requests, seed {}",
+            args.dist, args.budget_kib, args.warmup, args.requests, args.seed
+        );
+        print_kv_header();
+        for org in KvOrgKind::ALL {
+            cfg.org = org;
+            print_kv_row(&kv_replay(&cfg));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "kv {} | dist {} | budget {} KiB | warmup {} + measure {} requests, seed {}",
+        args.org.name(),
+        args.dist,
+        args.budget_kib,
+        args.warmup,
+        args.requests,
+        args.seed
+    );
+    let result = if let Some(path) = &args.telemetry {
+        let mut tel = KvTelemetry::new(args.epoch)
+            .with_meta("org", args.org.name())
+            .with_meta("dist", &args.dist);
+        let result = run_kv_sampled(&cfg, &mut tel);
+        let report = tel.into_report();
+        if let Err(e) = std::fs::write(path, report.to_jsonl()) {
+            eprintln!("error: cannot write telemetry {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "telemetry           : {} epochs of {} requests -> {}",
+            report.series.rows(),
+            args.epoch,
+            path.display()
+        );
+        result
+    } else if let Some(path) = &args.events {
+        let (result, events, dropped) = run_kv_traced(&cfg, RingSink::new(args.capacity));
+        println!(
+            "captured {} event(s) ({} overwritten by newer ones)",
+            events.len(),
+            dropped
+        );
+        print_kind_summary(&events);
+        let mut meta = BTreeMap::new();
+        meta.insert("kv-org".to_string(), args.org.name().to_string());
+        meta.insert("kv-dist".to_string(), args.dist.clone());
+        let text = base_victim::telemetry::write_events(&events, dropped, &meta);
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("events -> {}", path.display());
+        result
+    } else {
+        kv_replay(&cfg)
+    };
+
+    let s = &result.stats;
+    println!(
+        "hit rate            : {:.2}% ({} base + {} victim hits, {} misses)",
+        result.hit_rate() * 100.0,
+        s.base_hits,
+        s.victim_hits,
+        s.misses
+    );
+    println!(
+        "admissions          : {} admitted, {} bypassed, {} evictions",
+        s.admitted, s.bypassed, s.evictions
+    );
+    println!(
+        "victim area         : {} parked, {} no-room, {} displaced, {} slack drops",
+        s.victim_inserts, s.victim_insert_failures, s.victim_evictions, s.victim_overflow_drops
+    );
+    println!(
+        "occupancy           : {} physical / {} logical bytes, {} + {} entries \
+         (bytes-effective {:.2}x)",
+        result.occupancy.resident_bytes,
+        result.occupancy.logical_bytes,
+        result.occupancy.entries,
+        result.occupancy.victim_entries,
+        result.bytes_effective()
+    );
+    println!(
+        "compression         : {:.0}% of uncompressed (mean over admissions)",
+        s.compression_ratio() * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+fn print_kv_header() {
+    println!(
+        "\n{:14} {:10} {:>9} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "org", "dist", "hit rate", "base hits", "vict hits", "misses", "byte eff", "ratio"
+    );
+}
+
+fn print_kv_row(r: &KvRunResult) {
+    println!(
+        "{:14} {:10} {:>8.2}% {:>10} {:>10} {:>10} {:>7.2}x {:>7.0}%",
+        r.org.name(),
+        r.profile,
+        r.hit_rate() * 100.0,
+        r.stats.base_hits,
+        r.stats.victim_hits,
+        r.stats.misses,
+        r.bytes_effective(),
+        r.stats.compression_ratio() * 100.0
+    );
+}
+
+fn run_kv_sweep(args: &KvArgs) -> ExitCode {
+    let workers = args
+        .jobs
+        .unwrap_or_else(base_victim::runner::pool::default_workers);
+    let mut jobs = Vec::new();
+    for name in RequestProfile::NAMES {
+        for org in KvOrgKind::ALL {
+            let mut cfg = KvConfig::new(org, RequestProfile::by_name(name).expect("preset name"));
+            cfg.budget = args.budget_kib * 1024;
+            cfg.requests = args.requests;
+            cfg.warmup = args.warmup;
+            cfg.seed = args.seed;
+            jobs.push(cfg);
+        }
+    }
+    println!(
+        "kv sweep: {} jobs ({} dists x {} orgs) on {} worker(s), budget {} KiB, \
+         warmup {} + measure {} requests",
+        jobs.len(),
+        RequestProfile::NAMES.len(),
+        KvOrgKind::ALL.len(),
+        workers,
+        args.budget_kib,
+        args.warmup,
+        args.requests
+    );
+    let t0 = std::time::Instant::now();
+    let results =
+        base_victim::runner::pool::parallel_map(jobs, workers, |_w, _i, cfg| kv_replay(&cfg));
+    println!("kv sweep: done in {:.1}s", t0.elapsed().as_secs_f64());
+    print_kv_header();
+    for r in &results {
+        print_kv_row(r);
+    }
+    // The guarantee, checked across the whole sweep: base-victim never
+    // hits less than uncompressed on the same traffic.
+    for chunk in results.chunks(KvOrgKind::ALL.len()) {
+        let unc = chunk.iter().find(|r| r.org == KvOrgKind::Uncompressed);
+        let bv = chunk.iter().find(|r| r.org == KvOrgKind::BaseVictim);
+        if let (Some(unc), Some(bv)) = (unc, bv) {
+            if bv.stats.hits() < unc.stats.hits() {
+                eprintln!(
+                    "kv sweep: FAILED — base-victim hits {} below uncompressed {} on {}",
+                    bv.stats.hits(),
+                    unc.stats.hits(),
+                    unc.profile
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("kv sweep: base-victim >= uncompressed hits on every dist");
+    ExitCode::SUCCESS
+}
+
+fn run_kv_lockstep(args: &KvArgs) -> ExitCode {
+    let profile = RequestProfile::by_name(&args.dist).expect("dist validated at parse time");
+    let cfg = LockstepConfig {
+        profile,
+        seed: args.seed,
+        requests: args.requests,
+        budget: args.budget_kib * 1024,
+        inject_at: args.inject,
+    };
+    println!(
+        "kv lockstep: dist {}, budget {} KiB, {} requests, seed {}{}",
+        args.dist,
+        args.budget_kib,
+        args.requests,
+        args.seed,
+        match args.inject {
+            Some(op) => format!(", injecting a baseline perturbation at request {op}"),
+            None => String::new(),
+        }
+    );
+    let report = base_victim::kvcache::run_lockstep(&cfg);
+    println!(
+        "kv lockstep: {} requests run; base-victim {} hits ({} from the victim area) \
+         vs uncompressed {}",
+        report.ops, report.bv_hits, report.victim_hits, report.unc_hits
+    );
+    match (&report.divergence, args.inject.is_some()) {
+        (Some(d), injected) => {
+            println!(
+                "divergence at request {} ({:?} client {} key {}): {}",
+                d.op_index, d.request.op, d.request.client, d.request.key, d.detail
+            );
+            if injected {
+                println!("kv lockstep: injected fault detected, as required");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("kv lockstep: FAILED — baseline diverged from the uncompressed tier");
+                ExitCode::FAILURE
+            }
+        }
+        (None, true) => {
+            eprintln!("kv lockstep: FAILED — injected fault was not detected");
+            ExitCode::FAILURE
+        }
+        (None, false) => {
+            println!(
+                "kv lockstep: PASSED — baseline mirrored the uncompressed tier after every request"
+            );
             ExitCode::SUCCESS
         }
     }

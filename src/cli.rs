@@ -4,6 +4,7 @@
 
 use bv_cache::PolicyKind;
 use bv_core::VictimPolicyKind;
+use bv_kvcache::KvOrgKind;
 use bv_sim::LlcKind;
 use std::path::PathBuf;
 
@@ -20,6 +21,7 @@ USAGE:
     bvsim report <telemetry.jsonl>
     bvsim trace --trace <name> [--out <events.jsonl>] [filters]
     bvsim trace --audit [--ops <n>] [--seed <n>] [--inject <op>]
+    bvsim kv [--dist <name>] [--org <name>] [--compare | --sweep | --lockstep]
 
 OPTIONS:
     --trace <name>      registry trace to run (see --list-traces)
@@ -81,6 +83,33 @@ TRACE (captures event-level cache activity from one run, or audits fidelity):
 REPORT (renders a telemetry file: per-epoch TSV plus sparkline summaries):
     bvsim report results/telemetry/0123456789abcdef.telemetry.jsonl
 
+KV (replays server-style request traffic against the compressed kv tier):
+    --dist <name>       request profile: web | analytics | social
+                        (default: web)
+    --org <name>        tier organization: uncompressed | compressed
+                        | base-victim (default: base-victim)
+    --budget-kib <n>    tier byte budget in KiB (default: 1024)
+    --requests <n>      measured requests (default: 150000)
+    --warmup <n>        warmup requests (default: 50000)
+    --seed <n>          request-stream seed (default: 42)
+    --compare           run all three organizations and print a table
+    --sweep             run every organization x profile through the
+                        parallel runner pool
+    --jobs <n>          sweep worker threads (default: all cores)
+    --telemetry <file>  write an epoch-sampled bvsim-telemetry-v1 JSONL
+                        (epochs are counted in requests)
+    --epoch <requests>  telemetry sampling period (default: 10000)
+    --events <file>     capture per-decision events as bvsim-events-v1
+                        JSONL (sets are 1024 key buckets, sizes in
+                        64-byte lines)
+    --capacity <n>      event ring capacity (default: 65536)
+    --lockstep          run the baseline-mirror auditor: a base-victim
+                        tier and an uncompressed tier replay the same
+                        stream and the recency state is compared after
+                        every request; exits nonzero on divergence
+    --inject <op>       perturb the baseline at this request (lockstep
+                        self-test: the auditor must report divergence)
+
 BENCH (times the compression kernels and end-to-end simulation, writes BENCH.json):
     --quick             smaller corpus and budgets (the CI gate sizing)
     --out <file>        report destination (default: BENCH.json)
@@ -108,6 +137,9 @@ pub enum Command {
     /// `trace`: capture event-level cache activity, or run the
     /// baseline-divergence auditor (`--audit`).
     Trace(TraceArgs),
+    /// `kv`: replay server-style request traffic against the
+    /// software-managed compressed kv tier.
+    Kv(KvArgs),
 }
 
 /// The `--llc` values [`parse_llc`] accepts, for error messages.
@@ -116,6 +148,12 @@ pub const LLC_KINDS: &str = "uncompressed, two-tag, two-tag-ecm, base-victim, \
 
 /// The `--policy` values [`parse_policy`] accepts, for error messages.
 pub const POLICY_NAMES: &str = "lru, nru, srrip, char, camp, random";
+
+/// The kv `--org` values [`parse_kv_org`] accepts, for error messages.
+pub const KV_ORGS: &str = "uncompressed, compressed, base-victim";
+
+/// The kv `--dist` values `kv` accepts, for error messages.
+pub const KV_DISTS: &str = "web, analytics, social";
 
 /// Arguments for a single-trace simulation.
 #[derive(Debug, PartialEq, Eq)]
@@ -258,6 +296,64 @@ impl Default for TraceArgs {
     }
 }
 
+/// Arguments for the `kv` subcommand.
+#[derive(Debug, PartialEq, Eq)]
+pub struct KvArgs {
+    /// Tier organization.
+    pub org: KvOrgKind,
+    /// Request-profile name (validated at parse time; resolved by the
+    /// binary).
+    pub dist: String,
+    /// Tier byte budget in KiB.
+    pub budget_kib: u64,
+    /// Measured requests.
+    pub requests: u64,
+    /// Warmup requests.
+    pub warmup: u64,
+    /// Request-stream seed.
+    pub seed: u64,
+    /// Run all three organizations and print a comparison table.
+    pub compare: bool,
+    /// Run every organization x profile through the runner pool.
+    pub sweep: bool,
+    /// Sweep worker threads; `None` uses every core.
+    pub jobs: Option<usize>,
+    /// Write an epoch-sampled telemetry JSONL file here, if set.
+    pub telemetry: Option<PathBuf>,
+    /// Telemetry sampling period in requests.
+    pub epoch: u64,
+    /// Write a per-decision event capture here, if set.
+    pub events: Option<PathBuf>,
+    /// Event ring capacity.
+    pub capacity: usize,
+    /// Run the baseline-mirror auditor instead of a replay.
+    pub lockstep: bool,
+    /// Perturb the baseline at this request (auditor self-test).
+    pub inject: Option<u64>,
+}
+
+impl Default for KvArgs {
+    fn default() -> KvArgs {
+        KvArgs {
+            org: KvOrgKind::BaseVictim,
+            dist: "web".to_string(),
+            budget_kib: 1024,
+            requests: 150_000,
+            warmup: 50_000,
+            seed: 42,
+            compare: false,
+            sweep: false,
+            jobs: None,
+            telemetry: None,
+            epoch: bv_kvcache::DEFAULT_EPOCH_REQUESTS,
+            events: None,
+            capacity: 65_536,
+            lockstep: false,
+            inject: None,
+        }
+    }
+}
+
 /// Arguments for the `bench` subcommand.
 #[derive(Debug, PartialEq, Eq)]
 pub struct BenchArgs {
@@ -299,6 +395,12 @@ pub fn parse_llc(s: &str) -> Option<LlcKind> {
     })
 }
 
+/// Parses a kv-tier organization name.
+#[must_use]
+pub fn parse_kv_org(s: &str) -> Option<KvOrgKind> {
+    KvOrgKind::from_name(s)
+}
+
 /// Parses a replacement-policy name.
 #[must_use]
 pub fn parse_policy(s: &str) -> Option<PolicyKind> {
@@ -331,6 +433,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     }
     if args.first().map(String::as_str) == Some("trace") {
         return parse_trace(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("kv") {
+        return parse_kv(&args[1..]);
     }
     let mut run = RunArgs::default();
     let mut trace = None;
@@ -534,6 +639,99 @@ fn parse_trace(args: &[String]) -> Result<Command, String> {
         (None, true) => Ok(Command::Trace(t)),
         (None, false) => Err("trace requires --trace <name> (or --audit)".into()),
     }
+}
+
+fn parse_kv(args: &[String]) -> Result<Command, String> {
+    let mut kv = KvArgs::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--org" => {
+                let v = value("--org")?;
+                kv.org = parse_kv_org(&v)
+                    .ok_or_else(|| format!("unknown kv org '{v}' (valid: {KV_ORGS})"))?;
+            }
+            "--dist" => {
+                let v = value("--dist")?;
+                if bv_trace::request::RequestProfile::by_name(&v).is_none() {
+                    return Err(format!("unknown kv dist '{v}' (valid: {KV_DISTS})"));
+                }
+                kv.dist = v;
+            }
+            "--budget-kib" => {
+                let v: u64 = value("--budget-kib")?
+                    .parse()
+                    .map_err(|e| format!("--budget-kib: {e}"))?;
+                if v == 0 {
+                    return Err("--budget-kib must be at least 1".into());
+                }
+                kv.budget_kib = v;
+            }
+            "--requests" => {
+                kv.requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?;
+            }
+            "--warmup" => {
+                kv.warmup = value("--warmup")?
+                    .parse()
+                    .map_err(|e| format!("--warmup: {e}"))?;
+            }
+            "--seed" => {
+                kv.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--compare" => kv.compare = true,
+            "--sweep" => kv.sweep = true,
+            "--jobs" => {
+                let v: usize = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+                if v == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                kv.jobs = Some(v);
+            }
+            "--telemetry" => kv.telemetry = Some(PathBuf::from(value("--telemetry")?)),
+            "--epoch" => kv.epoch = parse_epoch(&value("--epoch")?)?,
+            "--events" => kv.events = Some(PathBuf::from(value("--events")?)),
+            "--capacity" => {
+                let v: usize = value("--capacity")?
+                    .parse()
+                    .map_err(|e| format!("--capacity: {e}"))?;
+                if v == 0 {
+                    return Err("--capacity must be at least 1".into());
+                }
+                kv.capacity = v;
+            }
+            "--lockstep" => kv.lockstep = true,
+            "--inject" => {
+                kv.inject = Some(
+                    value("--inject")?
+                        .parse()
+                        .map_err(|e| format!("--inject: {e}"))?,
+                );
+            }
+            "--help" | "-h" => return Ok(Command::Help),
+            other => return Err(format!("unknown kv flag '{other}' (try --help)")),
+        }
+    }
+    if kv.compare && kv.sweep {
+        return Err("--compare and --sweep are mutually exclusive".into());
+    }
+    if kv.lockstep && (kv.compare || kv.sweep) {
+        return Err("--lockstep runs alone (drop --compare/--sweep)".into());
+    }
+    if kv.inject.is_some() && !kv.lockstep {
+        return Err("--inject requires --lockstep".into());
+    }
+    Ok(Command::Kv(kv))
 }
 
 fn parse_epoch(v: &str) -> Result<u64, String> {
@@ -750,6 +948,85 @@ mod tests {
         for name in ["lru", "nru", "srrip", "char", "camp", "random"] {
             assert!(err.contains(name), "error lists '{name}': {err}");
         }
+    }
+
+    #[test]
+    fn kv_defaults() {
+        let cmd = parse(&argv("kv")).expect("parse");
+        assert_eq!(cmd, Command::Kv(KvArgs::default()));
+        assert_eq!(parse(&argv("kv --help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn kv_with_every_flag() {
+        let cmd = parse(&argv(
+            "kv --org compressed --dist analytics --budget-kib 512 --requests 9000 \
+             --warmup 100 --seed 7 --telemetry /tmp/kv.jsonl --epoch 500 \
+             --events /tmp/kv.events.jsonl --capacity 256",
+        ))
+        .expect("parse");
+        let Command::Kv(kv) = cmd else {
+            panic!("expected Kv")
+        };
+        assert_eq!(kv.org, KvOrgKind::Compressed);
+        assert_eq!(kv.dist, "analytics");
+        assert_eq!(kv.budget_kib, 512);
+        assert_eq!((kv.requests, kv.warmup, kv.seed), (9_000, 100, 7));
+        assert_eq!(kv.telemetry, Some(PathBuf::from("/tmp/kv.jsonl")));
+        assert_eq!(kv.epoch, 500);
+        assert_eq!(kv.events, Some(PathBuf::from("/tmp/kv.events.jsonl")));
+        assert_eq!(kv.capacity, 256);
+    }
+
+    #[test]
+    fn kv_modes_parse_and_exclude_each_other() {
+        let Command::Kv(kv) = parse(&argv("kv --compare")).expect("parse") else {
+            panic!("expected Kv")
+        };
+        assert!(kv.compare);
+        let Command::Kv(kv) = parse(&argv("kv --sweep --jobs 2")).expect("parse") else {
+            panic!("expected Kv")
+        };
+        assert!(kv.sweep);
+        assert_eq!(kv.jobs, Some(2));
+        let Command::Kv(kv) = parse(&argv("kv --lockstep --inject 99")).expect("parse") else {
+            panic!("expected Kv")
+        };
+        assert!(kv.lockstep);
+        assert_eq!(kv.inject, Some(99));
+        assert!(parse(&argv("kv --compare --sweep")).is_err());
+        assert!(parse(&argv("kv --lockstep --compare")).is_err());
+        assert!(parse(&argv("kv --inject 5")).is_err());
+    }
+
+    #[test]
+    fn unknown_kv_org_error_lists_valid_orgs() {
+        let err = parse(&argv("kv --org nonsense")).unwrap_err();
+        assert!(err.contains("unknown kv org 'nonsense'"), "{err}");
+        for org in ["uncompressed", "compressed", "base-victim"] {
+            assert!(err.contains(org), "error lists '{org}': {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_kv_dist_error_lists_valid_dists() {
+        let err = parse(&argv("kv --dist nonsense")).unwrap_err();
+        assert!(err.contains("unknown kv dist 'nonsense'"), "{err}");
+        for dist in ["web", "analytics", "social"] {
+            assert!(err.contains(dist), "error lists '{dist}': {err}");
+        }
+    }
+
+    #[test]
+    fn kv_rejects_bad_values() {
+        assert!(parse(&argv("kv --budget-kib 0")).is_err());
+        assert!(parse(&argv("kv --budget-kib big")).is_err());
+        assert!(parse(&argv("kv --jobs 0")).is_err());
+        assert!(parse(&argv("kv --capacity 0")).is_err());
+        assert!(parse(&argv("kv --epoch 0")).is_err());
+        assert!(parse(&argv("kv --requests soon")).is_err());
+        assert!(parse(&argv("kv --bogus")).is_err());
+        assert!(parse(&argv("kv --dist")).is_err());
     }
 
     #[test]

@@ -53,6 +53,7 @@
 //! | [`llc`] | the LLC organizations (Base-Victim + baselines) |
 //! | [`trace`] | synthetic workloads, the 100-trace registry, mixes |
 //! | [`sim`] | the timing simulator (core, DRAM, prefetch, hierarchy) |
+//! | [`kvcache`] | the software-managed compressed key-value cache tier |
 //! | [`energy`] | the Figure 14 energy model |
 //! | [`telemetry`] | epoch time series, histograms, the JSONL sinks |
 //! | [`events`] | event-level cache tracing: records, sinks, filters |
@@ -86,6 +87,12 @@ pub mod trace {
 /// The timing simulator (re-export of `bv-sim`).
 pub mod sim {
     pub use bv_sim::*;
+}
+
+/// The software-managed compressed key-value cache tier (re-export of
+/// `bv-kvcache`).
+pub mod kvcache {
+    pub use bv_kvcache::*;
 }
 
 /// The energy model (re-export of `bv-energy`).

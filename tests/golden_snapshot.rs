@@ -13,7 +13,9 @@
 //! BV_UPDATE_GOLDENS=1 cargo test --test golden_snapshot
 //! ```
 
+use base_victim::kvcache::{run_kv, KvConfig, KvOrgKind, KvRunResult};
 use base_victim::runner::json::ObjWriter;
+use base_victim::trace::request::RequestProfile;
 use base_victim::{LlcKind, PolicyKind, RunResult, SimConfig, System, TraceRegistry};
 use std::path::PathBuf;
 
@@ -145,6 +147,93 @@ fn end_to_end_counters_match_committed_goldens() {
     assert!(
         failures.is_empty(),
         "{} snapshot(s) diverged from committed goldens \
+         (BV_UPDATE_GOLDENS=1 to regenerate after an intentional change):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// Every integer counter the kv tier emits, as one stable JSON object.
+/// Same exclusion rule as [`snapshot`]: floats are derived and left out.
+fn kv_snapshot(run: &KvRunResult) -> String {
+    let mut w = ObjWriter::new();
+    w.str("org", run.org.name())
+        .str("profile", &run.profile)
+        .u64("budget", run.budget)
+        .u64("requests", run.requests)
+        .u64("warmup", run.warmup)
+        .u64("seed", run.seed)
+        .u64("gets", run.stats.gets)
+        .u64("base_hits", run.stats.base_hits)
+        .u64("victim_hits", run.stats.victim_hits)
+        .u64("misses", run.stats.misses)
+        .u64("puts", run.stats.puts)
+        .u64("admitted", run.stats.admitted)
+        .u64("bypassed", run.stats.bypassed)
+        .u64("evictions", run.stats.evictions)
+        .u64("victim_inserts", run.stats.victim_inserts)
+        .u64("victim_insert_failures", run.stats.victim_insert_failures)
+        .u64("victim_evictions", run.stats.victim_evictions)
+        .u64("victim_overflow_drops", run.stats.victim_overflow_drops)
+        .u64("admitted_bytes", run.stats.admitted_bytes)
+        .u64(
+            "admitted_compressed_bytes",
+            run.stats.admitted_compressed_bytes,
+        )
+        .u64("resident_bytes", run.occupancy.resident_bytes)
+        .u64("logical_bytes", run.occupancy.logical_bytes)
+        .u64("entries", run.occupancy.entries)
+        .u64("victim_bytes", run.occupancy.victim_bytes)
+        .u64("victim_entries", run.occupancy.victim_entries);
+    w.finish()
+}
+
+fn kv_config(org: KvOrgKind, dist: &str) -> KvConfig {
+    let mut cfg = KvConfig::new(org, RequestProfile::by_name(dist).expect("preset profile"));
+    cfg.budget = 256 * 1024;
+    cfg.warmup = 5_000;
+    cfg.requests = 15_000;
+    cfg
+}
+
+/// Pins the kv tier the same way: 3 organizations x 3 request profiles,
+/// every counter byte-for-byte. The kv tier shares the BDI kernel with
+/// the LLC, so a kernel change that slips past the LLC goldens (e.g. one
+/// that only shifts sizes for the kv chunk-synthesis pattern) still
+/// trips here.
+#[test]
+fn kv_counters_match_committed_goldens() {
+    let update = std::env::var_os("BV_UPDATE_GOLDENS").is_some();
+    let mut failures = Vec::new();
+    for dist in RequestProfile::NAMES {
+        for org in KvOrgKind::ALL {
+            let run = run_kv(&kv_config(org, dist));
+            let got = kv_snapshot(&run);
+            let dir = golden_dir();
+            let path = dir.join(format!("kv.{dist}.{}.json", org.name()));
+            if update {
+                std::fs::create_dir_all(&dir).expect("create goldens dir");
+                std::fs::write(&path, format!("{got}\n")).expect("write golden");
+                continue;
+            }
+            let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!(
+                    "missing golden {} ({e}); regenerate with BV_UPDATE_GOLDENS=1",
+                    path.display()
+                )
+            });
+            if want.trim_end() != got {
+                failures.push(format!(
+                    "kv.{dist}.{}:\n  golden : {}\n  current: {got}",
+                    org.name(),
+                    want.trim_end()
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} kv snapshot(s) diverged from committed goldens \
          (BV_UPDATE_GOLDENS=1 to regenerate after an intentional change):\n{}",
         failures.len(),
         failures.join("\n")
