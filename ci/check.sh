@@ -56,4 +56,19 @@ echo "== kv smoke (org sweep, then the baseline-mirror auditor) =="
 ./target/release/bvsim kv --lockstep --requests 20000 --budget-kib 256 \
     --inject 5000 >/dev/null
 
+echo "== fuzz smoke (fixed-seed campaign, inject self-test, corpus replay) =="
+# A fixed seed keeps CI deterministic; any failure exits nonzero with a
+# minimized reproducer on stdout.
+./target/release/bvsim fuzz --cases 25 --seed 1 >/dev/null
+# Self-test: plant a fault in each domain's auditor and require the
+# campaign machinery to detect it and shrink the witness. An undetected
+# injected fault exits nonzero — the fuzzer finding nothing must mean
+# there is nothing, not that it cannot see.
+./target/release/bvsim fuzz --inject >/dev/null
+# Every committed reproducer must replay green (fixed bugs stay fixed,
+# injected faults stay detected).
+for repro in tests/corpus/*.bvfuzz.json; do
+    ./target/release/bvsim fuzz --replay "$repro" >/dev/null
+done
+
 echo "All checks passed."

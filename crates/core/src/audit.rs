@@ -126,10 +126,27 @@ impl Rng {
     }
 }
 
+/// One operation in an externally supplied audit stream.
+///
+/// [`run_audit`] generates these internally from the config seed;
+/// [`run_audit_ops`] accepts a caller-built sequence (the fuzzer's
+/// adversarial workloads) and drives the same lockstep comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AuditOp {
+    /// Demand read of a line address, filling on miss.
+    Read(u64),
+    /// L2 writeback; executed only when the line is resident on both
+    /// sides (otherwise a no-op, matching L2 inclusion semantics).
+    Writeback(u64),
+    /// Prefetch fill of a line address.
+    Prefetch(u64),
+}
+
 /// Address-stable memory contents with mixed compressibility, matching
 /// the mirror test suite: a line's bytes are a function of its address
 /// only, so size-aware policies see identical sizes on both sides.
-fn line_for(key: u64) -> CacheLine {
+#[must_use]
+pub fn line_for(key: u64) -> CacheLine {
     let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     match h % 4 {
         0 => CacheLine::zeroed(),
@@ -157,6 +174,42 @@ fn sorted(mut v: Vec<LineAddr>) -> Vec<LineAddr> {
 pub fn run_audit(geom: CacheGeometry, cfg: &AuditConfig) -> AuditReport {
     let sets = geom.sets();
     let ways = geom.ways();
+    let mut rng = Rng::new(cfg.seed);
+
+    // Address space spans 16x the line capacity's working set at the
+    // default audit geometry, matching the mirror suite's trace shape.
+    let span = 256u64.max((sets * ways * 4) as u64);
+
+    let ops: Vec<AuditOp> = (0..cfg.ops)
+        .map(|_| {
+            let a = rng.below(span);
+            match rng.below(10) {
+                0..=6 => AuditOp::Read(a),
+                7..=8 => AuditOp::Writeback(a),
+                _ => AuditOp::Prefetch(a),
+            }
+        })
+        .collect();
+    run_audit_ops(geom, cfg, &ops, line_for)
+}
+
+/// Runs the lockstep audit over a caller-supplied operation stream with
+/// caller-supplied memory contents (`data_for` maps a line address to
+/// its bytes, and must be address-stable so both sides see identical
+/// compressed sizes).
+///
+/// `cfg.ops` and `cfg.seed` are ignored — the stream *is* the workload;
+/// `cfg.inject_at`, `cfg.policy`, `cfg.victim`, and `cfg.context` apply
+/// exactly as in [`run_audit`].
+#[must_use]
+pub fn run_audit_ops(
+    geom: CacheGeometry,
+    cfg: &AuditConfig,
+    ops: &[AuditOp],
+    data_for: impl Fn(u64) -> CacheLine,
+) -> AuditReport {
+    let sets = geom.sets();
+    let ways = geom.ways();
     let mut unc = UncompressedLlc::new(geom, cfg.policy);
     let mut bv = BaseVictimLlc::with_sink(
         geom,
@@ -167,7 +220,6 @@ pub fn run_audit(geom: CacheGeometry, cfg: &AuditConfig) -> AuditReport {
         RingSink::new(cfg.context.max(1) * 64),
     );
     let mut inner = NoInner;
-    let mut rng = Rng::new(cfg.seed);
 
     // Rolling event log, drained from the ring after every op so the ring
     // never wraps between compares.
@@ -175,11 +227,7 @@ pub fn run_audit(geom: CacheGeometry, cfg: &AuditConfig) -> AuditReport {
     let mut events_seen = 0u64;
     let mut injected = false;
 
-    // Address space spans 16x the line capacity's working set at the
-    // default audit geometry, matching the mirror suite's trace shape.
-    let span = 256u64.max((sets * ways * 4) as u64);
-
-    for op in 0..cfg.ops {
+    for (op, &trace_op) in ops.iter().enumerate() {
         if cfg.inject_at == Some(op) {
             // The synthetic fault: demand reads the uncompressed side
             // never sees, one per resident Baseline line. Contents stay
@@ -193,12 +241,14 @@ pub fn run_audit(geom: CacheGeometry, cfg: &AuditConfig) -> AuditReport {
             injected = true;
         }
 
-        let a = rng.below(span);
+        let a = match trace_op {
+            AuditOp::Read(a) | AuditOp::Writeback(a) | AuditOp::Prefetch(a) => a,
+        };
         let addr = LineAddr::new(a);
-        let data = line_for(a);
-        match rng.below(10) {
+        let data = data_for(a);
+        match trace_op {
             // Demand read, filling on miss.
-            0..=6 => {
+            AuditOp::Read(_) => {
                 let hu = unc.read(addr, &mut inner).is_hit();
                 let hb = bv.read(addr, &mut inner).is_hit();
                 if !hu {
@@ -209,14 +259,14 @@ pub fn run_audit(geom: CacheGeometry, cfg: &AuditConfig) -> AuditReport {
                 }
             }
             // L2 writeback, legal only for baseline-resident lines.
-            7..=8 => {
+            AuditOp::Writeback(_) => {
                 if bv.baseline_lines().contains(&addr) && unc.contains(addr) {
                     unc.writeback(addr, data, &mut inner);
                     bv.writeback(addr, data, &mut inner);
                 }
             }
             // Prefetch fill.
-            _ => {
+            AuditOp::Prefetch(_) => {
                 unc.prefetch_fill(addr, data, &mut inner);
                 bv.prefetch_fill(addr, data, &mut inner);
             }
@@ -270,7 +320,7 @@ pub fn run_audit(geom: CacheGeometry, cfg: &AuditConfig) -> AuditReport {
     }
 
     AuditReport {
-        ops_run: cfg.ops,
+        ops_run: ops.len(),
         events_seen,
         injected,
         divergence: None,
@@ -415,6 +465,40 @@ mod tests {
         assert!(text.contains(&format!("after op {}", d.op)));
         assert!(text.contains(&format!("set {}", d.set)));
         assert!(text.contains("seq="));
+    }
+
+    /// An explicit op stream must behave like the generated one: clean
+    /// without injection, caught with it, and `ops_run` reflects the
+    /// stream length rather than `cfg.ops`.
+    #[test]
+    fn explicit_op_streams_audit_cleanly_and_catch_injection() {
+        let mut rng = Rng::new(11);
+        let ops: Vec<AuditOp> = (0..1_000)
+            .map(|_| {
+                let a = rng.below(4 * 4 * 16);
+                match rng.below(10) {
+                    0..=6 => AuditOp::Read(a),
+                    7..=8 => AuditOp::Writeback(a),
+                    _ => AuditOp::Prefetch(a),
+                }
+            })
+            .collect();
+        let small = CacheGeometry::new(1024, 4, 64);
+        let cfg = AuditConfig::default();
+        let clean = run_audit_ops(small, &cfg, &ops, line_for);
+        assert!(
+            clean.passed(),
+            "clean stream diverged: {:?}",
+            clean.divergence
+        );
+        assert_eq!(clean.ops_run, ops.len());
+        let cfg = AuditConfig {
+            inject_at: Some(100),
+            ..AuditConfig::default()
+        };
+        let faulted = run_audit_ops(small, &cfg, &ops, line_for);
+        assert!(faulted.injected);
+        assert!(faulted.passed(), "injected fault must be caught");
     }
 
     #[test]

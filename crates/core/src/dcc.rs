@@ -195,13 +195,61 @@ impl<P: ReplacementPolicy, E: EventSink> DccLlc<P, E> {
         self.engine.invalidate_as(set, t, EvictCause::SizePressure);
     }
 
+    /// Evicts one member line from super-block `t` (never `protect`),
+    /// largest footprint first so pressure resolves in the fewest line
+    /// losses. Returns `false` when no member is evictable.
+    fn evict_member(
+        &mut self,
+        set: usize,
+        t: usize,
+        protect: Option<usize>,
+        inner: &mut dyn InclusionAgent,
+        effects: &mut Effects,
+    ) -> bool {
+        let block = *self.engine.slot(set, t);
+        let Some((m, line)) = block
+            .meta
+            .lines
+            .iter()
+            .enumerate()
+            .filter(|&(m, l)| l.valid && Some(m) != protect)
+            .max_by_key(|&(m, l)| (l.size.get(), m))
+        else {
+            return false;
+        };
+        let line_addr = self.member_addr(set, block.tag, m);
+        effects.back_invalidations += 1;
+        let inner_dirty = inner.back_invalidate(line_addr);
+        if inner_dirty.is_some() || line.dirty {
+            effects.memory_writes += 1;
+        }
+        if E::ENABLED {
+            self.engine.emit(CacheEvent::new(
+                set,
+                t,
+                EventKind::Eviction {
+                    tag: block.tag,
+                    cause: EvictCause::SizePressure,
+                },
+            ));
+        }
+        self.engine.slot_mut(set, t).meta.lines[m] = Slot::empty();
+        true
+    }
+
     /// Frees pool space and/or a tag for an incoming line of `needed`
-    /// sub-blocks, evicting whole super-blocks in replacement order.
+    /// sub-blocks, evicting whole super-blocks in replacement order. The
+    /// `home` super-block is spared whole-block eviction; when it alone
+    /// exhausts the pool (narrow geometries: four members can need more
+    /// sub-blocks than the set owns), its members are shed one line at a
+    /// time instead, never touching `protect` (the member a writeback is
+    /// growing in place).
     fn make_room(
         &mut self,
         set: usize,
         needed: usize,
         home: Option<usize>,
+        protect: Option<usize>,
         inner: &mut dyn InclusionAgent,
         effects: &mut Effects,
     ) {
@@ -213,9 +261,18 @@ impl<P: ReplacementPolicy, E: EventSink> DccLlc<P, E> {
             }
             let victim = (0..self.engine.ways())
                 .filter(|&t| self.engine.slot(set, t).valid && Some(t) != home)
-                .max_by_key(|&t| self.engine.eviction_rank(set, t))
-                .expect("over-capacity set has a victim");
-            self.evict_super(set, victim, inner, effects);
+                .max_by_key(|&t| self.engine.eviction_rank(set, t));
+            match victim {
+                Some(t) => self.evict_super(set, t, inner, effects),
+                None => {
+                    let t = home.expect("over-capacity set has a victim");
+                    if !self.evict_member(set, t, protect, inner, effects) {
+                        // Only the protected member remains; a single
+                        // line always fits the per-set pool.
+                        return;
+                    }
+                }
+            }
         }
     }
 
@@ -235,10 +292,10 @@ impl<P: ReplacementPolicy, E: EventSink> DccLlc<P, E> {
 
         // An existing super-block for this neighbor group is "home".
         let home = self.engine.find(set, tag);
-        self.make_room(set, needed, home, inner, &mut effects);
+        self.make_room(set, needed, home, None, inner, &mut effects);
 
-        // Home was exempted from victim selection in make_room, so it is
-        // still valid here; otherwise claim a free tag.
+        // Home was exempted from whole-block eviction in make_room, so
+        // it is still valid here; otherwise claim a free tag.
         let t = home.unwrap_or_else(|| {
             self.engine
                 .first_invalid(set)
@@ -379,7 +436,7 @@ impl<P: ReplacementPolicy, E: EventSink> LlcOrganization for DccLlc<P, E> {
                         - old.bytes().div_ceil(SUB_BLOCK_BYTES);
                     let free = self.pool_sub_blocks() - self.used_sub_blocks(set);
                     if free < delta {
-                        self.make_room(set, delta, Some(t), inner, &mut effects);
+                        self.make_room(set, delta, Some(t), Some(m), inner, &mut effects);
                     }
                 }
                 if E::ENABLED {

@@ -1,0 +1,151 @@
+//! Black-box properties of the energy model: every component is a
+//! non-negative, monotone function of the event counts it charges for.
+//!
+//! The inline unit tests cover the Figure 14 *conclusions* (compression
+//! saves energy, word enables matter); these tests pin the model's
+//! *shape*, so a constants or mapping change that silently flips a sign
+//! or drops a term fails here even if the headline ratios survive.
+
+use bv_energy::{EnergyBreakdown, EnergyModel, LlcEnergyClass};
+use bv_sim::{LlcKind, RunResult, SimConfig, System};
+
+/// One monotonicity probe: a counter's name and the bump applied to it.
+type Bump = (&'static str, fn(&mut RunResult));
+use bv_trace::synth::{KernelSpec, WorkloadSpec};
+use bv_trace::{DataProfile, KernelKind};
+
+const ALL_CLASSES: [LlcEnergyClass; 5] = [
+    LlcEnergyClass::Uncompressed,
+    LlcEnergyClass::TwoTag { word_enables: true },
+    LlcEnergyClass::TwoTag {
+        word_enables: false,
+    },
+    LlcEnergyClass::BaseVictim { word_enables: true },
+    LlcEnergyClass::BaseVictim {
+        word_enables: false,
+    },
+];
+
+/// A short real run so the counters carry realistic proportions.
+fn sample_run(kind: LlcKind, profile: DataProfile) -> RunResult {
+    let workload = WorkloadSpec {
+        kernels: vec![KernelSpec {
+            kind: KernelKind::Loop,
+            region_bytes: 256 << 10,
+            weight: 1,
+            store_fraction: 40,
+            profile,
+        }],
+        mem_fraction: 90,
+        ifetch_fraction: 8,
+        code_bytes: 16 << 10,
+        seed: 17,
+    };
+    let cfg = SimConfig::single_thread(kind).with_llc_size(128 * 1024, 8);
+    System::new(cfg).run(&workload, 60_000)
+}
+
+fn parts(e: &EnergyBreakdown) -> [f64; 5] {
+    [
+        e.dram_dynamic_nj,
+        e.dram_background_nj,
+        e.llc_dynamic_nj,
+        e.llc_leakage_nj,
+        e.codec_nj,
+    ]
+}
+
+#[test]
+fn every_component_is_nonnegative_for_every_class() {
+    let model = EnergyModel::paper_default();
+    for profile in [
+        DataProfile::Zero,
+        DataProfile::PointerLike,
+        DataProfile::Random,
+    ] {
+        let run = sample_run(LlcKind::BaseVictim, profile);
+        for class in ALL_CLASSES {
+            let e = model.evaluate(&run, class);
+            for (i, part) in parts(&e).into_iter().enumerate() {
+                assert!(
+                    part >= 0.0 && part.is_finite(),
+                    "{class:?} {profile:?}: component {i} is {part}"
+                );
+            }
+            assert!(e.total_nj() > 0.0, "{class:?}: a real run consumed energy");
+        }
+    }
+}
+
+#[test]
+fn energy_is_monotone_in_access_counts() {
+    let model = EnergyModel::paper_default();
+    let base = sample_run(LlcKind::BaseVictim, DataProfile::PointerLike);
+    for class in ALL_CLASSES {
+        let before = model.evaluate(&base, class).total_nj();
+        // Bump each charged counter independently; none may *reduce*
+        // total energy, and each must strictly increase some component
+        // the class charges for.
+        let bumps: [Bump; 6] = [
+            ("base_hits", |r| r.llc.base_hits += 10_000),
+            ("demand_fills", |r| r.llc.demand_fills += 10_000),
+            ("writeback_hits", |r| r.llc.writeback_hits += 10_000),
+            ("migrations", |r| r.llc.migrations += 10_000),
+            ("dram reads", |r| r.dram.reads += 10_000),
+            ("dram writes", |r| r.dram.writes += 10_000),
+        ];
+        for (name, bump) in bumps {
+            let mut grown = base.clone();
+            bump(&mut grown);
+            let after = model.evaluate(&grown, class).total_nj();
+            assert!(
+                after > before,
+                "{class:?}: +10k {name} moved total {before:.1} -> {after:.1} nJ"
+            );
+        }
+    }
+}
+
+#[test]
+fn background_terms_scale_with_cycles() {
+    let model = EnergyModel::paper_default();
+    let base = sample_run(LlcKind::Uncompressed, DataProfile::SmallInt);
+    let mut longer = base.clone();
+    longer.cycles *= 2;
+    let short = model.evaluate(&base, LlcEnergyClass::Uncompressed);
+    let long = model.evaluate(&longer, LlcEnergyClass::Uncompressed);
+    assert!((long.dram_background_nj / short.dram_background_nj - 2.0).abs() < 1e-9);
+    assert!((long.llc_leakage_nj / short.llc_leakage_nj - 2.0).abs() < 1e-9);
+    // Dynamic terms depend only on counts, not on elapsed time.
+    assert_eq!(long.dram_dynamic_nj, short.dram_dynamic_nj);
+    assert_eq!(long.llc_dynamic_nj, short.llc_dynamic_nj);
+}
+
+#[test]
+fn ratio_of_a_breakdown_to_itself_is_one() {
+    let model = EnergyModel::paper_default();
+    let run = sample_run(LlcKind::BaseVictim, DataProfile::Clustered);
+    let e = model.evaluate(&run, LlcEnergyClass::BaseVictim { word_enables: true });
+    assert!((e.ratio(&e) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn compressed_classes_never_undercut_uncompressed_on_the_same_run() {
+    // On *identical* counters the compressed classes only add terms
+    // (extra tag energy, codec, leakage scale), so each must cost at
+    // least as much as the uncompressed mapping of the same run. The
+    // savings in Figure 14 come from compression *changing* the
+    // counters (fewer DRAM reads), not from the mapping itself.
+    let model = EnergyModel::paper_default();
+    let run = sample_run(LlcKind::BaseVictim, DataProfile::PointerLike);
+    let unc = model
+        .evaluate(&run, LlcEnergyClass::Uncompressed)
+        .total_nj();
+    for class in ALL_CLASSES {
+        let e = model.evaluate(&run, class).total_nj();
+        assert!(
+            e >= unc,
+            "{class:?}: {e:.1} nJ undercuts uncompressed {unc:.1} nJ on equal counters"
+        );
+    }
+}

@@ -1,0 +1,390 @@
+//! Property evaluation: replay a case through the auditors and the
+//! organization zoo and report the first observed divergence.
+//!
+//! Two layers, because injection flips the meaning of an observation:
+//!
+//! * [`observe`] answers "did any property *trip*?" — a divergence, a
+//!   budget violation, a stats mismatch — with no judgement attached.
+//! * [`verdict`] applies the `--inject` convention: a clean case passes
+//!   when nothing trips; an injected case passes when the fault **is**
+//!   detected (an undetected injected fault means the auditors are
+//!   blind, which is exactly the regression the fuzzer exists to catch).
+//!
+//! The shrinker minimizes against [`observe`]: whatever tripped must
+//! keep tripping as the case gets smaller.
+
+use crate::case::{CaseBody, FuzzCase, KvCase, LlcCase};
+use bv_core::audit::{render_divergence, run_audit_ops, AuditConfig, AuditOp};
+use bv_core::{LlcOrganization, NoInner};
+use bv_events::RingSink;
+use bv_kvcache::{run_kv, run_lockstep, KvConfig, KvOrgKind, LockstepConfig};
+use bv_sim::LlcKind;
+
+/// The organization cross-section every LLC case replays for stats
+/// identity: the same seven kinds the event zero-cost suite pins.
+pub const LLC_KINDS: [LlcKind; 7] = [
+    LlcKind::Uncompressed,
+    LlcKind::TwoTag,
+    LlcKind::TwoTagEcm,
+    LlcKind::BaseVictim,
+    LlcKind::BaseVictimNonInclusive,
+    LlcKind::Vsc,
+    LlcKind::Dcc,
+];
+
+/// One tripped property.
+#[derive(Clone, Debug)]
+pub struct FuzzFailure {
+    /// Stable property name (`llc-mirror`, `llc-stats-identity`,
+    /// `kv-mirror`, `kv-budget`, `kv-determinism`, `inject-undetected`,
+    /// `panic`).
+    pub property: &'static str,
+    /// Human-readable explanation of what differed.
+    pub detail: String,
+}
+
+/// Replays every property for the case and returns the first observed
+/// trip, or `None` when all properties held. Injection (if armed) is
+/// live during the auditor properties; the identity/determinism
+/// properties are skipped for injected cases since the fault model only
+/// exists inside the auditors.
+///
+/// A panic anywhere under replay — a violated internal invariant, an
+/// overflow, an `expect` on a state the model thought impossible — is
+/// caught and reported as the `panic` property, so a crashing case gets
+/// minimized and serialized like any other counterexample instead of
+/// killing the campaign.
+#[must_use]
+pub fn observe(case: &FuzzCase) -> Option<FuzzFailure> {
+    quiet_catch(|| match &case.body {
+        CaseBody::Llc(c) => observe_llc(c, case.inject_at),
+        CaseBody::Kv(c) => observe_kv(c, case.inject_at),
+    })
+}
+
+thread_local! {
+    /// True while this thread is inside [`quiet_catch`]; the shared hook
+    /// consults it so a caught replay panic prints nothing (the shrinker
+    /// re-triggers the same panic hundreds of times) while panics on
+    /// every other thread keep their normal report.
+    static CATCHING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Runs `f`, converting a panic into a [`FuzzFailure`] and suppressing
+/// the default panic message for the duration.
+fn quiet_catch(f: impl FnOnce() -> Option<FuzzFailure>) -> Option<FuzzFailure> {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !CATCHING.with(std::cell::Cell::get) {
+                default(info);
+            }
+        }));
+    });
+    CATCHING.with(|c| c.set(true));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    CATCHING.with(|c| c.set(false));
+    match result {
+        Ok(observed) => observed,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Some(FuzzFailure {
+                property: "panic",
+                detail: format!("replay panicked: {msg}"),
+            })
+        }
+    }
+}
+
+/// Applies the `--inject` pass/fail convention on top of [`observe`].
+///
+/// # Errors
+///
+/// A clean case fails with whatever property tripped; an injected case
+/// fails with `inject-undetected` when no property tripped.
+pub fn verdict(case: &FuzzCase) -> Result<(), FuzzFailure> {
+    match (case.inject_at, observe(case)) {
+        (_, Some(f)) if case.inject_at.is_none() => Err(f),
+        (Some(at), None) => Err(FuzzFailure {
+            property: "inject-undetected",
+            detail: format!(
+                "fault injected after op {at} but no auditor property tripped \
+                 ({} case, {} ops)",
+                case.domain().name(),
+                case.op_count()
+            ),
+        }),
+        _ => Ok(()),
+    }
+}
+
+fn observe_llc(c: &LlcCase, inject_at: Option<u64>) -> Option<FuzzFailure> {
+    let cfg = AuditConfig {
+        ops: 0, // ignored: the stream is explicit
+        seed: 0,
+        context: 8,
+        inject_at: inject_at.map(|x| x as usize),
+        policy: c.policy,
+        victim: c.victim,
+    };
+    let report = run_audit_ops(c.geometry(), &cfg, &c.ops, |a| c.data_for(a));
+    if let Some(d) = report.divergence {
+        return Some(FuzzFailure {
+            property: "llc-mirror",
+            detail: render_divergence(&d),
+        });
+    }
+    if inject_at.is_some() {
+        // The injected fault only exists inside the mirror audit; the
+        // identity properties below would vacuously pass and are skipped.
+        return None;
+    }
+    stats_identity(c)
+}
+
+/// Writeback legality per op under L2 inclusion, replayed once on an
+/// uncompressed mirror of the case geometry. The inner level can only
+/// write back lines it holds, which inclusion bounds by uncompressed
+/// residency — the same model the baseline-divergence auditor uses.
+/// Gating every organization on the same mask keeps the streams
+/// identical across the zoo and keeps inclusive Base-Victim's "no write
+/// hit in the victim area" invariant satisfiable.
+fn writeback_legality(c: &LlcCase) -> Vec<bool> {
+    let mut mirror = LlcKind::Uncompressed.build(c.geometry(), c.policy);
+    let mut inner = NoInner;
+    c.ops
+        .iter()
+        .map(|&op| match op {
+            AuditOp::Read(a) => {
+                let addr = bv_cache::LineAddr::new(a);
+                if !mirror.read(addr, &mut inner).is_hit() {
+                    mirror.fill(addr, c.data_for(a), &mut inner);
+                }
+                true
+            }
+            AuditOp::Writeback(a) => {
+                let addr = bv_cache::LineAddr::new(a);
+                let legal = mirror.contains(addr);
+                if legal {
+                    mirror.writeback(addr, c.data_for(a), &mut inner);
+                }
+                legal
+            }
+            AuditOp::Prefetch(a) => {
+                let addr = bv_cache::LineAddr::new(a);
+                mirror.prefetch_fill(addr, c.data_for(a), &mut inner);
+                true
+            }
+        })
+        .collect()
+}
+
+/// Drives one organization through the case's op stream.
+fn drive(llc: &mut dyn LlcOrganization, c: &LlcCase, legal: &[bool]) -> u64 {
+    let mut inner = NoInner;
+    let mut events = 0u64;
+    for (&op, &ok) in c.ops.iter().zip(legal) {
+        match op {
+            AuditOp::Read(a) => {
+                let addr = bv_cache::LineAddr::new(a);
+                if !llc.read(addr, &mut inner).is_hit() {
+                    llc.fill(addr, c.data_for(a), &mut inner);
+                }
+            }
+            AuditOp::Writeback(a) => {
+                // Legal under inclusion (the mask) *and* resident in this
+                // organization: kinds without the mirror guarantee (TwoTag,
+                // Vsc, Dcc) may have evicted a line the uncompressed
+                // mirror still holds, and writing back a non-resident line
+                // is an inclusion violation those organizations reject.
+                let addr = bv_cache::LineAddr::new(a);
+                if ok && llc.contains(addr) {
+                    llc.writeback(addr, c.data_for(a), &mut inner);
+                }
+            }
+            AuditOp::Prefetch(a) => {
+                let addr = bv_cache::LineAddr::new(a);
+                llc.prefetch_fill(addr, c.data_for(a), &mut inner);
+            }
+        }
+        events += llc.drain_events().len() as u64;
+    }
+    events
+}
+
+fn sorted_lines(llc: &dyn LlcOrganization) -> Vec<u64> {
+    let mut v: Vec<u64> = llc.resident_lines().iter().map(|a| a.get()).collect();
+    v.sort_unstable();
+    v
+}
+
+/// Stats identity across the organization zoo: an untraced run, a
+/// second untraced run (determinism), and a traced run must agree on
+/// every counter and on the resident-line set, and the traced run must
+/// actually emit events.
+fn stats_identity(c: &LlcCase) -> Option<FuzzFailure> {
+    let geom = c.geometry();
+    let legal = writeback_legality(c);
+    for kind in LLC_KINDS {
+        let mut first = kind.build(geom, c.policy);
+        let mut again = kind.build(geom, c.policy);
+        let mut traced = kind.build_traced(geom, c.policy, RingSink::new(1 << 12));
+        drive(first.as_mut(), c, &legal);
+        drive(again.as_mut(), c, &legal);
+        let events = drive(traced.as_mut(), c, &legal);
+        let fail = |what: &str| {
+            Some(FuzzFailure {
+                property: "llc-stats-identity",
+                detail: format!("{}: {what}", kind.name()),
+            })
+        };
+        if first.stats() != again.stats()
+            || sorted_lines(first.as_ref()) != sorted_lines(again.as_ref())
+        {
+            return fail(&format!(
+                "two untraced runs disagree: {:?} vs {:?}",
+                first.stats(),
+                again.stats()
+            ));
+        }
+        if first.stats() != traced.stats()
+            || sorted_lines(first.as_ref()) != sorted_lines(traced.as_ref())
+        {
+            return fail(&format!(
+                "traced run diverged from untraced: {:?} vs {:?}",
+                traced.stats(),
+                first.stats()
+            ));
+        }
+        if events == 0 {
+            return fail("traced run emitted no events");
+        }
+    }
+    None
+}
+
+fn observe_kv(c: &KvCase, inject_at: Option<u64>) -> Option<FuzzFailure> {
+    let report = run_lockstep(&LockstepConfig {
+        profile: c.profile.clone(),
+        seed: c.stream_seed,
+        requests: c.requests,
+        budget: c.budget,
+        inject_at,
+    });
+    if let Some(d) = report.divergence {
+        return Some(FuzzFailure {
+            property: "kv-mirror",
+            detail: format!("op {} ({:?}): {}", d.op_index, d.request, d.detail),
+        });
+    }
+    if inject_at.is_some() {
+        return None;
+    }
+    for org in KvOrgKind::ALL {
+        let cfg = KvConfig {
+            org,
+            profile: c.profile.clone(),
+            budget: c.budget,
+            requests: c.requests,
+            warmup: 0,
+            seed: c.stream_seed,
+        };
+        let run = run_kv(&cfg);
+        if run.occupancy.resident_bytes > c.budget {
+            return Some(FuzzFailure {
+                property: "kv-budget",
+                detail: format!(
+                    "{}: resident {} bytes exceeds budget {}",
+                    org.name(),
+                    run.occupancy.resident_bytes,
+                    c.budget
+                ),
+            });
+        }
+        let replay = run_kv(&cfg);
+        if run.stats != replay.stats || run.occupancy != replay.occupancy {
+            return Some(FuzzFailure {
+                property: "kv-determinism",
+                detail: format!(
+                    "{}: identical configs disagree: {:?} vs {:?}",
+                    org.name(),
+                    run.stats,
+                    replay.stats
+                ),
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::Domain;
+
+    #[test]
+    fn clean_generated_cases_pass_both_domains() {
+        for seed in 0..6u64 {
+            for domain in [Domain::Llc, Domain::Kv] {
+                let case = FuzzCase::generate(seed, Some(domain));
+                let v = verdict(&case);
+                assert!(
+                    v.is_ok(),
+                    "seed {seed} {}: {:?}",
+                    domain.name(),
+                    v.err().map(|f| format!("{}: {}", f.property, f.detail))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn injected_kv_faults_are_detected() {
+        for seed in 0..4u64 {
+            let case = FuzzCase::generate(seed, Some(Domain::Kv)).with_injection();
+            let obs = observe(&case).expect("kv perturbation must trip the mirror");
+            assert_eq!(obs.property, "kv-mirror");
+            assert!(verdict(&case).is_ok(), "detected fault must pass verdict");
+        }
+    }
+
+    #[test]
+    fn injected_llc_faults_are_detected() {
+        let mut detected = 0;
+        for seed in 0..6u64 {
+            let case = FuzzCase::generate(seed, Some(Domain::Llc)).with_injection();
+            if let Some(obs) = observe(&case) {
+                assert_eq!(obs.property, "llc-mirror");
+                detected += 1;
+            }
+        }
+        // The replacement-state perturbation needs pressure to surface;
+        // most but not necessarily all random streams provide it.
+        assert!(detected >= 4, "only {detected}/6 injections surfaced");
+    }
+
+    #[test]
+    fn replay_panics_become_failures_not_aborts() {
+        let f = quiet_catch(|| panic!("boom {}", 7)).expect("panic must surface");
+        assert_eq!(f.property, "panic");
+        assert!(f.detail.contains("boom 7"), "{}", f.detail);
+        assert!(quiet_catch(|| None).is_none(), "clean replay stays clean");
+    }
+
+    #[test]
+    fn undetected_injection_fails_the_verdict() {
+        // An empty-stream injected case can never trip an auditor.
+        let mut case = FuzzCase::generate(1, Some(Domain::Kv));
+        if let CaseBody::Kv(ref mut c) = case.body {
+            c.requests = 0;
+        }
+        case.inject_at = Some(0);
+        let err = verdict(&case).expect_err("nothing to detect");
+        assert_eq!(err.property, "inject-undetected");
+    }
+}

@@ -13,6 +13,20 @@
 
 #![warn(missing_docs)]
 
+/// One SplitMix64 step as a stateless mix: advances `x` by the golden
+/// gamma and finalizes. This is the workspace's single canonical mixing
+/// function — [`Rng`] is exactly this function iterated over an internal
+/// state, and hash-like call sites (per-key value shapes, per-region
+/// palettes) call it directly so every seed in the workspace derives
+/// from one stream family.
+#[must_use]
+pub fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// SplitMix64: tiny, statistically solid, and seedable from any `u64`.
 ///
 /// This is the generator recommended for seeding xorshift-family state;
@@ -33,13 +47,16 @@ impl Rng {
         }
     }
 
-    /// Next raw 64-bit output.
+    /// Next raw 64-bit output: one [`mix`] step of the internal state.
     pub fn next_u64(&mut self) -> u64 {
+        let out = mix(self.state);
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
+        out
+    }
+
+    /// Uniform in `[0, 1)`, built from the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Next 32-bit output (upper half of the 64-bit stream).
@@ -238,6 +255,25 @@ mod tests {
         let mut a = Rng::new(1);
         let mut b = Rng::new(2);
         assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_u64_is_mix_iterated() {
+        let mut rng = Rng::new(0xabc);
+        let mut state = 0xabcu64.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        for _ in 0..16 {
+            assert_eq!(rng.next_u64(), mix(state));
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    #[test]
+    fn next_f64_stays_in_unit_interval() {
+        let mut rng = Rng::new(5);
+        for _ in 0..1000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v), "{v}");
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! overwrote it.
 
 use bv_compress::CacheLine;
+use bv_testkit::mix as splitmix;
 
 /// A value-distribution profile for synthesized line data.
 ///
@@ -59,14 +60,6 @@ pub enum DataProfile {
     FloatLike,
     /// High-entropy bytes (compressed media, encrypted data).
     Random,
-}
-
-fn splitmix(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
 }
 
 impl DataProfile {

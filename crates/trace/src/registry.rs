@@ -11,6 +11,7 @@
 use crate::data_profile::DataProfile;
 use crate::kernel::KernelKind;
 use crate::synth::{KernelSpec, WorkloadSpec};
+use bv_testkit::mix as splitmix;
 use core::fmt;
 
 /// Workload category from Table I.
@@ -119,14 +120,6 @@ pub struct TraceSpec {
     pub compression_friendly: bool,
     /// The generative workload description.
     pub workload: WorkloadSpec,
-}
-
-fn splitmix(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
 }
 
 const MB: u64 = 1 << 20;

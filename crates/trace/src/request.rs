@@ -25,57 +25,15 @@
 
 use crate::data_profile::DataProfile;
 
-/// SplitMix64, the workspace's standard seedable stream (same constants
-/// as `bv_testkit::Rng`, duplicated here so `bv-trace` stays dep-free on
-/// the test kit).
-#[derive(Clone, Debug)]
-pub struct SplitMix64 {
-    state: u64,
-}
-
-impl SplitMix64 {
-    /// Creates a stream; distinct seeds give independent streams.
-    #[must_use]
-    pub fn new(seed: u64) -> SplitMix64 {
-        SplitMix64 {
-            state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
-        }
-    }
-
-    /// Next raw 64-bit output.
-    pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform in `[0, 1)`, built from the top 53 bits.
-    pub fn next_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-    }
-
-    /// Uniform in `[0, bound)` (Lemire multiply-shift).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bound` is 0.
-    pub fn below(&mut self, bound: u64) -> u64 {
-        assert!(bound > 0, "below(0) is meaningless");
-        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
-    }
-}
+/// SplitMix64, the workspace's standard seedable stream: the canonical
+/// implementation lives in [`bv_testkit`], re-exported under this
+/// module's historical name so fuzz seeds, trace streams, and test
+/// seeds all derive from one stream family.
+pub use bv_testkit::Rng as SplitMix64;
 
 /// One-shot stateless mix of a `u64` (the same finalizer the stream
 /// uses), for deriving per-key constants.
-#[must_use]
-fn mix(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
+pub use bv_testkit::mix;
 
 /// Zipfian rank sampler over `1..=n` with exponent `s`, using
 /// Hörmann's rejection-inversion method: O(1) setup and O(1) expected
@@ -217,11 +175,12 @@ pub struct RequestProfile {
     /// Popularity rotation period in requests (0 = no diurnal drift).
     pub phase_requests: u64,
     /// Value-size buckets in bytes, each a multiple of 64; a key's
-    /// bucket is chosen by weight.
-    pub size_buckets: &'static [(u32, u32)],
+    /// bucket is chosen by weight. Owned so fuzzers and sweeps can
+    /// compose arbitrary mixtures, not just the presets.
+    pub size_buckets: Vec<(u32, u32)>,
     /// Data-profile mixture as `(profile, weight)`; decides
     /// compressibility.
-    pub value_mix: &'static [(DataProfile, u32)],
+    pub value_mix: Vec<(DataProfile, u32)>,
 }
 
 impl RequestProfile {
@@ -238,8 +197,8 @@ impl RequestProfile {
             get_ratio: 0.95,
             clients: 4,
             phase_requests: 0,
-            size_buckets: &[(128, 4), (256, 3), (512, 2), (1024, 1), (4096, 1)],
-            value_mix: &[
+            size_buckets: vec![(128, 4), (256, 3), (512, 2), (1024, 1), (4096, 1)],
+            value_mix: vec![
                 (DataProfile::Zero, 1),
                 (DataProfile::Repeated, 2),
                 (DataProfile::SmallInt, 3),
@@ -260,8 +219,8 @@ impl RequestProfile {
             get_ratio: 0.80,
             clients: 2,
             phase_requests: 0,
-            size_buckets: &[(2048, 2), (4096, 3), (8192, 2), (16384, 1)],
-            value_mix: &[
+            size_buckets: vec![(2048, 2), (4096, 3), (8192, 2), (16384, 1)],
+            value_mix: vec![
                 (DataProfile::FloatLike, 4),
                 (DataProfile::WideInt, 2),
                 (DataProfile::Clustered, 2),
@@ -281,8 +240,8 @@ impl RequestProfile {
             get_ratio: 0.90,
             clients: 8,
             phase_requests: 20_000,
-            size_buckets: &[(64, 3), (128, 3), (256, 2), (512, 1)],
-            value_mix: &[
+            size_buckets: vec![(64, 3), (128, 3), (256, 2), (512, 1)],
+            value_mix: vec![
                 (DataProfile::PointerLike, 4),
                 (DataProfile::SmallInt, 3),
                 (DataProfile::Repeated, 1),
@@ -309,8 +268,8 @@ impl RequestProfile {
     #[must_use]
     pub fn value_spec(&self, key: u64) -> ValueSpec {
         let h = mix(key.wrapping_mul(0x9e37_79b9).wrapping_add(0x5bd1));
-        let bytes = pick_weighted(self.size_buckets, h & 0xffff_ffff);
-        let profile = pick_weighted(self.value_mix, h >> 32);
+        let bytes = pick_weighted(&self.size_buckets, h & 0xffff_ffff);
+        let profile = pick_weighted(&self.value_mix, h >> 32);
         ValueSpec { bytes, profile }
     }
 }
@@ -547,6 +506,70 @@ mod tests {
             .map(|r| r.client)
             .collect();
         assert_eq!(seen.len() as u32, profile.clients);
+    }
+
+    /// A profile with one client must still produce a valid stream (the
+    /// scheduler draws from a one-entry table) and attribute every
+    /// request to client 0.
+    #[test]
+    fn single_client_stream_attributes_everything_to_client_zero() {
+        let mut profile = RequestProfile::web();
+        profile.clients = 1;
+        let requests: Vec<_> = RequestStream::new(profile, 77).take(1_000).collect();
+        assert_eq!(requests.len(), 1_000);
+        assert!(requests.iter().all(|r| r.client == 0));
+    }
+
+    /// Taking zero requests is legal: nothing is issued, the phase stays
+    /// at 0, and the stream is still usable afterwards.
+    #[test]
+    fn zero_request_stream_is_inert_but_alive() {
+        let mut stream = RequestStream::new(RequestProfile::social(), 3);
+        let none: Vec<_> = (&mut stream).take(0).collect();
+        assert!(none.is_empty());
+        assert_eq!(stream.issued(), 0);
+        assert_eq!(stream.phase(), 0);
+        assert!(stream.next().is_some(), "stream must survive an empty take");
+        assert_eq!(stream.issued(), 1);
+    }
+
+    /// The diurnal phase must roll over exactly at the period boundary:
+    /// request `phase_requests - 1` is still phase 0, request
+    /// `phase_requests` is phase 1, and the key a fixed rank maps to
+    /// moves at that instant and not before.
+    #[test]
+    fn phase_rolls_over_exactly_at_the_period_boundary() {
+        let mut profile = RequestProfile::social();
+        profile.phase_requests = 10;
+        let mut stream = RequestStream::new(profile, 9);
+        for i in 0..30u64 {
+            assert_eq!(stream.phase(), i / 10, "before request {i}");
+            stream.next();
+        }
+        assert_eq!(stream.issued(), 30);
+        assert_eq!(stream.phase(), 3);
+    }
+
+    /// `s = 0` is the uniform degeneracy: every rank equally likely. The
+    /// observed per-rank frequency over a small rank space must sit
+    /// within a loose band of the uniform expectation.
+    #[test]
+    fn zipf_zero_exponent_degenerates_to_uniform() {
+        let n = 16u64;
+        let samples = 160_000u64;
+        let zipf = ZipfSampler::new(n, 0.0);
+        let mut rng = SplitMix64::new(4);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..samples {
+            let rank = zipf.sample(&mut rng);
+            assert!((1..=n).contains(&rank));
+            counts[(rank - 1) as usize] += 1;
+        }
+        let expect = samples as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let rel = (c as f64 - expect).abs() / expect;
+            assert!(rel < 0.05, "rank {}: {c} vs uniform {expect:.0}", i + 1);
+        }
     }
 
     #[test]

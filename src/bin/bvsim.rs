@@ -18,14 +18,20 @@
 //! bvsim kv --dist web --compare               # kv tier: all three organizations
 //! bvsim kv --sweep                            # every org x dist via the runner pool
 //! bvsim kv --lockstep --dist social           # kv baseline-mirror auditor
+//! bvsim fuzz --cases 200 --seed 1             # adversarial property fuzzing
+//! bvsim fuzz --inject                         # fault-detection self-test
+//! bvsim fuzz --replay tests/corpus/kv-inject-mirror.bvfuzz.json
 //! ```
 //!
 //! Argument parsing lives in [`base_victim::cli`] so it can be
 //! unit-tested; this binary only dispatches the parsed command.
 
 use base_victim::bench::perf;
-use base_victim::cli::{self, BenchArgs, Command, KvArgs, RunArgs, SweepArgs, TraceArgs, USAGE};
+use base_victim::cli::{
+    self, BenchArgs, Command, FuzzArgs, KvArgs, RunArgs, SweepArgs, TraceArgs, USAGE,
+};
 use base_victim::events::{CacheEvent, EventFilter, EventKind, RingSink};
+use base_victim::fuzz as bvfuzz;
 use base_victim::kvcache::{
     run_kv as kv_replay, run_kv_sampled, run_kv_traced, KvConfig, KvOrgKind, KvRunResult,
     KvTelemetry, LockstepConfig,
@@ -55,6 +61,7 @@ fn main() -> ExitCode {
         Ok(Command::Report(path)) => run_report(&path),
         Ok(Command::Trace(trace)) => run_trace(&trace),
         Ok(Command::Kv(kv)) => run_kv(&kv),
+        Ok(Command::Fuzz(fuzz)) => run_fuzz(&fuzz),
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             ExitCode::FAILURE
@@ -731,4 +738,185 @@ fn run_bench(args: &BenchArgs) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Op-count bound a minimized `--inject` reproducer must meet: larger
+/// means the shrinker regressed.
+const FUZZ_INJECT_BOUND: u64 = 64;
+
+fn run_fuzz(args: &FuzzArgs) -> ExitCode {
+    if let Some(path) = &args.replay {
+        return run_fuzz_replay(args, path);
+    }
+    if args.inject {
+        return run_fuzz_inject(args);
+    }
+    run_fuzz_campaign(args)
+}
+
+/// Writes the reproducer to `--out` when given, else prints its JSON so
+/// it can be piped straight into a `tests/corpus/` file.
+fn emit_reproducer(out: Option<&Path>, case: &bvfuzz::FuzzCase) -> ExitCode {
+    match out {
+        Some(path) => {
+            if let Err(e) = bvfuzz::save(path, case) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("reproducer          : {}", path.display());
+            ExitCode::SUCCESS
+        }
+        None => {
+            println!("reproducer ({} ops):", case.op_count());
+            println!("{}", bvfuzz::to_json(case));
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn run_fuzz_campaign(args: &FuzzArgs) -> ExitCode {
+    let cfg = bvfuzz::FuzzConfig {
+        cases: args.cases,
+        seed: args.seed,
+        domain: args.domain,
+        shrink: true,
+    };
+    println!(
+        "fuzz | {} case(s), seed {}, domains {}",
+        args.cases,
+        args.seed,
+        args.domain.map_or("llc+kv", bvfuzz::Domain::name)
+    );
+    let report = bvfuzz::run_fuzz(&cfg, |done, total| {
+        if done % 50 == 0 && done < total {
+            println!("  checked {done}/{total}");
+        }
+    });
+    for (name, v) in report.counters.iter() {
+        println!("{name:<20}: {v}");
+    }
+    match &report.failure {
+        None => {
+            println!("all {} case(s) passed", report.cases_run);
+            ExitCode::SUCCESS
+        }
+        Some(f) => {
+            eprintln!(
+                "FAIL case {} (seed {}) | {}: {}",
+                f.case_index, f.case_seed, f.failure.property, f.failure.detail
+            );
+            let minimized = f.shrunk.as_ref().map_or(&f.original, |s| &s.case);
+            if let Some(s) = &f.shrunk {
+                println!(
+                    "shrunk {} -> {} ops ({} candidate(s), {} accepted)",
+                    f.original.op_count(),
+                    s.case.op_count(),
+                    s.attempts,
+                    s.accepted
+                );
+            }
+            emit_reproducer(args.out.as_deref(), minimized);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_fuzz_inject(args: &FuzzArgs) -> ExitCode {
+    let cfg = bvfuzz::FuzzConfig {
+        cases: args.cases,
+        seed: args.seed,
+        domain: args.domain,
+        shrink: true,
+    };
+    println!(
+        "fuzz inject self-test | seed {}, domains {}",
+        args.seed,
+        args.domain.map_or("llc+kv", bvfuzz::Domain::name)
+    );
+    let mut ok = true;
+    for r in bvfuzz::run_inject_selftest(&cfg) {
+        match (&r.detected_seed, &r.shrunk) {
+            (Some(seed), Some(s)) => {
+                println!(
+                    "{:<4}: fault detected (seed {seed}, {} tried), shrunk {} -> {} ops",
+                    r.domain.name(),
+                    r.tried,
+                    r.original_ops,
+                    s.case.op_count()
+                );
+                // One domain per file: suffix when the other may follow.
+                if let Some(out) = &args.out {
+                    let path = if args.domain.is_some() {
+                        out.clone()
+                    } else {
+                        out.with_extension(format!("{}.{}", r.domain.name(), bvfuzz::EXTENSION))
+                    };
+                    if emit_reproducer(Some(&path), &s.case) == ExitCode::FAILURE {
+                        ok = false;
+                    }
+                }
+            }
+            _ => eprintln!(
+                "{:<4}: no injected fault surfaced in {} seed(s) — the auditor is blind",
+                r.domain.name(),
+                r.tried
+            ),
+        }
+        if !r.passed(FUZZ_INJECT_BOUND) {
+            ok = false;
+        }
+    }
+    if ok {
+        println!("inject self-test passed (reproducers within {FUZZ_INJECT_BOUND} ops)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("inject self-test FAILED");
+        ExitCode::FAILURE
+    }
+}
+
+fn run_fuzz_replay(args: &FuzzArgs, path: &Path) -> ExitCode {
+    let case = match bvfuzz::load(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "fuzz replay {} | {} case, {} ops{}",
+        path.display(),
+        case.domain().name(),
+        case.op_count(),
+        case.inject_at
+            .map_or(String::new(), |at| format!(", fault injected at op {at}"))
+    );
+    match bvfuzz::verdict(&case) {
+        Ok(()) => {
+            println!(
+                "reproducer passes{}",
+                if case.inject_at.is_some() {
+                    " (injected fault detected)"
+                } else {
+                    ""
+                }
+            );
+            ExitCode::SUCCESS
+        }
+        Err(f) => {
+            eprintln!("FAIL {}: {}", f.property, f.detail);
+            if args.shrink && bvfuzz::observe(&case).is_some() {
+                let out = bvfuzz::shrink(&case);
+                println!(
+                    "shrunk {} -> {} ops ({} candidate(s), {} accepted)",
+                    case.op_count(),
+                    out.case.op_count(),
+                    out.attempts,
+                    out.accepted
+                );
+                emit_reproducer(args.out.as_deref(), &out.case);
+            }
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -22,6 +22,8 @@ USAGE:
     bvsim trace --trace <name> [--out <events.jsonl>] [filters]
     bvsim trace --audit [--ops <n>] [--seed <n>] [--inject <op>]
     bvsim kv [--dist <name>] [--org <name>] [--compare | --sweep | --lockstep]
+    bvsim fuzz [--cases <n>] [--seed <n>] [--llc | --kv] [--inject]
+    bvsim fuzz --replay <file> [--shrink] [--out <file>]
 
 OPTIONS:
     --trace <name>      registry trace to run (see --list-traces)
@@ -110,6 +112,23 @@ KV (replays server-style request traffic against the compressed kv tier):
     --inject <op>       perturb the baseline at this request (lockstep
                         self-test: the auditor must report divergence)
 
+FUZZ (hunts for hit-rate-guarantee violations on adversarial random workloads):
+    --cases <n>         workloads to generate and check (default: 100)
+    --seed <n>          campaign master seed (default: 1)
+    --llc               only LLC cases: the baseline-divergence auditor
+                        plus stats identity across every organization
+    --kv                only kv cases: the lockstep auditor plus budget
+                        and determinism across the three organizations
+    --inject            self-test: arm a synthetic fault per domain and
+                        require the auditors to detect it and the
+                        shrinker to minimize it; exits nonzero otherwise
+    --replay <file>     replay one committed .bvfuzz.json reproducer
+                        instead of a campaign (injected reproducers pass
+                        when the fault is detected)
+    --shrink            with --replay: minimize a failing reproducer
+    --out <file>        write the failing (or minimized) case as a
+                        .bvfuzz.json reproducer (default: print it)
+
 BENCH (times the compression kernels and end-to-end simulation, writes BENCH.json):
     --quick             smaller corpus and budgets (the CI gate sizing)
     --out <file>        report destination (default: BENCH.json)
@@ -140,6 +159,9 @@ pub enum Command {
     /// `kv`: replay server-style request traffic against the
     /// software-managed compressed kv tier.
     Kv(KvArgs),
+    /// `fuzz`: hunt for hit-rate-guarantee violations on adversarial
+    /// random workloads, with shrinking and reproducer replay.
+    Fuzz(FuzzArgs),
 }
 
 /// The `--llc` values [`parse_llc`] accepts, for error messages.
@@ -354,6 +376,39 @@ impl Default for KvArgs {
     }
 }
 
+/// Arguments for the `fuzz` subcommand.
+#[derive(Debug, PartialEq, Eq)]
+pub struct FuzzArgs {
+    /// Workloads to generate and check.
+    pub cases: u64,
+    /// Campaign master seed.
+    pub seed: u64,
+    /// Restrict to one property domain (`--llc` / `--kv`).
+    pub domain: Option<bv_fuzz::Domain>,
+    /// Run the per-domain injection self-test instead of a campaign.
+    pub inject: bool,
+    /// Replay this reproducer file instead of running a campaign.
+    pub replay: Option<PathBuf>,
+    /// With `--replay`: minimize a failing reproducer.
+    pub shrink: bool,
+    /// Write the failing (or minimized) case here instead of printing it.
+    pub out: Option<PathBuf>,
+}
+
+impl Default for FuzzArgs {
+    fn default() -> FuzzArgs {
+        FuzzArgs {
+            cases: 100,
+            seed: 1,
+            domain: None,
+            inject: false,
+            replay: None,
+            shrink: false,
+            out: None,
+        }
+    }
+}
+
 /// Arguments for the `bench` subcommand.
 #[derive(Debug, PartialEq, Eq)]
 pub struct BenchArgs {
@@ -436,6 +491,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     }
     if args.first().map(String::as_str) == Some("kv") {
         return parse_kv(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("fuzz") {
+        return parse_fuzz(&args[1..]);
     }
     let mut run = RunArgs::default();
     let mut trace = None;
@@ -734,6 +792,59 @@ fn parse_kv(args: &[String]) -> Result<Command, String> {
     Ok(Command::Kv(kv))
 }
 
+fn parse_fuzz(args: &[String]) -> Result<Command, String> {
+    let mut f = FuzzArgs::default();
+    let mut cases_given = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--cases" => {
+                let v: u64 = value("--cases")?
+                    .parse()
+                    .map_err(|e| format!("--cases: {e}"))?;
+                if v == 0 {
+                    return Err("--cases must be at least 1".into());
+                }
+                f.cases = v;
+                cases_given = true;
+            }
+            "--seed" => {
+                f.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--llc" => f.domain = Some(bv_fuzz::Domain::Llc),
+            "--kv" => f.domain = Some(bv_fuzz::Domain::Kv),
+            "--inject" => f.inject = true,
+            "--replay" => f.replay = Some(PathBuf::from(value("--replay")?)),
+            "--shrink" => f.shrink = true,
+            "--out" => f.out = Some(PathBuf::from(value("--out")?)),
+            "--help" | "-h" => return Ok(Command::Help),
+            other => return Err(format!("unknown fuzz flag '{other}' (try --help)")),
+        }
+    }
+    // --llc/--kv may each appear, but the last one silently winning
+    // would hide a typo; catch the contradiction instead.
+    if args.iter().any(|a| a == "--llc") && args.iter().any(|a| a == "--kv") {
+        return Err("--llc and --kv are mutually exclusive".into());
+    }
+    if f.replay.is_some() && f.inject {
+        return Err("--replay and --inject are mutually exclusive".into());
+    }
+    if f.replay.is_some() && cases_given {
+        return Err("--cases has no effect with --replay".into());
+    }
+    if f.shrink && f.replay.is_none() {
+        return Err("--shrink requires --replay (campaigns always shrink)".into());
+    }
+    Ok(Command::Fuzz(f))
+}
+
 fn parse_epoch(v: &str) -> Result<u64, String> {
     let epoch: u64 = v.parse().map_err(|e| format!("--epoch: {e}"))?;
     if epoch == 0 {
@@ -1027,6 +1138,55 @@ mod tests {
         assert!(parse(&argv("kv --requests soon")).is_err());
         assert!(parse(&argv("kv --bogus")).is_err());
         assert!(parse(&argv("kv --dist")).is_err());
+    }
+
+    #[test]
+    fn fuzz_defaults() {
+        let cmd = parse(&argv("fuzz")).expect("parse");
+        assert_eq!(cmd, Command::Fuzz(FuzzArgs::default()));
+        assert_eq!(parse(&argv("fuzz --help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn fuzz_campaign_flags() {
+        let cmd = parse(&argv(
+            "fuzz --cases 25 --seed 7 --kv --out /tmp/f.bvfuzz.json",
+        ))
+        .expect("parse");
+        let Command::Fuzz(f) = cmd else {
+            panic!("expected Fuzz")
+        };
+        assert_eq!((f.cases, f.seed), (25, 7));
+        assert_eq!(f.domain, Some(bv_fuzz::Domain::Kv));
+        assert_eq!(f.out, Some(PathBuf::from("/tmp/f.bvfuzz.json")));
+        assert!(!f.inject && f.replay.is_none() && !f.shrink);
+        let Command::Fuzz(f) = parse(&argv("fuzz --llc --inject")).expect("parse") else {
+            panic!("expected Fuzz")
+        };
+        assert_eq!(f.domain, Some(bv_fuzz::Domain::Llc));
+        assert!(f.inject);
+    }
+
+    #[test]
+    fn fuzz_replay_flags() {
+        let cmd = parse(&argv("fuzz --replay tests/corpus/x.bvfuzz.json --shrink")).expect("parse");
+        let Command::Fuzz(f) = cmd else {
+            panic!("expected Fuzz")
+        };
+        assert_eq!(f.replay, Some(PathBuf::from("tests/corpus/x.bvfuzz.json")));
+        assert!(f.shrink);
+    }
+
+    #[test]
+    fn fuzz_rejects_contradictions() {
+        assert!(parse(&argv("fuzz --llc --kv")).is_err());
+        assert!(parse(&argv("fuzz --replay f --inject")).is_err());
+        assert!(parse(&argv("fuzz --replay f --cases 5")).is_err());
+        assert!(parse(&argv("fuzz --shrink")).is_err());
+        assert!(parse(&argv("fuzz --cases 0")).is_err());
+        assert!(parse(&argv("fuzz --cases many")).is_err());
+        assert!(parse(&argv("fuzz --replay")).is_err());
+        assert!(parse(&argv("fuzz --bogus")).is_err());
     }
 
     #[test]

@@ -57,6 +57,7 @@
 //! | [`energy`] | the Figure 14 energy model |
 //! | [`telemetry`] | epoch time series, histograms, the JSONL sinks |
 //! | [`events`] | event-level cache tracing: records, sinks, filters |
+//! | [`fuzz`] | adversarial workload fuzzing with shrinking |
 //! | [`runner`] | parallel job execution, checkpoint/resume, run journal |
 //! | [`mod@bench`] | the experiment harness and per-figure functions |
 //! | [`cli`] | argument parsing for the `bvsim` binary |
@@ -109,6 +110,11 @@ pub mod telemetry {
 /// Event-level cache tracing (re-export of `bv-events`).
 pub mod events {
     pub use bv_events::*;
+}
+
+/// Adversarial workload fuzzing with shrinking (re-export of `bv-fuzz`).
+pub mod fuzz {
+    pub use bv_fuzz::*;
 }
 
 /// Experiment orchestration (re-export of `bv-runner`).

@@ -1,0 +1,70 @@
+//! Replays every committed `.bvfuzz.json` reproducer in `tests/corpus/`.
+//!
+//! The corpus is the fuzzer's regression memory: each file is either a
+//! minimized fuzz-found counterexample (which must *stay fixed* — its
+//! property must no longer trip) or an injected self-test reproducer
+//! (which must *stay detected* — the auditors must keep seeing the
+//! fault). Both directions are the same assertion: `verdict` is `Ok`.
+//!
+//! To add a case: `bvsim fuzz --inject --out tests/corpus/<name>`, or
+//! save a campaign failure with `--out` once it is fixed.
+
+use base_victim::fuzz::{load, verdict, EXTENSION};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus")
+}
+
+#[test]
+fn every_committed_reproducer_replays_green() {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus/ exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.to_string_lossy().ends_with(EXTENSION))
+        .collect();
+    paths.sort();
+    assert!(
+        !paths.is_empty(),
+        "tests/corpus/ holds at least the seed reproducers"
+    );
+    for path in &paths {
+        let case = load(path).unwrap_or_else(|e| panic!("corpus parse: {e}"));
+        let v = verdict(&case);
+        assert!(
+            v.is_ok(),
+            "{}: {}",
+            path.display(),
+            v.err()
+                .map(|f| format!("{}: {}", f.property, f.detail))
+                .unwrap_or_default()
+        );
+    }
+}
+
+#[test]
+fn corpus_covers_both_domains_and_injection() {
+    use base_victim::fuzz::Domain;
+    let mut llc = 0;
+    let mut kv = 0;
+    let mut injected = 0;
+    for entry in std::fs::read_dir(corpus_dir()).expect("tests/corpus/ exists") {
+        let path = entry.expect("readable dir entry").path();
+        if !path.to_string_lossy().ends_with(EXTENSION) {
+            continue;
+        }
+        let case = load(&path).unwrap_or_else(|e| panic!("corpus parse: {e}"));
+        match case.domain() {
+            Domain::Llc => llc += 1,
+            Domain::Kv => kv += 1,
+        }
+        if case.inject_at.is_some() {
+            injected += 1;
+        }
+    }
+    assert!(llc >= 1, "corpus needs an LLC case");
+    assert!(kv >= 1, "corpus needs a kv case");
+    assert!(injected >= 2, "corpus needs injected self-test reproducers");
+}

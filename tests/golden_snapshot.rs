@@ -14,7 +14,7 @@
 //! ```
 
 use base_victim::kvcache::{run_kv, KvConfig, KvOrgKind, KvRunResult};
-use base_victim::runner::json::ObjWriter;
+use base_victim::runner::json::{parse, ObjWriter, Value};
 use base_victim::trace::request::RequestProfile;
 use base_victim::{LlcKind, PolicyKind, RunResult, SimConfig, System, TraceRegistry};
 use std::path::PathBuf;
@@ -50,6 +50,50 @@ fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
         .join("goldens")
+}
+
+/// Renders one parsed snapshot field for a diff line.
+fn render(v: Option<&Value>) -> String {
+    match v {
+        None => "<missing>".to_string(),
+        Some(Value::Num(s)) => s.clone(),
+        Some(Value::Str(s)) => format!("\"{s}\""),
+        Some(Value::Arr(items)) => {
+            let body: Vec<String> = items.iter().map(|i| render(Some(i))).collect();
+            format!("[{}]", body.join(", "))
+        }
+        Some(other) => format!("{other:?}"),
+    }
+}
+
+/// Explains a snapshot mismatch counter-by-counter: every key whose value
+/// differs between the committed golden and the current run, with both
+/// sides shown, so a one-counter drift reads as one line instead of two
+/// walls of JSON. Falls back to the raw blobs if either side fails to
+/// parse as an object (a corrupt golden is itself the finding).
+fn describe_mismatch(want: &str, got: &str) -> String {
+    let (Ok(Value::Obj(want_map)), Ok(Value::Obj(got_map))) = (parse(want), parse(got)) else {
+        return format!("  golden : {want}\n  current: {got}");
+    };
+    let mut lines = Vec::new();
+    let keys: std::collections::BTreeSet<&String> = want_map.keys().chain(got_map.keys()).collect();
+    for key in keys {
+        let w = want_map.get(key.as_str());
+        let g = got_map.get(key.as_str());
+        if w != g {
+            lines.push(format!(
+                "  {key}: expected {}, actual {}",
+                render(w),
+                render(g)
+            ));
+        }
+    }
+    if lines.is_empty() {
+        // Same parsed content, different bytes (whitespace, key order):
+        // still a failure, and the blobs are the only way to see why.
+        return format!("  formatting-only difference\n  golden : {want}\n  current: {got}");
+    }
+    lines.join("\n")
 }
 
 /// Every integer counter in a [`RunResult`], as one stable JSON object.
@@ -111,8 +155,8 @@ fn check_one(
     });
     if want.trim_end() != got {
         failures.push(format!(
-            "{file_stem}:\n  golden : {}\n  current: {got}",
-            want.trim_end()
+            "{file_stem}:\n{}",
+            describe_mismatch(want.trim_end(), &got)
         ));
     }
 }
@@ -224,9 +268,9 @@ fn kv_counters_match_committed_goldens() {
             });
             if want.trim_end() != got {
                 failures.push(format!(
-                    "kv.{dist}.{}:\n  golden : {}\n  current: {got}",
+                    "kv.{dist}.{}:\n{}",
                     org.name(),
-                    want.trim_end()
+                    describe_mismatch(want.trim_end(), &got)
                 ));
             }
         }
@@ -238,6 +282,20 @@ fn kv_counters_match_committed_goldens() {
         failures.len(),
         failures.join("\n")
     );
+}
+
+/// A diverged snapshot must name each drifted counter with both values —
+/// never dump two JSON blobs for the reader to eyeball.
+#[test]
+fn mismatch_reports_each_differing_counter() {
+    let want = r#"{"a":1,"b":2,"s":"x","arr":[1,2]}"#;
+    let got = r#"{"a":1,"b":3,"c":4,"arr":[1,5]}"#;
+    let msg = describe_mismatch(want, got);
+    assert!(msg.contains("b: expected 2, actual 3"), "{msg}");
+    assert!(msg.contains("c: expected <missing>, actual 4"), "{msg}");
+    assert!(msg.contains("s: expected \"x\", actual <missing>"), "{msg}");
+    assert!(msg.contains("arr: expected [1, 2], actual [1, 5]"), "{msg}");
+    assert!(!msg.contains("a:"), "unchanged counters stay silent: {msg}");
 }
 
 /// The snapshot function itself must be stable: identical runs serialize
