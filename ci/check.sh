@@ -5,8 +5,9 @@
 # --quick` against the committed BENCH.json baseline).
 #
 # Usage: ci/check.sh [--quick]
-#   --quick   skip the release build, workspace tests, and bench gate
-#             (fmt+clippy only)
+#   --quick   skip workspace tests and the smoke runs, but still build
+#             release and run the bench gate so a hot-path layout
+#             regression fails fast on every run
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,8 +17,22 @@ cargo fmt --all -- --check
 echo "== cargo clippy (workspace, all targets, warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+# One retry for the perf gate: on a shared host a background burst can
+# swallow an entire timing window and read as a regression. A real
+# regression reproduces on the immediate rerun; a burst almost never does.
+bench_gate() {
+    ./target/release/bvsim bench --quick \
+        --out target/BENCH.quick.json --baseline BENCH.json --max-regress 20 \
+        || ./target/release/bvsim bench --quick \
+            --out target/BENCH.quick.json --baseline BENCH.json --max-regress 20
+}
+
 if [[ "${1:-}" == "--quick" ]]; then
-    echo "quick mode: skipping build + tests"
+    echo "quick mode: skipping doc/tests/smokes, keeping the bench gate"
+    echo "== cargo build --release =="
+    cargo build --release
+    echo "== bvsim bench --quick (perf gate vs committed BENCH.json) =="
+    bench_gate
     exit 0
 fi
 
@@ -31,8 +46,7 @@ echo "== cargo test (workspace) =="
 cargo test --workspace -q
 
 echo "== bvsim bench --quick (perf gate vs committed BENCH.json) =="
-./target/release/bvsim bench --quick \
-    --out target/BENCH.quick.json --baseline BENCH.json --max-regress 20
+bench_gate
 
 echo "== telemetry smoke (run --telemetry, then report) =="
 ./target/release/bvsim --trace specint.mcf.07 --llc base-victim \

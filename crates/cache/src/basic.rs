@@ -18,27 +18,14 @@ pub struct Eviction {
     pub data: CacheLine,
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Entry {
-    valid: bool,
-    tag: u64,
-    dirty: bool,
-    data: CacheLine,
-}
-
-impl Entry {
-    fn empty() -> Entry {
-        Entry {
-            valid: false,
-            tag: 0,
-            dirty: false,
-            data: CacheLine::zeroed(),
-        }
-    }
-}
-
 /// An uncompressed set-associative cache with data storage, dirty bits, and
 /// a pluggable replacement policy.
+///
+/// Tags are stored in a structure-of-arrays layout: one contiguous `u64` tag
+/// array (sets x ways, row-major) with per-set valid and dirty bitmasks, and
+/// the fat `CacheLine` payloads in a parallel array. A set probe is a linear
+/// scan of `ways` adjacent tag words rather than a strided walk over slots
+/// that each drag a 64-byte data payload through the host cache.
 ///
 /// This type deliberately separates *lookup* ([`probe`](BasicCache::probe),
 /// which does not touch replacement state) from *access*
@@ -62,20 +49,38 @@ impl Entry {
 #[derive(Debug)]
 pub struct BasicCache {
     geom: CacheGeometry,
-    entries: Vec<Entry>, // sets x ways, row-major
+    /// Tag words, sets x ways row-major. Only meaningful where the set's
+    /// valid bit is set; invalid slots keep a zeroed tag so probes may read
+    /// every word unconditionally.
+    tags: Vec<u64>,
+    /// One validity bitmask per set (bit `w` = way `w` holds a line).
+    valid: Vec<u64>,
+    /// One dirty bitmask per set, parallel to `valid`.
+    dirty: Vec<u64>,
+    /// Line payloads, parallel to `tags`.
+    data: Vec<CacheLine>,
     policy: Policy,
     stats: CacheStats,
 }
 
 impl BasicCache {
     /// Creates an empty cache with the given geometry and policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has more than 64 ways (the per-set validity
+    /// mask is a single `u64`).
     #[must_use]
     pub fn new(geom: CacheGeometry, policy: PolicyKind) -> BasicCache {
         let sets = geom.sets();
         let ways = geom.ways();
+        assert!(ways <= 64, "cache validity mask covers at most 64 ways");
         BasicCache {
             geom,
-            entries: vec![Entry::empty(); sets * ways],
+            tags: vec![0; sets * ways],
+            valid: vec![0; sets],
+            dirty: vec![0; sets],
+            data: vec![CacheLine::zeroed(); sets * ways],
             policy: policy.instantiate(sets, ways),
             stats: CacheStats::default(),
         }
@@ -99,12 +104,24 @@ impl BasicCache {
         (set, tag)
     }
 
-    fn entry(&self, set: usize, way: usize) -> &Entry {
-        &self.entries[set * self.geom.ways() + way]
+    #[inline]
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.geom.ways() + way
     }
 
-    fn entry_mut(&mut self, set: usize, way: usize) -> &mut Entry {
-        &mut self.entries[set * self.geom.ways() + way]
+    fn find(&self, set: usize, tag: u64) -> Option<usize> {
+        let ways = self.geom.ways();
+        let row = &self.tags[set * ways..set * ways + ways];
+        let mut matches = 0u64;
+        for (w, &t) in row.iter().enumerate() {
+            matches |= u64::from(t == tag) << w;
+        }
+        matches &= self.valid[set];
+        if matches == 0 {
+            None
+        } else {
+            Some(matches.trailing_zeros() as usize)
+        }
     }
 
     /// Looks up a line without modifying replacement state or statistics.
@@ -112,17 +129,14 @@ impl BasicCache {
     #[must_use]
     pub fn probe(&self, addr: LineAddr) -> Option<usize> {
         let (set, tag) = self.set_range(addr);
-        (0..self.geom.ways()).find(|&w| {
-            let e = self.entry(set, w);
-            e.valid && e.tag == tag
-        })
+        self.find(set, tag)
     }
 
     /// Performs a demand read. Returns `true` on hit (updating recency) and
     /// `false` on miss (the caller is responsible for the fill).
     pub fn read(&mut self, addr: LineAddr) -> bool {
-        let (set, _) = self.set_range(addr);
-        match self.probe(addr) {
+        let (set, tag) = self.set_range(addr);
+        match self.find(set, tag) {
             Some(way) => {
                 self.policy.on_hit(set, way);
                 self.stats.read_hits += 1;
@@ -140,13 +154,13 @@ impl BasicCache {
     /// the line dirty; on miss returns `false` (write-allocate is the
     /// caller's job).
     pub fn write(&mut self, addr: LineAddr, data: CacheLine) -> bool {
-        let (set, _) = self.set_range(addr);
-        match self.probe(addr) {
+        let (set, tag) = self.set_range(addr);
+        match self.find(set, tag) {
             Some(way) => {
                 self.policy.on_hit(set, way);
-                let e = self.entry_mut(set, way);
-                e.dirty = true;
-                e.data = data;
+                self.dirty[set] |= 1 << way;
+                let idx = self.idx(set, way);
+                self.data[idx] = data;
                 self.stats.write_hits += 1;
                 true
             }
@@ -188,21 +202,27 @@ impl BasicCache {
         self.stats.fills += 1;
 
         let ways = self.geom.ways();
-        let way = (0..ways)
-            .find(|&w| !self.entry(set, w).valid)
-            .unwrap_or_else(|| self.policy.victim(set));
+        let ways_mask = if ways == 64 {
+            u64::MAX
+        } else {
+            (1 << ways) - 1
+        };
+        let free = !self.valid[set] & ways_mask;
+        let way = if free != 0 {
+            free.trailing_zeros() as usize
+        } else {
+            self.policy.victim(set)
+        };
 
-        let evicted = {
-            let e = self.entry(set, way);
-            if e.valid {
-                Some(Eviction {
-                    addr: self.line_addr(set, e.tag),
-                    dirty: e.dirty,
-                    data: e.data,
-                })
-            } else {
-                None
-            }
+        let idx = self.idx(set, way);
+        let evicted = if self.valid[set] & (1 << way) != 0 {
+            Some(Eviction {
+                addr: self.line_addr(set, self.tags[idx]),
+                dirty: self.dirty[set] & (1 << way) != 0,
+                data: self.data[idx],
+            })
+        } else {
+            None
         };
         if let Some(ev) = evicted {
             self.stats.evictions += 1;
@@ -211,12 +231,14 @@ impl BasicCache {
             }
         }
 
-        *self.entry_mut(set, way) = Entry {
-            valid: true,
-            tag,
-            dirty,
-            data,
-        };
+        self.valid[set] |= 1 << way;
+        if dirty {
+            self.dirty[set] |= 1 << way;
+        } else {
+            self.dirty[set] &= !(1 << way);
+        }
+        self.tags[idx] = tag;
+        self.data[idx] = data;
         self.policy.on_fill(set, way);
         evicted
     }
@@ -225,43 +247,48 @@ impl BasicCache {
     /// Returns the eviction record if the line was present, so dirty data
     /// can be forwarded.
     pub fn invalidate(&mut self, addr: LineAddr) -> Option<Eviction> {
-        let way = self.probe(addr)?;
-        let (set, _) = self.set_range(addr);
-        let e = *self.entry(set, way);
-        *self.entry_mut(set, way) = Entry::empty();
+        let (set, tag) = self.set_range(addr);
+        let way = self.find(set, tag)?;
+        let idx = self.idx(set, way);
+        let ev = Eviction {
+            addr,
+            dirty: self.dirty[set] & (1 << way) != 0,
+            data: self.data[idx],
+        };
+        self.valid[set] &= !(1 << way);
+        self.dirty[set] &= !(1 << way);
+        self.tags[idx] = 0;
+        self.data[idx] = CacheLine::zeroed();
         self.policy.on_invalidate(set, way);
         self.stats.back_invalidations += 1;
-        Some(Eviction {
-            addr,
-            dirty: e.dirty,
-            data: e.data,
-        })
+        Some(ev)
     }
 
     /// Reads a resident line's data (does not touch recency).
     #[must_use]
     pub fn peek_data(&self, addr: LineAddr) -> Option<CacheLine> {
-        let way = self.probe(addr)?;
-        let (set, _) = self.set_range(addr);
-        Some(self.entry(set, way).data)
+        let (set, tag) = self.set_range(addr);
+        let way = self.find(set, tag)?;
+        Some(self.data[self.idx(set, way)])
     }
 
     /// Whether a resident line is dirty.
     #[must_use]
     pub fn is_dirty(&self, addr: LineAddr) -> Option<bool> {
-        let way = self.probe(addr)?;
-        let (set, _) = self.set_range(addr);
-        Some(self.entry(set, way).dirty)
+        let (set, tag) = self.set_range(addr);
+        let way = self.find(set, tag)?;
+        Some(self.dirty[set] & (1 << way) != 0)
     }
 
     /// Iterates over all resident line addresses (for inclusion checks).
     pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
         let ways = self.geom.ways();
-        self.entries
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.valid)
-            .map(move |(i, e)| self.line_addr(i / ways, e.tag))
+        (0..self.geom.sets()).flat_map(move |set| {
+            let mask = self.valid[set];
+            (0..ways)
+                .filter(move |w| mask & (1 << w) != 0)
+                .map(move |w| self.line_addr(set, self.tags[set * ways + w]))
+        })
     }
 
     fn line_addr(&self, set: usize, tag: u64) -> LineAddr {
@@ -408,5 +435,15 @@ mod tests {
         c.write(a, CacheLine::zeroed());
         assert_eq!(c.is_dirty(a), Some(true));
         assert_eq!(c.peek_data(addr_in_set(3, 3)), None);
+    }
+
+    #[test]
+    fn refill_after_dirty_eviction_clears_dirty_bit() {
+        let mut c = small_cache();
+        let a = addr_in_set(2, 0);
+        c.fill(a, CacheLine::zeroed(), true);
+        c.invalidate(a).expect("present");
+        c.fill(a, CacheLine::zeroed(), false);
+        assert_eq!(c.is_dirty(a), Some(false));
     }
 }

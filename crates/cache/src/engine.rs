@@ -9,6 +9,25 @@
 //! delta — victim-cache partnering, partner-line victimization, segment
 //! accounting, or super-block grouping.
 //!
+//! # Data layout
+//!
+//! The tag array is stored **structure-of-arrays**: one contiguous
+//! `Vec<u64>` of tags, one packed per-set validity bitmask (`ways <= 64`),
+//! and a parallel `Vec<S>` of organization payloads. A set probe is then
+//! a linear scan over `ways` adjacent `u64` words — one or two cache
+//! lines — folded into a match bitmask the autovectorizer can lift to
+//! SIMD compares, instead of a strided walk over fat `(valid, tag, meta)`
+//! records whose payload (a 64-byte data line and more) pushed each tag
+//! onto its own cache line. `first_invalid` and `valid_count` collapse to
+//! bitmask arithmetic on the validity words.
+//!
+//! Organizations do not see the layout: [`SetEngine::slot`] and
+//! [`SetEngine::slot_mut`] return the [`SlotView`] / [`SlotViewMut`] view
+//! types, which present the old `{valid, tag, meta}` slot shape over the
+//! split arrays. The retained scalar walk
+//! [`SetEngine::find_reference`] is the differential oracle for the
+//! vector-friendly probe (property-tested in `tests/probe_differential.rs`).
+//!
 //! The engine is generic over the concrete [`ReplacementPolicy`], so the
 //! per-access hot path is monomorphized: organizations instantiated through
 //! [`PolicyKind::dispatch`](crate::replacement::PolicyVisitor) carry zero
@@ -53,8 +72,11 @@ pub trait SlotMeta {
     fn empty() -> Self;
 }
 
-/// One logical tag-array entry: validity and tag owned by the engine,
-/// payload owned by the organization.
+/// One logical tag-array entry as an owned value: validity and tag owned
+/// by the engine, payload owned by the organization. The engine stores
+/// these fields in separate arrays (see the module docs); `EngineSlot` is
+/// the shape organizations copy a slot out into via
+/// [`SlotView::copied`].
 #[derive(Clone, Copy, Debug)]
 pub struct EngineSlot<S> {
     /// Whether this slot holds a line.
@@ -66,28 +88,76 @@ pub struct EngineSlot<S> {
     pub meta: S,
 }
 
-impl<S: SlotMeta> EngineSlot<S> {
-    fn empty() -> EngineSlot<S> {
-        EngineSlot {
-            valid: false,
-            tag: 0,
-            meta: S::empty(),
-        }
-    }
+/// Read-only view of one `(set, way)` slot over the split arrays,
+/// mirroring the `{valid, tag, meta}` shape of [`EngineSlot`].
+#[derive(Clone, Copy, Debug)]
+pub struct SlotView<'a, S> {
+    /// Whether this slot holds a line.
+    pub valid: bool,
+    /// The line's tag.
+    pub tag: u64,
+    /// Organization-specific payload.
+    pub meta: &'a S,
+}
 
-    /// Resets the slot to the empty state.
-    pub fn clear(&mut self) {
-        *self = EngineSlot::empty();
+impl<S: Copy> SlotView<'_, S> {
+    /// Copies the slot out of the engine's arrays into an owned
+    /// [`EngineSlot`] (the old `*engine.slot(set, way)` idiom).
+    #[must_use]
+    pub fn copied(&self) -> EngineSlot<S> {
+        EngineSlot {
+            valid: self.valid,
+            tag: self.tag,
+            meta: *self.meta,
+        }
     }
 }
 
-/// The shared tag/replacement core: a `sets x ways` slot array, the
-/// replacement policy driving it, and the [`LlcStats`] counters every
-/// organization reports.
+/// Mutable view of one `(set, way)` slot. Validity lives in a packed
+/// per-set bitmask, so it is exposed through accessors rather than a
+/// field; the payload is a plain `&mut S` so organization code mutates
+/// `slot.meta.<field>` exactly as it did against the fat-slot layout.
+#[derive(Debug)]
+pub struct SlotViewMut<'a, S> {
+    valid_word: &'a mut u64,
+    bit: u32,
+    tag: &'a mut u64,
+    /// Organization-specific payload.
+    pub meta: &'a mut S,
+}
+
+impl<S> SlotViewMut<'_, S> {
+    /// Whether this slot holds a line.
+    #[must_use]
+    pub fn valid(&self) -> bool {
+        *self.valid_word >> self.bit & 1 == 1
+    }
+
+    /// The line's tag.
+    #[must_use]
+    pub fn tag(&self) -> u64 {
+        *self.tag
+    }
+
+    /// Resets the slot to the empty state.
+    pub fn clear(&mut self)
+    where
+        S: SlotMeta,
+    {
+        *self.valid_word &= !(1u64 << self.bit);
+        *self.tag = 0;
+        *self.meta = S::empty();
+    }
+}
+
+/// The shared tag/replacement core: a `sets x ways` structure-of-arrays
+/// tag store, the replacement policy driving it, and the [`LlcStats`]
+/// counters every organization reports.
 ///
 /// `ways` is the number of *logical* slots per set — physical ways for
 /// the uncompressed baseline and Base-Victim's baseline array, `2N` for
-/// the doubled-tag organizations (two-tag, VSC, DCC).
+/// the doubled-tag organizations (two-tag, VSC, DCC). At most 64, so one
+/// `u64` bitmask covers a set's validity.
 ///
 /// The engine is additionally generic over an [`EventSink`], defaulted
 /// to [`NoEventSink`]: tag-level decisions (demand hits and misses,
@@ -99,44 +169,50 @@ impl<S: SlotMeta> EngineSlot<S> {
 pub struct SetEngine<P, S, E = NoEventSink> {
     sets: usize,
     ways: usize,
-    slots: Vec<EngineSlot<S>>,
+    /// `sets * ways` tags, row-major: set `s` owns `tags[s*ways..(s+1)*ways]`.
+    tags: Vec<u64>,
+    /// One validity bitmask per set; bit `w` set means `(set, w)` holds a
+    /// line. Invalid slots keep `tags[i] == 0`, but validity is always
+    /// decided by this mask, never by a sentinel tag value.
+    valid: Vec<u64>,
+    /// `sets * ways` organization payloads, parallel to `tags`.
+    metas: Vec<S>,
     policy: P,
     stats: LlcStats,
     sink: E,
 }
 
-impl<P: ReplacementPolicy, S: SlotMeta> SetEngine<P, S>
-where
-    EngineSlot<S>: Clone,
-{
+impl<P: ReplacementPolicy, S: SlotMeta + Clone> SetEngine<P, S> {
     /// Creates an empty engine over a `sets x ways` logical tag array.
     ///
     /// # Panics
     ///
-    /// Panics if the policy was built for different dimensions.
+    /// Panics if the policy was built for different dimensions or if
+    /// `ways > 64`.
     #[must_use]
     pub fn new(sets: usize, ways: usize, policy: P) -> SetEngine<P, S> {
         SetEngine::with_sink(sets, ways, policy, NoEventSink)
     }
 }
 
-impl<P: ReplacementPolicy, S: SlotMeta, E: EventSink> SetEngine<P, S, E>
-where
-    EngineSlot<S>: Clone,
-{
+impl<P: ReplacementPolicy, S: SlotMeta + Clone, E: EventSink> SetEngine<P, S, E> {
     /// Creates an empty engine emitting events into `sink`.
     ///
     /// # Panics
     ///
-    /// Panics if the policy was built for different dimensions.
+    /// Panics if the policy was built for different dimensions or if
+    /// `ways > 64`.
     #[must_use]
     pub fn with_sink(sets: usize, ways: usize, policy: P, sink: E) -> SetEngine<P, S, E> {
         assert_eq!(policy.sets(), sets, "policy built for wrong set count");
         assert_eq!(policy.ways(), ways, "policy built for wrong way count");
+        assert!(ways <= 64, "engine validity mask covers at most 64 ways");
         SetEngine {
             sets,
             ways,
-            slots: vec![EngineSlot::empty(); sets * ways],
+            tags: vec![0; sets * ways],
+            valid: vec![0; sets],
+            metas: vec![S::empty(); sets * ways],
             policy,
             stats: LlcStats::default(),
             sink,
@@ -157,10 +233,31 @@ impl<P: ReplacementPolicy, S, E: EventSink> SetEngine<P, S, E> {
         self.ways
     }
 
+    #[inline]
+    fn idx(&self, set: usize, way: usize) -> usize {
+        debug_assert!(way < self.ways);
+        set * self.ways + way
+    }
+
+    /// Bitmask with one bit per way of a set.
+    #[inline]
+    fn ways_mask(&self) -> u64 {
+        if self.ways == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.ways) - 1
+        }
+    }
+
     /// The slot at `(set, way)`.
     #[must_use]
-    pub fn slot(&self, set: usize, way: usize) -> &EngineSlot<S> {
-        &self.slots[set * self.ways + way]
+    pub fn slot(&self, set: usize, way: usize) -> SlotView<'_, S> {
+        let i = self.idx(set, way);
+        SlotView {
+            valid: self.valid[set] >> way & 1 == 1,
+            tag: self.tags[i],
+            meta: &self.metas[i],
+        }
     }
 
     /// Mutable access to the slot at `(set, way)`.
@@ -168,26 +265,61 @@ impl<P: ReplacementPolicy, S, E: EventSink> SetEngine<P, S, E> {
     /// Mutating validity or tags directly is the organization's
     /// responsibility to pair with the matching policy callback; prefer
     /// [`install`](SetEngine::install) / [`invalidate`](SetEngine::invalidate).
-    pub fn slot_mut(&mut self, set: usize, way: usize) -> &mut EngineSlot<S> {
-        &mut self.slots[set * self.ways + way]
+    pub fn slot_mut(&mut self, set: usize, way: usize) -> SlotViewMut<'_, S> {
+        let i = self.idx(set, way);
+        SlotViewMut {
+            valid_word: &mut self.valid[set],
+            bit: way as u32,
+            tag: &mut self.tags[i],
+            meta: &mut self.metas[i],
+        }
     }
 
     /// The way holding `tag` in `set`, if resident.
+    ///
+    /// This is the vector-friendly probe: one pass over the set's
+    /// contiguous tag words folding equality into a match bitmask, then
+    /// one AND with the validity mask.
+    /// [`find_reference`](SetEngine::find_reference) is the retained
+    /// scalar walk it is differential-tested against.
     #[must_use]
     pub fn find(&self, set: usize, tag: u64) -> Option<usize> {
         let base = set * self.ways;
-        self.slots[base..base + self.ways]
-            .iter()
-            .position(|s| s.valid && s.tag == tag)
+        let tags = &self.tags[base..base + self.ways];
+        let mut matches = 0u64;
+        for (w, &t) in tags.iter().enumerate() {
+            matches |= u64::from(t == tag) << w;
+        }
+        matches &= self.valid[set];
+        if matches == 0 {
+            None
+        } else {
+            Some(matches.trailing_zeros() as usize)
+        }
     }
 
-    /// The first invalid way in `set`, if any.
+    /// The retained scalar reference walk: way-by-way validity and tag
+    /// checks, exactly the pre-SoA probe. Kept as the differential oracle
+    /// for [`find`](SetEngine::find) (and as the yardstick behind the
+    /// `probe-only` bench rows); not used on any hot path.
+    #[must_use]
+    pub fn find_reference(&self, set: usize, tag: u64) -> Option<usize> {
+        (0..self.ways).find(|&w| {
+            let s = self.slot(set, w);
+            s.valid && s.tag == tag
+        })
+    }
+
+    /// The first invalid way in `set`, if any — one bitmask negation
+    /// instead of a walk.
     #[must_use]
     pub fn first_invalid(&self, set: usize) -> Option<usize> {
-        let base = set * self.ways;
-        self.slots[base..base + self.ways]
-            .iter()
-            .position(|s| !s.valid)
+        let free = !self.valid[set] & self.ways_mask();
+        if free == 0 {
+            None
+        } else {
+            Some(free.trailing_zeros() as usize)
+        }
     }
 
     /// The way a new line should go to: the first invalid way, else the
@@ -207,10 +339,10 @@ impl<P: ReplacementPolicy, S, E: EventSink> SetEngine<P, S, E> {
     /// and Base-Victim baseline behavior). Organizations that must free a
     /// slot explicitly call [`invalidate`](SetEngine::invalidate) first.
     pub fn install(&mut self, set: usize, way: usize, tag: u64, meta: S, size: SegmentCount) {
-        let slot = &mut self.slots[set * self.ways + way];
-        slot.valid = true;
-        slot.tag = tag;
-        slot.meta = meta;
+        let i = self.idx(set, way);
+        self.valid[set] |= 1u64 << way;
+        self.tags[i] = tag;
+        self.metas[i] = meta;
         self.policy.on_fill_sized(set, way, size);
     }
 
@@ -220,7 +352,7 @@ impl<P: ReplacementPolicy, S, E: EventSink> SetEngine<P, S, E> {
         self.policy.on_hit(set, way);
         self.stats.base_hits += 1;
         if E::ENABLED {
-            let tag = self.slots[set * self.ways + way].tag;
+            let tag = self.tags[self.idx(set, way)];
             self.sink
                 .emit(CacheEvent::new(set, way, EventKind::DemandHit { tag }));
         }
@@ -264,20 +396,20 @@ impl<P: ReplacementPolicy, S, E: EventSink> SetEngine<P, S, E> {
     where
         S: SlotMeta,
     {
-        if E::ENABLED {
-            let slot = &self.slots[set * self.ways + way];
-            if slot.valid {
-                self.sink.emit(CacheEvent::new(
-                    set,
-                    way,
-                    EventKind::Eviction {
-                        tag: slot.tag,
-                        cause,
-                    },
-                ));
-            }
+        let i = self.idx(set, way);
+        if E::ENABLED && self.valid[set] >> way & 1 == 1 {
+            self.sink.emit(CacheEvent::new(
+                set,
+                way,
+                EventKind::Eviction {
+                    tag: self.tags[i],
+                    cause,
+                },
+            ));
         }
-        self.slots[set * self.ways + way].clear();
+        self.valid[set] &= !(1u64 << way);
+        self.tags[i] = 0;
+        self.metas[i] = S::empty();
         self.policy.on_invalidate(set, way);
     }
 
@@ -334,22 +466,21 @@ impl<P: ReplacementPolicy, S, E: EventSink> SetEngine<P, S, E> {
 
     /// All valid slots as `(set, way, slot)` triples, for resident-line
     /// listings and invariant checks.
-    pub fn iter_valid(&self) -> impl Iterator<Item = (usize, usize, &EngineSlot<S>)> {
-        let ways = self.ways;
-        self.slots
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.valid)
-            .map(move |(i, s)| (i / ways, i % ways, s))
+    pub fn iter_valid(&self) -> impl Iterator<Item = (usize, usize, SlotView<'_, S>)> {
+        (0..self.sets).flat_map(move |set| {
+            let mask = self.valid[set];
+            (0..self.ways)
+                .filter(move |w| mask >> w & 1 == 1)
+                .map(move |w| (set, w, self.slot(set, w)))
+        })
     }
 
     /// Number of valid slots across all sets — the occupancy probe the
     /// telemetry sampler turns into an effective-capacity series. One
-    /// linear pass, no allocation (unlike collecting
-    /// [`SetEngine::iter_valid`]).
+    /// popcount per set, no per-slot walk.
     #[must_use]
     pub fn valid_count(&self) -> usize {
-        self.slots.iter().filter(|s| s.valid).count()
+        self.valid.iter().map(|m| m.count_ones() as usize).sum()
     }
 
     /// Accumulated counters.
@@ -433,6 +564,26 @@ mod tests {
     }
 
     #[test]
+    fn find_ignores_stale_tag_words_of_invalid_slots() {
+        // A cleared slot zeroes its tag word, but validity — not the tag
+        // value — must decide matches: tag 0 is a legal live tag.
+        let mut e = engine();
+        e.install(1, 0, 0, Tagged(3), SegmentCount::FULL);
+        assert_eq!(e.find(1, 0), Some(0), "tag 0 is matchable when valid");
+        e.invalidate(1, 0);
+        assert_eq!(e.find(1, 0), None, "tag 0 unmatchable when invalid");
+    }
+
+    #[test]
+    fn find_agrees_with_reference_walk() {
+        let mut e = engine();
+        e.install(0, 1, 42, Tagged(1), SegmentCount::FULL);
+        for tag in [0, 7, 42, 43] {
+            assert_eq!(e.find(0, tag), e.find_reference(0, tag));
+        }
+    }
+
+    #[test]
     fn demand_hits_and_misses_update_stats() {
         let mut e = engine();
         e.install(1, 0, 3, Tagged(0), SegmentCount::FULL);
@@ -460,6 +611,20 @@ mod tests {
             .map(|(s, w, slot)| (s, w, slot.tag))
             .collect();
         assert_eq!(all, vec![(3, 1, 42)]);
+    }
+
+    #[test]
+    fn slot_views_roundtrip_mutation() {
+        let mut e = engine();
+        e.install(2, 1, 9, Tagged(4), SegmentCount::FULL);
+        assert!(e.slot_mut(2, 1).valid());
+        assert_eq!(e.slot_mut(2, 1).tag(), 9);
+        *e.slot_mut(2, 1).meta = Tagged(8);
+        assert_eq!(e.slot(2, 1).meta, &Tagged(8));
+        assert_eq!(e.slot(2, 1).copied().meta, Tagged(8));
+        e.slot_mut(2, 1).clear();
+        assert!(!e.slot(2, 1).valid);
+        assert_eq!(e.find(2, 9), None);
     }
 
     #[test]

@@ -170,6 +170,15 @@ impl Bdi {
     /// [`BdiEncoding::ALL`] is ordered by ascending payload size, so the
     /// first encoding the line satisfies is the best one; the checks run
     /// word-wise over stack arrays loaded once from the line.
+    ///
+    /// Encodability at a width is monotone in the delta size: if every
+    /// element fits zero-or-base within `d` bits, it also fits within
+    /// `d' ≥ 2d` bits (the `d'`-pass may pick a different base `C`, but any
+    /// element `E` outside the zero range satisfies `|E−C| ≤ |E−B| + |B−C|
+    /// < 2^d ≤ 2^(d'−1)` for the `d`-pass base `B`, with no modular wrap
+    /// since `2^d ≤ 2^(k−1)`). So each width's *loosest* check doubles as a
+    /// gate for its tighter siblings, and an incompressible line is
+    /// rejected with one check per width instead of one per encoding.
     #[must_use]
     pub fn select_encoding(&self, line: &CacheLine) -> BdiEncoding {
         let w8 = line.u64_array();
@@ -179,24 +188,25 @@ impl Bdi {
         if w8.iter().all(|&w| w == w8[0]) {
             return BdiEncoding::Rep;
         }
-        if delta_encodable(&w8, 64, 8) {
+        let b8 = delta_encodable(&w8, 32);
+        if b8 && delta_encodable(&w8, 8) {
             return BdiEncoding::B8D1;
         }
-        let w4: [u64; 16] = line.u32_array().map(u64::from);
-        if delta_encodable(&w4, 32, 8) {
+        let w4 = line.u32_array();
+        let b4 = delta_encodable(&w4, 16);
+        if b4 && delta_encodable(&w4, 8) {
             return BdiEncoding::B4D1;
         }
-        if delta_encodable(&w8, 64, 16) {
+        if b8 && delta_encodable(&w8, 16) {
             return BdiEncoding::B8D2;
         }
-        let w2: [u64; 32] = line.u16_array().map(u64::from);
-        if delta_encodable(&w2, 16, 8) {
+        if delta_encodable(&line.u16_array(), 8) {
             return BdiEncoding::B2D1;
         }
-        if delta_encodable(&w4, 32, 16) {
+        if b4 {
             return BdiEncoding::B4D2;
         }
-        if delta_encodable(&w8, 64, 32) {
+        if b8 {
             return BdiEncoding::B8D4;
         }
         BdiEncoding::Uncompressed
@@ -278,21 +288,98 @@ fn sign_extend(value: u64, bits: u32) -> i64 {
     ((value << shift) as i64) >> shift
 }
 
-/// Checks whether every element fits a delta from zero or from a single
-/// arbitrary base (the first element that fails the zero-delta test).
-fn delta_encodable(elems: &[u64], kbits: u32, dbits: u32) -> bool {
-    let mut base: Option<u64> = None;
-    for &value in elems {
-        if fits(value, 0, kbits, dbits) {
-            continue;
+/// The element widths BDI packs, sealed to the three the paper's geometry
+/// uses. [`delta_encodable`] runs directly on the native-width arrays
+/// ([`u64`; 8], [`u32`; 16], [`u16`; 32]) so the autovectorizer packs
+/// 8/16/32 lanes per register with no widening pass, and the `mod 2^k` of
+/// the range identity is the type's own wrapping arithmetic.
+trait DeltaElem: Copy + Eq {
+    /// Truncating conversion from a `u64` bit pattern.
+    fn trunc(v: u64) -> Self;
+    fn wadd(self, o: Self) -> Self;
+    fn wsub(self, o: Self) -> Self;
+    fn and(self, o: Self) -> Self;
+    fn or(self, o: Self) -> Self;
+    fn is_zero(self) -> bool;
+}
+
+macro_rules! delta_elem {
+    ($($t:ty),*) => {$(
+        impl DeltaElem for $t {
+            #[inline(always)]
+            fn trunc(v: u64) -> $t {
+                v as $t
+            }
+            #[inline(always)]
+            fn wadd(self, o: $t) -> $t {
+                self.wrapping_add(o)
+            }
+            #[inline(always)]
+            fn wsub(self, o: $t) -> $t {
+                self.wrapping_sub(o)
+            }
+            #[inline(always)]
+            fn and(self, o: $t) -> $t {
+                self & o
+            }
+            #[inline(always)]
+            fn or(self, o: $t) -> $t {
+                self | o
+            }
+            #[inline(always)]
+            fn is_zero(self) -> bool {
+                self == 0
+            }
         }
-        match base {
-            None => base = Some(value),
-            Some(b) if fits(value, b, kbits, dbits) => {}
-            Some(_) => return false,
-        }
+    )*};
+}
+delta_elem!(u16, u32, u64);
+
+/// Checks whether every element fits a signed `dbits`-wide delta from zero
+/// or from a single arbitrary base (the first element that fails the
+/// zero-delta test).
+///
+/// The check is two fixed-trip-count branchless passes over the
+/// native-width element array — a shape the autovectorizer lifts to SIMD.
+/// The range test uses the identity `sign_extend(x, k) ∈ [-2^(d-1),
+/// 2^(d-1))  ⟺  ((x + 2^(d-1)) mod 2^k) & !(2^d - 1) == 0` with `k` the
+/// element width: after biasing, a fitting delta has no bits above the
+/// delta width, so pass 1 is a pure add/and/or reduction and pass 2 two
+/// such chains joined by compares — no sign extension or per-element
+/// branching.
+#[inline(always)]
+fn delta_encodable<T: DeltaElem, const N: usize>(elems: &[T; N], dbits: u32) -> bool {
+    let bias = T::trunc(1u64 << (dbits - 1));
+    // Bits of a biased value that must all be clear for the delta to fit.
+    let hi = T::trunc(!((1u64 << dbits) - 1));
+
+    // Pass 1: any element outside the zero-base range leaves high bits in
+    // the reduction.
+    let mut misfit = T::trunc(0);
+    for &v in elems {
+        misfit = misfit.or(v.wadd(bias).and(hi));
     }
-    true
+    if misfit.is_zero() {
+        return true;
+    }
+
+    // The base is the first element that failed the zero test (early-exit
+    // scalar scan: on incompressible data this stops within a few
+    // elements, and pass 1 guarantees a match exists).
+    let base = elems
+        .iter()
+        .copied()
+        .find(|&v| !v.wadd(bias).and(hi).is_zero())
+        .expect("pass 1 saw a zero-base misfit");
+
+    // Pass 2: every element must fit one of the two bases.
+    let mut bad = false;
+    for &v in elems {
+        let z = v.wadd(bias).and(hi);
+        let b = v.wsub(base).wadd(bias).and(hi);
+        bad |= !z.is_zero() & !b.is_zero();
+    }
+    !bad
 }
 
 fn pack_deltas(line: &CacheLine, enc: BdiEncoding, payload: &mut Vec<u8>) {
@@ -462,6 +549,62 @@ mod tests {
         let line = CacheLine::from_u64_words(&words);
         let bdi = Bdi::new();
         assert!(bdi.compressed_size(&line) <= BdiEncoding::B8D1.segments());
+    }
+
+    /// The pre-refactor scalar walk, kept as an in-crate oracle for the
+    /// branchless bitmask version of `delta_encodable`.
+    fn delta_encodable_scalar(elems: &[u64], kbits: u32, dbits: u32) -> bool {
+        let mut base: Option<u64> = None;
+        for &value in elems {
+            if fits(value, 0, kbits, dbits) {
+                continue;
+            }
+            match base {
+                None => base = Some(value),
+                Some(b) if fits(value, b, kbits, dbits) => {}
+                Some(_) => return false,
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn branchless_delta_check_matches_scalar_walk() {
+        let mut x = 0x0bad_f00d_dead_beefu64;
+        let mut rand = move || {
+            x = x
+                .wrapping_mul(0x5851_f42d_4c95_7f2d)
+                .wrapping_add(0x1405_7b7e_f767_814f);
+            x
+        };
+        for trial in 0..2048 {
+            // Bias toward near-miss lines: clustered values with occasional
+            // wild elements, across several magnitudes.
+            let spread = 1u64 << (rand() % 40);
+            let origin = rand();
+            let w8: [u64; 8] = core::array::from_fn(|_| match rand() % 4 {
+                0 => rand() % spread,
+                1 => rand(),
+                _ => origin.wrapping_add(rand() % spread),
+            });
+            for dbits in [8, 16, 32] {
+                assert_eq!(
+                    delta_encodable(&w8, dbits),
+                    delta_encodable_scalar(&w8, 64, dbits),
+                    "trial {trial}, k=64 d={dbits}, elems {w8:x?}"
+                );
+            }
+            let w4: [u32; 16] = core::array::from_fn(|_| rand() as u32 % 512);
+            assert_eq!(
+                delta_encodable(&w4, 8),
+                delta_encodable_scalar(&w4.map(u64::from), 32, 8)
+            );
+            let w2: [u16; 32] = core::array::from_fn(|_| rand() as u16);
+            assert_eq!(
+                delta_encodable(&w2, 8),
+                delta_encodable_scalar(&w2.map(u64::from), 16, 8)
+            );
+        }
     }
 
     #[test]

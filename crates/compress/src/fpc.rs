@@ -50,6 +50,36 @@ fn fits_signed(value: u32, bits: u32) -> bool {
     signed >= -(1i32 << (bits - 1)) && signed < (1i32 << (bits - 1))
 }
 
+/// Branchless data-bit width of a nonzero word's best pattern.
+///
+/// Mirrors [`classify`]'s priority order exactly (unit-tested against it),
+/// but as straight-line selects over cheap integer tests so the fixed
+/// 16-iteration loop in [`Fpc::size_bits`] autovectorizes. The signed-range
+/// tests use `x + 2^(b-1) < 2^b` (unsigned, wrapping), which is
+/// `x ∈ [-2^(b-1), 2^(b-1))` without sign extension.
+#[inline]
+fn classify_width(word: u32) -> u32 {
+    let s4 = word.wrapping_add(1 << 3) < 1 << 4;
+    let s8 = word.wrapping_add(1 << 7) < 1 << 8;
+    let s16 = word.wrapping_add(1 << 15) < 1 << 16;
+    let zp = word & 0xffff == 0;
+    // Zero-extended halfwords fit a sign-extended byte iff they are < 128.
+    let tsb = (word & 0xffff) < 128 && (word >> 16) < 128;
+    let rep = word == (word & 0xff).wrapping_mul(0x0101_0101);
+    // Select in reverse priority order so the highest-priority match wins.
+    let mut w = 32;
+    w = if rep { 8 } else { w };
+    w = if tsb { 16 } else { w };
+    w = if zp { 16 } else { w };
+    w = if s16 { 16 } else { w };
+    w = if s8 { 8 } else { w };
+    if s4 {
+        4
+    } else {
+        w
+    }
+}
+
 fn classify(word: u32) -> (u64, u64, u32) {
     // Returns (prefix, data, data_bits). Zero runs handled by the caller.
     if fits_signed(word, 4) {
@@ -163,23 +193,30 @@ impl Fpc {
     /// Size-only pass: sums the encoded bit widths without materializing
     /// the bitstream. Must agree with [`Compressor::compress`] exactly
     /// (property-tested).
+    ///
+    /// One branchless fixed-trip-count pass computes each word's pattern
+    /// width and a zero-word bitmask; zero runs are then counted from the
+    /// mask with bit tricks instead of a nested scan.
     fn size_bits(&self, line: &CacheLine) -> usize {
         let words = line.u32_array();
+        let mut zero_mask = 0u32;
         let mut bits = 0usize;
-        let mut i = 0;
-        while i < words.len() {
-            if words[i] == 0 {
-                let mut run = 1;
-                while i + run < words.len() && words[i + run] == 0 && run < 8 {
-                    run += 1;
-                }
-                bits += 3 + 3;
-                i += run;
+        for (i, &word) in words.iter().enumerate() {
+            let nonzero = word != 0;
+            zero_mask |= u32::from(!nonzero) << i;
+            bits += if nonzero {
+                3 + classify_width(word) as usize
             } else {
-                let (_, _, data_bits) = classify(words[i]);
-                bits += 3 + data_bits as usize;
-                i += 1;
-            }
+                0
+            };
+        }
+        // Each maximal run of zero words emits one 6-bit run code per 8
+        // words (runs longer than 8 restart).
+        let mut m = zero_mask;
+        while m != 0 {
+            m >>= m.trailing_zeros();
+            m >>= m.trailing_ones().min(8);
+            bits += 3 + 3;
         }
         bits
     }
@@ -256,6 +293,96 @@ mod tests {
         assert_eq!(fpc.decompress(&c), line);
         // 3 prefix bits of overhead per word: size saturates at full line.
         assert!(c.segments().is_full_line());
+    }
+
+    #[test]
+    fn branchless_width_matches_classify() {
+        let boundary = [
+            7u32,
+            8,
+            0xffff_fff8,
+            0xffff_fff7,
+            127,
+            128,
+            0xffff_ff80,
+            0xffff_ff7f,
+            0x7fff,
+            0x8000,
+            0xffff_8000,
+            0xffff_7fff,
+            0xabcd_0000,
+            0x0001_0000,
+            0x007f_007f,
+            0x0080_007f,
+            0x007f_0080,
+            0x00ff_0003,
+            0x4747_4747,
+            0xff00_ff00,
+            0x1234_5678,
+            0xdead_beef,
+            u32::MAX,
+            1,
+        ];
+        let mut x = 0x1234_5678u32;
+        let fuzz = core::iter::repeat_with(move || {
+            x = x.wrapping_mul(0x0019_660d).wrapping_add(0x3c6e_f35f);
+            x
+        })
+        .take(4096);
+        for w in boundary.into_iter().chain(fuzz).filter(|&w| w != 0) {
+            assert_eq!(classify_width(w), classify(w).2, "word {w:#010x}");
+        }
+    }
+
+    #[test]
+    fn size_bits_matches_materialized_bitstream() {
+        let mut x = 0x9e37_79b9u32;
+        let mut rand = move || {
+            x = x.wrapping_mul(0x0019_660d).wrapping_add(0x3c6e_f35f);
+            x
+        };
+        let fpc = Fpc::new();
+        for _ in 0..256 {
+            // Mix compressible patterns and zero runs to exercise every arm.
+            let words: [u32; 16] = core::array::from_fn(|_| match rand() % 6 {
+                0 => 0,
+                1 => rand() % 16,
+                2 => (rand() % 0x1_0000) << 16,
+                3 => {
+                    let b = rand() % 256;
+                    b * 0x0101_0101
+                }
+                4 => rand() % 0x100,
+                _ => rand(),
+            });
+            let line = CacheLine::from_u32_words(&words);
+            let exact_bits = {
+                let mut w = BitWriter::new();
+                let mut i = 0;
+                while i < 16 {
+                    if words[i] == 0 {
+                        let mut run = 1;
+                        while i + run < 16 && words[i + run] == 0 && run < 8 {
+                            run += 1;
+                        }
+                        w.push(P_ZERO_RUN, 3);
+                        w.push(run as u64 - 1, 3);
+                        i += run;
+                    } else {
+                        let (p, d, b) = classify(words[i]);
+                        w.push(p, 3);
+                        w.push(d, b);
+                        i += 1;
+                    }
+                }
+                w.into_bytes().len()
+            };
+            assert_eq!(
+                fpc.size_bits(&line).div_ceil(8),
+                exact_bits,
+                "line {words:08x?}"
+            );
+        }
     }
 
     #[test]

@@ -258,7 +258,7 @@ impl<P: ReplacementPolicy, E: EventSink> BaseVictimLlc<P, E> {
         inner: &mut dyn InclusionAgent,
         effects: &mut Effects,
     ) -> Option<DisplacedLine> {
-        let slot = *self.engine.slot(set, way);
+        let slot = self.engine.slot(set, way).copied();
         if !slot.valid {
             return None;
         }

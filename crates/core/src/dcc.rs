@@ -174,7 +174,7 @@ impl<P: ReplacementPolicy, E: EventSink> DccLlc<P, E> {
         inner: &mut dyn InclusionAgent,
         effects: &mut Effects,
     ) {
-        let block = *self.engine.slot(set, t);
+        let block = self.engine.slot(set, t).copied();
         if block.meta.resident_lines() > 1 {
             self.multi_line_evictions += 1;
         }
@@ -206,7 +206,7 @@ impl<P: ReplacementPolicy, E: EventSink> DccLlc<P, E> {
         inner: &mut dyn InclusionAgent,
         effects: &mut Effects,
     ) -> bool {
-        let block = *self.engine.slot(set, t);
+        let block = self.engine.slot(set, t).copied();
         let Some((m, line)) = block
             .meta
             .lines
@@ -324,7 +324,7 @@ impl<P: ReplacementPolicy, E: EventSink> DccLlc<P, E> {
             };
             self.engine.emit(CacheEvent::new(set, t, kind));
         }
-        let mut meta = self.engine.slot(set, t).meta;
+        let mut meta = *self.engine.slot(set, t).meta;
         meta.lines[member] = Slot {
             valid: true,
             tag,

@@ -80,7 +80,7 @@ impl<P: ReplacementPolicy, E: EventSink> TwoTagCore<P, E> {
         effects: &mut Effects,
         cause: EvictCause,
     ) {
-        let slot = *self.engine.slot(set, l);
+        let slot = self.engine.slot(set, l).copied();
         if !slot.valid {
             return;
         }

@@ -89,7 +89,7 @@ impl<P: ReplacementPolicy, E: EventSink> UncompressedLlc<P, E> {
         let way = self.engine.fill_way(set);
 
         let mut effects = Effects::default();
-        let evicted = *self.engine.slot(set, way);
+        let evicted = self.engine.slot(set, way).copied();
         if evicted.valid {
             let evicted_addr = line_addr(&self.geom, set, evicted.tag);
             effects.back_invalidations += 1;

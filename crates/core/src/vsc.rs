@@ -144,7 +144,7 @@ impl<P: ReplacementPolicy, E: EventSink> VscLlc<P, E> {
                 .filter(|&l| self.engine.slot(set, l).valid && Some(l) != keep)
                 .max_by_key(|&l| self.engine.eviction_rank(set, l))
                 .expect("a victim must exist while the set is over capacity");
-            let slot = *self.engine.slot(set, victim);
+            let slot = self.engine.slot(set, victim).copied();
             let addr = line_addr(&self.geom, set, slot.tag);
             effects.back_invalidations += 1;
             let inner_dirty = inner.back_invalidate(addr);

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod config;
 mod core_model;
 mod dram;
@@ -42,6 +43,7 @@ pub mod report;
 mod system;
 mod telemetry;
 
+pub use batch::{EventBatch, BATCH_EVENTS};
 pub use config::{CompressorKind, CoreConfig, DramConfig, LlcKind, SimConfig};
 pub use core_model::CoreModel;
 pub use dram::{Dram, DramStats};

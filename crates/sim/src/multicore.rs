@@ -126,6 +126,10 @@ impl MulticoreSystem {
             .map(|(i, w)| w.generator_at(i as u64 * THREAD_OFFSET))
             .collect();
         let mut finished_cycles: Vec<Option<u64>> = vec![None; n];
+        // Per-thread decode rings; see `EventBatch` for why decode-ahead
+        // is bit-identical to per-iteration `next_event`.
+        let mut batches: Vec<crate::batch::EventBatch> =
+            (0..n).map(|_| crate::batch::EventBatch::new()).collect();
         instr.begin(&cores, &hierarchy);
         // Cached locally so the hot loop compares against a register
         // instead of re-reading the observer through `&mut` every event.
@@ -138,7 +142,7 @@ impl MulticoreSystem {
             let tid = (0..n)
                 .min_by_key(|&i| cores[i].cycles())
                 .expect("at least one core");
-            let ev = gens[tid].next_event();
+            let ev = batches[tid].next(&mut gens[tid]);
             cores[tid].work(ev.instructions());
             let now = cores[tid].cycles();
             let out = hierarchy.access_on(tid, &ev, now, &gens[tid]);

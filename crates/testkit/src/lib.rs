@@ -210,6 +210,34 @@ pub mod bench {
         sorted_samples(samples, &mut f)[0]
     }
 
+    /// Per-round seconds for several closures with *interleaved* sampling:
+    /// round `r` times every closure once before round `r + 1` starts, so
+    /// slow frequency or load drift over the measurement window biases all
+    /// of them equally instead of penalizing whichever happened to run
+    /// last. Use this when the quantity of interest is a *ratio* between
+    /// the closures (e.g. an instrumentation-overhead gate), where a
+    /// systematic drift between back-to-back [`fastest`] calls would read
+    /// as a real cost: within a round the timings are adjacent, so the
+    /// per-round ratio is robust to common-mode noise, and the median
+    /// ratio over rounds is robust to bursts that straddle a round
+    /// boundary. Returns one `Vec` of `rounds` timings per closure, in
+    /// input order.
+    pub fn interleaved_samples(rounds: usize, fns: &mut [&mut dyn FnMut()]) -> Vec<Vec<f64>> {
+        assert!(rounds > 0, "at least one round required");
+        for f in fns.iter_mut() {
+            f();
+        }
+        let mut samples = vec![Vec::with_capacity(rounds); fns.len()];
+        for _ in 0..rounds {
+            for (f, secs) in fns.iter_mut().zip(samples.iter_mut()) {
+                let t = Instant::now();
+                f();
+                secs.push(t.elapsed().as_secs_f64());
+            }
+        }
+        samples
+    }
+
     fn sorted_samples<T>(samples: usize, f: &mut impl FnMut() -> T) -> Vec<f64> {
         assert!(samples > 0, "at least one sample required");
         std::hint::black_box(f());

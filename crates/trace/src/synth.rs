@@ -184,7 +184,25 @@ impl TraceGenerator {
     }
 
     /// Produces the next trace event.
+    ///
+    /// Equivalent to [`decode_event`](TraceGenerator::decode_event)
+    /// followed immediately by [`commit`](TraceGenerator::commit) — the
+    /// batched hot loop in `bv-sim` uses the split form to decode ahead of
+    /// consumption without perturbing [`line_data`](TraceGenerator::line_data).
     pub fn next_event(&mut self) -> TraceEvent {
+        let ev = self.decode_event();
+        self.commit(&ev);
+        ev
+    }
+
+    /// Decodes the next trace event **without** committing its memory
+    /// side effect (the per-line write-epoch bump for stores).
+    ///
+    /// The RNG, kernel walks, and code cursor do advance — none of those
+    /// are observable through `line_data`, so decoding N events ahead and
+    /// committing each one as it is consumed yields a bit-identical
+    /// simulation to the unbatched `next_event` loop.
+    pub fn decode_event(&mut self) -> TraceEvent {
         let r = xorshift(&mut self.rng);
 
         // Geometric-ish gap: mem_fraction/256 of instructions touch
@@ -222,9 +240,6 @@ impl TraceGenerator {
         } else {
             AccessKind::Load
         };
-        if kind == AccessKind::Store {
-            *self.epochs.entry(addr / 64).or_insert(0) += 1;
-        }
         // Synthetic PC: one per kernel plus a little spread, so the
         // prefetcher sees stable streams.
         let pc = CODE_BASE + self.offset + (ki as u64) * 0x100 + ((r >> 24) & 0x3) * 8;
@@ -237,6 +252,16 @@ impl TraceGenerator {
             // Pointer-chase loads consume the previous load's value, so
             // their misses serialize in the out-of-order window.
             dependent: matches!(spec.kind, KernelKind::PointerChase) && kind == AccessKind::Load,
+        }
+    }
+
+    /// Commits a decoded event's memory side effect: stores bump the
+    /// line's write epoch so subsequent [`line_data`](TraceGenerator::line_data)
+    /// calls see fresh values. Must be called exactly once per decoded
+    /// event, in decode order, before the event is simulated.
+    pub fn commit(&mut self, ev: &TraceEvent) {
+        if ev.kind == AccessKind::Store {
+            *self.epochs.entry(ev.addr / 64).or_insert(0) += 1;
         }
     }
 
@@ -360,6 +385,30 @@ mod tests {
                 let after = g.line_data(e.addr);
                 assert_ne!(before, after, "store must produce fresh values");
                 break;
+            }
+        }
+    }
+
+    #[test]
+    fn decode_ahead_then_commit_matches_unbatched() {
+        let mut batched = spec().generator();
+        let mut unbatched = spec().generator();
+        let mut pending: Vec<TraceEvent> = Vec::new();
+        for round in 0..64 {
+            // Decode a varying-size batch ahead, then consume it one event
+            // at a time, checking the data view after every commit.
+            for _ in 0..=(round % 7) {
+                pending.push(batched.decode_event());
+            }
+            for ev in pending.drain(..) {
+                batched.commit(&ev);
+                let reference = unbatched.next_event();
+                assert_eq!(ev, reference);
+                assert_eq!(
+                    batched.line_data(ev.addr),
+                    unbatched.line_data(reference.addr),
+                    "data view diverged after commit of {ev:?}"
+                );
             }
         }
     }

@@ -662,11 +662,38 @@ fn run_kv_lockstep(args: &KvArgs) -> ExitCode {
     }
 }
 
+/// A current-over-baseline throughput ratio, rendered as `1.23x`, or `-`
+/// when the row has no baseline counterpart.
+fn vs_baseline(ratio: Option<f64>) -> String {
+    match ratio {
+        Some(r) => format!("{r:.2}x"),
+        None => "-".to_string(),
+    }
+}
+
 fn run_bench(args: &BenchArgs) -> ExitCode {
     let cfg = if args.quick {
         perf::BenchConfig::quick()
     } else {
         perf::BenchConfig::full()
+    };
+    // Load the baseline up front so every row prints with its
+    // speedup-vs-baseline column, not just a raw rate.
+    let baseline = match &args.baseline {
+        Some(baseline_path) => match std::fs::read_to_string(baseline_path) {
+            Ok(t) => match perf::BenchReport::from_json(&t) {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    eprintln!("error: bad baseline {}: {e}", baseline_path.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
     };
     println!(
         "bench: {} suite ({} corpus lines x {} sample(s), {} sim insts x {} sample(s))",
@@ -680,19 +707,41 @@ fn run_bench(args: &BenchArgs) -> ExitCode {
     let report = perf::run(&cfg);
     println!("bench: done in {:.1}s\n", t0.elapsed().as_secs_f64());
 
-    println!("{:8} {:10} {:>14}", "kernel", "impl", "lines/s");
+    println!(
+        "{:12} {:10} {:>14} {:>12}",
+        "kernel", "impl", "rate/s", "vs-baseline"
+    );
     for k in &report.kernels {
+        let ratio = baseline
+            .as_ref()
+            .and_then(|b| b.kernel(&k.kernel, &k.implementation))
+            .map(|b| k.lines_per_sec / b.lines_per_sec.max(f64::MIN_POSITIVE));
         println!(
-            "{:8} {:10} {:>14.3e}",
-            k.kernel, k.implementation, k.lines_per_sec
+            "{:12} {:10} {:>14.3e} {:>12}",
+            k.kernel,
+            k.implementation,
+            k.lines_per_sec,
+            vs_baseline(ratio)
         );
     }
     for (kernel, speedup) in report.kernel_speedups() {
-        println!("{kernel:8} speedup    {speedup:>13.2}x");
+        println!("{kernel:12} speedup    {speedup:>13.2}x");
     }
-    println!("\n{:24} {:>14}", "end-to-end llc", "insts/s");
+    println!(
+        "\n{:24} {:>14} {:>12}",
+        "end-to-end llc", "insts/s", "vs-baseline"
+    );
     for e in &report.end_to_end {
-        println!("{:24} {:>14.3e}", e.llc, e.insts_per_sec);
+        let ratio = baseline
+            .as_ref()
+            .and_then(|b| b.end_to_end.iter().find(|be| be.llc == e.llc))
+            .map(|b| e.insts_per_sec / b.insts_per_sec.max(f64::MIN_POSITIVE));
+        println!(
+            "{:24} {:>14.3e} {:>12}",
+            e.llc,
+            e.insts_per_sec,
+            vs_baseline(ratio)
+        );
     }
     if let Some(pct) = report.telemetry_overhead_pct() {
         println!("{:24} {:>13.2}%", "telemetry overhead", pct);
@@ -709,21 +758,9 @@ fn run_bench(args: &BenchArgs) -> ExitCode {
     }
     println!("\nbench: report written to {}", args.out.display());
 
-    if let Some(baseline_path) = &args.baseline {
-        let baseline = match std::fs::read_to_string(baseline_path) {
-            Ok(t) => match perf::BenchReport::from_json(&t) {
-                Ok(b) => b,
-                Err(e) => {
-                    eprintln!("error: bad baseline {}: {e}", baseline_path.display());
-                    return ExitCode::FAILURE;
-                }
-            },
-            Err(e) => {
-                eprintln!("error: cannot read {}: {e}", baseline_path.display());
-                return ExitCode::FAILURE;
-            }
-        };
-        let regressions = perf::compare(&report, &baseline, f64::from(args.max_regress));
+    if let Some(baseline) = &baseline {
+        let baseline_path = args.baseline.as_ref().expect("baseline parsed from path");
+        let regressions = perf::compare(&report, baseline, f64::from(args.max_regress));
         if regressions.is_empty() {
             println!(
                 "bench: no regression beyond {}% vs {}",
