@@ -85,4 +85,63 @@ for repro in tests/corpus/*.bvfuzz.json; do
     ./target/release/bvsim fuzz --replay "$repro" >/dev/null
 done
 
+echo "== serve smoke (daemon, worker kill, dedup, restart recovery) =="
+# A live bvsim-serve-v1 daemon on an ephemeral port: arm a worker crash,
+# submit a tiny sweep, and require completion with zero lost and zero
+# duplicate simulations. Then restart the daemon against the same journal
+# and require the identical grid to re-simulate nothing.
+SERVE_DIR=$(mktemp -d)
+trap 'rm -rf "$SERVE_DIR"' EXIT
+serve_grid() {
+    ./target/release/bvsim submit --addr "$1" \
+        --traces specint.mcf.07,client.octane.00 \
+        --llcs uncompressed,base-victim \
+        --warmup 1000 --insts 2000 --out "$2"
+}
+./target/release/bvsim serve --addr 127.0.0.1:0 --workers 2 \
+    --journal "$SERVE_DIR/journal" --port-file "$SERVE_DIR/serve.addr" \
+    >"$SERVE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [[ -f "$SERVE_DIR/serve.addr" ]] && break
+    sleep 0.1
+done
+ADDR=$(cat "$SERVE_DIR/serve.addr")
+# Kill a worker mid-sweep: the monitor must re-queue its job and spawn a
+# replacement, and the sweep must still complete.
+./target/release/bvsim ctl --addr "$ADDR" --kill-worker 0 >/dev/null
+serve_grid "$ADDR" "$SERVE_DIR/rows.jsonl" >/dev/null
+ROWS=$(wc -l <"$SERVE_DIR/rows.jsonl")
+JOURNALED=$(wc -l <"$SERVE_DIR/journal/runs.jsonl")
+if [[ "$ROWS" != 4 || "$JOURNALED" != 4 ]]; then
+    echo "serve smoke: expected 4 rows + 4 journal lines after worker kill," \
+         "got $ROWS rows, $JOURNALED journal lines" >&2
+    exit 1
+fi
+# Capture before grep -q: an early pipe close would SIGPIPE the client.
+STATUS=$(./target/release/bvsim ctl --addr "$ADDR" --status)
+grep -q "1 worker crash(es)" <<<"$STATUS" \
+    || { echo "serve smoke: worker crash not recorded in status" >&2; exit 1; }
+./target/release/bvsim ctl --addr "$ADDR" --shutdown >/dev/null
+wait "$SERVE_PID"
+# Restart on the same journal: the grid must be served entirely from disk.
+./target/release/bvsim serve --addr 127.0.0.1:0 --workers 2 \
+    --journal "$SERVE_DIR/journal" --port-file "$SERVE_DIR/serve2.addr" \
+    >>"$SERVE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [[ -f "$SERVE_DIR/serve2.addr" ]] && break
+    sleep 0.1
+done
+ADDR=$(cat "$SERVE_DIR/serve2.addr")
+RESUBMIT=$(serve_grid "$ADDR" "$SERVE_DIR/rows2.jsonl")
+grep -q "4 job(s): 0 fresh, 4 journaled" <<<"$RESUBMIT" \
+    || { echo "serve smoke: restart re-simulated journaled work" >&2; exit 1; }
+./target/release/bvsim ctl --addr "$ADDR" --shutdown >/dev/null
+wait "$SERVE_PID"
+if [[ "$(wc -l <"$SERVE_DIR/journal/runs.jsonl")" != 4 ]]; then
+    echo "serve smoke: restart appended duplicate journal lines" >&2
+    exit 1
+fi
+
 echo "All checks passed."

@@ -156,6 +156,15 @@ impl PolicyKind {
             PolicyKind::Random => "random",
         }
     }
+
+    /// The names [`PolicyKind::from_name`] accepts, for error messages.
+    pub const NAMES: &'static str = "lru, nru, srrip, char, camp, random";
+
+    /// Parses a CLI/protocol policy name (inverse of [`PolicyKind::name`]).
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<PolicyKind> {
+        PolicyKind::ALL.iter().copied().find(|p| p.name() == s)
+    }
 }
 
 impl fmt::Display for PolicyKind {

@@ -15,6 +15,22 @@
 //! against it at load time, so a hash collision or a record from an
 //! older incompatible schema is ignored (and re-simulated) rather than
 //! trusted.
+//!
+//! ## Crash hardening
+//!
+//! `runs.jsonl` must survive its writer dying at any instant (Ctrl-C, a
+//! killed worker process, a full disk):
+//!
+//! * appends are **line-atomic** — each record is rendered complete with
+//!   its trailing newline and handed to the kernel in one `write_all`
+//!   call on an `O_APPEND` handle, so concurrent writers and crashes can
+//!   only ever leave a *trailing* partial line, never interleaved bytes;
+//! * [`Journal::open`] runs a recovery scan before the first append: an
+//!   unterminated trailing line is completed in place when it still
+//!   parses (the writer died between `write` and nothing — the data is
+//!   whole) or truncated away when it does not, and either way the event
+//!   is reported via [`Journal::recovery`] instead of poisoning every
+//!   later read of the stream.
 
 use crate::job::JobSpec;
 use crate::json::{self, ObjWriter};
@@ -30,15 +46,112 @@ use std::sync::Mutex;
 /// shape changes so stale checkpoints are re-simulated, not misread.
 const SCHEMA: u64 = 1;
 
+/// What the `runs.jsonl` recovery scan found (and did) when the journal
+/// was opened. A previous writer dying mid-append leaves an unterminated
+/// trailing line; recovery repairs or drops it so the stream stays
+/// parseable line by line, and this report says which happened.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunsRecovery {
+    /// Complete, parseable records in the stream after recovery.
+    pub rows: usize,
+    /// Complete lines that are not valid JSON. They are tolerated in
+    /// place (skipped by readers), never deleted: mid-file damage is
+    /// evidence worth keeping.
+    pub corrupt: usize,
+    /// The trailing line lacked its newline but still parsed as a full
+    /// record; recovery terminated it in place, losing nothing.
+    pub repaired_tail: bool,
+    /// A torn (unterminated, unparseable) trailing line was truncated
+    /// away; its bytes are reported here for the log.
+    pub torn_tail: Option<String>,
+}
+
+impl RunsRecovery {
+    /// True when the stream needed no intervention at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.corrupt == 0 && !self.repaired_tail && self.torn_tail.is_none()
+    }
+
+    /// A one-line human-readable summary of what recovery did, or `None`
+    /// when the stream was clean.
+    #[must_use]
+    pub fn summary(&self) -> Option<String> {
+        if self.is_clean() {
+            return None;
+        }
+        let mut parts = Vec::new();
+        if let Some(tail) = &self.torn_tail {
+            let snippet: String = tail.chars().take(40).collect();
+            parts.push(format!("dropped a torn trailing line ({snippet:?}…)"));
+        }
+        if self.repaired_tail {
+            parts.push("completed an unterminated trailing line".to_string());
+        }
+        if self.corrupt > 0 {
+            parts.push(format!("tolerating {} corrupt line(s)", self.corrupt));
+        }
+        Some(format!(
+            "runs.jsonl recovery: {} ({} intact row(s) kept)",
+            parts.join(", "),
+            self.rows
+        ))
+    }
+}
+
+/// Scans `runs.jsonl` and fixes its tail: an unterminated final line is
+/// completed when it parses and truncated when it does not. A missing
+/// file is a clean (empty) stream.
+fn recover_runs(path: &Path) -> std::io::Result<RunsRecovery> {
+    let mut rec = RunsRecovery::default();
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(rec),
+        Err(e) => return Err(e),
+    };
+    // Everything up to and including the last newline is the committed
+    // prefix; anything after it is a tail some writer never finished.
+    let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+    if keep < bytes.len() {
+        let tail = String::from_utf8_lossy(&bytes[keep..]).into_owned();
+        if json::parse(tail.trim()).is_ok() {
+            // The record is whole — only the newline went missing.
+            let mut f = fs::OpenOptions::new().append(true).open(path)?;
+            f.write_all(b"\n")?;
+            rec.repaired_tail = true;
+            rec.rows += 1;
+        } else {
+            fs::OpenOptions::new()
+                .write(true)
+                .open(path)?
+                .set_len(keep as u64)?;
+            rec.torn_tail = Some(tail);
+        }
+    }
+    for line in String::from_utf8_lossy(&bytes[..keep]).lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if json::parse(line).is_ok() {
+            rec.rows += 1;
+        } else {
+            rec.corrupt += 1;
+        }
+    }
+    Ok(rec)
+}
+
 /// A journal directory handle. Thread-safe: checkpoint writes go to
 /// distinct files, and the JSONL stream is serialized by a mutex.
 pub struct Journal {
     dir: PathBuf,
     log: Mutex<fs::File>,
+    recovery: RunsRecovery,
 }
 
 impl Journal {
-    /// Opens (creating if needed) a journal directory.
+    /// Opens (creating if needed) a journal directory, running the
+    /// `runs.jsonl` torn-tail recovery scan before the first append.
     ///
     /// # Errors
     ///
@@ -47,13 +160,16 @@ impl Journal {
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Journal> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        let runs = dir.join("runs.jsonl");
+        let recovery = recover_runs(&runs)?;
         let log = fs::OpenOptions::new()
             .create(true)
             .append(true)
-            .open(dir.join("runs.jsonl"))?;
+            .open(runs)?;
         Ok(Journal {
             dir,
             log: Mutex::new(log),
+            recovery,
         })
     }
 
@@ -61,6 +177,12 @@ impl Journal {
     #[must_use]
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// What the open-time `runs.jsonl` recovery scan found.
+    #[must_use]
+    pub fn recovery(&self) -> &RunsRecovery {
+        &self.recovery
     }
 
     fn checkpoint_path(&self, job: &JobSpec) -> PathBuf {
@@ -118,8 +240,14 @@ impl Journal {
         if let Some(path) = telemetry {
             line.str("telemetry", &path.display().to_string());
         }
+        // Render the record complete with its newline and append it in a
+        // single write_all on the O_APPEND handle: a crash can then only
+        // ever leave a *trailing* partial line (which the open-time
+        // recovery scan repairs), never a record split mid-stream.
+        let mut rendered = line.finish();
+        rendered.push('\n');
         let mut log = self.log.lock().expect("journal log");
-        if let Err(e) = writeln!(log, "{}", line.finish()) {
+        if let Err(e) = log.write_all(rendered.as_bytes()) {
             eprintln!("journal: failed to append runs.jsonl: {e}");
         }
     }
@@ -259,4 +387,84 @@ fn intern_llc_name(name: &str) -> &'static str {
     let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
     extra.insert(leaked);
     leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bv-journal-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create tmp dir");
+        dir
+    }
+
+    #[test]
+    fn recovery_is_clean_on_missing_and_intact_streams() {
+        let dir = tmp_dir("clean");
+        // Absent file: clean.
+        let j = Journal::open(&dir).expect("open");
+        assert!(j.recovery().is_clean());
+        assert_eq!(j.recovery().rows, 0);
+        drop(j);
+        // Two intact lines: clean, counted.
+        fs::write(dir.join("runs.jsonl"), "{\"a\":1}\n{\"a\":2}\n").expect("seed");
+        let j = Journal::open(&dir).expect("reopen");
+        assert!(j.recovery().is_clean());
+        assert_eq!(j.recovery().rows, 2);
+        assert!(j.recovery().summary().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_trailing_line_is_truncated_and_reported() {
+        let dir = tmp_dir("torn");
+        let runs = dir.join("runs.jsonl");
+        fs::write(&runs, "{\"a\":1}\n{\"a\":2}\n{\"a\":3,\"tr").expect("seed");
+        let j = Journal::open(&dir).expect("open");
+        let rec = j.recovery();
+        assert_eq!(rec.rows, 2);
+        assert_eq!(rec.torn_tail.as_deref(), Some("{\"a\":3,\"tr"));
+        assert!(!rec.repaired_tail);
+        assert!(rec.summary().expect("summary").contains("torn"));
+        // The stream is whole again: every remaining line parses.
+        let text = fs::read_to_string(&runs).expect("read back");
+        assert_eq!(text, "{\"a\":1}\n{\"a\":2}\n");
+        // And the *next* open sees a clean stream.
+        drop(j);
+        let j = Journal::open(&dir).expect("reopen");
+        assert!(j.recovery().is_clean());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unterminated_but_whole_tail_is_repaired_in_place() {
+        let dir = tmp_dir("repair");
+        let runs = dir.join("runs.jsonl");
+        fs::write(&runs, "{\"a\":1}\n{\"a\":2}").expect("seed");
+        let j = Journal::open(&dir).expect("open");
+        let rec = j.recovery();
+        assert_eq!(rec.rows, 2, "the whole tail record is kept");
+        assert!(rec.repaired_tail);
+        assert!(rec.torn_tail.is_none());
+        let text = fs::read_to_string(&runs).expect("read back");
+        assert_eq!(text, "{\"a\":1}\n{\"a\":2}\n");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_stream_corruption_is_tolerated_not_deleted() {
+        let dir = tmp_dir("corrupt");
+        let runs = dir.join("runs.jsonl");
+        fs::write(&runs, "{\"a\":1}\nnot json at all\n{\"a\":2}\n").expect("seed");
+        let j = Journal::open(&dir).expect("open");
+        let rec = j.recovery();
+        assert_eq!((rec.rows, rec.corrupt), (2, 1));
+        assert!(rec.summary().expect("summary").contains("corrupt"));
+        // Evidence preserved: the damaged line is still in the file.
+        let text = fs::read_to_string(&runs).expect("read back");
+        assert!(text.contains("not json at all"));
+        let _ = fs::remove_dir_all(&dir);
+    }
 }

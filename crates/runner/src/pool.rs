@@ -16,6 +16,7 @@
 //! while remaining `forbid(unsafe_code)`-friendly.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 /// Applies `f` to every item on `workers` threads, returning results in
@@ -37,13 +38,48 @@ where
     R: Send,
     F: Fn(usize, usize, T) -> R + Sync,
 {
+    let never = AtomicBool::new(false);
+    parallel_map_cancelable(items, workers, &never, f)
+        .into_iter()
+        .map(|slot| slot.expect("every job ran"))
+        .collect()
+}
+
+/// [`parallel_map`] with cooperative cancellation: workers re-check
+/// `cancel` before dequeuing each item and stop *taking new work* once
+/// it is set. In-flight items always run to completion (so their side
+/// effects — checkpoints, journal lines — are never half-done); items
+/// that were never started come back as `None`, preserving input order.
+///
+/// This is the Ctrl-C path for `bvsim sweep`: the signal handler sets
+/// the flag, the pool drains its in-flight jobs, and the journal is left
+/// resumable.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f`, as [`parallel_map`] does.
+pub fn parallel_map_cancelable<T, R, F>(
+    items: Vec<T>,
+    workers: usize,
+    cancel: &AtomicBool,
+    f: F,
+) -> Vec<Option<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, usize, T) -> R + Sync,
+{
     let n = items.len();
     if workers <= 1 || n <= 1 {
-        return items
-            .into_iter()
-            .enumerate()
-            .map(|(i, item)| f(0, i, item))
-            .collect();
+        let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+        for (i, item) in items.into_iter().enumerate() {
+            if cancel.load(Ordering::SeqCst) {
+                out.push(None);
+            } else {
+                out.push(Some(f(0, i, item)));
+            }
+        }
+        return out;
     }
     let workers = workers.min(n);
 
@@ -64,6 +100,9 @@ where
             let slots = &slots;
             let f = &f;
             scope.spawn(move || loop {
+                if cancel.load(Ordering::SeqCst) {
+                    break;
+                }
                 let job = pop_own(&deques[w]).or_else(|| steal(deques, w));
                 match job {
                     Some((i, item)) => {
@@ -78,7 +117,7 @@ where
 
     slots
         .into_iter()
-        .map(|s| s.into_inner().expect("slot").expect("every job ran"))
+        .map(|s| s.into_inner().expect("slot"))
         .collect()
 }
 
@@ -152,6 +191,43 @@ mod tests {
         });
         assert_eq!(count.load(Ordering::Relaxed), 257);
         assert_eq!(out.len(), 257);
+    }
+
+    #[test]
+    fn cancel_stops_new_work_but_finishes_in_flight() {
+        let cancel = AtomicBool::new(false);
+        let started = AtomicUsize::new(0);
+        let out = parallel_map_cancelable((0..64).collect(), 2, &cancel, |_, i, x: usize| {
+            started.fetch_add(1, Ordering::SeqCst);
+            if i == 0 {
+                // First item pulls the plug; everything already dequeued
+                // still completes, nothing new starts afterwards.
+                cancel.store(true, Ordering::SeqCst);
+            }
+            // Nonzero cost so the other worker cannot race through its
+            // whole deque before the flag lands.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            x * 2
+        });
+        assert_eq!(out.len(), 64);
+        let done = out.iter().filter(|s| s.is_some()).count();
+        assert_eq!(done, started.load(Ordering::SeqCst));
+        assert!(done < 64, "cancellation must skip some items");
+        for (i, slot) in out.iter().enumerate() {
+            if let Some(v) = slot {
+                assert_eq!(*v, i * 2, "completed items keep input order");
+            }
+        }
+    }
+
+    #[test]
+    fn cancel_before_start_runs_nothing() {
+        let cancel = AtomicBool::new(true);
+        let out = parallel_map_cancelable((0..8).collect(), 4, &cancel, |_, _, x: i32| x);
+        assert!(out.iter().all(Option::is_none));
+        // The serial path honors the flag identically.
+        let out = parallel_map_cancelable((0..8).collect(), 1, &cancel, |_, _, x: i32| x);
+        assert!(out.iter().all(Option::is_none));
     }
 
     #[test]

@@ -13,8 +13,8 @@ use bv_trace::TraceRegistry;
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// What one `execute` call did, for progress reporting and for the
@@ -31,6 +31,11 @@ pub struct ExecutionReport {
     pub from_journal: usize,
     /// Actually simulated by this call.
     pub simulated: usize,
+    /// Scheduled but never started because the cancel flag
+    /// ([`Runner::with_cancel`]) was raised mid-sweep. These jobs are
+    /// absent from the store and journal; a `--resume` rerun picks them
+    /// up.
+    pub canceled: usize,
 }
 
 /// The orchestrator. One `Runner` is shared by a whole experiment suite;
@@ -43,6 +48,7 @@ pub struct Runner {
     progress: bool,
     telemetry: Option<(PathBuf, u64)>,
     spans: Option<SpanLog>,
+    cancel: Option<Arc<AtomicBool>>,
     store: Mutex<HashMap<u64, RunResult>>,
 }
 
@@ -57,6 +63,7 @@ impl Runner {
             progress: false,
             telemetry: None,
             spans: None,
+            cancel: None,
             store: Mutex::new(HashMap::new()),
         }
     }
@@ -122,6 +129,17 @@ impl Runner {
     #[must_use]
     pub fn take_spans(&self) -> Vec<Span> {
         self.spans.as_ref().map(SpanLog::take).unwrap_or_default()
+    }
+
+    /// Attaches a cooperative cancel flag (the Ctrl-C path): once some
+    /// other thread — typically a signal handler — sets it, workers stop
+    /// dequeuing new jobs. In-flight jobs run to completion and are
+    /// checkpointed normally, so the journal stays resumable; jobs never
+    /// started are counted in [`ExecutionReport::canceled`].
+    #[must_use]
+    pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Runner {
+        self.cancel = Some(flag);
+        self
     }
 
     /// The configured worker count.
@@ -250,7 +268,6 @@ impl Runner {
                 to_run.push(job.clone());
             }
         }
-        report.simulated = to_run.len();
         if to_run.is_empty() {
             return report;
         }
@@ -271,29 +288,38 @@ impl Runner {
         let total = resolved.len();
         let done = AtomicUsize::new(0);
         let t0 = Instant::now();
-        let results = pool::parallel_map(resolved, self.workers, |worker, _, (job, workload)| {
-            let t = Instant::now();
-            let (result, telemetry) = self.simulate(&job, &workload);
-            let wall = t.elapsed().as_secs_f64();
-            if let Some(log) = &self.spans {
-                log.record(&span_label(&job, &result), worker, t);
-            }
-            if let Some(j) = &self.journal {
-                j.record(&job, &result, wall, worker, telemetry.as_deref());
-            }
-            // Store immediately (not after the batch) so a panic or kill
-            // elsewhere loses as little completed work as possible.
-            self.insert(&job, result.clone());
-            let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-            if self.progress {
-                progress_line(finished, total, t0.elapsed(), &job.trace);
-            }
-            (job, result)
-        });
+        let never = AtomicBool::new(false);
+        let cancel: &AtomicBool = self.cancel.as_deref().unwrap_or(&never);
+        let results = pool::parallel_map_cancelable(
+            resolved,
+            self.workers,
+            cancel,
+            |worker, _, (job, workload)| {
+                let t = Instant::now();
+                let (result, telemetry) = self.simulate(&job, &workload);
+                let wall = t.elapsed().as_secs_f64();
+                if let Some(log) = &self.spans {
+                    log.record(&span_label(&job, &result), worker, t);
+                }
+                if let Some(j) = &self.journal {
+                    j.record(&job, &result, wall, worker, telemetry.as_deref());
+                }
+                // Store immediately (not after the batch) so a panic or kill
+                // elsewhere loses as little completed work as possible.
+                self.insert(&job, result.clone());
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if self.progress {
+                    progress_line(finished, total, t0.elapsed(), &job.trace);
+                }
+                (job, result)
+            },
+        );
         if self.progress {
             eprintln!();
         }
         debug_assert_eq!(results.len(), total);
+        report.simulated = results.iter().filter(|slot| slot.is_some()).count();
+        report.canceled = total - report.simulated;
         report
     }
 

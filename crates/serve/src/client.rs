@@ -1,0 +1,153 @@
+//! Blocking client helpers for the `bvsim-serve-v1` protocol — the
+//! machinery behind `bvsim submit`, `bvsim watch`, and `bvsim ctl`.
+//!
+//! Each helper opens one TCP connection, writes one request line, and
+//! reads the response (a single line, or a result stream terminated by
+//! a `done` line). Result rows are delivered through a callback so the
+//! CLI can print/append them as they arrive instead of buffering a
+//! whole sweep.
+
+use crate::proto::{DoneSummary, Request, Response, ResultRow, SweepGrid};
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+
+/// What a submit call returned: the planning ack, plus the final
+/// summary when the call streamed to completion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubmitOutcome {
+    /// The ticket the daemon issued.
+    pub ticket: u64,
+    /// Unique jobs planned from the grid.
+    pub jobs: u64,
+    /// Jobs newly enqueued by this submission.
+    pub fresh: u64,
+    /// Jobs satisfied immediately from the journal.
+    pub journaled: u64,
+    /// Jobs shared with other active submissions.
+    pub merged: u64,
+    /// The stream's terminal summary (`None` when `wait` was false).
+    pub done: Option<DoneSummary>,
+}
+
+fn connect(addr: &str) -> Result<(TcpStream, BufReader<TcpStream>), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone connection: {e}"))?,
+    );
+    Ok((stream, reader))
+}
+
+fn send(stream: &mut TcpStream, req: &Request) -> Result<(), String> {
+    let line = req.to_line();
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .map_err(|e| format!("cannot send request: {e}"))
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> Result<Response, String> {
+    let mut line = String::new();
+    let n = reader
+        .read_line(&mut line)
+        .map_err(|e| format!("cannot read response: {e}"))?;
+    if n == 0 {
+        return Err("daemon closed the connection".to_string());
+    }
+    Response::parse_line(&line)
+}
+
+/// Reads `result` lines into `on_row` until the `done` line arrives.
+fn drain_stream(
+    reader: &mut BufReader<TcpStream>,
+    on_row: &mut dyn FnMut(&ResultRow),
+) -> Result<DoneSummary, String> {
+    loop {
+        match read_response(reader)? {
+            Response::Result(row) => on_row(&row),
+            Response::Done(done) => return Ok(done),
+            Response::Error { error } => return Err(error),
+            other => return Err(format!("unexpected message in stream: {other:?}")),
+        }
+    }
+}
+
+/// Submits a sweep grid. With `wait`, streams the ticket's results into
+/// `on_row` until completion; without, returns as soon as the daemon
+/// acknowledges the ticket.
+///
+/// # Errors
+///
+/// Returns a human-readable description of any connection, protocol, or
+/// daemon-side failure.
+pub fn submit(
+    addr: &str,
+    grid: &SweepGrid,
+    wait: bool,
+    mut on_row: impl FnMut(&ResultRow),
+) -> Result<SubmitOutcome, String> {
+    let (mut stream, mut reader) = connect(addr)?;
+    send(
+        &mut stream,
+        &Request::Submit {
+            grid: grid.clone(),
+            wait,
+        },
+    )?;
+    let (ticket, jobs, fresh, journaled, merged) = match read_response(&mut reader)? {
+        Response::Submitted {
+            ticket,
+            jobs,
+            fresh,
+            journaled,
+            merged,
+        } => (ticket, jobs, fresh, journaled, merged),
+        Response::Error { error } => return Err(error),
+        other => return Err(format!("unexpected submit reply: {other:?}")),
+    };
+    let done = if wait {
+        Some(drain_stream(&mut reader, &mut on_row)?)
+    } else {
+        None
+    };
+    Ok(SubmitOutcome {
+        ticket,
+        jobs,
+        fresh,
+        journaled,
+        merged,
+        done,
+    })
+}
+
+/// Attaches to an existing ticket and streams its results (past and
+/// future) into `on_row` until completion.
+///
+/// # Errors
+///
+/// Returns a human-readable description of any connection, protocol, or
+/// daemon-side failure (including an unknown ticket).
+pub fn watch(
+    addr: &str,
+    ticket: u64,
+    mut on_row: impl FnMut(&ResultRow),
+) -> Result<DoneSummary, String> {
+    let (mut stream, mut reader) = connect(addr)?;
+    send(&mut stream, &Request::Stream { ticket })?;
+    drain_stream(&mut reader, &mut on_row)
+}
+
+/// Sends a single-response control request (status, cancel, kill-worker,
+/// shutdown) and returns the daemon's reply.
+///
+/// # Errors
+///
+/// Returns a human-readable description of any connection or protocol
+/// failure. A daemon-side `error` response is returned as `Ok` so the
+/// caller can distinguish transport failures from request rejections.
+pub fn control(addr: &str, req: &Request) -> Result<Response, String> {
+    let (mut stream, mut reader) = connect(addr)?;
+    send(&mut stream, req)?;
+    read_response(&mut reader)
+}

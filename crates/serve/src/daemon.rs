@@ -1,0 +1,970 @@
+//! The sweep-serving daemon: a TCP listener, a shard of worker threads,
+//! and a monitor thread, all sharing one job table.
+//!
+//! ## Scheduling
+//!
+//! Jobs are keyed by [`JobSpec::stable_hash`]. A submission plans its
+//! grid, then for each job either (a) adopts an existing entry — another
+//! client already submitted the same configuration, so the tickets
+//! *merge* and the job simulates once — (b) satisfies it instantly from
+//! the checkpoint journal, or (c) enqueues it fresh. Workers claim jobs
+//! from a FIFO queue under the state mutex, simulate with the lock
+//! released, and publish under the lock again.
+//!
+//! ## Failure model
+//!
+//! Every claim carries a token `(worker, attempt)`. A publisher whose
+//! token no longer matches the job's phase — because the monitor timed
+//! the job out and re-queued it — drops its result, so a configuration
+//! can never journal twice. The monitor detects dead worker threads
+//! (panic mid-job, e.g. via the `kill-worker` test hook), re-queues
+//! their claimed jobs with exponential backoff, counts the crash, and
+//! spawns a replacement worker; a job that exhausts its retry budget
+//! moves to a terminal failed state instead of looping forever.
+//! Completed jobs checkpoint through [`Journal`], so restarting the
+//! daemon against the same journal directory re-simulates nothing.
+
+use crate::proto::{DoneSummary, Request, Response, ResultRow, StatusInfo, SweepGrid};
+use bv_runner::{JobSpec, Journal, SpanLog};
+use bv_sim::{RunResult, System};
+use bv_trace::TraceRegistry;
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead as _, BufReader, BufWriter, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How a daemon is started (`bvsim serve`).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7070` (`:0` for an ephemeral port).
+    pub addr: String,
+    /// Worker threads in the simulation shard.
+    pub workers: usize,
+    /// Checkpoint journal directory (shared with `bvsim sweep`).
+    pub journal: PathBuf,
+    /// A job running longer than this is presumed hung: it is re-queued
+    /// and the eventual straggler result is dropped.
+    pub timeout: Duration,
+    /// Re-queues allowed per job after its first attempt.
+    pub retries: u32,
+    /// Write the actual bound address here (atomically) once listening —
+    /// how scripts find an ephemeral port.
+    pub port_file: Option<PathBuf>,
+    /// Export per-job worker spans as Chrome trace-event JSON here on
+    /// shutdown.
+    pub spans: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            journal: PathBuf::from("results/journal"),
+            timeout: Duration::from_secs(300),
+            retries: 3,
+            port_file: None,
+            spans: None,
+        }
+    }
+}
+
+/// Scheduling state of one job entry.
+enum Phase {
+    /// Waiting in the queue; `not_before` is the retry backoff gate.
+    Pending { not_before: Option<Instant> },
+    /// Claimed by `worker` as its `attempt`-th try.
+    Running {
+        worker: usize,
+        attempt: u32,
+        since: Instant,
+    },
+    /// Terminal: result available in `JobEntry::row`.
+    Done,
+    /// Terminal: retry budget exhausted.
+    Failed,
+}
+
+struct JobEntry {
+    spec: JobSpec,
+    phase: Phase,
+    /// Attempts started so far (claims, including crashed ones).
+    attempts: u32,
+    /// Tickets subscribed to this job's completion.
+    tickets: Vec<u64>,
+    /// The completed row (ticket/seq zeroed), once terminal.
+    row: Option<ResultRow>,
+}
+
+struct Ticket {
+    jobs: u64,
+    merged: u64,
+    failed: u64,
+    canceled: bool,
+    rows: Vec<ResultRow>,
+}
+
+struct WorkerSlot {
+    alive: bool,
+    clean_exit: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    jobs_done: u64,
+}
+
+#[derive(Default)]
+struct State {
+    jobs: HashMap<u64, JobEntry>,
+    queue: VecDeque<u64>,
+    tickets: HashMap<u64, Ticket>,
+    next_ticket: u64,
+    shutting_down: bool,
+    /// Worker ids armed to panic on their next claim (test hook).
+    kill_armed: Vec<usize>,
+    crashes: u64,
+    retries: u64,
+    workers: Vec<WorkerSlot>,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    registry: TraceRegistry,
+    journal: Journal,
+    spans: SpanLog,
+    state: Mutex<State>,
+    /// Signaled when the queue gains work, backoff expires, or shutdown
+    /// begins — what idle workers wait on.
+    wake_workers: Condvar,
+    /// Signaled on every job completion / ticket change — what result
+    /// streamers and the shutdown drain wait on.
+    progress: Condvar,
+    /// Stops the accept loop.
+    stop: AtomicBool,
+    local_addr: SocketAddr,
+}
+
+/// A running daemon: the handle the `bvsim serve` command (and the
+/// integration tests) hold while the service is live.
+pub struct Daemon {
+    shared: Arc<Shared>,
+    listener: JoinHandle<()>,
+    monitor: JoinHandle<()>,
+}
+
+impl Daemon {
+    /// Binds the listener, opens the journal, spawns the worker shard
+    /// and the monitor, and starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the address cannot be bound or the
+    /// journal directory cannot be opened.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Daemon> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let journal = Journal::open(&cfg.journal)?;
+        if let Some(summary) = journal.recovery().summary() {
+            eprintln!("serve: {summary}");
+        }
+        if let Some(path) = &cfg.port_file {
+            let tmp = path.with_extension("tmp");
+            std::fs::write(&tmp, local_addr.to_string())?;
+            std::fs::rename(&tmp, path)?;
+        }
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            cfg,
+            registry: TraceRegistry::paper_default(),
+            journal,
+            spans: SpanLog::new(),
+            state: Mutex::new(State {
+                next_ticket: 1,
+                ..State::default()
+            }),
+            wake_workers: Condvar::new(),
+            progress: Condvar::new(),
+            stop: AtomicBool::new(false),
+            local_addr,
+        });
+        for _ in 0..workers {
+            spawn_worker(&shared);
+        }
+        let monitor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || monitor_loop(&shared))
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        Ok(Daemon {
+            shared,
+            listener: accept,
+            monitor,
+        })
+    }
+
+    /// The address actually bound (resolves `:0` to the real port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Blocks until a `shutdown` request drains the daemon, then writes
+    /// the span export (if configured) and returns its worker
+    /// utilization summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the span export cannot be written.
+    pub fn wait(self) -> std::io::Result<Option<String>> {
+        let _ = self.listener.join();
+        let _ = self.monitor.join();
+        // Join worker threads so every span is recorded before export.
+        let handles: Vec<JoinHandle<()>> = {
+            let mut st = self.shared.state.lock().expect("serve state");
+            st.workers
+                .iter_mut()
+                .filter_map(|w| w.handle.take())
+                .collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        let Some(path) = &self.shared.cfg.spans else {
+            return Ok(None);
+        };
+        let spans = self.shared.spans.take();
+        std::fs::write(path, bv_runner::chrome_trace_json(&spans))?;
+        Ok(Some(bv_runner::utilization_summary(&spans)))
+    }
+}
+
+/// Exponential claim-retry backoff: 50 ms doubling per prior attempt,
+/// capped at 2 s.
+fn backoff(attempts: u32) -> Duration {
+    let ms = 50u64.saturating_mul(1 << attempts.min(6));
+    Duration::from_millis(ms.min(2_000))
+}
+
+fn spawn_worker(shared: &Arc<Shared>) {
+    let clean_exit = Arc::new(AtomicBool::new(false));
+    let me = {
+        let mut st = shared.state.lock().expect("serve state");
+        st.workers.push(WorkerSlot {
+            alive: true,
+            clean_exit: Arc::clone(&clean_exit),
+            handle: None,
+            jobs_done: 0,
+        });
+        st.workers.len() - 1
+    };
+    let handle = {
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name(format!("bv-serve-worker-{me}"))
+            .spawn(move || worker_loop(&shared, me, &clean_exit))
+            .expect("spawn worker")
+    };
+    let mut st = shared.state.lock().expect("serve state");
+    st.workers[me].handle = Some(handle);
+}
+
+enum Claim {
+    Job(u64),
+    Wait(Duration),
+    Idle,
+}
+
+/// Pops the first runnable job, cycling backoff-gated entries to the
+/// back and dropping stale queue slots (canceled or already-claimed
+/// hashes) on the way.
+fn claim_next(st: &mut State, now: Instant) -> Claim {
+    let mut soonest: Option<Duration> = None;
+    for _ in 0..st.queue.len() {
+        let Some(hash) = st.queue.pop_front() else {
+            break;
+        };
+        let Some(entry) = st.jobs.get(&hash) else {
+            continue; // canceled underneath the queue
+        };
+        let Phase::Pending { not_before } = &entry.phase else {
+            continue; // stale: claimed or finished via another queue slot
+        };
+        if let Some(gate) = not_before {
+            if *gate > now {
+                let wait = *gate - now;
+                soonest = Some(soonest.map_or(wait, |s| s.min(wait)));
+                st.queue.push_back(hash);
+                continue;
+            }
+        }
+        return Claim::Job(hash);
+    }
+    soonest.map_or(Claim::Idle, Claim::Wait)
+}
+
+fn worker_loop(shared: &Arc<Shared>, me: usize, clean_exit: &AtomicBool) {
+    loop {
+        // Claim under the lock (or exit on drained shutdown).
+        let claimed = {
+            let mut st = shared.state.lock().expect("serve state");
+            loop {
+                let now = Instant::now();
+                match claim_next(&mut st, now) {
+                    Claim::Job(hash) => {
+                        let armed = st.kill_armed.iter().position(|&w| w == me);
+                        if let Some(pos) = armed {
+                            st.kill_armed.remove(pos);
+                        }
+                        let entry = st.jobs.get_mut(&hash).expect("claimed job");
+                        entry.attempts += 1;
+                        let attempt = entry.attempts;
+                        entry.phase = Phase::Running {
+                            worker: me,
+                            attempt,
+                            since: now,
+                        };
+                        let spec = entry.spec.clone();
+                        if armed.is_some() {
+                            // The deterministic mid-sweep crash: die *after*
+                            // claiming, so the monitor must detect the dead
+                            // thread and re-queue a running job.
+                            drop(st);
+                            panic!("bv-serve: worker {me} killed by kill-worker hook");
+                        }
+                        break Some((hash, spec, attempt));
+                    }
+                    Claim::Wait(d) => {
+                        let (guard, _) = shared
+                            .wake_workers
+                            .wait_timeout(st, d)
+                            .expect("serve state");
+                        st = guard;
+                    }
+                    Claim::Idle => {
+                        if st.shutting_down {
+                            break None;
+                        }
+                        let (guard, _) = shared
+                            .wake_workers
+                            .wait_timeout(st, Duration::from_millis(200))
+                            .expect("serve state");
+                        st = guard;
+                    }
+                }
+            }
+        };
+        let Some((hash, spec, attempt)) = claimed else {
+            clean_exit.store(true, Ordering::SeqCst);
+            let mut st = shared.state.lock().expect("serve state");
+            if let Some(slot) = st.workers.get_mut(me) {
+                slot.alive = false;
+            }
+            shared.progress.notify_all();
+            return;
+        };
+
+        // Simulate with the lock released: the daemon keeps serving
+        // status/submit/stream requests while jobs run.
+        let t0 = Instant::now();
+        let outcome = run_spec(shared, &spec);
+        let wall = t0.elapsed().as_secs_f64();
+
+        // Publish under the lock, but only if our claim token is still
+        // current — a timed-out-and-requeued job's straggler result is
+        // dropped here, which is what makes re-queue + retry free of
+        // duplicate journal lines.
+        let mut st = shared.state.lock().expect("serve state");
+        let current = matches!(
+            st.jobs.get(&hash).map(|e| &e.phase),
+            Some(Phase::Running { worker, attempt: a, .. }) if *worker == me && *a == attempt
+        );
+        if !current {
+            continue;
+        }
+        match outcome {
+            Ok(result) => {
+                let row = row_core(&spec, &result, wall, me, attempt, "simulated");
+                finish_job(&mut st, hash, row);
+                st.workers[me].jobs_done += 1;
+                shared.progress.notify_all();
+                drop(st);
+                // Checkpoint outside the lock; a crash here costs one
+                // re-simulation after restart, never a duplicate row.
+                shared.journal.record(&spec, &result, wall, me, None);
+                shared
+                    .spans
+                    .record(&format!("{} {}", spec.trace, result.llc_name), me, t0);
+            }
+            Err(error) => {
+                eprintln!("serve: job {hash:016x} failed: {error}");
+                requeue_or_fail(shared, &mut st, hash);
+                shared.progress.notify_all();
+            }
+        }
+    }
+}
+
+fn run_spec(shared: &Shared, spec: &JobSpec) -> Result<RunResult, String> {
+    let workload = shared
+        .registry
+        .get(&spec.trace)
+        .ok_or_else(|| format!("trace '{}' not in the registry", spec.trace))?
+        .workload
+        .clone();
+    Ok(System::new(spec.cfg).run_with_warmup(&workload, spec.warmup, spec.insts))
+}
+
+/// Builds the ticket-agnostic result row for a terminal job (`ticket`
+/// and `seq` are stamped per subscriber).
+fn row_core(
+    spec: &JobSpec,
+    result: &RunResult,
+    wall: f64,
+    worker: usize,
+    attempt: u32,
+    source: &str,
+) -> ResultRow {
+    ResultRow {
+        ticket: 0,
+        seq: 0,
+        trace: spec.trace.clone(),
+        llc: result.llc_name.to_string(),
+        policy: spec.cfg.llc_policy.name().to_string(),
+        hash: format!("{:016x}", spec.stable_hash()),
+        ipc: result.ipc(),
+        llc_hit_rate: result.llc.hit_rate(),
+        comp_ratio: result.compression.mean_ratio(),
+        instructions: result.instructions,
+        wall_secs: wall,
+        worker: worker as u64,
+        attempt: u64::from(attempt),
+        source: source.to_string(),
+    }
+}
+
+/// Marks a job done and fans its row out to every subscribed ticket.
+fn finish_job(st: &mut State, hash: u64, row: ResultRow) {
+    let entry = st.jobs.get_mut(&hash).expect("finished job");
+    entry.phase = Phase::Done;
+    entry.row = Some(row.clone());
+    let subscribers = entry.tickets.clone();
+    for t in subscribers {
+        push_row(st, t, &row);
+    }
+}
+
+fn push_row(st: &mut State, ticket: u64, row: &ResultRow) {
+    if let Some(t) = st.tickets.get_mut(&ticket) {
+        let mut row = row.clone();
+        row.ticket = ticket;
+        row.seq = t.rows.len() as u64;
+        t.rows.push(row);
+    }
+}
+
+/// Re-queues a crashed/timed-out/failed job with backoff, or fails it
+/// terminally once the retry budget is spent.
+fn requeue_or_fail(shared: &Shared, st: &mut State, hash: u64) {
+    let retries = shared.cfg.retries;
+    let Some(entry) = st.jobs.get_mut(&hash) else {
+        return;
+    };
+    if entry.attempts > retries {
+        entry.phase = Phase::Failed;
+        let subscribers = entry.tickets.clone();
+        for t in subscribers {
+            if let Some(ticket) = st.tickets.get_mut(&t) {
+                ticket.failed += 1;
+            }
+        }
+    } else {
+        st.retries += 1;
+        entry.phase = Phase::Pending {
+            not_before: Some(Instant::now() + backoff(entry.attempts)),
+        };
+        st.queue.push_back(hash);
+        shared.wake_workers.notify_all();
+    }
+}
+
+/// The monitor: detects dead worker threads (re-queueing their claimed
+/// jobs and spawning replacements), enforces the per-job timeout, and
+/// exits once a drained shutdown completes.
+fn monitor_loop(shared: &Arc<Shared>) {
+    loop {
+        std::thread::sleep(Duration::from_millis(25));
+        let mut respawn = 0usize;
+        let finished = {
+            let mut st = shared.state.lock().expect("serve state");
+
+            // Dead workers: a finished thread that never reached its
+            // clean-exit marker panicked mid-job.
+            let crashed: Vec<usize> = st
+                .workers
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.alive && w.handle.as_ref().is_some_and(JoinHandle::is_finished))
+                .map(|(i, _)| i)
+                .collect();
+            for w in crashed {
+                let clean = st.workers[w].clean_exit.load(Ordering::SeqCst);
+                st.workers[w].alive = false;
+                if clean {
+                    continue;
+                }
+                st.crashes += 1;
+                let orphans: Vec<u64> = st
+                    .jobs
+                    .iter()
+                    .filter(
+                        |(_, e)| matches!(e.phase, Phase::Running { worker, .. } if worker == w),
+                    )
+                    .map(|(&h, _)| h)
+                    .collect();
+                for hash in orphans {
+                    requeue_or_fail(shared, &mut st, hash);
+                }
+                shared.progress.notify_all();
+                if !st.shutting_down {
+                    respawn += 1;
+                }
+            }
+
+            // Hung jobs: past the timeout, re-queue; the straggler's
+            // eventual publish fails its token check and is dropped.
+            let now = Instant::now();
+            let hung: Vec<u64> = st
+                .jobs
+                .iter()
+                .filter(|(_, e)| {
+                    matches!(e.phase, Phase::Running { since, .. } if now.duration_since(since) > shared.cfg.timeout)
+                })
+                .map(|(&h, _)| h)
+                .collect();
+            for hash in hung {
+                requeue_or_fail(shared, &mut st, hash);
+                shared.progress.notify_all();
+            }
+
+            st.shutting_down
+                && st
+                    .jobs
+                    .values()
+                    .all(|e| matches!(e.phase, Phase::Done | Phase::Failed))
+        };
+        for _ in 0..respawn {
+            spawn_worker(shared);
+        }
+        if finished {
+            shared.wake_workers.notify_all();
+            return;
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || {
+            if let Err(e) = handle_conn(&shared, stream) {
+                // A client hanging up mid-stream is routine, not fatal.
+                if e.kind() != std::io::ErrorKind::BrokenPipe {
+                    eprintln!("serve: connection error: {e}");
+                }
+            }
+        });
+    }
+}
+
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut out = BufWriter::new(stream);
+    let reply = |out: &mut BufWriter<TcpStream>, resp: &Response| -> std::io::Result<()> {
+        writeln!(out, "{}", resp.to_line())?;
+        out.flush()
+    };
+    let request = match Request::parse_line(&line) {
+        Ok(r) => r,
+        Err(error) => return reply(&mut out, &Response::Error { error }),
+    };
+    match request {
+        Request::Submit { grid, wait } => match submit(shared, &grid) {
+            Ok((ticket, resp)) => {
+                reply(&mut out, &resp)?;
+                if wait {
+                    stream_ticket(shared, &mut out, ticket)?;
+                }
+                Ok(())
+            }
+            Err(error) => reply(&mut out, &Response::Error { error }),
+        },
+        Request::Status => reply(&mut out, &Response::Status(status(shared))),
+        Request::Stream { ticket } => {
+            let known = shared
+                .state
+                .lock()
+                .expect("serve state")
+                .tickets
+                .contains_key(&ticket);
+            if known {
+                stream_ticket(shared, &mut out, ticket)
+            } else {
+                reply(
+                    &mut out,
+                    &Response::Error {
+                        error: format!("unknown ticket {ticket}"),
+                    },
+                )
+            }
+        }
+        Request::Cancel { ticket } => match cancel(shared, ticket) {
+            Ok(info) => reply(&mut out, &Response::Ok { info }),
+            Err(error) => reply(&mut out, &Response::Error { error }),
+        },
+        Request::KillWorker { worker } => {
+            let worker = worker as usize;
+            let mut st = shared.state.lock().expect("serve state");
+            if st.workers.get(worker).is_none_or(|w| !w.alive) {
+                let error = format!("no live worker {worker}");
+                drop(st);
+                reply(&mut out, &Response::Error { error })
+            } else {
+                st.kill_armed.push(worker);
+                drop(st);
+                reply(
+                    &mut out,
+                    &Response::Ok {
+                        info: format!("worker {worker} armed to die on its next claim"),
+                    },
+                )
+            }
+        }
+        Request::Shutdown => {
+            drain(shared);
+            reply(
+                &mut out,
+                &Response::Ok {
+                    info: "drained; daemon exiting".to_string(),
+                },
+            )?;
+            // Unblock the accept loop so the listener thread exits.
+            shared.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(shared.local_addr);
+            Ok(())
+        }
+    }
+}
+
+/// Plans a grid and folds it into the job table: adopt, journal-load, or
+/// enqueue each configuration. Returns the new ticket and its ack.
+fn submit(shared: &Shared, grid: &SweepGrid) -> Result<(u64, Response), String> {
+    let specs = grid.plan()?;
+    for spec in &specs {
+        if shared.registry.get(&spec.trace).is_none() {
+            return Err(format!("trace '{}' not in the registry", spec.trace));
+        }
+    }
+    let mut st = shared.state.lock().expect("serve state");
+    if st.shutting_down {
+        return Err("daemon is shutting down".to_string());
+    }
+    let ticket = st.next_ticket;
+    st.next_ticket += 1;
+    st.tickets.insert(
+        ticket,
+        Ticket {
+            jobs: specs.len() as u64,
+            merged: 0,
+            failed: 0,
+            canceled: false,
+            rows: Vec::new(),
+        },
+    );
+    let (mut fresh, mut journaled, mut merged) = (0u64, 0u64, 0u64);
+    for spec in specs {
+        let hash = spec.stable_hash();
+        let adopted = st.jobs.get_mut(&hash).map(|entry| {
+            entry.tickets.push(ticket);
+            match entry.phase {
+                Phase::Done => (entry.row.clone(), false),
+                Phase::Failed => (None, true),
+                Phase::Pending { .. } | Phase::Running { .. } => (None, false),
+            }
+        });
+        if let Some((done_row, failed_now)) = adopted {
+            merged += 1;
+            if let Some(row) = done_row {
+                push_row(&mut st, ticket, &row);
+            }
+            if failed_now {
+                st.tickets.get_mut(&ticket).expect("new ticket").failed += 1;
+            }
+        } else if let Some(result) = shared.journal.load(&spec) {
+            let row = row_core(&spec, &result, 0.0, 0, 0, "journal");
+            st.jobs.insert(
+                hash,
+                JobEntry {
+                    spec,
+                    phase: Phase::Done,
+                    attempts: 0,
+                    tickets: vec![ticket],
+                    row: Some(row.clone()),
+                },
+            );
+            push_row(&mut st, ticket, &row);
+            journaled += 1;
+        } else {
+            st.jobs.insert(
+                hash,
+                JobEntry {
+                    spec,
+                    phase: Phase::Pending { not_before: None },
+                    attempts: 0,
+                    tickets: vec![ticket],
+                    row: None,
+                },
+            );
+            st.queue.push_back(hash);
+            fresh += 1;
+        }
+    }
+    st.tickets.get_mut(&ticket).expect("new ticket").merged = merged;
+    let jobs = fresh + journaled + merged;
+    drop(st);
+    shared.wake_workers.notify_all();
+    shared.progress.notify_all();
+    Ok((
+        ticket,
+        Response::Submitted {
+            ticket,
+            jobs,
+            fresh,
+            journaled,
+            merged,
+        },
+    ))
+}
+
+fn ticket_done(ticket: u64, t: &Ticket) -> Option<DoneSummary> {
+    let terminal = t.rows.len() as u64 + t.failed >= t.jobs;
+    if !(terminal || t.canceled) {
+        return None;
+    }
+    let simulated = t.rows.iter().filter(|r| r.source == "simulated").count() as u64;
+    let journaled = t.rows.iter().filter(|r| r.source == "journal").count() as u64;
+    Some(DoneSummary {
+        ticket,
+        jobs: t.jobs,
+        simulated,
+        journaled,
+        merged: t.merged,
+        failed: t.failed,
+        canceled: t.canceled,
+    })
+}
+
+/// Streams a ticket's rows (past and future) followed by its `done`
+/// line, blocking on the progress condvar between completions.
+fn stream_ticket(
+    shared: &Shared,
+    out: &mut BufWriter<TcpStream>,
+    ticket: u64,
+) -> std::io::Result<()> {
+    let mut cursor = 0usize;
+    loop {
+        let (batch, done) = {
+            let mut st = shared.state.lock().expect("serve state");
+            loop {
+                let Some(t) = st.tickets.get(&ticket) else {
+                    drop(st);
+                    writeln!(
+                        out,
+                        "{}",
+                        Response::Error {
+                            error: format!("ticket {ticket} disappeared"),
+                        }
+                        .to_line()
+                    )?;
+                    return out.flush();
+                };
+                if cursor < t.rows.len() {
+                    break (t.rows[cursor..].to_vec(), None);
+                }
+                if let Some(done) = ticket_done(ticket, t) {
+                    break (Vec::new(), Some(done));
+                }
+                let (guard, _) = shared
+                    .progress
+                    .wait_timeout(st, Duration::from_millis(200))
+                    .expect("serve state");
+                st = guard;
+            }
+        };
+        for row in batch {
+            writeln!(out, "{}", Response::Result(row).to_line())?;
+            cursor += 1;
+        }
+        out.flush()?;
+        if let Some(done) = done {
+            writeln!(out, "{}", Response::Done(done).to_line())?;
+            return out.flush();
+        }
+    }
+}
+
+/// Cancels a ticket: pending jobs wanted by no other live ticket are
+/// dropped from the table (their queue slots go stale); running jobs
+/// finish and are journaled as usual.
+fn cancel(shared: &Shared, ticket: u64) -> Result<String, String> {
+    let mut st = shared.state.lock().expect("serve state");
+    {
+        let t = st
+            .tickets
+            .get_mut(&ticket)
+            .ok_or_else(|| format!("unknown ticket {ticket}"))?;
+        t.canceled = true;
+    }
+    let canceled_tickets: Vec<u64> = st
+        .tickets
+        .iter()
+        .filter(|(_, t)| t.canceled)
+        .map(|(&id, _)| id)
+        .collect();
+    let droppable: Vec<u64> = st
+        .jobs
+        .iter()
+        .filter(|(_, e)| {
+            matches!(e.phase, Phase::Pending { .. })
+                && e.tickets.iter().all(|t| canceled_tickets.contains(t))
+        })
+        .map(|(&h, _)| h)
+        .collect();
+    let dropped = droppable.len();
+    for hash in &droppable {
+        st.jobs.remove(hash);
+    }
+    drop(st);
+    shared.progress.notify_all();
+    Ok(format!(
+        "ticket {ticket} canceled, {dropped} pending job(s) dropped"
+    ))
+}
+
+fn status(shared: &Shared) -> StatusInfo {
+    let st = shared.state.lock().expect("serve state");
+    let mut pending = 0u64;
+    let mut running = 0u64;
+    let mut done = 0u64;
+    let mut failed = 0u64;
+    for e in st.jobs.values() {
+        match e.phase {
+            Phase::Pending { .. } => pending += 1,
+            Phase::Running { .. } => running += 1,
+            Phase::Done => done += 1,
+            Phase::Failed => failed += 1,
+        }
+    }
+    StatusInfo {
+        workers: st.workers.len() as u64,
+        alive: st.workers.iter().filter(|w| w.alive).count() as u64,
+        pending,
+        running,
+        done,
+        failed,
+        tickets: st.next_ticket - 1,
+        crashes: st.crashes,
+        retries: st.retries,
+        per_worker_done: st.workers.iter().map(|w| w.jobs_done).collect(),
+    }
+}
+
+/// The graceful drain: refuse new submissions, let workers finish every
+/// queued job, and return once the job table is fully terminal.
+fn drain(shared: &Shared) {
+    let mut st: MutexGuard<'_, State> = shared.state.lock().expect("serve state");
+    st.shutting_down = true;
+    shared.wake_workers.notify_all();
+    while !st
+        .jobs
+        .values()
+        .all(|e| matches!(e.phase, Phase::Done | Phase::Failed))
+    {
+        let (guard, _) = shared
+            .progress
+            .wait_timeout(st, Duration::from_millis(200))
+            .expect("serve state");
+        st = guard;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        assert_eq!(backoff(0), Duration::from_millis(50));
+        assert_eq!(backoff(1), Duration::from_millis(100));
+        assert_eq!(backoff(3), Duration::from_millis(400));
+        assert_eq!(backoff(10), Duration::from_millis(2_000));
+        assert_eq!(backoff(u32::MAX), Duration::from_millis(2_000));
+    }
+
+    #[test]
+    fn claim_skips_stale_and_gated_entries() {
+        let mut st = State::default();
+        let spec = JobSpec::new(
+            "t",
+            bv_sim::SimConfig::single_thread(bv_sim::LlcKind::Uncompressed),
+            0,
+            100,
+        );
+        let now = Instant::now();
+        // 1: gated into the future; 2: stale (no entry); 3: runnable.
+        st.jobs.insert(
+            1,
+            JobEntry {
+                spec: spec.clone(),
+                phase: Phase::Pending {
+                    not_before: Some(now + Duration::from_secs(60)),
+                },
+                attempts: 1,
+                tickets: vec![],
+                row: None,
+            },
+        );
+        st.jobs.insert(
+            3,
+            JobEntry {
+                spec,
+                phase: Phase::Pending { not_before: None },
+                attempts: 0,
+                tickets: vec![],
+                row: None,
+            },
+        );
+        st.queue.extend([1, 2, 3]);
+        match claim_next(&mut st, now) {
+            Claim::Job(h) => assert_eq!(h, 3),
+            _ => panic!("expected the runnable job"),
+        }
+        // Only the gated job remains queued; claiming again reports how
+        // long to wait for it.
+        match claim_next(&mut st, now) {
+            Claim::Wait(d) => assert!(d <= Duration::from_secs(60)),
+            _ => panic!("expected a backoff wait"),
+        }
+        assert_eq!(st.queue.len(), 1);
+    }
+}

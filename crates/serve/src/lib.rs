@@ -1,0 +1,44 @@
+//! # bv-serve — a multi-tenant sweep-serving daemon
+//!
+//! Every sweep in this repo used to be one process per invocation; this
+//! crate turns the bv-runner machinery — job planning, the checkpoint
+//! journal, the `runs.jsonl` observability stream — into a long-running
+//! *service*. A daemon (`bvsim serve`) listens on a TCP socket, accepts
+//! sweep submissions from any number of concurrent clients, and shards
+//! the resulting jobs across a pool of worker threads:
+//!
+//! * **Protocol** ([`proto`]) — `bvsim-serve-v1`, line-delimited JSON
+//!   over TCP (one request per connection), built on the same hand-rolled
+//!   JSON as the telemetry sink. Requests: submit-sweep, status,
+//!   stream-results, cancel, kill-worker (a test hook), shutdown.
+//! * **Cross-client dedup** ([`daemon`]) — jobs are keyed by
+//!   [`bv_runner::JobSpec::stable_hash`]; two clients submitting
+//!   overlapping grids simulate each configuration once, and both
+//!   tickets stream its result.
+//! * **Crash recovery** — per-job atomic checkpoints through
+//!   [`bv_runner::Journal`]; a worker thread dying mid-job is detected
+//!   by a monitor thread, its claimed job is re-queued with bounded
+//!   backoff retry, and a replacement worker is spawned. Restarting the
+//!   whole daemon against the same journal re-simulates nothing already
+//!   checkpointed.
+//! * **Streaming** — results flow back to clients incrementally as
+//!   `runs.jsonl`-shaped lines, in completion order, as soon as each job
+//!   finishes.
+//! * **Client mode** ([`client`]) — blocking helpers behind
+//!   `bvsim submit` / `bvsim watch` / `bvsim ctl`.
+//!
+//! The daemon holds no global run lock while simulating: workers only
+//! take the state mutex to claim a job and to publish its completion, so
+//! the service stays responsive to status and submit requests while a
+//! sweep is in flight.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod proto;
+
+pub use client::{control, submit, watch, SubmitOutcome};
+pub use daemon::{Daemon, ServeConfig};
+pub use proto::{DoneSummary, Request, Response, ResultRow, StatusInfo, SweepGrid, VERSION};

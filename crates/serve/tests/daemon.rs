@@ -1,0 +1,232 @@
+//! End-to-end daemon tests over real TCP connections: cross-client
+//! dedup, worker-crash recovery, journal-backed restart, and cancel.
+
+use bv_serve::{client, Daemon, Request, Response, ResultRow, ServeConfig, SweepGrid};
+use bv_trace::TraceRegistry;
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bv-serve-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    dir
+}
+
+fn start(journal: PathBuf, workers: usize) -> Daemon {
+    Daemon::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        journal,
+        timeout: Duration::from_secs(120),
+        retries: 2,
+        port_file: None,
+        spans: None,
+    })
+    .expect("start daemon")
+}
+
+fn trace_names(n: usize) -> Vec<String> {
+    TraceRegistry::paper_default()
+        .all()
+        .take(n)
+        .map(|t| t.name.clone())
+        .collect()
+}
+
+fn tiny_grid(traces: Vec<String>) -> SweepGrid {
+    SweepGrid {
+        traces,
+        llcs: vec!["uncompressed".into(), "base-victim".into()],
+        policies: vec!["nru".into()],
+        llc_mb: 2,
+        ways: 16,
+        warmup: 1_000,
+        insts: 2_000,
+    }
+}
+
+fn shutdown(addr: &str) {
+    match client::control(addr, &Request::Shutdown).expect("shutdown request") {
+        Response::Ok { .. } => {}
+        other => panic!("shutdown rejected: {other:?}"),
+    }
+}
+
+fn runs_lines(journal: &std::path::Path) -> Vec<String> {
+    let text = std::fs::read_to_string(journal.join("runs.jsonl")).unwrap_or_default();
+    text.lines().map(str::to_string).collect()
+}
+
+#[test]
+fn concurrent_overlapping_sweeps_simulate_each_config_once() {
+    let dir = tmp_dir("overlap");
+    let journal = dir.join("journal");
+    let daemon = start(journal.clone(), 3);
+    let addr = daemon.addr().to_string();
+
+    // Grids A (traces 0,1) and B (traces 1,2) overlap on trace 1: the
+    // daemon must simulate the 2 shared configs once while both clients
+    // receive them.
+    let names = trace_names(3);
+    let grid_a = tiny_grid(vec![names[0].clone(), names[1].clone()]);
+    let grid_b = tiny_grid(vec![names[1].clone(), names[2].clone()]);
+
+    let addr_b = addr.clone();
+    let b = std::thread::spawn(move || {
+        let mut rows: Vec<ResultRow> = Vec::new();
+        let outcome =
+            client::submit(&addr_b, &grid_b, true, |r| rows.push(r.clone())).expect("submit B");
+        (outcome, rows)
+    });
+    let mut rows_a: Vec<ResultRow> = Vec::new();
+    let outcome_a =
+        client::submit(&addr, &grid_a, true, |r| rows_a.push(r.clone())).expect("submit A");
+    let (outcome_b, rows_b) = b.join().expect("client B");
+
+    // Each client sees its complete sweep.
+    assert_eq!(outcome_a.jobs, 4);
+    assert_eq!(outcome_b.jobs, 4);
+    assert_eq!(rows_a.len(), 4, "client A misses rows: {rows_a:?}");
+    assert_eq!(rows_b.len(), 4, "client B misses rows: {rows_b:?}");
+    let done_a = outcome_a.done.expect("A streamed to completion");
+    let done_b = outcome_b.done.expect("B streamed to completion");
+    assert_eq!(done_a.failed + done_b.failed, 0);
+
+    // The union is 6 unique configs; runs.jsonl must hold exactly one
+    // simulation per config — no duplicates from the overlap.
+    let unique: HashSet<&str> = rows_a
+        .iter()
+        .chain(&rows_b)
+        .map(|r| r.hash.as_str())
+        .collect();
+    assert_eq!(unique.len(), 6);
+    match client::control(&addr, &Request::Status).expect("status") {
+        Response::Status(s) => {
+            assert_eq!(s.done, 6, "status: {s:?}");
+            assert_eq!(s.pending + s.running, 0);
+            assert_eq!(s.crashes, 0);
+            assert_eq!(s.tickets, 2);
+        }
+        other => panic!("unexpected status reply: {other:?}"),
+    }
+    shutdown(&addr);
+    daemon.wait().expect("daemon exit");
+    assert_eq!(runs_lines(&journal).len(), 6, "one journal line per config");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_worker_jobs_requeue_and_sweep_completes() {
+    let dir = tmp_dir("kill");
+    let journal = dir.join("journal");
+    let daemon = start(journal.clone(), 2);
+    let addr = daemon.addr().to_string();
+
+    // Arm worker 0 to panic after claiming its next job, BEFORE the
+    // submit: the crash lands mid-sweep deterministically.
+    match client::control(&addr, &Request::KillWorker { worker: 0 }).expect("arm kill") {
+        Response::Ok { .. } => {}
+        other => panic!("kill-worker rejected: {other:?}"),
+    }
+
+    let grid = tiny_grid(trace_names(2));
+    let mut rows: Vec<ResultRow> = Vec::new();
+    let outcome = client::submit(&addr, &grid, true, |r| rows.push(r.clone())).expect("submit");
+    let done = outcome.done.expect("streamed to completion");
+
+    // Zero lost: all 4 configs complete despite the crash.
+    assert_eq!(rows.len(), 4, "lost jobs after worker crash: {rows:?}");
+    assert_eq!(done.failed, 0);
+    // The re-queued job records attempt 2 (first claim died).
+    assert!(
+        rows.iter().any(|r| r.attempt >= 2),
+        "expected a retried job: {rows:?}"
+    );
+    match client::control(&addr, &Request::Status).expect("status") {
+        Response::Status(s) => {
+            assert_eq!(s.crashes, 1, "status: {s:?}");
+            assert!(s.retries >= 1);
+            assert_eq!(s.done, 4);
+            assert!(s.workers >= 3, "a replacement worker was spawned: {s:?}");
+            assert!(s.alive >= 2);
+        }
+        other => panic!("unexpected status reply: {other:?}"),
+    }
+    shutdown(&addr);
+    daemon.wait().expect("daemon exit");
+    // Zero duplicates: exactly one runs.jsonl line per unique config.
+    let lines = runs_lines(&journal);
+    assert_eq!(lines.len(), 4, "duplicate or lost journal lines: {lines:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn daemon_restart_resimulates_nothing_journaled() {
+    let dir = tmp_dir("restart");
+    let journal = dir.join("journal");
+    let grid = tiny_grid(trace_names(2));
+
+    let daemon = start(journal.clone(), 2);
+    let addr = daemon.addr().to_string();
+    let outcome = client::submit(&addr, &grid, true, |_| {}).expect("first submit");
+    assert_eq!(outcome.fresh, 4);
+    assert_eq!(outcome.journaled, 0);
+    shutdown(&addr);
+    daemon.wait().expect("first daemon exit");
+
+    // Same journal, fresh process: every config is served from disk.
+    let daemon = start(journal.clone(), 2);
+    let addr = daemon.addr().to_string();
+    let mut rows: Vec<ResultRow> = Vec::new();
+    let outcome =
+        client::submit(&addr, &grid, true, |r| rows.push(r.clone())).expect("second submit");
+    assert_eq!(outcome.fresh, 0, "restart re-queued journaled work");
+    assert_eq!(outcome.journaled, 4);
+    let done = outcome.done.expect("streamed");
+    assert_eq!(done.simulated, 0, "restart re-simulated journaled work");
+    assert_eq!(done.journaled, 4);
+    assert!(rows.iter().all(|r| r.source == "journal"), "{rows:?}");
+    shutdown(&addr);
+    daemon.wait().expect("second daemon exit");
+    // The journal still holds exactly the original 4 simulations.
+    assert_eq!(runs_lines(&journal).len(), 4);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancel_drops_pending_jobs_and_done_reports_it() {
+    let dir = tmp_dir("cancel");
+    let daemon = start(dir.join("journal"), 1);
+    let addr = daemon.addr().to_string();
+
+    // A wide grid on one worker guarantees pending jobs exist when the
+    // cancel lands.
+    let mut grid = tiny_grid(trace_names(8));
+    grid.insts = 50_000;
+    let outcome = client::submit(&addr, &grid, false, |_| {}).expect("submit");
+    assert_eq!(outcome.done, None, "no-wait submit returns immediately");
+    match client::control(
+        &addr,
+        &Request::Cancel {
+            ticket: outcome.ticket,
+        },
+    )
+    .expect("cancel")
+    {
+        Response::Ok { info } => assert!(info.contains("canceled"), "{info}"),
+        other => panic!("cancel rejected: {other:?}"),
+    }
+    let done = client::watch(&addr, outcome.ticket, |_| {}).expect("watch canceled ticket");
+    assert!(done.canceled);
+    assert!(
+        done.simulated < outcome.jobs,
+        "cancel should skip pending jobs: {done:?}"
+    );
+    // Unknown tickets are rejected cleanly.
+    assert!(client::watch(&addr, 999, |_| {}).is_err());
+    shutdown(&addr);
+    daemon.wait().expect("daemon exit");
+    let _ = std::fs::remove_dir_all(&dir);
+}

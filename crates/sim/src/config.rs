@@ -159,6 +159,29 @@ pub enum LlcKind {
 }
 
 impl LlcKind {
+    /// The names [`LlcKind::from_name`] accepts, for error messages.
+    pub const NAMES: &'static str = "uncompressed, two-tag, two-tag-ecm, base-victim, \
+     base-victim-ni, base-victim-random-fit, vsc, dcc";
+
+    /// Parses a CLI/protocol organization name — the inverse of
+    /// [`LlcKind::name`] for the sweepable organizations (parameterized
+    /// variants like explicit compressors are not nameable here). Accepts
+    /// both the CLI spelling (`vsc`) and the report spelling (`vsc-2x`).
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<LlcKind> {
+        Some(match s {
+            "uncompressed" => LlcKind::Uncompressed,
+            "two-tag" => LlcKind::TwoTag,
+            "two-tag-ecm" => LlcKind::TwoTagEcm,
+            "base-victim" => LlcKind::BaseVictim,
+            "base-victim-ni" => LlcKind::BaseVictimNonInclusive,
+            "base-victim-random-fit" => LlcKind::BaseVictimWith(VictimPolicyKind::RandomFit),
+            "vsc" | "vsc-2x" => LlcKind::Vsc,
+            "dcc" => LlcKind::Dcc,
+            _ => return None,
+        })
+    }
+
     /// Short stable name for reports.
     #[must_use]
     pub fn name(self) -> &'static str {

@@ -158,6 +158,49 @@ impl ObjWriter {
     }
 }
 
+/// An incremental writer for one JSON array: `push` calls append
+/// pre-rendered elements, `finish` closes the brackets. The array dual
+/// of [`ObjWriter`], used by the serve protocol to embed lists of
+/// rendered objects (sweep grids, job descriptors) in a message.
+#[derive(Default)]
+pub struct ArrWriter {
+    buf: String,
+}
+
+impl ArrWriter {
+    /// Starts an empty array.
+    #[must_use]
+    pub fn new() -> ArrWriter {
+        ArrWriter { buf: String::new() }
+    }
+
+    /// Appends `<rendered>`, which must already be valid JSON.
+    pub fn raw(&mut self, rendered: &str) -> &mut ArrWriter {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push_str(rendered);
+        self
+    }
+
+    /// Appends a string element.
+    pub fn str(&mut self, val: &str) -> &mut ArrWriter {
+        let q = quote(val);
+        self.raw(&q)
+    }
+
+    /// Appends an unsigned integer element.
+    pub fn u64(&mut self, val: u64) -> &mut ArrWriter {
+        self.raw(&val.to_string())
+    }
+
+    /// The completed array.
+    #[must_use]
+    pub fn finish(&self) -> String {
+        format!("[{}]", self.buf)
+    }
+}
+
 /// Parses one JSON document.
 ///
 /// # Errors
@@ -347,6 +390,21 @@ mod tests {
             .map(|x| x.as_u64().unwrap())
             .collect();
         assert_eq!(hist, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn arr_writer_roundtrips() {
+        let mut a = ArrWriter::new();
+        a.str("x\"y")
+            .u64(7)
+            .raw(&ObjWriter::new().u64("k", 1).finish());
+        let v = parse(&a.finish()).expect("parse");
+        let items = v.as_arr().unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].as_str(), Some("x\"y"));
+        assert_eq!(items[1].as_u64(), Some(7));
+        assert_eq!(items[2].get("k").unwrap().as_u64(), Some(1));
+        assert_eq!(ArrWriter::new().finish(), "[]");
     }
 
     #[test]

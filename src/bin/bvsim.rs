@@ -21,6 +21,11 @@
 //! bvsim fuzz --cases 200 --seed 1             # adversarial property fuzzing
 //! bvsim fuzz --inject                         # fault-detection self-test
 //! bvsim fuzz --replay tests/corpus/kv-inject-mirror.bvfuzz.json
+//! bvsim serve --addr 127.0.0.1:0 --port-file serve.addr    # sweep daemon
+//! bvsim submit --traces specint.mcf.07,client.octane.00 --llcs uncompressed,base-victim
+//! bvsim watch --ticket 1                      # re-attach to a running sweep
+//! bvsim ctl --status                          # daemon counters
+//! bvsim ctl --shutdown                        # drain in-flight work, then exit
 //! ```
 //!
 //! Argument parsing lives in [`base_victim::cli`] so it can be
@@ -28,7 +33,8 @@
 
 use base_victim::bench::perf;
 use base_victim::cli::{
-    self, BenchArgs, Command, FuzzArgs, KvArgs, RunArgs, SweepArgs, TraceArgs, USAGE,
+    self, BenchArgs, Command, CtlAction, CtlArgs, FuzzArgs, KvArgs, RunArgs, ServeArgs, SubmitArgs,
+    SweepArgs, TraceArgs, WatchArgs, USAGE,
 };
 use base_victim::events::{CacheEvent, EventFilter, EventKind, RingSink};
 use base_victim::fuzz as bvfuzz;
@@ -37,6 +43,9 @@ use base_victim::kvcache::{
     KvTelemetry, LockstepConfig,
 };
 use base_victim::llc::audit::{self, AuditConfig};
+use base_victim::serve::{
+    client, Daemon, DoneSummary, Request, Response, ResultRow, ServeConfig, SweepGrid,
+};
 use base_victim::sim::SimTelemetry;
 use base_victim::trace::request::RequestProfile;
 use base_victim::{CacheGeometry, LlcKind, SimConfig, System, TraceRegistry};
@@ -62,6 +71,10 @@ fn main() -> ExitCode {
         Ok(Command::Trace(trace)) => run_trace(&trace),
         Ok(Command::Kv(kv)) => run_kv(&kv),
         Ok(Command::Fuzz(fuzz)) => run_fuzz(&fuzz),
+        Ok(Command::Serve(serve)) => run_serve(&serve),
+        Ok(Command::Submit(submit)) => run_submit(&submit),
+        Ok(Command::Watch(watch)) => run_watch(&watch),
+        Ok(Command::Ctl(ctl)) => run_ctl(&ctl),
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             ExitCode::FAILURE
@@ -204,6 +217,10 @@ fn run_sweep(args: &SweepArgs) -> ExitCode {
     } else {
         runner
     };
+    // Ctrl-C checkpoints in-flight state and leaves a resumable journal
+    // instead of killing the process mid-write.
+    let interrupted = sigint::install();
+    let runner = runner.with_cancel(std::sync::Arc::clone(&interrupted));
     let ctx = base_victim::bench::Ctx::with_runner(runner);
     println!(
         "sweep: {} worker(s), journal {}{}, warmup {} + measure {} instructions per run",
@@ -224,6 +241,9 @@ fn run_sweep(args: &SweepArgs) -> ExitCode {
         report.simulated,
         t0.elapsed().as_secs_f64()
     );
+    if report.canceled > 0 {
+        println!("sweep: {} job(s) skipped after Ctrl-C", report.canceled);
+    }
     if let Some(journal) = ctx.runner.journal() {
         println!(
             "sweep: {} checkpoints under {} (runs.jsonl has one line per completed job)",
@@ -243,6 +263,15 @@ fn run_sweep(args: &SweepArgs) -> ExitCode {
             base_victim::runner::utilization_summary(&spans),
             path.display()
         );
+    }
+    if report.canceled > 0 {
+        eprintln!(
+            "sweep: interrupted — completed work is checkpointed; rerun with --resume \
+             --journal {} to continue",
+            args.journal.display()
+        );
+        // The conventional exit status for death-by-SIGINT.
+        return ExitCode::from(130);
     }
     ExitCode::SUCCESS
 }
@@ -953,6 +982,306 @@ fn run_fuzz_replay(args: &FuzzArgs, path: &Path) -> ExitCode {
                 );
                 emit_reproducer(args.out.as_deref(), &out.case);
             }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// SIGINT -> a shared flag the sweep runner polls between jobs, so
+/// Ctrl-C checkpoints in-flight state instead of killing the process
+/// mid-write. The handler only performs an atomic store, which is
+/// async-signal-safe.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    extern "C" fn on_sigint(_sig: i32) {
+        if let Some(flag) = FLAG.get() {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Installs the handler (idempotent) and returns the flag it sets.
+    pub fn install() -> Arc<AtomicBool> {
+        const SIGINT: i32 = 2;
+        let flag = Arc::clone(FLAG.get_or_init(|| Arc::new(AtomicBool::new(false))));
+        // SAFETY: libc `signal` with a handler that only stores to a
+        // static atomic — the minimal async-signal-safe use.
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+        flag
+    }
+}
+
+/// Non-unix fallback: no handler is installed; the flag never trips and
+/// Ctrl-C keeps its default behavior.
+#[cfg(not(unix))]
+mod sigint {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    pub fn install() -> Arc<AtomicBool> {
+        Arc::new(AtomicBool::new(false))
+    }
+}
+
+fn run_serve(args: &ServeArgs) -> ExitCode {
+    let workers = args
+        .workers
+        .unwrap_or_else(base_victim::runner::pool::default_workers);
+    let daemon = match Daemon::start(ServeConfig {
+        addr: args.addr.clone(),
+        workers,
+        journal: args.journal.clone(),
+        timeout: std::time::Duration::from_secs(args.timeout_secs),
+        retries: args.retries,
+        port_file: args.port_file.clone(),
+        spans: args.spans.clone(),
+    }) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: cannot start daemon on {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "serve: listening on {} | {} worker(s), journal {}, job timeout {}s, {} retries",
+        daemon.addr(),
+        workers,
+        args.journal.display(),
+        args.timeout_secs,
+        args.retries
+    );
+    println!(
+        "serve: submit with `bvsim submit --addr {0} --traces <a,b,...>`; stop with \
+         `bvsim ctl --addr {0} --shutdown`",
+        daemon.addr()
+    );
+    match daemon.wait() {
+        Ok(summary) => {
+            if let (Some(summary), Some(path)) = (summary, &args.spans) {
+                println!("serve: {summary} -> {}", path.display());
+            }
+            println!("serve: drained and stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: span export failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Prints each streamed result row and optionally appends it to an
+/// `--out` file as a bare runs.jsonl-shaped line.
+struct RowSink {
+    file: Option<std::fs::File>,
+    write_err: Option<String>,
+    rows: u64,
+}
+
+impl RowSink {
+    fn open(out: Option<&Path>) -> Result<RowSink, String> {
+        let file = match out {
+            Some(path) => Some(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| format!("cannot open {}: {e}", path.display()))?,
+            ),
+            None => None,
+        };
+        Ok(RowSink {
+            file,
+            write_err: None,
+            rows: 0,
+        })
+    }
+
+    fn push(&mut self, row: &ResultRow) {
+        self.rows += 1;
+        println!(
+            "  [{}] {} {} {} | IPC {:.4}, hit {:.1}%, size {:.0}% | {} \
+             (worker {}, attempt {})",
+            row.seq,
+            row.trace,
+            row.llc,
+            row.policy,
+            row.ipc,
+            row.llc_hit_rate * 100.0,
+            row.comp_ratio * 100.0,
+            row.source,
+            row.worker,
+            row.attempt
+        );
+        if let Some(file) = &mut self.file {
+            let mut line = row.to_jsonl_line();
+            line.push('\n');
+            // One write_all per row keeps appended lines atomic.
+            if let Err(e) = std::io::Write::write_all(file, line.as_bytes()) {
+                let _ = self
+                    .write_err
+                    .get_or_insert_with(|| format!("cannot append result row: {e}"));
+            }
+        }
+    }
+
+    fn finish(self) -> Result<u64, String> {
+        match self.write_err {
+            Some(e) => Err(e),
+            None => Ok(self.rows),
+        }
+    }
+}
+
+fn print_done(done: &DoneSummary) {
+    println!(
+        "done: ticket {} | {} job(s): {} simulated, {} journaled, {} merged, {} failed{}",
+        done.ticket,
+        done.jobs,
+        done.simulated,
+        done.journaled,
+        done.merged,
+        done.failed,
+        if done.canceled { " (canceled)" } else { "" }
+    );
+}
+
+/// Drains the sink; on success reports the `--out` row count.
+fn close_sink(sink: RowSink, out: Option<&Path>) -> ExitCode {
+    match sink.finish() {
+        Ok(rows) => {
+            if let Some(out) = out {
+                println!("{rows} row(s) -> {}", out.display());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_submit(args: &SubmitArgs) -> ExitCode {
+    let grid = SweepGrid {
+        traces: args.traces.clone(),
+        llcs: args.llcs.clone(),
+        policies: args.policies.clone(),
+        llc_mb: args.llc_mb,
+        ways: args.ways,
+        warmup: args.warmup,
+        insts: args.insts,
+    };
+    let mut sink = match RowSink::open(args.out.as_deref()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match client::submit(&args.addr, &grid, !args.no_wait, |row| sink.push(row)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "submit: ticket {} | {} job(s): {} fresh, {} journaled, {} merged",
+        outcome.ticket, outcome.jobs, outcome.fresh, outcome.journaled, outcome.merged
+    );
+    match &outcome.done {
+        Some(done) => print_done(done),
+        None => println!(
+            "submit: not waiting — stream later with `bvsim watch --addr {} --ticket {}`",
+            args.addr, outcome.ticket
+        ),
+    }
+    if close_sink(sink, args.out.as_deref()) == ExitCode::FAILURE {
+        return ExitCode::FAILURE;
+    }
+    match &outcome.done {
+        Some(done) if done.failed > 0 || done.canceled => ExitCode::FAILURE,
+        _ => ExitCode::SUCCESS,
+    }
+}
+
+fn run_watch(args: &WatchArgs) -> ExitCode {
+    let mut sink = match RowSink::open(args.out.as_deref()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let done = match client::watch(&args.addr, args.ticket, |row| sink.push(row)) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_done(&done);
+    if close_sink(sink, args.out.as_deref()) == ExitCode::FAILURE {
+        return ExitCode::FAILURE;
+    }
+    if done.failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_ctl(args: &CtlArgs) -> ExitCode {
+    let req = match &args.action {
+        CtlAction::Status => Request::Status,
+        CtlAction::Cancel(ticket) => Request::Cancel { ticket: *ticket },
+        CtlAction::KillWorker(worker) => Request::KillWorker { worker: *worker },
+        CtlAction::Shutdown => Request::Shutdown,
+    };
+    match client::control(&args.addr, &req) {
+        Ok(Response::Status(s)) => {
+            println!(
+                "workers             : {} started, {} alive",
+                s.workers, s.alive
+            );
+            println!(
+                "jobs                : {} pending, {} running, {} done, {} failed",
+                s.pending, s.running, s.done, s.failed
+            );
+            println!("tickets             : {}", s.tickets);
+            println!(
+                "recovery            : {} worker crash(es), {} job re-queue(s)",
+                s.crashes, s.retries
+            );
+            let per: Vec<String> = s.per_worker_done.iter().map(u64::to_string).collect();
+            println!("per-worker done     : [{}]", per.join(", "));
+            ExitCode::SUCCESS
+        }
+        Ok(Response::Ok { info }) => {
+            println!("ok: {info}");
+            ExitCode::SUCCESS
+        }
+        Ok(Response::Error { error }) => {
+            eprintln!("error: {error}");
+            ExitCode::FAILURE
+        }
+        Ok(other) => {
+            eprintln!("error: unexpected reply: {other:?}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }

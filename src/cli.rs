@@ -3,7 +3,6 @@
 //! process state) and returns either a [`Command`] or an error message.
 
 use bv_cache::PolicyKind;
-use bv_core::VictimPolicyKind;
 use bv_kvcache::KvOrgKind;
 use bv_sim::LlcKind;
 use std::path::PathBuf;
@@ -24,6 +23,11 @@ USAGE:
     bvsim kv [--dist <name>] [--org <name>] [--compare | --sweep | --lockstep]
     bvsim fuzz [--cases <n>] [--seed <n>] [--llc | --kv] [--inject]
     bvsim fuzz --replay <file> [--shrink] [--out <file>]
+    bvsim serve [--addr <host:port>] [--workers <n>] [--journal <dir>]
+    bvsim submit --traces <a,b,...> [--llcs <a,b,...>] [--policies <a,b,...>]
+    bvsim watch --ticket <n> [--addr <host:port>] [--out <file>]
+    bvsim ctl [--addr <host:port>] (--status | --cancel <t> | --kill-worker <w>
+                                    | --shutdown)
 
 OPTIONS:
     --trace <name>      registry trace to run (see --list-traces)
@@ -129,6 +133,42 @@ FUZZ (hunts for hit-rate-guarantee violations on adversarial random workloads):
     --out <file>        write the failing (or minimized) case as a
                         .bvfuzz.json reproducer (default: print it)
 
+SERVE (runs the multi-tenant sweep-serving daemon over bvsim-serve-v1):
+    --addr <host:port>  listen address; port 0 picks an ephemeral port
+                        (default: 127.0.0.1:7070)
+    --workers <n>       simulation worker threads (default: all cores)
+    --journal <dir>     crash-recovery journal; restarts re-simulate
+                        nothing already journaled (default: results/journal)
+    --timeout-secs <n>  per-job wall-clock timeout before re-queue
+                        (default: 300)
+    --retries <n>       per-job retry budget after crash/timeout (default: 3)
+    --port-file <file>  atomically write the bound address here once
+                        listening (for scripts using port 0)
+    --spans <file>      export per-worker job spans as Chrome trace-event
+                        JSON on shutdown, plus a utilization summary
+
+SUBMIT (plans a sweep grid and submits it to a running daemon):
+    --addr <host:port>  daemon address (default: 127.0.0.1:7070)
+    --traces <a,b,...>  comma-separated registry trace names (required)
+    --llcs <a,b,...>    LLC kinds to cross (default: base-victim)
+    --policies <a,...>  replacement policies to cross (default: nru)
+    --llc-mb, --ways, --warmup, --insts  as for a plain run
+    --out <file>        append streamed result rows as runs.jsonl lines
+    --no-wait           return the ticket immediately instead of
+                        streaming results to completion
+
+WATCH (attaches to an existing ticket and streams its results):
+    --ticket <n>        ticket number from submit (required)
+    --addr <host:port>  daemon address (default: 127.0.0.1:7070)
+    --out <file>        append streamed rows as runs.jsonl lines
+
+CTL (single-shot daemon control; exactly one action):
+    --status            print worker/queue/ticket counters
+    --cancel <t>        cancel ticket <t>; pending jobs are dropped
+    --kill-worker <w>   arm worker <w> to crash after its next claim
+                        (crash-recovery drills)
+    --shutdown          drain all in-flight work, then exit
+
 BENCH (times the compression kernels and end-to-end simulation, writes BENCH.json):
     --quick             smaller corpus and budgets (the CI gate sizing)
     --out <file>        report destination (default: BENCH.json)
@@ -162,14 +202,21 @@ pub enum Command {
     /// `fuzz`: hunt for hit-rate-guarantee violations on adversarial
     /// random workloads, with shrinking and reproducer replay.
     Fuzz(FuzzArgs),
+    /// `serve`: run the multi-tenant sweep-serving daemon.
+    Serve(ServeArgs),
+    /// `submit`: submit a sweep grid to a running daemon.
+    Submit(SubmitArgs),
+    /// `watch`: attach to a daemon ticket and stream its results.
+    Watch(WatchArgs),
+    /// `ctl`: one-shot daemon control (status/cancel/kill-worker/shutdown).
+    Ctl(CtlArgs),
 }
 
 /// The `--llc` values [`parse_llc`] accepts, for error messages.
-pub const LLC_KINDS: &str = "uncompressed, two-tag, two-tag-ecm, base-victim, \
-     base-victim-ni, base-victim-random-fit, vsc, dcc";
+pub const LLC_KINDS: &str = LlcKind::NAMES;
 
 /// The `--policy` values [`parse_policy`] accepts, for error messages.
-pub const POLICY_NAMES: &str = "lru, nru, srrip, char, camp, random";
+pub const POLICY_NAMES: &str = PolicyKind::NAMES;
 
 /// The kv `--org` values [`parse_kv_org`] accepts, for error messages.
 pub const KV_ORGS: &str = "uncompressed, compressed, base-victim";
@@ -434,20 +481,121 @@ impl Default for BenchArgs {
     }
 }
 
+/// The default daemon address for `serve` / `submit` / `watch` / `ctl`.
+pub const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7070";
+
+/// Arguments for the `serve` subcommand (the sweep daemon).
+#[derive(Debug, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// Bind address (`:0` selects an ephemeral port).
+    pub addr: String,
+    /// Worker threads; `None` defers to `BV_JOBS` / the core count.
+    pub workers: Option<usize>,
+    /// Checkpoint/journal directory (shared with `sweep`).
+    pub journal: PathBuf,
+    /// Per-job hang timeout in seconds.
+    pub timeout_secs: u64,
+    /// Re-queues allowed per job after its first attempt.
+    pub retries: u32,
+    /// Write the actual bound address here once listening.
+    pub port_file: Option<PathBuf>,
+    /// Export worker spans as Chrome trace-event JSON on shutdown.
+    pub spans: Option<PathBuf>,
+}
+
+impl Default for ServeArgs {
+    fn default() -> ServeArgs {
+        ServeArgs {
+            addr: DEFAULT_SERVE_ADDR.to_string(),
+            workers: None,
+            journal: PathBuf::from("results/journal"),
+            timeout_secs: 300,
+            retries: 3,
+            port_file: None,
+            spans: None,
+        }
+    }
+}
+
+/// Arguments for the `submit` subcommand (client of a running daemon).
+#[derive(Debug, PartialEq, Eq)]
+pub struct SubmitArgs {
+    /// Daemon address.
+    pub addr: String,
+    /// Trace names (comma-separated on the command line).
+    pub traces: Vec<String>,
+    /// LLC organization names.
+    pub llcs: Vec<String>,
+    /// Replacement policy names.
+    pub policies: Vec<String>,
+    /// LLC capacity in megabytes.
+    pub llc_mb: u64,
+    /// LLC associativity.
+    pub ways: u64,
+    /// Warmup instructions per job.
+    pub warmup: u64,
+    /// Measured instructions per job.
+    pub insts: u64,
+    /// Append received result lines here (runs.jsonl-shaped).
+    pub out: Option<PathBuf>,
+    /// Return after the ticket ack instead of streaming to completion.
+    pub no_wait: bool,
+}
+
+impl Default for SubmitArgs {
+    fn default() -> SubmitArgs {
+        SubmitArgs {
+            addr: DEFAULT_SERVE_ADDR.to_string(),
+            traces: Vec::new(),
+            llcs: vec!["base-victim".to_string()],
+            policies: vec!["nru".to_string()],
+            llc_mb: 2,
+            ways: 16,
+            warmup: 1_000_000,
+            insts: 1_500_000,
+            out: None,
+            no_wait: false,
+        }
+    }
+}
+
+/// Arguments for the `watch` subcommand.
+#[derive(Debug, PartialEq, Eq)]
+pub struct WatchArgs {
+    /// Daemon address.
+    pub addr: String,
+    /// The ticket to stream.
+    pub ticket: u64,
+    /// Append received result lines here.
+    pub out: Option<PathBuf>,
+}
+
+/// What a `ctl` invocation asks the daemon to do.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CtlAction {
+    /// Print queue/worker counters.
+    Status,
+    /// Cancel a ticket.
+    Cancel(u64),
+    /// Arm a worker to die on its next claim (crash-recovery testing).
+    KillWorker(u64),
+    /// Drain and stop the daemon.
+    Shutdown,
+}
+
+/// Arguments for the `ctl` subcommand.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CtlArgs {
+    /// Daemon address.
+    pub addr: String,
+    /// The control action to perform.
+    pub action: CtlAction,
+}
+
 /// Parses an LLC organization name.
 #[must_use]
 pub fn parse_llc(s: &str) -> Option<LlcKind> {
-    Some(match s {
-        "uncompressed" => LlcKind::Uncompressed,
-        "two-tag" => LlcKind::TwoTag,
-        "two-tag-ecm" => LlcKind::TwoTagEcm,
-        "base-victim" => LlcKind::BaseVictim,
-        "base-victim-ni" => LlcKind::BaseVictimNonInclusive,
-        "base-victim-random-fit" => LlcKind::BaseVictimWith(VictimPolicyKind::RandomFit),
-        "vsc" => LlcKind::Vsc,
-        "dcc" => LlcKind::Dcc,
-        _ => return None,
-    })
+    LlcKind::from_name(s)
 }
 
 /// Parses a kv-tier organization name.
@@ -459,15 +607,7 @@ pub fn parse_kv_org(s: &str) -> Option<KvOrgKind> {
 /// Parses a replacement-policy name.
 #[must_use]
 pub fn parse_policy(s: &str) -> Option<PolicyKind> {
-    Some(match s {
-        "lru" => PolicyKind::Lru,
-        "nru" => PolicyKind::Nru,
-        "srrip" => PolicyKind::Srrip,
-        "char" => PolicyKind::CharLite,
-        "camp" => PolicyKind::CampLite,
-        "random" => PolicyKind::Random,
-        _ => return None,
-    })
+    PolicyKind::from_name(s)
 }
 
 /// Parses the argument list (without the program name).
@@ -494,6 +634,18 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     }
     if args.first().map(String::as_str) == Some("fuzz") {
         return parse_fuzz(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        return parse_serve(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("submit") {
+        return parse_submit(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("watch") {
+        return parse_watch(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("ctl") {
+        return parse_ctl(&args[1..]);
     }
     let mut run = RunArgs::default();
     let mut trace = None;
@@ -584,6 +736,190 @@ fn parse_sweep(args: &[String]) -> Result<Command, String> {
         }
     }
     Ok(Command::Sweep(sweep))
+}
+
+fn parse_serve(args: &[String]) -> Result<Command, String> {
+    let mut serve = ServeArgs::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--addr" => serve.addr = value("--addr")?,
+            "--workers" => {
+                let v: usize = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if v == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                serve.workers = Some(v);
+            }
+            "--journal" => serve.journal = PathBuf::from(value("--journal")?),
+            "--timeout-secs" => {
+                serve.timeout_secs = value("--timeout-secs")?
+                    .parse()
+                    .map_err(|e| format!("--timeout-secs: {e}"))?;
+            }
+            "--retries" => {
+                serve.retries = value("--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?;
+            }
+            "--port-file" => serve.port_file = Some(PathBuf::from(value("--port-file")?)),
+            "--spans" => serve.spans = Some(PathBuf::from(value("--spans")?)),
+            "--help" | "-h" => return Ok(Command::Help),
+            other => return Err(format!("unknown serve flag '{other}' (try --help)")),
+        }
+    }
+    Ok(Command::Serve(serve))
+}
+
+/// Splits a comma-separated list, rejecting empty elements.
+fn parse_list(flag: &str, v: &str) -> Result<Vec<String>, String> {
+    let items: Vec<String> = v.split(',').map(str::trim).map(str::to_string).collect();
+    if items.iter().any(String::is_empty) {
+        return Err(format!(
+            "{flag}: expected a comma-separated list, got '{v}'"
+        ));
+    }
+    Ok(items)
+}
+
+fn parse_submit(args: &[String]) -> Result<Command, String> {
+    let mut submit = SubmitArgs::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--addr" => submit.addr = value("--addr")?,
+            "--traces" => submit.traces = parse_list("--traces", &value("--traces")?)?,
+            "--llcs" => {
+                let list = parse_list("--llcs", &value("--llcs")?)?;
+                for name in &list {
+                    if LlcKind::from_name(name).is_none() {
+                        return Err(format!("unknown LLC kind '{name}' (valid: {LLC_KINDS})"));
+                    }
+                }
+                submit.llcs = list;
+            }
+            "--policies" => {
+                let list = parse_list("--policies", &value("--policies")?)?;
+                for name in &list {
+                    if PolicyKind::from_name(name).is_none() {
+                        return Err(format!("unknown policy '{name}' (valid: {POLICY_NAMES})"));
+                    }
+                }
+                submit.policies = list;
+            }
+            "--llc-mb" => {
+                submit.llc_mb = value("--llc-mb")?
+                    .parse()
+                    .map_err(|e| format!("--llc-mb: {e}"))?;
+            }
+            "--ways" => {
+                submit.ways = value("--ways")?
+                    .parse()
+                    .map_err(|e| format!("--ways: {e}"))?;
+            }
+            "--warmup" => {
+                submit.warmup = value("--warmup")?
+                    .parse()
+                    .map_err(|e| format!("--warmup: {e}"))?;
+            }
+            "--insts" => {
+                submit.insts = value("--insts")?
+                    .parse()
+                    .map_err(|e| format!("--insts: {e}"))?;
+            }
+            "--out" => submit.out = Some(PathBuf::from(value("--out")?)),
+            "--no-wait" => submit.no_wait = true,
+            "--help" | "-h" => return Ok(Command::Help),
+            other => return Err(format!("unknown submit flag '{other}' (try --help)")),
+        }
+    }
+    if submit.traces.is_empty() {
+        return Err("submit requires --traces <a,b,...>".into());
+    }
+    Ok(Command::Submit(submit))
+}
+
+fn parse_watch(args: &[String]) -> Result<Command, String> {
+    let mut addr = DEFAULT_SERVE_ADDR.to_string();
+    let mut ticket = None;
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--ticket" => {
+                ticket = Some(
+                    value("--ticket")?
+                        .parse()
+                        .map_err(|e| format!("--ticket: {e}"))?,
+                );
+            }
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--help" | "-h" => return Ok(Command::Help),
+            other => return Err(format!("unknown watch flag '{other}' (try --help)")),
+        }
+    }
+    let ticket = ticket.ok_or("watch requires --ticket <n>")?;
+    Ok(Command::Watch(WatchArgs { addr, ticket, out }))
+}
+
+fn parse_ctl(args: &[String]) -> Result<Command, String> {
+    let mut addr = DEFAULT_SERVE_ADDR.to_string();
+    let mut action = None;
+    let set = |a: CtlAction, action: &mut Option<CtlAction>| -> Result<(), String> {
+        if action.is_some() {
+            return Err("ctl takes exactly one action".into());
+        }
+        *action = Some(a);
+        Ok(())
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--status" => set(CtlAction::Status, &mut action)?,
+            "--cancel" => {
+                let t = value("--cancel")?
+                    .parse()
+                    .map_err(|e| format!("--cancel: {e}"))?;
+                set(CtlAction::Cancel(t), &mut action)?;
+            }
+            "--kill-worker" => {
+                let w = value("--kill-worker")?
+                    .parse()
+                    .map_err(|e| format!("--kill-worker: {e}"))?;
+                set(CtlAction::KillWorker(w), &mut action)?;
+            }
+            "--shutdown" => set(CtlAction::Shutdown, &mut action)?,
+            "--help" | "-h" => return Ok(Command::Help),
+            other => return Err(format!("unknown ctl flag '{other}' (try --help)")),
+        }
+    }
+    let action =
+        action.ok_or("ctl requires one of --status | --cancel | --kill-worker | --shutdown")?;
+    Ok(Command::Ctl(CtlArgs { addr, action }))
 }
 
 /// Parses an inclusive `lo:hi` range with `lo <= hi`.
@@ -1236,5 +1572,114 @@ mod tests {
         assert!(parse(&argv("bench --max-regress 150")).is_err());
         assert!(parse(&argv("bench --max-regress some")).is_err());
         assert!(parse(&argv("bench --trace t")).is_err());
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("serve")).unwrap(),
+            Command::Serve(ServeArgs::default())
+        );
+        let cmd = parse(&argv(
+            "serve --addr 127.0.0.1:0 --workers 3 --journal /tmp/j --timeout-secs 10 \
+             --retries 1 --port-file /tmp/p --spans /tmp/s.json",
+        ))
+        .expect("parse");
+        assert_eq!(
+            cmd,
+            Command::Serve(ServeArgs {
+                addr: "127.0.0.1:0".to_string(),
+                workers: Some(3),
+                journal: PathBuf::from("/tmp/j"),
+                timeout_secs: 10,
+                retries: 1,
+                port_file: Some(PathBuf::from("/tmp/p")),
+                spans: Some(PathBuf::from("/tmp/s.json")),
+            })
+        );
+        assert_eq!(parse(&argv("serve --help")).unwrap(), Command::Help);
+        assert!(parse(&argv("serve --workers 0")).is_err());
+        assert!(parse(&argv("serve --bogus")).is_err());
+    }
+
+    #[test]
+    fn submit_flags_and_validation() {
+        let cmd = parse(&argv(
+            "submit --traces a,b --llcs uncompressed,base-victim --policies nru,lru \
+             --llc-mb 4 --ways 8 --warmup 10 --insts 20 --out /tmp/o.jsonl --no-wait",
+        ))
+        .expect("parse");
+        assert_eq!(
+            cmd,
+            Command::Submit(SubmitArgs {
+                addr: DEFAULT_SERVE_ADDR.to_string(),
+                traces: vec!["a".to_string(), "b".to_string()],
+                llcs: vec!["uncompressed".to_string(), "base-victim".to_string()],
+                policies: vec!["nru".to_string(), "lru".to_string()],
+                llc_mb: 4,
+                ways: 8,
+                warmup: 10,
+                insts: 20,
+                out: Some(PathBuf::from("/tmp/o.jsonl")),
+                no_wait: true,
+            })
+        );
+        // --traces is required; llc/policy names are checked at parse time.
+        assert!(parse(&argv("submit")).is_err());
+        let err = parse(&argv("submit --traces t --llcs bogus")).unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+        let err = parse(&argv("submit --traces t --policies bogus")).unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+        assert!(parse(&argv("submit --traces t,,u")).is_err());
+    }
+
+    #[test]
+    fn watch_and_ctl_flags() {
+        let cmd = parse(&argv("watch --ticket 7 --addr h:1 --out /tmp/w.jsonl")).expect("parse");
+        assert_eq!(
+            cmd,
+            Command::Watch(WatchArgs {
+                addr: "h:1".to_string(),
+                ticket: 7,
+                out: Some(PathBuf::from("/tmp/w.jsonl")),
+            })
+        );
+        assert!(parse(&argv("watch")).is_err(), "--ticket is required");
+
+        let status = parse(&argv("ctl --status")).expect("parse");
+        assert_eq!(
+            status,
+            Command::Ctl(CtlArgs {
+                addr: DEFAULT_SERVE_ADDR.to_string(),
+                action: CtlAction::Status,
+            })
+        );
+        let cancel = parse(&argv("ctl --cancel 3 --addr h:2")).expect("parse");
+        assert_eq!(
+            cancel,
+            Command::Ctl(CtlArgs {
+                addr: "h:2".to_string(),
+                action: CtlAction::Cancel(3),
+            })
+        );
+        let kill = parse(&argv("ctl --kill-worker 1")).expect("parse");
+        assert_eq!(
+            kill,
+            Command::Ctl(CtlArgs {
+                addr: DEFAULT_SERVE_ADDR.to_string(),
+                action: CtlAction::KillWorker(1),
+            })
+        );
+        let stop = parse(&argv("ctl --shutdown")).expect("parse");
+        assert_eq!(
+            stop,
+            Command::Ctl(CtlArgs {
+                addr: DEFAULT_SERVE_ADDR.to_string(),
+                action: CtlAction::Shutdown,
+            })
+        );
+        // Exactly one action: none or two both fail.
+        assert!(parse(&argv("ctl")).is_err());
+        assert!(parse(&argv("ctl --status --shutdown")).is_err());
     }
 }

@@ -122,6 +122,11 @@ pub mod runner {
     pub use bv_runner::*;
 }
 
+/// The sweep-serving daemon and its client (re-export of `bv-serve`).
+pub mod serve {
+    pub use bv_serve::*;
+}
+
 /// The experiment harness and figure functions (re-export of `bv-bench`).
 pub mod bench {
     pub use bv_bench::*;
