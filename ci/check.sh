@@ -85,11 +85,13 @@ for repro in tests/corpus/*.bvfuzz.json; do
     ./target/release/bvsim fuzz --replay "$repro" >/dev/null
 done
 
-echo "== serve smoke (daemon, worker kill, dedup, restart recovery) =="
+echo "== serve smoke (daemon, worker kill, dedup, metrics, restart recovery) =="
 # A live bvsim-serve-v1 daemon on an ephemeral port: arm a worker crash,
 # submit a tiny sweep, and require completion with zero lost and zero
-# duplicate simulations. Then restart the daemon against the same journal
-# and require the identical grid to re-simulate nothing.
+# duplicate simulations. Scrape the live /metrics endpoint and require the
+# counters to agree with what just happened. Then restart the daemon
+# against the same journal and require the identical grid to re-simulate
+# nothing.
 SERVE_DIR=$(mktemp -d)
 trap 'rm -rf "$SERVE_DIR"' EXIT
 serve_grid() {
@@ -99,14 +101,16 @@ serve_grid() {
         --warmup 1000 --insts 2000 --out "$2"
 }
 ./target/release/bvsim serve --addr 127.0.0.1:0 --workers 2 \
+    --metrics-port 0 \
     --journal "$SERVE_DIR/journal" --port-file "$SERVE_DIR/serve.addr" \
     >"$SERVE_DIR/serve.log" 2>&1 &
 SERVE_PID=$!
 for _ in $(seq 1 100); do
-    [[ -f "$SERVE_DIR/serve.addr" ]] && break
+    [[ -f "$SERVE_DIR/serve.addr.metrics" ]] && break
     sleep 0.1
 done
 ADDR=$(cat "$SERVE_DIR/serve.addr")
+METRICS_ADDR=$(cat "$SERVE_DIR/serve.addr.metrics")
 # Kill a worker mid-sweep: the monitor must re-queue its job and spawn a
 # replacement, and the sweep must still complete.
 ./target/release/bvsim ctl --addr "$ADDR" --kill-worker 0 >/dev/null
@@ -122,6 +126,21 @@ fi
 STATUS=$(./target/release/bvsim ctl --addr "$ADDR" --status)
 grep -q "1 worker crash(es)" <<<"$STATUS" \
     || { echo "serve smoke: worker crash not recorded in status" >&2; exit 1; }
+# Scrape the Prometheus endpoint on the live daemon over plain HTTP
+# (bash /dev/tcp, so CI needs no curl): the sweep that just ran must
+# show up as completed jobs, and the kill-worker drill as a crash.
+exec 3<>"/dev/tcp/${METRICS_ADDR%:*}/${METRICS_ADDR##*:}"
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+SCRAPE=$(cat <&3)
+exec 3<&- 3>&-
+grep -q '^jobs_completed_total{source="simulated"} [1-9]' <<<"$SCRAPE" \
+    || { echo "serve smoke: /metrics shows no completed jobs" >&2; exit 1; }
+grep -q '^worker_crashes_total [1-9]' <<<"$SCRAPE" \
+    || { echo "serve smoke: /metrics missed the worker crash" >&2; exit 1; }
+# The live dashboard renders one frame from the same daemon.
+TOP=$(./target/release/bvsim top --addr "$ADDR" --once)
+grep -q "1 crash(es)" <<<"$TOP" \
+    || { echo "serve smoke: bvsim top missed the worker crash" >&2; exit 1; }
 ./target/release/bvsim ctl --addr "$ADDR" --shutdown >/dev/null
 wait "$SERVE_PID"
 # Restart on the same journal: the grid must be served entirely from disk.

@@ -21,6 +21,7 @@ use bv_cache::{Policy, PolicyKind};
 use bv_compress::reference::{RefBdi, RefCPack, RefFpc};
 use bv_compress::{Bdi, CPack, CacheLine, Compressor, Fpc, SegmentCount};
 use bv_kvcache::{run_kv as run_kv_tier, KvConfig, KvOrgKind};
+use bv_metrics::Registry;
 use bv_runner::json::{self, ObjWriter, Value};
 use bv_sim::{EventBatch, LlcKind, SimConfig, SimTelemetry, System, DEFAULT_EPOCH_INSTS};
 use bv_trace::request::RequestProfile;
@@ -446,6 +447,24 @@ pub const EVENTS_DISABLED_ROW: &str = "base-victim+events-disabled";
 /// monomorphized fast path — shows up well past it.
 pub const EVENTS_DISABLED_MAX_PCT: f64 = 4.0;
 
+/// Label for the serve-metrics end-to-end row: the ~8 metric records
+/// the daemon's worker makes per job (queue-wait, busy flag edges,
+/// sim/total/journal latency, completion counters) against an *enabled*
+/// [`bv_metrics::Registry`], timed as an amplified loop against the
+/// identical loop holding disabled handles and spread over the measured
+/// base job time. That difference is exactly what `bvsim serve` pays
+/// for metrics — pre-registered handles, relaxed atomic RMWs on the
+/// record path — and [`compare`] caps it at [`SERVE_METRICS_MAX_PCT`].
+pub const SERVE_METRICS_ROW: &str = "serve+metrics";
+
+/// The [`compare`] bound on [`BenchReport::serve_metrics_overhead_pct`]:
+/// the enabled metric registry may cost at most this much of the
+/// metrics-off job path. A handful of uncontended relaxed atomics
+/// against a multi-millisecond simulation sits far below this; crossing
+/// it means a record call grew a lock, an allocation, or a registration
+/// onto the per-job path.
+pub const SERVE_METRICS_MAX_PCT: f64 = 2.0;
+
 /// Runs the end-to-end suite: sim insts/s for [`END_TO_END_LLCS`], then
 /// the [`TELEMETRY_ROW`] sampled run and the [`EVENTS_DISABLED_ROW`]
 /// traced-driver run.
@@ -514,15 +533,56 @@ pub fn run_end_to_end_suite(cfg: &BenchConfig) -> Vec<EndToEndBench> {
             System::new(sim_cfg).run_traced(&trace.workload, short_insts / 4, short_insts, llc);
         std::hint::black_box(result.cycles);
     };
+    // The serve+metrics pair prices the daemon worker's per-job record
+    // sequence — the handful of counter/gauge/histogram updates made
+    // around one simulation — with connected vs disconnected handles.
+    // One sequence is nanoseconds against a job's milliseconds of
+    // simulation, far below round-timing noise, so each round runs the
+    // sequence `METRIC_SEQS_PER_ROUND` times back to back; the derived
+    // row then spreads the measured enabled-minus-disabled cost over
+    // the base job time instead of trusting a sim-dominated ratio.
+    const METRIC_SEQS_PER_ROUND: u32 = 10_000;
+    let job_records = |reg: &Registry| {
+        let done = reg.counter("jobs_completed_total", &[("source", "simulated")]);
+        let jobs = reg.counter("worker_jobs_total", &[("worker", "0")]);
+        let busy = reg.gauge("worker_busy", &[("worker", "0")]);
+        let queue_wait = reg.histogram("job_queue_wait_ms", &[]);
+        let sim = reg.histogram("job_sim_ms", &[]);
+        let total = reg.histogram("job_total_ms", &[]);
+        let journal = reg.histogram("job_journal_ms", &[]);
+        move || {
+            for i in 0..METRIC_SEQS_PER_ROUND {
+                let ms = u64::from(i % 97);
+                busy.set(1);
+                queue_wait.observe(ms / 3);
+                sim.observe(ms);
+                total.observe(ms + ms / 3);
+                journal.observe(0);
+                done.inc();
+                jobs.inc();
+                busy.set(0);
+            }
+        }
+    };
+    let enabled = Registry::new();
+    let disabled = Registry::disabled();
+    let mut metrics_off = job_records(&disabled);
+    let mut metrics_on = job_records(&enabled);
     let samples = bv_testkit::bench::interleaved_samples(
         cfg.sim_samples * 6,
-        &mut [&mut base, &mut sampled, &mut traced],
+        &mut [
+            &mut base,
+            &mut sampled,
+            &mut traced,
+            &mut metrics_off,
+            &mut metrics_on,
+        ],
     );
-    let slowdown = |idx: usize| {
-        let mut ratios: Vec<f64> = samples[idx]
+    let ratio_of = |num: usize, den: usize| {
+        let mut ratios: Vec<f64> = samples[num]
             .iter()
-            .zip(&samples[0])
-            .map(|(&inst, &base)| inst / base.max(f64::MIN_POSITIVE))
+            .zip(&samples[den])
+            .map(|(&a, &b)| a / b.max(f64::MIN_POSITIVE))
             .collect();
         ratios.sort_by(f64::total_cmp);
         ratios[ratios.len() / 2]
@@ -534,11 +594,27 @@ pub fn run_end_to_end_suite(cfg: &BenchConfig) -> Vec<EndToEndBench> {
         .insts_per_sec;
     rows.push(EndToEndBench {
         llc: TELEMETRY_ROW.to_string(),
-        insts_per_sec: base_rate / slowdown(1).max(f64::MIN_POSITIVE),
+        insts_per_sec: base_rate / ratio_of(1, 0).max(f64::MIN_POSITIVE),
     });
     rows.push(EndToEndBench {
         llc: EVENTS_DISABLED_ROW.to_string(),
-        insts_per_sec: base_rate / slowdown(2).max(f64::MIN_POSITIVE),
+        insts_per_sec: base_rate / ratio_of(2, 0).max(f64::MIN_POSITIVE),
+    });
+    // Per-job registry cost: the median round delta between the enabled
+    // and disabled record loops, divided down to one sequence, spread
+    // over the measured base job time. Negative deltas are timer noise
+    // around a sub-noise cost — clamp to zero rather than report a
+    // speedup.
+    let med = |idx: usize| {
+        let mut s = samples[idx].clone();
+        s.sort_by(f64::total_cmp);
+        s[s.len() / 2]
+    };
+    let per_job_extra = ((med(4) - med(3)) / f64::from(METRIC_SEQS_PER_ROUND)).max(0.0);
+    let serve_slowdown = 1.0 + per_job_extra / med(0).max(f64::MIN_POSITIVE);
+    rows.push(EndToEndBench {
+        llc: SERVE_METRICS_ROW.to_string(),
+        insts_per_sec: base_rate / serve_slowdown,
     });
     rows
 }
@@ -628,6 +704,20 @@ impl BenchReport {
             .iter()
             .find(|e| e.llc == EVENTS_DISABLED_ROW)?;
         Some((plain.insts_per_sec / traced.insts_per_sec.max(f64::MIN_POSITIVE) - 1.0) * 100.0)
+    }
+
+    /// Cost of the enabled metric registry ([`SERVE_METRICS_ROW`])
+    /// relative to the plain base-victim row, as a percentage (positive
+    /// means the instrumented job path is slower). `None` when either
+    /// row is absent.
+    #[must_use]
+    pub fn serve_metrics_overhead_pct(&self) -> Option<f64> {
+        let plain = self.end_to_end.iter().find(|e| e.llc == "base-victim")?;
+        let metered = self
+            .end_to_end
+            .iter()
+            .find(|e| e.llc == SERVE_METRICS_ROW)?;
+        Some((plain.insts_per_sec / metered.insts_per_sec.max(f64::MIN_POSITIVE) - 1.0) * 100.0)
     }
 
     /// Serializes to the `BENCH.json` schema (one pretty-stable JSON
@@ -747,6 +837,14 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport, max_regress_pct: f
             regressions.push(format!(
                 "disabled event path costs {pct:.2}% of base-victim throughput \
                  (budget {EVENTS_DISABLED_MAX_PCT}%)"
+            ));
+        }
+    }
+    if let Some(pct) = current.serve_metrics_overhead_pct() {
+        if pct > SERVE_METRICS_MAX_PCT {
+            regressions.push(format!(
+                "metric registry costs {pct:.2}% of the metrics-off job path \
+                 (budget {SERVE_METRICS_MAX_PCT}%)"
             ));
         }
     }
@@ -934,6 +1032,31 @@ mod tests {
         assert_eq!(regressions.len(), 1, "{regressions:?}");
         assert!(
             regressions[0].contains("disabled event path"),
+            "{}",
+            regressions[0]
+        );
+    }
+
+    #[test]
+    fn serve_metrics_row_is_gated() {
+        let mut report = sample_report();
+        assert_eq!(report.serve_metrics_overhead_pct(), None, "row absent");
+        report.end_to_end.push(EndToEndBench {
+            llc: SERVE_METRICS_ROW.into(),
+            insts_per_sec: 2.49e6,
+        });
+        let pct = report.serve_metrics_overhead_pct().expect("both rows");
+        assert!((pct - (2.5 / 2.49 - 1.0) * 100.0).abs() < 1e-9);
+        // ~0.4% is inside the 2% budget, even with no baseline row.
+        let baseline = sample_report();
+        assert!(compare(&report, &baseline, 20.0).is_empty());
+
+        // A 4% registry cost trips the absolute gate.
+        report.end_to_end.last_mut().unwrap().insts_per_sec = 2.4e6;
+        let regressions = compare(&report, &baseline, 20.0);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(
+            regressions[0].contains("metric registry"),
             "{}",
             regressions[0]
         );

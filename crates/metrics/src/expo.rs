@@ -1,0 +1,170 @@
+//! Prometheus text exposition (version 0.0.4) for [`Snapshot`]s.
+//!
+//! One `# TYPE` line per family, one sample line per series, histograms
+//! rendered as cumulative `_bucket{le="..."}` lines with exact
+//! power-of-two upper bounds (`le` is inclusive, so bucket `b`'s bound
+//! is `2^b - 1`), a `+Inf` bucket, `_sum`, and `_count`. Only buckets up
+//! to the highest non-empty one are emitted — a 65-bucket log2 histogram
+//! with three samples should not scrape as 65 lines of zeros.
+
+use crate::registry::{MetricKey, Snapshot};
+use bv_telemetry::Log2Histogram;
+use std::fmt::Write as _;
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `{k="v",...}` (empty string for an unlabeled series), with
+/// `extra` appended after the key's own labels.
+fn render_labels(key: &MetricKey, extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = key
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn type_line(out: &mut String, last: &mut String, name: &str, kind: &str) {
+    if last != name {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        last.clear();
+        last.push_str(name);
+    }
+}
+
+/// Renders a snapshot as Prometheus text exposition.
+#[must_use]
+pub fn render_exposition(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last = String::new();
+    for (key, value) in &snap.counters {
+        type_line(&mut out, &mut last, &key.name, "counter");
+        let _ = writeln!(out, "{}{} {value}", key.name, render_labels(key, None));
+    }
+    for (key, value) in &snap.gauges {
+        type_line(&mut out, &mut last, &key.name, "gauge");
+        let _ = writeln!(out, "{}{} {value}", key.name, render_labels(key, None));
+    }
+    for (key, h) in &snap.histograms {
+        type_line(&mut out, &mut last, &key.name, "histogram");
+        let mut cumulative = 0u64;
+        let top = h.hist.max_bucket().map_or(0, |b| b + 1);
+        for bucket in 0..top {
+            cumulative += h.hist.buckets()[bucket];
+            let (_, hi) = Log2Histogram::bucket_range(bucket);
+            let le = hi - 1;
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {cumulative}",
+                key.name,
+                render_labels(key, Some(("le", &le.to_string())))
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{}_bucket{} {}",
+            key.name,
+            render_labels(key, Some(("le", "+Inf"))),
+            h.hist.count()
+        );
+        let _ = writeln!(
+            out,
+            "{}_sum{} {}",
+            key.name,
+            render_labels(key, None),
+            h.sum
+        );
+        let _ = writeln!(
+            out,
+            "{}_count{} {}",
+            key.name,
+            render_labels(key, None),
+            h.hist.count()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    /// The golden exposition text: counter family with two labeled
+    /// series (one label value needing every escape), a gauge, and a
+    /// histogram — byte-exact, so any formatting drift fails loudly.
+    #[test]
+    fn exposition_golden_text() {
+        let reg = Registry::new();
+        reg.counter("jobs_completed_total", &[("source", "simulated")])
+            .add(12);
+        reg.counter("jobs_completed_total", &[("source", "journal")])
+            .add(3);
+        reg.counter("client_requests_total", &[("tenant", "a\\b\"c\nd")])
+            .inc();
+        reg.gauge("queue_depth", &[]).set(5);
+        let h = reg.histogram("job_sim_ms", &[]);
+        h.observe(0); // bucket 0: le="0"
+        h.observe(3); // bucket 2: le="3"
+        h.observe(3);
+        h.observe(100); // bucket 7: le="127"
+        let got = render_exposition(&reg.snapshot());
+        let want = "\
+# TYPE client_requests_total counter
+client_requests_total{tenant=\"a\\\\b\\\"c\\nd\"} 1
+# TYPE jobs_completed_total counter
+jobs_completed_total{source=\"journal\"} 3
+jobs_completed_total{source=\"simulated\"} 12
+# TYPE queue_depth gauge
+queue_depth 5
+# TYPE job_sim_ms histogram
+job_sim_ms_bucket{le=\"0\"} 1
+job_sim_ms_bucket{le=\"1\"} 1
+job_sim_ms_bucket{le=\"3\"} 3
+job_sim_ms_bucket{le=\"7\"} 3
+job_sim_ms_bucket{le=\"15\"} 3
+job_sim_ms_bucket{le=\"31\"} 3
+job_sim_ms_bucket{le=\"63\"} 3
+job_sim_ms_bucket{le=\"127\"} 4
+job_sim_ms_bucket{le=\"+Inf\"} 4
+job_sim_ms_sum 106
+job_sim_ms_count 4
+";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(render_exposition(&Registry::new().snapshot()), "");
+    }
+
+    #[test]
+    fn type_line_appears_once_per_family() {
+        let reg = Registry::new();
+        reg.counter("reqs_total", &[("kind", "submit")]).inc();
+        reg.counter("reqs_total", &[("kind", "cancel")]).inc();
+        let text = render_exposition(&reg.snapshot());
+        assert_eq!(text.matches("# TYPE reqs_total counter").count(), 1);
+        assert_eq!(text.matches("reqs_total{").count(), 2);
+    }
+}

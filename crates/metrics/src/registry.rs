@@ -1,0 +1,489 @@
+//! The metric registry and its atomic handles.
+//!
+//! Registration (`counter` / `gauge` / `histogram`) takes a mutex and
+//! returns a cheap cloneable handle; every *recording* operation on a
+//! handle is a single relaxed atomic RMW with no lock, no allocation,
+//! and no branching beyond one `Option` check — safe to call from any
+//! worker thread at any rate the serving stack produces.
+//!
+//! A registry built with [`Registry::disabled`] hands out unconnected
+//! handles: the same call sites compile, the `Option` is `None`, and the
+//! record path folds to a predictable not-taken branch. That is the same
+//! contract the simulator's `NoInstrument` / `NoEventSink` paths make —
+//! instrumentation that is not wanted must not cost anything and must
+//! not change behavior.
+
+use bv_telemetry::{Log2Histogram, LOG2_BUCKETS};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A metric's identity: its name plus its sorted label pairs.
+///
+/// Two handles registered with the same name and the same label *set*
+/// (order-insensitive) share one underlying cell.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// The metric family name, e.g. `jobs_completed_total`.
+    pub name: String,
+    /// Label pairs, sorted by label name.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Builds a key, sorting the labels so registration order never
+    /// creates duplicate series.
+    #[must_use]
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct CounterCell(AtomicU64);
+
+#[derive(Debug, Default)]
+struct GaugeCell(AtomicU64);
+
+#[derive(Debug)]
+struct HistCell {
+    buckets: [AtomicU64; LOG2_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl HistCell {
+    fn new() -> HistCell {
+        HistCell {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A monotonically increasing counter handle.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<CounterCell>>);
+
+impl Counter {
+    /// A handle connected to nothing; recording is a no-op.
+    #[must_use]
+    pub fn disabled() -> Counter {
+        Counter(None)
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value (0 for a disabled handle).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A settable gauge handle (queue depths, liveness flags).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<GaugeCell>>);
+
+impl Gauge {
+    /// A handle connected to nothing; recording is a no-op.
+    #[must_use]
+    pub fn disabled() -> Gauge {
+        Gauge(None)
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if let Some(cell) = &self.0 {
+            cell.0.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtracts `n`, saturating at zero.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            let _ = cell
+                .0
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                    Some(v.saturating_sub(n))
+                });
+        }
+    }
+
+    /// The current value (0 for a disabled handle).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A log2-bucketed histogram handle ([`Log2Histogram`] bucketing:
+/// bucket 0 for zero, bucket `b` for `[2^(b-1), 2^b)`).
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Option<Arc<HistCell>>);
+
+impl Histogram {
+    /// A handle connected to nothing; recording is a no-op.
+    #[must_use]
+    pub fn disabled() -> Histogram {
+        Histogram(None)
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        if let Some(cell) = &self.0 {
+            let bucket = Log2Histogram::bucket_of(value);
+            cell.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+            cell.sum.fetch_add(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a [`std::time::Duration`] in whole milliseconds — the
+    /// convention every `*_ms` histogram in the serving stack uses.
+    #[inline]
+    pub fn observe_ms(&self, d: std::time::Duration) {
+        self.observe(d.as_millis() as u64);
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Arc<CounterCell>),
+    Gauge(Arc<GaugeCell>),
+    Histogram(Arc<HistCell>),
+}
+
+/// The registry: a named, labeled set of metrics with a locked
+/// registration path and a lock-free record path.
+#[derive(Debug)]
+pub struct Registry {
+    enabled: bool,
+    metrics: Mutex<BTreeMap<MetricKey, Metric>>,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An enabled, empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry {
+            enabled: true,
+            metrics: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// A registry whose handles are all no-ops and whose snapshot is
+    /// always empty — the metrics-off configuration.
+    #[must_use]
+    pub fn disabled() -> Registry {
+        Registry {
+            enabled: false,
+            metrics: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Whether this registry records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Registers (or re-fetches) a counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same name+labels was registered as another kind.
+    #[must_use]
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        if !self.enabled {
+            return Counter(None);
+        }
+        let key = MetricKey::new(name, labels);
+        let mut metrics = self.metrics.lock().expect("metrics registry");
+        let metric = metrics
+            .entry(key)
+            .or_insert_with(|| Metric::Counter(Arc::new(CounterCell::default())));
+        match metric {
+            Metric::Counter(cell) => Counter(Some(Arc::clone(cell))),
+            _ => panic!("metric '{name}' already registered as a different kind"),
+        }
+    }
+
+    /// Registers (or re-fetches) a gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same name+labels was registered as another kind.
+    #[must_use]
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        if !self.enabled {
+            return Gauge(None);
+        }
+        let key = MetricKey::new(name, labels);
+        let mut metrics = self.metrics.lock().expect("metrics registry");
+        let metric = metrics
+            .entry(key)
+            .or_insert_with(|| Metric::Gauge(Arc::new(GaugeCell::default())));
+        match metric {
+            Metric::Gauge(cell) => Gauge(Some(Arc::clone(cell))),
+            _ => panic!("metric '{name}' already registered as a different kind"),
+        }
+    }
+
+    /// Registers (or re-fetches) a histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same name+labels was registered as another kind.
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        if !self.enabled {
+            return Histogram(None);
+        }
+        let key = MetricKey::new(name, labels);
+        let mut metrics = self.metrics.lock().expect("metrics registry");
+        let metric = metrics
+            .entry(key)
+            .or_insert_with(|| Metric::Histogram(Arc::new(HistCell::new())));
+        match metric {
+            Metric::Histogram(cell) => Histogram(Some(Arc::clone(cell))),
+            _ => panic!("metric '{name}' already registered as a different kind"),
+        }
+    }
+
+    /// A point-in-time copy of every metric, sorted by name then labels.
+    ///
+    /// Counters recorded concurrently with the snapshot land in either
+    /// this snapshot or the next — never lost, never double-counted —
+    /// which is all a monitoring read needs.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.lock().expect("metrics registry");
+        let mut snap = Snapshot::default();
+        for (key, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(cell) => snap
+                    .counters
+                    .push((key.clone(), cell.0.load(Ordering::Relaxed))),
+                Metric::Gauge(cell) => snap
+                    .gauges
+                    .push((key.clone(), cell.0.load(Ordering::Relaxed))),
+                Metric::Histogram(cell) => {
+                    let buckets: Vec<u64> = cell
+                        .buckets
+                        .iter()
+                        .map(|b| b.load(Ordering::Relaxed))
+                        .collect();
+                    let hist = Log2Histogram::from_buckets(&buckets).expect("bucket count");
+                    snap.histograms.push((
+                        key.clone(),
+                        HistogramSnapshot {
+                            hist,
+                            sum: cell.sum.load(Ordering::Relaxed),
+                        },
+                    ));
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// A frozen histogram: the bucket counts plus the sum of all samples.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts.
+    pub hist: Log2Histogram,
+    /// Sum of every recorded sample value.
+    pub sum: u64,
+}
+
+/// A point-in-time copy of a [`Registry`], ordered by metric key.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter series and their values.
+    pub counters: Vec<(MetricKey, u64)>,
+    /// Gauge series and their values.
+    pub gauges: Vec<(MetricKey, u64)>,
+    /// Histogram series and their frozen contents.
+    pub histograms: Vec<(MetricKey, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// The sum of every counter series in family `name` (0 if absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// The sum of every gauge series in family `name` (0 if absent).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Every histogram series in family `name`, merged (`None` if the
+    /// family is absent).
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        let mut merged: Option<HistogramSnapshot> = None;
+        for (_, h) in self.histograms.iter().filter(|(k, _)| k.name == name) {
+            match &mut merged {
+                Some(m) => {
+                    m.hist.merge(&h.hist);
+                    m.sum += h.sum;
+                }
+                None => merged = Some(h.clone()),
+            }
+        }
+        merged
+    }
+
+    /// How much counter family `name` grew since `earlier` — the delta
+    /// iteration a refreshing dashboard rates on. Saturates at zero, so
+    /// comparing against a snapshot from a restarted daemon never
+    /// underflows.
+    #[must_use]
+    pub fn counter_delta(&self, name: &str, earlier: &Snapshot) -> u64 {
+        self.counter(name).saturating_sub(earlier.counter(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_across_clones_and_threads() {
+        let reg = Registry::new();
+        let c = reg.counter("jobs_total", &[]);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("join");
+        }
+        assert_eq!(c.get(), 4000);
+        assert_eq!(reg.snapshot().counter("jobs_total"), 4000);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let reg = Registry::new();
+        let a = reg.counter("reqs_total", &[("kind", "submit"), ("tenant", "a")]);
+        let b = reg.counter("reqs_total", &[("tenant", "a"), ("kind", "submit")]);
+        a.inc();
+        b.inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counter("reqs_total"), 2);
+    }
+
+    #[test]
+    fn gauge_saturates_instead_of_underflowing() {
+        let reg = Registry::new();
+        let g = reg.gauge("queue_depth", &[]);
+        g.set(2);
+        g.sub(5);
+        assert_eq!(g.get(), 0);
+        g.add(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn histogram_snapshot_carries_buckets_and_sum() {
+        let reg = Registry::new();
+        let h = reg.histogram("job_sim_ms", &[]);
+        h.observe(0);
+        h.observe(5);
+        h.observe(100);
+        let snap = reg.snapshot().histogram("job_sim_ms").expect("family");
+        assert_eq!(snap.hist.count(), 3);
+        assert_eq!(snap.sum, 105);
+        assert_eq!(snap.hist.buckets()[Log2Histogram::bucket_of(5)], 1);
+    }
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let reg = Registry::disabled();
+        let c = reg.counter("jobs_total", &[]);
+        let g = reg.gauge("queue_depth", &[]);
+        let h = reg.histogram("job_sim_ms", &[]);
+        c.add(7);
+        g.set(9);
+        h.observe(11);
+        assert!(!reg.is_enabled());
+        assert_eq!(c.get(), 0);
+        assert_eq!(reg.snapshot(), Snapshot::default());
+    }
+
+    #[test]
+    fn snapshot_delta_rates_counters() {
+        let reg = Registry::new();
+        let c = reg.counter("rows_streamed_total", &[]);
+        c.add(10);
+        let first = reg.snapshot();
+        c.add(5);
+        let second = reg.snapshot();
+        assert_eq!(second.counter_delta("rows_streamed_total", &first), 5);
+        // A "newer" snapshot from a restarted daemon saturates to zero.
+        assert_eq!(first.counter_delta("rows_streamed_total", &second), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflicts_are_programmer_errors() {
+        let reg = Registry::new();
+        let _ = reg.counter("depth", &[]);
+        let _ = reg.gauge("depth", &[]);
+    }
+}

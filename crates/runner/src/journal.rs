@@ -46,6 +46,43 @@ use std::sync::Mutex;
 /// shape changes so stale checkpoints are re-simulated, not misread.
 const SCHEMA: u64 = 1;
 
+/// Wall-clock phase split for one completed job: how long it waited
+/// before a worker claimed it (zero outside serve mode, where jobs run
+/// as soon as a pool thread is free) and how long the simulation itself
+/// ran. `runs.jsonl` records both (`queue_ms` / `sim_ms`) so a slow row
+/// can be attributed to a loaded daemon rather than a slow simulation;
+/// `duration_ms` stays their sum for readers of the old single field.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct JobTiming {
+    /// Seconds spent queued, waiting for a worker claim.
+    pub queue_secs: f64,
+    /// Seconds the simulation ran on its worker.
+    pub sim_secs: f64,
+}
+
+impl JobTiming {
+    /// A timing with no queue phase — the plain-sweep path.
+    #[must_use]
+    pub fn sim_only(sim_secs: f64) -> JobTiming {
+        JobTiming {
+            queue_secs: 0.0,
+            sim_secs,
+        }
+    }
+
+    /// The queue phase in whole milliseconds.
+    #[must_use]
+    pub fn queue_ms(&self) -> u64 {
+        (self.queue_secs * 1000.0).round() as u64
+    }
+
+    /// The simulation phase in whole milliseconds.
+    #[must_use]
+    pub fn sim_ms(&self) -> u64 {
+        (self.sim_secs * 1000.0).round() as u64
+    }
+}
+
 /// What the `runs.jsonl` recovery scan found (and did) when the journal
 /// was opened. A previous writer dying mid-append leaves an unterminated
 /// trailing line; recovery repairs or drops it so the stream stays
@@ -204,15 +241,17 @@ impl Journal {
     /// Checkpoints a completed run and appends its observability record.
     /// `telemetry` is the epoch-sampled JSONL file this run produced, if
     /// any; its path lands in the `runs.jsonl` line so analysis scripts
-    /// can join a sweep row to its time series.
+    /// can join a sweep row to its time series. `trace_id` is the serve
+    /// daemon's per-job correlation id (absent for plain sweeps).
     /// I/O failures are reported to stderr but do not fail the sweep: a
     /// lost checkpoint only costs a future re-simulation.
     pub fn record(
         &self,
         job: &JobSpec,
         result: &RunResult,
-        wall_secs: f64,
+        timing: JobTiming,
         worker: usize,
+        trace_id: Option<&str>,
         telemetry: Option<&Path>,
     ) {
         let path = self.checkpoint_path(job);
@@ -234,9 +273,14 @@ impl Journal {
             .f64("comp_ratio", result.compression.mean_ratio())
             .u64("dram_reads", result.dram.reads)
             .u64("instructions", result.instructions)
-            .f64("wall_secs", wall_secs)
-            .u64("duration_ms", (wall_secs * 1000.0).round() as u64)
+            .f64("wall_secs", timing.sim_secs)
+            .u64("duration_ms", timing.queue_ms() + timing.sim_ms())
+            .u64("queue_ms", timing.queue_ms())
+            .u64("sim_ms", timing.sim_ms())
             .u64("worker", worker as u64);
+        if let Some(id) = trace_id {
+            line.str("trace_id", id);
+        }
         if let Some(path) = telemetry {
             line.str("telemetry", &path.display().to_string());
         }

@@ -60,6 +60,6 @@ mod spans;
 pub use bv_telemetry::json;
 
 pub use job::{fnv1a, JobSpec};
-pub use journal::{Journal, RunsRecovery};
+pub use journal::{JobTiming, Journal, RunsRecovery};
 pub use runner::{ExecutionReport, Runner};
 pub use spans::{chrome_trace_json, utilization_summary, Span, SpanLog};

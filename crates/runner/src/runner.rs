@@ -4,7 +4,7 @@
 //! for the reporting code to read back.
 
 use crate::job::JobSpec;
-use crate::journal::Journal;
+use crate::journal::{JobTiming, Journal};
 use crate::pool;
 use crate::spans::{Span, SpanLog};
 use bv_sim::{RunResult, SimTelemetry, System};
@@ -196,8 +196,9 @@ impl Runner {
             j.record(
                 job,
                 &result,
-                t.elapsed().as_secs_f64(),
+                JobTiming::sim_only(t.elapsed().as_secs_f64()),
                 0,
+                None,
                 telemetry.as_deref(),
             );
         }
@@ -302,7 +303,14 @@ impl Runner {
                     log.record(&span_label(&job, &result), worker, t);
                 }
                 if let Some(j) = &self.journal {
-                    j.record(&job, &result, wall, worker, telemetry.as_deref());
+                    j.record(
+                        &job,
+                        &result,
+                        JobTiming::sim_only(wall),
+                        worker,
+                        None,
+                        telemetry.as_deref(),
+                    );
                 }
                 // Store immediately (not after the batch) so a panic or kill
                 // elsewhere loses as little completed work as possible.

@@ -8,6 +8,7 @@
 //! whole sweep.
 
 use crate::proto::{DoneSummary, Request, Response, ResultRow, SweepGrid};
+use bv_metrics::Snapshot;
 use std::io::{BufRead as _, BufReader, Write as _};
 use std::net::TcpStream;
 
@@ -150,4 +151,19 @@ pub fn control(addr: &str, req: &Request) -> Result<Response, String> {
     let (mut stream, mut reader) = connect(addr)?;
     send(&mut stream, req)?;
     read_response(&mut reader)
+}
+
+/// Fetches a point-in-time snapshot of the daemon's metric registry —
+/// one poll of the `bvsim top` refresh loop.
+///
+/// # Errors
+///
+/// Returns a human-readable description of any connection, protocol, or
+/// daemon-side failure.
+pub fn metrics(addr: &str) -> Result<Snapshot, String> {
+    match control(addr, &Request::Metrics)? {
+        Response::Metrics(snap) => Ok(snap),
+        Response::Error { error } => Err(error),
+        other => Err(format!("unexpected metrics reply: {other:?}")),
+    }
 }

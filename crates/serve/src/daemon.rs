@@ -25,7 +25,8 @@
 //! daemon against the same journal directory re-simulates nothing.
 
 use crate::proto::{DoneSummary, Request, Response, ResultRow, StatusInfo, SweepGrid};
-use bv_runner::{JobSpec, Journal, SpanLog};
+use bv_metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
+use bv_runner::{JobSpec, JobTiming, Journal, SpanLog};
 use bv_sim::{RunResult, System};
 use bv_trace::TraceRegistry;
 use std::collections::{HashMap, VecDeque};
@@ -57,6 +58,14 @@ pub struct ServeConfig {
     /// Export per-job worker spans as Chrome trace-event JSON here on
     /// shutdown.
     pub spans: Option<PathBuf>,
+    /// Record live metrics (counters, gauges, latency histograms).
+    /// When false the registry is inert: every record call is a no-op
+    /// and snapshots are empty.
+    pub metrics: bool,
+    /// Serve Prometheus text exposition over plain HTTP (`GET
+    /// /metrics`) on this port (0 for an ephemeral one) at the same
+    /// host address as the protocol listener.
+    pub metrics_port: Option<u16>,
 }
 
 impl Default for ServeConfig {
@@ -69,14 +78,108 @@ impl Default for ServeConfig {
             retries: 3,
             port_file: None,
             spans: None,
+            metrics: true,
+            metrics_port: None,
         }
+    }
+}
+
+/// The daemon's pre-registered metric handles. Everything recorded on
+/// the job path goes through a handle resolved once here (or once per
+/// worker), so the per-job cost is a few relaxed atomic RMWs; only the
+/// per-tenant request counters register lazily, and those are bounded
+/// by connection rate, not job rate.
+struct Metrics {
+    registry: Registry,
+    queue_depth: Gauge,
+    jobs_running: Gauge,
+    workers_alive: Gauge,
+    jobs_completed_simulated: Counter,
+    jobs_completed_journal: Counter,
+    jobs_failed: Counter,
+    worker_crashes: Counter,
+    job_retries: Counter,
+    job_timeouts: Counter,
+    rows_streamed: Counter,
+    tickets_opened: Counter,
+    jobs_submitted_fresh: Counter,
+    jobs_submitted_journal: Counter,
+    jobs_submitted_merged: Counter,
+    queue_wait_ms: Histogram,
+    sim_ms: Histogram,
+    journal_ms: Histogram,
+    job_total_ms: Histogram,
+}
+
+impl Metrics {
+    fn new(enabled: bool) -> Metrics {
+        let registry = if enabled {
+            Registry::new()
+        } else {
+            Registry::disabled()
+        };
+        let counter = |name: &str| registry.counter(name, &[]);
+        let completed =
+            |source: &str| registry.counter("jobs_completed_total", &[("source", source)]);
+        let submitted = |disposition: &str| {
+            registry.counter("jobs_submitted_total", &[("disposition", disposition)])
+        };
+        let hist = |name: &str| registry.histogram(name, &[]);
+        Metrics {
+            queue_depth: registry.gauge("queue_depth", &[]),
+            jobs_running: registry.gauge("jobs_running", &[]),
+            workers_alive: registry.gauge("workers_alive", &[]),
+            jobs_completed_simulated: completed("simulated"),
+            jobs_completed_journal: completed("journal"),
+            jobs_failed: counter("jobs_failed_total"),
+            worker_crashes: counter("worker_crashes_total"),
+            job_retries: counter("job_retries_total"),
+            job_timeouts: counter("job_timeouts_total"),
+            rows_streamed: counter("rows_streamed_total"),
+            tickets_opened: counter("tickets_opened_total"),
+            jobs_submitted_fresh: submitted("fresh"),
+            jobs_submitted_journal: submitted("journal"),
+            jobs_submitted_merged: submitted("merged"),
+            queue_wait_ms: hist("job_queue_wait_ms"),
+            sim_ms: hist("job_sim_ms"),
+            journal_ms: hist("job_journal_ms"),
+            job_total_ms: hist("job_total_ms"),
+            registry,
+        }
+    }
+
+    /// Counts one request from `tenant` (the client's IP), split by
+    /// request kind — the per-tenant submit/stream/cancel rates.
+    fn client_request(&self, tenant: &str, kind: &str) {
+        self.registry
+            .counter(
+                "client_requests_total",
+                &[("tenant", tenant), ("kind", kind)],
+            )
+            .inc();
+    }
+
+    /// The per-worker utilization pair: a busy flag and a completion
+    /// counter, labeled by worker slot.
+    fn worker_handles(&self, worker: usize) -> (Gauge, Counter) {
+        let label = worker.to_string();
+        (
+            self.registry.gauge("worker_busy", &[("worker", &label)]),
+            self.registry
+                .counter("worker_jobs_total", &[("worker", &label)]),
+        )
     }
 }
 
 /// Scheduling state of one job entry.
 enum Phase {
-    /// Waiting in the queue; `not_before` is the retry backoff gate.
-    Pending { not_before: Option<Instant> },
+    /// Waiting in the queue; `not_before` is the retry backoff gate and
+    /// `enqueued` is when the wait began (reset on re-queue), so the
+    /// claim can attribute queue-wait latency.
+    Pending {
+        not_before: Option<Instant>,
+        enqueued: Instant,
+    },
     /// Claimed by `worker` as its `attempt`-th try.
     Running {
         worker: usize,
@@ -98,6 +201,9 @@ struct JobEntry {
     tickets: Vec<u64>,
     /// The completed row (ticket/seq zeroed), once terminal.
     row: Option<ResultRow>,
+    /// Correlation id stamped at submit; follows the job into its
+    /// result row, journal line, and span.
+    trace_id: String,
 }
 
 struct Ticket {
@@ -127,6 +233,16 @@ struct State {
     crashes: u64,
     retries: u64,
     workers: Vec<WorkerSlot>,
+    /// Monotonic source for per-job trace ids.
+    next_trace_id: u64,
+}
+
+/// Mints the next per-job trace id: a daemon-wide sequence number plus
+/// the low half of the job's stable hash, so an id is both unique within
+/// the daemon's lifetime and visually joinable to the job identity.
+fn mint_trace_id(st: &mut State, hash: u64) -> String {
+    st.next_trace_id += 1;
+    format!("{:06x}-{:08x}", st.next_trace_id, hash & 0xffff_ffff)
 }
 
 struct Shared {
@@ -134,6 +250,8 @@ struct Shared {
     registry: TraceRegistry,
     journal: Journal,
     spans: SpanLog,
+    metrics: Metrics,
+    metrics_addr: Option<SocketAddr>,
     state: Mutex<State>,
     /// Signaled when the queue gains work, backoff expires, or shutdown
     /// begins — what idle workers wait on.
@@ -152,6 +270,7 @@ pub struct Daemon {
     shared: Arc<Shared>,
     listener: JoinHandle<()>,
     monitor: JoinHandle<()>,
+    metrics_http: Option<JoinHandle<()>>,
 }
 
 impl Daemon {
@@ -169,17 +288,39 @@ impl Daemon {
         if let Some(summary) = journal.recovery().summary() {
             eprintln!("serve: {summary}");
         }
+        // Bind the exposition endpoint on the same host as the protocol
+        // listener, before writing port files, so a script that sees the
+        // files can scrape immediately.
+        let metrics_listener = match cfg.metrics_port {
+            Some(port) => Some(TcpListener::bind(SocketAddr::new(local_addr.ip(), port))?),
+            None => None,
+        };
+        let metrics_addr = match &metrics_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
         if let Some(path) = &cfg.port_file {
             let tmp = path.with_extension("tmp");
             std::fs::write(&tmp, local_addr.to_string())?;
             std::fs::rename(&tmp, path)?;
+            if let Some(addr) = metrics_addr {
+                // A sibling `<port-file>.metrics` file, same atomic
+                // pattern, for scrape scripts.
+                let sibling = PathBuf::from(format!("{}.metrics", path.display()));
+                let tmp = sibling.with_extension("tmp");
+                std::fs::write(&tmp, addr.to_string())?;
+                std::fs::rename(&tmp, &sibling)?;
+            }
         }
         let workers = cfg.workers.max(1);
+        let metrics = Metrics::new(cfg.metrics);
         let shared = Arc::new(Shared {
             cfg,
             registry: TraceRegistry::paper_default(),
             journal,
             spans: SpanLog::new(),
+            metrics,
+            metrics_addr,
             state: Mutex::new(State {
                 next_ticket: 1,
                 ..State::default()
@@ -200,11 +341,23 @@ impl Daemon {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || accept_loop(&listener, &shared))
         };
+        let metrics_http = metrics_listener.map(|listener| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || metrics_http_loop(&listener, &shared))
+        });
         Ok(Daemon {
             shared,
             listener: accept,
             monitor,
+            metrics_http,
         })
+    }
+
+    /// The bound address of the HTTP `/metrics` endpoint, when one was
+    /// configured (resolves port 0 to the real port).
+    #[must_use]
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.shared.metrics_addr
     }
 
     /// The address actually bound (resolves `:0` to the real port).
@@ -223,6 +376,9 @@ impl Daemon {
     pub fn wait(self) -> std::io::Result<Option<String>> {
         let _ = self.listener.join();
         let _ = self.monitor.join();
+        if let Some(h) = self.metrics_http {
+            let _ = h.join();
+        }
         // Join worker threads so every span is recorded before export.
         let handles: Vec<JoinHandle<()>> = {
             let mut st = self.shared.state.lock().expect("serve state");
@@ -291,7 +447,7 @@ fn claim_next(st: &mut State, now: Instant) -> Claim {
         let Some(entry) = st.jobs.get(&hash) else {
             continue; // canceled underneath the queue
         };
-        let Phase::Pending { not_before } = &entry.phase else {
+        let Phase::Pending { not_before, .. } = &entry.phase else {
             continue; // stale: claimed or finished via another queue slot
         };
         if let Some(gate) = not_before {
@@ -308,6 +464,7 @@ fn claim_next(st: &mut State, now: Instant) -> Claim {
 }
 
 fn worker_loop(shared: &Arc<Shared>, me: usize, clean_exit: &AtomicBool) {
+    let (busy, jobs_total) = shared.metrics.worker_handles(me);
     loop {
         // Claim under the lock (or exit on drained shutdown).
         let claimed = {
@@ -321,6 +478,12 @@ fn worker_loop(shared: &Arc<Shared>, me: usize, clean_exit: &AtomicBool) {
                             st.kill_armed.remove(pos);
                         }
                         let entry = st.jobs.get_mut(&hash).expect("claimed job");
+                        let queued = match &entry.phase {
+                            Phase::Pending { enqueued, .. } => {
+                                now.saturating_duration_since(*enqueued)
+                            }
+                            _ => Duration::ZERO,
+                        };
                         entry.attempts += 1;
                         let attempt = entry.attempts;
                         entry.phase = Phase::Running {
@@ -329,6 +492,7 @@ fn worker_loop(shared: &Arc<Shared>, me: usize, clean_exit: &AtomicBool) {
                             since: now,
                         };
                         let spec = entry.spec.clone();
+                        let trace_id = entry.trace_id.clone();
                         if armed.is_some() {
                             // The deterministic mid-sweep crash: die *after*
                             // claiming, so the monitor must detect the dead
@@ -336,7 +500,7 @@ fn worker_loop(shared: &Arc<Shared>, me: usize, clean_exit: &AtomicBool) {
                             drop(st);
                             panic!("bv-serve: worker {me} killed by kill-worker hook");
                         }
-                        break Some((hash, spec, attempt));
+                        break Some((hash, spec, attempt, queued, trace_id));
                     }
                     Claim::Wait(d) => {
                         let (guard, _) = shared
@@ -358,7 +522,7 @@ fn worker_loop(shared: &Arc<Shared>, me: usize, clean_exit: &AtomicBool) {
                 }
             }
         };
-        let Some((hash, spec, attempt)) = claimed else {
+        let Some((hash, spec, attempt, queued, trace_id)) = claimed else {
             clean_exit.store(true, Ordering::SeqCst);
             let mut st = shared.state.lock().expect("serve state");
             if let Some(slot) = st.workers.get_mut(me) {
@@ -368,11 +532,17 @@ fn worker_loop(shared: &Arc<Shared>, me: usize, clean_exit: &AtomicBool) {
             return;
         };
 
+        // Queue wait is a property of the claim, not the outcome: a job
+        // that goes on to crash still waited.
+        shared.metrics.queue_wait_ms.observe_ms(queued);
+        busy.set(1);
+
         // Simulate with the lock released: the daemon keeps serving
         // status/submit/stream requests while jobs run.
         let t0 = Instant::now();
         let outcome = run_spec(shared, &spec);
         let wall = t0.elapsed().as_secs_f64();
+        busy.set(0);
 
         // Publish under the lock, but only if our claim token is still
         // current — a timed-out-and-requeued job's straggler result is
@@ -388,17 +558,37 @@ fn worker_loop(shared: &Arc<Shared>, me: usize, clean_exit: &AtomicBool) {
         }
         match outcome {
             Ok(result) => {
-                let row = row_core(&spec, &result, wall, me, attempt, "simulated");
+                // Record completion metrics before the row becomes
+                // visible to streamers, so a client that just received
+                // its last row never reads a snapshot missing it.
+                let timing = JobTiming {
+                    queue_secs: queued.as_secs_f64(),
+                    sim_secs: wall,
+                };
+                shared.metrics.sim_ms.observe(timing.sim_ms());
+                shared
+                    .metrics
+                    .job_total_ms
+                    .observe(timing.queue_ms() + timing.sim_ms());
+                shared.metrics.jobs_completed_simulated.inc();
+                jobs_total.inc();
+                let row = row_core(&spec, &result, wall, me, attempt, "simulated", &trace_id);
                 finish_job(&mut st, hash, row);
                 st.workers[me].jobs_done += 1;
                 shared.progress.notify_all();
                 drop(st);
                 // Checkpoint outside the lock; a crash here costs one
                 // re-simulation after restart, never a duplicate row.
-                shared.journal.record(&spec, &result, wall, me, None);
+                let tj = Instant::now();
                 shared
-                    .spans
-                    .record(&format!("{} {}", spec.trace, result.llc_name), me, t0);
+                    .journal
+                    .record(&spec, &result, timing, me, Some(&trace_id), None);
+                shared.metrics.journal_ms.observe_ms(tj.elapsed());
+                shared.spans.record(
+                    &format!("{} {} [{trace_id}]", spec.trace, result.llc_name),
+                    me,
+                    t0,
+                );
             }
             Err(error) => {
                 eprintln!("serve: job {hash:016x} failed: {error}");
@@ -428,8 +618,10 @@ fn row_core(
     worker: usize,
     attempt: u32,
     source: &str,
+    trace_id: &str,
 ) -> ResultRow {
     ResultRow {
+        trace_id: trace_id.to_string(),
         ticket: 0,
         seq: 0,
         trace: spec.trace.clone(),
@@ -476,6 +668,7 @@ fn requeue_or_fail(shared: &Shared, st: &mut State, hash: u64) {
     };
     if entry.attempts > retries {
         entry.phase = Phase::Failed;
+        shared.metrics.jobs_failed.inc();
         let subscribers = entry.tickets.clone();
         for t in subscribers {
             if let Some(ticket) = st.tickets.get_mut(&t) {
@@ -484,8 +677,10 @@ fn requeue_or_fail(shared: &Shared, st: &mut State, hash: u64) {
         }
     } else {
         st.retries += 1;
+        shared.metrics.job_retries.inc();
         entry.phase = Phase::Pending {
             not_before: Some(Instant::now() + backoff(entry.attempts)),
+            enqueued: Instant::now(),
         };
         st.queue.push_back(hash);
         shared.wake_workers.notify_all();
@@ -518,6 +713,7 @@ fn monitor_loop(shared: &Arc<Shared>) {
                     continue;
                 }
                 st.crashes += 1;
+                shared.metrics.worker_crashes.inc();
                 let orphans: Vec<u64> = st
                     .jobs
                     .iter()
@@ -547,6 +743,7 @@ fn monitor_loop(shared: &Arc<Shared>) {
                 .map(|(&h, _)| h)
                 .collect();
             for hash in hung {
+                shared.metrics.job_timeouts.inc();
                 requeue_or_fail(shared, &mut st, hash);
                 shared.progress.notify_all();
             }
@@ -585,7 +782,46 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
+/// The Prometheus exposition endpoint: a deliberately tiny HTTP/1.0
+/// server — read the request line, answer `GET /metrics` with the
+/// text-format registry snapshot, 404 anything else, close. One
+/// request per connection, exactly like the protocol listener.
+fn metrics_http_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || {
+            let _ = serve_scrape(&shared, stream);
+        });
+    }
+}
+
+fn serve_scrape(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut out = BufWriter::new(stream);
+    let target = line.split_whitespace().nth(1).unwrap_or("");
+    if line.starts_with("GET ") && target == "/metrics" {
+        let body = bv_metrics::render_exposition(&metrics_snapshot(shared));
+        write!(
+            out,
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )?;
+    } else {
+        write!(out, "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\n\r\n")?;
+    }
+    out.flush()
+}
+
 fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
+    let tenant = stream
+        .peer_addr()
+        .map_or_else(|_| "unknown".to_string(), |a| a.ip().to_string());
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut line = String::new();
     reader.read_line(&mut line)?;
@@ -598,6 +834,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
         Ok(r) => r,
         Err(error) => return reply(&mut out, &Response::Error { error }),
     };
+    shared.metrics.client_request(&tenant, request.kind());
     match request {
         Request::Submit { grid, wait } => match submit(shared, &grid) {
             Ok((ticket, resp)) => {
@@ -610,6 +847,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
             Err(error) => reply(&mut out, &Response::Error { error }),
         },
         Request::Status => reply(&mut out, &Response::Status(status(shared))),
+        Request::Metrics => reply(&mut out, &Response::Metrics(metrics_snapshot(shared))),
         Request::Stream { ticket } => {
             let known = shared
                 .state
@@ -658,9 +896,12 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
                     info: "drained; daemon exiting".to_string(),
                 },
             )?;
-            // Unblock the accept loop so the listener thread exits.
+            // Unblock the accept loops so the listener threads exit.
             shared.stop.store(true, Ordering::SeqCst);
             let _ = TcpStream::connect(shared.local_addr);
+            if let Some(addr) = shared.metrics_addr {
+                let _ = TcpStream::connect(addr);
+            }
             Ok(())
         }
     }
@@ -681,6 +922,7 @@ fn submit(shared: &Shared, grid: &SweepGrid) -> Result<(u64, Response), String> 
     }
     let ticket = st.next_ticket;
     st.next_ticket += 1;
+    shared.metrics.tickets_opened.inc();
     st.tickets.insert(
         ticket,
         Ticket {
@@ -711,7 +953,8 @@ fn submit(shared: &Shared, grid: &SweepGrid) -> Result<(u64, Response), String> 
                 st.tickets.get_mut(&ticket).expect("new ticket").failed += 1;
             }
         } else if let Some(result) = shared.journal.load(&spec) {
-            let row = row_core(&spec, &result, 0.0, 0, 0, "journal");
+            let tid = mint_trace_id(&mut st, hash);
+            let row = row_core(&spec, &result, 0.0, 0, 0, "journal", &tid);
             st.jobs.insert(
                 hash,
                 JobEntry {
@@ -720,19 +963,26 @@ fn submit(shared: &Shared, grid: &SweepGrid) -> Result<(u64, Response), String> 
                     attempts: 0,
                     tickets: vec![ticket],
                     row: Some(row.clone()),
+                    trace_id: tid,
                 },
             );
             push_row(&mut st, ticket, &row);
+            shared.metrics.jobs_completed_journal.inc();
             journaled += 1;
         } else {
+            let tid = mint_trace_id(&mut st, hash);
             st.jobs.insert(
                 hash,
                 JobEntry {
                     spec,
-                    phase: Phase::Pending { not_before: None },
+                    phase: Phase::Pending {
+                        not_before: None,
+                        enqueued: Instant::now(),
+                    },
                     attempts: 0,
                     tickets: vec![ticket],
                     row: None,
+                    trace_id: tid,
                 },
             );
             st.queue.push_back(hash);
@@ -740,6 +990,9 @@ fn submit(shared: &Shared, grid: &SweepGrid) -> Result<(u64, Response), String> 
         }
     }
     st.tickets.get_mut(&ticket).expect("new ticket").merged = merged;
+    shared.metrics.jobs_submitted_fresh.add(fresh);
+    shared.metrics.jobs_submitted_journal.add(journaled);
+    shared.metrics.jobs_submitted_merged.add(merged);
     let jobs = fresh + journaled + merged;
     drop(st);
     shared.wake_workers.notify_all();
@@ -813,6 +1066,7 @@ fn stream_ticket(
         };
         for row in batch {
             writeln!(out, "{}", Response::Result(row).to_line())?;
+            shared.metrics.rows_streamed.inc();
             cursor += 1;
         }
         out.flush()?;
@@ -875,6 +1129,16 @@ fn status(shared: &Shared) -> StatusInfo {
             Phase::Failed => failed += 1,
         }
     }
+    drop(st);
+    // Percentiles come from the live job_total_ms histogram; with
+    // metrics disabled (or before any completion) they read 0.
+    let snap = shared.metrics.registry.snapshot();
+    let pct = |q: f64| {
+        snap.histogram("job_total_ms")
+            .and_then(|h| h.hist.percentile(q))
+            .unwrap_or(0)
+    };
+    let st = shared.state.lock().expect("serve state");
     StatusInfo {
         workers: st.workers.len() as u64,
         alive: st.workers.iter().filter(|w| w.alive).count() as u64,
@@ -886,7 +1150,35 @@ fn status(shared: &Shared) -> StatusInfo {
         crashes: st.crashes,
         retries: st.retries,
         per_worker_done: st.workers.iter().map(|w| w.jobs_done).collect(),
+        p50_ms: pct(0.50),
+        p95_ms: pct(0.95),
+        p99_ms: pct(0.99),
     }
+}
+
+/// Takes a registry snapshot with the scheduler gauges (queue depth,
+/// running jobs, live workers) refreshed from the job table first —
+/// they describe current state, so they are computed at observation
+/// time rather than maintained transitionally on every queue edge.
+fn metrics_snapshot(shared: &Shared) -> Snapshot {
+    {
+        let st = shared.state.lock().expect("serve state");
+        let pending = st
+            .jobs
+            .values()
+            .filter(|e| matches!(e.phase, Phase::Pending { .. }))
+            .count() as u64;
+        let running = st
+            .jobs
+            .values()
+            .filter(|e| matches!(e.phase, Phase::Running { .. }))
+            .count() as u64;
+        let alive = st.workers.iter().filter(|w| w.alive).count() as u64;
+        shared.metrics.queue_depth.set(pending);
+        shared.metrics.jobs_running.set(running);
+        shared.metrics.workers_alive.set(alive);
+    }
+    shared.metrics.registry.snapshot()
 }
 
 /// The graceful drain: refuse new submissions, let workers finish every
@@ -938,20 +1230,26 @@ mod tests {
                 spec: spec.clone(),
                 phase: Phase::Pending {
                     not_before: Some(now + Duration::from_secs(60)),
+                    enqueued: now,
                 },
                 attempts: 1,
                 tickets: vec![],
                 row: None,
+                trace_id: "000001-00000001".to_string(),
             },
         );
         st.jobs.insert(
             3,
             JobEntry {
                 spec,
-                phase: Phase::Pending { not_before: None },
+                phase: Phase::Pending {
+                    not_before: None,
+                    enqueued: now,
+                },
                 attempts: 0,
                 tickets: vec![],
                 row: None,
+                trace_id: "000002-00000003".to_string(),
             },
         );
         st.queue.extend([1, 2, 3]);

@@ -10,7 +10,8 @@
 //! * **Protocol** ([`proto`]) — `bvsim-serve-v1`, line-delimited JSON
 //!   over TCP (one request per connection), built on the same hand-rolled
 //!   JSON as the telemetry sink. Requests: submit-sweep, status,
-//!   stream-results, cancel, kill-worker (a test hook), shutdown.
+//!   stream-results, cancel, kill-worker (a test hook), metrics,
+//!   shutdown.
 //! * **Cross-client dedup** ([`daemon`]) — jobs are keyed by
 //!   [`bv_runner::JobSpec::stable_hash`]; two clients submitting
 //!   overlapping grids simulate each configuration once, and both
@@ -25,7 +26,15 @@
 //!   `runs.jsonl`-shaped lines, in completion order, as soon as each job
 //!   finishes.
 //! * **Client mode** ([`client`]) — blocking helpers behind
-//!   `bvsim submit` / `bvsim watch` / `bvsim ctl`.
+//!   `bvsim submit` / `bvsim watch` / `bvsim ctl` / `bvsim top`.
+//! * **Observability** — a [`bv_metrics::Registry`] threaded through the
+//!   daemon records queue depth, per-worker utilization, job latency
+//!   split into queue-wait/sim/journal phases, crash/retry/timeout
+//!   counters, and per-tenant request rates. Scrape it as a protocol
+//!   `metrics` snapshot (what `bvsim top` renders) or as Prometheus
+//!   text exposition over plain HTTP (`bvsim serve --metrics-port`).
+//!   Every job carries a trace id minted at submit that flows through
+//!   its result rows, `runs.jsonl` line, and worker span.
 //!
 //! The daemon holds no global run lock while simulating: workers only
 //! take the state mutex to claim a job and to publish its completion, so
@@ -38,7 +47,9 @@
 pub mod client;
 pub mod daemon;
 pub mod proto;
+pub mod top;
 
-pub use client::{control, submit, watch, SubmitOutcome};
+pub use client::{control, metrics, submit, watch, SubmitOutcome};
 pub use daemon::{Daemon, ServeConfig};
 pub use proto::{DoneSummary, Request, Response, ResultRow, StatusInfo, SweepGrid, VERSION};
+pub use top::TopView;

@@ -13,9 +13,11 @@
 //! receives to a local file and feed it to the same analysis scripts.
 
 use bv_cache::PolicyKind;
+use bv_metrics::{HistogramSnapshot, MetricKey, Snapshot};
 use bv_runner::json::{self, ArrWriter, ObjWriter, Value};
 use bv_runner::JobSpec;
 use bv_sim::{LlcKind, SimConfig};
+use bv_telemetry::Log2Histogram;
 
 /// The protocol version stamped into (and required on) every message.
 pub const VERSION: &str = "bvsim-serve-v1";
@@ -187,11 +189,29 @@ pub enum Request {
         /// Worker index to arm.
         worker: u64,
     },
+    /// Fetch a point-in-time snapshot of the daemon's metric registry —
+    /// what `bvsim top` refreshes on.
+    Metrics,
     /// Drain every queued job, then stop accepting and exit.
     Shutdown,
 }
 
 impl Request {
+    /// The wire `kind` discriminator — also the label value used by the
+    /// daemon's per-tenant request counters.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Submit { .. } => "submit-sweep",
+            Request::Status => "status",
+            Request::Stream { .. } => "stream-results",
+            Request::Cancel { .. } => "cancel",
+            Request::KillWorker { .. } => "kill-worker",
+            Request::Metrics => "metrics",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
     /// Renders the request as one protocol line (no trailing newline).
     #[must_use]
     pub fn to_line(&self) -> String {
@@ -214,6 +234,9 @@ impl Request {
             }
             Request::KillWorker { worker } => {
                 w.str("kind", "kill-worker").u64("worker", *worker);
+            }
+            Request::Metrics => {
+                w.str("kind", "metrics");
             }
             Request::Shutdown => {
                 w.str("kind", "shutdown");
@@ -246,6 +269,7 @@ impl Request {
             "kill-worker" => Ok(Request::KillWorker {
                 worker: field_u64(&v, "worker")?,
             }),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown request kind '{other}'")),
         }
@@ -284,6 +308,10 @@ pub struct ResultRow {
     pub attempt: u64,
     /// `"simulated"` or `"journal"`.
     pub source: String,
+    /// The daemon's per-job correlation id. Stamped at submit, it
+    /// follows the job through claim, simulation, the `runs.jsonl`
+    /// journal line, and the span export, so one id joins all four.
+    pub trace_id: String,
 }
 
 impl ResultRow {
@@ -301,7 +329,8 @@ impl ResultRow {
             .f64("wall_secs", self.wall_secs)
             .u64("worker", self.worker)
             .u64("attempt", self.attempt)
-            .str("source", &self.source);
+            .str("source", &self.source)
+            .str("trace_id", &self.trace_id);
     }
 
     /// Renders the row as a bare JSON object line — no protocol
@@ -330,6 +359,7 @@ impl ResultRow {
             worker: field_u64(v, "worker")?,
             attempt: field_u64(v, "attempt")?,
             source: field_str(v, "source")?,
+            trace_id: field_str(v, "trace_id")?,
         })
     }
 }
@@ -376,6 +406,14 @@ pub struct StatusInfo {
     pub retries: u64,
     /// Jobs completed per worker slot, for utilization reporting.
     pub per_worker_done: Vec<u64>,
+    /// p50 end-to-end job latency (queue wait + simulation) in ms,
+    /// from the live `job_total_ms` histogram; 0 when no job has
+    /// completed yet or metrics are disabled.
+    pub p50_ms: u64,
+    /// p95 end-to-end job latency in ms (see `p50_ms`).
+    pub p95_ms: u64,
+    /// p99 end-to-end job latency in ms (see `p50_ms`).
+    pub p99_ms: u64,
 }
 
 /// A daemon-to-client response line.
@@ -400,6 +438,8 @@ pub enum Response {
     Done(DoneSummary),
     /// Daemon-wide counters.
     Status(StatusInfo),
+    /// A point-in-time copy of the daemon's metric registry.
+    Metrics(Snapshot),
     /// Generic success.
     Ok {
         /// A short human-readable note.
@@ -458,7 +498,14 @@ impl Response {
                     .u64("tickets", s.tickets)
                     .u64("crashes", s.crashes)
                     .u64("retries", s.retries)
-                    .u64_array("per_worker_done", &s.per_worker_done);
+                    .u64_array("per_worker_done", &s.per_worker_done)
+                    .u64("p50_ms", s.p50_ms)
+                    .u64("p95_ms", s.p95_ms)
+                    .u64("p99_ms", s.p99_ms);
+            }
+            Response::Metrics(snap) => {
+                w.str("kind", "metrics");
+                render_snapshot(&mut w, snap);
             }
             Response::Ok { info } => {
                 w.str("kind", "ok").str("info", info);
@@ -514,7 +561,11 @@ impl Response {
                     .iter()
                     .map(|x| x.as_u64().ok_or_else(|| "bad worker count".to_string()))
                     .collect::<Result<_, _>>()?,
+                p50_ms: field_u64(&v, "p50_ms")?,
+                p95_ms: field_u64(&v, "p95_ms")?,
+                p99_ms: field_u64(&v, "p99_ms")?,
             })),
+            "metrics" => Ok(Response::Metrics(decode_snapshot(&v)?)),
             "ok" => Ok(Response::Ok {
                 info: field_str(&v, "info")?,
             }),
@@ -524,6 +575,104 @@ impl Response {
             other => Err(format!("unknown response kind '{other}'")),
         }
     }
+}
+
+/// Renders a metric series' identity: its name plus labels as a flat
+/// `[k, v, k, v]` array (objects would need escape-order guarantees the
+/// hand-rolled writer does not promise for arbitrary label keys).
+fn render_key(w: &mut ObjWriter, key: &MetricKey) {
+    let mut labels = ArrWriter::new();
+    for (k, v) in &key.labels {
+        labels.str(k);
+        labels.str(v);
+    }
+    w.str("name", &key.name).raw("labels", &labels.finish());
+}
+
+fn render_snapshot(w: &mut ObjWriter, snap: &Snapshot) {
+    let mut counters = ArrWriter::new();
+    for (key, value) in &snap.counters {
+        let mut o = ObjWriter::new();
+        render_key(&mut o, key);
+        o.u64("value", *value);
+        counters.raw(&o.finish());
+    }
+    let mut gauges = ArrWriter::new();
+    for (key, value) in &snap.gauges {
+        let mut o = ObjWriter::new();
+        render_key(&mut o, key);
+        o.u64("value", *value);
+        gauges.raw(&o.finish());
+    }
+    let mut hists = ArrWriter::new();
+    for (key, h) in &snap.histograms {
+        let mut o = ObjWriter::new();
+        render_key(&mut o, key);
+        o.u64_array("buckets", &h.hist.buckets()[..])
+            .u64("sum", h.sum);
+        hists.raw(&o.finish());
+    }
+    w.raw("counters", &counters.finish())
+        .raw("gauges", &gauges.finish())
+        .raw("histograms", &hists.finish());
+}
+
+fn decode_key(v: &Value) -> Result<MetricKey, String> {
+    let name = field_str(v, "name")?;
+    let arr = v
+        .get("labels")
+        .and_then(Value::as_arr)
+        .ok_or("metric series missing 'labels'")?;
+    if arr.len() % 2 != 0 {
+        return Err(format!("metric '{name}' has an odd label array"));
+    }
+    let mut labels = Vec::with_capacity(arr.len() / 2);
+    for pair in arr.chunks(2) {
+        let k = pair[0].as_str().ok_or("non-string label key")?;
+        let val = pair[1].as_str().ok_or("non-string label value")?;
+        labels.push((k.to_string(), val.to_string()));
+    }
+    Ok(MetricKey { name, labels })
+}
+
+fn decode_series(v: &Value, key: &str) -> Result<Vec<(MetricKey, u64)>, String> {
+    v.get(key)
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("metrics snapshot missing '{key}'"))?
+        .iter()
+        .map(|s| Ok((decode_key(s)?, field_u64(s, "value")?)))
+        .collect()
+}
+
+fn decode_snapshot(v: &Value) -> Result<Snapshot, String> {
+    let mut histograms = Vec::new();
+    for s in v
+        .get("histograms")
+        .and_then(Value::as_arr)
+        .ok_or("metrics snapshot missing 'histograms'")?
+    {
+        let buckets: Vec<u64> = s
+            .get("buckets")
+            .and_then(Value::as_arr)
+            .ok_or("histogram missing 'buckets'")?
+            .iter()
+            .map(|x| x.as_u64().ok_or_else(|| "bad bucket count".to_string()))
+            .collect::<Result<_, _>>()?;
+        let hist = Log2Histogram::from_buckets(&buckets)
+            .ok_or_else(|| format!("histogram has {} buckets", buckets.len()))?;
+        histograms.push((
+            decode_key(s)?,
+            HistogramSnapshot {
+                hist,
+                sum: field_u64(s, "sum")?,
+            },
+        ));
+    }
+    Ok(Snapshot {
+        counters: decode_series(v, "counters")?,
+        gauges: decode_series(v, "gauges")?,
+        histograms,
+    })
 }
 
 fn parse_versioned(line: &str) -> Result<Value, String> {
@@ -585,6 +734,7 @@ mod tests {
             Request::Stream { ticket: 7 },
             Request::Cancel { ticket: 9 },
             Request::KillWorker { worker: 3 },
+            Request::Metrics,
             Request::Shutdown,
         ];
         for req in requests {
@@ -620,6 +770,7 @@ mod tests {
                 worker: 2,
                 attempt: 1,
                 source: "simulated".into(),
+                trace_id: "00000001-00ff00ff".into(),
             }),
             Response::Done(DoneSummary {
                 ticket: 1,
@@ -650,7 +801,27 @@ mod tests {
                 crashes: 1,
                 retries: 2,
                 per_worker_done: vec![5, 7, 8, 0],
+                p50_ms: 120,
+                p95_ms: 500,
+                p99_ms: 900,
             }),
+            {
+                // A metrics snapshot built through a real registry, so
+                // the wire shape tracks whatever the registry produces.
+                let reg = bv_metrics::Registry::new();
+                reg.counter("jobs_completed_total", &[("source", "simulated")])
+                    .add(4);
+                reg.counter(
+                    "client_requests_total",
+                    &[("tenant", "127.0.0.1"), ("kind", "submit")],
+                )
+                .inc();
+                reg.gauge("queue_depth", &[]).set(3);
+                let h = reg.histogram("job_total_ms", &[]);
+                h.observe(12);
+                h.observe(900);
+                Response::Metrics(reg.snapshot())
+            },
             Response::Ok {
                 info: "worker 3 armed".into(),
             },

@@ -1,0 +1,216 @@
+//! Frame rendering for `bvsim top`, the live daemon dashboard.
+//!
+//! The refresh loop in the binary polls the daemon's `metrics` request
+//! and feeds each [`bv_metrics::Snapshot`] into a [`TopView`]; the view
+//! keeps the previous snapshot (for counter deltas — throughput is a
+//! rate, not a total) and a short throughput history (for the
+//! sparkline), and renders one plain-text frame per poll. Rendering is
+//! a pure function of the snapshots and the elapsed interval, so the
+//! layout is unit-testable without a daemon or a terminal.
+
+use bv_metrics::Snapshot;
+use bv_telemetry::sparkline;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// How many throughput samples the sparkline remembers.
+const HISTORY: usize = 60;
+
+/// The dashboard state carried between refreshes.
+#[derive(Debug, Default)]
+pub struct TopView {
+    prev: Option<Snapshot>,
+    throughput: Vec<f64>,
+}
+
+impl TopView {
+    /// An empty view; the first frame has no rates yet.
+    #[must_use]
+    pub fn new() -> TopView {
+        TopView::default()
+    }
+
+    /// Folds one polled snapshot in and renders the frame: header,
+    /// throughput (jobs/s vs the previous poll, with history
+    /// sparkline), queue/worker gauges, job-latency percentiles, the
+    /// per-worker utilization bars, and per-tenant request totals.
+    pub fn frame(&mut self, snap: &Snapshot, elapsed_secs: f64, addr: &str) -> String {
+        let done = snap.counter("jobs_completed_total");
+        let rate = match &self.prev {
+            Some(prev) if elapsed_secs > 0.0 => {
+                snap.counter_delta("jobs_completed_total", prev) as f64 / elapsed_secs
+            }
+            _ => 0.0,
+        };
+        if self.prev.is_some() {
+            self.throughput.push(rate);
+            if self.throughput.len() > HISTORY {
+                self.throughput.remove(0);
+            }
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(out, "bvsim top — {addr}");
+        let _ = writeln!(
+            out,
+            "jobs     : {done} done ({rate:.1}/s) | {} queued, {} running, {} failed  {}",
+            snap.gauge("queue_depth"),
+            snap.gauge("jobs_running"),
+            snap.counter("jobs_failed_total"),
+            sparkline(&self.throughput, 24),
+        );
+        let _ = writeln!(
+            out,
+            "latency  : p50 {} ms | p95 {} ms | p99 {} ms (job total: queue wait + sim)",
+            pct(snap, 0.50),
+            pct(snap, 0.95),
+            pct(snap, 0.99),
+        );
+        let _ = writeln!(
+            out,
+            "recovery : {} crash(es), {} retry(ies), {} timeout(s)",
+            snap.counter("worker_crashes_total"),
+            snap.counter("job_retries_total"),
+            snap.counter("job_timeouts_total"),
+        );
+        out.push_str(&worker_lines(snap));
+        out.push_str(&tenant_lines(snap));
+        self.prev = Some(snap.clone());
+        out
+    }
+}
+
+fn pct(snap: &Snapshot, q: f64) -> u64 {
+    snap.histogram("job_total_ms")
+        .and_then(|h| h.hist.percentile(q))
+        .unwrap_or(0)
+}
+
+/// One line per worker slot: a busy marker plus a completion bar scaled
+/// to the busiest worker — the at-a-glance load-balance check.
+fn worker_lines(snap: &Snapshot) -> String {
+    let mut workers: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    for (key, v) in &snap.counters {
+        if key.name == "worker_jobs_total" {
+            if let Some(w) = label_u64(key, "worker") {
+                workers.entry(w).or_default().0 = *v;
+            }
+        }
+    }
+    for (key, v) in &snap.gauges {
+        if key.name == "worker_busy" {
+            if let Some(w) = label_u64(key, "worker") {
+                workers.entry(w).or_default().1 = *v;
+            }
+        }
+    }
+    let alive = snap.gauge("workers_alive");
+    let mut out = format!("workers  : {alive} alive\n");
+    let max = workers.values().map(|(jobs, _)| *jobs).max().unwrap_or(0);
+    for (w, (jobs, busy)) in &workers {
+        let bar_len = (jobs * 20).checked_div(max).unwrap_or(0) as usize;
+        let _ = writeln!(
+            out,
+            "  [{w}] {} {:<20} {jobs} job(s)",
+            if *busy > 0 { "■" } else { "·" },
+            "#".repeat(bar_len),
+        );
+    }
+    out
+}
+
+/// Per-tenant request totals, summed over request kinds.
+fn tenant_lines(snap: &Snapshot) -> String {
+    let mut tenants: BTreeMap<&str, u64> = BTreeMap::new();
+    for (key, v) in &snap.counters {
+        if key.name == "client_requests_total" {
+            if let Some((_, tenant)) = key.labels.iter().find(|(k, _)| k == "tenant") {
+                *tenants.entry(tenant).or_default() += v;
+            }
+        }
+    }
+    if tenants.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("tenants  :");
+    for (tenant, reqs) in &tenants {
+        let _ = write!(out, " {tenant} {reqs} req(s)");
+    }
+    out.push('\n');
+    out
+}
+
+fn label_u64(key: &bv_metrics::MetricKey, label: &str) -> Option<u64> {
+    key.labels
+        .iter()
+        .find(|(k, _)| k == label)
+        .and_then(|(_, v)| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bv_metrics::Registry;
+
+    fn sample_registry() -> Registry {
+        let reg = Registry::new();
+        reg.counter("jobs_completed_total", &[("source", "simulated")])
+            .add(6);
+        reg.counter(
+            "client_requests_total",
+            &[("tenant", "10.0.0.9"), ("kind", "submit-sweep")],
+        )
+        .add(2);
+        reg.gauge("queue_depth", &[]).set(3);
+        reg.gauge("jobs_running", &[]).set(2);
+        reg.gauge("workers_alive", &[]).set(2);
+        reg.gauge("worker_busy", &[("worker", "0")]).set(1);
+        reg.gauge("worker_busy", &[("worker", "1")]).set(0);
+        reg.counter("worker_jobs_total", &[("worker", "0")]).add(4);
+        reg.counter("worker_jobs_total", &[("worker", "1")]).add(2);
+        let h = reg.histogram("job_total_ms", &[]);
+        h.observe(3);
+        h.observe(40);
+        reg
+    }
+
+    #[test]
+    fn frame_shows_gauges_percentiles_and_worker_bars() {
+        let reg = sample_registry();
+        let mut view = TopView::new();
+        let frame = view.frame(&reg.snapshot(), 1.0, "127.0.0.1:7070");
+        assert!(frame.contains("bvsim top — 127.0.0.1:7070"), "{frame}");
+        assert!(
+            frame.contains("6 done (0.0/s)"),
+            "first frame has no rate: {frame}"
+        );
+        assert!(frame.contains("3 queued, 2 running"), "{frame}");
+        // p50 of {3, 40} is bucket [2,4) -> 3; p99 is bucket [32,64) -> 63.
+        assert!(frame.contains("p50 3 ms"), "{frame}");
+        assert!(frame.contains("p99 63 ms"), "{frame}");
+        // Worker 0 is busy with the full-length bar; worker 1 idle, half.
+        assert!(frame.contains("[0] ■ ####################"), "{frame}");
+        assert!(frame.contains("[1] · ##########"), "{frame}");
+        assert!(frame.contains("tenants  : 10.0.0.9 2 req(s)"), "{frame}");
+    }
+
+    #[test]
+    fn rate_comes_from_the_delta_between_polls() {
+        let reg = sample_registry();
+        let mut view = TopView::new();
+        let _ = view.frame(&reg.snapshot(), 1.0, "a");
+        reg.counter("jobs_completed_total", &[("source", "simulated")])
+            .add(10);
+        let frame = view.frame(&reg.snapshot(), 2.0, "a");
+        assert!(frame.contains("16 done (5.0/s)"), "{frame}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_without_panicking() {
+        let mut view = TopView::new();
+        let frame = view.frame(&Snapshot::default(), 1.0, "a");
+        assert!(frame.contains("0 done"), "{frame}");
+        assert!(frame.contains("p50 0 ms"), "{frame}");
+        assert!(!frame.contains("tenants"), "{frame}");
+    }
+}

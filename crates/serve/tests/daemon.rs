@@ -23,6 +23,8 @@ fn start(journal: PathBuf, workers: usize) -> Daemon {
         retries: 2,
         port_file: None,
         spans: None,
+        metrics: true,
+        metrics_port: None,
     })
     .expect("start daemon")
 }
@@ -192,6 +194,150 @@ fn daemon_restart_resimulates_nothing_journaled() {
     daemon.wait().expect("second daemon exit");
     // The journal still holds exactly the original 4 simulations.
     assert_eq!(runs_lines(&journal).len(), 4);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One HTTP/1.0 scrape of `GET /metrics` against the daemon's
+/// exposition endpoint; returns the response body.
+fn scrape(addr: std::net::SocketAddr) -> String {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect /metrics");
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+        .expect("send scrape");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read scrape");
+    let (head, body) = text.split_once("\r\n\r\n").expect("http response split");
+    assert!(head.starts_with("HTTP/1.0 200"), "scrape failed: {head}");
+    body.to_string()
+}
+
+#[test]
+fn metrics_and_trace_ids_flow_through_protocol_and_http() {
+    let dir = tmp_dir("metrics");
+    let daemon = Daemon::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        journal: dir.join("journal"),
+        timeout: Duration::from_secs(120),
+        retries: 2,
+        port_file: None,
+        spans: None,
+        metrics: true,
+        metrics_port: Some(0),
+    })
+    .expect("start daemon");
+    let addr = daemon.addr().to_string();
+    let http = daemon.metrics_addr().expect("metrics endpoint bound");
+
+    let names = trace_names(3);
+    let mut rows: Vec<ResultRow> = Vec::new();
+    let outcome = client::submit(
+        &addr,
+        &tiny_grid(vec![names[0].clone(), names[1].clone()]),
+        true,
+        |r| {
+            rows.push(r.clone());
+        },
+    )
+    .expect("submit");
+    assert_eq!(rows.len(), 4);
+
+    // Every row carries a trace id minted at submit, unique per job and
+    // joinable to the job identity (its tail is the low hash bits).
+    let ids: HashSet<&str> = rows.iter().map(|r| r.trace_id.as_str()).collect();
+    assert_eq!(ids.len(), 4, "trace ids must be unique: {rows:?}");
+    for r in &rows {
+        let (seq, tail) = r.trace_id.split_once('-').expect("trace id shape");
+        assert_eq!(seq.len(), 6, "bad trace id {:?}", r.trace_id);
+        assert_eq!(
+            tail,
+            &r.hash[8..],
+            "trace id tail must be the low hash bits"
+        );
+    }
+
+    // The protocol snapshot and the HTTP exposition must agree.
+    let snap = client::metrics(&addr).expect("metrics snapshot");
+    assert_eq!(snap.counter("jobs_completed_total"), 4);
+    assert_eq!(snap.counter("rows_streamed_total"), 4);
+    assert_eq!(snap.counter("tickets_opened_total"), 1);
+    assert_eq!(snap.gauge("workers_alive"), 2);
+    assert_eq!(snap.gauge("queue_depth"), 0);
+    let h = snap
+        .histogram("job_total_ms")
+        .expect("job latency histogram");
+    assert_eq!(h.hist.count(), 4);
+    let body = scrape(http);
+    assert!(
+        body.contains("jobs_completed_total{source=\"simulated\"} 4"),
+        "exposition missing completions:\n{body}"
+    );
+    assert!(body.contains("# TYPE job_total_ms histogram"), "{body}");
+    assert!(
+        body.contains("client_requests_total{kind=\"submit-sweep\",tenant=\"127.0.0.1\"} 1"),
+        "exposition missing tenant counters:\n{body}"
+    );
+
+    // Status percentiles come from the same histogram and are monotone.
+    match client::control(&addr, &Request::Status).expect("status") {
+        Response::Status(s) => {
+            assert!(
+                s.p50_ms <= s.p95_ms && s.p95_ms <= s.p99_ms,
+                "status: {s:?}"
+            );
+        }
+        other => panic!("unexpected status reply: {other:?}"),
+    }
+
+    // Scrape-twice delta: more work moves the counters, and the second
+    // snapshot's delta against the first counts exactly the new jobs.
+    client::submit(&addr, &tiny_grid(vec![names[2].clone()]), true, |_| {}).expect("submit 2");
+    let snap2 = client::metrics(&addr).expect("second snapshot");
+    assert_eq!(snap2.counter_delta("jobs_completed_total", &snap), 2);
+    assert_eq!(snap2.counter("tickets_opened_total"), 2);
+    let body2 = scrape(http);
+    assert!(
+        body2.contains("jobs_completed_total{source=\"simulated\"} 6"),
+        "second scrape stale:\n{body2}"
+    );
+
+    let _ = outcome;
+    shutdown(&addr);
+    daemon.wait().expect("daemon exit");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disabled_metrics_leave_snapshots_empty_but_serve_results() {
+    let dir = tmp_dir("nometrics");
+    let daemon = Daemon::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        journal: dir.join("journal"),
+        timeout: Duration::from_secs(120),
+        retries: 2,
+        port_file: None,
+        spans: None,
+        metrics: false,
+        metrics_port: None,
+    })
+    .expect("start daemon");
+    let addr = daemon.addr().to_string();
+    let outcome = client::submit(&addr, &tiny_grid(trace_names(1)), true, |_| {}).expect("submit");
+    assert_eq!(outcome.done.expect("streamed").simulated, 2);
+    let snap = client::metrics(&addr).expect("metrics snapshot");
+    assert_eq!(snap.counter("jobs_completed_total"), 0);
+    assert!(snap.histogram("job_total_ms").is_none());
+    match client::control(&addr, &Request::Status).expect("status") {
+        Response::Status(s) => {
+            assert_eq!((s.p50_ms, s.p95_ms, s.p99_ms), (0, 0, 0), "status: {s:?}");
+            assert_eq!(s.done, 2);
+        }
+        other => panic!("unexpected status reply: {other:?}"),
+    }
+    shutdown(&addr);
+    daemon.wait().expect("daemon exit");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -104,6 +104,36 @@ impl Log2Histogram {
     pub fn max_bucket(&self) -> Option<usize> {
         self.buckets.iter().rposition(|&c| c > 0)
     }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the inclusive upper bound of
+    /// the bucket holding that sample — a conservative estimate whose
+    /// error is bounded by the power-of-two bucket width. `None` when
+    /// the histogram is empty.
+    ///
+    /// Because the estimate walks one cumulative count, quantiles are
+    /// monotone by construction: `percentile(0.5) <= percentile(0.95)
+    /// <= percentile(0.99)` on any data.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // The rank of the quantile sample, 1-based: p50 of 4 samples is
+        // the 2nd, p99 of 4 is the 4th.
+        let rank = ((q * count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (bucket, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                let (_, hi) = Log2Histogram::bucket_range(bucket);
+                return Some(hi - 1);
+            }
+        }
+        // count() summed the same buckets, so the walk always crosses.
+        unreachable!("cumulative bucket walk must reach the total count")
+    }
 }
 
 #[cfg(test)]
@@ -152,5 +182,42 @@ mod tests {
     fn empty_histogram_has_no_max_bucket() {
         assert_eq!(Log2Histogram::new().max_bucket(), None);
         assert_eq!(Log2Histogram::new().count(), 0);
+    }
+
+    #[test]
+    fn percentile_picks_bucket_upper_bounds() {
+        let mut h = Log2Histogram::new();
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        // p50 = 2nd of 4 samples = value 2, bucket [2,4) -> bound 3.
+        assert_eq!(h.percentile(0.5), Some(3));
+        // p99 = 4th sample = 100, bucket [64,128) -> bound 127.
+        assert_eq!(h.percentile(0.99), Some(127));
+        assert_eq!(h.percentile(0.0), Some(1), "rank floors at the 1st");
+        assert_eq!(Log2Histogram::new().percentile(0.5), None);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_on_arbitrary_data() {
+        // A deterministic pseudo-random spread over many magnitudes.
+        let mut h = Log2Histogram::new();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..1000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.record(x >> (x % 57));
+        }
+        let quantiles: Vec<u64> = [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0]
+            .iter()
+            .map(|&q| h.percentile(q).expect("non-empty"))
+            .collect();
+        for pair in quantiles.windows(2) {
+            assert!(
+                pair[0] <= pair[1],
+                "quantiles must be monotone: {quantiles:?}"
+            );
+        }
     }
 }

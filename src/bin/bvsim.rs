@@ -34,7 +34,7 @@
 use base_victim::bench::perf;
 use base_victim::cli::{
     self, BenchArgs, Command, CtlAction, CtlArgs, FuzzArgs, KvArgs, RunArgs, ServeArgs, SubmitArgs,
-    SweepArgs, TraceArgs, WatchArgs, USAGE,
+    SweepArgs, TopArgs, TraceArgs, WatchArgs, USAGE,
 };
 use base_victim::events::{CacheEvent, EventFilter, EventKind, RingSink};
 use base_victim::fuzz as bvfuzz;
@@ -44,7 +44,7 @@ use base_victim::kvcache::{
 };
 use base_victim::llc::audit::{self, AuditConfig};
 use base_victim::serve::{
-    client, Daemon, DoneSummary, Request, Response, ResultRow, ServeConfig, SweepGrid,
+    client, Daemon, DoneSummary, Request, Response, ResultRow, ServeConfig, SweepGrid, TopView,
 };
 use base_victim::sim::SimTelemetry;
 use base_victim::trace::request::RequestProfile;
@@ -75,6 +75,7 @@ fn main() -> ExitCode {
         Ok(Command::Submit(submit)) => run_submit(&submit),
         Ok(Command::Watch(watch)) => run_watch(&watch),
         Ok(Command::Ctl(ctl)) => run_ctl(&ctl),
+        Ok(Command::Top(top)) => run_top(&top),
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             ExitCode::FAILURE
@@ -778,6 +779,9 @@ fn run_bench(args: &BenchArgs) -> ExitCode {
     if let Some(pct) = report.events_disabled_overhead_pct() {
         println!("{:24} {:>13.2}%", "events-off overhead", pct);
     }
+    if let Some(pct) = report.serve_metrics_overhead_pct() {
+        println!("{:24} {:>13.2}%", "serve-metrics overhead", pct);
+    }
 
     let mut text = report.to_json();
     text.push('\n');
@@ -1045,6 +1049,8 @@ fn run_serve(args: &ServeArgs) -> ExitCode {
         retries: args.retries,
         port_file: args.port_file.clone(),
         spans: args.spans.clone(),
+        metrics: args.metrics,
+        metrics_port: args.metrics_port,
     }) {
         Ok(d) => d,
         Err(e) => {
@@ -1060,6 +1066,9 @@ fn run_serve(args: &ServeArgs) -> ExitCode {
         args.timeout_secs,
         args.retries
     );
+    if let Some(addr) = daemon.metrics_addr() {
+        println!("serve: metrics exposition on http://{addr}/metrics");
+    }
     println!(
         "serve: submit with `bvsim submit --addr {0} --traces <a,b,...>`; stop with \
          `bvsim ctl --addr {0} --shutdown`",
@@ -1264,6 +1273,10 @@ fn run_ctl(args: &CtlArgs) -> ExitCode {
                 "recovery            : {} worker crash(es), {} job re-queue(s)",
                 s.crashes, s.retries
             );
+            println!(
+                "job duration        : p50 {} ms, p95 {} ms, p99 {} ms",
+                s.p50_ms, s.p95_ms, s.p99_ms
+            );
             let per: Vec<String> = s.per_worker_done.iter().map(u64::to_string).collect();
             println!("per-worker done     : [{}]", per.join(", "));
             ExitCode::SUCCESS
@@ -1284,5 +1297,35 @@ fn run_ctl(args: &CtlArgs) -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// The live dashboard: polls the daemon's `metrics` snapshot every
+/// interval and redraws the frame in place. `--once` prints a single
+/// frame without clearing the screen (for scripts and smoke tests).
+fn run_top(args: &TopArgs) -> ExitCode {
+    let mut view = TopView::new();
+    let interval = std::time::Duration::from_millis(args.interval_ms);
+    let mut last = std::time::Instant::now();
+    loop {
+        let snap = match client::metrics(&args.addr) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let elapsed = last.elapsed().as_secs_f64();
+        last = std::time::Instant::now();
+        let frame = view.frame(&snap, elapsed, &args.addr);
+        if args.once {
+            print!("{frame}");
+            return ExitCode::SUCCESS;
+        }
+        // Clear + home, then the frame; the daemon going away ends the
+        // loop through the connect error above.
+        print!("\x1b[2J\x1b[H{frame}");
+        let _ = std::io::Write::flush(&mut std::io::stdout());
+        std::thread::sleep(interval);
     }
 }

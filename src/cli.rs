@@ -24,10 +24,12 @@ USAGE:
     bvsim fuzz [--cases <n>] [--seed <n>] [--llc | --kv] [--inject]
     bvsim fuzz --replay <file> [--shrink] [--out <file>]
     bvsim serve [--addr <host:port>] [--workers <n>] [--journal <dir>]
+                [--metrics-port <p>] [--no-metrics]
     bvsim submit --traces <a,b,...> [--llcs <a,b,...>] [--policies <a,b,...>]
     bvsim watch --ticket <n> [--addr <host:port>] [--out <file>]
     bvsim ctl [--addr <host:port>] (--status | --cancel <t> | --kill-worker <w>
                                     | --shutdown)
+    bvsim top [--addr <host:port>] [--interval-ms <n>] [--once]
 
 OPTIONS:
     --trace <name>      registry trace to run (see --list-traces)
@@ -143,9 +145,17 @@ SERVE (runs the multi-tenant sweep-serving daemon over bvsim-serve-v1):
                         (default: 300)
     --retries <n>       per-job retry budget after crash/timeout (default: 3)
     --port-file <file>  atomically write the bound address here once
-                        listening (for scripts using port 0)
+                        listening (for scripts using port 0); with
+                        --metrics-port the exposition address lands in a
+                        sibling <file>.metrics
     --spans <file>      export per-worker job spans as Chrome trace-event
                         JSON on shutdown, plus a utilization summary
+    --metrics-port <p>  also serve Prometheus text exposition over plain
+                        HTTP (`GET /metrics`) on this port; 0 picks an
+                        ephemeral port
+    --no-metrics        disable the metrics registry entirely: every
+                        record call becomes a no-op and snapshots are
+                        empty
 
 SUBMIT (plans a sweep grid and submits it to a running daemon):
     --addr <host:port>  daemon address (default: 127.0.0.1:7070)
@@ -163,11 +173,18 @@ WATCH (attaches to an existing ticket and streams its results):
     --out <file>        append streamed rows as runs.jsonl lines
 
 CTL (single-shot daemon control; exactly one action):
-    --status            print worker/queue/ticket counters
+    --status            print worker/queue/ticket counters plus
+                        p50/p95/p99 job-duration percentiles
     --cancel <t>        cancel ticket <t>; pending jobs are dropped
     --kill-worker <w>   arm worker <w> to crash after its next claim
                         (crash-recovery drills)
     --shutdown          drain all in-flight work, then exit
+
+TOP (live daemon dashboard, refreshed from the metrics snapshot):
+    --addr <host:port>  daemon address (default: 127.0.0.1:7070)
+    --interval-ms <n>   refresh period in milliseconds (default: 1000)
+    --once              render a single frame and exit (no screen
+                        clearing; for scripts and smoke tests)
 
 BENCH (times the compression kernels and end-to-end simulation, writes BENCH.json):
     --quick             smaller corpus and budgets (the CI gate sizing)
@@ -210,6 +227,8 @@ pub enum Command {
     Watch(WatchArgs),
     /// `ctl`: one-shot daemon control (status/cancel/kill-worker/shutdown).
     Ctl(CtlArgs),
+    /// `top`: live refreshing daemon dashboard.
+    Top(TopArgs),
 }
 
 /// The `--llc` values [`parse_llc`] accepts, for error messages.
@@ -501,6 +520,10 @@ pub struct ServeArgs {
     pub port_file: Option<PathBuf>,
     /// Export worker spans as Chrome trace-event JSON on shutdown.
     pub spans: Option<PathBuf>,
+    /// Record live metrics (`--no-metrics` clears it).
+    pub metrics: bool,
+    /// Serve HTTP `GET /metrics` on this port (0 = ephemeral).
+    pub metrics_port: Option<u16>,
 }
 
 impl Default for ServeArgs {
@@ -513,6 +536,8 @@ impl Default for ServeArgs {
             retries: 3,
             port_file: None,
             spans: None,
+            metrics: true,
+            metrics_port: None,
         }
     }
 }
@@ -592,6 +617,27 @@ pub struct CtlArgs {
     pub action: CtlAction,
 }
 
+/// Arguments for the `top` subcommand (live dashboard).
+#[derive(Debug, PartialEq, Eq)]
+pub struct TopArgs {
+    /// Daemon address.
+    pub addr: String,
+    /// Refresh period in milliseconds.
+    pub interval_ms: u64,
+    /// Render one frame and exit instead of refreshing.
+    pub once: bool,
+}
+
+impl Default for TopArgs {
+    fn default() -> TopArgs {
+        TopArgs {
+            addr: DEFAULT_SERVE_ADDR.to_string(),
+            interval_ms: 1_000,
+            once: false,
+        }
+    }
+}
+
 /// Parses an LLC organization name.
 #[must_use]
 pub fn parse_llc(s: &str) -> Option<LlcKind> {
@@ -646,6 +692,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     }
     if args.first().map(String::as_str) == Some("ctl") {
         return parse_ctl(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("top") {
+        return parse_top(&args[1..]);
     }
     let mut run = RunArgs::default();
     let mut trace = None;
@@ -771,6 +820,14 @@ fn parse_serve(args: &[String]) -> Result<Command, String> {
             }
             "--port-file" => serve.port_file = Some(PathBuf::from(value("--port-file")?)),
             "--spans" => serve.spans = Some(PathBuf::from(value("--spans")?)),
+            "--metrics-port" => {
+                serve.metrics_port = Some(
+                    value("--metrics-port")?
+                        .parse()
+                        .map_err(|e| format!("--metrics-port: {e}"))?,
+                );
+            }
+            "--no-metrics" => serve.metrics = false,
             "--help" | "-h" => return Ok(Command::Help),
             other => return Err(format!("unknown serve flag '{other}' (try --help)")),
         }
@@ -920,6 +977,34 @@ fn parse_ctl(args: &[String]) -> Result<Command, String> {
     let action =
         action.ok_or("ctl requires one of --status | --cancel | --kill-worker | --shutdown")?;
     Ok(Command::Ctl(CtlArgs { addr, action }))
+}
+
+fn parse_top(args: &[String]) -> Result<Command, String> {
+    let mut top = TopArgs::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--addr" => top.addr = value("--addr")?,
+            "--interval-ms" => {
+                let v: u64 = value("--interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("--interval-ms: {e}"))?;
+                if v == 0 {
+                    return Err("--interval-ms must be at least 1".into());
+                }
+                top.interval_ms = v;
+            }
+            "--once" => top.once = true,
+            "--help" | "-h" => return Ok(Command::Help),
+            other => return Err(format!("unknown top flag '{other}' (try --help)")),
+        }
+    }
+    Ok(Command::Top(top))
 }
 
 /// Parses an inclusive `lo:hi` range with `lo <= hi`.
@@ -1582,7 +1667,8 @@ mod tests {
         );
         let cmd = parse(&argv(
             "serve --addr 127.0.0.1:0 --workers 3 --journal /tmp/j --timeout-secs 10 \
-             --retries 1 --port-file /tmp/p --spans /tmp/s.json",
+             --retries 1 --port-file /tmp/p --spans /tmp/s.json --metrics-port 9100 \
+             --no-metrics",
         ))
         .expect("parse");
         assert_eq!(
@@ -1595,11 +1681,33 @@ mod tests {
                 retries: 1,
                 port_file: Some(PathBuf::from("/tmp/p")),
                 spans: Some(PathBuf::from("/tmp/s.json")),
+                metrics: false,
+                metrics_port: Some(9100),
             })
         );
         assert_eq!(parse(&argv("serve --help")).unwrap(), Command::Help);
         assert!(parse(&argv("serve --workers 0")).is_err());
+        assert!(parse(&argv("serve --metrics-port 66000")).is_err());
         assert!(parse(&argv("serve --bogus")).is_err());
+    }
+
+    #[test]
+    fn top_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("top")).unwrap(),
+            Command::Top(TopArgs::default())
+        );
+        let cmd = parse(&argv("top --addr h:3 --interval-ms 250 --once")).expect("parse");
+        assert_eq!(
+            cmd,
+            Command::Top(TopArgs {
+                addr: "h:3".to_string(),
+                interval_ms: 250,
+                once: true,
+            })
+        );
+        assert!(parse(&argv("top --interval-ms 0")).is_err());
+        assert!(parse(&argv("top --bogus")).is_err());
     }
 
     #[test]

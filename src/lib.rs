@@ -56,6 +56,7 @@
 //! | [`kvcache`] | the software-managed compressed key-value cache tier |
 //! | [`energy`] | the Figure 14 energy model |
 //! | [`telemetry`] | epoch time series, histograms, the JSONL sinks |
+//! | [`metrics`] | live runtime metrics: registry, snapshots, exposition |
 //! | [`events`] | event-level cache tracing: records, sinks, filters |
 //! | [`fuzz`] | adversarial workload fuzzing with shrinking |
 //! | [`runner`] | parallel job execution, checkpoint/resume, run journal |
@@ -120,6 +121,12 @@ pub mod fuzz {
 /// Experiment orchestration (re-export of `bv-runner`).
 pub mod runner {
     pub use bv_runner::*;
+}
+
+/// The runtime metrics registry: atomic counters/gauges/histograms with
+/// Prometheus text exposition (re-export of `bv-metrics`).
+pub mod metrics {
+    pub use bv_metrics::*;
 }
 
 /// The sweep-serving daemon and its client (re-export of `bv-serve`).

@@ -67,15 +67,19 @@ fn runs_journal_records_duration_and_resume_preserves_it() {
     assert_eq!(runs.lines().count(), jobs.len());
     for line in runs.lines() {
         let v = json::parse(line).expect("valid runs.jsonl line");
-        let ms = v
-            .get("duration_ms")
-            .and_then(json::Value::as_u64)
-            .expect("duration_ms field");
+        let field = |key: &str| v.get(key).and_then(json::Value::as_u64);
+        let ms = field("duration_ms").expect("duration_ms field");
+        let queue_ms = field("queue_ms").expect("queue_ms field");
+        let sim_ms = field("sim_ms").expect("sim_ms field");
         let wall = v
             .get("wall_secs")
             .and_then(json::Value::as_f64)
             .expect("wall_secs field");
-        assert_eq!(ms, (wall * 1000.0).round() as u64);
+        // duration_ms is the phase sum, and a plain sweep has no queue
+        // phase: pool workers claim jobs the moment a thread is free.
+        assert_eq!(ms, queue_ms + sim_ms);
+        assert_eq!(queue_ms, 0, "sweep-mode rows must not report queue wait");
+        assert_eq!(sim_ms, (wall * 1000.0).round() as u64);
     }
 
     // Resume serves every job from checkpoints; the observability stream
